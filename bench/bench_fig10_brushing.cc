@@ -1,0 +1,90 @@
+// F10 (extension ablation) — time-brushing acceleration: Urbane's time
+// slider re-runs a COUNT query per frame. This bench compares re-splatting
+// per frame (BoundedRasterJoin with a time filter) against the
+// TemporalCanvasIndex (per-bin prefix-sum canvases: one canvas subtraction
+// per frame, independent of point count). Expected shape: per-frame cost of
+// the canvas index is flat in point count while the re-splat path grows
+// linearly; the index pays a one-time build and bin-snapped time windows.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/raster_join.h"
+#include "core/temporal_canvas.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Figure 10: time-brushing ablation",
+      "Median per-frame latency of 32 random brush windows; resplat = "
+      "filtered BoundedRasterJoin per frame, canvas-index = prefix-sum "
+      "canvas subtraction (extension; see DESIGN.md section 5).");
+
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+  bench::ResultTable table(
+      "fig10_brushing",
+      {"points", "resplat/frame", "canvas-index/frame", "index-build",
+       "index-memory", "speedup"});
+
+  for (const std::size_t base :
+       {std::size_t{100'000}, std::size_t{400'000}, std::size_t{1'600'000}}) {
+    const std::size_t num_points = bench::ScaledCount(base);
+    data::TaxiGeneratorOptions options;
+    options.num_trips = num_points;
+    const data::PointTable taxis = data::GenerateTaxiTrips(options);
+    const auto [t0, t1] = taxis.TimeRange();
+    const double span = static_cast<double>(t1 - t0);
+
+    // Brush windows: random quarter-span windows.
+    Rng rng(7);
+    std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+    for (int i = 0; i < 32; ++i) {
+      const double start = rng.NextDouble(0.0, 0.75);
+      windows.push_back(
+          {t0 + static_cast<std::int64_t>(span * start),
+           t0 + static_cast<std::int64_t>(span * (start + 0.25))});
+    }
+
+    core::RasterJoinOptions raster_options;
+    raster_options.resolution = 256;
+    raster_options.compute_error_bounds = false;
+    auto resplat =
+        core::BoundedRasterJoin::Create(taxis, neighborhoods, raster_options);
+    core::TemporalCanvasOptions canvas_options;
+    canvas_options.resolution = 256;
+    canvas_options.time_bins = 64;
+    auto canvas =
+        core::TemporalCanvasIndex::Build(taxis, neighborhoods, canvas_options);
+    if (!resplat.ok() || !canvas.ok()) return 1;
+
+    std::size_t frame = 0;
+    const double resplat_seconds = bench::MeasureSeconds([&] {
+      const auto& w = windows[frame++ % windows.size()];
+      core::AggregationQuery query;
+      query.points = &taxis;
+      query.regions = &neighborhoods;
+      query.filter.WithTime(w.first, w.second);
+      (void)(*resplat)->Execute(query);
+    }, 8);
+    frame = 0;
+    const double canvas_seconds = bench::MeasureSeconds([&] {
+      const auto& w = windows[frame++ % windows.size()];
+      (void)(*canvas)->QueryTimeWindow(w.first, w.second);
+    }, 8);
+
+    table.AddRow(
+        {bench::ResultTable::Cell("%zu", num_points),
+         FormatDuration(resplat_seconds), FormatDuration(canvas_seconds),
+         FormatDuration((*canvas)->build_seconds()),
+         bench::ResultTable::Cell(
+             "%.1fMB",
+             static_cast<double>((*canvas)->MemoryBytes()) / (1024 * 1024)),
+         bench::ResultTable::Cell("%.1fx",
+                                  resplat_seconds / canvas_seconds)});
+  }
+  table.Finish();
+  return 0;
+}

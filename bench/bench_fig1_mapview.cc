@@ -1,0 +1,74 @@
+// F1 — the paper's Figure 1: taxi pickups for January 2009 aggregated over
+// NYC neighborhoods, rendered as a choropleth. Regenerates the frame with
+// each executor and reports the latency of producing it (query + render).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "urbane/map_view.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Figure 1: Urbane map view",
+      "January-2009 pickups per neighborhood; frame latency per executor. "
+      "Expected shape: raster joins are fastest once the canvas is warm; "
+      "the bounded variant's error stays under its reported bound.");
+
+  data::TaxiGeneratorOptions taxi_options;
+  taxi_options.num_trips = bench::ScaledCount(1'000'000);
+  std::printf("generating %zu trips...\n\n", taxi_options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(taxi_options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+
+  core::SpatialAggregation engine(taxis, neighborhoods);
+  core::AggregationQuery query;
+  query.aggregate = core::AggregateSpec::Count();
+  query.filter.WithTime(1230768000, 1233446400);
+
+  bench::ResultTable table("fig1_mapview",
+                           {"executor", "query", "render", "total",
+                            "max-region", "sum-of-counts"});
+  const core::ExecutionMethod methods[] = {
+      core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+      core::ExecutionMethod::kBoundedRaster,
+      core::ExecutionMethod::kAccurateRaster};
+  for (const auto method : methods) {
+    core::QueryResult result;
+    const double query_seconds = bench::MeasureSeconds([&] {
+      auto r = engine.Execute(query, method);
+      if (r.ok()) result = std::move(*r);
+    });
+    app::MapRender render;
+    const double render_seconds = bench::MeasureSeconds([&] {
+      auto r = app::RenderChoropleth(neighborhoods, result);
+      if (r.ok()) render = std::move(*r);
+    });
+    std::uint64_t total_count = 0;
+    std::uint64_t max_count = 0;
+    for (const auto c : result.counts) {
+      total_count += c;
+      max_count = std::max(max_count, c);
+    }
+    table.AddRow({core::ExecutionMethodToString(method),
+                  FormatDuration(query_seconds),
+                  FormatDuration(render_seconds),
+                  FormatDuration(query_seconds + render_seconds),
+                  bench::ResultTable::Cell(
+                      "%llu", static_cast<unsigned long long>(max_count)),
+                  bench::ResultTable::Cell(
+                      "%llu", static_cast<unsigned long long>(total_count))});
+    if (method == core::ExecutionMethod::kAccurateRaster) {
+      const auto status =
+          app::RenderChoroplethToFile(neighborhoods, result, "figure1.ppm");
+      if (status.ok()) {
+        std::printf("wrote figure1.ppm (the Figure 1 frame)\n\n");
+      }
+    }
+  }
+  table.Finish();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// F4 — latency vs number of points (Raster Join evaluation): COUNT over the
+// neighborhood layer as the point set grows. Expected shape: the scan
+// baseline grows linearly with a large constant (R-tree probe + exact test
+// per point); the index join is cheaper per query but still touches every
+// boundary-cell point; both raster joins grow with a much smaller constant
+// (one splat per point + canvas sweep), winning by an order of magnitude at
+// the top of the sweep.
+//
+// Pass --grid-sweep to additionally ablate the index join's cell size.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/harness.h"
+#include "core/quadtree_join.h"
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace urbane;
+  const bool grid_sweep =
+      argc > 1 && std::strcmp(argv[1], "--grid-sweep") == 0;
+  bench::PrintHeader(
+      "Figure 4: latency vs point count",
+      "COUNT per neighborhood; per-query latency (prep excluded, reported "
+      "separately in Table 2).");
+
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+  const std::size_t sweep[] = {
+      bench::ScaledCount(50'000), bench::ScaledCount(125'000),
+      bench::ScaledCount(250'000), bench::ScaledCount(500'000),
+      bench::ScaledCount(1'000'000), bench::ScaledCount(2'000'000)};
+
+  bench::ResultTable table(
+      "fig4_scaling_points",
+      {"points", "scan", "index", "quadtree", "raster", "accurate",
+       "speedup(acc/scan)"});
+
+  for (const std::size_t num_points : sweep) {
+    data::TaxiGeneratorOptions options;
+    options.num_trips = num_points;
+    const data::PointTable taxis = data::GenerateTaxiTrips(options);
+    core::SpatialAggregation engine(taxis, neighborhoods);
+    core::AggregationQuery query;
+    query.aggregate = core::AggregateSpec::Count();
+
+    double seconds[4] = {0, 0, 0, 0};
+    const core::ExecutionMethod methods[] = {
+        core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+        core::ExecutionMethod::kBoundedRaster,
+        core::ExecutionMethod::kAccurateRaster};
+    for (int m = 0; m < 4; ++m) {
+      seconds[m] = bench::MeasureSeconds(
+          [&] { (void)engine.Execute(query, methods[m]); });
+    }
+    auto quadtree = core::QuadtreeJoin::Create(taxis, neighborhoods);
+    core::AggregationQuery direct = query;
+    direct.points = &taxis;
+    direct.regions = &neighborhoods;
+    const double quadtree_seconds =
+        quadtree.ok() ? bench::MeasureSeconds(
+                            [&] { (void)(*quadtree)->Execute(direct); })
+                      : 0.0;
+    table.AddRow({bench::ResultTable::Cell("%zu", num_points),
+                  FormatDuration(seconds[0]), FormatDuration(seconds[1]),
+                  FormatDuration(quadtree_seconds),
+                  FormatDuration(seconds[2]), FormatDuration(seconds[3]),
+                  bench::ResultTable::Cell("%.1fx",
+                                           seconds[0] / seconds[3])});
+  }
+  table.Finish();
+
+  if (grid_sweep) {
+    std::printf("grid-cell-size ablation (index join, %zu points):\n",
+                sweep[3]);
+    data::TaxiGeneratorOptions options;
+    options.num_trips = sweep[3];
+    const data::PointTable taxis = data::GenerateTaxiTrips(options);
+    bench::ResultTable ablation("fig4_grid_sweep",
+                                {"points-per-cell", "build", "query"});
+    for (const double target : {16.0, 64.0, 256.0, 1024.0}) {
+      core::IndexJoinOptions index_options;
+      index_options.target_points_per_cell = target;
+      auto join = core::IndexJoin::Create(taxis, neighborhoods,
+                                          index_options);
+      if (!join.ok()) continue;
+      core::AggregationQuery query;
+      query.points = &taxis;
+      query.regions = &neighborhoods;
+      const double q = bench::MeasureSeconds(
+          [&] { (void)(*join)->Execute(query); });
+      ablation.AddRow({bench::ResultTable::Cell("%.0f", target),
+                       FormatDuration((*join)->stats().build_seconds),
+                       FormatDuration(q)});
+    }
+    ablation.Finish();
+  }
+  return 0;
+}

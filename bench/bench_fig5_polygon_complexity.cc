@@ -1,0 +1,93 @@
+// F5 — latency vs polygon complexity (Raster Join evaluation): two sweeps,
+// (a) number of regions at fixed vertex count, (b) vertices per region at a
+// fixed region count. Expected shape: the baselines' exact point-in-polygon
+// tests scale with vertex count, so they degrade steeply in sweep (b);
+// raster join only pays vertex cost during (cheap) edge rasterization and is
+// nearly flat until the polygon boundary dominates the canvas.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "util/timer.h"
+
+namespace {
+
+void RunSweep(const char* title, const char* csv_name,
+              const urbane::data::PointTable& taxis,
+              const std::vector<urbane::data::RegionSet>& region_sets,
+              const std::vector<std::string>& labels) {
+  using namespace urbane;
+  std::printf("%s\n", title);
+  bench::ResultTable table(
+      csv_name, {"config", "regions", "vertices", "scan", "index", "raster",
+                 "accurate"});
+  for (std::size_t i = 0; i < region_sets.size(); ++i) {
+    const data::RegionSet& regions = region_sets[i];
+    core::SpatialAggregation engine(taxis, regions);
+    core::AggregationQuery query;
+    query.aggregate = core::AggregateSpec::Count();
+    double seconds[4];
+    const core::ExecutionMethod methods[] = {
+        core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+        core::ExecutionMethod::kBoundedRaster,
+        core::ExecutionMethod::kAccurateRaster};
+    for (int m = 0; m < 4; ++m) {
+      seconds[m] = bench::MeasureSeconds(
+          [&] { (void)engine.Execute(query, methods[m]); });
+    }
+    table.AddRow({labels[i], bench::ResultTable::Cell("%zu", regions.size()),
+                  bench::ResultTable::Cell("%zu", regions.TotalVertexCount()),
+                  FormatDuration(seconds[0]), FormatDuration(seconds[1]),
+                  FormatDuration(seconds[2]), FormatDuration(seconds[3])});
+  }
+  table.Finish();
+}
+
+}  // namespace
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Figure 5: latency vs polygon complexity",
+      "COUNT queries; sweep (a) region count, sweep (b) vertices/region.");
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = bench::ScaledCount(500'000);
+  std::printf("generating %zu trips...\n\n", options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+
+  // Sweep (a): region count, ~64 vertices each.
+  {
+    std::vector<data::RegionSet> sets;
+    std::vector<std::string> labels;
+    for (const std::size_t count : {64, 128, 256, 512, 1024}) {
+      data::RandomRegionOptions region_options;
+      region_options.count = count;
+      region_options.vertices_per_region = 64;
+      region_options.seed = 5;
+      sets.push_back(data::GenerateRandomRegions(region_options));
+      labels.push_back(bench::ResultTable::Cell("%zu regions", count));
+    }
+    RunSweep("sweep (a): region count at 64 vertices/region",
+             "fig5a_region_count", taxis, sets, labels);
+  }
+
+  // Sweep (b): vertex count at 128 regions.
+  {
+    std::vector<data::RegionSet> sets;
+    std::vector<std::string> labels;
+    for (const std::size_t vertices : {8, 32, 128, 512, 2048}) {
+      data::RandomRegionOptions region_options;
+      region_options.count = 128;
+      region_options.vertices_per_region = vertices;
+      region_options.seed = 6;
+      sets.push_back(data::GenerateRandomRegions(region_options));
+      labels.push_back(bench::ResultTable::Cell("%zu verts", vertices));
+    }
+    RunSweep("sweep (b): vertices/region at 128 regions",
+             "fig5b_vertex_count", taxis, sets, labels);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// F7 — latency vs filter selectivity (Raster Join evaluation): ad-hoc
+// attribute filters are the workload pre-aggregation cannot serve. Expected
+// shape: raster join latency falls with the surviving point count (only
+// survivors get splatted); scan/index baselines still visit every point to
+// evaluate the filter, so they flatten out.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Figure 7: latency vs filter selectivity",
+      "COUNT per neighborhood under fare-amount filters of varying "
+      "selectivity.");
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = bench::ScaledCount(1'000'000);
+  std::printf("generating %zu trips...\n\n", options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+  core::SpatialAggregation engine(taxis, neighborhoods);
+
+  // Build fare thresholds hitting target selectivities via the sorted
+  // column (quantiles).
+  std::vector<float> fares = *taxis.AttributeByName("fare_amount");
+  std::sort(fares.begin(), fares.end());
+  auto quantile = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(fares.size() - 1));
+    return static_cast<double>(fares[idx]);
+  };
+
+  bench::ResultTable table("fig7_selectivity",
+                           {"selectivity", "surviving", "scan", "index",
+                            "raster", "accurate"});
+  for (const double selectivity : {1.0, 0.5, 0.25, 0.10, 0.05, 0.01}) {
+    core::AggregationQuery query;
+    query.aggregate = core::AggregateSpec::Count();
+    if (selectivity < 1.0) {
+      query.filter.WithRange("fare_amount", 0.0, quantile(selectivity));
+    }
+    const double actual =
+        engine.EstimateSelectivity(query.filter).value_or(1.0);
+    double seconds[4];
+    const core::ExecutionMethod methods[] = {
+        core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+        core::ExecutionMethod::kBoundedRaster,
+        core::ExecutionMethod::kAccurateRaster};
+    for (int m = 0; m < 4; ++m) {
+      seconds[m] = bench::MeasureSeconds(
+          [&] { (void)engine.Execute(query, methods[m]); });
+    }
+    table.AddRow(
+        {bench::ResultTable::Cell("%.0f%%", 100.0 * selectivity),
+         bench::ResultTable::Cell(
+             "%zu", static_cast<std::size_t>(actual * taxis.size())),
+         FormatDuration(seconds[0]), FormatDuration(seconds[1]),
+         FormatDuration(seconds[2]), FormatDuration(seconds[3])});
+  }
+  table.Finish();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// F8 — end-to-end interactivity (demo Section 3): replay a recorded
+// pan/zoom/brush/filter trace against each executor, reporting frame-latency
+// percentiles and how many frames meet the 100 ms interactivity budget.
+// Expected shape: raster joins keep (nearly) all frames interactive; the
+// scan baseline misses the budget once the data set is large.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "urbane/session.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Figure 8: interactive session replay",
+      "60-event exploration trace (brushing, filtering, aggregate switches, "
+      "pans); per-frame latency percentiles per executor.");
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = bench::ScaledCount(1'000'000);
+  std::printf("generating %zu trips...\n\n", options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+
+  core::RasterJoinOptions raster_options;
+  raster_options.resolution = 1024;
+  core::SpatialAggregation engine(taxis, neighborhoods, raster_options);
+  const auto [t0, t1] = taxis.TimeRange();
+  app::InteractionSession session(engine, "fare_amount", t0, t1);
+  const auto trace = app::GenerateInteractionTrace(60, 2018);
+
+  bench::ResultTable table("fig8_interactive_session",
+                           {"executor", "p50", "p95", "max", "total",
+                            "interactive<=100ms"});
+  const core::ExecutionMethod methods[] = {
+      core::ExecutionMethod::kBoundedRaster,
+      core::ExecutionMethod::kAccurateRaster,
+      core::ExecutionMethod::kIndexJoin, core::ExecutionMethod::kScan};
+  for (const auto method : methods) {
+    const auto frames = session.Replay(trace, method);
+    if (!frames.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   frames.status().ToString().c_str());
+      return 1;
+    }
+    const app::SessionSummary summary = app::SummarizeFrames(*frames);
+    table.AddRow({core::ExecutionMethodToString(method),
+                  FormatDuration(summary.p50_seconds),
+                  FormatDuration(summary.p95_seconds),
+                  FormatDuration(summary.max_seconds),
+                  FormatDuration(summary.total_seconds),
+                  bench::ResultTable::Cell("%zu/%zu",
+                                           summary.interactive_frames,
+                                           summary.frames)});
+  }
+  table.Finish();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// MB — google-benchmark microbenchmarks of the substrate stages that the
+// executors compose: point-in-polygon tests, scanline vs triangle polygon
+// fill (the pipeline ablation), point splatting (z-order-sorted vs shuffled
+// input — memory-locality ablation), grid-index probes and boundary
+// rasterization.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/region_generator.h"
+#include "geometry/polygon.h"
+#include "geometry/triangulate.h"
+#include "index/grid_index.h"
+#include "index/zorder.h"
+#include "raster/point_splat.h"
+#include "raster/rasterizer.h"
+#include "testing/test_worlds.h"
+#include "util/random.h"
+
+namespace urbane {
+namespace {
+
+geometry::Polygon MakePolygon(std::size_t vertices) {
+  Rng rng(42);
+  return testing::RandomStarPolygon(rng, {50.0, 50.0}, 35.0, vertices);
+}
+
+void BM_PointInPolygon(benchmark::State& state) {
+  const geometry::Polygon poly =
+      MakePolygon(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  std::vector<geometry::Vec2> probes(1024);
+  for (auto& p : probes) {
+    p = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.Contains(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointInPolygon)->Arg(8)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_ScanlineFill(benchmark::State& state) {
+  const geometry::Polygon poly = MakePolygon(64);
+  const raster::Viewport vp(geometry::BoundingBox(0, 0, 100, 100),
+                            static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t pixels = 0;
+    raster::ScanlineFillPolygon(vp, poly, [&](int, int x0, int x1) {
+      pixels += static_cast<std::size_t>(x1 - x0);
+    });
+    benchmark::DoNotOptimize(pixels);
+  }
+}
+BENCHMARK(BM_ScanlineFill)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TriangleFill(benchmark::State& state) {
+  const geometry::Polygon poly = MakePolygon(64);
+  const auto triangles = geometry::TriangulatePolygon(poly);
+  const raster::Viewport vp(geometry::BoundingBox(0, 0, 100, 100),
+                            static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t pixels = 0;
+    for (const auto& tri : *triangles) {
+      raster::RasterizeTriangle(vp, tri, [&](int, int) { ++pixels; });
+    }
+    benchmark::DoNotOptimize(pixels);
+  }
+}
+BENCHMARK(BM_TriangleFill)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PointSplat(benchmark::State& state) {
+  const bool zorder_sorted = state.range(1) != 0;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  data::PointTable points = testing::MakeUniformPoints(n, 7);
+  std::vector<float> xs(points.xs(), points.xs() + n);
+  std::vector<float> ys(points.ys(), points.ys() + n);
+  if (zorder_sorted) {
+    const geometry::BoundingBox bounds(0, 0, 100, 100);
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a,
+                                              std::uint32_t b) {
+      return index::ZOrderKey({xs[a], ys[a]}, bounds) <
+             index::ZOrderKey({xs[b], ys[b]}, bounds);
+    });
+    std::vector<float> sx(n);
+    std::vector<float> sy(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sx[i] = xs[order[i]];
+      sy[i] = ys[order[i]];
+    }
+    xs = std::move(sx);
+    ys = std::move(sy);
+  }
+  const raster::Viewport vp(geometry::BoundingBox(0, 0, 100.001, 100.001),
+                            1024, 1024);
+  raster::Buffer2D<std::uint32_t> counts(1024, 1024, 0);
+  for (auto _ : state) {
+    counts.Fill(0);
+    benchmark::DoNotOptimize(raster::SplatPoints(
+        vp, xs.data(), ys.data(), n, raster::BlendOp::kAdd,
+        [](std::size_t) { return 1u; }, counts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(zorder_sorted ? "zorder-sorted" : "shuffled");
+}
+BENCHMARK(BM_PointSplat)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void BM_GridProbe(benchmark::State& state) {
+  const data::PointTable points = testing::MakeUniformPoints(200000, 9);
+  const auto grid = index::GridIndex::BuildAuto(
+      points.xs(), points.ys(), points.size(),
+      geometry::BoundingBox(0, 0, 100.001, 100.001),
+      static_cast<double>(state.range(0)));
+  const geometry::Polygon poly = MakePolygon(64);
+  for (auto _ : state) {
+    std::size_t candidates = 0;
+    grid->ClassifyCells(
+        poly,
+        [&](int cx, int cy) { candidates += grid->CellSize(cx, cy); },
+        [&](int cx, int cy) { candidates += grid->CellSize(cx, cy); });
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_GridProbe)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BoundaryRasterize(benchmark::State& state) {
+  const geometry::Polygon poly =
+      MakePolygon(static_cast<std::size_t>(state.range(0)));
+  const raster::Viewport vp(geometry::BoundingBox(0, 0, 100, 100), 1024,
+                            1024);
+  for (auto _ : state) {
+    std::size_t cells = 0;
+    raster::RasterizePolygonBoundary(vp, poly, [&](int, int) { ++cells; });
+    benchmark::DoNotOptimize(cells);
+  }
+}
+BENCHMARK(BM_BoundaryRasterize)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Triangulate(benchmark::State& state) {
+  const geometry::Polygon poly =
+      MakePolygon(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::TriangulatePolygon(poly));
+  }
+}
+BENCHMARK(BM_Triangulate)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace urbane
+
+BENCHMARK_MAIN();

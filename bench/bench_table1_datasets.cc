@@ -1,0 +1,88 @@
+// T1 — data set inventory (demo Section 3): the synthetic stand-ins for the
+// NYC open data sets the demo loads, with the statistics that matter to the
+// spatial-aggregation workload.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "data/event_generator.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Table 1: data sets",
+      "Synthetic equivalents of the demo's NYC feeds (see DESIGN.md "
+      "substitution table).");
+
+  bench::ResultTable table(
+      "table1_datasets",
+      {"dataset", "records", "attributes", "days", "skew(top1%cells)",
+       "memory"});
+
+  auto add_points = [&](const char* name, const data::PointTable& points) {
+    const auto [t0, t1] = points.TimeRange();
+    // Spatial skew: share of points in the densest 1% of a 64x64 grid.
+    const auto bounds = points.Bounds();
+    constexpr int kGrid = 64;
+    std::vector<std::size_t> cells(kGrid * kGrid, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int cx = static_cast<int>((points.x(i) - bounds.min_x) /
+                                bounds.Width() * kGrid);
+      int cy = static_cast<int>((points.y(i) - bounds.min_y) /
+                                bounds.Height() * kGrid);
+      cx = std::clamp(cx, 0, kGrid - 1);
+      cy = std::clamp(cy, 0, kGrid - 1);
+      ++cells[static_cast<std::size_t>(cy) * kGrid + cx];
+    }
+    std::sort(cells.rbegin(), cells.rend());
+    std::size_t top = 0;
+    for (int i = 0; i < kGrid * kGrid / 100; ++i) {
+      top += cells[static_cast<std::size_t>(i)];
+    }
+    std::string attrs;
+    for (const auto& a : points.schema().attribute_names()) {
+      if (!attrs.empty()) attrs += ",";
+      attrs += a;
+    }
+    table.AddRow({name, bench::ResultTable::Cell("%zu", points.size()), attrs,
+                  bench::ResultTable::Cell(
+                      "%.0f", static_cast<double>(t1 - t0) / 86400.0),
+                  bench::ResultTable::Cell(
+                      "%.1f%%", 100.0 * static_cast<double>(top) /
+                                    static_cast<double>(points.size())),
+                  bench::ResultTable::Cell(
+                      "%.1fMB", static_cast<double>(points.MemoryBytes()) /
+                                    (1024.0 * 1024.0))});
+  };
+
+  data::TaxiGeneratorOptions taxi_options;
+  taxi_options.num_trips = bench::ScaledCount(1'000'000);
+  add_points("taxi-pickups", data::GenerateTaxiTrips(taxi_options));
+
+  data::UrbanEventOptions opt311;
+  opt311.num_events = bench::ScaledCount(250'000);
+  add_points("311-complaints", data::GenerateUrbanEvents(opt311));
+
+  data::UrbanEventOptions crime;
+  crime.kind = data::UrbanEventKind::kCrimeIncidents;
+  crime.num_events = bench::ScaledCount(150'000);
+  add_points("crime-incidents", data::GenerateUrbanEvents(crime));
+
+  table.Finish();
+
+  bench::ResultTable regions(
+      "table1_regions", {"layer", "regions", "vertices", "memory"});
+  auto add_regions = [&](const char* name, const data::RegionSet& set) {
+    regions.AddRow({name, bench::ResultTable::Cell("%zu", set.size()),
+                    bench::ResultTable::Cell("%zu", set.TotalVertexCount()),
+                    bench::ResultTable::Cell(
+                        "%.2fMB", static_cast<double>(set.MemoryBytes()) /
+                                      (1024.0 * 1024.0))});
+  };
+  add_regions("boroughs", data::GenerateBoroughs());
+  add_regions("neighborhoods", data::GenerateNeighborhoods());
+  add_regions("census-tracts", data::GenerateCensusTracts());
+  regions.Finish();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// T2 — memory footprint and preprocessing time per method (Raster Join
+// evaluation): the raster joins need no point index (the bounded variant
+// keeps only a canvas-sized stamp buffer); the index baseline pays an O(P)
+// build and O(P) memory; the accurate variant's pixel index is also O(P)
+// but built once per canvas.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/accurate_join.h"
+#include "core/index_join.h"
+#include "core/raster_join.h"
+#include "core/scan_join.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Table 2: preprocessing time and memory per executor",
+      "1M-point taxi table, neighborhood layer, 1024px canvas.");
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = bench::ScaledCount(1'000'000);
+  std::printf("generating %zu trips...\n\n", options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+  core::RasterJoinOptions raster_options;
+  raster_options.resolution = 1024;
+
+  core::AggregationQuery query;
+  query.points = &taxis;
+  query.regions = &neighborhoods;
+  query.aggregate = core::AggregateSpec::Count();
+
+  bench::ResultTable table(
+      "table2_memory_preproc",
+      {"executor", "build-time", "aux-memory", "first-query", "warm-query"});
+  auto add = [&](core::SpatialAggregationExecutor* executor,
+                 std::size_t memory_bytes) {
+    WallTimer first;
+    (void)executor->Execute(query);
+    const double first_seconds = first.ElapsedSeconds();
+    const double warm_seconds =
+        bench::MeasureSeconds([&] { (void)executor->Execute(query); });
+    table.AddRow({executor->name(),
+                  FormatDuration(executor->stats().build_seconds),
+                  bench::ResultTable::Cell(
+                      "%.1fMB",
+                      static_cast<double>(memory_bytes) / (1024.0 * 1024.0)),
+                  FormatDuration(first_seconds),
+                  FormatDuration(warm_seconds)});
+  };
+
+  auto scan = core::ScanJoin::Create(taxis, neighborhoods);
+  auto index = core::IndexJoin::Create(taxis, neighborhoods);
+  auto raster =
+      core::BoundedRasterJoin::Create(taxis, neighborhoods, raster_options);
+  auto accurate =
+      core::AccurateRasterJoin::Create(taxis, neighborhoods, raster_options);
+  if (!scan.ok() || !index.ok() || !raster.ok() || !accurate.ok()) {
+    return 1;
+  }
+  add(scan->get(), (*scan)->MemoryBytes());
+  add(index->get(), (*index)->MemoryBytes());
+  add(raster->get(), (*raster)->MemoryBytes());
+  add(accurate->get(), (*accurate)->MemoryBytes());
+  table.Finish();
+
+  std::printf("base data: %.1fMB points, %.2fMB regions\n",
+              static_cast<double>(taxis.MemoryBytes()) / (1024.0 * 1024.0),
+              static_cast<double>(neighborhoods.MemoryBytes()) /
+                  (1024.0 * 1024.0));
+  return 0;
+}

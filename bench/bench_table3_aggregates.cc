@@ -1,0 +1,57 @@
+// T3 — latency by aggregate function (Raster Join evaluation): COUNT needs
+// one render target, SUM/AVG two, MIN/MAX use min/max blending. Expected
+// shape: all aggregates cost about the same per method (the join dominates,
+// not the accumulator), which is the point — AGG is a plug-in.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace urbane;
+  bench::PrintHeader("Table 3: latency by aggregate function",
+                     "fare_amount aggregates per neighborhood.");
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = bench::ScaledCount(500'000);
+  std::printf("generating %zu trips...\n\n", options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+  core::SpatialAggregation engine(taxis, neighborhoods);
+
+  const struct {
+    const char* label;
+    core::AggregateSpec spec;
+  } aggregates[] = {
+      {"COUNT(*)", core::AggregateSpec::Count()},
+      {"SUM(fare)", core::AggregateSpec::Sum("fare_amount")},
+      {"AVG(fare)", core::AggregateSpec::Avg("fare_amount")},
+      {"MIN(fare)", core::AggregateSpec::Min("fare_amount")},
+      {"MAX(fare)", core::AggregateSpec::Max("fare_amount")},
+  };
+
+  bench::ResultTable table(
+      "table3_aggregates",
+      {"aggregate", "scan", "index", "raster", "accurate"});
+  for (const auto& aggregate : aggregates) {
+    core::AggregationQuery query;
+    query.aggregate = aggregate.spec;
+    double seconds[4];
+    const core::ExecutionMethod methods[] = {
+        core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+        core::ExecutionMethod::kBoundedRaster,
+        core::ExecutionMethod::kAccurateRaster};
+    for (int m = 0; m < 4; ++m) {
+      seconds[m] = bench::MeasureSeconds(
+          [&] { (void)engine.Execute(query, methods[m]); });
+    }
+    table.AddRow({aggregate.label, FormatDuration(seconds[0]),
+                  FormatDuration(seconds[1]), FormatDuration(seconds[2]),
+                  FormatDuration(seconds[3])});
+  }
+  table.Finish();
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace urbane::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("URBANE_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double scale = std::atof(env);
+  return std::max(scale, 0.05);
+}
+
+std::size_t ScaledCount(std::size_t base) {
+  const double scaled = static_cast<double>(base) * BenchScale();
+  return std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
+}
+
+double MeasureSeconds(const std::function<void()>& fn, int repeats) {
+  fn();  // warm-up / lazy-build
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    WallTimer timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+ResultTable::ResultTable(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+void ResultTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string ResultTable::Cell(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buf[256];
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+bool ResultTable::Finish() const {
+  // Column widths.
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%s%-*s", c == 0 ? "  " : "  ",
+                  static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::size_t total = 2;
+  for (const std::size_t w : widths) {
+    total += w + 2;
+  }
+  std::printf("  %s\n", std::string(total - 2, '-').c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  std::printf("\n");
+
+  const char* csv_dir = std::getenv("URBANE_BENCH_CSV");
+  if (csv_dir == nullptr || csv_dir[0] == '\0') {
+    return true;
+  }
+  CsvDocument doc;
+  doc.header = columns_;
+  doc.rows = rows_;
+  const std::string path = std::string(csv_dir) + "/" + name_ + ".csv";
+  const Status status = WriteCsvFile(doc, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "CSV write failed: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("  (wrote %s)\n\n", path.c_str());
+  return true;
+}
+
+void PrintHeader(const std::string& name, const std::string& description) {
+  std::printf("== %s ==\n%s\nscale=%.2f (URBANE_BENCH_SCALE)\n\n",
+              name.c_str(), description.c_str(), BenchScale());
+}
+
+}  // namespace urbane::bench

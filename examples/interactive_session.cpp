@@ -1,0 +1,58 @@
+// Interactive session: replays a recorded exploration trace (time brushing,
+// filtering, aggregate switching, panning) against each executor and reports
+// frame latencies — the demo's core claim is that Raster Join keeps these
+// frames interactive where baselines cannot.
+#include <cstdio>
+
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "urbane/session.h"
+
+int main() {
+  using namespace urbane;
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = 500000;
+  std::printf("Generating %zu taxi trips...\n", options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+
+  core::RasterJoinOptions raster_options;
+  raster_options.resolution = 1024;
+  core::SpatialAggregation engine(taxis, neighborhoods, raster_options);
+  const auto [t0, t1] = taxis.TimeRange();
+  app::InteractionSession session(engine, "fare_amount", t0, t1);
+  const auto trace = app::GenerateInteractionTrace(40, 2018);
+
+  std::printf("\nReplaying a %zu-event exploration trace per executor:\n\n",
+              trace.size());
+  std::printf("%-10s %10s %10s %10s %14s\n", "executor", "p50", "p95", "max",
+              "interactive");
+  const core::ExecutionMethod methods[] = {
+      core::ExecutionMethod::kBoundedRaster,
+      core::ExecutionMethod::kAccurateRaster,
+      core::ExecutionMethod::kIndexJoin,
+      core::ExecutionMethod::kScan,
+  };
+  for (const auto method : methods) {
+    const auto frames = session.Replay(trace, method);
+    if (!frames.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   frames.status().ToString().c_str());
+      return 1;
+    }
+    const app::SessionSummary summary = app::SummarizeFrames(*frames);
+    std::printf("%-10s %10s %10s %10s %9zu/%zu\n",
+                core::ExecutionMethodToString(method),
+                FormatDuration(summary.p50_seconds).c_str(),
+                FormatDuration(summary.p95_seconds).c_str(),
+                FormatDuration(summary.max_seconds).c_str(),
+                summary.interactive_frames, summary.frames);
+  }
+  std::printf(
+      "\n('interactive' counts frames under the 100 ms budget; raster joins\n"
+      " reuse their canvases across frames, which is what makes brushing\n"
+      " fluid in the demo.)\n");
+  return 0;
+}

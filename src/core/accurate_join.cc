@@ -1,0 +1,158 @@
+#include "core/accurate_join.h"
+
+#include <algorithm>
+
+#include "core/raster_targets.h"
+#include "raster/rasterizer.h"
+#include "util/timer.h"
+
+namespace urbane::core {
+
+StatusOr<std::unique_ptr<AccurateRasterJoin>> AccurateRasterJoin::Create(
+    const data::PointTable& points, const data::RegionSet& regions,
+    const RasterJoinOptions& options) {
+  // Reuse the bounded join's canvas validation by constructing one.
+  URBANE_ASSIGN_OR_RETURN(std::unique_ptr<BoundedRasterJoin> probe,
+                          BoundedRasterJoin::Create(points, regions, options));
+  WallTimer timer;
+  auto executor = std::unique_ptr<AccurateRasterJoin>(new AccurateRasterJoin(
+      points, regions, options, probe->canvas()));
+  executor->BuildPixelIndex();
+  executor->stamp_.assign(static_cast<std::size_t>(
+                              executor->viewport_.width()) *
+                              executor->viewport_.height(),
+                          0);
+  executor->stats_.build_seconds = timer.ElapsedSeconds();
+  return executor;
+}
+
+void AccurateRasterJoin::BuildPixelIndex() {
+  const std::size_t num_pixels =
+      static_cast<std::size_t>(viewport_.width()) * viewport_.height();
+  const std::size_t n = points_.size();
+  std::vector<std::uint32_t> pixel_of_point(n);
+  std::vector<std::uint32_t> counts(num_pixels, 0);
+  const std::uint32_t kOutside = std::numeric_limits<std::uint32_t>::max();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    int ix;
+    int iy;
+    if (!viewport_.PixelForPoint({points_.x(i), points_.y(i)}, ix, iy)) {
+      pixel_of_point[i] = kOutside;
+      continue;
+    }
+    const std::uint32_t pixel =
+        static_cast<std::uint32_t>(iy) * viewport_.width() + ix;
+    pixel_of_point[i] = pixel;
+    ++counts[pixel];
+    ++kept;
+  }
+  pixel_offsets_.assign(num_pixels + 1, 0);
+  for (std::size_t p = 0; p < num_pixels; ++p) {
+    pixel_offsets_[p + 1] = pixel_offsets_[p] + counts[p];
+  }
+  pixel_points_.resize(kept);
+  std::vector<std::uint32_t> cursor(pixel_offsets_.begin(),
+                                    pixel_offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pixel_of_point[i] == kOutside) continue;
+    pixel_points_[cursor[pixel_of_point[i]]++] =
+        static_cast<std::uint32_t>(i);
+  }
+}
+
+StatusOr<QueryResult> AccurateRasterJoin::Execute(
+    const AggregationQuery& query) {
+  URBANE_RETURN_IF_ERROR(query.Validate());
+  if (query.points != &points_ || query.regions != &regions_) {
+    return Status::FailedPrecondition(
+        "AccurateRasterJoin was created for a different table/region set");
+  }
+  const double build_seconds = stats_.build_seconds;
+  stats_.Reset();
+  stats_.build_seconds = build_seconds;
+  WallTimer timer;
+
+  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
+                          EvaluateFilter(query.filter, points_));
+  const std::vector<float>* attr = nullptr;
+  if (query.aggregate.NeedsAttribute()) {
+    attr = points_.AttributeByName(query.aggregate.attribute);
+  }
+  internal::AggregateTargets targets = internal::BuildAggregateTargets(
+      viewport_, points_, selection.ids, attr, query.aggregate.kind,
+      options_.use_float32_targets, /*need_abs_sum=*/false);
+  stats_.points_scanned = selection.ids.size();
+
+  QueryResult result;
+  result.values.reserve(regions_.size());
+  result.counts.reserve(regions_.size());
+
+  std::vector<std::uint32_t> boundary_pixels;
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    Accumulator acc;
+    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+      // --- boundary pixels: exact tests against this part ---
+      ++current_stamp_;
+      if (current_stamp_ == 0) {
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        current_stamp_ = 1;
+      }
+      boundary_pixels.clear();
+      raster::RasterizePolygonBoundary(
+          viewport_, part, [&](int x, int y) {
+            const std::size_t idx =
+                static_cast<std::size_t>(y) * viewport_.width() + x;
+            if (stamp_[idx] == current_stamp_) {
+              return;
+            }
+            stamp_[idx] = current_stamp_;
+            boundary_pixels.push_back(static_cast<std::uint32_t>(idx));
+          });
+      stats_.boundary_pixels += boundary_pixels.size();
+      for (const std::uint32_t pixel : boundary_pixels) {
+        const std::uint32_t begin = pixel_offsets_[pixel];
+        const std::uint32_t end = pixel_offsets_[pixel + 1];
+        for (std::uint32_t k = begin; k < end; ++k) {
+          const std::uint32_t id = pixel_points_[k];
+          if (!selection.bitmap[id]) {
+            continue;
+          }
+          ++stats_.pip_tests;
+          const geometry::Vec2 p{points_.x(id), points_.y(id)};
+          if (part.Contains(p)) {
+            acc.Add(attr ? static_cast<double>((*attr)[id]) : 1.0);
+          }
+        }
+      }
+
+      // --- interior pixels: wholesale raster reduction ---
+      raster::ScanlineFillPolygon(
+          viewport_, part, [&](int y, int x_begin, int x_end) {
+            stats_.pixels_touched +=
+                static_cast<std::size_t>(x_end - x_begin);
+            const std::size_t row_base =
+                static_cast<std::size_t>(y) * viewport_.width();
+            for (int x = x_begin; x < x_end; ++x) {
+              if (stamp_[row_base + x] == current_stamp_) {
+                continue;  // boundary pixel, already handled exactly
+              }
+              internal::AccumulatePixel(targets, x, y, acc);
+              stats_.points_bulk += targets.count.at(x, y);
+            }
+          });
+    }
+    result.values.push_back(acc.Finalize(query.aggregate.kind));
+    result.counts.push_back(acc.count);
+  }
+  stats_.query_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::size_t AccurateRasterJoin::MemoryBytes() const {
+  return pixel_offsets_.capacity() * sizeof(std::uint32_t) +
+         pixel_points_.capacity() * sizeof(std::uint32_t) +
+         stamp_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace urbane::core

@@ -1,0 +1,39 @@
+#include "core/aggregate.h"
+
+#include <cmath>
+
+namespace urbane::core {
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+  }
+  return "UNKNOWN";
+}
+
+double Accumulator::Finalize(AggregateKind kind) const {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(count);
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kAvg:
+      return count == 0 ? std::nan("") : sum / static_cast<double>(count);
+    case AggregateKind::kMin:
+      return count == 0 ? std::nan("") : min;
+    case AggregateKind::kMax:
+      return count == 0 ? std::nan("") : max;
+  }
+  return std::nan("");
+}
+
+}  // namespace urbane::core

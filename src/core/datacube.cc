@@ -1,0 +1,205 @@
+#include "core/datacube.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/rtree.h"
+#include "util/timer.h"
+
+namespace urbane::core {
+
+StatusOr<std::unique_ptr<PreAggregatedCube>> PreAggregatedCube::Build(
+    const data::PointTable& points, const data::RegionSet& regions,
+    const DataCubeOptions& options) {
+  if (options.time_bins <= 0 || options.attribute_bins <= 0) {
+    return Status::InvalidArgument("cube bins must be positive");
+  }
+  const std::vector<float>* attr = nullptr;
+  if (!options.attribute.empty()) {
+    attr = points.AttributeByName(options.attribute);
+    if (attr == nullptr) {
+      return Status::InvalidArgument("cube attribute not in table: " +
+                                     options.attribute);
+    }
+  }
+  WallTimer timer;
+  auto cube = std::unique_ptr<PreAggregatedCube>(
+      new PreAggregatedCube(points, regions, options));
+  if (attr == nullptr) {
+    cube->options_.attribute_bins = 1;
+  }
+  const auto [t0, t1] = points.TimeRange();
+  cube->min_time_ = t0;
+  cube->max_time_ = t1;
+  if (attr != nullptr && !attr->empty()) {
+    cube->min_attr_ = *std::min_element(attr->begin(), attr->end());
+    cube->max_attr_ = *std::max_element(attr->begin(), attr->end());
+  }
+  cube->counts_.assign(regions.size() *
+                           static_cast<std::size_t>(
+                               cube->options_.time_bins) *
+                           cube->options_.attribute_bins,
+                       0);
+
+  // The expensive part pre-aggregation pays up front (and again for every
+  // new region set): an exact spatial join over all points.
+  URBANE_ASSIGN_OR_RETURN(index::RTree rtree,
+                          index::RTree::Build(regions.RegionBounds()));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const geometry::Vec2 p{points.x(i), points.y(i)};
+    const int tb = cube->TimeBinFor(points.t(i));
+    const int ab =
+        attr == nullptr ? 0 : cube->AttributeBinFor((*attr)[i]);
+    rtree.QueryPoint(p, [&](std::uint32_t r) {
+      if (regions[r].geometry.Contains(p)) {
+        ++cube->counts_[cube->CellIndex(r, tb, ab)];
+      }
+    });
+  }
+  cube->build_seconds_ = timer.ElapsedSeconds();
+  return cube;
+}
+
+// Both Bin*For functions are defined via their Bin*Start counterparts
+// (largest bin whose start is <= the value) so bin-edge ownership is exactly
+// consistent between build-time binning and query-time range mapping.
+int PreAggregatedCube::TimeBinFor(std::int64_t t) const {
+  int lo = 0;
+  int hi = options_.time_bins - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (TimeBinStart(mid) <= t) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+int PreAggregatedCube::AttributeBinFor(float v) const {
+  int lo = 0;
+  int hi = options_.attribute_bins - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (AttributeBinStart(mid) <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::int64_t PreAggregatedCube::TimeBinStart(int b) const {
+  const double span = static_cast<double>(max_time_ - min_time_) + 1.0;
+  return min_time_ + static_cast<std::int64_t>(
+                         span * b / static_cast<double>(options_.time_bins));
+}
+
+double PreAggregatedCube::AttributeBinStart(int b) const {
+  const double span =
+      static_cast<double>(max_attr_) - min_attr_ + 1e-6;
+  return min_attr_ + span * b / static_cast<double>(options_.attribute_bins);
+}
+
+Status PreAggregatedCube::CanServe(const AggregationQuery& query) const {
+  if (query.regions != &regions_) {
+    return Status::FailedPrecondition(
+        "pre-aggregation is bound to the region set it was built for; new "
+        "polygons require a full cube rebuild");
+  }
+  if (query.points != &points_) {
+    return Status::FailedPrecondition("cube was built over a different table");
+  }
+  if (query.aggregate.kind != AggregateKind::kCount) {
+    return Status::FailedPrecondition(
+        "cube pre-aggregated COUNT only; other aggregates were not "
+        "anticipated at build time");
+  }
+  if (query.filter.spatial_window.has_value()) {
+    return Status::FailedPrecondition(
+        "ad-hoc spatial windows are not servable from per-region bins");
+  }
+  // Time range must align with bin edges.
+  if (query.filter.time_range) {
+    const auto& range = *query.filter.time_range;
+    bool begin_ok = false;
+    bool end_ok = range.end >= max_time_ + 1;
+    for (int b = 0; b < options_.time_bins; ++b) {
+      begin_ok |= TimeBinStart(b) == range.begin;
+      end_ok |= TimeBinStart(b) == range.end;
+    }
+    begin_ok |= range.begin <= min_time_;
+    if (!begin_ok || !end_ok) {
+      return Status::FailedPrecondition(
+          "ad-hoc time range does not align with the cube's bins");
+    }
+  }
+  // At most one attribute range, on the pre-chosen attribute, bin-aligned.
+  if (query.filter.attribute_ranges.size() > 1) {
+    return Status::FailedPrecondition(
+        "cube has a single binned attribute dimension");
+  }
+  if (query.filter.attribute_ranges.size() == 1) {
+    const AttributeRange& range = query.filter.attribute_ranges[0];
+    if (range.attribute != options_.attribute) {
+      return Status::FailedPrecondition(
+          "filter attribute '" + range.attribute +
+          "' was not a cube dimension");
+    }
+    bool lo_ok = range.lo <= min_attr_;
+    bool hi_ok = range.hi >= max_attr_;
+    for (int b = 0; b < options_.attribute_bins; ++b) {
+      lo_ok |= std::fabs(AttributeBinStart(b) - range.lo) < 1e-9;
+      hi_ok |= std::fabs(AttributeBinStart(b) - range.hi) < 1e-9;
+    }
+    if (!lo_ok || !hi_ok) {
+      return Status::FailedPrecondition(
+          "ad-hoc attribute range does not align with the cube's bins");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResult> PreAggregatedCube::Query(
+    const AggregationQuery& query) const {
+  URBANE_RETURN_IF_ERROR(CanServe(query));
+
+  int tb0 = 0;
+  int tb1 = options_.time_bins;
+  if (query.filter.time_range) {
+    const auto& range = *query.filter.time_range;
+    tb0 = range.begin <= min_time_ ? 0 : TimeBinFor(range.begin);
+    tb1 = range.end >= max_time_ + 1 ? options_.time_bins
+                                     : TimeBinFor(range.end);
+  }
+  int ab0 = 0;
+  int ab1 = options_.attribute_bins;
+  if (query.filter.attribute_ranges.size() == 1) {
+    const AttributeRange& range = query.filter.attribute_ranges[0];
+    ab0 = range.lo <= min_attr_
+              ? 0
+              : AttributeBinFor(static_cast<float>(range.lo));
+    ab1 = range.hi >= max_attr_
+              ? options_.attribute_bins
+              : AttributeBinFor(static_cast<float>(range.hi));
+  }
+
+  QueryResult result;
+  result.values.reserve(regions_.size());
+  result.counts.reserve(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    std::uint64_t count = 0;
+    for (int tb = tb0; tb < tb1; ++tb) {
+      for (int ab = ab0; ab < ab1; ++ab) {
+        count += counts_[CellIndex(r, tb, ab)];
+      }
+    }
+    result.counts.push_back(count);
+    result.values.push_back(static_cast<double>(count));
+  }
+  return result;
+}
+
+}  // namespace urbane::core

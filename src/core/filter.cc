@@ -1,0 +1,74 @@
+#include "core/filter.h"
+
+namespace urbane::core {
+
+StatusOr<CompiledFilter> CompiledFilter::Compile(
+    const FilterSpec& spec, const data::PointTable& table) {
+  CompiledFilter compiled;
+  compiled.time_range_ = spec.time_range;
+  if (spec.spatial_window) {
+    if (spec.spatial_window->IsEmpty()) {
+      return Status::InvalidArgument("empty spatial window");
+    }
+    compiled.window_ = spec.spatial_window;
+  }
+  for (const AttributeRange& range : spec.attribute_ranges) {
+    const int col = table.schema().AttributeIndex(range.attribute);
+    if (col < 0) {
+      return Status::InvalidArgument("filter references unknown attribute: " +
+                                     range.attribute);
+    }
+    if (range.lo > range.hi) {
+      return Status::InvalidArgument("empty filter range on attribute: " +
+                                     range.attribute);
+    }
+    compiled.ranges_.push_back({static_cast<std::size_t>(col),
+                                static_cast<float>(range.lo),
+                                static_cast<float>(range.hi)});
+  }
+  return compiled;
+}
+
+bool CompiledFilter::Matches(const data::PointTable& table,
+                             std::size_t row) const {
+  if (time_range_ && !time_range_->Contains(table.t(row))) {
+    return false;
+  }
+  if (window_ && !window_->Contains({table.x(row), table.y(row)})) {
+    return false;
+  }
+  for (const BoundRange& range : ranges_) {
+    const float v = table.attribute(row, range.column);
+    if (v < range.lo || v > range.hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
+                                         const data::PointTable& table) {
+  URBANE_ASSIGN_OR_RETURN(CompiledFilter compiled,
+                          CompiledFilter::Compile(spec, table));
+  FilterSelection selection;
+  const std::size_t n = table.size();
+  selection.bitmap.assign(n, 0);
+  if (compiled.IsTrivial()) {
+    selection.ids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      selection.bitmap[i] = 1;
+      selection.ids[i] = static_cast<std::uint32_t>(i);
+    }
+    return selection;
+  }
+  selection.ids.reserve(n / 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (compiled.Matches(table, i)) {
+      selection.bitmap[i] = 1;
+      selection.ids.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return selection;
+}
+
+}  // namespace urbane::core

@@ -1,0 +1,97 @@
+#include "core/index_join.h"
+
+#include "util/timer.h"
+
+namespace urbane::core {
+
+StatusOr<std::unique_ptr<IndexJoin>> IndexJoin::Create(
+    const data::PointTable& points, const data::RegionSet& regions,
+    const IndexJoinOptions& options) {
+  WallTimer timer;
+  // Index bounds must cover all points; pad slightly so max-edge points
+  // land in the last cell row/column.
+  geometry::BoundingBox bounds = points.Bounds();
+  if (bounds.IsEmpty()) {
+    bounds = geometry::BoundingBox(0, 0, 1, 1);
+  }
+  bounds = bounds.Expanded(1e-6 * std::max(1.0, bounds.Width()));
+  URBANE_ASSIGN_OR_RETURN(
+      index::GridIndex grid,
+      index::GridIndex::BuildAuto(points.xs(), points.ys(), points.size(),
+                                  bounds, options.target_points_per_cell));
+  auto executor = std::unique_ptr<IndexJoin>(
+      new IndexJoin(points, regions, std::move(grid)));
+  executor->stats_.build_seconds = timer.ElapsedSeconds();
+  return executor;
+}
+
+StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
+  URBANE_RETURN_IF_ERROR(query.Validate());
+  if (query.points != &points_ || query.regions != &regions_) {
+    return Status::FailedPrecondition(
+        "IndexJoin was created for a different table/region set");
+  }
+  const double build_seconds = stats_.build_seconds;
+  stats_.Reset();
+  stats_.build_seconds = build_seconds;
+  WallTimer timer;
+
+  URBANE_ASSIGN_OR_RETURN(CompiledFilter filter,
+                          CompiledFilter::Compile(query.filter, points_));
+  const bool trivial_filter = filter.IsTrivial();
+
+  const std::vector<float>* attr = nullptr;
+  if (query.aggregate.NeedsAttribute()) {
+    attr = points_.AttributeByName(query.aggregate.attribute);
+  }
+  auto value_of = [&](std::uint32_t id) {
+    return attr ? static_cast<double>((*attr)[id]) : 1.0;
+  };
+
+  QueryResult result;
+  result.values.reserve(regions_.size());
+  result.counts.reserve(regions_.size());
+
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    Accumulator acc;
+    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+      grid_.ClassifyCells(
+          part,
+          /*interior=*/
+          [&](int cx, int cy) {
+            const std::uint32_t* begin = grid_.CellBegin(cx, cy);
+            const std::uint32_t* end = grid_.CellEnd(cx, cy);
+            for (const std::uint32_t* it = begin; it != end; ++it) {
+              if (!trivial_filter && !filter.Matches(points_, *it)) {
+                continue;
+              }
+              acc.Add(value_of(*it));
+              ++stats_.points_bulk;
+            }
+          },
+          /*boundary=*/
+          [&](int cx, int cy) {
+            const std::uint32_t* begin = grid_.CellBegin(cx, cy);
+            const std::uint32_t* end = grid_.CellEnd(cx, cy);
+            for (const std::uint32_t* it = begin; it != end; ++it) {
+              if (!trivial_filter && !filter.Matches(points_, *it)) {
+                continue;
+              }
+              ++stats_.pip_tests;
+              const geometry::Vec2 p{points_.x(*it), points_.y(*it)};
+              if (part.Contains(p)) {
+                acc.Add(value_of(*it));
+                ++stats_.points_scanned;
+              }
+            }
+          });
+    }
+    result.values.push_back(acc.Finalize(query.aggregate.kind));
+    result.counts.push_back(acc.count);
+  }
+
+  stats_.query_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace urbane::core

@@ -1,0 +1,114 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/raster_join.h"
+#include "util/string_util.h"
+
+namespace urbane::core {
+
+const char* ExecutionMethodToString(ExecutionMethod method) {
+  switch (method) {
+    case ExecutionMethod::kScan:
+      return "scan";
+    case ExecutionMethod::kIndexJoin:
+      return "index";
+    case ExecutionMethod::kBoundedRaster:
+      return "raster";
+    case ExecutionMethod::kAccurateRaster:
+      return "accurate";
+  }
+  return "unknown";
+}
+
+QueryPlan PlanQuery(const WorkloadProfile& profile,
+                    const AccuracyRequirement& accuracy,
+                    int default_resolution) {
+  QueryPlan plan;
+  const double p =
+      std::max(1.0, profile.selectivity *
+                        static_cast<double>(profile.num_points));
+  const double regions = std::max<double>(1.0, profile.num_regions);
+  const double vertices =
+      std::max<double>(4.0, profile.total_region_vertices);
+
+  // Canvas geometry for the raster estimates.
+  int resolution = default_resolution;
+  if (!accuracy.exact && accuracy.epsilon_world > 0.0 &&
+      !profile.world.IsEmpty()) {
+    resolution = ResolutionForEpsilon(profile.world, accuracy.epsilon_world);
+  }
+  const double aspect =
+      profile.world.IsEmpty()
+          ? 1.0
+          : std::min(profile.world.Width(), profile.world.Height()) /
+                std::max(profile.world.Width(), profile.world.Height());
+  const double canvas_pixels =
+      static_cast<double>(resolution) * resolution * std::max(0.05, aspect);
+
+  // Unit costs (relative, calibrated on the bench machine's orders of
+  // magnitude; only ratios matter).
+  constexpr double kPipCost = 8.0;      // exact point-in-polygon test
+  constexpr double kProbeCost = 2.0;    // R-tree descend per point
+  constexpr double kSplatCost = 1.0;    // one point through the splat stage
+  constexpr double kPixelCost = 0.25;   // one covered pixel reduction
+  constexpr double kCellCost = 1.0;     // one grid cell classification
+
+  plan.cost_scan = p * (kProbeCost * std::log2(regions + 1.0) + kPipCost);
+
+  // Index join: classify ~vertices * cells-per-edge boundary cells, test the
+  // points in them, take interior cells wholesale.
+  const double cells = std::max(1.0, static_cast<double>(profile.num_points) / 64.0);
+  const double boundary_cells =
+      std::min(cells, vertices * 4.0 + regions * std::sqrt(cells) * 0.5);
+  const double pts_per_cell =
+      static_cast<double>(profile.num_points) / cells;
+  plan.cost_index = boundary_cells * (kCellCost + pts_per_cell * kPipCost) +
+                    p * 0.25 /* interior bulk accumulation */;
+
+  // Raster join: splat surviving points + sweep covered pixels. Regions in a
+  // partition cover the canvas about once.
+  plan.cost_raster = p * kSplatCost + canvas_pixels * kPixelCost;
+  if (accuracy.exact) {
+    // Accurate variant adds boundary-pixel exact work.
+    const double boundary_pixels = vertices * 2.0 +
+                                   regions * static_cast<double>(resolution) *
+                                       0.05;
+    const double pts_per_pixel = p / std::max(1.0, canvas_pixels);
+    plan.cost_raster +=
+        boundary_pixels * (1.0 + pts_per_pixel * kPipCost);
+  }
+
+  // Pick the cheapest admissible method.
+  if (!accuracy.exact) {
+    plan.method = plan.cost_raster <= plan.cost_scan
+                      ? ExecutionMethod::kBoundedRaster
+                      : ExecutionMethod::kScan;
+  } else {
+    plan.method = ExecutionMethod::kScan;
+    double best = plan.cost_scan;
+    if (profile.has_point_index && plan.cost_index < best) {
+      plan.method = ExecutionMethod::kIndexJoin;
+      best = plan.cost_index;
+    }
+    if (plan.cost_raster < best) {
+      plan.method = ExecutionMethod::kAccurateRaster;
+      best = plan.cost_raster;
+    }
+  }
+  plan.resolution = (plan.method == ExecutionMethod::kBoundedRaster ||
+                     plan.method == ExecutionMethod::kAccurateRaster)
+                        ? resolution
+                        : 0;
+  plan.explanation = StringPrintf(
+      "planned %s (costs: scan=%.3g index=%.3g%s raster=%.3g; "
+      "P=%.3g after selectivity=%.2f, R=%zu, V=%zu, res=%d)",
+      ExecutionMethodToString(plan.method), plan.cost_scan, plan.cost_index,
+      profile.has_point_index ? "" : " [no index]", plan.cost_raster, p,
+      profile.selectivity, profile.num_regions,
+      profile.total_region_vertices, resolution);
+  return plan;
+}
+
+}  // namespace urbane::core

@@ -1,0 +1,91 @@
+#include "core/quadtree_join.h"
+
+#include "util/timer.h"
+
+namespace urbane::core {
+
+StatusOr<std::unique_ptr<QuadtreeJoin>> QuadtreeJoin::Create(
+    const data::PointTable& points, const data::RegionSet& regions,
+    const QuadtreeJoinOptions& options) {
+  WallTimer timer;
+  geometry::BoundingBox bounds = points.Bounds();
+  if (bounds.IsEmpty()) {
+    bounds = geometry::BoundingBox(0, 0, 1, 1);
+  }
+  bounds = bounds.Expanded(1e-6 * std::max(1.0, bounds.Width()));
+  index::QuadtreeOptions tree_options;
+  tree_options.max_points_per_leaf = options.max_points_per_leaf;
+  tree_options.max_depth = options.max_depth;
+  URBANE_ASSIGN_OR_RETURN(
+      index::Quadtree tree,
+      index::Quadtree::Build(points.xs(), points.ys(), points.size(), bounds,
+                             tree_options));
+  auto executor = std::unique_ptr<QuadtreeJoin>(
+      new QuadtreeJoin(points, regions, std::move(tree)));
+  executor->stats_.build_seconds = timer.ElapsedSeconds();
+  return executor;
+}
+
+StatusOr<QueryResult> QuadtreeJoin::Execute(const AggregationQuery& query) {
+  URBANE_RETURN_IF_ERROR(query.Validate());
+  if (query.points != &points_ || query.regions != &regions_) {
+    return Status::FailedPrecondition(
+        "QuadtreeJoin was created for a different table/region set");
+  }
+  const double build_seconds = stats_.build_seconds;
+  stats_.Reset();
+  stats_.build_seconds = build_seconds;
+  WallTimer timer;
+
+  URBANE_ASSIGN_OR_RETURN(CompiledFilter filter,
+                          CompiledFilter::Compile(query.filter, points_));
+  const bool trivial_filter = filter.IsTrivial();
+  const std::vector<float>* attr = nullptr;
+  if (query.aggregate.NeedsAttribute()) {
+    attr = points_.AttributeByName(query.aggregate.attribute);
+  }
+  auto value_of = [&](std::uint32_t id) {
+    return attr ? static_cast<double>((*attr)[id]) : 1.0;
+  };
+
+  QueryResult result;
+  result.values.reserve(regions_.size());
+  result.counts.reserve(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    Accumulator acc;
+    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+      tree_.Query(
+          part,
+          /*take_all=*/
+          [&](const std::uint32_t* ids, std::size_t n) {
+            for (std::size_t k = 0; k < n; ++k) {
+              if (!trivial_filter && !filter.Matches(points_, ids[k])) {
+                continue;
+              }
+              acc.Add(value_of(ids[k]));
+              ++stats_.points_bulk;
+            }
+          },
+          /*test_each=*/
+          [&](const std::uint32_t* ids, std::size_t n) {
+            for (std::size_t k = 0; k < n; ++k) {
+              if (!trivial_filter && !filter.Matches(points_, ids[k])) {
+                continue;
+              }
+              ++stats_.pip_tests;
+              const geometry::Vec2 p{points_.x(ids[k]), points_.y(ids[k])};
+              if (part.Contains(p)) {
+                acc.Add(value_of(ids[k]));
+                ++stats_.points_scanned;
+              }
+            }
+          });
+    }
+    result.values.push_back(acc.Finalize(query.aggregate.kind));
+    result.counts.push_back(acc.count);
+  }
+  stats_.query_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace urbane::core

@@ -1,0 +1,56 @@
+#ifndef URBANE_CORE_QUERY_H_
+#define URBANE_CORE_QUERY_H_
+
+#include <string>
+
+#include "core/aggregate.h"
+#include "core/filter.h"
+#include "data/point_table.h"
+#include "data/region.h"
+#include "util/status.h"
+
+namespace urbane::core {
+
+/// The paper's spatial aggregation query:
+///
+///   SELECT AGG(a_i) FROM P, R
+///   WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+///   GROUP BY R.id
+///
+/// `points` is P, `regions` is R; both are borrowed (caller keeps them alive
+/// for the duration of execution). A point lying in several (overlapping)
+/// regions contributes to each of them.
+struct AggregationQuery {
+  const data::PointTable* points = nullptr;
+  const data::RegionSet* regions = nullptr;
+  AggregateSpec aggregate;
+  FilterSpec filter;
+
+  /// Structural validation (non-null inputs, attribute names resolvable).
+  Status Validate() const;
+
+  /// Human-readable SQL-ish rendering for logs and EXPLAIN output.
+  std::string ToString() const;
+};
+
+/// Common interface of the four interchangeable execution strategies.
+class SpatialAggregationExecutor {
+ public:
+  virtual ~SpatialAggregationExecutor() = default;
+
+  /// Executes the query, producing one value per region (region order).
+  virtual StatusOr<QueryResult> Execute(const AggregationQuery& query) = 0;
+
+  /// Strategy name for reports ("scan", "index", "raster", "accurate").
+  virtual std::string name() const = 0;
+
+  /// True if results are exact (false only for the bounded raster join).
+  virtual bool exact() const = 0;
+
+  /// Telemetry from the most recent Execute call.
+  virtual const ExecutorStats& stats() const = 0;
+};
+
+}  // namespace urbane::core
+
+#endif  // URBANE_CORE_QUERY_H_

@@ -1,0 +1,385 @@
+#include "core/raster_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/raster_targets.h"
+#include "raster/rasterizer.h"
+#include "util/timer.h"
+
+namespace urbane::core {
+
+raster::Viewport MakeCanvas(const geometry::BoundingBox& world,
+                            int resolution) {
+  if (world.Width() >= world.Height()) {
+    const int height = std::max(
+        1, static_cast<int>(std::lround(resolution * world.Height() /
+                                        world.Width())));
+    return raster::Viewport(world, resolution, height);
+  }
+  const int width = std::max(
+      1,
+      static_cast<int>(std::lround(resolution * world.Width() /
+                                   world.Height())));
+  return raster::Viewport(world, width, resolution);
+}
+
+int ResolutionForEpsilon(const geometry::BoundingBox& world,
+                         double epsilon_world) {
+  // Pixel diagonal of a square-pixel canvas at resolution R along the longer
+  // side L: diag = sqrt(2) * L / R. Solve diag <= eps for R.
+  const double longer = std::max(world.Width(), world.Height());
+  const double r = std::sqrt(2.0) * longer / epsilon_world;
+  return std::max(1, static_cast<int>(std::ceil(r)));
+}
+
+namespace {
+
+geometry::BoundingBox ComputeCanvasWorld(const data::PointTable& points,
+                                         const data::RegionSet& regions) {
+  geometry::BoundingBox world = points.Bounds();
+  world.Extend(regions.Bounds());
+  if (world.IsEmpty()) {
+    world = geometry::BoundingBox(0, 0, 1, 1);
+  }
+  // Pad so points sitting exactly on the max edge stay inside after
+  // float32 -> double round trips.
+  const double pad =
+      1e-9 * std::max({1.0, std::fabs(world.max_x), std::fabs(world.max_y)});
+  return world.Expanded(std::max(pad, 1e-7 * std::max(1.0, world.Width())));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<BoundedRasterJoin>> BoundedRasterJoin::Create(
+    const data::PointTable& points, const data::RegionSet& regions,
+    const RasterJoinOptions& options) {
+  if (options.resolution <= 0) {
+    return Status::InvalidArgument("canvas resolution must be positive");
+  }
+  WallTimer timer;
+  const geometry::BoundingBox world =
+      options.world.value_or(ComputeCanvasWorld(points, regions));
+  const geometry::BoundingBox point_bounds = points.Bounds();
+  const geometry::BoundingBox region_bounds = regions.Bounds();
+  if ((!point_bounds.IsEmpty() && !world.Contains(point_bounds)) ||
+      (!region_bounds.IsEmpty() && !world.Contains(region_bounds))) {
+    return Status::InvalidArgument(
+        "canvas world window must cover all points and regions");
+  }
+  raster::Viewport viewport = MakeCanvas(world, options.resolution);
+  auto executor = std::unique_ptr<BoundedRasterJoin>(
+      new BoundedRasterJoin(points, regions, options, viewport));
+  executor->stamp_.assign(
+      static_cast<std::size_t>(viewport.width()) * viewport.height(), 0);
+  executor->stats_.build_seconds = timer.ElapsedSeconds();
+  return executor;
+}
+
+StatusOr<QueryResult> BoundedRasterJoin::Execute(
+    const AggregationQuery& query) {
+  URBANE_RETURN_IF_ERROR(query.Validate());
+  if (query.points != &points_ || query.regions != &regions_) {
+    return Status::FailedPrecondition(
+        "BoundedRasterJoin was created for a different table/region set");
+  }
+  const double build_seconds = stats_.build_seconds;
+  stats_.Reset();
+  stats_.build_seconds = build_seconds;
+  WallTimer timer;
+
+  // --- filter + pass 1: splat the surviving points onto the canvas ---
+  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
+                          EvaluateFilter(query.filter, points_));
+  const std::vector<float>* attr = nullptr;
+  if (query.aggregate.NeedsAttribute()) {
+    attr = points_.AttributeByName(query.aggregate.attribute);
+  }
+  // abs-sum targets only bound SUM's error; COUNT/AVG/MIN/MAX report the
+  // boundary point count (see QueryResult::error_bounds docs).
+  internal::AggregateTargets targets = internal::BuildAggregateTargets(
+      viewport_, points_, selection.ids, attr, query.aggregate.kind,
+      options_.use_float32_targets,
+      /*need_abs_sum=*/options_.compute_error_bounds &&
+          query.aggregate.kind == AggregateKind::kSum);
+  stats_.points_scanned = selection.ids.size();
+
+  // --- pass 2: sweep each region over the canvas ---
+  QueryResult result;
+  result.values.reserve(regions_.size());
+  result.counts.reserve(regions_.size());
+  if (options_.compute_error_bounds) {
+    result.error_bounds.reserve(regions_.size());
+  }
+
+  const bool sum_bound = targets.need_abs_sum;
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    Accumulator acc;
+    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+      if (options_.use_triangle_pipeline) {
+        raster::RasterizePolygonTriangles(
+            viewport_, part, [&](int x, int y) {
+              ++stats_.pixels_touched;
+              internal::AccumulatePixel(targets, x, y, acc);
+            });
+      } else {
+        raster::ScanlineFillPolygon(
+            viewport_, part, [&](int y, int x_begin, int x_end) {
+              stats_.pixels_touched +=
+                  static_cast<std::size_t>(x_end - x_begin);
+              for (int x = x_begin; x < x_end; ++x) {
+                internal::AccumulatePixel(targets, x, y, acc);
+              }
+            });
+      }
+    }
+    result.values.push_back(acc.Finalize(query.aggregate.kind));
+    result.counts.push_back(acc.count);
+
+    if (options_.compute_error_bounds) {
+      // Error is confined to pixels the region boundary passes through;
+      // bound it by the aggregate mass sitting in those pixels.
+      ++current_stamp_;
+      if (current_stamp_ == 0) {  // wrapped: reset the stamp buffer
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        current_stamp_ = 1;
+      }
+      double bound = 0.0;
+      for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+        raster::RasterizePolygonBoundary(
+            viewport_, part, [&](int x, int y) {
+              const std::size_t idx =
+                  static_cast<std::size_t>(y) * viewport_.width() + x;
+              if (stamp_[idx] == current_stamp_) {
+                return;
+              }
+              stamp_[idx] = current_stamp_;
+              ++stats_.boundary_pixels;
+              bound += sum_bound
+                           ? targets.abs_sum.at(x, y)
+                           : static_cast<double>(targets.count.at(x, y));
+            });
+      }
+      result.error_bounds.push_back(bound);
+    }
+  }
+  stats_.query_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+namespace {
+
+bool FiltersEqual(const FilterSpec& a, const FilterSpec& b) {
+  if (a.time_range.has_value() != b.time_range.has_value()) return false;
+  if (a.time_range && (a.time_range->begin != b.time_range->begin ||
+                       a.time_range->end != b.time_range->end)) {
+    return false;
+  }
+  if (a.spatial_window.has_value() != b.spatial_window.has_value()) {
+    return false;
+  }
+  if (a.spatial_window && !(*a.spatial_window == *b.spatial_window)) {
+    return false;
+  }
+  if (a.attribute_ranges.size() != b.attribute_ranges.size()) return false;
+  for (std::size_t i = 0; i < a.attribute_ranges.size(); ++i) {
+    const AttributeRange& ra = a.attribute_ranges[i];
+    const AttributeRange& rb = b.attribute_ranges[i];
+    if (ra.attribute != rb.attribute || ra.lo != rb.lo || ra.hi != rb.hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
+    const std::vector<AggregationQuery>& queries) {
+  if (queries.empty()) {
+    return std::vector<QueryResult>();
+  }
+  for (const AggregationQuery& query : queries) {
+    URBANE_RETURN_IF_ERROR(query.Validate());
+    if (query.points != &points_ || query.regions != &regions_) {
+      return Status::FailedPrecondition(
+          "BoundedRasterJoin was created for a different table/region set");
+    }
+    if (!FiltersEqual(query.filter, queries.front().filter)) {
+      return Status::InvalidArgument(
+          "batched queries must share one filter (the splat pass is shared)");
+    }
+  }
+  const double build_seconds = stats_.build_seconds;
+  stats_.Reset();
+  stats_.build_seconds = build_seconds;
+  WallTimer timer;
+
+  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
+                          EvaluateFilter(queries.front().filter, points_));
+  stats_.points_scanned = selection.ids.size();
+
+  // --- shared pass 1: one count splat + one sum / min-max splat per
+  //     distinct attribute the batch touches ---
+  raster::Buffer2D<std::uint32_t> count(viewport_.width(),
+                                        viewport_.height(), 0);
+  raster::SplatPointsSubset(
+      viewport_, points_.xs(), points_.ys(), selection.ids,
+      raster::BlendOp::kAdd, [](std::size_t) { return 1u; }, count);
+
+  struct AttrTargets {
+    raster::Buffer2D<double> sum;
+    raster::Buffer2D<double> abs_sum;
+    raster::Buffer2D<float> min_value;
+    raster::Buffer2D<float> max_value;
+    bool has_sum = false;
+    bool has_abs = false;
+    bool has_minmax = false;
+  };
+  std::map<std::string, AttrTargets> per_attr;
+  for (const AggregationQuery& query : queries) {
+    if (!query.aggregate.NeedsAttribute()) continue;
+    const std::string& name = query.aggregate.attribute;
+    AttrTargets& targets = per_attr[name];
+    const std::vector<float>& column = *points_.AttributeByName(name);
+    const bool needs_sum = query.aggregate.kind == AggregateKind::kSum ||
+                           query.aggregate.kind == AggregateKind::kAvg;
+    if (needs_sum && !targets.has_sum) {
+      targets.has_sum = true;
+      targets.sum =
+          raster::Buffer2D<double>(viewport_.width(), viewport_.height(), 0);
+      raster::SplatPointsSubset(
+          viewport_, points_.xs(), points_.ys(), selection.ids,
+          raster::BlendOp::kAdd,
+          [&](std::size_t i) { return static_cast<double>(column[i]); },
+          targets.sum);
+    }
+    if (needs_sum && options_.compute_error_bounds && !targets.has_abs) {
+      targets.has_abs = true;
+      targets.abs_sum =
+          raster::Buffer2D<double>(viewport_.width(), viewport_.height(), 0);
+      raster::SplatPointsSubset(
+          viewport_, points_.xs(), points_.ys(), selection.ids,
+          raster::BlendOp::kAdd,
+          [&](std::size_t i) {
+            return std::abs(static_cast<double>(column[i]));
+          },
+          targets.abs_sum);
+    }
+    const bool needs_minmax = query.aggregate.kind == AggregateKind::kMin ||
+                              query.aggregate.kind == AggregateKind::kMax;
+    if (needs_minmax && !targets.has_minmax) {
+      targets.has_minmax = true;
+      targets.min_value = raster::Buffer2D<float>(
+          viewport_.width(), viewport_.height(),
+          std::numeric_limits<float>::infinity());
+      raster::SplatPointsSubset(
+          viewport_, points_.xs(), points_.ys(), selection.ids,
+          raster::BlendOp::kMin, [&](std::size_t i) { return column[i]; },
+          targets.min_value);
+      targets.max_value = raster::Buffer2D<float>(
+          viewport_.width(), viewport_.height(),
+          -std::numeric_limits<float>::infinity());
+      raster::SplatPointsSubset(
+          viewport_, points_.xs(), points_.ys(), selection.ids,
+          raster::BlendOp::kMax, [&](std::size_t i) { return column[i]; },
+          targets.max_value);
+    }
+  }
+
+  // --- shared pass 2: sweep each region once, feeding every aggregate ---
+  std::vector<QueryResult> results(queries.size());
+  for (QueryResult& result : results) {
+    result.values.reserve(regions_.size());
+    result.counts.reserve(regions_.size());
+    if (options_.compute_error_bounds) {
+      result.error_bounds.reserve(regions_.size());
+    }
+  }
+  std::vector<Accumulator> accumulators(queries.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    std::fill(accumulators.begin(), accumulators.end(), Accumulator());
+    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+      raster::ScanlineFillPolygon(
+          viewport_, part, [&](int y, int x_begin, int x_end) {
+            stats_.pixels_touched +=
+                static_cast<std::size_t>(x_end - x_begin);
+            for (int x = x_begin; x < x_end; ++x) {
+              const std::uint32_t c = count.at(x, y);
+              if (c == 0) continue;
+              for (std::size_t q = 0; q < queries.size(); ++q) {
+                const AggregateSpec& spec = queries[q].aggregate;
+                Accumulator& acc = accumulators[q];
+                if (!spec.NeedsAttribute()) {
+                  acc.AddBulk(c, 0.0);
+                  continue;
+                }
+                const AttrTargets& targets = per_attr[spec.attribute];
+                switch (spec.kind) {
+                  case AggregateKind::kSum:
+                  case AggregateKind::kAvg:
+                    acc.AddBulk(c, targets.sum.at(x, y));
+                    break;
+                  case AggregateKind::kMin:
+                  case AggregateKind::kMax:
+                    acc.AddBulk(c, 0.0);
+                    acc.MergeMinMax(targets.min_value.at(x, y),
+                                    targets.max_value.at(x, y));
+                    break;
+                  default:
+                    acc.AddBulk(c, 0.0);
+                }
+              }
+            }
+          });
+    }
+    // Error bounds share one boundary rasterization per region.
+    std::vector<double> count_bound(1, 0.0);
+    std::map<std::string, double> abs_bound;
+    if (options_.compute_error_bounds) {
+      ++current_stamp_;
+      if (current_stamp_ == 0) {
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        current_stamp_ = 1;
+      }
+      double boundary_count = 0.0;
+      for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+        raster::RasterizePolygonBoundary(
+            viewport_, part, [&](int x, int y) {
+              const std::size_t idx =
+                  static_cast<std::size_t>(y) * viewport_.width() + x;
+              if (stamp_[idx] == current_stamp_) return;
+              stamp_[idx] = current_stamp_;
+              ++stats_.boundary_pixels;
+              boundary_count += count.at(x, y);
+              for (auto& [name, targets] : per_attr) {
+                if (targets.has_abs) {
+                  abs_bound[name] += targets.abs_sum.at(x, y);
+                }
+              }
+            });
+      }
+      count_bound[0] = boundary_count;
+    }
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      results[q].values.push_back(
+          accumulators[q].Finalize(queries[q].aggregate.kind));
+      results[q].counts.push_back(accumulators[q].count);
+      if (options_.compute_error_bounds) {
+        const AggregateSpec& spec = queries[q].aggregate;
+        const bool sum_like = spec.kind == AggregateKind::kSum;
+        results[q].error_bounds.push_back(
+            sum_like ? abs_bound[spec.attribute] : count_bound[0]);
+      }
+    }
+  }
+  stats_.query_seconds = timer.ElapsedSeconds();
+  return results;
+}
+
+std::size_t BoundedRasterJoin::MemoryBytes() const {
+  return stamp_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace urbane::core

@@ -1,0 +1,106 @@
+#ifndef URBANE_CORE_RASTER_TARGETS_H_
+#define URBANE_CORE_RASTER_TARGETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "data/point_table.h"
+#include "raster/buffer.h"
+#include "raster/point_splat.h"
+#include "raster/viewport.h"
+
+namespace urbane::core::internal {
+
+/// Per-pixel aggregate render targets produced by the point-splat pass
+/// (pass 1 of Raster Join). Which targets exist depends on the aggregate:
+/// COUNT -> count only; SUM/AVG -> count + sum; MIN/MAX -> count + min/max.
+struct AggregateTargets {
+  raster::Buffer2D<std::uint32_t> count;
+  raster::Buffer2D<double> sum;       // default precision
+  raster::Buffer2D<float> sum32;      // GPU-authentic float32 ablation
+  raster::Buffer2D<double> abs_sum;   // for SUM error bounds (optional)
+  raster::Buffer2D<float> min_value;
+  raster::Buffer2D<float> max_value;
+  bool need_sum = false;
+  bool need_minmax = false;
+  bool need_abs_sum = false;
+  bool float32 = false;
+
+  double SumAt(int x, int y) const {
+    return float32 ? static_cast<double>(sum32.at(x, y)) : sum.at(x, y);
+  }
+};
+
+/// Splats the selected rows of `table` into fresh targets.
+/// `attr` is the aggregate attribute column (nullptr for COUNT).
+inline AggregateTargets BuildAggregateTargets(
+    const raster::Viewport& vp, const data::PointTable& table,
+    const std::vector<std::uint32_t>& selected_ids,
+    const std::vector<float>* attr, AggregateKind kind, bool float32,
+    bool need_abs_sum) {
+  AggregateTargets t;
+  t.float32 = float32;
+  t.need_sum = kind == AggregateKind::kSum || kind == AggregateKind::kAvg;
+  t.need_minmax = kind == AggregateKind::kMin || kind == AggregateKind::kMax;
+  t.need_abs_sum = need_abs_sum && t.need_sum;
+
+  t.count = raster::Buffer2D<std::uint32_t>(vp.width(), vp.height(), 0);
+  raster::SplatPointsSubset(
+      vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+      [](std::size_t) { return 1u; }, t.count);
+
+  if (t.need_sum) {
+    if (float32) {
+      t.sum32 = raster::Buffer2D<float>(vp.width(), vp.height(), 0.0f);
+      raster::SplatPointsSubset(
+          vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+          [&](std::size_t i) { return (*attr)[i]; }, t.sum32);
+    } else {
+      t.sum = raster::Buffer2D<double>(vp.width(), vp.height(), 0.0);
+      raster::SplatPointsSubset(
+          vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+          [&](std::size_t i) { return static_cast<double>((*attr)[i]); },
+          t.sum);
+    }
+    if (t.need_abs_sum) {
+      t.abs_sum = raster::Buffer2D<double>(vp.width(), vp.height(), 0.0);
+      raster::SplatPointsSubset(
+          vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+          [&](std::size_t i) {
+            return std::abs(static_cast<double>((*attr)[i]));
+          },
+          t.abs_sum);
+    }
+  }
+  if (t.need_minmax) {
+    t.min_value = raster::Buffer2D<float>(
+        vp.width(), vp.height(), std::numeric_limits<float>::infinity());
+    raster::SplatPointsSubset(
+        vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMin,
+        [&](std::size_t i) { return (*attr)[i]; }, t.min_value);
+    t.max_value = raster::Buffer2D<float>(
+        vp.width(), vp.height(), -std::numeric_limits<float>::infinity());
+    raster::SplatPointsSubset(
+        vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMax,
+        [&](std::size_t i) { return (*attr)[i]; }, t.max_value);
+  }
+  return t;
+}
+
+/// Folds one covered pixel into a region accumulator.
+inline void AccumulatePixel(const AggregateTargets& t, int x, int y,
+                            Accumulator& acc) {
+  const std::uint32_t c = t.count.at(x, y);
+  if (c == 0) {
+    return;
+  }
+  acc.AddBulk(c, t.need_sum ? t.SumAt(x, y) : static_cast<double>(c) * 0.0);
+  if (t.need_minmax) {
+    acc.MergeMinMax(t.min_value.at(x, y), t.max_value.at(x, y));
+  }
+}
+
+}  // namespace urbane::core::internal
+
+#endif  // URBANE_CORE_RASTER_TARGETS_H_

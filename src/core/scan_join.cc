@@ -1,0 +1,65 @@
+#include "core/scan_join.h"
+
+#include "util/timer.h"
+
+namespace urbane::core {
+
+StatusOr<std::unique_ptr<ScanJoin>> ScanJoin::Create(
+    const data::PointTable& points, const data::RegionSet& regions) {
+  WallTimer timer;
+  URBANE_ASSIGN_OR_RETURN(index::RTree rtree,
+                          index::RTree::Build(regions.RegionBounds()));
+  auto executor = std::unique_ptr<ScanJoin>(
+      new ScanJoin(points, regions, std::move(rtree)));
+  executor->stats_.build_seconds = timer.ElapsedSeconds();
+  return executor;
+}
+
+StatusOr<QueryResult> ScanJoin::Execute(const AggregationQuery& query) {
+  URBANE_RETURN_IF_ERROR(query.Validate());
+  if (query.points != &points_ || query.regions != &regions_) {
+    return Status::FailedPrecondition(
+        "ScanJoin was created for a different table/region set");
+  }
+  const double build_seconds = stats_.build_seconds;
+  stats_.Reset();
+  stats_.build_seconds = build_seconds;
+  WallTimer timer;
+
+  URBANE_ASSIGN_OR_RETURN(CompiledFilter filter,
+                          CompiledFilter::Compile(query.filter, points_));
+
+  const std::vector<float>* attr = nullptr;
+  if (query.aggregate.NeedsAttribute()) {
+    attr = points_.AttributeByName(query.aggregate.attribute);
+  }
+
+  std::vector<Accumulator> accumulators(regions_.size());
+  const std::size_t n = points_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!filter.Matches(points_, i)) {
+      continue;
+    }
+    ++stats_.points_scanned;
+    const geometry::Vec2 p{points_.x(i), points_.y(i)};
+    const double value = attr ? static_cast<double>((*attr)[i]) : 1.0;
+    rtree_.QueryPoint(p, [&](std::uint32_t region_index) {
+      ++stats_.pip_tests;
+      if (regions_[region_index].geometry.Contains(p)) {
+        accumulators[region_index].Add(value);
+      }
+    });
+  }
+
+  QueryResult result;
+  result.values.reserve(regions_.size());
+  result.counts.reserve(regions_.size());
+  for (const Accumulator& acc : accumulators) {
+    result.values.push_back(acc.Finalize(query.aggregate.kind));
+    result.counts.push_back(acc.count);
+  }
+  stats_.query_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace urbane::core

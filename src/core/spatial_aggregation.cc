@@ -1,0 +1,155 @@
+#include "core/spatial_aggregation.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace urbane::core {
+
+SpatialAggregation::SpatialAggregation(const data::PointTable& points,
+                                       const data::RegionSet& regions,
+                                       const RasterJoinOptions& raster_options,
+                                       const IndexJoinOptions& index_options)
+    : points_(points),
+      regions_(regions),
+      raster_options_(raster_options),
+      index_options_(index_options) {}
+
+StatusOr<SpatialAggregationExecutor*> SpatialAggregation::Executor(
+    ExecutionMethod method) {
+  switch (method) {
+    case ExecutionMethod::kScan:
+      if (!scan_) {
+        URBANE_ASSIGN_OR_RETURN(scan_, ScanJoin::Create(points_, regions_));
+      }
+      return static_cast<SpatialAggregationExecutor*>(scan_.get());
+    case ExecutionMethod::kIndexJoin:
+      if (!index_) {
+        URBANE_ASSIGN_OR_RETURN(
+            index_, IndexJoin::Create(points_, regions_, index_options_));
+      }
+      return static_cast<SpatialAggregationExecutor*>(index_.get());
+    case ExecutionMethod::kBoundedRaster:
+      if (!raster_) {
+        URBANE_ASSIGN_OR_RETURN(
+            raster_,
+            BoundedRasterJoin::Create(points_, regions_, raster_options_));
+      }
+      return static_cast<SpatialAggregationExecutor*>(raster_.get());
+    case ExecutionMethod::kAccurateRaster:
+      if (!accurate_) {
+        URBANE_ASSIGN_OR_RETURN(
+            accurate_,
+            AccurateRasterJoin::Create(points_, regions_, raster_options_));
+      }
+      return static_cast<SpatialAggregationExecutor*>(accurate_.get());
+  }
+  return Status::InvalidArgument("unknown execution method");
+}
+
+void SpatialAggregation::set_result_cache_capacity(std::size_t capacity) {
+  cache_capacity_ = capacity;
+  while (cache_.size() > cache_capacity_) {
+    cache_.pop_front();
+  }
+}
+
+std::string SpatialAggregation::CacheKey(const AggregationQuery& query,
+                                         ExecutionMethod method) {
+  // ToString() renders aggregate + every filter conjunct deterministically;
+  // prepend the method so bounded/exact answers never mix.
+  return std::string(ExecutionMethodToString(method)) + "|" +
+         query.ToString();
+}
+
+StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
+                                                  ExecutionMethod method) {
+  query.points = &points_;
+  query.regions = &regions_;
+  const std::string key =
+      cache_capacity_ > 0 ? CacheKey(query, method) : std::string();
+  if (!key.empty()) {
+    const auto it =
+        std::find_if(cache_.begin(), cache_.end(),
+                     [&](const auto& entry) { return entry.first == key; });
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  URBANE_ASSIGN_OR_RETURN(SpatialAggregationExecutor * executor,
+                          Executor(method));
+  URBANE_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
+  if (!key.empty()) {
+    cache_.emplace_back(key, result);
+    if (cache_.size() > cache_capacity_) {
+      cache_.pop_front();
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<QueryResult>> SpatialAggregation::ExecuteMany(
+    std::vector<AggregationQuery> queries, ExecutionMethod method) {
+  for (AggregationQuery& query : queries) {
+    query.points = &points_;
+    query.regions = &regions_;
+  }
+  if (method == ExecutionMethod::kBoundedRaster && queries.size() > 1) {
+    URBANE_ASSIGN_OR_RETURN(SpatialAggregationExecutor * executor,
+                            Executor(method));
+    auto* raster = static_cast<BoundedRasterJoin*>(executor);
+    auto batched = raster->ExecuteBatch(queries);
+    if (batched.ok()) {
+      return batched;
+    }
+    // Heterogeneous filters: fall through to per-query execution.
+  }
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (AggregationQuery& query : queries) {
+    URBANE_ASSIGN_OR_RETURN(QueryResult result,
+                            Execute(query, method));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+StatusOr<QueryResult> SpatialAggregation::ExecuteAuto(
+    AggregationQuery query, const AccuracyRequirement& accuracy) {
+  query.points = &points_;
+  query.regions = &regions_;
+  URBANE_RETURN_IF_ERROR(query.Validate());
+
+  WorkloadProfile profile;
+  profile.num_points = points_.size();
+  profile.num_regions = regions_.size();
+  profile.total_region_vertices = regions_.TotalVertexCount();
+  profile.world = points_.Bounds();
+  profile.world.Extend(regions_.Bounds());
+  URBANE_ASSIGN_OR_RETURN(profile.selectivity,
+                          EstimateSelectivity(query.filter));
+  profile.has_point_index = index_ != nullptr;
+  profile.has_pixel_index = accurate_ != nullptr;
+
+  last_plan_ = PlanQuery(profile, accuracy, raster_options_.resolution);
+  // Honor a tighter epsilon by rebuilding the bounded executor's canvas.
+  if (last_plan_.method == ExecutionMethod::kBoundedRaster &&
+      last_plan_.resolution > raster_options_.resolution) {
+    raster_options_.resolution = last_plan_.resolution;
+    raster_.reset();
+  }
+  return Execute(std::move(query), last_plan_.method);
+}
+
+StatusOr<double> SpatialAggregation::EstimateSelectivity(
+    const FilterSpec& filter) const {
+  if (filter.IsTrivial()) {
+    return 1.0;
+  }
+  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
+                          EvaluateFilter(filter, points_));
+  return selection.Selectivity(points_.size());
+}
+
+}  // namespace urbane::core

@@ -1,0 +1,103 @@
+#ifndef URBANE_CORE_SPATIAL_AGGREGATION_H_
+#define URBANE_CORE_SPATIAL_AGGREGATION_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/accurate_join.h"
+#include "core/index_join.h"
+#include "core/planner.h"
+#include "core/query.h"
+#include "core/raster_join.h"
+#include "core/scan_join.h"
+
+namespace urbane::core {
+
+/// Facade over the four executors — the library's main entry point.
+///
+/// Owns nothing heavy until first use: each executor is built lazily on the
+/// first query routed to it and then reused (Raster Join's point textures,
+/// pixel index, and the grid index are all query-independent). Typical use:
+///
+///   SpatialAggregation engine(taxis, neighborhoods);
+///   AggregationQuery q;
+///   q.aggregate = AggregateSpec::Count();
+///   q.filter.WithTime(jan_begin, feb_begin);
+///   auto result = engine.Execute(q, ExecutionMethod::kAccurateRaster);
+///
+/// or let the planner decide:
+///
+///   auto result = engine.ExecuteAuto(q, {.exact = false,
+///                                        .epsilon_world = 15.0});
+class SpatialAggregation {
+ public:
+  /// `points`/`regions` must outlive this object.
+  SpatialAggregation(const data::PointTable& points,
+                     const data::RegionSet& regions,
+                     const RasterJoinOptions& raster_options =
+                         RasterJoinOptions(),
+                     const IndexJoinOptions& index_options =
+                         IndexJoinOptions());
+
+  const data::PointTable& points() const { return points_; }
+  const data::RegionSet& regions() const { return regions_; }
+
+  /// Builds (or returns the cached) executor for a method.
+  StatusOr<SpatialAggregationExecutor*> Executor(ExecutionMethod method);
+
+  /// Result cache: interactive sessions revisit query states (brushing back
+  /// to a previous window), so Execute can memoize results keyed by
+  /// (method, aggregate, filter). The underlying tables are borrowed const,
+  /// so entries never go stale. Capacity-bounded FIFO. Disabled by default
+  /// (capacity 0) so latency measurements see real executor cost; Urbane's
+  /// session layer turns it on.
+  void set_result_cache_capacity(std::size_t capacity);
+  std::size_t result_cache_hits() const { return cache_hits_; }
+  std::size_t result_cache_size() const { return cache_.size(); }
+
+  /// Fills in the query's points/regions and runs it with the given method.
+  StatusOr<QueryResult> Execute(AggregationQuery query,
+                                ExecutionMethod method);
+
+  /// Runs several queries. When the method is kBoundedRaster and all
+  /// queries share one filter, they execute as a single shared-splat batch
+  /// (see BoundedRasterJoin::ExecuteBatch); otherwise they run one by one.
+  StatusOr<std::vector<QueryResult>> ExecuteMany(
+      std::vector<AggregationQuery> queries, ExecutionMethod method);
+
+  /// Plans by cost model, then executes. `last_plan()` exposes the choice.
+  StatusOr<QueryResult> ExecuteAuto(AggregationQuery query,
+                                    const AccuracyRequirement& accuracy);
+
+  const QueryPlan& last_plan() const { return last_plan_; }
+
+  /// Estimated selectivity of a filter (exact evaluation; cheap relative to
+  /// any join and cached by filter fingerprint would be overkill here).
+  StatusOr<double> EstimateSelectivity(const FilterSpec& filter) const;
+
+ private:
+  /// Stable fingerprint of (method, aggregate, filter) for the cache.
+  static std::string CacheKey(const AggregationQuery& query,
+                              ExecutionMethod method);
+
+  const data::PointTable& points_;
+  const data::RegionSet& regions_;
+  RasterJoinOptions raster_options_;
+  IndexJoinOptions index_options_;
+
+  std::unique_ptr<ScanJoin> scan_;
+  std::unique_ptr<IndexJoin> index_;
+  std::unique_ptr<BoundedRasterJoin> raster_;
+  std::unique_ptr<AccurateRasterJoin> accurate_;
+  QueryPlan last_plan_;
+
+  std::size_t cache_capacity_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::list<std::pair<std::string, QueryResult>> cache_;  // FIFO order
+};
+
+}  // namespace urbane::core
+
+#endif  // URBANE_CORE_SPATIAL_AGGREGATION_H_

@@ -1,0 +1,325 @@
+#include "core/sql.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace urbane::core {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,    // fare_amount, P.loc, COUNT, taxi
+  kNumber,   // 12, -3.5, 1e9
+  kSymbol,   // ( ) , * [ ] < > = <= >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) {
+      current_ = {TokenKind::kEnd, ""};
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_' || input_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_ = {TokenKind::kIdent, input_.substr(start, pos_ - start)};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.' || input_[pos_] == 'e' ||
+              input_[pos_] == 'E' ||
+              ((input_[pos_] == '-' || input_[pos_] == '+') &&
+               (input_[pos_ - 1] == 'e' || input_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      current_ = {TokenKind::kNumber, input_.substr(start, pos_ - start)};
+      return;
+    }
+    // Two-char comparison operators.
+    if ((c == '<' || c == '>') && pos_ + 1 < input_.size() &&
+        input_[pos_ + 1] == '=') {
+      current_ = {TokenKind::kSymbol, input_.substr(pos_, 2)};
+      pos_ += 2;
+      return;
+    }
+    current_ = {TokenKind::kSymbol, std::string(1, c)};
+    ++pos_;
+  }
+
+ private:
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+// Strips a leading "p."/"r." qualifier and lowercases nothing else
+// (attribute names are case-sensitive; keywords are compared lowercased).
+std::string StripQualifier(const std::string& ident) {
+  if (ident.size() > 2) {
+    const char q = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(ident[0])));
+    if ((q == 'p' || q == 'r') && ident[1] == '.') {
+      return ident.substr(2);
+    }
+  }
+  return ident;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : lexer_(sql) {}
+
+  StatusOr<ParsedQuery> Parse() {
+    URBANE_RETURN_IF_ERROR(ExpectKeyword("select"));
+    URBANE_RETURN_IF_ERROR(ParseAggregate());
+    URBANE_RETURN_IF_ERROR(ExpectKeyword("from"));
+    URBANE_ASSIGN_OR_RETURN(query_.points_dataset, ExpectIdent("points set"));
+    URBANE_RETURN_IF_ERROR(ExpectSymbol(","));
+    URBANE_ASSIGN_OR_RETURN(query_.regions_layer, ExpectIdent("region set"));
+    if (IsKeyword("where")) {
+      lexer_.Advance();
+      URBANE_RETURN_IF_ERROR(ParseConditions());
+    }
+    if (IsKeyword("group")) {
+      lexer_.Advance();
+      URBANE_RETURN_IF_ERROR(ExpectKeyword("by"));
+      URBANE_ASSIGN_OR_RETURN(std::string key, ExpectIdent("group key"));
+      const std::string lowered = ToLowerAscii(key);
+      if (lowered != "r.id" && lowered != "id" && lowered != "region") {
+        return Error("GROUP BY must be R.id (got '" + key + "')");
+      }
+    }
+    if (lexer_.current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing token '" + lexer_.current().text +
+                   "'");
+    }
+    return query_;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("SQL parse error: " + message);
+  }
+
+  bool IsKeyword(const char* keyword) const {
+    return lexer_.current().kind == TokenKind::kIdent &&
+           ToLowerAscii(lexer_.current().text) == keyword;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!IsKeyword(keyword)) {
+      return Error(std::string("expected '") + keyword + "', got '" +
+                   lexer_.current().text + "'");
+    }
+    lexer_.Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* symbol) {
+    if (lexer_.current().kind != TokenKind::kSymbol ||
+        lexer_.current().text != symbol) {
+      return Error(std::string("expected '") + symbol + "', got '" +
+                   lexer_.current().text + "'");
+    }
+    lexer_.Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent(const char* what) {
+    if (lexer_.current().kind != TokenKind::kIdent) {
+      return Error(std::string("expected ") + what + ", got '" +
+                   lexer_.current().text + "'");
+    }
+    std::string text = lexer_.current().text;
+    lexer_.Advance();
+    return text;
+  }
+
+  StatusOr<double> ExpectNumber() {
+    if (lexer_.current().kind != TokenKind::kNumber) {
+      return Error("expected a number, got '" + lexer_.current().text + "'");
+    }
+    URBANE_ASSIGN_OR_RETURN(double value,
+                            ParseDouble(lexer_.current().text));
+    lexer_.Advance();
+    return value;
+  }
+
+  Status ParseAggregate() {
+    URBANE_ASSIGN_OR_RETURN(std::string name, ExpectIdent("aggregate"));
+    const std::string lowered = ToLowerAscii(name);
+    AggregateKind kind;
+    if (lowered == "count") {
+      kind = AggregateKind::kCount;
+    } else if (lowered == "sum") {
+      kind = AggregateKind::kSum;
+    } else if (lowered == "avg") {
+      kind = AggregateKind::kAvg;
+    } else if (lowered == "min") {
+      kind = AggregateKind::kMin;
+    } else if (lowered == "max") {
+      kind = AggregateKind::kMax;
+    } else {
+      return Error("unknown aggregate '" + name + "'");
+    }
+    URBANE_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (kind == AggregateKind::kCount) {
+      // COUNT(*) or COUNT(attr) — the attribute is irrelevant for COUNT.
+      if (lexer_.current().kind == TokenKind::kSymbol &&
+          lexer_.current().text == "*") {
+        lexer_.Advance();
+      } else {
+        URBANE_RETURN_IF_ERROR(ExpectIdent("attribute").status());
+      }
+      query_.aggregate = AggregateSpec::Count();
+    } else {
+      URBANE_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("attribute"));
+      query_.aggregate = AggregateSpec{kind, StripQualifier(attr)};
+    }
+    return ExpectSymbol(")");
+  }
+
+  Status ParseConditions() {
+    for (;;) {
+      URBANE_RETURN_IF_ERROR(ParseCondition());
+      if (IsKeyword("and")) {
+        lexer_.Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  // One condition: the spatial predicate, an IN-range, a BETWEEN, or a
+  // single comparison.
+  Status ParseCondition() {
+    URBANE_ASSIGN_OR_RETURN(std::string raw, ExpectIdent("condition"));
+    const std::string ident = StripQualifier(raw);
+    const std::string lowered = ToLowerAscii(ident);
+
+    if (lowered == "loc") {
+      URBANE_RETURN_IF_ERROR(ExpectKeyword("inside"));
+      URBANE_ASSIGN_OR_RETURN(std::string geom, ExpectIdent("geometry"));
+      const std::string target = ToLowerAscii(StripQualifier(geom));
+      if (target == "geometry") {
+        return Status::OK();  // the implicit spatial join predicate
+      }
+      if (target == "box") {
+        // Viewport restriction: loc INSIDE BOX [x0, y0, x1, y1].
+        URBANE_RETURN_IF_ERROR(ExpectSymbol("["));
+        URBANE_ASSIGN_OR_RETURN(double x0, ExpectNumber());
+        URBANE_RETURN_IF_ERROR(ExpectSymbol(","));
+        URBANE_ASSIGN_OR_RETURN(double y0, ExpectNumber());
+        URBANE_RETURN_IF_ERROR(ExpectSymbol(","));
+        URBANE_ASSIGN_OR_RETURN(double x1, ExpectNumber());
+        URBANE_RETURN_IF_ERROR(ExpectSymbol(","));
+        URBANE_ASSIGN_OR_RETURN(double y1, ExpectNumber());
+        URBANE_RETURN_IF_ERROR(ExpectSymbol("]"));
+        query_.filter.WithWindow(geometry::BoundingBox(x0, y0, x1, y1));
+        return Status::OK();
+      }
+      return Error("expected R.geometry or BOX [...] after INSIDE");
+    }
+
+    const bool is_time = lowered == "t";
+    if (IsKeyword("in")) {
+      lexer_.Advance();
+      URBANE_RETURN_IF_ERROR(ExpectSymbol("["));
+      URBANE_ASSIGN_OR_RETURN(double lo, ExpectNumber());
+      URBANE_RETURN_IF_ERROR(ExpectSymbol(","));
+      URBANE_ASSIGN_OR_RETURN(double hi, ExpectNumber());
+      bool half_open;
+      if (lexer_.current().kind == TokenKind::kSymbol &&
+          (lexer_.current().text == ")" || lexer_.current().text == "]")) {
+        half_open = lexer_.current().text == ")";
+        lexer_.Advance();
+      } else {
+        return Error("range must close with ')' or ']'");
+      }
+      if (is_time) {
+        const auto begin = static_cast<std::int64_t>(lo);
+        const auto end = static_cast<std::int64_t>(hi) + (half_open ? 0 : 1);
+        query_.filter.WithTime(begin, end);
+      } else {
+        if (half_open) {
+          return Error("attribute ranges are closed; use [lo, hi]");
+        }
+        query_.filter.WithRange(ident, lo, hi);
+      }
+      return Status::OK();
+    }
+    if (IsKeyword("between")) {
+      lexer_.Advance();
+      URBANE_ASSIGN_OR_RETURN(double lo, ExpectNumber());
+      URBANE_RETURN_IF_ERROR(ExpectKeyword("and"));
+      URBANE_ASSIGN_OR_RETURN(double hi, ExpectNumber());
+      if (is_time) {
+        query_.filter.WithTime(static_cast<std::int64_t>(lo),
+                               static_cast<std::int64_t>(hi) + 1);
+      } else {
+        query_.filter.WithRange(ident, lo, hi);
+      }
+      return Status::OK();
+    }
+    if (lexer_.current().kind == TokenKind::kSymbol) {
+      const std::string op = lexer_.current().text;
+      if (op == "<=" || op == ">=" || op == "<" || op == ">" || op == "=") {
+        lexer_.Advance();
+        URBANE_ASSIGN_OR_RETURN(double value, ExpectNumber());
+        if (is_time) {
+          return Error("use t IN [t0, t1) for time constraints");
+        }
+        constexpr double kInf = std::numeric_limits<double>::infinity();
+        if (op == "<=" || op == "<") {
+          query_.filter.WithRange(ident, -kInf, value);
+        } else if (op == ">=" || op == ">") {
+          query_.filter.WithRange(ident, value, kInf);
+        } else {  // equality as a degenerate closed range
+          query_.filter.WithRange(ident, value, value);
+        }
+        return Status::OK();
+      }
+    }
+    return Error("malformed condition after '" + raw + "'");
+  }
+
+  Lexer lexer_;
+  ParsedQuery query_;
+};
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseQuerySql(const std::string& sql) {
+  Parser parser(sql);
+  return parser.Parse();
+}
+
+}  // namespace urbane::core

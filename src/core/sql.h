@@ -1,0 +1,46 @@
+#ifndef URBANE_CORE_SQL_H_
+#define URBANE_CORE_SQL_H_
+
+#include <string>
+
+#include "core/aggregate.h"
+#include "core/filter.h"
+#include "util/status.h"
+
+namespace urbane::core {
+
+/// A parsed spatial-aggregation statement, before binding the FROM names to
+/// actual tables (see app::DatasetManager-based helpers / examples).
+struct ParsedQuery {
+  std::string points_dataset;  // first FROM item (P)
+  std::string regions_layer;   // second FROM item (R)
+  AggregateSpec aggregate;
+  FilterSpec filter;
+};
+
+/// Parses the paper's SQL-like query dialect:
+///
+///   SELECT AGG(attr | *) FROM <points>, <regions>
+///   [WHERE [P.loc INSIDE R.geometry]
+///          [AND t IN [t0, t1)]
+///          [AND attr IN [lo, hi]]
+///          [AND attr BETWEEN lo AND hi]
+///          [AND attr >= lo] [AND attr <= hi] ...]
+///   [GROUP BY R.id]
+///
+/// Notes on semantics:
+///  * the spatial predicate is implicit; writing it is allowed but
+///    optional (it is the whole point of the operator);
+///  * `t` ranges are half-open `[t0, t1)` (a closing `]` is accepted and
+///    converted to `< t1+1`);
+///  * attribute ranges are closed `[lo, hi]` (BETWEEN is the same);
+///  * keywords are case-insensitive; `P.`/`R.` prefixes on identifiers are
+///    stripped.
+///
+/// `AggregationQuery::ToString()` emits exactly this dialect, so
+/// Parse(ToString(q)) round-trips — a property the tests enforce.
+StatusOr<ParsedQuery> ParseQuerySql(const std::string& sql);
+
+}  // namespace urbane::core
+
+#endif  // URBANE_CORE_SQL_H_

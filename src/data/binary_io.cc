@@ -1,0 +1,257 @@
+#include "data/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace urbane::data {
+
+namespace {
+
+constexpr char kPointMagic[4] = {'U', 'P', 'T', '1'};
+constexpr char kRegionMagic[4] = {'U', 'R', 'G', '1'};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : file_(path, std::ios::binary | std::ios::trunc), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(file_); }
+
+  void Bytes(const void* data, std::size_t size) {
+    file_.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+  }
+  template <typename T>
+  void Pod(const T& value) {
+    Bytes(&value, sizeof(T));
+  }
+  void U64(std::uint64_t v) { Pod(v); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  Status Finish() {
+    file_.flush();
+    if (!file_) {
+      return Status::IoError("write failure: " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::ofstream file_;
+  std::string path_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : file_(path, std::ios::binary), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(file_); }
+
+  Status Bytes(void* data, std::size_t size) {
+    file_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!file_) {
+      return Status::IoError("truncated or unreadable file: " + path_);
+    }
+    return Status::OK();
+  }
+  template <typename T>
+  Status Pod(T& value) {
+    return Bytes(&value, sizeof(T));
+  }
+  StatusOr<std::uint64_t> U64() {
+    std::uint64_t v = 0;
+    URBANE_RETURN_IF_ERROR(Pod(v));
+    return v;
+  }
+  StatusOr<std::string> Str() {
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t size, U64());
+    if (size > (1ULL << 32)) {
+      return Status::IoError("implausible string length in " + path_);
+    }
+    std::string s(size, '\0');
+    URBANE_RETURN_IF_ERROR(Bytes(s.data(), size));
+    return s;
+  }
+  template <typename T>
+  Status Vec(std::vector<T>& v) {
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t size, U64());
+    if (size > (1ULL << 34) / sizeof(T)) {
+      return Status::IoError("implausible vector length in " + path_);
+    }
+    v.resize(size);
+    return Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::ifstream file_;
+  std::string path_;
+};
+
+Status CheckMagic(Reader& reader, const char expected[4],
+                  const std::string& what) {
+  char magic[4];
+  URBANE_RETURN_IF_ERROR(reader.Bytes(magic, 4));
+  if (std::memcmp(magic, expected, 4) != 0) {
+    return Status::InvalidArgument("not a " + what + " snapshot file");
+  }
+  return Status::OK();
+}
+
+void WriteRing(Writer& w, const geometry::Ring& ring) {
+  w.U64(ring.size());
+  for (const geometry::Vec2& p : ring) {
+    w.Pod(p.x);
+    w.Pod(p.y);
+  }
+}
+
+StatusOr<geometry::Ring> ReadRing(Reader& r) {
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t n, r.U64());
+  if (n > (1ULL << 28)) {
+    return Status::IoError("implausible ring size");
+  }
+  geometry::Ring ring(n);
+  for (auto& p : ring) {
+    URBANE_RETURN_IF_ERROR(r.Pod(p.x));
+    URBANE_RETURN_IF_ERROR(r.Pod(p.y));
+  }
+  return ring;
+}
+
+}  // namespace
+
+Status WritePointTableBinary(const PointTable& table,
+                             const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  w.Bytes(kPointMagic, 4);
+  w.U64(table.schema().attribute_count());
+  for (const std::string& name : table.schema().attribute_names()) {
+    w.Str(name);
+  }
+  const std::size_t n = table.size();
+  w.U64(n);
+  w.Bytes(table.xs(), n * sizeof(float));
+  w.Bytes(table.ys(), n * sizeof(float));
+  w.Bytes(table.ts(), n * sizeof(std::int64_t));
+  for (std::size_t c = 0; c < table.schema().attribute_count(); ++c) {
+    w.Bytes(table.attribute_column(c).data(), n * sizeof(float));
+  }
+  return w.Finish();
+}
+
+StatusOr<PointTable> ReadPointTableBinary(const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  URBANE_RETURN_IF_ERROR(CheckMagic(r, kPointMagic, "point-table"));
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t attr_count, r.U64());
+  if (attr_count > 4096) {
+    return Status::IoError("implausible attribute count");
+  }
+  std::vector<std::string> names;
+  names.reserve(attr_count);
+  for (std::uint64_t c = 0; c < attr_count; ++c) {
+    URBANE_ASSIGN_OR_RETURN(std::string name, r.Str());
+    names.push_back(std::move(name));
+  }
+  URBANE_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(names)));
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t n, r.U64());
+  if (n > (1ULL << 33)) {
+    return Status::IoError("implausible row count");
+  }
+  PointTable table(schema);
+  table.Reserve(n);
+  std::vector<float> xs(n);
+  std::vector<float> ys(n);
+  std::vector<std::int64_t> ts(n);
+  URBANE_RETURN_IF_ERROR(r.Bytes(xs.data(), n * sizeof(float)));
+  URBANE_RETURN_IF_ERROR(r.Bytes(ys.data(), n * sizeof(float)));
+  URBANE_RETURN_IF_ERROR(r.Bytes(ts.data(), n * sizeof(std::int64_t)));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    table.AppendXyt(xs[i], ys[i], ts[i]);
+  }
+  for (std::size_t c = 0; c < schema.attribute_count(); ++c) {
+    std::vector<float>& col = table.mutable_attribute_column(c);
+    col.resize(n);
+    URBANE_RETURN_IF_ERROR(r.Bytes(col.data(), n * sizeof(float)));
+  }
+  URBANE_RETURN_IF_ERROR(table.Validate());
+  return table;
+}
+
+Status WriteRegionSetBinary(const RegionSet& regions,
+                            const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  w.Bytes(kRegionMagic, 4);
+  w.U64(regions.size());
+  for (const Region& region : regions.regions()) {
+    w.Pod(region.id);
+    w.Str(region.name);
+    w.U64(region.geometry.parts().size());
+    for (const geometry::Polygon& part : region.geometry.parts()) {
+      WriteRing(w, part.outer());
+      w.U64(part.holes().size());
+      for (const geometry::Ring& hole : part.holes()) {
+        WriteRing(w, hole);
+      }
+    }
+  }
+  return w.Finish();
+}
+
+StatusOr<RegionSet> ReadRegionSetBinary(const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  URBANE_RETURN_IF_ERROR(CheckMagic(r, kRegionMagic, "region-set"));
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t count, r.U64());
+  if (count > (1ULL << 24)) {
+    return Status::IoError("implausible region count");
+  }
+  RegionSet regions;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Region region;
+    URBANE_RETURN_IF_ERROR(r.Pod(region.id));
+    URBANE_ASSIGN_OR_RETURN(region.name, r.Str());
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t parts, r.U64());
+    if (parts > (1ULL << 20)) {
+      return Status::IoError("implausible part count");
+    }
+    for (std::uint64_t p = 0; p < parts; ++p) {
+      URBANE_ASSIGN_OR_RETURN(geometry::Ring outer, ReadRing(r));
+      geometry::Polygon polygon(std::move(outer));
+      URBANE_ASSIGN_OR_RETURN(std::uint64_t holes, r.U64());
+      if (holes > (1ULL << 20)) {
+        return Status::IoError("implausible hole count");
+      }
+      for (std::uint64_t h = 0; h < holes; ++h) {
+        URBANE_ASSIGN_OR_RETURN(geometry::Ring hole, ReadRing(r));
+        polygon.add_hole(std::move(hole));
+      }
+      region.geometry.add_part(std::move(polygon));
+    }
+    URBANE_RETURN_IF_ERROR(regions.Add(std::move(region)));
+  }
+  return regions;
+}
+
+}  // namespace urbane::data

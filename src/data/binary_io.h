@@ -1,0 +1,26 @@
+#ifndef URBANE_DATA_BINARY_IO_H_
+#define URBANE_DATA_BINARY_IO_H_
+
+#include <string>
+
+#include "data/point_table.h"
+#include "data/region.h"
+#include "util/status.h"
+
+namespace urbane::data {
+
+/// Fast binary snapshot format ("UPT1" / "URG1") for point tables and
+/// region sets. Little-endian, versioned magic, length-prefixed strings.
+/// This is the library's analogue of the preprocessed binary dumps the
+/// Urbane deployment loads at startup instead of re-parsing CSV/GeoJSON.
+Status WritePointTableBinary(const PointTable& table,
+                             const std::string& path);
+StatusOr<PointTable> ReadPointTableBinary(const std::string& path);
+
+Status WriteRegionSetBinary(const RegionSet& regions,
+                            const std::string& path);
+StatusOr<RegionSet> ReadRegionSetBinary(const std::string& path);
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_BINARY_IO_H_

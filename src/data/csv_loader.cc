@@ -1,0 +1,105 @@
+#include "data/csv_loader.h"
+
+#include <vector>
+
+#include "geometry/mercator.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace urbane::data {
+
+StatusOr<PointTable> ReadPointTableCsv(const std::string& csv_text,
+                                       const CsvPointOptions& options) {
+  URBANE_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(csv_text));
+  const int x_col = doc.ColumnIndex(options.x_column);
+  const int y_col = doc.ColumnIndex(options.y_column);
+  const int t_col = doc.ColumnIndex(options.t_column);
+  if (x_col < 0 || y_col < 0 || t_col < 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "CSV is missing required columns '%s'/'%s'/'%s'",
+        options.x_column.c_str(), options.y_column.c_str(),
+        options.t_column.c_str()));
+  }
+  std::vector<std::string> attr_names;
+  std::vector<int> attr_cols;
+  for (std::size_t c = 0; c < doc.header.size(); ++c) {
+    const int ci = static_cast<int>(c);
+    if (ci == x_col || ci == y_col || ci == t_col) continue;
+    attr_names.push_back(doc.header[c]);
+    attr_cols.push_back(ci);
+  }
+  URBANE_ASSIGN_OR_RETURN(Schema schema, Schema::Create(attr_names));
+  PointTable table(schema);
+  table.Reserve(doc.rows.size());
+
+  std::vector<float> attrs(attr_cols.size());
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    const auto x = ParseDouble(row[static_cast<std::size_t>(x_col)]);
+    const auto y = ParseDouble(row[static_cast<std::size_t>(y_col)]);
+    const auto t = ParseInt64(row[static_cast<std::size_t>(t_col)]);
+    if (!x.ok() || !y.ok() || !t.ok()) {
+      if (options.skip_bad_rows) continue;
+      return Status::InvalidArgument(
+          StringPrintf("row %zu has unparseable x/y/t", r + 1));
+    }
+    bool attrs_ok = true;
+    for (std::size_t a = 0; a < attr_cols.size(); ++a) {
+      const auto v =
+          ParseDouble(row[static_cast<std::size_t>(attr_cols[a])]);
+      if (!v.ok()) {
+        if (!options.skip_bad_rows) {
+          return Status::InvalidArgument(StringPrintf(
+              "row %zu attribute '%s' unparseable", r + 1,
+              attr_names[a].c_str()));
+        }
+        attrs_ok = false;
+        break;
+      }
+      attrs[a] = static_cast<float>(v.value());
+    }
+    if (!attrs_ok) continue;
+
+    geometry::Vec2 p{x.value(), y.value()};
+    if (options.project_lonlat_to_mercator) {
+      p = geometry::LonLatToMercator({p.x, p.y});
+    }
+    URBANE_RETURN_IF_ERROR(table.AppendRow(
+        static_cast<float>(p.x), static_cast<float>(p.y), t.value(), attrs));
+  }
+  return table;
+}
+
+StatusOr<PointTable> ReadPointTableCsvFile(const std::string& path,
+                                           const CsvPointOptions& options) {
+  URBANE_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ReadPointTableCsv(content, options);
+}
+
+std::string WritePointTableCsv(const PointTable& table) {
+  CsvDocument doc;
+  doc.header = {"x", "y", "t"};
+  for (const std::string& name : table.schema().attribute_names()) {
+    doc.header.push_back(name);
+  }
+  doc.rows.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(doc.header.size());
+    row.push_back(StringPrintf("%.9g", table.x(i)));
+    row.push_back(StringPrintf("%.9g", table.y(i)));
+    row.push_back(StringPrintf("%lld", static_cast<long long>(table.t(i))));
+    for (std::size_t c = 0; c < table.schema().attribute_count(); ++c) {
+      row.push_back(StringPrintf("%.9g", table.attribute(i, c)));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return WriteCsv(doc);
+}
+
+Status WritePointTableCsvFile(const PointTable& table,
+                              const std::string& path) {
+  return WriteStringToFile(WritePointTableCsv(table), path);
+}
+
+}  // namespace urbane::data

@@ -1,0 +1,43 @@
+#ifndef URBANE_DATA_CSV_LOADER_H_
+#define URBANE_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "data/point_table.h"
+#include "util/status.h"
+
+namespace urbane::data {
+
+/// Column-name bindings for CSV ingest.
+struct CsvPointOptions {
+  std::string x_column = "x";
+  std::string y_column = "y";
+  std::string t_column = "t";
+  /// When true, x/y columns hold lon/lat degrees and get projected to
+  /// Mercator meters (how real TLC exports would be ingested). When false
+  /// they are taken as planar coordinates.
+  bool project_lonlat_to_mercator = false;
+  /// Rows whose x/y/t fail to parse are skipped instead of failing the
+  /// whole load (real open-data exports contain junk rows).
+  bool skip_bad_rows = true;
+};
+
+/// Loads a point table from CSV: x/y/t from the bound columns, every other
+/// numeric column becomes a float attribute.
+StatusOr<PointTable> ReadPointTableCsv(const std::string& csv_text,
+                                       const CsvPointOptions& options =
+                                           CsvPointOptions());
+
+StatusOr<PointTable> ReadPointTableCsvFile(const std::string& path,
+                                           const CsvPointOptions& options =
+                                               CsvPointOptions());
+
+/// Serializes a point table to CSV (x, y, t, then attributes).
+std::string WritePointTableCsv(const PointTable& table);
+
+Status WritePointTableCsvFile(const PointTable& table,
+                              const std::string& path);
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_CSV_LOADER_H_

@@ -1,0 +1,104 @@
+#include "data/event_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace urbane::data {
+
+namespace {
+
+struct Cluster {
+  geometry::Vec2 center;
+  double sigma;
+  double weight;
+};
+
+std::vector<Cluster> MakeClusters(const UrbanEventOptions& options,
+                                  Rng& rng) {
+  std::vector<Cluster> clusters;
+  clusters.reserve(static_cast<std::size_t>(options.num_clusters));
+  const bool concentrated = options.kind == UrbanEventKind::kCrimeIncidents;
+  for (int c = 0; c < options.num_clusters; ++c) {
+    Cluster cluster;
+    cluster.center = {
+        rng.NextDouble(options.bounds.min_x, options.bounds.max_x),
+        rng.NextDouble(options.bounds.min_y, options.bounds.max_y)};
+    cluster.sigma = concentrated ? rng.NextDouble(100.0, 600.0)
+                                 : rng.NextDouble(400.0, 2500.0);
+    cluster.weight = concentrated ? 1.0 / (c + 1.0) : rng.NextDouble(0.5, 1.5);
+    clusters.push_back(cluster);
+  }
+  return clusters;
+}
+
+}  // namespace
+
+PointTable GenerateUrbanEvents(const UrbanEventOptions& options) {
+  const bool crime = options.kind == UrbanEventKind::kCrimeIncidents;
+  Schema schema(crime
+                    ? std::vector<std::string>{"severity", "indoor"}
+                    : std::vector<std::string>{"category", "response_hours"});
+  PointTable table(schema);
+  table.Reserve(options.num_events);
+
+  Rng rng(options.seed + (crime ? 0x9E37ULL : 0));
+  std::vector<Cluster> clusters = MakeClusters(options, rng);
+  std::vector<double> cdf;
+  double total = 0.0;
+  for (const Cluster& c : clusters) {
+    total += c.weight;
+    cdf.push_back(total);
+  }
+
+  std::vector<float>& attr0 = table.mutable_attribute_column(0);
+  std::vector<float>& attr1 = table.mutable_attribute_column(1);
+  attr0.reserve(options.num_events);
+  attr1.reserve(options.num_events);
+
+  for (std::size_t i = 0; i < options.num_events; ++i) {
+    geometry::Vec2 p;
+    if (rng.NextDouble() < 0.75 && !clusters.empty()) {
+      const double u = rng.NextDouble() * total;
+      const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+      const Cluster& cluster =
+          clusters[std::min(static_cast<std::size_t>(it - cdf.begin()),
+                            clusters.size() - 1)];
+      p = {rng.NextGaussian(cluster.center.x, cluster.sigma),
+           rng.NextGaussian(cluster.center.y, cluster.sigma)};
+      p.x = std::clamp(p.x, options.bounds.min_x, options.bounds.max_x);
+      p.y = std::clamp(p.y, options.bounds.min_y, options.bounds.max_y);
+    } else {
+      p = {rng.NextDouble(options.bounds.min_x, options.bounds.max_x),
+           rng.NextDouble(options.bounds.min_y, options.bounds.max_y)};
+    }
+
+    std::int64_t offset = rng.NextInt(0, options.duration_seconds - 1);
+    if (crime) {
+      // Night-weighted: fold 60% of events into 20:00-04:00.
+      if (rng.NextBool(0.6)) {
+        const std::int64_t day = offset / 86400;
+        const std::int64_t night_second =
+            20 * 3600 + rng.NextInt(0, 8 * 3600 - 1);
+        offset = day * 86400 + (night_second % 86400);
+        offset = std::min(offset, options.duration_seconds - 1);
+      }
+    }
+    const std::int64_t t = options.start_time + offset;
+    table.AppendXyt(static_cast<float>(p.x), static_cast<float>(p.y), t);
+
+    if (crime) {
+      attr0.push_back(static_cast<float>(rng.NextInt(1, 5)));  // severity
+      attr1.push_back(rng.NextBool(0.35) ? 1.0f : 0.0f);       // indoor
+    } else {
+      attr0.push_back(static_cast<float>(rng.NextInt(0, 19)));  // category
+      attr1.push_back(
+          static_cast<float>(std::min(720.0, rng.NextExponential(1.0 / 36.0))));
+    }
+  }
+  return table;
+}
+
+}  // namespace urbane::data

@@ -1,0 +1,40 @@
+#ifndef URBANE_DATA_EVENT_GENERATOR_H_
+#define URBANE_DATA_EVENT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/point_table.h"
+#include "geometry/bounding_box.h"
+#include "geometry/mercator.h"
+
+namespace urbane::data {
+
+/// Families of synthetic urban event feeds beyond taxis — stand-ins for the
+/// NYC 311-complaint and crime data sets Urbane's exploration view compares
+/// region-by-region.
+enum class UrbanEventKind {
+  /// 311 service requests: broadly spread, residential-weighted, with a
+  /// `category` code and a `response_hours` attribute.
+  kServiceRequests311,
+  /// Crime incidents: more concentrated mixture with a `severity` attribute
+  /// and night-weighted temporal profile.
+  kCrimeIncidents,
+};
+
+struct UrbanEventOptions {
+  UrbanEventKind kind = UrbanEventKind::kServiceRequests311;
+  std::size_t num_events = 250'000;
+  std::uint64_t seed = 7;
+  std::int64_t start_time = 1230768000;  // 2009-01-01
+  std::int64_t duration_seconds = 31LL * 24 * 3600;
+  geometry::BoundingBox bounds = geometry::NycMercatorBounds();
+  int num_clusters = 40;
+};
+
+/// Schema: kServiceRequests311 -> {category, response_hours};
+/// kCrimeIncidents -> {severity, indoor}.
+PointTable GenerateUrbanEvents(const UrbanEventOptions& options);
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_EVENT_GENERATOR_H_

@@ -1,0 +1,209 @@
+#include "data/geojson.h"
+
+#include "data/json.h"
+#include "geometry/mercator.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace urbane::data {
+
+namespace {
+
+StatusOr<geometry::Vec2> ParsePosition(const JsonValue& value,
+                                       bool project) {
+  if (!value.is_array() || value.AsArray().size() < 2 ||
+      !value.AsArray()[0].is_number() || !value.AsArray()[1].is_number()) {
+    return Status::InvalidArgument("GeoJSON position must be [x, y, ...]");
+  }
+  const double x = value.AsArray()[0].AsNumber();
+  const double y = value.AsArray()[1].AsNumber();
+  if (project) {
+    return geometry::LonLatToMercator({x, y});
+  }
+  return geometry::Vec2{x, y};
+}
+
+StatusOr<geometry::Ring> ParseRing(const JsonValue& value, bool project) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument("GeoJSON ring must be an array");
+  }
+  geometry::Ring ring;
+  ring.reserve(value.AsArray().size());
+  for (const JsonValue& pos : value.AsArray()) {
+    URBANE_ASSIGN_OR_RETURN(geometry::Vec2 p, ParsePosition(pos, project));
+    ring.push_back(p);
+  }
+  // GeoJSON rings repeat the first coordinate at the end; our rings are
+  // implicitly closed.
+  if (ring.size() >= 2 && ring.front() == ring.back()) {
+    ring.pop_back();
+  }
+  if (ring.size() < 3) {
+    return Status::InvalidArgument("GeoJSON ring has < 3 distinct vertices");
+  }
+  return ring;
+}
+
+StatusOr<geometry::Polygon> ParsePolygonCoords(const JsonValue& coords,
+                                               bool project) {
+  if (!coords.is_array() || coords.AsArray().empty()) {
+    return Status::InvalidArgument("Polygon coordinates must be non-empty");
+  }
+  URBANE_ASSIGN_OR_RETURN(geometry::Ring outer,
+                          ParseRing(coords.AsArray()[0], project));
+  geometry::Polygon polygon(std::move(outer));
+  for (std::size_t h = 1; h < coords.AsArray().size(); ++h) {
+    URBANE_ASSIGN_OR_RETURN(geometry::Ring hole,
+                            ParseRing(coords.AsArray()[h], project));
+    polygon.add_hole(std::move(hole));
+  }
+  polygon.Normalize();
+  return polygon;
+}
+
+}  // namespace
+
+StatusOr<RegionSet> ReadGeoJsonRegions(const std::string& geojson_text,
+                                       const GeoJsonReadOptions& options) {
+  URBANE_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(geojson_text));
+  const JsonValue* type = doc.Find("type");
+  if (type == nullptr || !type->is_string() ||
+      type->AsString() != "FeatureCollection") {
+    return Status::InvalidArgument(
+        "expected a GeoJSON FeatureCollection document");
+  }
+  const JsonValue* features = doc.Find("features");
+  if (features == nullptr || !features->is_array()) {
+    return Status::InvalidArgument("FeatureCollection lacks 'features' array");
+  }
+
+  RegionSet regions;
+  std::int64_t next_id = 0;
+  for (const JsonValue& feature : features->AsArray()) {
+    const JsonValue* geom = feature.Find("geometry");
+    if (geom == nullptr || !geom->is_object()) continue;
+    const JsonValue* gtype = geom->Find("type");
+    const JsonValue* coords = geom->Find("coordinates");
+    if (gtype == nullptr || !gtype->is_string() || coords == nullptr) {
+      continue;
+    }
+
+    geometry::MultiPolygon multi;
+    if (gtype->AsString() == "Polygon") {
+      URBANE_ASSIGN_OR_RETURN(
+          geometry::Polygon poly,
+          ParsePolygonCoords(*coords, options.project_lonlat_to_mercator));
+      multi.add_part(std::move(poly));
+    } else if (gtype->AsString() == "MultiPolygon") {
+      if (!coords->is_array()) {
+        return Status::InvalidArgument("MultiPolygon coordinates malformed");
+      }
+      for (const JsonValue& poly_coords : coords->AsArray()) {
+        URBANE_ASSIGN_OR_RETURN(
+            geometry::Polygon poly,
+            ParsePolygonCoords(poly_coords,
+                               options.project_lonlat_to_mercator));
+        multi.add_part(std::move(poly));
+      }
+    } else {
+      continue;  // points/lines are not regions
+    }
+
+    Region region;
+    region.id = next_id;
+    const JsonValue* props = feature.Find("properties");
+    if (props != nullptr && props->is_object()) {
+      const JsonValue* name = props->Find(options.name_property);
+      if (name != nullptr && name->is_string()) {
+        region.name = name->AsString();
+      }
+      const JsonValue* id = props->Find(options.id_property);
+      if (id != nullptr && id->is_number()) {
+        region.id = static_cast<std::int64_t>(id->AsNumber());
+      }
+    }
+    if (region.name.empty()) {
+      region.name = StringPrintf("region_%lld",
+                                 static_cast<long long>(region.id));
+    }
+    region.geometry = std::move(multi);
+    // Duplicate property ids fall back to sequential assignment rather than
+    // rejecting the file.
+    if (regions.IndexOfId(region.id) >= 0) {
+      region.id = next_id;
+    }
+    URBANE_RETURN_IF_ERROR(regions.Add(std::move(region)));
+    next_id = std::max<std::int64_t>(next_id + 1, regions.size());
+  }
+  return regions;
+}
+
+StatusOr<RegionSet> ReadGeoJsonRegionsFile(const std::string& path,
+                                           const GeoJsonReadOptions& options) {
+  URBANE_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ReadGeoJsonRegions(content, options);
+}
+
+namespace {
+
+JsonValue RingToJson(const geometry::Ring& ring, bool unproject) {
+  JsonValue::Array coords;
+  coords.reserve(ring.size() + 1);
+  auto emit = [&](const geometry::Vec2& p) {
+    if (unproject) {
+      const geometry::LonLat ll = geometry::MercatorToLonLat(p);
+      coords.push_back(JsonValue(JsonValue::Array{ll.lon, ll.lat}));
+    } else {
+      coords.push_back(JsonValue(JsonValue::Array{p.x, p.y}));
+    }
+  };
+  for (const geometry::Vec2& p : ring) emit(p);
+  if (!ring.empty()) emit(ring.front());  // close the ring
+  return JsonValue(std::move(coords));
+}
+
+JsonValue PolygonToJson(const geometry::Polygon& polygon, bool unproject) {
+  JsonValue::Array rings;
+  rings.push_back(RingToJson(polygon.outer(), unproject));
+  for (const geometry::Ring& hole : polygon.holes()) {
+    rings.push_back(RingToJson(hole, unproject));
+  }
+  return JsonValue(std::move(rings));
+}
+
+}  // namespace
+
+std::string WriteGeoJsonRegions(const RegionSet& regions,
+                                bool unproject_to_lonlat) {
+  JsonValue::Array features;
+  for (const Region& region : regions.regions()) {
+    JsonValue geometry_json;
+    if (region.geometry.parts().size() == 1) {
+      geometry_json = JsonValue(JsonValue::Object{
+          {"type", JsonValue("Polygon")},
+          {"coordinates",
+           PolygonToJson(region.geometry.parts()[0], unproject_to_lonlat)}});
+    } else {
+      JsonValue::Array polys;
+      for (const geometry::Polygon& part : region.geometry.parts()) {
+        polys.push_back(PolygonToJson(part, unproject_to_lonlat));
+      }
+      geometry_json = JsonValue(
+          JsonValue::Object{{"type", JsonValue("MultiPolygon")},
+                            {"coordinates", JsonValue(std::move(polys))}});
+    }
+    features.push_back(JsonValue(JsonValue::Object{
+        {"type", JsonValue("Feature")},
+        {"properties",
+         JsonValue(JsonValue::Object{
+             {"name", JsonValue(region.name)},
+             {"id", JsonValue(static_cast<double>(region.id))}})},
+        {"geometry", std::move(geometry_json)}}));
+  }
+  JsonValue doc(JsonValue::Object{
+      {"type", JsonValue("FeatureCollection")},
+      {"features", JsonValue(std::move(features))}});
+  return doc.Dump(2);
+}
+
+}  // namespace urbane::data

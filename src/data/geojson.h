@@ -1,0 +1,45 @@
+#ifndef URBANE_DATA_GEOJSON_H_
+#define URBANE_DATA_GEOJSON_H_
+
+#include <string>
+
+#include "data/region.h"
+#include "util/status.h"
+
+namespace urbane::data {
+
+/// Options controlling how GeoJSON features map onto regions.
+struct GeoJsonReadOptions {
+  /// Feature property carrying the region name (falls back to "name").
+  std::string name_property = "name";
+  /// Feature property carrying a numeric id; when absent ids are assigned
+  /// by feature order.
+  std::string id_property = "id";
+  /// When true, coordinates are WGS84 lon/lat and get projected to Web
+  /// Mercator meters (the library's working CRS). When false they are taken
+  /// as already-projected planar coordinates.
+  bool project_lonlat_to_mercator = true;
+};
+
+/// Parses a GeoJSON FeatureCollection of Polygon / MultiPolygon features
+/// into a RegionSet. Non-polygonal features are skipped; rings are
+/// normalized (outer CCW, holes CW). This is how users feed real
+/// NYC Open Data boundary files to the library.
+StatusOr<RegionSet> ReadGeoJsonRegions(
+    const std::string& geojson_text,
+    const GeoJsonReadOptions& options = GeoJsonReadOptions());
+
+/// File variant of ReadGeoJsonRegions.
+StatusOr<RegionSet> ReadGeoJsonRegionsFile(
+    const std::string& path,
+    const GeoJsonReadOptions& options = GeoJsonReadOptions());
+
+/// Serializes a RegionSet back to a GeoJSON FeatureCollection. When
+/// `unproject_to_lonlat` is set, coordinates are converted from Mercator
+/// meters back to lon/lat degrees.
+std::string WriteGeoJsonRegions(const RegionSet& regions,
+                                bool unproject_to_lonlat = true);
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_GEOJSON_H_

@@ -1,0 +1,393 @@
+#include "data/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace urbane::data {
+
+JsonValue::Type JsonValue::type() const {
+  switch (value_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kNumber;
+    case 3:
+      return Type::kString;
+    case 4:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : AsObject()) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  if (!is_object()) {
+    value_ = Object{};
+  }
+  for (auto& [k, v] : AsObject()) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  AsObject().emplace_back(key, std::move(value));
+}
+
+namespace {
+
+void DumpString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void DumpNumber(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    out += StringPrintf("%lld", static_cast<long long>(d));
+  } else if (std::isfinite(d)) {
+    out += StringPrintf("%.17g", d);
+  } else {
+    out += "null";  // JSON has no NaN/Inf
+  }
+}
+
+void Newline(std::string& out, int indent, int depth) {
+  if (indent >= 0) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+  }
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  switch (type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += AsBool() ? "true" : "false";
+      break;
+    case Type::kNumber:
+      DumpNumber(out, AsNumber());
+      break;
+    case Type::kString:
+      DumpString(out, AsString());
+      break;
+    case Type::kArray: {
+      const Array& arr = AsArray();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        Newline(out, indent, depth + 1);
+        arr[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const Object& obj = AsObject();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        Newline(out, indent, depth + 1);
+        DumpString(out, obj[i].first);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        obj[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    URBANE_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StringPrintf("JSON parse error at byte %zu: %s", pos_,
+                     message.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    std::size_t len = 0;
+    while (literal[len] != '\0') ++len;
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      URBANE_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue(nullptr);
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      URBANE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      URBANE_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      obj.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue::Array arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      URBANE_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      arr.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned int code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // GeoJSON property strings in this repo are ASCII).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return Error("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace urbane::data

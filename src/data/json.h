@@ -1,0 +1,72 @@
+#ifndef URBANE_DATA_JSON_H_
+#define URBANE_DATA_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace urbane::data {
+
+/// Minimal JSON document model — just enough for GeoJSON and config files.
+/// Objects keep insertion order (GeoJSON consumers often rely on it for
+/// readability of round-tripped files).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}             // NOLINT
+  JsonValue(bool b) : value_(b) {}                           // NOLINT
+  JsonValue(double d) : value_(d) {}                         // NOLINT
+  JsonValue(int i) : value_(static_cast<double>(i)) {}       // NOLINT
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}       // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}         // NOLINT
+  JsonValue(Array a) : value_(std::move(a)) {}               // NOLINT
+  JsonValue(Object o) : value_(std::move(o)) {}              // NOLINT
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool AsBool() const { return std::get<bool>(value_); }
+  double AsNumber() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const Array& AsArray() const { return std::get<Array>(value_); }
+  Array& AsArray() { return std::get<Array>(value_); }
+  const Object& AsObject() const { return std::get<Object>(value_); }
+  Object& AsObject() { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Appends/overwrites an object member.
+  void Set(const std::string& key, JsonValue value);
+
+  /// Serialization. `indent` < 0 produces compact output.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Parses a complete JSON document (trailing non-whitespace is an error).
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_JSON_H_

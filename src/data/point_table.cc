@@ -1,0 +1,97 @@
+#include "data/point_table.h"
+
+#include "util/string_util.h"
+
+namespace urbane::data {
+
+PointTable::PointTable(Schema schema) : schema_(std::move(schema)) {
+  attributes_.resize(schema_.attribute_count());
+}
+
+void PointTable::Reserve(std::size_t capacity) {
+  xs_.reserve(capacity);
+  ys_.reserve(capacity);
+  ts_.reserve(capacity);
+  for (auto& col : attributes_) {
+    col.reserve(capacity);
+  }
+}
+
+Status PointTable::AppendRow(float x, float y, std::int64_t t,
+                             const std::vector<float>& attributes) {
+  if (attributes.size() != schema_.attribute_count()) {
+    return Status::InvalidArgument(StringPrintf(
+        "row has %zu attributes, schema expects %zu", attributes.size(),
+        schema_.attribute_count()));
+  }
+  xs_.push_back(x);
+  ys_.push_back(y);
+  ts_.push_back(t);
+  for (std::size_t c = 0; c < attributes.size(); ++c) {
+    attributes_[c].push_back(attributes[c]);
+  }
+  return Status::OK();
+}
+
+void PointTable::AppendXyt(float x, float y, std::int64_t t) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+  ts_.push_back(t);
+}
+
+const std::vector<float>* PointTable::AttributeByName(
+    const std::string& name) const {
+  const int col = schema_.AttributeIndex(name);
+  if (col < 0) {
+    return nullptr;
+  }
+  return &attributes_[static_cast<std::size_t>(col)];
+}
+
+geometry::BoundingBox PointTable::Bounds() const {
+  geometry::BoundingBox box;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    box.Extend({xs_[i], ys_[i]});
+  }
+  return box;
+}
+
+std::pair<std::int64_t, std::int64_t> PointTable::TimeRange() const {
+  if (ts_.empty()) {
+    return {0, 0};
+  }
+  std::int64_t lo = ts_.front();
+  std::int64_t hi = ts_.front();
+  for (const std::int64_t t : ts_) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return {lo, hi};
+}
+
+Status PointTable::Validate() const {
+  if (ys_.size() != xs_.size() || ts_.size() != xs_.size()) {
+    return Status::Internal("x/y/t column lengths disagree");
+  }
+  for (std::size_t c = 0; c < attributes_.size(); ++c) {
+    if (attributes_[c].size() != xs_.size()) {
+      return Status::Internal(StringPrintf(
+          "attribute column '%s' has %zu rows, table has %zu",
+          schema_.attribute_name(c).c_str(), attributes_[c].size(),
+          xs_.size()));
+    }
+  }
+  return Status::OK();
+}
+
+std::size_t PointTable::MemoryBytes() const {
+  std::size_t bytes = xs_.capacity() * sizeof(float) +
+                      ys_.capacity() * sizeof(float) +
+                      ts_.capacity() * sizeof(std::int64_t);
+  for (const auto& col : attributes_) {
+    bytes += col.capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace urbane::data

@@ -1,0 +1,81 @@
+#ifndef URBANE_DATA_POINT_TABLE_H_
+#define URBANE_DATA_POINT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "geometry/bounding_box.h"
+#include "util/status.h"
+
+namespace urbane::data {
+
+/// Columnar store for a spatio-temporal point data set (taxi pickups, 311
+/// complaints, crime incidents, ...). Column-major layout mirrors the GPU
+/// vertex-buffer representation Raster Join consumes: contiguous float32
+/// x/y arrays stream straight into the splatting stage.
+class PointTable {
+ public:
+  PointTable() = default;
+  explicit PointTable(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  void Reserve(std::size_t capacity);
+
+  /// Appends one event. `attributes` must match the schema's arity.
+  Status AppendRow(float x, float y, std::int64_t t,
+                   const std::vector<float>& attributes);
+
+  /// Unchecked fast-path append used by the generators (attribute columns
+  /// are filled separately via mutable_attribute_column).
+  void AppendXyt(float x, float y, std::int64_t t);
+
+  const float* xs() const { return xs_.data(); }
+  const float* ys() const { return ys_.data(); }
+  const std::int64_t* ts() const { return ts_.data(); }
+
+  float x(std::size_t i) const { return xs_[i]; }
+  float y(std::size_t i) const { return ys_[i]; }
+  std::int64_t t(std::size_t i) const { return ts_[i]; }
+
+  /// Attribute column by index (dense float32 array of length size()).
+  const std::vector<float>& attribute_column(std::size_t col) const {
+    return attributes_[col];
+  }
+  std::vector<float>& mutable_attribute_column(std::size_t col) {
+    return attributes_[col];
+  }
+
+  /// Attribute column by name; nullptr if the name is unknown.
+  const std::vector<float>* AttributeByName(const std::string& name) const;
+
+  float attribute(std::size_t row, std::size_t col) const {
+    return attributes_[col][row];
+  }
+
+  /// Spatial extent of all points.
+  geometry::BoundingBox Bounds() const;
+
+  /// [min_t, max_t] over all points; {0, 0} when empty.
+  std::pair<std::int64_t, std::int64_t> TimeRange() const;
+
+  /// Consistency check: every column has length size().
+  Status Validate() const;
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<float> xs_;
+  std::vector<float> ys_;
+  std::vector<std::int64_t> ts_;
+  std::vector<std::vector<float>> attributes_;  // one vector per attribute
+};
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_POINT_TABLE_H_

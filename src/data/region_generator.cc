@@ -1,0 +1,224 @@
+#include "data/region_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace urbane::data {
+
+namespace {
+
+// Deterministic hash of a lattice vertex pair (quantized world coords), so
+// both cells sharing an edge derive the same wiggle stream.
+std::uint64_t EdgeHash(std::uint64_t seed, const geometry::Vec2& a,
+                       const geometry::Vec2& b) {
+  auto quantize = [](double v) {
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(std::llround(v * 1024.0)));
+  };
+  std::uint64_t state = seed;
+  state ^= SplitMix64(state) ^ quantize(a.x);
+  state ^= SplitMix64(state) ^ quantize(a.y);
+  state ^= SplitMix64(state) ^ quantize(b.x);
+  state ^= SplitMix64(state) ^ quantize(b.y);
+  return SplitMix64(state);
+}
+
+// Wiggled polyline from `a` to `b` (exclusive of `b`). Canonicalizes the
+// endpoint order before sampling so (a, b) and (b, a) produce mirrored
+// copies of the same curve.
+std::vector<geometry::Vec2> EdgePolyline(std::uint64_t seed,
+                                         const geometry::Vec2& a,
+                                         const geometry::Vec2& b,
+                                         int subdivisions, double wiggle) {
+  const bool forward =
+      a.x < b.x || (a.x == b.x && a.y <= b.y);  // canonical direction
+  const geometry::Vec2& lo = forward ? a : b;
+  const geometry::Vec2& hi = forward ? b : a;
+
+  std::vector<geometry::Vec2> canonical;
+  canonical.reserve(static_cast<std::size_t>(subdivisions) + 2);
+  canonical.push_back(lo);
+  if (subdivisions > 0 && wiggle > 0.0) {
+    Rng rng(EdgeHash(seed, lo, hi));
+    const geometry::Vec2 d = hi - lo;
+    const double len = d.Norm();
+    const geometry::Vec2 normal =
+        len > 0 ? geometry::Vec2{-d.y / len, d.x / len}
+                : geometry::Vec2{0.0, 0.0};
+    for (int m = 1; m <= subdivisions; ++m) {
+      const double s =
+          static_cast<double>(m) / static_cast<double>(subdivisions + 1);
+      // Damp the wiggle near the endpoints so neighbours meet exactly.
+      const double amp = wiggle * len * std::sin(M_PI * s);
+      const double offset = rng.NextGaussian(0.0, 0.4) * amp;
+      canonical.push_back(lo + d * s + normal * offset);
+    }
+  } else {
+    // No interior vertices.
+  }
+  canonical.push_back(hi);
+
+  std::vector<geometry::Vec2> out;
+  out.reserve(canonical.size() - 1);
+  if (forward) {
+    out.assign(canonical.begin(), canonical.end() - 1);
+  } else {
+    out.assign(canonical.rbegin(), canonical.rend() - 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+RegionSet GenerateTessellation(const TessellationOptions& options) {
+  URBANE_CHECK(options.cells_x > 0 && options.cells_y > 0);
+  const geometry::BoundingBox& world = options.bounds;
+  const int cx = options.cells_x;
+  const int cy = options.cells_y;
+  const double cell_w = world.Width() / cx;
+  const double cell_h = world.Height() / cy;
+
+  // Jittered lattice; border vertices stay on the border (corners fixed).
+  std::vector<geometry::Vec2> lattice(
+      static_cast<std::size_t>(cx + 1) * (cy + 1));
+  auto vertex = [&](int i, int j) -> geometry::Vec2& {
+    return lattice[static_cast<std::size_t>(j) * (cx + 1) + i];
+  };
+  Rng rng(options.seed);
+  for (int j = 0; j <= cy; ++j) {
+    for (int i = 0; i <= cx; ++i) {
+      geometry::Vec2 p{world.min_x + i * cell_w, world.min_y + j * cell_h};
+      const bool x_border = (i == 0 || i == cx);
+      const bool y_border = (j == 0 || j == cy);
+      if (!x_border) {
+        p.x += rng.NextDouble(-0.5, 0.5) * options.jitter * cell_w;
+      }
+      if (!y_border) {
+        p.y += rng.NextDouble(-0.5, 0.5) * options.jitter * cell_h;
+      }
+      vertex(i, j) = p;
+    }
+  }
+
+  RegionSet regions;
+  Rng hole_rng(options.seed ^ 0xA5A5A5A5ULL);
+  std::int64_t next_id = 0;
+  for (int j = 0; j < cy; ++j) {
+    for (int i = 0; i < cx; ++i) {
+      geometry::Ring ring;
+      auto extend = [&](const geometry::Vec2& a, const geometry::Vec2& b) {
+        // Edges lying on the world border must stay straight or the
+        // tessellation would leak outside the bounds (no neighbour exists
+        // to absorb the wiggle).
+        const bool on_border =
+            (a.x == world.min_x && b.x == world.min_x) ||
+            (a.x == world.max_x && b.x == world.max_x) ||
+            (a.y == world.min_y && b.y == world.min_y) ||
+            (a.y == world.max_y && b.y == world.max_y);
+        std::vector<geometry::Vec2> part = EdgePolyline(
+            options.seed, a, b, options.edge_subdivisions,
+            on_border ? 0.0 : options.edge_wiggle);
+        ring.insert(ring.end(), part.begin(), part.end());
+      };
+      extend(vertex(i, j), vertex(i + 1, j));          // bottom
+      extend(vertex(i + 1, j), vertex(i + 1, j + 1));  // right
+      extend(vertex(i + 1, j + 1), vertex(i, j + 1));  // top
+      extend(vertex(i, j + 1), vertex(i, j));          // left
+
+      geometry::Polygon polygon(std::move(ring));
+      if (options.hole_probability > 0.0 &&
+          hole_rng.NextBool(options.hole_probability)) {
+        // Punch a small "park" around the cell centroid; radius small
+        // enough to stay inside despite jitter and wiggle.
+        const geometry::Vec2 c = polygon.Centroid();
+        const double r =
+            0.12 * std::min(cell_w, cell_h) * hole_rng.NextDouble(0.6, 1.0);
+        geometry::Polygon park = geometry::MakeRegularPolygon(
+            c, r, 8, hole_rng.NextDouble(0.0, M_PI));
+        polygon.add_hole(park.outer());
+      }
+      polygon.Normalize();
+
+      Region region;
+      region.id = next_id++;
+      region.name = StringPrintf("%s-%02d-%02d", options.name_prefix.c_str(),
+                                 i, j);
+      region.geometry = geometry::MultiPolygon(std::move(polygon));
+      URBANE_CHECK_OK(regions.Add(std::move(region)));
+    }
+  }
+  return regions;
+}
+
+RegionSet GenerateNeighborhoods(std::uint64_t seed) {
+  TessellationOptions options;
+  options.cells_x = 16;
+  options.cells_y = 16;
+  options.seed = seed;
+  options.name_prefix = "NH";
+  return GenerateTessellation(options);
+}
+
+RegionSet GenerateBoroughs(std::uint64_t seed) {
+  TessellationOptions options;
+  options.cells_x = 2;
+  options.cells_y = 3;
+  options.seed = seed;
+  options.edge_subdivisions = 24;
+  options.name_prefix = "BORO";
+  return GenerateTessellation(options);
+}
+
+RegionSet GenerateCensusTracts(std::uint64_t seed) {
+  TessellationOptions options;
+  options.cells_x = 46;
+  options.cells_y = 46;
+  options.seed = seed;
+  options.edge_subdivisions = 2;
+  options.name_prefix = "CT";
+  return GenerateTessellation(options);
+}
+
+RegionSet GenerateRandomRegions(const RandomRegionOptions& options) {
+  RegionSet regions;
+  Rng rng(options.seed);
+  const double extent =
+      std::min(options.bounds.Width(), options.bounds.Height());
+  for (std::size_t r = 0; r < options.count; ++r) {
+    const double radius =
+        extent * rng.NextDouble(options.min_radius_fraction,
+                                options.max_radius_fraction);
+    const geometry::Vec2 center{
+        rng.NextDouble(options.bounds.min_x + radius,
+                       options.bounds.max_x - radius),
+        rng.NextDouble(options.bounds.min_y + radius,
+                       options.bounds.max_y - radius)};
+    // Star-convex construction: strictly increasing angles guarantee a
+    // simple polygon regardless of radial noise.
+    geometry::Ring ring;
+    const std::size_t n = std::max<std::size_t>(3, options.vertices_per_region);
+    ring.reserve(n);
+    const double phase = rng.NextDouble(0.0, 2.0 * M_PI);
+    for (std::size_t v = 0; v < n; ++v) {
+      const double angle =
+          phase + 2.0 * M_PI * static_cast<double>(v) / static_cast<double>(n);
+      const double rr =
+          radius * (1.0 + options.radial_noise * rng.NextDouble(-1.0, 1.0));
+      ring.push_back({center.x + rr * std::cos(angle),
+                      center.y + rr * std::sin(angle)});
+    }
+    Region region;
+    region.id = static_cast<std::int64_t>(r);
+    region.name = StringPrintf("%s-%03zu", options.name_prefix.c_str(), r);
+    region.geometry = geometry::MultiPolygon(geometry::Polygon(std::move(ring)));
+    URBANE_CHECK_OK(regions.Add(std::move(region)));
+  }
+  return regions;
+}
+
+}  // namespace urbane::data

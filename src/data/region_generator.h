@@ -1,0 +1,71 @@
+#ifndef URBANE_DATA_REGION_GENERATOR_H_
+#define URBANE_DATA_REGION_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/region.h"
+#include "geometry/bounding_box.h"
+#include "geometry/mercator.h"
+
+namespace urbane::data {
+
+/// Synthetic polygonal tessellations standing in for NYC administrative
+/// boundary files (boroughs / neighborhoods / census tracts).
+///
+/// The generator jitters a lattice and wiggles the shared cell edges with
+/// *deterministic per-edge randomness* (seeded by the edge endpoints), so
+/// adjacent cells reproduce the identical boundary polyline: the output is a
+/// true partition of the bounding box — disjoint interiors, no gaps. That
+/// invariant powers a key test: per-region COUNTs must sum to the total
+/// point count.
+struct TessellationOptions {
+  int cells_x = 16;
+  int cells_y = 16;
+  std::uint64_t seed = 3;
+  /// Lattice jitter as a fraction of cell size (interior vertices only).
+  double jitter = 0.3;
+  /// Extra vertices inserted per cell edge (polygon-complexity dial).
+  int edge_subdivisions = 6;
+  /// Perpendicular wiggle of edge midpoints, fraction of edge length.
+  double edge_wiggle = 0.06;
+  /// Probability that a cell gets a hole punched in it (a "park").
+  double hole_probability = 0.0;
+  geometry::BoundingBox bounds = geometry::NycMercatorBounds();
+  std::string name_prefix = "NH";
+};
+
+/// Jittered-lattice tessellation; `cells_x * cells_y` regions.
+RegionSet GenerateTessellation(const TessellationOptions& options);
+
+/// ~256 neighborhood-scale regions (matches NYC's ~195 NTAs in count and
+/// typical vertex complexity).
+RegionSet GenerateNeighborhoods(std::uint64_t seed = 3);
+
+/// 6 borough-scale regions.
+RegionSet GenerateBoroughs(std::uint64_t seed = 3);
+
+/// ~2116 census-tract-scale regions.
+RegionSet GenerateCensusTracts(std::uint64_t seed = 3);
+
+/// Independent star-convex polygons with `vertices_per_region` vertices —
+/// possibly overlapping, arbitrary complexity; drives the F5
+/// polygon-complexity sweep and exercises overlapping-region aggregation.
+struct RandomRegionOptions {
+  std::size_t count = 64;
+  std::size_t vertices_per_region = 64;
+  std::uint64_t seed = 11;
+  geometry::BoundingBox bounds = geometry::NycMercatorBounds();
+  /// Region radius range as a fraction of the world's smaller extent.
+  double min_radius_fraction = 0.02;
+  double max_radius_fraction = 0.10;
+  /// Radial noise (0 = regular polygon, 0.5 = very spiky).
+  double radial_noise = 0.35;
+  std::string name_prefix = "R";
+};
+
+RegionSet GenerateRandomRegions(const RandomRegionOptions& options);
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_REGION_GENERATOR_H_

@@ -1,0 +1,43 @@
+#include "data/schema.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace urbane::data {
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {
+  auto checked = Create(names_);
+  URBANE_CHECK(checked.ok()) << checked.status().ToString();
+}
+
+StatusOr<Schema> Schema::Create(std::vector<std::string> attribute_names) {
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : attribute_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (name == "x" || name == "y" || name == "t") {
+      return Status::InvalidArgument(
+          "attribute name collides with implicit column: " + name);
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + name);
+    }
+  }
+  Schema schema;
+  schema.names_ = std::move(attribute_names);
+  return schema;
+}
+
+int Schema::AttributeIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace urbane::data

@@ -1,0 +1,41 @@
+#ifndef URBANE_DATA_SCHEMA_H_
+#define URBANE_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace urbane::data {
+
+/// Schema of a spatio-temporal point data set: every table has the implicit
+/// columns `x`, `y` (projected meters, float32 — matching the GPU pipeline's
+/// vertex precision) and `t` (epoch seconds, int64), plus zero or more named
+/// float32 attributes (fare, trip distance, complaint code, ...).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  /// Fails on duplicate or empty names, or names colliding with x/y/t.
+  static StatusOr<Schema> Create(std::vector<std::string> attribute_names);
+
+  std::size_t attribute_count() const { return names_.size(); }
+  const std::vector<std::string>& attribute_names() const { return names_; }
+  const std::string& attribute_name(std::size_t i) const { return names_[i]; }
+
+  /// Index of the attribute, or -1 if absent.
+  int AttributeIndex(const std::string& name) const;
+  bool HasAttribute(const std::string& name) const {
+    return AttributeIndex(name) >= 0;
+  }
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_SCHEMA_H_

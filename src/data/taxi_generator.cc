@@ -1,0 +1,179 @@
+#include "data/taxi_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace urbane::data {
+
+const char* const kTaxiAttributeNames[4] = {
+    "fare_amount", "trip_distance", "passenger_count", "tip_amount"};
+
+namespace {
+
+// Hour-of-day demand shape (arbitrary units): overnight lull, AM rush,
+// midday plateau, PM rush, evening decline. Loosely matched to published
+// TLC demand curves.
+constexpr double kWeekdayHourly[24] = {
+    2.0, 1.2, 0.8, 0.6, 0.6, 1.0, 2.4, 4.2, 5.2, 4.6, 4.2, 4.4,
+    4.8, 4.6, 4.6, 4.4, 4.2, 5.0, 6.2, 6.6, 6.0, 5.2, 4.2, 3.0};
+constexpr double kWeekendHourly[24] = {
+    4.6, 4.0, 3.4, 2.4, 1.6, 1.0, 1.0, 1.4, 2.0, 2.8, 3.6, 4.2,
+    4.6, 4.8, 4.8, 4.6, 4.4, 4.6, 5.0, 5.4, 5.4, 5.2, 5.0, 4.8};
+
+struct Hotspot {
+  geometry::Vec2 center;
+  double sigma_x;
+  double sigma_y;
+  double rotation;  // radians
+  double weight;
+};
+
+std::vector<Hotspot> MakeHotspots(const TaxiGeneratorOptions& options,
+                                  Rng& rng) {
+  std::vector<Hotspot> hotspots;
+  hotspots.reserve(static_cast<std::size_t>(options.num_hotspots));
+  const geometry::Vec2 center = options.bounds.Center();
+  const double extent_x = options.bounds.Width();
+  const double extent_y = options.bounds.Height();
+  // Manhattan-like spine: hotspots scattered along a NE-tilted ellipse
+  // around the center; Zipf-ish popularity.
+  const double spine_angle = 0.5;  // ~29 degrees
+  for (int h = 0; h < options.num_hotspots; ++h) {
+    const double along = rng.NextGaussian(0.0, 0.22) * extent_y;
+    const double across = rng.NextGaussian(0.0, 0.05) * extent_x;
+    Hotspot spot;
+    spot.center = {
+        center.x + along * std::sin(spine_angle) + across * std::cos(spine_angle),
+        center.y + along * std::cos(spine_angle) - across * std::sin(spine_angle)};
+    spot.center.x = std::clamp(spot.center.x, options.bounds.min_x,
+                               options.bounds.max_x);
+    spot.center.y = std::clamp(spot.center.y, options.bounds.min_y,
+                               options.bounds.max_y);
+    spot.sigma_x = rng.NextDouble(120.0, 900.0);
+    spot.sigma_y = rng.NextDouble(120.0, 900.0);
+    spot.rotation = rng.NextDouble(0.0, M_PI);
+    spot.weight = 1.0 / static_cast<double>(h + 1);  // Zipf(1)
+    hotspots.push_back(spot);
+  }
+  return hotspots;
+}
+
+// Samples an index from unnormalized weights via inverse CDF.
+std::size_t SampleIndex(const std::vector<double>& cdf, double total,
+                        Rng& rng) {
+  const double u = rng.NextDouble() * total;
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  return std::min(static_cast<std::size_t>(it - cdf.begin()),
+                  cdf.size() - 1);
+}
+
+}  // namespace
+
+double TaxiHourWeight(int hour, bool weekday) {
+  hour = ((hour % 24) + 24) % 24;
+  return weekday ? kWeekdayHourly[hour] : kWeekendHourly[hour];
+}
+
+PointTable GenerateTaxiTrips(const TaxiGeneratorOptions& options) {
+  Schema schema(std::vector<std::string>(
+      kTaxiAttributeNames, kTaxiAttributeNames + 4));
+  PointTable table(schema);
+  table.Reserve(options.num_trips);
+
+  Rng rng(options.seed);
+  std::vector<Hotspot> hotspots = MakeHotspots(options, rng);
+  std::vector<double> hotspot_cdf;
+  double hotspot_total = 0.0;
+  for (const Hotspot& h : hotspots) {
+    hotspot_total += h.weight;
+    hotspot_cdf.push_back(hotspot_total);
+  }
+
+  // Hour sampling: build per-day-type CDFs once.
+  std::vector<double> weekday_cdf(24);
+  std::vector<double> weekend_cdf(24);
+  double weekday_total = 0.0;
+  double weekend_total = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    weekday_total += kWeekdayHourly[h];
+    weekend_total += kWeekendHourly[h];
+    weekday_cdf[static_cast<std::size_t>(h)] = weekday_total;
+    weekend_cdf[static_cast<std::size_t>(h)] = weekend_total;
+  }
+
+  const std::int64_t num_days =
+      std::max<std::int64_t>(1, options.duration_seconds / 86400);
+
+  std::vector<float>& fare = table.mutable_attribute_column(0);
+  std::vector<float>& distance = table.mutable_attribute_column(1);
+  std::vector<float>& passengers = table.mutable_attribute_column(2);
+  std::vector<float>& tip = table.mutable_attribute_column(3);
+  fare.reserve(options.num_trips);
+  distance.reserve(options.num_trips);
+  passengers.reserve(options.num_trips);
+  tip.reserve(options.num_trips);
+
+  for (std::size_t i = 0; i < options.num_trips; ++i) {
+    // --- location ---
+    geometry::Vec2 p;
+    if (rng.NextDouble() < options.hotspot_fraction && !hotspots.empty()) {
+      const Hotspot& spot =
+          hotspots[SampleIndex(hotspot_cdf, hotspot_total, rng)];
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const double gx = rng.NextGaussian() * spot.sigma_x;
+        const double gy = rng.NextGaussian() * spot.sigma_y;
+        const double c = std::cos(spot.rotation);
+        const double s = std::sin(spot.rotation);
+        p = {spot.center.x + gx * c - gy * s,
+             spot.center.y + gx * s + gy * c};
+        if (options.bounds.Contains(p)) break;
+        p = spot.center;  // fallback if all attempts leave the city
+      }
+    } else {
+      p = {rng.NextDouble(options.bounds.min_x, options.bounds.max_x),
+           rng.NextDouble(options.bounds.min_y, options.bounds.max_y)};
+    }
+
+    // --- time ---
+    const std::int64_t day = rng.NextInt(0, num_days - 1);
+    // 2009-01-01 was a Thursday; day-of-week = (4 + day) % 7, 0 = Sunday.
+    const int dow = static_cast<int>((4 + day) % 7);
+    const bool weekday = dow >= 1 && dow <= 5;
+    const std::size_t hour =
+        weekday ? SampleIndex(weekday_cdf, weekday_total, rng)
+                : SampleIndex(weekend_cdf, weekend_total, rng);
+    const std::int64_t t = options.start_time + day * 86400 +
+                           static_cast<std::int64_t>(hour) * 3600 +
+                           rng.NextInt(0, 3599);
+
+    // --- attributes ---
+    // Trip distance: lognormal-ish, median ~1.8 miles, capped at 30.
+    const double dist =
+        std::min(30.0, std::exp(rng.NextGaussian(0.6, 0.7)));
+    // 2009 fare structure: $2.50 flag drop + ~$2.4/mile + noise.
+    const double fare_usd =
+        std::max(2.5, 2.5 + 2.4 * dist + rng.NextGaussian(0.0, 1.0));
+    const double tip_usd =
+        rng.NextBool(0.55) ? fare_usd * rng.NextDouble(0.08, 0.30) : 0.0;
+    const double r = rng.NextDouble();
+    // Passenger counts: heavily skewed toward 1.
+    int pax = 1;
+    if (r > 0.70) pax = 2;
+    if (r > 0.85) pax = 3;
+    if (r > 0.92) pax = 4;
+    if (r > 0.96) pax = 5;
+    if (r > 0.99) pax = 6;
+
+    table.AppendXyt(static_cast<float>(p.x), static_cast<float>(p.y), t);
+    fare.push_back(static_cast<float>(fare_usd));
+    distance.push_back(static_cast<float>(dist));
+    passengers.push_back(static_cast<float>(pax));
+    tip.push_back(static_cast<float>(tip_usd));
+  }
+  return table;
+}
+
+}  // namespace urbane::data

@@ -1,0 +1,48 @@
+#ifndef URBANE_DATA_TAXI_GENERATOR_H_
+#define URBANE_DATA_TAXI_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/point_table.h"
+#include "geometry/bounding_box.h"
+#include "geometry/mercator.h"
+
+namespace urbane::data {
+
+/// Configuration for the synthetic NYC-taxi feed.
+///
+/// The real evaluation data (NYC TLC trip records) is not redistributable /
+/// available offline, so this generator reproduces the workload properties
+/// the spatial-aggregation algorithms are sensitive to:
+///  * heavy spatial skew — a Zipf-weighted mixture of Gaussian hotspots laid
+///    out along a Manhattan-like diagonal spine, plus a uniform background;
+///  * temporal periodicity — diurnal demand curve with rush-hour peaks and a
+///    weekday/weekend split;
+///  * correlated attributes — fare grows with trip distance, tips are a
+///    fraction of fare, passenger counts are small-integer skewed.
+struct TaxiGeneratorOptions {
+  std::size_t num_trips = 1'000'000;
+  std::uint64_t seed = 42;
+  /// 2009-01-01 00:00:00 UTC — the month shown in the paper's Figure 1.
+  std::int64_t start_time = 1230768000;
+  std::int64_t duration_seconds = 31LL * 24 * 3600;
+  geometry::BoundingBox bounds = geometry::NycMercatorBounds();
+  int num_hotspots = 24;
+  /// Fraction of trips drawn from the hotspot mixture (rest uniform).
+  double hotspot_fraction = 0.85;
+};
+
+/// Attribute columns of the generated table, in schema order.
+/// {fare_amount, trip_distance, passenger_count, tip_amount}
+extern const char* const kTaxiAttributeNames[4];
+
+/// Generates the synthetic taxi pickup table.
+PointTable GenerateTaxiTrips(const TaxiGeneratorOptions& options);
+
+/// Relative demand weight for an hour-of-day (0-23) and weekday flag;
+/// exposed so tests can verify the generated temporal profile matches.
+double TaxiHourWeight(int hour, bool weekday);
+
+}  // namespace urbane::data
+
+#endif  // URBANE_DATA_TAXI_GENERATOR_H_

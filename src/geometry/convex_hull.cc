@@ -1,0 +1,39 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+
+namespace urbane::geometry {
+
+Ring ConvexHull(std::vector<Vec2> points) {
+  std::sort(points.begin(), points.end(), [](const Vec2& a, const Vec2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n < 3) {
+    return points;
+  }
+
+  Ring hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Orient2d(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size &&
+           Orient2d(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return hull;
+}
+
+}  // namespace urbane::geometry

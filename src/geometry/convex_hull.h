@@ -1,0 +1,18 @@
+#ifndef URBANE_GEOMETRY_CONVEX_HULL_H_
+#define URBANE_GEOMETRY_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace urbane::geometry {
+
+/// Andrew's monotone-chain convex hull. Returns the hull as a CCW ring
+/// without collinear interior points. Inputs with < 3 distinct
+/// non-collinear points return the degenerate chain (0–2 points).
+Ring ConvexHull(std::vector<Vec2> points);
+
+}  // namespace urbane::geometry
+
+#endif  // URBANE_GEOMETRY_CONVEX_HULL_H_

@@ -1,0 +1,68 @@
+#ifndef URBANE_GEOMETRY_POINT_H_
+#define URBANE_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace urbane::geometry {
+
+/// 2-D point / vector in world coordinates (double precision; the columnar
+/// point store keeps float32 like the GPU pipeline, but all geometry math is
+/// done in double).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2& o) const {
+    return x == o.x && y == o.y;
+  }
+
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product (signed parallelogram area).
+  constexpr double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+  double DistanceTo(const Vec2& o) const { return (*this - o).Norm(); }
+  constexpr double SquaredDistanceTo(const Vec2& o) const {
+    return (*this - o).SquaredNorm();
+  }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+/// Signed orientation of the triangle (a, b, c):
+/// > 0 counter-clockwise, < 0 clockwise, == 0 collinear.
+constexpr double Orient2d(const Vec2& a, const Vec2& b, const Vec2& c) {
+  return (b - a).Cross(c - a);
+}
+
+}  // namespace urbane::geometry
+
+#endif  // URBANE_GEOMETRY_POINT_H_

@@ -1,0 +1,39 @@
+#ifndef URBANE_GEOMETRY_SEGMENT_H_
+#define URBANE_GEOMETRY_SEGMENT_H_
+
+#include <optional>
+
+#include "geometry/point.h"
+
+namespace urbane::geometry {
+
+/// Closed line segment between two endpoints.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double Length() const { return a.DistanceTo(b); }
+};
+
+/// True if point `p` lies on segment `s` (within exact arithmetic of the
+/// doubles involved; collinearity uses an exact-zero cross product).
+bool PointOnSegment(const Vec2& p, const Segment& s);
+
+/// True if the closed segments intersect (including touching endpoints and
+/// collinear overlap).
+bool SegmentsIntersect(const Segment& s1, const Segment& s2);
+
+/// Proper intersection point of two segments if they cross at a single
+/// point (excluding collinear overlap, where no single point exists).
+std::optional<Vec2> SegmentIntersectionPoint(const Segment& s1,
+                                             const Segment& s2);
+
+/// Euclidean distance from `p` to the closed segment `s`.
+double DistancePointToSegment(const Vec2& p, const Segment& s);
+
+/// Squared version (avoids the sqrt in hot loops).
+double SquaredDistancePointToSegment(const Vec2& p, const Segment& s);
+
+}  // namespace urbane::geometry
+
+#endif  // URBANE_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,113 @@
+#include "geometry/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/segment.h"
+
+namespace urbane::geometry {
+
+namespace {
+
+void RdpRecurse(const std::vector<Vec2>& points, std::size_t begin,
+                std::size_t end, double tolerance2,
+                std::vector<bool>& keep) {
+  if (end <= begin + 1) {
+    return;
+  }
+  const Segment chord{points[begin], points[end]};
+  double max_dist2 = -1.0;
+  std::size_t split = begin;
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    const double d2 = SquaredDistancePointToSegment(points[i], chord);
+    if (d2 > max_dist2) {
+      max_dist2 = d2;
+      split = i;
+    }
+  }
+  if (max_dist2 > tolerance2) {
+    keep[split] = true;
+    RdpRecurse(points, begin, split, tolerance2, keep);
+    RdpRecurse(points, split, end, tolerance2, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<Vec2> SimplifyPolyline(const std::vector<Vec2>& points,
+                                   double tolerance) {
+  if (points.size() <= 2) {
+    return points;
+  }
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  RdpRecurse(points, 0, points.size() - 1, tolerance * tolerance, keep);
+  std::vector<Vec2> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) {
+      out.push_back(points[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Ring SimplifyRing(const Ring& ring, double tolerance) {
+  if (ring.size() <= 4) {
+    return ring;
+  }
+  // Split the closed ring at its two mutually farthest vertices so each half
+  // is an open polyline whose endpoints are pinned.
+  std::size_t i_far = 0;
+  std::size_t j_far = 1;
+  double best = -1.0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    for (std::size_t j = i + 1; j < ring.size(); ++j) {
+      const double d2 = ring[i].SquaredDistanceTo(ring[j]);
+      if (d2 > best) {
+        best = d2;
+        i_far = i;
+        j_far = j;
+      }
+    }
+  }
+  std::vector<Vec2> first_half;
+  for (std::size_t k = i_far; k != j_far; k = (k + 1) % ring.size()) {
+    first_half.push_back(ring[k]);
+  }
+  first_half.push_back(ring[j_far]);
+  std::vector<Vec2> second_half;
+  for (std::size_t k = j_far; k != i_far; k = (k + 1) % ring.size()) {
+    second_half.push_back(ring[k]);
+  }
+  second_half.push_back(ring[i_far]);
+
+  std::vector<Vec2> a = SimplifyPolyline(first_half, tolerance);
+  std::vector<Vec2> b = SimplifyPolyline(second_half, tolerance);
+  Ring out;
+  out.reserve(a.size() + b.size() - 2);
+  out.insert(out.end(), a.begin(), a.end() - 1);
+  out.insert(out.end(), b.begin(), b.end() - 1);
+  if (out.size() < 3) {
+    return ring;  // refuse to collapse the ring
+  }
+  return out;
+}
+
+}  // namespace
+
+Polygon SimplifyPolygon(const Polygon& polygon, double tolerance) {
+  Polygon out(SimplifyRing(polygon.outer(), tolerance));
+  for (const Ring& hole : polygon.holes()) {
+    Ring simplified = SimplifyRing(hole, tolerance);
+    if (simplified.size() >= 3 && RingSignedArea(simplified) != 0.0) {
+      out.add_hole(std::move(simplified));
+    }
+  }
+  return out;
+}
+
+}  // namespace urbane::geometry

@@ -1,0 +1,27 @@
+#ifndef URBANE_GEOMETRY_SIMPLIFY_H_
+#define URBANE_GEOMETRY_SIMPLIFY_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace urbane::geometry {
+
+/// Ramer–Douglas–Peucker simplification of an open polyline. Keeps the first
+/// and last vertices; drops interior vertices whose deviation from the
+/// simplified chain is <= `tolerance`.
+std::vector<Vec2> SimplifyPolyline(const std::vector<Vec2>& points,
+                                   double tolerance);
+
+/// Simplifies each ring of the polygon (treating rings as closed: the ring
+/// is split at its two mutually farthest vertices so RDP applies cleanly).
+/// Rings that would collapse below 3 vertices are left unsimplified.
+///
+/// Urbane uses this for level-of-detail: coarse zoom levels draw simplified
+/// region boundaries, which also shrinks raster-join vertex workloads.
+Polygon SimplifyPolygon(const Polygon& polygon, double tolerance);
+
+}  // namespace urbane::geometry
+
+#endif  // URBANE_GEOMETRY_SIMPLIFY_H_

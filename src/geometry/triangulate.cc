@@ -1,0 +1,255 @@
+#include "geometry/triangulate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/segment.h"
+
+namespace urbane::geometry {
+
+bool Triangle::Contains(const Vec2& p) const {
+  const double d1 = Orient2d(a, b, p);
+  const double d2 = Orient2d(b, c, p);
+  const double d3 = Orient2d(c, a, p);
+  const bool has_neg = (d1 < 0) || (d2 < 0) || (d3 < 0);
+  const bool has_pos = (d1 > 0) || (d2 > 0) || (d3 > 0);
+  return !(has_neg && has_pos);
+}
+
+namespace {
+
+// Strict interior test (points on the triangle edge do not count); used to
+// reject ears that would swallow another vertex.
+bool StrictlyInsideTriangle(const Vec2& a, const Vec2& b, const Vec2& c,
+                            const Vec2& p) {
+  return Orient2d(a, b, p) > 0 && Orient2d(b, c, p) > 0 &&
+         Orient2d(c, a, p) > 0;
+}
+
+// Ear-clips a CCW ring given as an index chain into `pts`.
+std::vector<Triangle> EarClipChain(const std::vector<Vec2>& pts) {
+  std::vector<Triangle> triangles;
+  const std::size_t n = pts.size();
+  if (n < 3) return triangles;
+  triangles.reserve(n - 2);
+
+  std::vector<std::size_t> chain(n);
+  for (std::size_t i = 0; i < n; ++i) chain[i] = i;
+
+  std::size_t guard = 0;
+  const std::size_t max_steps = 2 * n * n + 16;
+  while (chain.size() > 3 && guard++ < max_steps) {
+    bool clipped = false;
+    const std::size_t m = chain.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      const Vec2& prev = pts[chain[(i + m - 1) % m]];
+      const Vec2& cur = pts[chain[i]];
+      const Vec2& next = pts[chain[(i + 1) % m]];
+      const double orient = Orient2d(prev, cur, next);
+      if (orient < 0) {
+        continue;  // reflex vertex, not an ear
+      }
+      if (orient == 0) {
+        // Collinear / duplicate vertex: removing it changes nothing.
+        chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(i));
+        clipped = true;
+        break;
+      }
+      bool blocked = false;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j == i || j == (i + m - 1) % m || j == (i + 1) % m) continue;
+        const Vec2& q = pts[chain[j]];
+        if (q == prev || q == cur || q == next) continue;  // bridge dups
+        if (StrictlyInsideTriangle(prev, cur, next, q)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      triangles.push_back(Triangle{prev, cur, next});
+      chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(i));
+      clipped = true;
+      break;
+    }
+    if (!clipped) {
+      // Numerically stuck (e.g. nearly-degenerate input): clip the most
+      // convex vertex to guarantee progress.
+      std::size_t best = 0;
+      double best_orient = -std::numeric_limits<double>::infinity();
+      const std::size_t mm = chain.size();
+      for (std::size_t i = 0; i < mm; ++i) {
+        const double o = Orient2d(pts[chain[(i + mm - 1) % mm]], pts[chain[i]],
+                                  pts[chain[(i + 1) % mm]]);
+        if (o > best_orient) {
+          best_orient = o;
+          best = i;
+        }
+      }
+      const std::size_t mm2 = chain.size();
+      triangles.push_back(Triangle{pts[chain[(best + mm2 - 1) % mm2]],
+                                   pts[chain[best]],
+                                   pts[chain[(best + 1) % mm2]]});
+      chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+  }
+  if (chain.size() == 3) {
+    const Vec2& a = pts[chain[0]];
+    const Vec2& b = pts[chain[1]];
+    const Vec2& c = pts[chain[2]];
+    if (Orient2d(a, b, c) != 0) {
+      triangles.push_back(Triangle{a, b, c});
+    }
+  }
+  // Drop zero-area output triangles from the fallback path.
+  triangles.erase(std::remove_if(triangles.begin(), triangles.end(),
+                                 [](const Triangle& t) {
+                                   return t.Area() == 0.0;
+                                 }),
+                  triangles.end());
+  return triangles;
+}
+
+// True if segment (a, b) crosses any edge of `ring`, ignoring edges that
+// share an endpoint with the segment.
+bool SegmentCrossesRing(const Vec2& a, const Vec2& b, const Ring& ring) {
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2& u = ring[j];
+    const Vec2& v = ring[i];
+    if (u == a || u == b || v == a || v == b) continue;
+    if (SegmentsIntersect(Segment{a, b}, Segment{u, v})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Merges `hole` (any orientation; will be traversed CW) into `outer` (CCW)
+// via the closest mutually visible vertex pair, duplicating the two bridge
+// endpoints.
+Ring BridgeHole(const Ring& outer, const Ring& hole,
+                const std::vector<Ring>& all_holes) {
+  Ring hole_cw = hole;
+  if (RingIsCounterClockwise(hole_cw)) {
+    std::reverse(hole_cw.begin(), hole_cw.end());
+  }
+
+  // Candidate bridges ordered by squared length.
+  struct Candidate {
+    std::size_t outer_idx;
+    std::size_t hole_idx;
+    double dist2;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(outer.size() * hole_cw.size());
+  for (std::size_t p = 0; p < outer.size(); ++p) {
+    for (std::size_t m = 0; m < hole_cw.size(); ++m) {
+      candidates.push_back(
+          {p, m, outer[p].SquaredDistanceTo(hole_cw[m])});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist2 < b.dist2;
+            });
+
+  std::size_t bridge_outer = 0;
+  std::size_t bridge_hole = 0;
+  bool found = false;
+  for (const Candidate& c : candidates) {
+    const Vec2& a = outer[c.outer_idx];
+    const Vec2& b = hole_cw[c.hole_idx];
+    if (SegmentCrossesRing(a, b, outer)) continue;
+    bool crosses_hole = false;
+    for (const Ring& h : all_holes) {
+      if (SegmentCrossesRing(a, b, h)) {
+        crosses_hole = true;
+        break;
+      }
+    }
+    if (crosses_hole) continue;
+    bridge_outer = c.outer_idx;
+    bridge_hole = c.hole_idx;
+    found = true;
+    break;
+  }
+  if (!found && !candidates.empty()) {
+    bridge_outer = candidates.front().outer_idx;
+    bridge_hole = candidates.front().hole_idx;
+  }
+
+  Ring merged;
+  merged.reserve(outer.size() + hole_cw.size() + 2);
+  for (std::size_t i = 0; i <= bridge_outer; ++i) {
+    merged.push_back(outer[i]);
+  }
+  for (std::size_t k = 0; k <= hole_cw.size(); ++k) {
+    merged.push_back(hole_cw[(bridge_hole + k) % hole_cw.size()]);
+  }
+  merged.push_back(outer[bridge_outer]);
+  for (std::size_t i = bridge_outer + 1; i < outer.size(); ++i) {
+    merged.push_back(outer[i]);
+  }
+  return merged;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Triangle>> TriangulateRing(const Ring& ring) {
+  if (ring.size() < 3) {
+    return Status::InvalidArgument("cannot triangulate a ring with < 3 vertices");
+  }
+  Ring ccw = ring;
+  if (!RingIsCounterClockwise(ccw)) {
+    std::reverse(ccw.begin(), ccw.end());
+  }
+  if (RingSignedArea(ccw) == 0.0) {
+    return Status::InvalidArgument("cannot triangulate a zero-area ring");
+  }
+  return EarClipChain(ccw);
+}
+
+StatusOr<std::vector<Triangle>> TriangulatePolygon(const Polygon& polygon) {
+  if (polygon.holes().empty()) {
+    return TriangulateRing(polygon.outer());
+  }
+  Ring outer = polygon.outer();
+  if (outer.size() < 3) {
+    return Status::InvalidArgument("cannot triangulate a polygon with < 3 vertices");
+  }
+  if (!RingIsCounterClockwise(outer)) {
+    std::reverse(outer.begin(), outer.end());
+  }
+  // Merge holes from the one with the largest max-x inward; this matches the
+  // earcut heuristic and keeps bridges from crossing unprocessed holes.
+  std::vector<std::size_t> order(polygon.holes().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto max_x = [&](std::size_t h) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (const Vec2& v : polygon.holes()[h]) mx = std::max(mx, v.x);
+    return mx;
+  };
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return max_x(a) > max_x(b); });
+
+  std::vector<Ring> remaining;
+  for (const std::size_t h : order) remaining.push_back(polygon.holes()[h]);
+  Ring merged = outer;
+  while (!remaining.empty()) {
+    const Ring hole = remaining.front();
+    remaining.erase(remaining.begin());
+    merged = BridgeHole(merged, hole, remaining);
+  }
+  return EarClipChain(merged);
+}
+
+double TotalArea(const std::vector<Triangle>& triangles) {
+  double total = 0.0;
+  for (const Triangle& t : triangles) {
+    total += t.Area();
+  }
+  return total;
+}
+
+}  // namespace urbane::geometry

@@ -1,0 +1,91 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/clip.h"
+
+namespace urbane::index {
+
+StatusOr<GridIndex> GridIndex::Build(const float* xs, const float* ys,
+                                     std::size_t count,
+                                     const geometry::BoundingBox& bounds,
+                                     int cells_x, int cells_y) {
+  if (cells_x <= 0 || cells_y <= 0) {
+    return Status::InvalidArgument("grid dimensions must be positive");
+  }
+  if (bounds.IsEmpty() || bounds.Width() <= 0.0 || bounds.Height() <= 0.0) {
+    return Status::InvalidArgument("grid bounds must have positive extent");
+  }
+  GridIndex index;
+  index.bounds_ = bounds;
+  index.cells_x_ = cells_x;
+  index.cells_y_ = cells_y;
+  index.cell_w_ = bounds.Width() / cells_x;
+  index.cell_h_ = bounds.Height() / cells_y;
+
+  const std::size_t num_cells =
+      static_cast<std::size_t>(cells_x) * static_cast<std::size_t>(cells_y);
+  std::vector<std::size_t> counts(num_cells, 0);
+  std::vector<std::size_t> cell_of_point(count);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const geometry::Vec2 p{xs[i], ys[i]};
+    if (!bounds.Contains(p)) {
+      cell_of_point[i] = num_cells;  // sentinel: outside
+      continue;
+    }
+    const int cx = index.CellXForWorld(p.x);
+    const int cy = index.CellYForWorld(p.y);
+    const std::size_t cell = index.CellIndex(cx, cy);
+    cell_of_point[i] = cell;
+    ++counts[cell];
+    ++kept;
+  }
+  index.offsets_.assign(num_cells + 1, 0);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    index.offsets_[c + 1] = index.offsets_[c] + counts[c];
+  }
+  index.ids_.resize(kept);
+  std::vector<std::size_t> cursor(index.offsets_.begin(),
+                                  index.offsets_.end() - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t cell = cell_of_point[i];
+    if (cell == num_cells) continue;
+    index.ids_[cursor[cell]++] = static_cast<std::uint32_t>(i);
+  }
+  return index;
+}
+
+StatusOr<GridIndex> GridIndex::BuildAuto(const float* xs, const float* ys,
+                                         std::size_t count,
+                                         const geometry::BoundingBox& bounds,
+                                         double target_points_per_cell) {
+  const double want_cells =
+      std::max(1.0, static_cast<double>(count) /
+                        std::max(1.0, target_points_per_cell));
+  // Near-square cells matching the world aspect ratio.
+  const double aspect = bounds.Height() / bounds.Width();
+  const int cx = std::max(
+      1, static_cast<int>(std::lround(std::sqrt(want_cells / aspect))));
+  const int cy = std::max(1, static_cast<int>(std::lround(cx * aspect)));
+  return Build(xs, ys, count, bounds, cx, cy);
+}
+
+geometry::BoundingBox GridIndex::CellBounds(int cx, int cy) const {
+  return {bounds_.min_x + cx * cell_w_, bounds_.min_y + cy * cell_h_,
+          bounds_.min_x + (cx + 1) * cell_w_,
+          bounds_.min_y + (cy + 1) * cell_h_};
+}
+
+int GridIndex::CellXForWorld(double wx) const {
+  const int cx = static_cast<int>((wx - bounds_.min_x) / cell_w_);
+  return std::clamp(cx, 0, cells_x_ - 1);
+}
+
+int GridIndex::CellYForWorld(double wy) const {
+  const int cy = static_cast<int>((wy - bounds_.min_y) / cell_h_);
+  return std::clamp(cy, 0, cells_y_ - 1);
+}
+
+}  // namespace urbane::index

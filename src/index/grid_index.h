@@ -1,0 +1,119 @@
+#ifndef URBANE_INDEX_GRID_INDEX_H_
+#define URBANE_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/bounding_box.h"
+#include "geometry/clip.h"
+#include "geometry/polygon.h"
+#include "util/status.h"
+
+namespace urbane::index {
+
+/// Uniform grid over a point set — the index-based spatial-join baseline the
+/// Raster Join evaluation compares against.
+///
+/// Build: counting-sort point ids into cells (CSR layout, two passes).
+/// Probe: for a polygon, cells overlapping its bounding box are classified
+/// as *interior* (fully inside the polygon: every contained point matches
+/// with no test) or *boundary* (the polygon edge crosses the cell: each
+/// point needs an exact point-in-polygon test).
+class GridIndex {
+ public:
+  /// Builds over `count` points. `cells_x/cells_y` control granularity; the
+  /// usual setting is ~sqrt(count) cells total (see Build() helpers).
+  static StatusOr<GridIndex> Build(const float* xs, const float* ys,
+                                   std::size_t count,
+                                   const geometry::BoundingBox& bounds,
+                                   int cells_x, int cells_y);
+
+  /// Chooses a near-square grid with roughly `target_points_per_cell`.
+  static StatusOr<GridIndex> BuildAuto(const float* xs, const float* ys,
+                                       std::size_t count,
+                                       const geometry::BoundingBox& bounds,
+                                       double target_points_per_cell = 64.0);
+
+  int cells_x() const { return cells_x_; }
+  int cells_y() const { return cells_y_; }
+  const geometry::BoundingBox& bounds() const { return bounds_; }
+  std::size_t point_count() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  /// Point ids in cell (cx, cy) as a contiguous span.
+  const std::uint32_t* CellBegin(int cx, int cy) const {
+    return ids_.data() + offsets_[CellIndex(cx, cy)];
+  }
+  const std::uint32_t* CellEnd(int cx, int cy) const {
+    return ids_.data() + offsets_[CellIndex(cx, cy) + 1];
+  }
+  std::size_t CellSize(int cx, int cy) const {
+    const std::size_t c = CellIndex(cx, cy);
+    return offsets_[c + 1] - offsets_[c];
+  }
+
+  geometry::BoundingBox CellBounds(int cx, int cy) const;
+
+  /// Calls `interior(cx, cy)` for cells fully inside the polygon and
+  /// `boundary(cx, cy)` for cells the polygon boundary touches. Cells
+  /// outside the polygon are skipped.
+  template <typename InteriorFn, typename BoundaryFn>
+  void ClassifyCells(const geometry::Polygon& polygon, InteriorFn&& interior,
+                     BoundaryFn&& boundary) const;
+
+  /// Total bytes held by the index (for the memory-footprint table).
+  std::size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(std::size_t) +
+           ids_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  GridIndex() = default;
+
+  std::size_t CellIndex(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * cells_x_ + cx;
+  }
+
+  int CellXForWorld(double wx) const;
+  int CellYForWorld(double wy) const;
+
+  geometry::BoundingBox bounds_;
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+  std::vector<std::size_t> offsets_;   // cells_x*cells_y + 1
+  std::vector<std::uint32_t> ids_;     // point ids grouped by cell
+};
+
+// ---- template implementation ----
+
+template <typename InteriorFn, typename BoundaryFn>
+void GridIndex::ClassifyCells(const geometry::Polygon& polygon,
+                              InteriorFn&& interior,
+                              BoundaryFn&& boundary) const {
+  const geometry::BoundingBox poly_box = polygon.Bounds();
+  if (!poly_box.Intersects(bounds_)) {
+    return;
+  }
+  const int cx_lo = CellXForWorld(poly_box.min_x);
+  const int cx_hi = CellXForWorld(poly_box.max_x);
+  const int cy_lo = CellYForWorld(poly_box.min_y);
+  const int cy_hi = CellYForWorld(poly_box.max_y);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      const geometry::BoundingBox cell = CellBounds(cx, cy);
+      if (geometry::PolygonBoundaryIntersectsBox(polygon, cell)) {
+        boundary(cx, cy);
+      } else if (polygon.Contains(cell.Center())) {
+        // No boundary crossing + center inside => cell fully inside.
+        interior(cx, cy);
+      }
+    }
+  }
+}
+
+}  // namespace urbane::index
+
+#endif  // URBANE_INDEX_GRID_INDEX_H_

@@ -1,0 +1,88 @@
+#include "index/quadtree.h"
+
+#include <algorithm>
+
+namespace urbane::index {
+
+StatusOr<Quadtree> Quadtree::Build(const float* xs, const float* ys,
+                                   std::size_t count,
+                                   const geometry::BoundingBox& bounds,
+                                   const Options& options) {
+  if (bounds.IsEmpty() || bounds.Width() <= 0.0 || bounds.Height() <= 0.0) {
+    return Status::InvalidArgument("quadtree bounds must have positive extent");
+  }
+  if (options.max_points_per_leaf == 0) {
+    return Status::InvalidArgument("max_points_per_leaf must be positive");
+  }
+  Quadtree tree;
+  tree.ids_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (bounds.Contains({xs[i], ys[i]})) {
+      tree.ids_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  Node root;
+  root.bounds = bounds;
+  root.begin = 0;
+  root.end = static_cast<std::uint32_t>(tree.ids_.size());
+  tree.nodes_.push_back(root);
+  tree.BuildNode(0, xs, ys, 0, options);
+  return tree;
+}
+
+void Quadtree::BuildNode(std::uint32_t node_index, const float* xs,
+                         const float* ys, int depth, const Options& options) {
+  max_depth_reached_ = std::max(max_depth_reached_, depth);
+  // Copy the range: nodes_ may reallocate while children are appended.
+  const geometry::BoundingBox bounds = nodes_[node_index].bounds;
+  const std::uint32_t begin = nodes_[node_index].begin;
+  const std::uint32_t end = nodes_[node_index].end;
+  if (end - begin <= options.max_points_per_leaf ||
+      depth >= options.max_depth) {
+    return;  // stays a leaf
+  }
+  const geometry::Vec2 center = bounds.Center();
+
+  // Quadtree sort: partition [begin, end) into SW | SE | NW | NE.
+  auto* ids = ids_.data();
+  auto below = [&](std::uint32_t id) { return ys[id] < center.y; };
+  auto left = [&](std::uint32_t id) { return xs[id] < center.x; };
+  std::uint32_t* mid_y = std::partition(ids + begin, ids + end, below);
+  std::uint32_t* sw_end = std::partition(ids + begin, mid_y, left);
+  std::uint32_t* nw_end = std::partition(mid_y, ids + end, left);
+
+  const std::uint32_t south_split =
+      static_cast<std::uint32_t>(sw_end - ids);
+  const std::uint32_t y_split = static_cast<std::uint32_t>(mid_y - ids);
+  const std::uint32_t north_split =
+      static_cast<std::uint32_t>(nw_end - ids);
+
+  const std::int32_t first_child = static_cast<std::int32_t>(nodes_.size());
+  nodes_[node_index].first_child = first_child;
+
+  const geometry::BoundingBox quads[4] = {
+      {bounds.min_x, bounds.min_y, center.x, center.y},  // SW
+      {center.x, bounds.min_y, bounds.max_x, center.y},  // SE
+      {bounds.min_x, center.y, center.x, bounds.max_y},  // NW
+      {center.x, center.y, bounds.max_x, bounds.max_y},  // NE
+  };
+  const std::uint32_t ranges[4][2] = {
+      {begin, south_split},
+      {south_split, y_split},
+      {y_split, north_split},
+      {north_split, end},
+  };
+  for (int c = 0; c < 4; ++c) {
+    Node child;
+    child.bounds = quads[c];
+    child.begin = ranges[c][0];
+    child.end = ranges[c][1];
+    nodes_.push_back(child);
+  }
+  for (int c = 0; c < 4; ++c) {
+    BuildNode(static_cast<std::uint32_t>(first_child + c), xs, ys, depth + 1,
+              options);
+  }
+}
+
+}  // namespace urbane::index

@@ -1,0 +1,89 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urbane::index {
+
+StatusOr<RTree> RTree::Build(const std::vector<geometry::BoundingBox>& boxes,
+                             const Options& options) {
+  if (options.leaf_capacity == 0 || options.fanout < 2) {
+    return Status::InvalidArgument("invalid R-tree options");
+  }
+  RTree tree;
+  tree.item_boxes_ = boxes;
+  tree.item_count_ = boxes.size();
+  if (boxes.empty()) {
+    return tree;
+  }
+
+  // STR pass 1: order items by x-tile then y within each tile.
+  const std::size_t n = boxes.size();
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+
+  const std::size_t leaves =
+      (n + options.leaf_capacity - 1) / options.leaf_capacity;
+  const std::size_t slices =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(
+                                   std::sqrt(static_cast<double>(leaves)))));
+  const std::size_t per_slice =
+      (n + slices - 1) / slices;  // items per vertical slice
+
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return boxes[a].Center().x < boxes[b].Center().x;
+            });
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t begin = s * per_slice;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + per_slice);
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+              order.begin() + static_cast<std::ptrdiff_t>(end),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return boxes[a].Center().y < boxes[b].Center().y;
+              });
+  }
+
+  // Build leaves over the packed ordering.
+  tree.items_ = order;
+  std::vector<std::uint32_t> level;  // node ids at the current level
+  for (std::size_t begin = 0; begin < n; begin += options.leaf_capacity) {
+    const std::size_t end = std::min(n, begin + options.leaf_capacity);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.begin = static_cast<std::uint32_t>(begin);
+    leaf.end = static_cast<std::uint32_t>(end);
+    for (std::size_t k = begin; k < end; ++k) {
+      leaf.bounds.Extend(boxes[tree.items_[k]]);
+    }
+    level.push_back(static_cast<std::uint32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(leaf);
+  }
+  tree.height_ = 1;
+
+  // Pack upper levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> next_level;
+    for (std::size_t begin = 0; begin < level.size();
+         begin += options.fanout) {
+      const std::size_t end = std::min(level.size(), begin + options.fanout);
+      Node internal;
+      internal.leaf = false;
+      internal.begin = static_cast<std::uint32_t>(tree.children_.size());
+      for (std::size_t k = begin; k < end; ++k) {
+        tree.children_.push_back(level[k]);
+        internal.bounds.Extend(tree.nodes_[level[k]].bounds);
+      }
+      internal.end = static_cast<std::uint32_t>(tree.children_.size());
+      next_level.push_back(static_cast<std::uint32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(internal);
+    }
+    level = std::move(next_level);
+    ++tree.height_;
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+}  // namespace urbane::index

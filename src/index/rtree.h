@@ -1,0 +1,115 @@
+#ifndef URBANE_INDEX_RTREE_H_
+#define URBANE_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/bounding_box.h"
+#include "util/status.h"
+
+namespace urbane::index {
+
+/// STR (Sort-Tile-Recursive) bulk-loaded R-tree over item bounding boxes.
+///
+/// Urbane uses it over *region* geometries: point probes ("which
+/// neighborhood was clicked?") and viewport-culling ("which regions are
+/// visible?") resolve through it. Static by design — region sets change
+/// rarely, so the packed layout beats dynamic insertion trees.
+struct RTreeOptions {
+  std::size_t leaf_capacity = 16;
+  std::size_t fanout = 16;
+};
+
+class RTree {
+ public:
+  using Options = RTreeOptions;
+
+  /// Builds from one box per item; item id == position in `boxes`.
+  static StatusOr<RTree> Build(const std::vector<geometry::BoundingBox>& boxes,
+                               const Options& options = RTreeOptions());
+
+  std::size_t item_count() const { return item_count_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  int height() const { return height_; }
+
+  /// Calls `visit(item_id)` for every item whose box contains `p`.
+  template <typename Visit>
+  void QueryPoint(const geometry::Vec2& p, Visit&& visit) const {
+    if (nodes_.empty()) return;
+    std::vector<std::uint32_t> stack = {root_};
+    while (!stack.empty()) {
+      const Node& node = nodes_[stack.back()];
+      stack.pop_back();
+      if (!node.bounds.Contains(p)) {
+        continue;
+      }
+      if (node.IsLeaf()) {
+        for (std::uint32_t k = node.begin; k < node.end; ++k) {
+          if (item_boxes_[items_[k]].Contains(p)) {
+            visit(items_[k]);
+          }
+        }
+      } else {
+        for (std::uint32_t k = node.begin; k < node.end; ++k) {
+          stack.push_back(children_[k]);
+        }
+      }
+    }
+  }
+
+  /// Calls `visit(item_id)` for every item whose box intersects `box`.
+  template <typename Visit>
+  void QueryBox(const geometry::BoundingBox& box, Visit&& visit) const {
+    if (nodes_.empty()) return;
+    std::vector<std::uint32_t> stack = {root_};
+    while (!stack.empty()) {
+      const Node& node = nodes_[stack.back()];
+      stack.pop_back();
+      if (!node.bounds.Intersects(box)) {
+        continue;
+      }
+      if (node.IsLeaf()) {
+        for (std::uint32_t k = node.begin; k < node.end; ++k) {
+          if (item_boxes_[items_[k]].Intersects(box)) {
+            visit(items_[k]);
+          }
+        }
+      } else {
+        for (std::uint32_t k = node.begin; k < node.end; ++k) {
+          stack.push_back(children_[k]);
+        }
+      }
+    }
+  }
+
+  std::size_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           items_.capacity() * sizeof(std::uint32_t) +
+           children_.capacity() * sizeof(std::uint32_t) +
+           item_boxes_.capacity() * sizeof(geometry::BoundingBox);
+  }
+
+ private:
+  struct Node {
+    geometry::BoundingBox bounds;
+    std::uint32_t begin = 0;  // into items_ (leaf) or children_ (internal)
+    std::uint32_t end = 0;
+    bool leaf = true;
+
+    bool IsLeaf() const { return leaf; }
+  };
+
+  RTree() = default;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> items_;     // leaf item ids
+  std::vector<std::uint32_t> children_;  // internal child node ids
+  std::vector<geometry::BoundingBox> item_boxes_;
+  std::uint32_t root_ = 0;
+  std::size_t item_count_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace urbane::index
+
+#endif  // URBANE_INDEX_RTREE_H_

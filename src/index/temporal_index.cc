@@ -1,0 +1,69 @@
+#include "index/temporal_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace urbane::index {
+
+StatusOr<TemporalIndex> TemporalIndex::Build(const std::int64_t* timestamps,
+                                             std::size_t count,
+                                             int histogram_bins) {
+  if (histogram_bins <= 0) {
+    return Status::InvalidArgument("histogram_bins must be positive");
+  }
+  TemporalIndex index;
+  index.sorted_ids_.resize(count);
+  std::iota(index.sorted_ids_.begin(), index.sorted_ids_.end(), 0);
+  std::sort(index.sorted_ids_.begin(), index.sorted_ids_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return timestamps[a] < timestamps[b];
+            });
+  index.sorted_times_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    index.sorted_times_[i] = timestamps[index.sorted_ids_[i]];
+  }
+  if (count > 0) {
+    index.min_time_ = index.sorted_times_.front();
+    index.max_time_ = index.sorted_times_.back();
+  }
+  index.histogram_.assign(static_cast<std::size_t>(histogram_bins), 0);
+  if (count > 0) {
+    const double span = static_cast<double>(index.max_time_ -
+                                            index.min_time_) +
+                        1.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double frac =
+          static_cast<double>(index.sorted_times_[i] - index.min_time_) /
+          span;
+      int bin = static_cast<int>(frac * histogram_bins);
+      bin = std::clamp(bin, 0, histogram_bins - 1);
+      ++index.histogram_[static_cast<std::size_t>(bin)];
+    }
+  }
+  return index;
+}
+
+std::pair<const std::uint32_t*, std::size_t> TemporalIndex::IdsInRange(
+    std::int64_t t_begin, std::int64_t t_end) const {
+  const auto lo = std::lower_bound(sorted_times_.begin(), sorted_times_.end(),
+                                   t_begin);
+  const auto hi =
+      std::lower_bound(lo, sorted_times_.end(), t_end);
+  const std::size_t offset =
+      static_cast<std::size_t>(lo - sorted_times_.begin());
+  return {sorted_ids_.data() + offset, static_cast<std::size_t>(hi - lo)};
+}
+
+std::size_t TemporalIndex::CountInRange(std::int64_t t_begin,
+                                        std::int64_t t_end) const {
+  return IdsInRange(t_begin, t_end).second;
+}
+
+std::int64_t TemporalIndex::BinStart(int b) const {
+  const double span =
+      static_cast<double>(max_time_ - min_time_) + 1.0;
+  return min_time_ + static_cast<std::int64_t>(
+                         span * b / static_cast<double>(histogram_.size()));
+}
+
+}  // namespace urbane::index

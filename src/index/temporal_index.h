@@ -1,0 +1,61 @@
+#ifndef URBANE_INDEX_TEMPORAL_INDEX_H_
+#define URBANE_INDEX_TEMPORAL_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace urbane::index {
+
+/// Sorted-timestamp index: point ids ordered by event time, plus an
+/// equal-width bin directory for histogram queries.
+///
+/// Urbane's time-brushing slider turns into `IdsInRange` calls: the
+/// contiguous id span for [t0, t1) feeds the raster join's filtered splat.
+class TemporalIndex {
+ public:
+  /// `timestamps[i]` is the event time (epoch seconds) of point i.
+  static StatusOr<TemporalIndex> Build(const std::int64_t* timestamps,
+                                       std::size_t count,
+                                       int histogram_bins = 256);
+
+  std::size_t point_count() const { return sorted_ids_.size(); }
+  std::int64_t min_time() const { return min_time_; }
+  std::int64_t max_time() const { return max_time_; }
+
+  /// Point ids with t in [t_begin, t_end), time-sorted, as a contiguous
+  /// span (pointer, count) into the index.
+  std::pair<const std::uint32_t*, std::size_t> IdsInRange(
+      std::int64_t t_begin, std::int64_t t_end) const;
+
+  /// Number of points with t in [t_begin, t_end).
+  std::size_t CountInRange(std::int64_t t_begin, std::int64_t t_end) const;
+
+  /// Equal-width histogram over [min_time, max_time]; bin -> count.
+  const std::vector<std::size_t>& Histogram() const { return histogram_; }
+  int histogram_bins() const { return static_cast<int>(histogram_.size()); }
+
+  /// Start time of histogram bin b.
+  std::int64_t BinStart(int b) const;
+
+  std::size_t MemoryBytes() const {
+    return sorted_ids_.capacity() * sizeof(std::uint32_t) +
+           sorted_times_.capacity() * sizeof(std::int64_t) +
+           histogram_.capacity() * sizeof(std::size_t);
+  }
+
+ private:
+  TemporalIndex() = default;
+
+  std::vector<std::uint32_t> sorted_ids_;
+  std::vector<std::int64_t> sorted_times_;
+  std::vector<std::size_t> histogram_;
+  std::int64_t min_time_ = 0;
+  std::int64_t max_time_ = 0;
+};
+
+}  // namespace urbane::index
+
+#endif  // URBANE_INDEX_TEMPORAL_INDEX_H_

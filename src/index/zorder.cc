@@ -1,0 +1,67 @@
+#include "index/zorder.h"
+
+#include <algorithm>
+
+namespace urbane::index {
+
+namespace {
+
+// Spreads the low 16 bits of v so a zero bit separates each (0b...abc ->
+// 0b...a0b0c).
+std::uint32_t Part1By1(std::uint32_t v) {
+  v &= 0x0000FFFF;
+  v = (v | (v << 8)) & 0x00FF00FF;
+  v = (v | (v << 4)) & 0x0F0F0F0F;
+  v = (v | (v << 2)) & 0x33333333;
+  v = (v | (v << 1)) & 0x55555555;
+  return v;
+}
+
+std::uint32_t Compact1By1(std::uint32_t v) {
+  v &= 0x55555555;
+  v = (v | (v >> 1)) & 0x33333333;
+  v = (v | (v >> 2)) & 0x0F0F0F0F;
+  v = (v | (v >> 4)) & 0x00FF00FF;
+  v = (v | (v >> 8)) & 0x0000FFFF;
+  return v;
+}
+
+std::uint64_t Part1By1Wide(std::uint64_t v) {
+  v &= 0x00000000FFFFFFFFULL;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t MortonEncode16(std::uint16_t x, std::uint16_t y) {
+  return Part1By1(x) | (Part1By1(y) << 1);
+}
+
+void MortonDecode16(std::uint32_t code, std::uint16_t& x, std::uint16_t& y) {
+  x = static_cast<std::uint16_t>(Compact1By1(code));
+  y = static_cast<std::uint16_t>(Compact1By1(code >> 1));
+}
+
+std::uint64_t MortonEncode32(std::uint32_t x, std::uint32_t y) {
+  return Part1By1Wide(x) | (Part1By1Wide(y) << 1);
+}
+
+std::uint32_t ZOrderKey(const geometry::Vec2& p,
+                        const geometry::BoundingBox& bounds) {
+  const double fx = (p.x - bounds.min_x) / bounds.Width();
+  const double fy = (p.y - bounds.min_y) / bounds.Height();
+  const double clamped_x = std::clamp(fx, 0.0, 1.0);
+  const double clamped_y = std::clamp(fy, 0.0, 1.0);
+  const auto qx = static_cast<std::uint16_t>(
+      std::min(65535.0, clamped_x * 65536.0));
+  const auto qy = static_cast<std::uint16_t>(
+      std::min(65535.0, clamped_y * 65536.0));
+  return MortonEncode16(qx, qy);
+}
+
+}  // namespace urbane::index

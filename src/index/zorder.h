@@ -1,0 +1,29 @@
+#ifndef URBANE_INDEX_ZORDER_H_
+#define URBANE_INDEX_ZORDER_H_
+
+#include <cstdint>
+
+#include "geometry/bounding_box.h"
+#include "geometry/point.h"
+
+namespace urbane::index {
+
+/// Interleaves the low 16 bits of x and y into a 32-bit Morton code.
+std::uint32_t MortonEncode16(std::uint16_t x, std::uint16_t y);
+
+/// Inverse of MortonEncode16.
+void MortonDecode16(std::uint32_t code, std::uint16_t& x, std::uint16_t& y);
+
+/// Interleaves the low 32 bits of x and y into a 64-bit Morton code.
+std::uint64_t MortonEncode32(std::uint32_t x, std::uint32_t y);
+
+/// Z-order key of a world point quantized onto a 2^16 x 2^16 lattice over
+/// `bounds`. Sorting points by this key clusters them spatially, which
+/// speeds up both grid-index construction and point splatting (cache
+/// locality) — one of the ablations the benches measure.
+std::uint32_t ZOrderKey(const geometry::Vec2& p,
+                        const geometry::BoundingBox& bounds);
+
+}  // namespace urbane::index
+
+#endif  // URBANE_INDEX_ZORDER_H_

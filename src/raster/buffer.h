@@ -1,0 +1,93 @@
+#ifndef URBANE_RASTER_BUFFER_H_
+#define URBANE_RASTER_BUFFER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace urbane::raster {
+
+/// Row-major 2-D buffer — the software analogue of a GPU render target /
+/// texture. `T` is typically std::uint32_t (counts), float (sums) or
+/// std::int32_t (region ids).
+template <typename T>
+class Buffer2D {
+ public:
+  Buffer2D() : width_(0), height_(0) {}
+  Buffer2D(int width, int height, T fill_value = T{})
+      : width_(width),
+        height_(height),
+        data_(static_cast<std::size_t>(width) * height, fill_value) {
+    URBANE_DCHECK(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(int x, int y) {
+    URBANE_DCHECK(InBounds(x, y)) << "(" << x << ", " << y << ")";
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& at(int x, int y) const {
+    URBANE_DCHECK(InBounds(x, y)) << "(" << x << ", " << y << ")";
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  void Fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Raw row pointer for tight inner loops.
+  T* Row(int y) { return data_.data() + static_cast<std::size_t>(y) * width_; }
+  const T* Row(int y) const {
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+  std::size_t MemoryBytes() const { return data_.capacity() * sizeof(T); }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<T> data_;
+};
+
+/// Blending modes supported by the pipeline's output-merger stage. ADD is
+/// the workhorse (counts/sums fall out of additive blending, exactly as the
+/// GPU implementation uses glBlendFunc(GL_ONE, GL_ONE)).
+enum class BlendOp {
+  kAdd,
+  kMin,
+  kMax,
+  kReplace,
+};
+
+template <typename T>
+inline void ApplyBlend(BlendOp op, T& dst, T src) {
+  switch (op) {
+    case BlendOp::kAdd:
+      dst += src;
+      break;
+    case BlendOp::kMin:
+      dst = std::min(dst, src);
+      break;
+    case BlendOp::kMax:
+      dst = std::max(dst, src);
+      break;
+    case BlendOp::kReplace:
+      dst = src;
+      break;
+  }
+}
+
+}  // namespace urbane::raster
+
+#endif  // URBANE_RASTER_BUFFER_H_

@@ -1,0 +1,38 @@
+#ifndef URBANE_RASTER_FONT_H_
+#define URBANE_RASTER_FONT_H_
+
+#include <string>
+
+#include "raster/image.h"
+
+namespace urbane::raster {
+
+/// Built-in 5x7 bitmap font (uppercase letters, digits, common punctuation;
+/// lowercase is rendered as uppercase). Just enough typography for the map
+/// view's titles and legend labels without an external font dependency.
+constexpr int kGlyphWidth = 5;
+constexpr int kGlyphHeight = 7;
+
+/// Pixel width of `text` at the given integer scale (including 1-pixel
+/// inter-glyph spacing).
+int TextWidth(const std::string& text, int scale = 1);
+int TextHeight(int scale = 1);
+
+/// Draws text with its top-left corner at (x, y) in *image* coordinates
+/// (y = 0 is the image's bottom row, consistent with Viewport; the glyphs
+/// are oriented for the flipped PPM output). Pixels outside the image are
+/// clipped. Returns the x coordinate just past the rendered text.
+int DrawText(Image& image, int x, int y, const std::string& text,
+             const Rgb& color, int scale = 1);
+
+/// Draws a horizontal legend bar of `width` x `height` pixels with its
+/// bottom-left corner at (x, y), colored by the colormap, with `lo`/`hi`
+/// labels underneath and an optional title above.
+void DrawLegendBar(Image& image, int x, int y, int width, int height,
+                   const Colormap& colormap, const std::string& lo_label,
+                   const std::string& hi_label, const std::string& title,
+                   const Rgb& text_color);
+
+}  // namespace urbane::raster
+
+#endif  // URBANE_RASTER_FONT_H_

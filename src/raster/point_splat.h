@@ -1,0 +1,113 @@
+#ifndef URBANE_RASTER_POINT_SPLAT_H_
+#define URBANE_RASTER_POINT_SPLAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "raster/buffer.h"
+#include "raster/viewport.h"
+#include "util/thread_pool.h"
+
+namespace urbane::raster {
+
+/// Splats points into an aggregate framebuffer — the software analogue of
+/// rendering a vertex buffer of GL_POINTS with additive blending, which is
+/// the first pass of Raster Join (building the per-pixel point texture).
+///
+/// `weight(i)` supplies the blended value for point i (1 for COUNT, the
+/// attribute value for SUM). Returns the number of points that landed inside
+/// the viewport.
+template <typename T, typename WeightFn>
+std::size_t SplatPoints(const Viewport& vp, const float* xs, const float* ys,
+                        std::size_t count, BlendOp op, WeightFn&& weight,
+                        Buffer2D<T>& target) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    int ix;
+    int iy;
+    if (!vp.PixelForPoint({xs[i], ys[i]}, ix, iy)) {
+      continue;
+    }
+    ApplyBlend(op, target.at(ix, iy), static_cast<T>(weight(i)));
+    ++hits;
+  }
+  return hits;
+}
+
+/// Splats only the points named by `subset` (row ids) — used after filter
+/// evaluation, mirroring how the GPU path re-uploads only surviving points.
+template <typename T, typename WeightFn>
+std::size_t SplatPointsSubset(const Viewport& vp, const float* xs,
+                              const float* ys,
+                              const std::vector<std::uint32_t>& subset,
+                              BlendOp op, WeightFn&& weight,
+                              Buffer2D<T>& target) {
+  std::size_t hits = 0;
+  for (const std::uint32_t i : subset) {
+    int ix;
+    int iy;
+    if (!vp.PixelForPoint({xs[i], ys[i]}, ix, iy)) {
+      continue;
+    }
+    ApplyBlend(op, target.at(ix, iy), static_cast<T>(weight(i)));
+    ++hits;
+  }
+  return hits;
+}
+
+/// Parallel additive splat: partitions the points across the pool, each
+/// worker accumulating into a private buffer, then reduces. Only valid for
+/// commutative/associative ops (kAdd, kMin, kMax). Falls back to the serial
+/// path when the pool is null or the workload is small.
+template <typename T, typename WeightFn>
+std::size_t ParallelSplatPoints(ThreadPool* pool, const Viewport& vp,
+                                const float* xs, const float* ys,
+                                std::size_t count, BlendOp op,
+                                WeightFn&& weight, Buffer2D<T>& target) {
+  const std::size_t workers = pool == nullptr ? 1 : pool->num_threads();
+  if (workers <= 1 || count < 1 << 16) {
+    return SplatPoints(vp, xs, ys, count, op, weight, target);
+  }
+  std::vector<Buffer2D<T>> partials;
+  std::vector<std::size_t> partial_hits(workers, 0);
+  partials.reserve(workers);
+  // kMin needs identity = max value; handled by initializing partials from
+  // the current target contents for the first partial and neutral fills for
+  // the rest. To stay simple we support kAdd with zero-init partials and
+  // kMin/kMax by serial fallback.
+  if (op != BlendOp::kAdd) {
+    return SplatPoints(vp, xs, ys, count, op, weight, target);
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    partials.emplace_back(vp.width(), vp.height(), T{});
+  }
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    pool->Submit([&, w, begin, end] {
+      partial_hits[w] = SplatPoints(vp, xs + begin, ys + begin, end - begin,
+                                    BlendOp::kAdd, [&](std::size_t i) {
+                                      return weight(begin + i);
+                                    },
+                                    partials[w]);
+    });
+  }
+  pool->Wait();
+  std::size_t hits = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    hits += partial_hits[w];
+    const std::vector<T>& src = partials[w].data();
+    std::vector<T>& dst = target.data();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] += src[i];
+    }
+  }
+  return hits;
+}
+
+}  // namespace urbane::raster
+
+#endif  // URBANE_RASTER_POINT_SPLAT_H_

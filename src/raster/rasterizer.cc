@@ -1,0 +1,35 @@
+#include "raster/rasterizer.h"
+
+#include <algorithm>
+
+namespace urbane::raster::internal {
+
+namespace {
+
+// Appends crossings of `ring` with the horizontal line y = scan_y using the
+// same half-open vertex rule as geometry::RingContains, so scanline fill and
+// the point-in-polygon oracle agree everywhere except exactly on edges.
+void CollectRingCrossings(const geometry::Ring& ring, double scan_y,
+                          std::vector<double>& crossings) {
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const geometry::Vec2& a = ring[j];
+    const geometry::Vec2& b = ring[i];
+    if ((a.y > scan_y) != (b.y > scan_y)) {
+      crossings.push_back(a.x + (b.x - a.x) * (scan_y - a.y) / (b.y - a.y));
+    }
+  }
+}
+
+}  // namespace
+
+void CollectRowCrossings(const geometry::Polygon& polygon, double scan_y,
+                         std::vector<double>& crossings) {
+  CollectRingCrossings(polygon.outer(), scan_y, crossings);
+  for (const geometry::Ring& hole : polygon.holes()) {
+    CollectRingCrossings(hole, scan_y, crossings);
+  }
+  std::sort(crossings.begin(), crossings.end());
+}
+
+}  // namespace urbane::raster::internal

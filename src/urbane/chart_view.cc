@@ -1,0 +1,139 @@
+#include "urbane/chart_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "raster/font.h"
+#include "raster/rasterizer.h"
+#include "raster/viewport.h"
+#include "util/string_util.h"
+
+namespace urbane::app {
+
+namespace {
+
+constexpr int kMarginLeft = 46;
+constexpr int kMarginRight = 8;
+constexpr int kMarginBottom = 18;
+constexpr int kMarginTop = 24;
+
+std::string AxisLabel(double value) {
+  const double magnitude = std::fabs(value);
+  if (magnitude >= 1e6) return StringPrintf("%.1fM", value / 1e6);
+  if (magnitude >= 1e3) return StringPrintf("%.1fK", value / 1e3);
+  if (value == std::floor(value)) return StringPrintf("%.0f", value);
+  return StringPrintf("%.2f", value);
+}
+
+// 1-pixel-ish line from (x0, y0) to (x1, y1) in image coordinates.
+void DrawLine(raster::Image& image, double x0, double y0, double x1,
+              double y1, const Rgb& color) {
+  const raster::Viewport vp(
+      geometry::BoundingBox(0, 0, image.width(), image.height()),
+      image.width(), image.height());
+  raster::RasterizeSegmentConservative(
+      vp, {x0, y0}, {x1, y1}, [&](int x, int y) { image.at(x, y) = color; });
+}
+
+}  // namespace
+
+StatusOr<raster::Image> RenderTimeSeriesChart(
+    const std::vector<ChartSeries>& series, const ChartOptions& options) {
+  if (series.empty()) {
+    return Status::InvalidArgument("chart needs at least one series");
+  }
+  const std::size_t bins = series.front().values.size();
+  if (bins < 2) {
+    return Status::InvalidArgument("chart series need >= 2 points");
+  }
+  for (const ChartSeries& s : series) {
+    if (s.values.size() != bins) {
+      return Status::InvalidArgument("chart series lengths disagree");
+    }
+  }
+  if (options.width < kMarginLeft + kMarginRight + 32 ||
+      options.height < kMarginTop + kMarginBottom + 32) {
+    return Status::InvalidArgument("chart canvas too small");
+  }
+
+  // y range.
+  double lo = options.y_lo;
+  double hi = options.y_hi;
+  if (lo == hi) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const ChartSeries& s : series) {
+      for (const double v : s.values) {
+        if (!std::isfinite(v)) continue;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!(hi > lo)) hi = lo + 1.0;
+    if (options.include_zero) {
+      lo = std::min(lo, 0.0);
+      hi = std::max(hi, 0.0);
+    }
+  }
+
+  raster::Image image(options.width, options.height, options.background);
+  const int plot_x0 = kMarginLeft;
+  const int plot_x1 = options.width - kMarginRight;
+  const int plot_y0 = kMarginBottom;
+  const int plot_y1 = options.height - kMarginTop;
+
+  // Axes.
+  DrawLine(image, plot_x0, plot_y0, plot_x1, plot_y0, options.axis_color);
+  DrawLine(image, plot_x0, plot_y0, plot_x0, plot_y1, options.axis_color);
+  raster::DrawText(image, 2, plot_y1, AxisLabel(hi), options.axis_color);
+  raster::DrawText(image, 2, plot_y0 + raster::TextHeight(), AxisLabel(lo),
+                   options.axis_color);
+  if (!options.title.empty()) {
+    raster::DrawText(image, plot_x0, options.height - 4, options.title,
+                     options.axis_color);
+  }
+
+  const Colormap palette = Colormap::Make(options.palette);
+  auto x_of = [&](std::size_t bin) {
+    return plot_x0 + 1 +
+           (plot_x1 - plot_x0 - 2) * static_cast<double>(bin) /
+               static_cast<double>(bins - 1);
+  };
+  auto y_of = [&](double v) {
+    return plot_y0 + 1 + (plot_y1 - plot_y0 - 2) * (v - lo) / (hi - lo);
+  };
+
+  int legend_x = plot_x0 + 60;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const Rgb color = palette.Map(
+        series.size() == 1
+            ? 0.7
+            : 0.15 + 0.75 * static_cast<double>(s) /
+                         static_cast<double>(series.size() - 1));
+    for (std::size_t b = 0; b + 1 < bins; ++b) {
+      const double va = series[s].values[b];
+      const double vb = series[s].values[b + 1];
+      if (!std::isfinite(va) || !std::isfinite(vb)) continue;  // gap
+      DrawLine(image, x_of(b), y_of(std::clamp(va, lo, hi)), x_of(b + 1),
+               y_of(std::clamp(vb, lo, hi)), color);
+    }
+    if (!series[s].label.empty() && legend_x < plot_x1 - 40) {
+      legend_x = raster::DrawText(image, legend_x, options.height - 4,
+                                  series[s].label, color) +
+                 10;
+    }
+  }
+  return image;
+}
+
+StatusOr<raster::Image> RenderTimeSeriesChartToFile(
+    const std::vector<ChartSeries>& series, const std::string& path,
+    const ChartOptions& options) {
+  URBANE_ASSIGN_OR_RETURN(raster::Image image,
+                          RenderTimeSeriesChart(series, options));
+  URBANE_RETURN_IF_ERROR(raster::WritePpm(image, path));
+  return image;
+}
+
+}  // namespace urbane::app

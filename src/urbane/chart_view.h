@@ -1,0 +1,47 @@
+#ifndef URBANE_URBANE_CHART_VIEW_H_
+#define URBANE_URBANE_CHART_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "raster/image.h"
+#include "util/color.h"
+#include "util/status.h"
+
+namespace urbane::app {
+
+/// One line of a time-series chart.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;  // one per time bin, NaN -> gap
+};
+
+struct ChartOptions {
+  int width = 640;
+  int height = 240;
+  std::string title;
+  Rgb background{20, 20, 24};
+  Rgb axis_color{200, 200, 200};
+  /// Series colors are sampled from this map (categorical use).
+  ColormapKind palette = ColormapKind::kViridis;
+  /// Explicit y range; lo == hi -> auto from the data (always including 0
+  /// for count-like series when `include_zero`).
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+  bool include_zero = true;
+};
+
+/// Renders a multi-series line chart — Urbane's temporal view next to the
+/// map (e.g. pickups per time bin for selected neighborhoods). All series
+/// must share one length (>= 2).
+StatusOr<raster::Image> RenderTimeSeriesChart(
+    const std::vector<ChartSeries>& series,
+    const ChartOptions& options = ChartOptions());
+
+StatusOr<raster::Image> RenderTimeSeriesChartToFile(
+    const std::vector<ChartSeries>& series, const std::string& path,
+    const ChartOptions& options = ChartOptions());
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_CHART_VIEW_H_

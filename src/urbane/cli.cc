@@ -1,0 +1,366 @@
+#include "urbane/cli.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/sql.h"
+#include "data/binary_io.h"
+#include "data/csv_loader.h"
+#include "data/event_generator.h"
+#include "data/geojson.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "urbane/map_view.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace urbane::app {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+StatusOr<std::uint64_t> ParseCount(const std::string& text) {
+  URBANE_ASSIGN_OR_RETURN(std::int64_t value, ParseInt64(text));
+  if (value <= 0) {
+    return Status::InvalidArgument("count must be positive: " + text);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+const char* CommandInterpreter::Help() {
+  return "commands:\n"
+         "  gen taxi|311|crime <name> <count> [seed]\n"
+         "  gen regions <name> boroughs|neighborhoods|tracts [seed]\n"
+         "  load points <name> <file.csv|file.upt>\n"
+         "  load regions <name> <file.geojson|file.urg>\n"
+         "  save points <name> <file.csv|file.upt>\n"
+         "  save regions <name> <file.geojson|file.urg>\n"
+         "  save workspace <dir> | load workspace <manifest.json>\n"
+         "  method scan|index|raster|accurate\n"
+         "  sql SELECT AGG(attr|*) FROM <points>, <regions> [WHERE ...]\n"
+         "  map <points> <regions> <out.ppm> [title...]\n"
+         "  list | help | quit\n";
+}
+
+bool CommandInterpreter::Execute(const std::string& line, std::ostream& out) {
+  bool quit = false;
+  const Status status = Dispatch(line, out, quit);
+  if (!status.ok()) {
+    out << "error: " << status.ToString() << "\n";
+  }
+  return !quit;
+}
+
+Status CommandInterpreter::Dispatch(const std::string& line,
+                                    std::ostream& out, bool& quit) {
+  const std::string trimmed(TrimWhitespace(line));
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return Status::OK();
+  }
+  const std::vector<std::string> tokens = Tokenize(trimmed);
+  const std::string command = ToLowerAscii(tokens[0]);
+  if (command == "quit" || command == "exit") {
+    quit = true;
+    return Status::OK();
+  }
+  if (command == "help") {
+    out << Help();
+    return Status::OK();
+  }
+  if (command == "list") {
+    CmdList(out);
+    return Status::OK();
+  }
+  if (command == "gen") {
+    return CmdGen(tokens, out);
+  }
+  if (command == "load") {
+    if (tokens.size() >= 2 && ToLowerAscii(tokens[1]) == "workspace") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument(
+            "usage: load workspace <manifest.json>");
+      }
+      URBANE_RETURN_IF_ERROR(manager_.LoadWorkspace(tokens[2]));
+      out << "loaded workspace " << tokens[2] << "\n";
+      CmdList(out);
+      return Status::OK();
+    }
+    return CmdLoad(tokens, out);
+  }
+  if (command == "save") {
+    if (tokens.size() >= 2 && ToLowerAscii(tokens[1]) == "workspace") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument("usage: save workspace <directory>");
+      }
+      URBANE_RETURN_IF_ERROR(manager_.SaveWorkspace(tokens[2]));
+      out << "saved workspace to " << tokens[2] << "\n";
+      return Status::OK();
+    }
+    return CmdSave(tokens, out);
+  }
+  if (command == "method") {
+    return CmdMethod(tokens, out);
+  }
+  if (command == "sql" || command == "select") {
+    // Allow both "sql SELECT ..." and bare "SELECT ...".
+    const std::string sql =
+        command == "sql" ? trimmed.substr(tokens[0].size()) : trimmed;
+    return CmdSql(std::string(TrimWhitespace(sql)), out);
+  }
+  if (command == "map") {
+    return CmdMap(tokens, out);
+  }
+  return Status::InvalidArgument("unknown command '" + tokens[0] +
+                                 "' (try 'help')");
+}
+
+Status CommandInterpreter::CmdGen(const std::vector<std::string>& args,
+                                  std::ostream& out) {
+  if (args.size() < 4) {
+    return Status::InvalidArgument("usage: gen <kind> <name> <count|layer>");
+  }
+  const std::string kind = ToLowerAscii(args[1]);
+  const std::string& name = args[2];
+  std::uint64_t seed = 42;
+  if (args.size() >= 5) {
+    URBANE_ASSIGN_OR_RETURN(std::int64_t parsed, ParseInt64(args[4]));
+    seed = static_cast<std::uint64_t>(parsed);
+  }
+  WallTimer timer;
+  if (kind == "taxi") {
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t count, ParseCount(args[3]));
+    data::TaxiGeneratorOptions options;
+    options.num_trips = count;
+    options.seed = seed;
+    URBANE_RETURN_IF_ERROR(
+        manager_.AddPointDataset(name, data::GenerateTaxiTrips(options)));
+  } else if (kind == "311" || kind == "crime") {
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t count, ParseCount(args[3]));
+    data::UrbanEventOptions options;
+    options.kind = kind == "311" ? data::UrbanEventKind::kServiceRequests311
+                                 : data::UrbanEventKind::kCrimeIncidents;
+    options.num_events = count;
+    options.seed = seed;
+    URBANE_RETURN_IF_ERROR(
+        manager_.AddPointDataset(name, data::GenerateUrbanEvents(options)));
+  } else if (kind == "regions") {
+    const std::string layer = ToLowerAscii(args[3]);
+    data::RegionSet regions;
+    if (layer == "boroughs") {
+      regions = data::GenerateBoroughs(seed);
+    } else if (layer == "neighborhoods") {
+      regions = data::GenerateNeighborhoods(seed);
+    } else if (layer == "tracts") {
+      regions = data::GenerateCensusTracts(seed);
+    } else {
+      return Status::InvalidArgument("unknown region layer: " + args[3]);
+    }
+    URBANE_RETURN_IF_ERROR(manager_.AddRegionLayer(name, std::move(regions)));
+  } else {
+    return Status::InvalidArgument("unknown generator kind: " + args[1]);
+  }
+  out << "generated '" << name << "' in "
+      << FormatDuration(timer.ElapsedSeconds()) << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdLoad(const std::vector<std::string>& args,
+                                   std::ostream& out) {
+  if (args.size() != 4) {
+    return Status::InvalidArgument(
+        "usage: load points|regions <name> <path>");
+  }
+  const std::string what = ToLowerAscii(args[1]);
+  const std::string& name = args[2];
+  const std::string& path = args[3];
+  WallTimer timer;
+  if (what == "points") {
+    data::PointTable table;
+    if (EndsWith(path, ".upt")) {
+      URBANE_ASSIGN_OR_RETURN(table, data::ReadPointTableBinary(path));
+    } else {
+      URBANE_ASSIGN_OR_RETURN(table, data::ReadPointTableCsvFile(path));
+    }
+    const std::size_t rows = table.size();
+    URBANE_RETURN_IF_ERROR(manager_.AddPointDataset(name, std::move(table)));
+    out << "loaded " << rows << " points into '" << name << "' in "
+        << FormatDuration(timer.ElapsedSeconds()) << "\n";
+    return Status::OK();
+  }
+  if (what == "regions") {
+    data::RegionSet regions;
+    if (EndsWith(path, ".urg")) {
+      URBANE_ASSIGN_OR_RETURN(regions, data::ReadRegionSetBinary(path));
+    } else {
+      URBANE_ASSIGN_OR_RETURN(regions, data::ReadGeoJsonRegionsFile(path));
+    }
+    const std::size_t count = regions.size();
+    URBANE_RETURN_IF_ERROR(manager_.AddRegionLayer(name, std::move(regions)));
+    out << "loaded " << count << " regions into '" << name << "' in "
+        << FormatDuration(timer.ElapsedSeconds()) << "\n";
+    return Status::OK();
+  }
+  return Status::InvalidArgument("load expects 'points' or 'regions'");
+}
+
+Status CommandInterpreter::CmdSave(const std::vector<std::string>& args,
+                                   std::ostream& out) {
+  if (args.size() != 4) {
+    return Status::InvalidArgument(
+        "usage: save points|regions <name> <path>");
+  }
+  const std::string what = ToLowerAscii(args[1]);
+  const std::string& name = args[2];
+  const std::string& path = args[3];
+  if (what == "points") {
+    URBANE_ASSIGN_OR_RETURN(const data::PointTable* table,
+                            manager_.PointDataset(name));
+    if (EndsWith(path, ".upt")) {
+      URBANE_RETURN_IF_ERROR(data::WritePointTableBinary(*table, path));
+    } else {
+      URBANE_RETURN_IF_ERROR(data::WritePointTableCsvFile(*table, path));
+    }
+  } else if (what == "regions") {
+    URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
+                            manager_.RegionLayer(name));
+    if (EndsWith(path, ".urg")) {
+      URBANE_RETURN_IF_ERROR(data::WriteRegionSetBinary(*regions, path));
+    } else {
+      URBANE_RETURN_IF_ERROR(
+          WriteStringToFile(data::WriteGeoJsonRegions(*regions), path));
+    }
+  } else {
+    return Status::InvalidArgument("save expects 'points' or 'regions'");
+  }
+  out << "saved '" << name << "' to " << path << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdMethod(const std::vector<std::string>& args,
+                                     std::ostream& out) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument(
+        "usage: method scan|index|raster|accurate");
+  }
+  const std::string name = ToLowerAscii(args[1]);
+  if (name == "scan") {
+    method_ = core::ExecutionMethod::kScan;
+  } else if (name == "index") {
+    method_ = core::ExecutionMethod::kIndexJoin;
+  } else if (name == "raster") {
+    method_ = core::ExecutionMethod::kBoundedRaster;
+  } else if (name == "accurate") {
+    method_ = core::ExecutionMethod::kAccurateRaster;
+  } else {
+    return Status::InvalidArgument("unknown method: " + args[1]);
+  }
+  out << "execution method = " << core::ExecutionMethodToString(method_)
+      << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdSql(const std::string& sql, std::ostream& out) {
+  URBANE_ASSIGN_OR_RETURN(core::ParsedQuery parsed,
+                          core::ParseQuerySql(sql));
+  URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
+                          manager_.RegionLayer(parsed.regions_layer));
+  WallTimer timer;
+  URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
+                          manager_.ExecuteSql(sql, method_));
+  const double seconds = timer.ElapsedSeconds();
+
+  // Top regions by value.
+  std::vector<std::size_t> order(result.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double va = std::isfinite(result.values[a])
+                                           ? result.values[a]
+                                           : -1e300;
+                     const double vb = std::isfinite(result.values[b])
+                                           ? result.values[b]
+                                           : -1e300;
+                     return va > vb;
+                   });
+  std::uint64_t total = 0;
+  for (const auto c : result.counts) total += c;
+  out << result.size() << " groups, " << total << " matching points, "
+      << FormatDuration(seconds) << " ("
+      << core::ExecutionMethodToString(method_) << ")\n";
+  const std::size_t top = std::min<std::size_t>(10, order.size());
+  for (std::size_t k = 0; k < top; ++k) {
+    const std::size_t r = order[k];
+    out << "  " << (*regions)[r].name << "  "
+        << StringPrintf("%.4g", result.values[r]);
+    if (!result.error_bounds.empty()) {
+      out << StringPrintf("  (err<=%.3g)", result.error_bounds[r]);
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdMap(const std::vector<std::string>& args,
+                                  std::ostream& out) {
+  if (args.size() < 4) {
+    return Status::InvalidArgument(
+        "usage: map <points> <regions> <out.ppm> [title...]");
+  }
+  URBANE_ASSIGN_OR_RETURN(core::SpatialAggregation * engine,
+                          manager_.Engine(args[1], args[2]));
+  URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
+                          manager_.RegionLayer(args[2]));
+  core::AggregationQuery query;
+  query.aggregate = core::AggregateSpec::Count();
+  URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
+                          engine->Execute(query, method_));
+  MapViewOptions options;
+  for (std::size_t i = 4; i < args.size(); ++i) {
+    if (!options.title.empty()) options.title += " ";
+    options.title += args[i];
+  }
+  URBANE_ASSIGN_OR_RETURN(MapRender render,
+                          RenderChoroplethToFile(*regions, result, args[3],
+                                                 options));
+  out << "wrote " << args[3] << " (" << render.image.width() << "x"
+      << render.image.height() << ", scale " << render.legend_lo << ".."
+      << render.legend_hi << ")\n";
+  return Status::OK();
+}
+
+void CommandInterpreter::CmdList(std::ostream& out) {
+  out << "point data sets:";
+  for (const std::string& name : manager_.PointDatasetNames()) {
+    const auto table = manager_.PointDataset(name);
+    out << " " << name << "(" << (*table)->size() << ")";
+  }
+  out << "\nregion layers:";
+  for (const std::string& name : manager_.RegionLayerNames()) {
+    const auto regions = manager_.RegionLayer(name);
+    out << " " << name << "(" << (*regions)->size() << ")";
+  }
+  out << "\n";
+}
+
+}  // namespace urbane::app

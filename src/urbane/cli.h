@@ -1,0 +1,61 @@
+#ifndef URBANE_URBANE_CLI_H_
+#define URBANE_URBANE_CLI_H_
+
+#include <ostream>
+#include <string>
+
+#include "core/planner.h"
+#include "urbane/dataset_manager.h"
+
+namespace urbane::app {
+
+/// Command interpreter behind the `urbane_cli` tool: a line-oriented shell
+/// over the DatasetManager. One instance holds the session state (loaded
+/// data sets, current execution method).
+///
+/// Commands (see Help()):
+///   gen taxi <name> <count> [seed]     synthesize a taxi feed
+///   gen 311 <name> <count> [seed]      synthesize a 311 feed
+///   gen crime <name> <count> [seed]    synthesize a crime feed
+///   gen regions <name> <boroughs|neighborhoods|tracts> [seed]
+///   load points <name> <file.csv|file.upt>
+///   load regions <name> <file.geojson|file.urg>
+///   save points <name> <file.csv|file.upt>
+///   save regions <name> <file.geojson|file.urg>
+///   method <scan|index|raster|accurate>
+///   sql SELECT ...                     run a query (paper dialect)
+///   map <points> <regions> <out.ppm> [title...]
+///   list                               registered data sets
+///   help
+///   quit
+class CommandInterpreter {
+ public:
+  CommandInterpreter() = default;
+
+  /// Executes one command line, writing human-readable output to `out`.
+  /// Returns false when the command asks the session to end ("quit").
+  /// Command errors are reported to `out` and return true (keep going).
+  bool Execute(const std::string& line, std::ostream& out);
+
+  DatasetManager& manager() { return manager_; }
+  core::ExecutionMethod method() const { return method_; }
+
+  static const char* Help();
+
+ private:
+  Status Dispatch(const std::string& line, std::ostream& out, bool& quit);
+  Status CmdGen(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdLoad(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdSave(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdMethod(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdSql(const std::string& sql, std::ostream& out);
+  Status CmdMap(const std::vector<std::string>& args, std::ostream& out);
+  void CmdList(std::ostream& out);
+
+  DatasetManager manager_;
+  core::ExecutionMethod method_ = core::ExecutionMethod::kAccurateRaster;
+};
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_CLI_H_

@@ -1,0 +1,194 @@
+#include "urbane/dataset_manager.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "core/sql.h"
+#include "data/binary_io.h"
+#include "data/catalog.h"
+#include "data/csv_loader.h"
+#include "data/geojson.h"
+#include "util/csv.h"
+
+namespace urbane::app {
+
+namespace {
+
+// Directory part of a path ("" for bare filenames), with trailing slash.
+std::string DirectoryOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string()
+                                    : path.substr(0, slash + 1);
+}
+
+}  // namespace
+
+Status DatasetManager::AddPointDataset(const std::string& name,
+                                       data::PointTable table) {
+  if (name.empty()) {
+    return Status::InvalidArgument("data set name must be non-empty");
+  }
+  if (points_.count(name) != 0) {
+    return Status::AlreadyExists("data set already registered: " + name);
+  }
+  URBANE_RETURN_IF_ERROR(table.Validate());
+  points_[name] = std::make_unique<data::PointTable>(std::move(table));
+  return Status::OK();
+}
+
+Status DatasetManager::AddRegionLayer(const std::string& name,
+                                      data::RegionSet regions) {
+  if (name.empty()) {
+    return Status::InvalidArgument("region layer name must be non-empty");
+  }
+  if (regions_.count(name) != 0) {
+    return Status::AlreadyExists("region layer already registered: " + name);
+  }
+  regions_[name] = std::make_unique<data::RegionSet>(std::move(regions));
+  return Status::OK();
+}
+
+std::vector<std::string> DatasetManager::PointDatasetNames() const {
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, table] : points_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> DatasetManager::RegionLayerNames() const {
+  std::vector<std::string> names;
+  names.reserve(regions_.size());
+  for (const auto& [name, set] : regions_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+StatusOr<const data::PointTable*> DatasetManager::PointDataset(
+    const std::string& name) const {
+  const auto it = points_.find(name);
+  if (it == points_.end()) {
+    return Status::NotFound("unknown data set: " + name);
+  }
+  return const_cast<const data::PointTable*>(it->second.get());
+}
+
+StatusOr<const data::RegionSet*> DatasetManager::RegionLayer(
+    const std::string& name) const {
+  const auto it = regions_.find(name);
+  if (it == regions_.end()) {
+    return Status::NotFound("unknown region layer: " + name);
+  }
+  return const_cast<const data::RegionSet*>(it->second.get());
+}
+
+StatusOr<core::SpatialAggregation*> DatasetManager::Engine(
+    const std::string& dataset, const std::string& region_layer,
+    const core::RasterJoinOptions& raster_options) {
+  const std::string key = dataset + "\x1f" + region_layer;
+  const auto it = engines_.find(key);
+  if (it != engines_.end()) {
+    return it->second.get();
+  }
+  URBANE_ASSIGN_OR_RETURN(const data::PointTable* table,
+                          PointDataset(dataset));
+  URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
+                          RegionLayer(region_layer));
+  auto engine = std::make_unique<core::SpatialAggregation>(*table, *regions,
+                                                           raster_options);
+  core::SpatialAggregation* raw = engine.get();
+  engines_[key] = std::move(engine);
+  return raw;
+}
+
+StatusOr<const index::TemporalIndex*> DatasetManager::Temporal(
+    const std::string& dataset) {
+  const auto it = temporal_.find(dataset);
+  if (it != temporal_.end()) {
+    return const_cast<const index::TemporalIndex*>(it->second.get());
+  }
+  URBANE_ASSIGN_OR_RETURN(const data::PointTable* table,
+                          PointDataset(dataset));
+  URBANE_ASSIGN_OR_RETURN(
+      index::TemporalIndex index,
+      index::TemporalIndex::Build(table->ts(), table->size()));
+  auto owned = std::make_unique<index::TemporalIndex>(std::move(index));
+  const index::TemporalIndex* raw = owned.get();
+  temporal_[dataset] = std::move(owned);
+  return raw;
+}
+
+Status DatasetManager::LoadWorkspace(const std::string& manifest_path) {
+  URBANE_ASSIGN_OR_RETURN(data::Catalog catalog,
+                          data::Catalog::ReadFile(manifest_path));
+  const std::string base = DirectoryOf(manifest_path);
+  for (const data::CatalogEntry& entry : catalog.entries()) {
+    const std::string path = base + entry.path;
+    if (entry.kind == data::CatalogEntry::Kind::kPoints) {
+      data::PointTable table;
+      if (entry.format == "upt") {
+        URBANE_ASSIGN_OR_RETURN(table, data::ReadPointTableBinary(path));
+      } else {
+        URBANE_ASSIGN_OR_RETURN(table, data::ReadPointTableCsvFile(path));
+      }
+      URBANE_RETURN_IF_ERROR(AddPointDataset(entry.name, std::move(table)));
+    } else {
+      data::RegionSet regions;
+      if (entry.format == "urg") {
+        URBANE_ASSIGN_OR_RETURN(regions, data::ReadRegionSetBinary(path));
+      } else {
+        URBANE_ASSIGN_OR_RETURN(regions, data::ReadGeoJsonRegionsFile(path));
+      }
+      URBANE_RETURN_IF_ERROR(AddRegionLayer(entry.name, std::move(regions)));
+    }
+  }
+  return Status::OK();
+}
+
+Status DatasetManager::SaveWorkspace(const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create workspace directory '" +
+                           directory + "': " + ec.message());
+  }
+  data::Catalog catalog;
+  for (const auto& [name, table] : points_) {
+    const std::string filename = name + ".upt";
+    URBANE_RETURN_IF_ERROR(
+        data::WritePointTableBinary(*table, directory + "/" + filename));
+    data::CatalogEntry entry;
+    entry.kind = data::CatalogEntry::Kind::kPoints;
+    entry.name = name;
+    entry.path = filename;
+    URBANE_RETURN_IF_ERROR(catalog.Add(std::move(entry)));
+  }
+  for (const auto& [name, regions] : regions_) {
+    const std::string filename = name + ".urg";
+    URBANE_RETURN_IF_ERROR(
+        data::WriteRegionSetBinary(*regions, directory + "/" + filename));
+    data::CatalogEntry entry;
+    entry.kind = data::CatalogEntry::Kind::kRegions;
+    entry.name = name;
+    entry.path = filename;
+    URBANE_RETURN_IF_ERROR(catalog.Add(std::move(entry)));
+  }
+  return catalog.WriteFile(directory + "/urbane.workspace.json");
+}
+
+StatusOr<core::QueryResult> DatasetManager::ExecuteSql(
+    const std::string& sql, core::ExecutionMethod method) {
+  URBANE_ASSIGN_OR_RETURN(core::ParsedQuery parsed,
+                          core::ParseQuerySql(sql));
+  URBANE_ASSIGN_OR_RETURN(
+      core::SpatialAggregation * engine,
+      Engine(parsed.points_dataset, parsed.regions_layer));
+  core::AggregationQuery query;
+  query.aggregate = std::move(parsed.aggregate);
+  query.filter = std::move(parsed.filter);
+  return engine->Execute(std::move(query), method);
+}
+
+}  // namespace urbane::app

@@ -1,0 +1,72 @@
+#ifndef URBANE_URBANE_DATASET_MANAGER_H_
+#define URBANE_URBANE_DATASET_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spatial_aggregation.h"
+#include "data/point_table.h"
+#include "data/region.h"
+#include "index/temporal_index.h"
+#include "util/status.h"
+
+namespace urbane::app {
+
+/// Urbane's data layer: named point data sets (taxi, 311, crime, ...) and
+/// named region layers (boroughs, neighborhoods, tracts), plus lazily-built
+/// query engines for every (data set, region layer) pair and per-data-set
+/// temporal indexes backing the time-brush histogram.
+class DatasetManager {
+ public:
+  DatasetManager() = default;
+
+  DatasetManager(const DatasetManager&) = delete;
+  DatasetManager& operator=(const DatasetManager&) = delete;
+
+  Status AddPointDataset(const std::string& name, data::PointTable table);
+  Status AddRegionLayer(const std::string& name, data::RegionSet regions);
+
+  std::vector<std::string> PointDatasetNames() const;
+  std::vector<std::string> RegionLayerNames() const;
+
+  StatusOr<const data::PointTable*> PointDataset(
+      const std::string& name) const;
+  StatusOr<const data::RegionSet*> RegionLayer(const std::string& name) const;
+
+  /// Query engine for a (data set, region layer) pair; built on first use
+  /// and cached (so raster canvases / indexes are reused across frames).
+  StatusOr<core::SpatialAggregation*> Engine(
+      const std::string& dataset, const std::string& region_layer,
+      const core::RasterJoinOptions& raster_options =
+          core::RasterJoinOptions());
+
+  /// Temporal index of a data set (built on first use).
+  StatusOr<const index::TemporalIndex*> Temporal(const std::string& dataset);
+
+  /// Loads every entry of a workspace manifest (data::Catalog JSON file);
+  /// entry paths are resolved relative to the manifest's directory.
+  Status LoadWorkspace(const std::string& manifest_path);
+
+  /// Snapshots every registered data set / region layer into `directory`
+  /// (binary formats) and writes `directory/urbane.workspace.json`.
+  Status SaveWorkspace(const std::string& directory) const;
+
+  /// Parses and runs a statement in the paper's SQL dialect, e.g.
+  ///   "SELECT AVG(fare_amount) FROM taxi, neighborhoods
+  ///    WHERE t IN [1230768000, 1233446400) AND passenger_count IN [1, 2]"
+  /// binding the FROM names to registered data sets / region layers.
+  StatusOr<core::QueryResult> ExecuteSql(const std::string& sql,
+                                         core::ExecutionMethod method);
+
+ private:
+  std::map<std::string, std::unique_ptr<data::PointTable>> points_;
+  std::map<std::string, std::unique_ptr<data::RegionSet>> regions_;
+  std::map<std::string, std::unique_ptr<core::SpatialAggregation>> engines_;
+  std::map<std::string, std::unique_ptr<index::TemporalIndex>> temporal_;
+};
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_DATASET_MANAGER_H_

@@ -1,0 +1,142 @@
+#include "urbane/exploration_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace urbane::app {
+
+DataExplorationView::DataExplorationView(DatasetManager& manager,
+                                         std::string region_layer)
+    : manager_(manager), region_layer_(std::move(region_layer)) {}
+
+StatusOr<ProfileTable> DataExplorationView::ComputeProfiles(
+    core::ExecutionMethod method) {
+  if (metrics_.empty()) {
+    return Status::FailedPrecondition("no metrics added to the view");
+  }
+  URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
+                          manager_.RegionLayer(region_layer_));
+  ProfileTable table;
+  for (const data::Region& region : regions->regions()) {
+    table.region_names.push_back(region.name);
+  }
+  for (const ProfileMetric& metric : metrics_) {
+    URBANE_ASSIGN_OR_RETURN(core::SpatialAggregation * engine,
+                            manager_.Engine(metric.dataset, region_layer_));
+    core::AggregationQuery query;
+    query.aggregate = metric.aggregate;
+    query.filter = metric.filter;
+    URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
+                            engine->Execute(query, method));
+    table.metric_labels.push_back(metric.label);
+    table.values.push_back(std::move(result.values));
+  }
+
+  // z-score each metric column over its finite entries.
+  table.zscores.resize(table.values.size());
+  for (std::size_t m = 0; m < table.values.size(); ++m) {
+    const std::vector<double>& col = table.values[m];
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const double v : col) {
+      if (std::isfinite(v)) {
+        sum += v;
+        ++n;
+      }
+    }
+    const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    double var = 0.0;
+    for (const double v : col) {
+      if (std::isfinite(v)) {
+        var += (v - mean) * (v - mean);
+      }
+    }
+    const double stddev =
+        n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+    std::vector<double>& z = table.zscores[m];
+    z.resize(col.size());
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (!std::isfinite(col[r]) || stddev == 0.0) {
+        z[r] = 0.0;
+      } else {
+        z[r] = (col[r] - mean) / stddev;
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<std::size_t> DataExplorationView::RankByMetric(
+    const ProfileTable& table, std::size_t metric) {
+  std::vector<std::size_t> order(table.region_count());
+  std::iota(order.begin(), order.end(), 0);
+  const std::vector<double>& col = table.values[metric];
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double va = std::isfinite(col[a])
+                                           ? col[a]
+                                           : -std::numeric_limits<
+                                                 double>::infinity();
+                     const double vb = std::isfinite(col[b])
+                                           ? col[b]
+                                           : -std::numeric_limits<
+                                                 double>::infinity();
+                     return va > vb;
+                   });
+  return order;
+}
+
+std::vector<SimilarRegion> DataExplorationView::MostSimilar(
+    const ProfileTable& table, std::size_t region_index, std::size_t k) {
+  std::vector<SimilarRegion> hits;
+  hits.reserve(table.region_count());
+  for (std::size_t r = 0; r < table.region_count(); ++r) {
+    if (r == region_index) continue;
+    double d2 = 0.0;
+    for (std::size_t m = 0; m < table.metric_count(); ++m) {
+      const double diff = table.zscores[m][r] - table.zscores[m][region_index];
+      d2 += diff * diff;
+    }
+    hits.push_back({r, std::sqrt(d2)});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SimilarRegion& a, const SimilarRegion& b) {
+              return a.distance < b.distance;
+            });
+  if (hits.size() > k) {
+    hits.resize(k);
+  }
+  return hits;
+}
+
+StatusOr<std::vector<std::vector<double>>>
+DataExplorationView::ComputeTimeSeries(const ProfileMetric& metric,
+                                       std::int64_t t_begin,
+                                       std::int64_t t_end, int bins,
+                                       core::ExecutionMethod method) {
+  if (bins <= 0 || t_end <= t_begin) {
+    return Status::InvalidArgument("empty time range or non-positive bins");
+  }
+  URBANE_ASSIGN_OR_RETURN(core::SpatialAggregation * engine,
+                          manager_.Engine(metric.dataset, region_layer_));
+  std::vector<std::vector<double>> series;
+  series.reserve(static_cast<std::size_t>(bins));
+  const double span = static_cast<double>(t_end - t_begin);
+  for (int b = 0; b < bins; ++b) {
+    const std::int64_t lo =
+        t_begin + static_cast<std::int64_t>(span * b / bins);
+    const std::int64_t hi =
+        t_begin + static_cast<std::int64_t>(span * (b + 1) / bins);
+    core::AggregationQuery query;
+    query.aggregate = metric.aggregate;
+    query.filter = metric.filter;
+    query.filter.time_range = core::TimeRange{lo, hi};
+    URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
+                            engine->Execute(query, method));
+    series.push_back(std::move(result.values));
+  }
+  return series;
+}
+
+}  // namespace urbane::app

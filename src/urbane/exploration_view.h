@@ -1,0 +1,82 @@
+#ifndef URBANE_URBANE_EXPLORATION_VIEW_H_
+#define URBANE_URBANE_EXPLORATION_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "urbane/dataset_manager.h"
+
+namespace urbane::app {
+
+/// One column of the exploration view's profile matrix: an aggregate of one
+/// data set under optional filters ("taxi pickups in January", "avg 311
+/// response hours", ...).
+struct ProfileMetric {
+  std::string label;
+  std::string dataset;
+  core::AggregateSpec aggregate;
+  core::FilterSpec filter;
+};
+
+/// Per-region multi-data-set profile matrix — the data model behind
+/// Urbane's data exploration view (Section 3.1 of the paper), which lets an
+/// architect compare a neighborhood of interest against the rest of the
+/// city across several data sets at once.
+struct ProfileTable {
+  std::vector<std::string> metric_labels;          // columns
+  std::vector<std::string> region_names;           // rows
+  std::vector<std::vector<double>> values;         // [metric][region]
+  std::vector<std::vector<double>> zscores;        // same shape, normalized
+
+  std::size_t metric_count() const { return metric_labels.size(); }
+  std::size_t region_count() const { return region_names.size(); }
+};
+
+/// A ranked similarity hit.
+struct SimilarRegion {
+  std::size_t region_index;
+  double distance;  // euclidean distance in z-score space (lower = closer)
+};
+
+class DataExplorationView {
+ public:
+  /// `manager` must outlive the view.
+  DataExplorationView(DatasetManager& manager, std::string region_layer);
+
+  void AddMetric(ProfileMetric metric) {
+    metrics_.push_back(std::move(metric));
+  }
+  const std::vector<ProfileMetric>& metrics() const { return metrics_; }
+
+  /// Evaluates every metric over every region with the given execution
+  /// method (the demo runs this on Raster Join to stay interactive) and
+  /// z-score normalizes each metric column.
+  StatusOr<ProfileTable> ComputeProfiles(core::ExecutionMethod method);
+
+  /// Regions ordered by one metric (descending). `metric` indexes
+  /// ProfileTable::metric_labels.
+  static std::vector<std::size_t> RankByMetric(const ProfileTable& table,
+                                               std::size_t metric);
+
+  /// The k regions most similar to `region_index` across all metrics
+  /// (euclidean in z-score space, NaNs skipped), excluding itself.
+  static std::vector<SimilarRegion> MostSimilar(const ProfileTable& table,
+                                                std::size_t region_index,
+                                                std::size_t k);
+
+  /// Aggregate time series: the metric re-evaluated over `bins` equal time
+  /// slices of [t_begin, t_end); result is [bin][region].
+  StatusOr<std::vector<std::vector<double>>> ComputeTimeSeries(
+      const ProfileMetric& metric, std::int64_t t_begin, std::int64_t t_end,
+      int bins, core::ExecutionMethod method);
+
+ private:
+  DatasetManager& manager_;
+  std::string region_layer_;
+  std::vector<ProfileMetric> metrics_;
+};
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_EXPLORATION_VIEW_H_

@@ -1,0 +1,42 @@
+#include "urbane/heatmap_view.h"
+
+#include "raster/point_splat.h"
+#include "raster/viewport.h"
+
+namespace urbane::app {
+
+StatusOr<raster::Image> RenderHeatmap(const data::PointTable& points,
+                                      const core::FilterSpec& filter,
+                                      const HeatmapOptions& options) {
+  geometry::BoundingBox world = options.world;
+  if (world.IsEmpty()) {
+    world = points.Bounds();
+  }
+  if (world.IsEmpty()) {
+    return Status::InvalidArgument("cannot render a heatmap of no points");
+  }
+  world = world.Expanded(1e-7 * std::max(1.0, world.Width()));
+  const raster::Viewport vp =
+      raster::Viewport::WithSquarePixels(world, options.image_width);
+
+  URBANE_ASSIGN_OR_RETURN(core::FilterSelection selection,
+                          core::EvaluateFilter(filter, points));
+  raster::Buffer2D<std::uint32_t> counts(vp.width(), vp.height(), 0);
+  raster::SplatPointsSubset(
+      vp, points.xs(), points.ys(), selection.ids, raster::BlendOp::kAdd,
+      [](std::size_t) { return 1u; }, counts);
+  return raster::ColormapCounts(counts, Colormap::Make(options.colormap),
+                                options.log_scale);
+}
+
+StatusOr<raster::Image> RenderHeatmapToFile(const data::PointTable& points,
+                                            const core::FilterSpec& filter,
+                                            const std::string& path,
+                                            const HeatmapOptions& options) {
+  URBANE_ASSIGN_OR_RETURN(raster::Image image,
+                          RenderHeatmap(points, filter, options));
+  URBANE_RETURN_IF_ERROR(raster::WritePpm(image, path));
+  return image;
+}
+
+}  // namespace urbane::app

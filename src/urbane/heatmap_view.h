@@ -1,0 +1,40 @@
+#ifndef URBANE_URBANE_HEATMAP_VIEW_H_
+#define URBANE_URBANE_HEATMAP_VIEW_H_
+
+#include <string>
+
+#include "core/filter.h"
+#include "data/point_table.h"
+#include "raster/image.h"
+#include "util/color.h"
+#include "util/status.h"
+
+namespace urbane::app {
+
+/// Point-density heatmap options (Urbane's raw-points layer, shown when the
+/// user zooms past the region level).
+struct HeatmapOptions {
+  int image_width = 800;
+  ColormapKind colormap = ColormapKind::kMagma;
+  bool log_scale = true;
+  /// Optional world window; empty -> point bounds.
+  geometry::BoundingBox world;
+};
+
+/// Splats the filtered points into a density raster and color-maps it —
+/// pass 1 of Raster Join doubling as a visualization, exactly how the GPU
+/// implementation previews its point texture.
+StatusOr<raster::Image> RenderHeatmap(const data::PointTable& points,
+                                      const core::FilterSpec& filter,
+                                      const HeatmapOptions& options =
+                                          HeatmapOptions());
+
+StatusOr<raster::Image> RenderHeatmapToFile(const data::PointTable& points,
+                                            const core::FilterSpec& filter,
+                                            const std::string& path,
+                                            const HeatmapOptions& options =
+                                                HeatmapOptions());
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_HEATMAP_VIEW_H_

@@ -1,0 +1,139 @@
+#include "urbane/map_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/simplify.h"
+#include "raster/font.h"
+#include "raster/rasterizer.h"
+#include "util/string_util.h"
+
+namespace urbane::app {
+
+namespace {
+
+// Compact numeric label for legends ("12.5K", "3.1M").
+std::string LegendLabel(double value) {
+  const double magnitude = std::fabs(value);
+  if (magnitude >= 1e6) {
+    return StringPrintf("%.1fM", value / 1e6);
+  }
+  if (magnitude >= 1e4) {
+    return StringPrintf("%.1fK", value / 1e3);
+  }
+  if (magnitude == std::floor(magnitude) && magnitude < 1e4) {
+    return StringPrintf("%.0f", value);
+  }
+  return StringPrintf("%.2f", value);
+}
+
+}  // namespace
+
+StatusOr<MapRender> RenderChoropleth(const data::RegionSet& regions,
+                                     const core::QueryResult& result,
+                                     const MapViewOptions& options) {
+  if (result.values.size() != regions.size()) {
+    return Status::InvalidArgument(
+        "query result size does not match the region set");
+  }
+  if (regions.empty()) {
+    return Status::InvalidArgument("cannot render an empty region set");
+  }
+  const geometry::BoundingBox world = regions.Bounds().Expanded(
+      0.01 * std::max(regions.Bounds().Width(), regions.Bounds().Height()));
+  const raster::Viewport vp =
+      raster::Viewport::WithSquarePixels(world, options.image_width);
+
+  auto transform = [&](double v) {
+    if (!options.log_scale) return v;
+    return v >= 0 ? std::log1p(v) : -std::log1p(-v);
+  };
+
+  // Legend range over finite values.
+  double lo = options.scale_lo;
+  double hi = options.scale_hi;
+  if (lo == hi) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const double v : result.values) {
+      if (!std::isfinite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > lo)) {
+      hi = lo + 1.0;
+    }
+  }
+
+  const Colormap colormap = Colormap::Make(options.colormap);
+  MapRender render;
+  render.legend_lo = lo;
+  render.legend_hi = hi;
+  render.image = raster::Image(vp.width(), vp.height(), options.background);
+
+  const double tlo = transform(lo);
+  const double thi = transform(hi);
+  // Optional level-of-detail pass: drop boundary detail below the pixel
+  // grid before rasterizing.
+  const double lod_tolerance =
+      options.simplify_tolerance_px *
+      std::max(vp.pixel_width(), vp.pixel_height());
+  std::vector<geometry::Polygon> simplified;
+  std::vector<std::pair<std::size_t, const geometry::Polygon*>> draw_list;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    for (const geometry::Polygon& part : regions[r].geometry.parts()) {
+      if (lod_tolerance > 0.0) {
+        simplified.push_back(
+            geometry::SimplifyPolygon(part, lod_tolerance));
+      }
+    }
+  }
+  std::size_t lod_cursor = 0;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    for (const geometry::Polygon& part : regions[r].geometry.parts()) {
+      draw_list.emplace_back(
+          r, lod_tolerance > 0.0 ? &simplified[lod_cursor++] : &part);
+    }
+  }
+
+  for (const auto& [r, part] : draw_list) {
+    const double v = result.values[r];
+    const Rgb fill = std::isfinite(v)
+                         ? colormap.MapRange(transform(v), tlo, thi)
+                         : options.background;
+    raster::ScanlineFillPolygon(
+        vp, *part, [&](int y, int x_begin, int x_end) {
+          Rgb* row = render.image.Row(y);
+          for (int x = x_begin; x < x_end; ++x) {
+            row[x] = fill;
+          }
+        });
+  }
+  if (options.draw_boundaries) {
+    for (const auto& [r, part] : draw_list) {
+      raster::RasterizePolygonBoundary(vp, *part, [&](int x, int y) {
+        render.image.at(x, y) = options.boundary_color;
+      });
+    }
+  }
+  if (options.draw_legend) {
+    const int bar_width = std::min(200, vp.width() / 3);
+    raster::DrawLegendBar(render.image, 12, 14, bar_width, 10, colormap,
+                          LegendLabel(lo), LegendLabel(hi), options.title,
+                          options.boundary_color);
+  }
+  return render;
+}
+
+StatusOr<MapRender> RenderChoroplethToFile(const data::RegionSet& regions,
+                                           const core::QueryResult& result,
+                                           const std::string& path,
+                                           const MapViewOptions& options) {
+  URBANE_ASSIGN_OR_RETURN(MapRender render,
+                          RenderChoropleth(regions, result, options));
+  URBANE_RETURN_IF_ERROR(raster::WritePpm(render.image, path));
+  return render;
+}
+
+}  // namespace urbane::app

@@ -1,0 +1,63 @@
+#ifndef URBANE_URBANE_MAP_VIEW_H_
+#define URBANE_URBANE_MAP_VIEW_H_
+
+#include <string>
+
+#include "core/aggregate.h"
+#include "data/region.h"
+#include "raster/image.h"
+#include "raster/viewport.h"
+#include "util/color.h"
+#include "util/status.h"
+
+namespace urbane::app {
+
+/// Rendering options of the choropleth map view (the paper's Figure 1:
+/// per-neighborhood aggregates painted over the city).
+struct MapViewOptions {
+  int image_width = 800;
+  ColormapKind colormap = ColormapKind::kViridis;
+  /// log1p-scale values before color mapping (urban counts are heavy
+  /// tailed).
+  bool log_scale = true;
+  /// Draw region boundaries in a dark outline.
+  bool draw_boundaries = true;
+  Rgb background{20, 20, 24};
+  Rgb boundary_color{235, 235, 235};
+  /// Explicit value range for the color scale; lo == hi -> auto.
+  double scale_lo = 0.0;
+  double scale_hi = 0.0;
+  /// Draw a legend bar with the scale range, plus an optional title line.
+  bool draw_legend = true;
+  std::string title;
+  /// Level-of-detail: simplify region outlines (Douglas–Peucker) to this
+  /// tolerance in *pixels* before rasterizing. 0 disables. Urbane uses this
+  /// at coarse zoom levels where sub-pixel boundary detail is invisible.
+  double simplify_tolerance_px = 0.0;
+};
+
+/// Result of a render: the image plus the legend range actually used.
+struct MapRender {
+  raster::Image image;
+  double legend_lo = 0.0;
+  double legend_hi = 0.0;
+};
+
+/// Paints one choropleth frame: every region filled with the color of its
+/// aggregate value. `result` must be in `regions` order (the output of any
+/// executor).
+StatusOr<MapRender> RenderChoropleth(const data::RegionSet& regions,
+                                     const core::QueryResult& result,
+                                     const MapViewOptions& options =
+                                         MapViewOptions());
+
+/// Convenience: render and write a PPM next to returning the render.
+StatusOr<MapRender> RenderChoroplethToFile(const data::RegionSet& regions,
+                                           const core::QueryResult& result,
+                                           const std::string& path,
+                                           const MapViewOptions& options =
+                                               MapViewOptions());
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_MAP_VIEW_H_

@@ -1,0 +1,88 @@
+#ifndef URBANE_URBANE_SESSION_H_
+#define URBANE_URBANE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/spatial_aggregation.h"
+#include "util/timer.h"
+
+namespace urbane::app {
+
+/// The interactions a demo visitor performs against Urbane. Every event
+/// mutates the session's query state and triggers a fresh spatial
+/// aggregation — the workload the paper claims must stay interactive.
+enum class InteractionKind {
+  kTimeBrushMove,    // slide the time window
+  kTimeBrushResize,  // widen/narrow the time window
+  kFilterTighten,    // add / tighten an attribute range
+  kFilterRelax,      // drop attribute ranges
+  kAggregateSwitch,  // COUNT -> AVG(fare) -> ... cycle
+  kPanZoom,          // camera-only move (still re-queries in Urbane's design)
+};
+
+const char* InteractionKindToString(InteractionKind kind);
+
+struct InteractionEvent {
+  InteractionKind kind = InteractionKind::kTimeBrushMove;
+  /// Kind-specific magnitude in [0, 1] (e.g. how far the brush moved).
+  double magnitude = 0.5;
+};
+
+/// One replayed frame: what happened and how long the backing query took.
+struct FrameRecord {
+  InteractionKind kind;
+  double latency_seconds = 0.0;
+  double selectivity = 1.0;
+  /// Sum of the per-region values (cheap checksum for comparing replays
+  /// across executors).
+  double checksum = 0.0;
+};
+
+/// Summary of a replay, as reported by the F8 experiment.
+struct SessionSummary {
+  std::size_t frames = 0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double max_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Frames under the interactivity budget (100 ms — the usual HCI bar the
+  /// demo targets).
+  std::size_t interactive_frames = 0;
+};
+
+SessionSummary SummarizeFrames(const std::vector<FrameRecord>& frames,
+                               double interactive_budget_seconds = 0.1);
+
+/// Deterministic pseudo-user: generates a plausible exploration trace
+/// (brushing back and forth in time, tightening filters, switching
+/// aggregates, panning).
+std::vector<InteractionEvent> GenerateInteractionTrace(std::size_t count,
+                                                       std::uint64_t seed);
+
+/// Replays a trace against one engine/executor, maintaining evolving query
+/// state (time window over [t_min, t_max], attribute filters over the
+/// table's first attribute, rotating aggregates).
+class InteractionSession {
+ public:
+  /// `engine` must outlive the session. `attribute` is the column used for
+  /// filter / aggregate events (must exist in the engine's table).
+  InteractionSession(core::SpatialAggregation& engine, std::string attribute,
+                     std::int64_t t_min, std::int64_t t_max);
+
+  StatusOr<std::vector<FrameRecord>> Replay(
+      const std::vector<InteractionEvent>& trace,
+      core::ExecutionMethod method);
+
+ private:
+  core::SpatialAggregation& engine_;
+  std::string attribute_;
+  std::int64_t t_min_;
+  std::int64_t t_max_;
+};
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_SESSION_H_

@@ -1,0 +1,86 @@
+#include "util/color.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace urbane {
+
+namespace {
+
+// Control points sampled from the matplotlib viridis/magma ramps (8 stops is
+// visually indistinguishable from the full table at map scales).
+const Rgb kViridisStops[] = {
+    {68, 1, 84},   {70, 50, 127},  {54, 92, 141},  {39, 127, 142},
+    {31, 161, 135}, {74, 194, 109}, {159, 218, 58}, {253, 231, 37},
+};
+const Rgb kMagmaStops[] = {
+    {0, 0, 4},      {40, 11, 84},   {101, 21, 110}, {159, 42, 99},
+    {212, 72, 66},  {245, 125, 21}, {250, 193, 39}, {252, 253, 191},
+};
+const Rgb kBlueOrangeStops[] = {
+    {5, 48, 97},    {67, 147, 195}, {209, 229, 240}, {247, 247, 247},
+    {253, 219, 199}, {214, 96, 77}, {103, 0, 31},
+};
+const Rgb kGrayscaleStops[] = {{0, 0, 0}, {255, 255, 255}};
+
+std::uint8_t LerpChannel(std::uint8_t a, std::uint8_t b, double t) {
+  const double v = static_cast<double>(a) + (static_cast<double>(b) - a) * t;
+  return static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+}
+
+}  // namespace
+
+Colormap Colormap::Make(ColormapKind kind) {
+  switch (kind) {
+    case ColormapKind::kViridis:
+      return Colormap(std::vector<Rgb>(std::begin(kViridisStops),
+                                       std::end(kViridisStops)));
+    case ColormapKind::kMagma:
+      return Colormap(
+          std::vector<Rgb>(std::begin(kMagmaStops), std::end(kMagmaStops)));
+    case ColormapKind::kBlueOrange:
+      return Colormap(std::vector<Rgb>(std::begin(kBlueOrangeStops),
+                                       std::end(kBlueOrangeStops)));
+    case ColormapKind::kGrayscale:
+      return Colormap(std::vector<Rgb>(std::begin(kGrayscaleStops),
+                                       std::end(kGrayscaleStops)));
+  }
+  return Colormap(std::vector<Rgb>(std::begin(kGrayscaleStops),
+                                   std::end(kGrayscaleStops)));
+}
+
+Colormap::Colormap(std::vector<Rgb> control_points)
+    : control_points_(std::move(control_points)) {
+  URBANE_CHECK(control_points_.size() >= 2)
+      << "a colormap needs at least two control points";
+}
+
+Rgb Colormap::Map(double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  const double scaled = t * static_cast<double>(control_points_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(scaled));
+  const std::size_t hi = std::min(lo + 1, control_points_.size() - 1);
+  const double frac = scaled - static_cast<double>(lo);
+  const Rgb& a = control_points_[lo];
+  const Rgb& b = control_points_[hi];
+  return Rgb{LerpChannel(a.r, b.r, frac), LerpChannel(a.g, b.g, frac),
+             LerpChannel(a.b, b.b, frac)};
+}
+
+Rgb Colormap::MapRange(double value, double lo, double hi) const {
+  if (!(hi > lo)) {
+    return Map(0.0);
+  }
+  return Map((value - lo) / (hi - lo));
+}
+
+std::string RgbToHex(const Rgb& color) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", color.r, color.g, color.b);
+  return buf;
+}
+
+}  // namespace urbane

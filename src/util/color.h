@@ -1,0 +1,53 @@
+#ifndef URBANE_UTIL_COLOR_H_
+#define URBANE_UTIL_COLOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urbane {
+
+/// 8-bit RGB color.
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  bool operator==(const Rgb&) const = default;
+};
+
+/// Named continuous colormaps used by the map/heatmap views.
+enum class ColormapKind {
+  kViridis,    // perceptually-uniform sequential (dark purple -> yellow)
+  kMagma,      // sequential, dark -> light warm
+  kBlueOrange, // diverging, for signed deltas
+  kGrayscale,  // debugging / density rasters
+};
+
+/// Piecewise-linear colormap over control points in [0, 1].
+class Colormap {
+ public:
+  /// Builds one of the built-in maps.
+  static Colormap Make(ColormapKind kind);
+
+  /// Builds a custom map from equally spaced control colors (>= 2).
+  explicit Colormap(std::vector<Rgb> control_points);
+
+  /// Maps t in [0, 1] (clamped) to a color by linear interpolation.
+  Rgb Map(double t) const;
+
+  /// Maps `value` within [lo, hi]; degenerate ranges map to the low color.
+  Rgb MapRange(double value, double lo, double hi) const;
+
+  const std::vector<Rgb>& control_points() const { return control_points_; }
+
+ private:
+  std::vector<Rgb> control_points_;
+};
+
+/// "#rrggbb" hex form (lowercase), e.g. for GeoJSON style properties.
+std::string RgbToHex(const Rgb& color);
+
+}  // namespace urbane
+
+#endif  // URBANE_UTIL_COLOR_H_

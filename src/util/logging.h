@@ -1,0 +1,74 @@
+#ifndef URBANE_UTIL_LOGGING_H_
+#define URBANE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace urbane {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace urbane
+
+#define URBANE_LOG(level)                                              \
+  ::urbane::internal_logging::LogMessage(::urbane::LogLevel::k##level, \
+                                         __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds. Streams context, then
+/// aborts when the condition is false.
+#define URBANE_CHECK(condition)                            \
+  if (!(condition))                                        \
+  URBANE_LOG(Fatal) << "Check failed: " #condition " "
+
+#define URBANE_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::urbane::Status _urbane_check_status = (expr);                 \
+    URBANE_CHECK(_urbane_check_status.ok())                         \
+        << _urbane_check_status.ToString();                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define URBANE_DCHECK(condition) \
+  if (false) URBANE_LOG(Fatal)
+#else
+#define URBANE_DCHECK(condition) URBANE_CHECK(condition)
+#endif
+
+#endif  // URBANE_UTIL_LOGGING_H_

@@ -1,0 +1,149 @@
+#ifndef URBANE_UTIL_STATUS_H_
+#define URBANE_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace urbane {
+
+/// Error categories used across the library. Mirrors the coarse categories a
+/// database engine needs: user input problems, missing resources, internal
+/// invariant violations, and unimplemented paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kNotImplemented = 7,
+  kIoError = 8,
+};
+
+/// Returns a stable human-readable name for a status code (e.g. "IOError").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier used instead of exceptions.
+///
+/// Functions that can fail return `Status` (or `StatusOr<T>` when they also
+/// produce a value). An OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// could not be produced. Accessing `value()` on an error aborts; check
+/// `ok()` first (or use `value_or`).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status. Aborts if `status.ok()`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace urbane
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `StatusOr<T>`.
+#define URBANE_RETURN_IF_ERROR(expr)           \
+  do {                                         \
+    ::urbane::Status _urbane_status = (expr);  \
+    if (!_urbane_status.ok()) {                \
+      return _urbane_status;                   \
+    }                                          \
+  } while (false)
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors, else assigns to `lhs`.
+#define URBANE_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  URBANE_ASSIGN_OR_RETURN_IMPL_(                  \
+      URBANE_STATUS_CONCAT_(_status_or_, __LINE__), lhs, rexpr)
+
+#define URBANE_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) {                                     \
+    return var.status();                               \
+  }                                                    \
+  lhs = std::move(var).value()
+
+#define URBANE_STATUS_CONCAT_INNER_(a, b) a##b
+#define URBANE_STATUS_CONCAT_(a, b) URBANE_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // URBANE_UTIL_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef URBANE_UTIL_STRING_UTIL_H_
+#define URBANE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace urbane {
+
+/// Splits on a single character; empty fields are preserved
+/// ("a,,b" -> {"a", "", "b"}). An empty input yields one empty field.
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          char delimiter);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view input);
+
+/// Strict full-string numeric parses (reject trailing garbage / empty).
+StatusOr<double> ParseDouble(std::string_view text);
+StatusOr<std::int64_t> ParseInt64(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace urbane
+
+#endif  // URBANE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,62 @@
+#ifndef URBANE_UTIL_THREAD_POOL_H_
+#define URBANE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace urbane {
+
+/// Fixed-size worker pool. Tasks are `std::function<void()>`; `Wait()` blocks
+/// until the queue drains and all in-flight tasks finish.
+///
+/// The software rasterizer uses this to mimic the GPU's parallel fragment
+/// processing: each render tile becomes one task.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects `std::thread::hardware_concurrency()`
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits `[0, count)` into contiguous chunks and runs
+/// `body(begin, end)` for each chunk on the pool, blocking until done.
+/// With a null pool (or a single worker and small `count`) runs inline.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t min_chunk = 1024);
+
+/// Returns a lazily-constructed process-wide pool sized to the hardware.
+ThreadPool* DefaultThreadPool();
+
+}  // namespace urbane
+
+#endif  // URBANE_UTIL_THREAD_POOL_H_

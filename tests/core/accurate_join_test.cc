@@ -1,0 +1,201 @@
+#include "core/accurate_join.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scan_join.h"
+#include "data/region_generator.h"
+#include "testing/test_worlds.h"
+
+namespace urbane::core {
+namespace {
+
+TEST(AccurateRasterJoinTest, ExactCountsMatchScan) {
+  const auto points = testing::MakeUniformPoints(20000, 51);
+  const auto regions = testing::MakeRandomRegions(8, 52);
+  RasterJoinOptions options;
+  options.resolution = 128;  // coarse canvas: lots of boundary work, still exact
+  auto accurate = AccurateRasterJoin::Create(points, regions, options);
+  auto scan = ScanJoin::Create(points, regions);
+  ASSERT_TRUE(accurate.ok());
+  ASSERT_TRUE(scan.ok());
+
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  const auto a = (*accurate)->Execute(query);
+  const auto b = (*scan)->Execute(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_EQ(a->counts[r], b->counts[r]) << "region " << r;
+    EXPECT_DOUBLE_EQ(a->values[r], b->values[r]) << "region " << r;
+  }
+}
+
+TEST(AccurateRasterJoinTest, ExactAcrossResolutions) {
+  const auto points = testing::MakeUniformPoints(8000, 53);
+  const auto regions = testing::MakeRandomRegions(4, 54);
+  auto scan = ScanJoin::Create(points, regions);
+  ASSERT_TRUE(scan.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  const auto exact = (*scan)->Execute(query);
+  ASSERT_TRUE(exact.ok());
+  for (const int resolution : {32, 64, 256, 1024}) {
+    RasterJoinOptions options;
+    options.resolution = resolution;
+    auto accurate = AccurateRasterJoin::Create(points, regions, options);
+    ASSERT_TRUE(accurate.ok());
+    const auto result = (*accurate)->Execute(query);
+    ASSERT_TRUE(result.ok());
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      EXPECT_EQ(result->counts[r], exact->counts[r])
+          << "resolution " << resolution << " region " << r;
+    }
+  }
+}
+
+TEST(AccurateRasterJoinTest, ExactWithHolesAndFilters) {
+  const auto points = testing::MakeUniformPoints(10000, 55);
+  data::TessellationOptions topts;
+  topts.cells_x = 4;
+  topts.cells_y = 4;
+  topts.bounds = geometry::BoundingBox(0, 0, 100.0, 100.0);
+  topts.hole_probability = 0.5;
+  const auto regions = data::GenerateTessellation(topts);
+  RasterJoinOptions options;
+  options.resolution = 200;
+  auto accurate = AccurateRasterJoin::Create(points, regions, options);
+  auto scan = ScanJoin::Create(points, regions);
+  ASSERT_TRUE(accurate.ok());
+  ASSERT_TRUE(scan.ok());
+
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.aggregate = AggregateSpec::Avg("v");
+  query.filter.WithTime(10000, 70000).WithRange("v", -8.0, 8.0);
+  const auto a = (*accurate)->Execute(query);
+  const auto b = (*scan)->Execute(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_EQ(a->counts[r], b->counts[r]) << "region " << r;
+    if (a->counts[r] > 0) {
+      EXPECT_NEAR(a->values[r], b->values[r], 1e-9) << "region " << r;
+    }
+  }
+}
+
+TEST(AccurateRasterJoinTest, MinMaxExact) {
+  const auto points = testing::MakeUniformPoints(5000, 56);
+  const auto regions = testing::MakeRandomRegions(4, 57);
+  RasterJoinOptions options;
+  options.resolution = 96;
+  auto accurate = AccurateRasterJoin::Create(points, regions, options);
+  auto scan = ScanJoin::Create(points, regions);
+  ASSERT_TRUE(accurate.ok());
+  ASSERT_TRUE(scan.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  for (const auto& spec :
+       {AggregateSpec::Min("v"), AggregateSpec::Max("v")}) {
+    query.aggregate = spec;
+    const auto a = (*accurate)->Execute(query);
+    const auto b = (*scan)->Execute(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (b->counts[r] > 0) {
+        EXPECT_FLOAT_EQ(static_cast<float>(a->values[r]),
+                        static_cast<float>(b->values[r]))
+            << "region " << r;
+      }
+    }
+  }
+}
+
+TEST(AccurateRasterJoinTest, TessellationCountsSumToTotal) {
+  // A partition of the world must account for every point exactly once.
+  const auto points = testing::MakeUniformPoints(30000, 58);
+  const auto regions = testing::MakeTessellationRegions(6, 59);
+  RasterJoinOptions options;
+  options.resolution = 256;
+  auto accurate = AccurateRasterJoin::Create(points, regions, options);
+  ASSERT_TRUE(accurate.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  const auto result = (*accurate)->Execute(query);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t total = 0;
+  for (const auto count : result->counts) {
+    total += count;
+  }
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(AccurateRasterJoinTest, SpatialWindowFilterExact) {
+  const auto points = testing::MakeUniformPoints(8000, 64);
+  const auto regions = testing::MakeRandomRegions(4, 65);
+  RasterJoinOptions options;
+  options.resolution = 128;
+  auto accurate = AccurateRasterJoin::Create(points, regions, options);
+  auto scan = ScanJoin::Create(points, regions);
+  ASSERT_TRUE(accurate.ok());
+  ASSERT_TRUE(scan.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.filter.WithWindow(geometry::BoundingBox(15, 25, 85, 95));
+  const auto a = (*accurate)->Execute(query);
+  const auto b = (*scan)->Execute(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->counts, b->counts);
+}
+
+TEST(AccurateRasterJoinTest, StatsShowHybridSplit) {
+  const auto points = testing::MakeUniformPoints(10000, 60);
+  const auto regions = testing::MakeRandomRegions(4, 61);
+  RasterJoinOptions options;
+  options.resolution = 256;
+  auto accurate = AccurateRasterJoin::Create(points, regions, options);
+  ASSERT_TRUE(accurate.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  ASSERT_TRUE((*accurate)->Execute(query).ok());
+  const ExecutorStats& stats = (*accurate)->stats();
+  EXPECT_GT(stats.points_bulk, 0u) << "interior pixels should be bulk-taken";
+  EXPECT_GT(stats.pip_tests, 0u) << "boundary pixels need exact tests";
+  EXPECT_GT(stats.boundary_pixels, 0u);
+  EXPECT_EQ((*accurate)->name(), "accurate");
+  EXPECT_TRUE((*accurate)->exact());
+  EXPECT_GT((*accurate)->MemoryBytes(), 0u);
+}
+
+TEST(AccurateRasterJoinTest, HigherResolutionNeedsFewerExactTests) {
+  const auto points = testing::MakeUniformPoints(20000, 62);
+  const auto regions = testing::MakeRandomRegions(4, 63);
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  std::size_t coarse_tests = 0;
+  std::size_t fine_tests = 0;
+  for (const int resolution : {64, 512}) {
+    RasterJoinOptions options;
+    options.resolution = resolution;
+    auto accurate = AccurateRasterJoin::Create(points, regions, options);
+    ASSERT_TRUE(accurate.ok());
+    ASSERT_TRUE((*accurate)->Execute(query).ok());
+    (resolution == 64 ? coarse_tests : fine_tests) =
+        (*accurate)->stats().pip_tests;
+  }
+  EXPECT_LT(fine_tests, coarse_tests);
+}
+
+}  // namespace
+}  // namespace urbane::core

@@ -1,0 +1,94 @@
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace urbane::core {
+namespace {
+
+TEST(AccumulatorTest, StreamingAdd) {
+  Accumulator acc;
+  acc.Add(3.0);
+  acc.Add(-1.0);
+  acc.Add(4.0);
+  EXPECT_EQ(acc.count, 3u);
+  EXPECT_DOUBLE_EQ(acc.sum, 6.0);
+  EXPECT_DOUBLE_EQ(acc.min, -1.0);
+  EXPECT_DOUBLE_EQ(acc.max, 4.0);
+}
+
+TEST(AccumulatorTest, FinalizePerKind) {
+  Accumulator acc;
+  acc.Add(2.0);
+  acc.Add(4.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateKind::kCount), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateKind::kSum), 6.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateKind::kAvg), 3.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateKind::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateKind::kMax), 4.0);
+}
+
+TEST(AccumulatorTest, EmptyFinalizeSemantics) {
+  const Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateKind::kCount), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateKind::kSum), 0.0);
+  EXPECT_TRUE(std::isnan(acc.Finalize(AggregateKind::kAvg)));
+  EXPECT_TRUE(std::isnan(acc.Finalize(AggregateKind::kMin)));
+  EXPECT_TRUE(std::isnan(acc.Finalize(AggregateKind::kMax)));
+}
+
+TEST(AccumulatorTest, AddBulkMatchesRepeatedAddForCountSumAvg) {
+  Accumulator bulk;
+  bulk.AddBulk(3, 9.0);
+  Accumulator stream;
+  stream.Add(2.0);
+  stream.Add(3.0);
+  stream.Add(4.0);
+  EXPECT_EQ(bulk.count, stream.count);
+  EXPECT_DOUBLE_EQ(bulk.sum, stream.sum);
+  EXPECT_DOUBLE_EQ(bulk.Finalize(AggregateKind::kAvg),
+                   stream.Finalize(AggregateKind::kAvg));
+}
+
+TEST(AccumulatorTest, MergeCombines) {
+  Accumulator a;
+  a.Add(1.0);
+  a.Add(5.0);
+  Accumulator b;
+  b.Add(-2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.sum, 4.0);
+  EXPECT_DOUBLE_EQ(a.min, -2.0);
+  EXPECT_DOUBLE_EQ(a.max, 5.0);
+}
+
+TEST(AccumulatorTest, MergeMinMaxOnly) {
+  Accumulator acc;
+  acc.Add(3.0);
+  acc.MergeMinMax(-7.0, 10.0);
+  EXPECT_DOUBLE_EQ(acc.min, -7.0);
+  EXPECT_DOUBLE_EQ(acc.max, 10.0);
+  EXPECT_EQ(acc.count, 1u);  // untouched
+}
+
+TEST(AggregateSpecTest, Factories) {
+  EXPECT_EQ(AggregateSpec::Count().kind, AggregateKind::kCount);
+  EXPECT_FALSE(AggregateSpec::Count().NeedsAttribute());
+  const AggregateSpec avg = AggregateSpec::Avg("fare");
+  EXPECT_EQ(avg.kind, AggregateKind::kAvg);
+  EXPECT_EQ(avg.attribute, "fare");
+  EXPECT_TRUE(avg.NeedsAttribute());
+  EXPECT_EQ(AggregateSpec::Sum("a").kind, AggregateKind::kSum);
+  EXPECT_EQ(AggregateSpec::Min("a").kind, AggregateKind::kMin);
+  EXPECT_EQ(AggregateSpec::Max("a").kind, AggregateKind::kMax);
+}
+
+TEST(AggregateKindToStringTest, Names) {
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kCount), "COUNT");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kAvg), "AVG");
+}
+
+}  // namespace
+}  // namespace urbane::core

@@ -1,0 +1,150 @@
+#include "core/datacube.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scan_join.h"
+#include "testing/test_worlds.h"
+
+namespace urbane::core {
+namespace {
+
+DataCubeOptions FareOptions() {
+  DataCubeOptions options;
+  options.attribute = "v";
+  options.time_bins = 16;
+  options.attribute_bins = 8;
+  return options;
+}
+
+TEST(PreAggregatedCubeTest, RejectsBadOptions) {
+  const auto points = testing::MakeUniformPoints(100, 1);
+  const auto regions = testing::MakeRandomRegions(2, 1);
+  DataCubeOptions bad = FareOptions();
+  bad.time_bins = 0;
+  EXPECT_FALSE(PreAggregatedCube::Build(points, regions, bad).ok());
+  bad = FareOptions();
+  bad.attribute = "missing";
+  EXPECT_FALSE(PreAggregatedCube::Build(points, regions, bad).ok());
+}
+
+TEST(PreAggregatedCubeTest, UnfilteredCountMatchesScan) {
+  const auto points = testing::MakeUniformPoints(5000, 2);
+  const auto regions = testing::MakeRandomRegions(4, 3);
+  auto cube = PreAggregatedCube::Build(points, regions, FareOptions());
+  ASSERT_TRUE(cube.ok());
+  auto scan = ScanJoin::Create(points, regions);
+  ASSERT_TRUE(scan.ok());
+
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  EXPECT_TRUE((*cube)->CanServe(query).ok());
+  const auto cube_result = (*cube)->Query(query);
+  const auto scan_result = (*scan)->Execute(query);
+  ASSERT_TRUE(cube_result.ok());
+  ASSERT_TRUE(scan_result.ok());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_EQ(cube_result->counts[r], scan_result->counts[r]);
+  }
+}
+
+TEST(PreAggregatedCubeTest, BinAlignedTimeWindowExact) {
+  const auto points = testing::MakeUniformPoints(8000, 4);
+  const auto regions = testing::MakeTessellationRegions(3, 5);
+  auto cube = PreAggregatedCube::Build(points, regions, FareOptions());
+  ASSERT_TRUE(cube.ok());
+  auto scan = ScanJoin::Create(points, regions);
+  ASSERT_TRUE(scan.ok());
+
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.filter.WithTime((*cube)->TimeBinStart(4), (*cube)->TimeBinStart(12));
+  ASSERT_TRUE((*cube)->CanServe(query).ok())
+      << (*cube)->CanServe(query).ToString();
+  const auto cube_result = (*cube)->Query(query);
+  const auto scan_result = (*scan)->Execute(query);
+  ASSERT_TRUE(cube_result.ok());
+  ASSERT_TRUE(scan_result.ok());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_EQ(cube_result->counts[r], scan_result->counts[r]) << r;
+  }
+}
+
+TEST(PreAggregatedCubeTest, RefusesAdHocConstraints) {
+  const auto points = testing::MakeUniformPoints(1000, 6);
+  const auto regions = testing::MakeRandomRegions(2, 7);
+  auto cube = PreAggregatedCube::Build(points, regions, FareOptions());
+  ASSERT_TRUE(cube.ok());
+
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+
+  // Non-aligned time range.
+  query.filter = FilterSpec().WithTime((*cube)->TimeBinStart(2) + 123,
+                                       (*cube)->TimeBinStart(9));
+  EXPECT_FALSE((*cube)->CanServe(query).ok());
+
+  // Different aggregate.
+  query.filter = FilterSpec();
+  query.aggregate = AggregateSpec::Avg("v");
+  EXPECT_FALSE((*cube)->CanServe(query).ok());
+
+  // Unanticipated attribute filter granularity.
+  query.aggregate = AggregateSpec::Count();
+  query.filter = FilterSpec().WithRange("v", -1.2345, 3.21);
+  EXPECT_FALSE((*cube)->CanServe(query).ok());
+
+  // Spatial window.
+  query.filter = FilterSpec().WithWindow(geometry::BoundingBox(0, 0, 50, 50));
+  EXPECT_FALSE((*cube)->CanServe(query).ok());
+
+  // New region set (arbitrary polygons) -> rebuild required.
+  const auto other_regions = testing::MakeRandomRegions(2, 8);
+  query.filter = FilterSpec();
+  query.regions = &other_regions;
+  EXPECT_FALSE((*cube)->CanServe(query).ok());
+}
+
+TEST(PreAggregatedCubeTest, QueryOnUnservableFails) {
+  const auto points = testing::MakeUniformPoints(500, 9);
+  const auto regions = testing::MakeRandomRegions(2, 10);
+  auto cube = PreAggregatedCube::Build(points, regions, FareOptions());
+  ASSERT_TRUE(cube.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.aggregate = AggregateSpec::Sum("v");
+  EXPECT_FALSE((*cube)->Query(query).ok());
+}
+
+TEST(PreAggregatedCubeTest, BuildCostAndMemoryReported) {
+  const auto points = testing::MakeUniformPoints(2000, 11);
+  const auto regions = testing::MakeRandomRegions(3, 12);
+  auto cube = PreAggregatedCube::Build(points, regions, FareOptions());
+  ASSERT_TRUE(cube.ok());
+  EXPECT_GT((*cube)->build_seconds(), 0.0);
+  EXPECT_EQ((*cube)->MemoryBytes(),
+            3u * 16u * 8u * sizeof(std::uint64_t));
+}
+
+TEST(PreAggregatedCubeTest, CountWithoutAttributeDimension) {
+  const auto points = testing::MakeUniformPoints(1000, 13);
+  const auto regions = testing::MakeRandomRegions(2, 14);
+  DataCubeOptions options;  // no attribute dimension
+  options.time_bins = 8;
+  auto cube = PreAggregatedCube::Build(points, regions, options);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ((*cube)->attribute_bins(), 1);
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  EXPECT_TRUE((*cube)->CanServe(query).ok());
+  // Any attribute filter at all is unservable without the dimension.
+  query.filter.WithRange("v", 0, 1);
+  EXPECT_FALSE((*cube)->CanServe(query).ok());
+}
+
+}  // namespace
+}  // namespace urbane::core

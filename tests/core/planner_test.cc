@@ -1,0 +1,86 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::core {
+namespace {
+
+WorkloadProfile BaseProfile() {
+  WorkloadProfile profile;
+  profile.num_points = 1'000'000;
+  profile.num_regions = 200;
+  profile.total_region_vertices = 20'000;
+  profile.world = geometry::BoundingBox(0, 0, 50000, 40000);
+  profile.selectivity = 1.0;
+  return profile;
+}
+
+TEST(PlannerTest, LargePointSetPrefersRaster) {
+  const QueryPlan plan = PlanQuery(BaseProfile(), {.exact = true});
+  EXPECT_EQ(plan.method, ExecutionMethod::kAccurateRaster);
+  EXPECT_GT(plan.resolution, 0);
+}
+
+TEST(PlannerTest, ApproximateQueryPicksBoundedRaster) {
+  const QueryPlan plan =
+      PlanQuery(BaseProfile(), {.exact = false, .epsilon_world = 100.0});
+  EXPECT_EQ(plan.method, ExecutionMethod::kBoundedRaster);
+}
+
+TEST(PlannerTest, EpsilonControlsResolution) {
+  const QueryPlan coarse =
+      PlanQuery(BaseProfile(), {.exact = false, .epsilon_world = 500.0});
+  const QueryPlan fine =
+      PlanQuery(BaseProfile(), {.exact = false, .epsilon_world = 10.0});
+  EXPECT_GT(fine.resolution, coarse.resolution);
+}
+
+TEST(PlannerTest, TinyWorkloadPrefersScan) {
+  WorkloadProfile profile = BaseProfile();
+  profile.num_points = 200;
+  profile.num_regions = 3;
+  profile.total_region_vertices = 20;
+  const QueryPlan plan = PlanQuery(profile, {.exact = true});
+  EXPECT_EQ(plan.method, ExecutionMethod::kScan);
+}
+
+TEST(PlannerTest, ExistingIndexMakesIndexJoinEligible) {
+  WorkloadProfile profile = BaseProfile();
+  profile.num_points = 50'000;
+  profile.num_regions = 4;
+  profile.total_region_vertices = 40;  // simple rectangles
+  const QueryPlan without = PlanQuery(profile, {.exact = true});
+  profile.has_point_index = true;
+  const QueryPlan with = PlanQuery(profile, {.exact = true});
+  // With an index available the planner may pick it; without, it cannot.
+  EXPECT_NE(without.method, ExecutionMethod::kIndexJoin);
+  EXPECT_GT(with.cost_index, 0.0);
+}
+
+TEST(PlannerTest, ExplanationMentionsChoice) {
+  const QueryPlan plan = PlanQuery(BaseProfile(), {.exact = true});
+  EXPECT_NE(plan.explanation.find(ExecutionMethodToString(plan.method)),
+            std::string::npos);
+}
+
+TEST(PlannerTest, SelectivityReducesRasterCost) {
+  WorkloadProfile all = BaseProfile();
+  WorkloadProfile filtered = BaseProfile();
+  filtered.selectivity = 0.01;
+  const QueryPlan plan_all = PlanQuery(all, {.exact = true});
+  const QueryPlan plan_filtered = PlanQuery(filtered, {.exact = true});
+  EXPECT_LT(plan_filtered.cost_raster, plan_all.cost_raster);
+  EXPECT_LT(plan_filtered.cost_scan, plan_all.cost_scan);
+}
+
+TEST(ExecutionMethodToStringTest, Names) {
+  EXPECT_STREQ(ExecutionMethodToString(ExecutionMethod::kScan), "scan");
+  EXPECT_STREQ(ExecutionMethodToString(ExecutionMethod::kIndexJoin), "index");
+  EXPECT_STREQ(ExecutionMethodToString(ExecutionMethod::kBoundedRaster),
+               "raster");
+  EXPECT_STREQ(ExecutionMethodToString(ExecutionMethod::kAccurateRaster),
+               "accurate");
+}
+
+}  // namespace
+}  // namespace urbane::core

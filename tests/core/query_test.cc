@@ -1,0 +1,73 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::core {
+namespace {
+
+TEST(QueryValidateTest, RequiresPointsAndRegions) {
+  AggregationQuery query;
+  EXPECT_FALSE(query.Validate().ok());
+  const auto points = testing::MakeUniformPoints(10, 1);
+  query.points = &points;
+  EXPECT_FALSE(query.Validate().ok());
+  const auto regions = testing::MakeRandomRegions(2, 1);
+  query.regions = &regions;
+  EXPECT_TRUE(query.Validate().ok());
+}
+
+TEST(QueryValidateTest, AggregateAttributeChecked) {
+  const auto points = testing::MakeUniformPoints(10, 1);
+  const auto regions = testing::MakeRandomRegions(2, 1);
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.aggregate = AggregateSpec::Avg("v");
+  EXPECT_TRUE(query.Validate().ok());
+  query.aggregate = AggregateSpec::Avg("bogus");
+  EXPECT_FALSE(query.Validate().ok());
+  query.aggregate = AggregateSpec{AggregateKind::kSum, ""};
+  EXPECT_FALSE(query.Validate().ok());
+}
+
+TEST(QueryValidateTest, FilterChecked) {
+  const auto points = testing::MakeUniformPoints(10, 1);
+  const auto regions = testing::MakeRandomRegions(2, 1);
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.filter.WithRange("bogus", 0, 1);
+  EXPECT_FALSE(query.Validate().ok());
+  query.filter = FilterSpec();
+  query.filter.WithRange("v", 5, 1);  // empty range
+  EXPECT_FALSE(query.Validate().ok());
+  query.filter = FilterSpec();
+  query.filter.WithTime(100, 50);  // reversed
+  EXPECT_FALSE(query.Validate().ok());
+}
+
+TEST(QueryToStringTest, RendersSqlLikeForm) {
+  const auto points = testing::MakeUniformPoints(10, 1);
+  const auto regions = testing::MakeRandomRegions(2, 1);
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.aggregate = AggregateSpec::Avg("v");
+  query.filter.WithTime(0, 100).WithRange("v", -1, 1);
+  const std::string sql = query.ToString();
+  EXPECT_NE(sql.find("SELECT AVG(v)"), std::string::npos);
+  EXPECT_NE(sql.find("P.loc INSIDE R.geometry"), std::string::npos);
+  EXPECT_NE(sql.find("P.t IN [0, 100)"), std::string::npos);
+  EXPECT_NE(sql.find("P.v IN [-1, 1]"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY R.id"), std::string::npos);
+}
+
+TEST(QueryToStringTest, CountRendersStar) {
+  const std::string sql = AggregationQuery{}.ToString();
+  EXPECT_NE(sql.find("COUNT(*)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace urbane::core

@@ -1,0 +1,191 @@
+#include "core/spatial_aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::core {
+namespace {
+
+TEST(SpatialAggregationTest, ExecuteWithEachMethod) {
+  const auto points = testing::MakeUniformPoints(5000, 71);
+  const auto regions = testing::MakeRandomRegions(5, 72);
+  RasterJoinOptions options;
+  options.resolution = 128;
+  SpatialAggregation engine(points, regions, options);
+
+  AggregationQuery query;
+  query.aggregate = AggregateSpec::Count();
+  const auto scan = engine.Execute(query, ExecutionMethod::kScan);
+  ASSERT_TRUE(scan.ok());
+  for (const ExecutionMethod method :
+       {ExecutionMethod::kIndexJoin, ExecutionMethod::kAccurateRaster}) {
+    const auto result = engine.Execute(query, method);
+    ASSERT_TRUE(result.ok());
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      EXPECT_EQ(result->counts[r], scan->counts[r])
+          << ExecutionMethodToString(method) << " region " << r;
+    }
+  }
+  const auto bounded = engine.Execute(query, ExecutionMethod::kBoundedRaster);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->size(), regions.size());
+}
+
+TEST(SpatialAggregationTest, ExecutorsAreCached) {
+  const auto points = testing::MakeUniformPoints(1000, 73);
+  const auto regions = testing::MakeRandomRegions(3, 74);
+  SpatialAggregation engine(points, regions);
+  const auto a = engine.Executor(ExecutionMethod::kScan);
+  const auto b = engine.Executor(ExecutionMethod::kScan);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SpatialAggregationTest, ExecuteAutoExactAgreesWithScan) {
+  const auto points = testing::MakeUniformPoints(5000, 75);
+  const auto regions = testing::MakeRandomRegions(4, 76);
+  SpatialAggregation engine(points, regions);
+  AggregationQuery query;
+  const auto auto_result = engine.ExecuteAuto(query, {.exact = true});
+  ASSERT_TRUE(auto_result.ok());
+  EXPECT_FALSE(engine.last_plan().explanation.empty());
+  const auto scan_result = engine.Execute(query, ExecutionMethod::kScan);
+  ASSERT_TRUE(scan_result.ok());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_EQ(auto_result->counts[r], scan_result->counts[r]);
+  }
+}
+
+TEST(SpatialAggregationTest, ExecuteAutoApproximateWithinEpsilonBound) {
+  const auto points = testing::MakeUniformPoints(20000, 77);
+  const auto regions = testing::MakeRandomRegions(4, 78);
+  SpatialAggregation engine(points, regions);
+  AggregationQuery query;
+  const auto result =
+      engine.ExecuteAuto(query, {.exact = false, .epsilon_world = 2.0});
+  ASSERT_TRUE(result.ok());
+  // The planner should have picked a raster method for 20k points.
+  EXPECT_EQ(engine.last_plan().method, ExecutionMethod::kBoundedRaster);
+  const auto scan_result = engine.Execute(query, ExecutionMethod::kScan);
+  ASSERT_TRUE(scan_result.ok());
+  if (!result->error_bounds.empty()) {
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      EXPECT_LE(std::fabs(result->values[r] - scan_result->values[r]),
+                result->error_bounds[r] + 1e-9);
+    }
+  }
+}
+
+TEST(SpatialAggregationTest, EstimateSelectivity) {
+  const auto points = testing::MakeUniformPoints(2000, 79);
+  const auto regions = testing::MakeRandomRegions(2, 80);
+  SpatialAggregation engine(points, regions);
+  EXPECT_DOUBLE_EQ(engine.EstimateSelectivity(FilterSpec()).value(), 1.0);
+  FilterSpec half;
+  half.WithRange("v", 0.0, 100.0);  // v ~ U[-10, 10] -> about half
+  const auto selectivity = engine.EstimateSelectivity(half);
+  ASSERT_TRUE(selectivity.ok());
+  EXPECT_GT(*selectivity, 0.4);
+  EXPECT_LT(*selectivity, 0.6);
+}
+
+TEST(SpatialAggregationTest, ExecuteManyMatchesIndividual) {
+  const auto points = testing::MakeUniformPoints(4000, 90);
+  const auto regions = testing::MakeRandomRegions(3, 91);
+  RasterJoinOptions options;
+  options.resolution = 128;
+  SpatialAggregation engine(points, regions, options);
+
+  std::vector<AggregationQuery> batch(3);
+  batch[0].aggregate = AggregateSpec::Count();
+  batch[1].aggregate = AggregateSpec::Sum("v");
+  batch[2].aggregate = AggregateSpec::Avg("v");
+  for (auto& q : batch) {
+    q.filter.WithTime(5000, 80000);
+  }
+  for (const ExecutionMethod method :
+       {ExecutionMethod::kBoundedRaster, ExecutionMethod::kScan}) {
+    const auto many = engine.ExecuteMany(batch, method);
+    ASSERT_TRUE(many.ok()) << many.status();
+    ASSERT_EQ(many->size(), 3u);
+    for (std::size_t q = 0; q < batch.size(); ++q) {
+      const auto single = engine.Execute(batch[q], method);
+      ASSERT_TRUE(single.ok());
+      EXPECT_EQ((*many)[q].counts, single->counts)
+          << ExecutionMethodToString(method) << " query " << q;
+    }
+  }
+}
+
+TEST(SpatialAggregationTest, ExecuteManyHeterogeneousFiltersFallsBack) {
+  const auto points = testing::MakeUniformPoints(1000, 92);
+  const auto regions = testing::MakeRandomRegions(2, 93);
+  SpatialAggregation engine(points, regions);
+  std::vector<AggregationQuery> batch(2);
+  batch[0].filter.WithTime(0, 40000);
+  batch[1].filter.WithTime(40000, 90000);
+  const auto many =
+      engine.ExecuteMany(batch, ExecutionMethod::kBoundedRaster);
+  ASSERT_TRUE(many.ok()) << many.status();
+  ASSERT_EQ(many->size(), 2u);
+  const auto a = engine.Execute(batch[0], ExecutionMethod::kBoundedRaster);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*many)[0].counts, a->counts);
+}
+
+TEST(SpatialAggregationTest, ResultCacheHitsOnRepeatQueries) {
+  const auto points = testing::MakeUniformPoints(3000, 83);
+  const auto regions = testing::MakeRandomRegions(3, 84);
+  SpatialAggregation engine(points, regions);
+  engine.set_result_cache_capacity(64);
+  AggregationQuery query;
+  query.filter.WithTime(1000, 50000);
+  const auto first = engine.Execute(query, ExecutionMethod::kScan);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.result_cache_hits(), 0u);
+  const auto second = engine.Execute(query, ExecutionMethod::kScan);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.result_cache_hits(), 1u);
+  EXPECT_EQ(first->counts, second->counts);
+  // A different filter or method misses.
+  AggregationQuery other = query;
+  other.filter.WithRange("v", 0, 1);
+  ASSERT_TRUE(engine.Execute(other, ExecutionMethod::kScan).ok());
+  ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kIndexJoin).ok());
+  EXPECT_EQ(engine.result_cache_hits(), 1u);
+}
+
+TEST(SpatialAggregationTest, ResultCacheCapacityBounded) {
+  const auto points = testing::MakeUniformPoints(500, 85);
+  const auto regions = testing::MakeRandomRegions(2, 86);
+  SpatialAggregation engine(points, regions);
+  engine.set_result_cache_capacity(2);
+  for (int i = 0; i < 6; ++i) {
+    AggregationQuery query;
+    query.filter.WithTime(i * 1000, (i + 1) * 1000);
+    ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kScan).ok());
+  }
+  EXPECT_LE(engine.result_cache_size(), 2u);
+  // Capacity 0 (the default) disables caching entirely.
+  engine.set_result_cache_capacity(0);
+  EXPECT_EQ(engine.result_cache_size(), 0u);
+  AggregationQuery query;
+  ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kScan).ok());
+  ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kScan).ok());
+  EXPECT_EQ(engine.result_cache_size(), 0u);
+}
+
+TEST(SpatialAggregationTest, InvalidQueryRejected) {
+  const auto points = testing::MakeUniformPoints(100, 81);
+  const auto regions = testing::MakeRandomRegions(2, 82);
+  SpatialAggregation engine(points, regions);
+  AggregationQuery query;
+  query.aggregate = AggregateSpec::Avg("missing");
+  EXPECT_FALSE(engine.Execute(query, ExecutionMethod::kScan).ok());
+  EXPECT_FALSE(engine.ExecuteAuto(query, {.exact = true}).ok());
+}
+
+}  // namespace
+}  // namespace urbane::core

@@ -1,0 +1,169 @@
+#include "core/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "testing/test_worlds.h"
+
+namespace urbane::core {
+namespace {
+
+TEST(ParseQuerySqlTest, MinimalCount) {
+  const auto parsed = ParseQuerySql("SELECT COUNT(*) FROM taxi, hoods");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->points_dataset, "taxi");
+  EXPECT_EQ(parsed->regions_layer, "hoods");
+  EXPECT_EQ(parsed->aggregate.kind, AggregateKind::kCount);
+  EXPECT_TRUE(parsed->filter.IsTrivial());
+}
+
+TEST(ParseQuerySqlTest, AggregatesWithAttributes) {
+  for (const auto& [sql, kind] :
+       std::vector<std::pair<std::string, AggregateKind>>{
+           {"SELECT SUM(fare) FROM a, b", AggregateKind::kSum},
+           {"SELECT AVG(fare) FROM a, b", AggregateKind::kAvg},
+           {"SELECT MIN(fare) FROM a, b", AggregateKind::kMin},
+           {"SELECT MAX(fare) FROM a, b", AggregateKind::kMax}}) {
+    const auto parsed = ParseQuerySql(sql);
+    ASSERT_TRUE(parsed.ok()) << sql;
+    EXPECT_EQ(parsed->aggregate.kind, kind);
+    EXPECT_EQ(parsed->aggregate.attribute, "fare");
+  }
+}
+
+TEST(ParseQuerySqlTest, CaseInsensitiveKeywords) {
+  const auto parsed =
+      ParseQuerySql("select count(*) from taxi, hoods where t in [0, 10)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(parsed->filter.time_range.has_value());
+  EXPECT_EQ(parsed->filter.time_range->begin, 0);
+  EXPECT_EQ(parsed->filter.time_range->end, 10);
+}
+
+TEST(ParseQuerySqlTest, TimeRangeHalfOpenAndClosed) {
+  const auto half = ParseQuerySql(
+      "SELECT COUNT(*) FROM a, b WHERE t IN [100, 200)");
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(half->filter.time_range->end, 200);
+  const auto closed = ParseQuerySql(
+      "SELECT COUNT(*) FROM a, b WHERE t IN [100, 200]");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed->filter.time_range->end, 201);
+}
+
+TEST(ParseQuerySqlTest, AttributeRangesAndBetween) {
+  const auto parsed = ParseQuerySql(
+      "SELECT COUNT(*) FROM a, b WHERE fare IN [5, 20] AND "
+      "tip BETWEEN 1 AND 3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->filter.attribute_ranges.size(), 2u);
+  EXPECT_EQ(parsed->filter.attribute_ranges[0].attribute, "fare");
+  EXPECT_DOUBLE_EQ(parsed->filter.attribute_ranges[0].lo, 5.0);
+  EXPECT_DOUBLE_EQ(parsed->filter.attribute_ranges[1].hi, 3.0);
+}
+
+TEST(ParseQuerySqlTest, ComparisonOperators) {
+  const auto parsed = ParseQuerySql(
+      "SELECT COUNT(*) FROM a, b WHERE fare >= 10 AND fare < 50");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->filter.attribute_ranges.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->filter.attribute_ranges[0].lo, 10.0);
+  EXPECT_TRUE(std::isinf(parsed->filter.attribute_ranges[0].hi));
+  EXPECT_DOUBLE_EQ(parsed->filter.attribute_ranges[1].hi, 50.0);
+}
+
+TEST(ParseQuerySqlTest, ExplicitSpatialPredicateAndGroupBy) {
+  const auto parsed = ParseQuerySql(
+      "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry "
+      "GROUP BY R.id");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->points_dataset, "P");
+}
+
+TEST(ParseQuerySqlTest, QualifiersStripped) {
+  const auto parsed = ParseQuerySql(
+      "SELECT AVG(P.fare) FROM taxi, hoods WHERE P.tip IN [0, 1]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->aggregate.attribute, "fare");
+  EXPECT_EQ(parsed->filter.attribute_ranges[0].attribute, "tip");
+}
+
+TEST(ParseQuerySqlTest, NegativeAndScientificNumbers) {
+  const auto parsed = ParseQuerySql(
+      "SELECT COUNT(*) FROM a, b WHERE v IN [-1.5, 2e3]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->filter.attribute_ranges[0].lo, -1.5);
+  EXPECT_DOUBLE_EQ(parsed->filter.attribute_ranges[0].hi, 2000.0);
+}
+
+TEST(ParseQuerySqlTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseQuerySql("").ok());
+  EXPECT_FALSE(ParseQuerySql("SELECT").ok());
+  EXPECT_FALSE(ParseQuerySql("SELECT BOGUS(*) FROM a, b").ok());
+  EXPECT_FALSE(ParseQuerySql("SELECT COUNT(*) FROM a").ok());         // one table
+  EXPECT_FALSE(ParseQuerySql("SELECT COUNT(*) FROM a, b WHERE").ok());
+  EXPECT_FALSE(ParseQuerySql("SELECT COUNT(*) FROM a, b WHERE x").ok());
+  EXPECT_FALSE(
+      ParseQuerySql("SELECT COUNT(*) FROM a, b WHERE t IN [1, 2").ok());
+  EXPECT_FALSE(
+      ParseQuerySql("SELECT COUNT(*) FROM a, b GROUP BY other").ok());
+  EXPECT_FALSE(
+      ParseQuerySql("SELECT COUNT(*) FROM a, b extra tokens").ok());
+  // Attribute ranges must be closed.
+  EXPECT_FALSE(
+      ParseQuerySql("SELECT COUNT(*) FROM a, b WHERE v IN [1, 2)").ok());
+  // Time inequalities are not supported.
+  EXPECT_FALSE(
+      ParseQuerySql("SELECT COUNT(*) FROM a, b WHERE t >= 5").ok());
+}
+
+TEST(ParseQuerySqlTest, RoundTripsToStringOutput) {
+  const auto points = testing::MakeUniformPoints(10, 1);
+  const auto regions = testing::MakeRandomRegions(2, 1);
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.aggregate = AggregateSpec::Avg("v");
+  query.filter.WithTime(100, 2000).WithRange("v", -1.0, 1.0);
+  const auto parsed = ParseQuerySql(query.ToString());
+  ASSERT_TRUE(parsed.ok()) << query.ToString() << " -> " << parsed.status();
+  EXPECT_EQ(parsed->aggregate.kind, AggregateKind::kAvg);
+  EXPECT_EQ(parsed->aggregate.attribute, "v");
+  ASSERT_TRUE(parsed->filter.time_range.has_value());
+  EXPECT_EQ(parsed->filter.time_range->begin, 100);
+  EXPECT_EQ(parsed->filter.time_range->end, 2000);
+  ASSERT_EQ(parsed->filter.attribute_ranges.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->filter.attribute_ranges[0].lo, -1.0);
+}
+
+TEST(ParseQuerySqlTest, ViewportBoxPredicate) {
+  const auto parsed = ParseQuerySql(
+      "SELECT COUNT(*) FROM taxi, hoods WHERE P.loc INSIDE BOX "
+      "[10, 20, 30, 40]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(parsed->filter.spatial_window.has_value());
+  EXPECT_DOUBLE_EQ(parsed->filter.spatial_window->min_x, 10.0);
+  EXPECT_DOUBLE_EQ(parsed->filter.spatial_window->max_y, 40.0);
+}
+
+TEST(ParseQuerySqlTest, WindowedToStringRoundTrips) {
+  const auto points = testing::MakeUniformPoints(10, 2);
+  const auto regions = testing::MakeRandomRegions(2, 2);
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.filter.WithWindow(geometry::BoundingBox(1, 2, 3, 4));
+  const auto parsed = ParseQuerySql(query.ToString());
+  ASSERT_TRUE(parsed.ok()) << query.ToString() << " -> " << parsed.status();
+  ASSERT_TRUE(parsed->filter.spatial_window.has_value());
+  EXPECT_DOUBLE_EQ(parsed->filter.spatial_window->min_y, 2.0);
+}
+
+TEST(ParseQuerySqlTest, CountOfAttributeAccepted) {
+  const auto parsed = ParseQuerySql("SELECT COUNT(fare) FROM a, b");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->aggregate.kind, AggregateKind::kCount);
+}
+
+}  // namespace
+}  // namespace urbane::core

@@ -1,0 +1,167 @@
+#include "core/temporal_canvas.h"
+
+#include <gtest/gtest.h>
+
+#include "core/raster_join.h"
+#include "testing/test_worlds.h"
+
+namespace urbane::core {
+namespace {
+
+TEST(TemporalCanvasTest, RejectsBadOptions) {
+  const auto points = testing::MakeUniformPoints(100, 1);
+  const auto regions = testing::MakeRandomRegions(2, 1);
+  TemporalCanvasOptions bad;
+  bad.resolution = 0;
+  EXPECT_FALSE(TemporalCanvasIndex::Build(points, regions, bad).ok());
+  bad.resolution = 64;
+  bad.time_bins = 0;
+  EXPECT_FALSE(TemporalCanvasIndex::Build(points, regions, bad).ok());
+}
+
+TEST(TemporalCanvasTest, FullWindowMatchesBoundedRasterJoin) {
+  const auto points = testing::MakeUniformPoints(10000, 2);
+  const auto regions = testing::MakeRandomRegions(4, 3);
+  TemporalCanvasOptions options;
+  options.resolution = 128;
+  options.time_bins = 16;
+  auto index = TemporalCanvasIndex::Build(points, regions, options);
+  ASSERT_TRUE(index.ok());
+
+  RasterJoinOptions raster_options;
+  raster_options.resolution = 128;
+  auto raster = BoundedRasterJoin::Create(points, regions, raster_options);
+  ASSERT_TRUE(raster.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  const auto expected = (*raster)->Execute(query);
+  ASSERT_TRUE(expected.ok());
+
+  const auto [t0, t1] = points.TimeRange();
+  const auto result = (*index)->QueryTimeWindow(t0, t1 + 1);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_EQ(result->counts[r], expected->counts[r]) << "region " << r;
+  }
+}
+
+TEST(TemporalCanvasTest, BinAlignedWindowMatchesFilteredRasterJoin) {
+  const auto points = testing::MakeUniformPoints(8000, 4);
+  const auto regions = testing::MakeRandomRegions(3, 5);
+  TemporalCanvasOptions options;
+  options.resolution = 96;
+  options.time_bins = 8;
+  auto index = TemporalCanvasIndex::Build(points, regions, options);
+  ASSERT_TRUE(index.ok());
+
+  // A window exactly on bin boundaries [bin 2, bin 6).
+  const std::int64_t t0 = (*index)->BinStart(2);
+  const std::int64_t t1 = (*index)->BinStart(6);
+  std::int64_t snapped0 = -1;
+  std::int64_t snapped1 = -1;
+  const auto result = (*index)->QueryTimeWindow(t0, t1, &snapped0, &snapped1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(snapped0, t0);
+  EXPECT_EQ(snapped1, t1);
+
+  RasterJoinOptions raster_options;
+  raster_options.resolution = 96;
+  auto raster = BoundedRasterJoin::Create(points, regions, raster_options);
+  ASSERT_TRUE(raster.ok());
+  AggregationQuery query;
+  query.points = &points;
+  query.regions = &regions;
+  query.filter.WithTime(t0, t1);
+  const auto expected = (*raster)->Execute(query);
+  ASSERT_TRUE(expected.ok());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_EQ(result->counts[r], expected->counts[r]) << "region " << r;
+  }
+}
+
+TEST(TemporalCanvasTest, SnappingIsOutward) {
+  const auto points = testing::MakeUniformPoints(1000, 6);
+  const auto regions = testing::MakeRandomRegions(2, 7);
+  TemporalCanvasOptions options;
+  options.resolution = 64;
+  options.time_bins = 10;
+  auto index = TemporalCanvasIndex::Build(points, regions, options);
+  ASSERT_TRUE(index.ok());
+  const std::int64_t mid_bin3 =
+      ((*index)->BinStart(3) + (*index)->BinStart(4)) / 2;
+  const std::int64_t mid_bin6 =
+      ((*index)->BinStart(6) + (*index)->BinStart(7)) / 2;
+  std::int64_t snapped0 = 0;
+  std::int64_t snapped1 = 0;
+  ASSERT_TRUE((*index)
+                  ->QueryTimeWindow(mid_bin3, mid_bin6, &snapped0, &snapped1)
+                  .ok());
+  EXPECT_LE(snapped0, mid_bin3);
+  EXPECT_GE(snapped1, mid_bin6);
+  EXPECT_EQ(snapped0, (*index)->BinStart(3));
+  EXPECT_EQ(snapped1, (*index)->BinStart(7));
+}
+
+TEST(TemporalCanvasTest, SnappedWindowNeverLosesPoints) {
+  const auto points = testing::MakeUniformPoints(5000, 8);
+  const auto regions = testing::MakeTessellationRegions(3, 9);
+  TemporalCanvasOptions options;
+  options.resolution = 128;
+  options.time_bins = 12;
+  auto index = TemporalCanvasIndex::Build(points, regions, options);
+  ASSERT_TRUE(index.ok());
+  // Arbitrary window; the snapped result must count at least the points in
+  // the requested window (snap is outward) for the whole partition.
+  const auto result = (*index)->QueryTimeWindow(20000, 60000);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t total = 0;
+  for (const auto c : result->counts) total += c;
+  std::size_t in_window = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points.t(i) >= 20000 && points.t(i) < 60000) ++in_window;
+  }
+  EXPECT_GE(total, in_window);
+}
+
+TEST(TemporalCanvasTest, EmptyWindowRejected) {
+  const auto points = testing::MakeUniformPoints(100, 10);
+  const auto regions = testing::MakeRandomRegions(2, 11);
+  auto index = TemporalCanvasIndex::Build(points, regions);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE((*index)->QueryTimeWindow(50, 50).ok());
+  EXPECT_FALSE((*index)->QueryTimeWindow(60, 50).ok());
+}
+
+TEST(TemporalCanvasTest, MemoryScalesWithBins) {
+  const auto points = testing::MakeUniformPoints(1000, 12);
+  const auto regions = testing::MakeRandomRegions(2, 13);
+  TemporalCanvasOptions small;
+  small.resolution = 64;
+  small.time_bins = 4;
+  TemporalCanvasOptions large = small;
+  large.time_bins = 32;
+  auto a = TemporalCanvasIndex::Build(points, regions, small);
+  auto b = TemporalCanvasIndex::Build(points, regions, large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT((*b)->MemoryBytes(), (*a)->MemoryBytes());
+  EXPECT_GT((*a)->build_seconds(), 0.0);
+}
+
+TEST(TemporalCanvasTest, BinHelpersConsistent) {
+  const auto points = testing::MakeUniformPoints(1000, 14);
+  const auto regions = testing::MakeRandomRegions(2, 15);
+  TemporalCanvasOptions options;
+  options.time_bins = 16;
+  auto index = TemporalCanvasIndex::Build(points, regions, options);
+  ASSERT_TRUE(index.ok());
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_EQ((*index)->BinForTime((*index)->BinStart(b)), b);
+  }
+  EXPECT_EQ((*index)->BinForTime((*index)->min_time()), 0);
+  EXPECT_EQ((*index)->BinForTime((*index)->max_time()), 15);
+}
+
+}  // namespace
+}  // namespace urbane::core

@@ -1,0 +1,97 @@
+#include "data/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/region_generator.h"
+#include "testing/test_worlds.h"
+#include "util/csv.h"
+
+namespace urbane::data {
+namespace {
+
+TEST(PointTableBinaryTest, RoundTrips) {
+  const PointTable table = testing::MakeUniformPoints(5000, 42);
+  const std::string path = ::testing::TempDir() + "/points.upt";
+  ASSERT_TRUE(WritePointTableBinary(table, path).ok());
+  const auto loaded = ReadPointTableBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), table.size());
+  EXPECT_EQ(loaded->schema(), table.schema());
+  for (std::size_t i = 0; i < table.size(); i += 97) {
+    EXPECT_EQ(loaded->x(i), table.x(i));
+    EXPECT_EQ(loaded->y(i), table.y(i));
+    EXPECT_EQ(loaded->t(i), table.t(i));
+    EXPECT_EQ(loaded->attribute(i, 0), table.attribute(i, 0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PointTableBinaryTest, EmptyTableRoundTrips) {
+  PointTable table(Schema({"v"}));
+  const std::string path = ::testing::TempDir() + "/empty.upt";
+  ASSERT_TRUE(WritePointTableBinary(table, path).ok());
+  const auto loaded = ReadPointTableBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->schema().attribute_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PointTableBinaryTest, RejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/bad_magic.upt";
+  ASSERT_TRUE(WriteStringToFile("NOPE-this-is-not-a-snapshot", path).ok());
+  EXPECT_FALSE(ReadPointTableBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PointTableBinaryTest, RejectsTruncatedFile) {
+  const PointTable table = testing::MakeUniformPoints(1000, 1);
+  const std::string path = ::testing::TempDir() + "/trunc.upt";
+  ASSERT_TRUE(WritePointTableBinary(table, path).ok());
+  const auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(content->substr(0, content->size() / 2), path).ok());
+  EXPECT_FALSE(ReadPointTableBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PointTableBinaryTest, MissingFileFails) {
+  EXPECT_FALSE(ReadPointTableBinary("/no/such/file.upt").ok());
+}
+
+TEST(RegionSetBinaryTest, RoundTripsWithHoles) {
+  TessellationOptions options;
+  options.cells_x = 4;
+  options.cells_y = 4;
+  options.hole_probability = 0.5;
+  options.bounds = geometry::BoundingBox(0, 0, 100, 100);
+  const RegionSet regions = GenerateTessellation(options);
+  const std::string path = ::testing::TempDir() + "/regions.urg";
+  ASSERT_TRUE(WriteRegionSetBinary(regions, path).ok());
+  const auto loaded = ReadRegionSetBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), regions.size());
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, regions[i].id);
+    EXPECT_EQ((*loaded)[i].name, regions[i].name);
+    EXPECT_DOUBLE_EQ((*loaded)[i].geometry.Area(), regions[i].geometry.Area());
+    EXPECT_EQ((*loaded)[i].geometry.VertexCount(),
+              regions[i].geometry.VertexCount());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RegionSetBinaryTest, RejectsWrongMagic) {
+  const PointTable table = testing::MakeUniformPoints(10, 1);
+  const std::string path = ::testing::TempDir() + "/cross_magic.bin";
+  ASSERT_TRUE(WritePointTableBinary(table, path).ok());
+  // A point-table snapshot is not a region-set snapshot.
+  EXPECT_FALSE(ReadRegionSetBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace urbane::data

@@ -1,0 +1,78 @@
+// Failure injection: snapshot files truncated or bit-flipped at arbitrary
+// offsets must be rejected with a clean Status — never a crash, hang, or
+// silent short read.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/binary_io.h"
+#include "data/region_generator.h"
+#include "testing/test_worlds.h"
+#include "util/csv.h"
+
+namespace urbane::data {
+namespace {
+
+class TruncationSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweepTest, TruncatedPointSnapshotRejected) {
+  const PointTable table = testing::MakeUniformPoints(2000, 77);
+  const std::string path = ::testing::TempDir() + "/trunc_sweep.upt";
+  ASSERT_TRUE(WritePointTableBinary(table, path).ok());
+  const auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  const std::size_t keep =
+      content->size() * static_cast<std::size_t>(GetParam()) / 100;
+  ASSERT_TRUE(WriteStringToFile(content->substr(0, keep), path).ok());
+  const auto loaded = ReadPointTableBinary(path);
+  // Every strict prefix must fail (the trailing attribute column makes the
+  // full length load-bearing).
+  EXPECT_FALSE(loaded.ok()) << "kept " << keep << " of " << content->size();
+  std::remove(path.c_str());
+}
+
+TEST_P(TruncationSweepTest, TruncatedRegionSnapshotRejected) {
+  const RegionSet regions = testing::MakeTessellationRegions(4, 78);
+  const std::string path = ::testing::TempDir() + "/trunc_sweep.urg";
+  ASSERT_TRUE(WriteRegionSetBinary(regions, path).ok());
+  const auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  const std::size_t keep =
+      content->size() * static_cast<std::size_t>(GetParam()) / 100;
+  ASSERT_TRUE(WriteStringToFile(content->substr(0, keep), path).ok());
+  EXPECT_FALSE(ReadRegionSetBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, TruncationSweepTest,
+                         ::testing::Values(0, 3, 10, 25, 50, 75, 90, 99));
+
+TEST(CorruptionTest, LengthFieldBitFlipRejected) {
+  // Flip high bits in the row-count field so it claims an absurd size; the
+  // reader must refuse rather than attempt a huge allocation.
+  const PointTable table = testing::MakeUniformPoints(100, 79);
+  const std::string path = ::testing::TempDir() + "/bitflip.upt";
+  ASSERT_TRUE(WritePointTableBinary(table, path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string bytes = std::move(*content);
+  // Layout: magic(4) + attr_count(8) + name(len 8 + 1) + count(8)...
+  // The row count sits right after the single-attribute name "v".
+  const std::size_t count_offset = 4 + 8 + 8 + 1;
+  ASSERT_LT(count_offset + 8, bytes.size());
+  bytes[count_offset + 7] = '\x7f';  // blow up the top byte
+  ASSERT_TRUE(WriteStringToFile(bytes, path).ok());
+  EXPECT_FALSE(ReadPointTableBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionTest, EmptyFileRejected) {
+  const std::string path = ::testing::TempDir() + "/empty.upt";
+  ASSERT_TRUE(WriteStringToFile("", path).ok());
+  EXPECT_FALSE(ReadPointTableBinary(path).ok());
+  EXPECT_FALSE(ReadRegionSetBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace urbane::data

@@ -1,0 +1,89 @@
+#include "data/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::data {
+namespace {
+
+constexpr char kBasicCsv[] =
+    "x,y,t,fare\n"
+    "1.5,2.5,100,10.0\n"
+    "3.5,4.5,200,20.0\n";
+
+TEST(ReadPointTableCsvTest, LoadsRowsAndAttributes) {
+  const auto table = ReadPointTableCsv(kBasicCsv);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->size(), 2u);
+  EXPECT_FLOAT_EQ(table->x(0), 1.5f);
+  EXPECT_EQ(table->t(1), 200);
+  ASSERT_TRUE(table->schema().HasAttribute("fare"));
+  EXPECT_FLOAT_EQ(table->attribute(1, 0), 20.0f);
+}
+
+TEST(ReadPointTableCsvTest, CustomColumnBindings) {
+  CsvPointOptions options;
+  options.x_column = "lon";
+  options.y_column = "lat";
+  options.t_column = "pickup";
+  const auto table = ReadPointTableCsv(
+      "lon,lat,pickup,v\n1,2,3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 1u);
+  EXPECT_FLOAT_EQ(table->x(0), 1.0f);
+}
+
+TEST(ReadPointTableCsvTest, MissingColumnsRejected) {
+  EXPECT_FALSE(ReadPointTableCsv("a,b\n1,2\n").ok());
+}
+
+TEST(ReadPointTableCsvTest, BadRowsSkippedByDefault) {
+  const auto table = ReadPointTableCsv(
+      "x,y,t,v\n1,2,3,4\njunk,2,3,4\n5,6,7,bad\n8,9,10,11\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 2u);
+}
+
+TEST(ReadPointTableCsvTest, BadRowsFailWhenStrict) {
+  CsvPointOptions options;
+  options.skip_bad_rows = false;
+  EXPECT_FALSE(
+      ReadPointTableCsv("x,y,t\n1,2,junk\n", options).ok());
+}
+
+TEST(ReadPointTableCsvTest, LonLatProjection) {
+  CsvPointOptions options;
+  options.project_lonlat_to_mercator = true;
+  const auto table =
+      ReadPointTableCsv("x,y,t\n-74.0,40.7,0\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_LT(table->x(0), -8e6f);  // Mercator meters, not degrees
+}
+
+TEST(WritePointTableCsvTest, RoundTrips) {
+  const auto table = ReadPointTableCsv(kBasicCsv);
+  ASSERT_TRUE(table.ok());
+  const std::string out = WritePointTableCsv(*table);
+  const auto reloaded = ReadPointTableCsv(out);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_EQ(reloaded->size(), table->size());
+  for (std::size_t i = 0; i < table->size(); ++i) {
+    EXPECT_EQ(reloaded->x(i), table->x(i));
+    EXPECT_EQ(reloaded->y(i), table->y(i));
+    EXPECT_EQ(reloaded->t(i), table->t(i));
+    EXPECT_EQ(reloaded->attribute(i, 0), table->attribute(i, 0));
+  }
+}
+
+TEST(CsvFileRoundTripTest, WriteAndRead) {
+  const auto table = ReadPointTableCsv(kBasicCsv);
+  ASSERT_TRUE(table.ok());
+  const std::string path = ::testing::TempDir() + "/points_roundtrip.csv";
+  ASSERT_TRUE(WritePointTableCsvFile(*table, path).ok());
+  const auto loaded = ReadPointTableCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace urbane::data

@@ -1,0 +1,86 @@
+#include "data/event_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::data {
+namespace {
+
+TEST(EventGeneratorTest, ServiceRequestsSchema) {
+  UrbanEventOptions options;
+  options.kind = UrbanEventKind::kServiceRequests311;
+  options.num_events = 5000;
+  const PointTable table = GenerateUrbanEvents(options);
+  EXPECT_EQ(table.size(), 5000u);
+  EXPECT_TRUE(table.schema().HasAttribute("category"));
+  EXPECT_TRUE(table.schema().HasAttribute("response_hours"));
+  EXPECT_TRUE(table.Validate().ok());
+}
+
+TEST(EventGeneratorTest, CrimeSchema) {
+  UrbanEventOptions options;
+  options.kind = UrbanEventKind::kCrimeIncidents;
+  options.num_events = 5000;
+  const PointTable table = GenerateUrbanEvents(options);
+  EXPECT_TRUE(table.schema().HasAttribute("severity"));
+  EXPECT_TRUE(table.schema().HasAttribute("indoor"));
+}
+
+TEST(EventGeneratorTest, BoundsAndTimesRespected) {
+  UrbanEventOptions options;
+  options.num_events = 5000;
+  const PointTable table = GenerateUrbanEvents(options);
+  EXPECT_TRUE(options.bounds.Expanded(1.0).Contains(table.Bounds()));
+  const auto [t0, t1] = table.TimeRange();
+  EXPECT_GE(t0, options.start_time);
+  EXPECT_LT(t1, options.start_time + options.duration_seconds);
+}
+
+TEST(EventGeneratorTest, SeverityInRange) {
+  UrbanEventOptions options;
+  options.kind = UrbanEventKind::kCrimeIncidents;
+  options.num_events = 2000;
+  const PointTable table = GenerateUrbanEvents(options);
+  const auto& severity = table.attribute_column(0);
+  for (const float s : severity) {
+    EXPECT_GE(s, 1.0f);
+    EXPECT_LE(s, 5.0f);
+  }
+}
+
+TEST(EventGeneratorTest, CrimeIsNightWeighted) {
+  UrbanEventOptions options;
+  options.kind = UrbanEventKind::kCrimeIncidents;
+  options.num_events = 30000;
+  const PointTable table = GenerateUrbanEvents(options);
+  std::size_t night = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::int64_t hour =
+        ((table.t(i) - options.start_time) % 86400) / 3600;
+    if (hour >= 20 || hour < 4) {
+      ++night;
+    }
+  }
+  // Night hours are 8/24 of the day; crime should be heavily over-indexed.
+  EXPECT_GT(static_cast<double>(night) / table.size(), 0.5);
+}
+
+TEST(EventGeneratorTest, DeterministicPerSeedAndKind) {
+  UrbanEventOptions options;
+  options.num_events = 1000;
+  const PointTable a = GenerateUrbanEvents(options);
+  const PointTable b = GenerateUrbanEvents(options);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.x(i), b.x(i));
+    EXPECT_EQ(a.t(i), b.t(i));
+  }
+  options.kind = UrbanEventKind::kCrimeIncidents;
+  const PointTable c = GenerateUrbanEvents(options);
+  int same = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (a.x(i) == c.x(i)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace urbane::data

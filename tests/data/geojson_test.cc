@@ -1,0 +1,179 @@
+#include "data/geojson.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::data {
+namespace {
+
+constexpr char kSimpleFeatureCollection[] = R"({
+  "type": "FeatureCollection",
+  "features": [
+    {
+      "type": "Feature",
+      "properties": {"name": "alpha", "id": 7},
+      "geometry": {
+        "type": "Polygon",
+        "coordinates": [[[0, 0], [1, 0], [1, 1], [0, 1], [0, 0]]]
+      }
+    },
+    {
+      "type": "Feature",
+      "properties": {"name": "beta"},
+      "geometry": {
+        "type": "MultiPolygon",
+        "coordinates": [
+          [[[2, 2], [3, 2], [3, 3], [2, 3], [2, 2]]],
+          [[[5, 5], [6, 5], [6, 6], [5, 6], [5, 5]]]
+        ]
+      }
+    }
+  ]
+})";
+
+GeoJsonReadOptions PlanarOptions() {
+  GeoJsonReadOptions options;
+  options.project_lonlat_to_mercator = false;
+  return options;
+}
+
+TEST(ReadGeoJsonTest, ParsesFeatures) {
+  const auto regions = ReadGeoJsonRegions(kSimpleFeatureCollection,
+                                          PlanarOptions());
+  ASSERT_TRUE(regions.ok()) << regions.status();
+  ASSERT_EQ(regions->size(), 2u);
+  EXPECT_EQ((*regions)[0].name, "alpha");
+  EXPECT_EQ((*regions)[0].id, 7);
+  EXPECT_EQ((*regions)[1].name, "beta");
+  EXPECT_EQ((*regions)[1].geometry.parts().size(), 2u);
+  EXPECT_NEAR((*regions)[0].geometry.Area(), 1.0, 1e-9);
+}
+
+TEST(ReadGeoJsonTest, ClosingVertexDropped) {
+  const auto regions = ReadGeoJsonRegions(kSimpleFeatureCollection,
+                                          PlanarOptions());
+  ASSERT_TRUE(regions.ok());
+  EXPECT_EQ((*regions)[0].geometry.parts()[0].outer().size(), 4u);
+}
+
+TEST(ReadGeoJsonTest, PolygonWithHole) {
+  const char* geojson = R"({
+    "type": "FeatureCollection",
+    "features": [{
+      "type": "Feature",
+      "properties": {"name": "donut"},
+      "geometry": {
+        "type": "Polygon",
+        "coordinates": [
+          [[0,0],[10,0],[10,10],[0,10],[0,0]],
+          [[4,4],[6,4],[6,6],[4,6],[4,4]]
+        ]
+      }
+    }]
+  })";
+  const auto regions = ReadGeoJsonRegions(geojson, PlanarOptions());
+  ASSERT_TRUE(regions.ok());
+  const auto& poly = (*regions)[0].geometry.parts()[0];
+  EXPECT_EQ(poly.holes().size(), 1u);
+  EXPECT_NEAR(poly.Area(), 96.0, 1e-9);
+  EXPECT_FALSE(poly.Contains({5, 5}));
+}
+
+TEST(ReadGeoJsonTest, ProjectsLonLatByDefault) {
+  const char* geojson = R"({
+    "type": "FeatureCollection",
+    "features": [{
+      "type": "Feature",
+      "properties": {"name": "nyc-ish"},
+      "geometry": {"type": "Polygon",
+        "coordinates": [[[-74.0,40.7],[-73.9,40.7],[-73.9,40.8],[-74.0,40.8],[-74.0,40.7]]]}
+    }]
+  })";
+  const auto regions = ReadGeoJsonRegions(geojson);
+  ASSERT_TRUE(regions.ok());
+  // Projected coordinates are megameter-scale negatives for NYC longitudes.
+  EXPECT_LT((*regions)[0].geometry.Bounds().max_x, -8e6);
+}
+
+TEST(ReadGeoJsonTest, SkipsNonPolygonFeatures) {
+  const char* geojson = R"({
+    "type": "FeatureCollection",
+    "features": [
+      {"type": "Feature", "properties": {},
+       "geometry": {"type": "Point", "coordinates": [1, 2]}},
+      {"type": "Feature", "properties": {"name": "poly"},
+       "geometry": {"type": "Polygon",
+         "coordinates": [[[0,0],[1,0],[1,1],[0,0]]]}}
+    ]
+  })";
+  const auto regions = ReadGeoJsonRegions(geojson, PlanarOptions());
+  ASSERT_TRUE(regions.ok());
+  EXPECT_EQ(regions->size(), 1u);
+}
+
+TEST(ReadGeoJsonTest, RejectsNonFeatureCollection) {
+  EXPECT_FALSE(ReadGeoJsonRegions(R"({"type": "Feature"})").ok());
+  EXPECT_FALSE(ReadGeoJsonRegions("[1,2,3]").ok());
+  EXPECT_FALSE(ReadGeoJsonRegions("not json").ok());
+}
+
+TEST(ReadGeoJsonTest, RejectsDegenerateRing) {
+  const char* geojson = R"({
+    "type": "FeatureCollection",
+    "features": [{
+      "type": "Feature", "properties": {},
+      "geometry": {"type": "Polygon", "coordinates": [[[0,0],[1,1],[0,0]]]}
+    }]
+  })";
+  EXPECT_FALSE(ReadGeoJsonRegions(geojson, PlanarOptions()).ok());
+}
+
+TEST(ReadGeoJsonTest, DuplicateIdsFallBackToSequential) {
+  const char* geojson = R"({
+    "type": "FeatureCollection",
+    "features": [
+      {"type": "Feature", "properties": {"id": 3, "name": "a"},
+       "geometry": {"type": "Polygon", "coordinates": [[[0,0],[1,0],[1,1],[0,0]]]}},
+      {"type": "Feature", "properties": {"id": 3, "name": "b"},
+       "geometry": {"type": "Polygon", "coordinates": [[[2,2],[3,2],[3,3],[2,2]]]}}
+    ]
+  })";
+  const auto regions = ReadGeoJsonRegions(geojson, PlanarOptions());
+  ASSERT_TRUE(regions.ok()) << regions.status();
+  EXPECT_EQ(regions->size(), 2u);
+  EXPECT_NE((*regions)[0].id, (*regions)[1].id);
+}
+
+TEST(WriteGeoJsonTest, RoundTripsPlanar) {
+  const auto regions = ReadGeoJsonRegions(kSimpleFeatureCollection,
+                                          PlanarOptions());
+  ASSERT_TRUE(regions.ok());
+  const std::string out = WriteGeoJsonRegions(*regions,
+                                              /*unproject_to_lonlat=*/false);
+  const auto reparsed = ReadGeoJsonRegions(out, PlanarOptions());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  ASSERT_EQ(reparsed->size(), regions->size());
+  EXPECT_EQ((*reparsed)[0].name, "alpha");
+  EXPECT_NEAR((*reparsed)[1].geometry.Area(), (*regions)[1].geometry.Area(),
+              1e-9);
+}
+
+TEST(WriteGeoJsonTest, MercatorRoundTripThroughLonLat) {
+  const char* geojson = R"({
+    "type": "FeatureCollection",
+    "features": [{
+      "type": "Feature", "properties": {"name": "x"},
+      "geometry": {"type": "Polygon",
+        "coordinates": [[[-74.0,40.7],[-73.9,40.7],[-73.9,40.8],[-74.0,40.7]]]}
+    }]
+  })";
+  const auto regions = ReadGeoJsonRegions(geojson);
+  ASSERT_TRUE(regions.ok());
+  const std::string out = WriteGeoJsonRegions(*regions);
+  const auto reparsed = ReadGeoJsonRegions(out);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_NEAR((*reparsed)[0].geometry.Area(), (*regions)[0].geometry.Area(),
+              1e-3 * (*regions)[0].geometry.Area());
+}
+
+}  // namespace
+}  // namespace urbane::data

@@ -1,0 +1,80 @@
+// Randomized round-trip property: any JsonValue tree the model can
+// represent must survive Dump -> Parse -> Dump byte-identically (both
+// compact and indented).
+#include <gtest/gtest.h>
+
+#include "data/json.h"
+#include "util/random.h"
+
+namespace urbane::data {
+namespace {
+
+JsonValue RandomValue(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.NextUint64(depth >= 4 ? 4 : 6));
+  switch (kind) {
+    case 0:
+      return JsonValue(nullptr);
+    case 1:
+      return JsonValue(rng.NextBool());
+    case 2: {
+      // Mix integers and dirty doubles; avoid NaN/Inf (JSON cannot carry
+      // them; the writer degrades them to null by design).
+      if (rng.NextBool()) {
+        return JsonValue(static_cast<double>(rng.NextInt(-1000000, 1000000)));
+      }
+      return JsonValue(rng.NextGaussian(0.0, 1e6));
+    }
+    case 3: {
+      std::string s;
+      const int len = static_cast<int>(rng.NextUint64(12));
+      for (int i = 0; i < len; ++i) {
+        // Printable ASCII plus the escape-relevant characters.
+        constexpr char kAlphabet[] =
+            "abcXYZ019 _-,.:\"\\\n\t/{}[]";
+        s.push_back(kAlphabet[rng.NextUint64(sizeof(kAlphabet) - 1)]);
+      }
+      return JsonValue(std::move(s));
+    }
+    case 4: {
+      JsonValue::Array arr;
+      const int n = static_cast<int>(rng.NextUint64(5));
+      for (int i = 0; i < n; ++i) {
+        arr.push_back(RandomValue(rng, depth + 1));
+      }
+      return JsonValue(std::move(arr));
+    }
+    default: {
+      JsonValue::Object obj;
+      const int n = static_cast<int>(rng.NextUint64(5));
+      for (int i = 0; i < n; ++i) {
+        obj.emplace_back("k" + std::to_string(i), RandomValue(rng, depth + 1));
+      }
+      return JsonValue(std::move(obj));
+    }
+  }
+}
+
+class JsonFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzzTest, DumpParseDumpIsIdentity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const JsonValue original = RandomValue(rng, 0);
+    const std::string compact = original.Dump();
+    const auto parsed = ParseJson(compact);
+    ASSERT_TRUE(parsed.ok()) << compact << " -> " << parsed.status();
+    EXPECT_EQ(parsed->Dump(), compact);
+
+    const std::string pretty = original.Dump(2);
+    const auto reparsed = ParseJson(pretty);
+    ASSERT_TRUE(reparsed.ok()) << pretty;
+    EXPECT_EQ(reparsed->Dump(), compact)
+        << "indented form parsed differently";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace urbane::data

@@ -1,0 +1,114 @@
+#include "data/json.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::data {
+namespace {
+
+TEST(ParseJsonTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->AsBool(), true);
+  EXPECT_EQ(ParseJson("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("3.25")->AsNumber(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseJson("-1e3")->AsNumber(), -1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(ParseJsonTest, ArraysAndObjects) {
+  const auto doc = ParseJson(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray().size(), 3u);
+  EXPECT_TRUE(a->AsArray()[2].Find("b")->AsBool());
+  EXPECT_EQ(doc->Find("c")->AsString(), "x");
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(ParseJsonTest, StringEscapes) {
+  const auto doc = ParseJson(R"("line\nbreak \"q\" \\ A")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "line\nbreak \"q\" \\ A");
+}
+
+TEST(ParseJsonTest, UnicodeEscapeToUtf8) {
+  const auto doc = ParseJson(R"("é")");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "\xC3\xA9");
+}
+
+TEST(ParseJsonTest, WhitespaceTolerated) {
+  const auto doc = ParseJson(" { \"a\" :\n[ 1 ,\t2 ] } ");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("a")->AsArray().size(), 2u);
+}
+
+TEST(ParseJsonTest, ErrorsRejected) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("12 34").ok());  // trailing garbage
+  EXPECT_FALSE(ParseJson("{'single': 1}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(ParseJsonTest, DeepNestingBounded) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());  // beyond the depth cap
+  std::string ok_depth(50, '[');
+  ok_depth += "1";
+  ok_depth += std::string(50, ']');
+  EXPECT_TRUE(ParseJson(ok_depth).ok());
+}
+
+TEST(JsonDumpTest, RoundTripsCompact) {
+  const std::string src = R"({"a":[1,2.5,"x"],"b":{"c":null,"d":false}})";
+  const auto doc = ParseJson(src);
+  ASSERT_TRUE(doc.ok());
+  const auto re = ParseJson(doc->Dump());
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(re->Dump(), doc->Dump());
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimal) {
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(-7.0).Dump(), "-7");
+  EXPECT_EQ(JsonValue(2.5).Dump(), "2.5");
+}
+
+TEST(JsonDumpTest, StringsEscaped) {
+  EXPECT_EQ(JsonValue("a\"b\nc").Dump(), R"("a\"b\nc")");
+}
+
+TEST(JsonDumpTest, IndentedOutputHasNewlines) {
+  JsonValue doc(JsonValue::Object{{"k", JsonValue(1)}});
+  const std::string pretty = doc.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_NE(pretty.find("  \"k\": 1"), std::string::npos);
+}
+
+TEST(JsonValueTest, SetOverwritesAndAppends) {
+  JsonValue doc(JsonValue::Object{});
+  doc.Set("a", JsonValue(1));
+  doc.Set("b", JsonValue(2));
+  doc.Set("a", JsonValue(3));
+  EXPECT_DOUBLE_EQ(doc.Find("a")->AsNumber(), 3.0);
+  EXPECT_EQ(doc.AsObject().size(), 2u);
+}
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(JsonValue(nullptr).is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(1.5).is_number());
+  EXPECT_TRUE(JsonValue("s").is_string());
+  EXPECT_TRUE(JsonValue(JsonValue::Array{}).is_array());
+  EXPECT_TRUE(JsonValue(JsonValue::Object{}).is_object());
+}
+
+}  // namespace
+}  // namespace urbane::data

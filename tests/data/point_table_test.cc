@@ -1,0 +1,83 @@
+#include "data/point_table.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::data {
+namespace {
+
+PointTable MakeTable() {
+  PointTable table(Schema({"fare", "tip"}));
+  EXPECT_TRUE(table.AppendRow(1.0f, 2.0f, 100, {10.0f, 1.0f}).ok());
+  EXPECT_TRUE(table.AppendRow(3.0f, 4.0f, 200, {20.0f, 2.0f}).ok());
+  return table;
+}
+
+TEST(PointTableTest, AppendAndAccess) {
+  const PointTable table = MakeTable();
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FLOAT_EQ(table.x(1), 3.0f);
+  EXPECT_FLOAT_EQ(table.y(0), 2.0f);
+  EXPECT_EQ(table.t(1), 200);
+  EXPECT_FLOAT_EQ(table.attribute(1, 0), 20.0f);
+  EXPECT_FLOAT_EQ(table.attribute(0, 1), 1.0f);
+}
+
+TEST(PointTableTest, AppendRowArityChecked) {
+  PointTable table(Schema({"fare"}));
+  EXPECT_FALSE(table.AppendRow(0, 0, 0, {1.0f, 2.0f}).ok());
+  EXPECT_FALSE(table.AppendRow(0, 0, 0, {}).ok());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(PointTableTest, AttributeByName) {
+  const PointTable table = MakeTable();
+  const auto* fares = table.AttributeByName("fare");
+  ASSERT_NE(fares, nullptr);
+  EXPECT_FLOAT_EQ((*fares)[1], 20.0f);
+  EXPECT_EQ(table.AttributeByName("nope"), nullptr);
+}
+
+TEST(PointTableTest, BoundsAndTimeRange) {
+  const PointTable table = MakeTable();
+  const auto bounds = table.Bounds();
+  EXPECT_DOUBLE_EQ(bounds.min_x, 1.0);
+  EXPECT_DOUBLE_EQ(bounds.max_y, 4.0);
+  const auto [t0, t1] = table.TimeRange();
+  EXPECT_EQ(t0, 100);
+  EXPECT_EQ(t1, 200);
+}
+
+TEST(PointTableTest, EmptyTable) {
+  PointTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_TRUE(table.Bounds().IsEmpty());
+  EXPECT_EQ(table.TimeRange(), (std::pair<std::int64_t, std::int64_t>{0, 0}));
+  EXPECT_TRUE(table.Validate().ok());
+}
+
+TEST(PointTableTest, ValidateCatchesRaggedColumns) {
+  PointTable table(Schema({"v"}));
+  table.AppendXyt(0, 0, 0);  // fast path leaves attribute column short
+  EXPECT_FALSE(table.Validate().ok());
+  table.mutable_attribute_column(0).push_back(1.0f);
+  EXPECT_TRUE(table.Validate().ok());
+}
+
+TEST(PointTableTest, ColumnPointersAreContiguous) {
+  const PointTable table = MakeTable();
+  EXPECT_EQ(table.xs()[0], table.x(0));
+  EXPECT_EQ(table.xs()[1], table.x(1));
+  EXPECT_EQ(table.ts()[1], 200);
+}
+
+TEST(PointTableTest, MemoryBytesGrowsWithRows) {
+  PointTable table(Schema({"v"}));
+  const std::size_t before = table.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table.AppendRow(0, 0, 0, {1.0f}).ok());
+  }
+  EXPECT_GT(table.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace urbane::data

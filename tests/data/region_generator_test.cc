@@ -1,0 +1,141 @@
+#include "data/region_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace urbane::data {
+namespace {
+
+TEST(TessellationTest, ProducesRequestedCellCount) {
+  TessellationOptions options;
+  options.cells_x = 4;
+  options.cells_y = 3;
+  options.bounds = geometry::BoundingBox(0, 0, 100, 100);
+  const RegionSet regions = GenerateTessellation(options);
+  EXPECT_EQ(regions.size(), 12u);
+}
+
+TEST(TessellationTest, CoversBoundsWithoutOverlapByArea) {
+  TessellationOptions options;
+  options.cells_x = 6;
+  options.cells_y = 6;
+  options.bounds = geometry::BoundingBox(0, 0, 100, 100);
+  options.edge_subdivisions = 4;
+  const RegionSet regions = GenerateTessellation(options);
+  double total_area = 0.0;
+  for (const Region& region : regions.regions()) {
+    total_area += region.geometry.Area();
+  }
+  // Shared wiggled edges cancel: the tessellation partitions the bounds.
+  EXPECT_NEAR(total_area, 100.0 * 100.0, 1e-6 * 100 * 100);
+}
+
+TEST(TessellationTest, PointMembershipIsPartition) {
+  TessellationOptions options;
+  options.cells_x = 5;
+  options.cells_y = 5;
+  options.bounds = geometry::BoundingBox(0, 0, 100, 100);
+  const RegionSet regions = GenerateTessellation(options);
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const geometry::Vec2 p{rng.NextDouble(1, 99), rng.NextDouble(1, 99)};
+    int owners = 0;
+    for (const Region& region : regions.regions()) {
+      if (region.geometry.Contains(p)) {
+        ++owners;
+      }
+    }
+    // Interior points belong to exactly one region; points exactly on a
+    // shared (boundary-inclusive) edge may belong to two, but random
+    // doubles never land there.
+    EXPECT_EQ(owners, 1) << "point " << p;
+  }
+}
+
+TEST(TessellationTest, DeterministicForSeed) {
+  TessellationOptions options;
+  options.cells_x = 3;
+  options.cells_y = 3;
+  options.seed = 99;
+  const RegionSet a = GenerateTessellation(options);
+  const RegionSet b = GenerateTessellation(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].geometry.VertexCount(), b[i].geometry.VertexCount());
+    EXPECT_DOUBLE_EQ(a[i].geometry.Area(), b[i].geometry.Area());
+  }
+}
+
+TEST(TessellationTest, EdgeSubdivisionsIncreaseVertexCount) {
+  TessellationOptions coarse;
+  coarse.cells_x = 4;
+  coarse.cells_y = 4;
+  coarse.edge_subdivisions = 0;
+  TessellationOptions fine = coarse;
+  fine.edge_subdivisions = 10;
+  EXPECT_GT(GenerateTessellation(fine).TotalVertexCount(),
+            GenerateTessellation(coarse).TotalVertexCount());
+}
+
+TEST(TessellationTest, HolesPunchedWhenRequested) {
+  TessellationOptions options;
+  options.cells_x = 4;
+  options.cells_y = 4;
+  options.hole_probability = 1.0;
+  const RegionSet regions = GenerateTessellation(options);
+  std::size_t holes = 0;
+  for (const Region& region : regions.regions()) {
+    for (const auto& part : region.geometry.parts()) {
+      holes += part.holes().size();
+    }
+  }
+  EXPECT_EQ(holes, 16u);
+}
+
+TEST(TessellationTest, RegionsValidatePolygons) {
+  TessellationOptions options;
+  options.cells_x = 4;
+  options.cells_y = 4;
+  options.edge_subdivisions = 5;
+  const RegionSet regions = GenerateTessellation(options);
+  for (const Region& region : regions.regions()) {
+    for (const auto& part : region.geometry.parts()) {
+      EXPECT_TRUE(part.Validate().ok())
+          << region.name << ": " << part.Validate();
+    }
+  }
+}
+
+TEST(PresetGeneratorsTest, ExpectedScales) {
+  EXPECT_EQ(GenerateBoroughs().size(), 6u);
+  EXPECT_EQ(GenerateNeighborhoods().size(), 256u);
+  EXPECT_EQ(GenerateCensusTracts().size(), 46u * 46u);
+}
+
+TEST(RandomRegionsTest, CountAndVertices) {
+  RandomRegionOptions options;
+  options.count = 20;
+  options.vertices_per_region = 48;
+  const RegionSet regions = GenerateRandomRegions(options);
+  ASSERT_EQ(regions.size(), 20u);
+  for (const Region& region : regions.regions()) {
+    EXPECT_EQ(region.geometry.VertexCount(), 48u);
+    EXPECT_TRUE(region.geometry.parts()[0].IsSimple());
+  }
+}
+
+TEST(RandomRegionsTest, StaysWithinBounds) {
+  RandomRegionOptions options;
+  options.count = 15;
+  options.bounds = geometry::BoundingBox(0, 0, 50, 50);
+  const RegionSet regions = GenerateRandomRegions(options);
+  for (const Region& region : regions.regions()) {
+    EXPECT_TRUE(options.bounds.Expanded(1.0).Contains(
+        region.geometry.Bounds()))
+        << region.name;
+  }
+}
+
+}  // namespace
+}  // namespace urbane::data

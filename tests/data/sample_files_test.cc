@@ -1,0 +1,59 @@
+// The repository ships a small real GeoJSON sample (hand-digitized borough
+// outlines) so users can exercise the loaders without fetching NYC Open
+// Data. This test pins its contract.
+#include <gtest/gtest.h>
+
+#include "data/geojson.h"
+#include "data/taxi_generator.h"
+#include "core/spatial_aggregation.h"
+
+namespace urbane::data {
+namespace {
+
+// CMake passes the source dir so the test finds the sample regardless of
+// the build directory layout.
+#ifndef URBANE_SOURCE_DIR
+#define URBANE_SOURCE_DIR "."
+#endif
+
+const char* SamplePath() {
+  return URBANE_SOURCE_DIR "/data/samples/nyc_boroughs_sample.geojson";
+}
+
+TEST(SampleFilesTest, BoroughSampleLoads) {
+  const auto regions = ReadGeoJsonRegionsFile(SamplePath());
+  ASSERT_TRUE(regions.ok()) << regions.status();
+  ASSERT_EQ(regions->size(), 5u);
+  EXPECT_EQ((*regions)[0].name, "Manhattan");
+  EXPECT_EQ((*regions)[4].name, "Staten Island");
+  EXPECT_EQ((*regions)[4].geometry.parts().size(), 1u);
+  for (const Region& region : regions->regions()) {
+    EXPECT_GT(region.geometry.Area(), 0.0) << region.name;
+    for (const auto& part : region.geometry.parts()) {
+      EXPECT_TRUE(part.Validate().ok()) << region.name;
+    }
+  }
+}
+
+TEST(SampleFilesTest, SampleWorksWithSyntheticTaxis) {
+  const auto regions = ReadGeoJsonRegionsFile(SamplePath());
+  ASSERT_TRUE(regions.ok());
+  TaxiGeneratorOptions options;
+  options.num_trips = 20000;
+  const PointTable taxis = GenerateTaxiTrips(options);
+  core::SpatialAggregation engine(taxis, *regions);
+  const auto result = engine.Execute(core::AggregationQuery{},
+                                     core::ExecutionMethod::kAccurateRaster);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The synthetic city overlaps the real borough outlines (same Mercator
+  // frame), so a healthy share of trips lands inside one of them.
+  std::uint64_t total = 0;
+  for (const auto c : result->counts) total += c;
+  EXPECT_GT(total, taxis.size() / 4);
+  // Manhattan-ish hotspots: the busiest borough should dominate.
+  EXPECT_GT(*std::max_element(result->counts.begin(), result->counts.end()),
+            total / 5);
+}
+
+}  // namespace
+}  // namespace urbane::data

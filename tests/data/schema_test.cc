@@ -1,0 +1,47 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::data {
+namespace {
+
+TEST(SchemaTest, CreateValid) {
+  const auto schema = Schema::Create({"fare", "distance"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attribute_count(), 2u);
+  EXPECT_EQ(schema->attribute_name(0), "fare");
+  EXPECT_EQ(schema->AttributeIndex("distance"), 1);
+  EXPECT_TRUE(schema->HasAttribute("fare"));
+  EXPECT_FALSE(schema->HasAttribute("tip"));
+  EXPECT_EQ(schema->AttributeIndex("tip"), -1);
+}
+
+TEST(SchemaTest, EmptySchemaOk) {
+  const auto schema = Schema::Create({});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attribute_count(), 0u);
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  EXPECT_FALSE(Schema::Create({"a", "a"}).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Create({""}).ok());
+}
+
+TEST(SchemaTest, RejectsImplicitColumnCollisions) {
+  EXPECT_FALSE(Schema::Create({"x"}).ok());
+  EXPECT_FALSE(Schema::Create({"y"}).ok());
+  EXPECT_FALSE(Schema::Create({"t"}).ok());
+}
+
+TEST(SchemaTest, EqualityByNames) {
+  EXPECT_EQ(Schema::Create({"a", "b"}).value(),
+            Schema::Create({"a", "b"}).value());
+  EXPECT_FALSE(Schema::Create({"a"}).value() ==
+               Schema::Create({"b"}).value());
+}
+
+}  // namespace
+}  // namespace urbane::data

@@ -1,0 +1,149 @@
+#include "data/taxi_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace urbane::data {
+namespace {
+
+TaxiGeneratorOptions SmallOptions() {
+  TaxiGeneratorOptions options;
+  options.num_trips = 20000;
+  options.seed = 123;
+  return options;
+}
+
+TEST(TaxiGeneratorTest, ProducesRequestedRows) {
+  const PointTable table = GenerateTaxiTrips(SmallOptions());
+  EXPECT_EQ(table.size(), 20000u);
+  EXPECT_TRUE(table.Validate().ok());
+  EXPECT_EQ(table.schema().attribute_count(), 4u);
+  EXPECT_TRUE(table.schema().HasAttribute("fare_amount"));
+  EXPECT_TRUE(table.schema().HasAttribute("trip_distance"));
+}
+
+TEST(TaxiGeneratorTest, PointsInsideBounds) {
+  const TaxiGeneratorOptions options = SmallOptions();
+  const PointTable table = GenerateTaxiTrips(options);
+  const auto bounds = table.Bounds();
+  EXPECT_TRUE(options.bounds.Expanded(1.0).Contains(bounds));
+}
+
+TEST(TaxiGeneratorTest, TimesWithinWindow) {
+  const TaxiGeneratorOptions options = SmallOptions();
+  const PointTable table = GenerateTaxiTrips(options);
+  const auto [t0, t1] = table.TimeRange();
+  EXPECT_GE(t0, options.start_time);
+  EXPECT_LT(t1, options.start_time + options.duration_seconds);
+}
+
+TEST(TaxiGeneratorTest, DeterministicForSeed) {
+  const PointTable a = GenerateTaxiTrips(SmallOptions());
+  const PointTable b = GenerateTaxiTrips(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.x(i), b.x(i));
+    EXPECT_EQ(a.t(i), b.t(i));
+    EXPECT_EQ(a.attribute(i, 0), b.attribute(i, 0));
+  }
+}
+
+TEST(TaxiGeneratorTest, DifferentSeedsDiffer) {
+  TaxiGeneratorOptions other = SmallOptions();
+  other.seed = 999;
+  const PointTable a = GenerateTaxiTrips(SmallOptions());
+  const PointTable b = GenerateTaxiTrips(other);
+  int same = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (a.x(i) == b.x(i)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(TaxiGeneratorTest, FareCorrelatesWithDistance) {
+  const PointTable table = GenerateTaxiTrips(SmallOptions());
+  const auto& fare = table.attribute_column(0);
+  const auto& dist = table.attribute_column(1);
+  double mean_f = 0.0;
+  double mean_d = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    mean_f += fare[i];
+    mean_d += dist[i];
+  }
+  mean_f /= table.size();
+  mean_d /= table.size();
+  double cov = 0.0;
+  double var_f = 0.0;
+  double var_d = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    cov += (fare[i] - mean_f) * (dist[i] - mean_d);
+    var_f += (fare[i] - mean_f) * (fare[i] - mean_f);
+    var_d += (dist[i] - mean_d) * (dist[i] - mean_d);
+  }
+  const double corr = cov / std::sqrt(var_f * var_d);
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(TaxiGeneratorTest, SpatialSkewHotspotsDenser) {
+  // With 85% of mass in hotspots, the densest 1% of grid cells should hold
+  // far more than 1% of points.
+  const PointTable table = GenerateTaxiTrips(SmallOptions());
+  const auto bounds = table.Bounds();
+  constexpr int kGrid = 50;
+  std::vector<std::size_t> cells(kGrid * kGrid, 0);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    int cx = static_cast<int>((table.x(i) - bounds.min_x) / bounds.Width() *
+                              kGrid);
+    int cy = static_cast<int>((table.y(i) - bounds.min_y) / bounds.Height() *
+                              kGrid);
+    cx = std::clamp(cx, 0, kGrid - 1);
+    cy = std::clamp(cy, 0, kGrid - 1);
+    ++cells[static_cast<std::size_t>(cy) * kGrid + cx];
+  }
+  std::sort(cells.rbegin(), cells.rend());
+  std::size_t top_mass = 0;
+  for (int i = 0; i < kGrid * kGrid / 100; ++i) {
+    top_mass += cells[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(static_cast<double>(top_mass) / table.size(), 0.10);
+}
+
+TEST(TaxiGeneratorTest, PassengerCountsAreSmallIntegers) {
+  const PointTable table = GenerateTaxiTrips(SmallOptions());
+  const auto& pax = table.attribute_column(2);
+  std::size_t singles = 0;
+  for (const float p : pax) {
+    EXPECT_GE(p, 1.0f);
+    EXPECT_LE(p, 6.0f);
+    EXPECT_EQ(p, std::floor(p));
+    if (p == 1.0f) ++singles;
+  }
+  EXPECT_GT(static_cast<double>(singles) / pax.size(), 0.5);
+}
+
+TEST(TaxiHourWeightTest, RushHoursBeatEarlyMorning) {
+  EXPECT_GT(TaxiHourWeight(8, true), TaxiHourWeight(4, true));
+  EXPECT_GT(TaxiHourWeight(19, true), TaxiHourWeight(4, true));
+  // Weekend nights are busier than weekday nights.
+  EXPECT_GT(TaxiHourWeight(2, false), TaxiHourWeight(2, true));
+  // Wraps modulo 24.
+  EXPECT_EQ(TaxiHourWeight(26, true), TaxiHourWeight(2, true));
+}
+
+TEST(TaxiGeneratorTest, DiurnalProfileMatchesWeights) {
+  TaxiGeneratorOptions options = SmallOptions();
+  options.num_trips = 50000;
+  const PointTable table = GenerateTaxiTrips(options);
+  std::vector<std::size_t> by_hour(24, 0);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::int64_t seconds_in_day =
+        (table.t(i) - options.start_time) % 86400;
+    ++by_hour[static_cast<std::size_t>(seconds_in_day / 3600)];
+  }
+  // Rush hour (19h) should attract several times the 4am demand.
+  EXPECT_GT(by_hour[19], 3 * by_hour[4]);
+}
+
+}  // namespace
+}  // namespace urbane::data

@@ -1,0 +1,61 @@
+#include "geometry/convex_hull.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace urbane::geometry {
+namespace {
+
+TEST(ConvexHullTest, SquareCorners) {
+  const Ring hull = ConvexHull({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_TRUE(RingIsCounterClockwise(hull));
+}
+
+TEST(ConvexHullTest, CollinearPointsDropped) {
+  const Ring hull = ConvexHull({{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_EQ(hull.size(), 4u);  // (1,0) is interior to the bottom edge
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+  EXPECT_EQ(ConvexHull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull({{0, 0}, {1, 1}}).size(), 2u);
+  EXPECT_EQ(ConvexHull({{0, 0}, {1, 1}, {1, 1}}).size(), 2u);  // duplicates
+}
+
+TEST(ConvexHullTest, AllCollinearReturnsTwoEndpoints) {
+  const Ring hull = ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHullTest, ContainsAllInputPoints) {
+  Rng rng(31);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.NextGaussian(0, 5), rng.NextGaussian(0, 5)});
+  }
+  const Ring hull = ConvexHull(points);
+  ASSERT_GE(hull.size(), 3u);
+  for (const Vec2& p : points) {
+    EXPECT_TRUE(RingContains(hull, p)) << p;
+  }
+}
+
+TEST(ConvexHullTest, HullIsConvex) {
+  Rng rng(77);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.NextDouble(-3, 3), rng.NextDouble(-3, 3)});
+  }
+  const Ring hull = ConvexHull(points);
+  const std::size_t n = hull.size();
+  ASSERT_GE(n, 3u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(Orient2d(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace urbane::geometry

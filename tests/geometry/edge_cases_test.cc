@@ -1,0 +1,122 @@
+// Degenerate / tie-breaking cases: points exactly on vertices and edges,
+// horizontal edges on the scanline, collinear chains — the configurations
+// where sloppy geometry kernels silently disagree with themselves.
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+#include "geometry/triangulate.h"
+#include "raster/rasterizer.h"
+
+namespace urbane::geometry {
+namespace {
+
+TEST(EdgeCasesTest, PointAtVertexIsInside) {
+  const Ring square = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  for (const Vec2& v : square) {
+    EXPECT_TRUE(RingContains(square, v)) << v;
+    EXPECT_TRUE(RingContainsWinding(square, v)) << v;
+  }
+}
+
+TEST(EdgeCasesTest, RayThroughVertexCountsOnce) {
+  // Diamond: a ray through the apex vertex must not double-count.
+  const Ring diamond = {{2, 0}, {4, 2}, {2, 4}, {0, 2}};
+  EXPECT_TRUE(RingContains(diamond, {2, 2}));
+  // Point left of the diamond at apex height: the upward ray from it passes
+  // near vertices; must be outside.
+  EXPECT_FALSE(RingContains(diamond, {-1, 2}));
+  EXPECT_FALSE(RingContains(diamond, {5, 2}));
+}
+
+TEST(EdgeCasesTest, HorizontalEdgeOnQueryLine) {
+  // Polygon with a horizontal top edge; points level with it.
+  const Ring shape = {{0, 0}, {6, 0}, {6, 3}, {4, 3}, {4, 5}, {0, 5}};
+  EXPECT_TRUE(RingContains(shape, {5, 3}));   // on the horizontal edge
+  EXPECT_TRUE(RingContains(shape, {2, 3}));   // interior at same height
+  EXPECT_FALSE(RingContains(shape, {7, 3}));  // outside to the right
+}
+
+TEST(EdgeCasesTest, CollinearChainOnBoundary) {
+  const Ring with_collinear = {{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(RingContains(with_collinear, {3, 0}));
+  EXPECT_TRUE(Polygon(with_collinear).Contains({1, 0}));
+  EXPECT_NEAR(Polygon(with_collinear).Area(), 16.0, 1e-12);
+  const auto tris = TriangulateRing(with_collinear);
+  ASSERT_TRUE(tris.ok());
+  EXPECT_NEAR(TotalArea(*tris), 16.0, 1e-12);
+}
+
+TEST(EdgeCasesTest, TouchingHoleBoundaryStaysInside) {
+  Polygon p(Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  p.add_hole(Ring{{4, 4}, {6, 4}, {6, 6}, {4, 6}});
+  p.Normalize();
+  // All four hole corners are part of the polygon.
+  EXPECT_TRUE(p.Contains({4, 4}));
+  EXPECT_TRUE(p.Contains({6, 6}));
+  // Just inside the hole is out.
+  EXPECT_FALSE(p.Contains({5.0, 5.0}));
+}
+
+TEST(EdgeCasesTest, TinySliverPolygonStillMeasurable) {
+  const Ring sliver = {{0, 0}, {100, 0}, {100, 1e-7}};
+  const Polygon p(sliver);
+  EXPECT_GT(p.Area(), 0.0);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(EdgeCasesTest, ScanlineAgreesWithOracleWhenEdgesHitPixelCenters) {
+  // Rectangle whose edges pass EXACTLY through pixel-center rows/columns
+  // (centers at .5 offsets on a unit grid). The fill and the PIP oracle use
+  // the same crossing formula, so they must agree even on these ties.
+  const raster::Viewport vp(BoundingBox(0, 0, 8, 8), 8, 8);
+  const Ring rect = {{1.5, 1.5}, {5.5, 1.5}, {5.5, 5.5}, {1.5, 5.5}};
+  const Polygon poly(rect);
+  std::set<std::pair<int, int>> covered;
+  raster::ScanlineFillPolygonPixels(
+      vp, poly, [&](int x, int y) { covered.insert({x, y}); });
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const Vec2 center = vp.PixelCenter(x, y);
+      // Compare against the *crossing-rule* membership, which is what the
+      // canvas semantics define (half-open [edge, edge) ownership).
+      bool crossing_inside = false;
+      const std::size_t n = rect.size();
+      for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+        const Vec2& a = rect[j];
+        const Vec2& b = rect[i];
+        if ((a.y > center.y) != (b.y > center.y)) {
+          const double x_at =
+              a.x + (b.x - a.x) * (center.y - a.y) / (b.y - a.y);
+          if (center.x < x_at) crossing_inside = !crossing_inside;
+        }
+      }
+      EXPECT_EQ(covered.count({x, y}) > 0, crossing_inside)
+          << "tie mismatch at " << x << "," << y;
+    }
+  }
+  // Half-open ownership: 4x4 block of pixels [2..5] x [2..5] ... the rect
+  // spans centers x in {1.5..5.5}: included centers are 1.5 <= c < 5.5 ->
+  // columns 1, 2, 3, 4 (centers 1.5, 2.5, 3.5, 4.5).
+  EXPECT_EQ(covered.size(), 16u);
+  EXPECT_TRUE(covered.count({1, 1}));
+  EXPECT_FALSE(covered.count({5, 5}));
+}
+
+TEST(EdgeCasesTest, ZeroAreaRingNeverContains) {
+  const Ring degenerate = {{0, 0}, {5, 5}, {10, 10}};
+  EXPECT_FALSE(RingContains(degenerate, {20, 20}));
+  // Points exactly ON the degenerate segment are boundary-inclusive.
+  EXPECT_TRUE(RingContains(degenerate, {5, 5}));
+}
+
+TEST(EdgeCasesTest, DuplicateConsecutiveVerticesTolerated) {
+  const Ring dup = {{0, 0}, {4, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_NEAR(RingSignedArea(dup), 16.0, 1e-12);
+  EXPECT_TRUE(RingContains(dup, {2, 2}));
+  const auto tris = TriangulateRing(dup);
+  ASSERT_TRUE(tris.ok());
+  EXPECT_NEAR(TotalArea(*tris), 16.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace urbane::geometry

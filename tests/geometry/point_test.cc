@@ -1,0 +1,61 @@
+#include "geometry/point.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::geometry {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1.0, 0.0};
+  const Vec2 b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);
+  EXPECT_DOUBLE_EQ(a.Dot(a), 1.0);
+}
+
+TEST(Vec2Test, NormsAndDistances) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.DistanceTo({0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredDistanceTo({3.0, 0.0}), 16.0);
+}
+
+TEST(Orient2dTest, SignsMatchGeometry) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 0.0};
+  EXPECT_GT(Orient2d(a, b, {0.5, 1.0}), 0.0);   // left of a->b: CCW
+  EXPECT_LT(Orient2d(a, b, {0.5, -1.0}), 0.0);  // right: CW
+  EXPECT_EQ(Orient2d(a, b, {2.0, 0.0}), 0.0);   // collinear
+}
+
+TEST(Orient2dTest, AntiSymmetry) {
+  const Vec2 a{0.3, 1.7};
+  const Vec2 b{-2.1, 0.4};
+  const Vec2 c{5.5, -3.3};
+  EXPECT_DOUBLE_EQ(Orient2d(a, b, c), -Orient2d(b, a, c));
+}
+
+}  // namespace
+}  // namespace urbane::geometry

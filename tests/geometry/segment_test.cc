@@ -1,0 +1,81 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::geometry {
+namespace {
+
+TEST(PointOnSegmentTest, DetectsCollinearWithinBounds) {
+  const Segment s{{0, 0}, {4, 4}};
+  EXPECT_TRUE(PointOnSegment({2, 2}, s));
+  EXPECT_TRUE(PointOnSegment({0, 0}, s));
+  EXPECT_TRUE(PointOnSegment({4, 4}, s));
+  EXPECT_FALSE(PointOnSegment({5, 5}, s));   // collinear but outside
+  EXPECT_FALSE(PointOnSegment({2, 2.1}, s));  // off the line
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {4, 4}}, {{0, 4}, {4, 0}}));
+}
+
+TEST(SegmentsIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 3}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+}
+
+TEST(SegmentsIntersectTest, TouchingEndpointCounts) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 2}}, {{2, 2}, {4, 0}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {4, 0}}, {{2, 0}, {2, 5}}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlapCounts) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {3, 0}}, {{2, 0}, {5, 0}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentIntersectionPointTest, ComputesCrossing) {
+  const auto p = SegmentIntersectionPoint({{0, 0}, {4, 4}}, {{0, 4}, {4, 0}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 2.0);
+  EXPECT_DOUBLE_EQ(p->y, 2.0);
+}
+
+TEST(SegmentIntersectionPointTest, ParallelReturnsNullopt) {
+  EXPECT_FALSE(
+      SegmentIntersectionPoint({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}).has_value());
+  // Collinear overlap also yields nullopt (no unique point).
+  EXPECT_FALSE(
+      SegmentIntersectionPoint({{0, 0}, {3, 0}}, {{1, 0}, {2, 0}}).has_value());
+}
+
+TEST(SegmentIntersectionPointTest, NonOverlappingLinesReturnsNullopt) {
+  EXPECT_FALSE(
+      SegmentIntersectionPoint({{0, 0}, {1, 1}}, {{3, 0}, {4, 1}}).has_value());
+}
+
+TEST(DistancePointToSegmentTest, PerpendicularProjection) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({5, 3}, s), 3.0);
+}
+
+TEST(DistancePointToSegmentTest, ClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({13, 4}, s), 5.0);
+}
+
+TEST(DistancePointToSegmentTest, DegenerateSegmentIsPointDistance) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({4, 5}, s), 5.0);
+}
+
+TEST(SquaredDistanceTest, MatchesSquareOfDistance) {
+  const Segment s{{0, 0}, {2, 2}};
+  const Vec2 p{3, 0};
+  EXPECT_NEAR(SquaredDistancePointToSegment(p, s),
+              DistancePointToSegment(p, s) * DistancePointToSegment(p, s),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace urbane::geometry

@@ -1,0 +1,110 @@
+#include "geometry/triangulate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace urbane::geometry {
+namespace {
+
+TEST(TriangulateRingTest, SquareYieldsTwoTriangles) {
+  const auto tris = TriangulateRing({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  ASSERT_TRUE(tris.ok());
+  EXPECT_EQ(tris->size(), 2u);
+  EXPECT_NEAR(TotalArea(*tris), 1.0, 1e-12);
+}
+
+TEST(TriangulateRingTest, TriangleIsIdentity) {
+  const auto tris = TriangulateRing({{0, 0}, {2, 0}, {1, 2}});
+  ASSERT_TRUE(tris.ok());
+  ASSERT_EQ(tris->size(), 1u);
+  EXPECT_NEAR(TotalArea(*tris), 2.0, 1e-12);
+}
+
+TEST(TriangulateRingTest, RejectsDegenerate) {
+  EXPECT_FALSE(TriangulateRing({{0, 0}, {1, 1}}).ok());
+  EXPECT_FALSE(TriangulateRing({{0, 0}, {1, 1}, {2, 2}}).ok());
+}
+
+TEST(TriangulateRingTest, ClockwiseInputHandled) {
+  const auto tris = TriangulateRing({{0, 1}, {1, 1}, {1, 0}, {0, 0}});
+  ASSERT_TRUE(tris.ok());
+  EXPECT_NEAR(TotalArea(*tris), 1.0, 1e-12);
+}
+
+TEST(TriangulateRingTest, ConcavePolygonAreaPreserved) {
+  const Ring u = {{0, 0}, {6, 0}, {6, 4}, {4, 4}, {4, 2}, {2, 2}, {2, 4}, {0, 4}};
+  const auto tris = TriangulateRing(u);
+  ASSERT_TRUE(tris.ok());
+  EXPECT_NEAR(TotalArea(*tris), Polygon(u).Area(), 1e-9);
+  // n-gon triangulates into n-2 triangles.
+  EXPECT_EQ(tris->size(), u.size() - 2);
+}
+
+TEST(TriangulateRingTest, CollinearVerticesAreDropped) {
+  const Ring with_collinear = {{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const auto tris = TriangulateRing(with_collinear);
+  ASSERT_TRUE(tris.ok());
+  EXPECT_NEAR(TotalArea(*tris), 4.0, 1e-12);
+}
+
+TEST(TriangulatePolygonTest, HolePreservesArea) {
+  Polygon p(Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  p.add_hole(Ring{{4, 4}, {6, 4}, {6, 6}, {4, 6}});
+  p.Normalize();
+  const auto tris = TriangulatePolygon(p);
+  ASSERT_TRUE(tris.ok());
+  EXPECT_NEAR(TotalArea(*tris), 96.0, 1e-9);
+}
+
+TEST(TriangulatePolygonTest, TwoHoles) {
+  Polygon p(Ring{{0, 0}, {12, 0}, {12, 8}, {0, 8}});
+  p.add_hole(Ring{{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  p.add_hole(Ring{{8, 3}, {10, 3}, {10, 6}, {8, 6}});
+  p.Normalize();
+  const auto tris = TriangulatePolygon(p);
+  ASSERT_TRUE(tris.ok());
+  EXPECT_NEAR(TotalArea(*tris), 96.0 - 4.0 - 6.0, 1e-9);
+}
+
+TEST(TriangulatePolygonTest, TrianglePointsStayInsidePolygon) {
+  Polygon p(Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  p.add_hole(Ring{{3, 3}, {7, 3}, {7, 7}, {3, 7}});
+  p.Normalize();
+  const auto tris = TriangulatePolygon(p);
+  ASSERT_TRUE(tris.ok());
+  for (const Triangle& t : *tris) {
+    const Vec2 centroid = (t.a + t.b + t.c) / 3.0;
+    EXPECT_TRUE(p.Contains(centroid))
+        << "triangle centroid " << centroid << " escaped the polygon";
+  }
+}
+
+TEST(TriangulatePolygonTest, RandomStarPolygonsAreaProperty) {
+  Rng rng(777);
+  for (int trial = 0; trial < 25; ++trial) {
+    Ring ring;
+    const int n = 5 + static_cast<int>(rng.NextUint64(40));
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2.0 * M_PI * i / n;
+      const double radius = rng.NextDouble(1.0, 4.0);
+      ring.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+    }
+    const Polygon p(ring);
+    const auto tris = TriangulatePolygon(p);
+    ASSERT_TRUE(tris.ok()) << "trial " << trial;
+    EXPECT_NEAR(TotalArea(*tris), p.Area(), 1e-6 * p.Area())
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(TriangleTest, ContainsIsInclusive) {
+  const Triangle t{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_TRUE(t.Contains({1, 1}));
+  EXPECT_TRUE(t.Contains({0, 0}));
+  EXPECT_TRUE(t.Contains({2, 0}));
+  EXPECT_FALSE(t.Contains({3, 3}));
+}
+
+}  // namespace
+}  // namespace urbane::geometry

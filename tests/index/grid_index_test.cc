@@ -1,0 +1,132 @@
+#include "index/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::index {
+namespace {
+
+using geometry::BoundingBox;
+using geometry::Polygon;
+using geometry::Ring;
+
+TEST(GridIndexTest, BuildPartitionsAllInBoundsPoints) {
+  const std::vector<float> xs = {0.5f, 1.5f, 2.5f, 99.0f, -5.0f};
+  const std::vector<float> ys = {0.5f, 1.5f, 2.5f, 99.0f, 50.0f};
+  const auto index = GridIndex::Build(xs.data(), ys.data(), xs.size(),
+                                      BoundingBox(0, 0, 100, 100), 10, 10);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->point_count(), 4u);  // the (-5, 50) point is outside
+  EXPECT_EQ(index->cells_x(), 10);
+  EXPECT_EQ(index->cells_y(), 10);
+}
+
+TEST(GridIndexTest, CellLookupFindsPoints) {
+  const std::vector<float> xs = {5.0f, 15.0f, 15.5f};
+  const std::vector<float> ys = {5.0f, 15.0f, 15.5f};
+  const auto index = GridIndex::Build(xs.data(), ys.data(), xs.size(),
+                                      BoundingBox(0, 0, 100, 100), 10, 10);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->CellSize(0, 0), 1u);
+  EXPECT_EQ(index->CellSize(1, 1), 2u);
+  EXPECT_EQ(index->CellSize(5, 5), 0u);
+  EXPECT_EQ(*index->CellBegin(0, 0), 0u);
+}
+
+TEST(GridIndexTest, InvalidArgumentsRejected) {
+  const std::vector<float> xs = {1.0f};
+  EXPECT_FALSE(GridIndex::Build(xs.data(), xs.data(), 1,
+                                BoundingBox(0, 0, 10, 10), 0, 5)
+                   .ok());
+  EXPECT_FALSE(
+      GridIndex::Build(xs.data(), xs.data(), 1, BoundingBox(), 5, 5).ok());
+}
+
+TEST(GridIndexTest, BuildAutoTargetsDensity) {
+  testing::TestWorld world;
+  const auto points = testing::MakeUniformPoints(6400, 1);
+  const auto index =
+      GridIndex::BuildAuto(points.xs(), points.ys(), points.size(),
+                           BoundingBox(0, 0, 100, 100), 64.0);
+  ASSERT_TRUE(index.ok());
+  const std::size_t cells = static_cast<std::size_t>(index->cells_x()) *
+                            index->cells_y();
+  EXPECT_GE(cells, 50u);
+  EXPECT_LE(cells, 220u);
+}
+
+TEST(GridIndexTest, ClassifyCellsInteriorPlusBoundaryCoversPolygon) {
+  const auto points = testing::MakeUniformPoints(5000, 2);
+  const auto index = GridIndex::BuildAuto(points.xs(), points.ys(),
+                                          points.size(),
+                                          BoundingBox(0, 0, 100.001, 100.001),
+                                          32.0);
+  ASSERT_TRUE(index.ok());
+  const Polygon poly(Ring{{20, 20}, {80, 25}, {75, 80}, {25, 75}});
+
+  std::set<std::pair<int, int>> interior;
+  std::set<std::pair<int, int>> boundary;
+  index->ClassifyCells(
+      poly, [&](int cx, int cy) { interior.insert({cx, cy}); },
+      [&](int cx, int cy) { boundary.insert({cx, cy}); });
+  EXPECT_FALSE(interior.empty());
+  EXPECT_FALSE(boundary.empty());
+  // Interior and boundary sets are disjoint.
+  for (const auto& cell : interior) {
+    EXPECT_EQ(boundary.count(cell), 0u);
+  }
+  // Every interior cell is truly fully inside.
+  for (const auto& [cx, cy] : interior) {
+    EXPECT_TRUE(
+        geometry::PolygonContainsBox(poly, index->CellBounds(cx, cy)));
+  }
+  // Exactness: per-point classification through the cells matches brute
+  // force PIP over all points.
+  std::size_t via_cells = 0;
+  for (const auto& [cx, cy] : interior) {
+    via_cells += index->CellSize(cx, cy);
+  }
+  for (const auto& [cx, cy] : boundary) {
+    for (const auto* it = index->CellBegin(cx, cy);
+         it != index->CellEnd(cx, cy); ++it) {
+      if (poly.Contains({points.x(*it), points.y(*it)})) {
+        ++via_cells;
+      }
+    }
+  }
+  std::size_t brute = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (poly.Contains({points.x(i), points.y(i)})) {
+      ++brute;
+    }
+  }
+  EXPECT_EQ(via_cells, brute);
+}
+
+TEST(GridIndexTest, ClassifySkipsDisjointPolygon) {
+  const auto points = testing::MakeUniformPoints(100, 3);
+  const auto index =
+      GridIndex::BuildAuto(points.xs(), points.ys(), points.size(),
+                           BoundingBox(0, 0, 100.001, 100.001), 16.0);
+  ASSERT_TRUE(index.ok());
+  const Polygon far(Ring{{200, 200}, {210, 200}, {205, 210}});
+  int calls = 0;
+  index->ClassifyCells(far, [&](int, int) { ++calls; },
+                       [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(GridIndexTest, MemoryBytesNonZero) {
+  const auto points = testing::MakeUniformPoints(100, 4);
+  const auto index =
+      GridIndex::BuildAuto(points.xs(), points.ys(), points.size(),
+                           BoundingBox(0, 0, 100.001, 100.001), 16.0);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace urbane::index

@@ -1,0 +1,146 @@
+#include "index/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::index {
+namespace {
+
+using geometry::BoundingBox;
+using geometry::Polygon;
+using geometry::Ring;
+
+TEST(QuadtreeTest, BuildKeepsInBoundsPoints) {
+  const std::vector<float> xs = {1.0f, 2.0f, 200.0f};
+  const std::vector<float> ys = {1.0f, 2.0f, 2.0f};
+  const auto tree = Quadtree::Build(xs.data(), ys.data(), xs.size(),
+                                    BoundingBox(0, 0, 100, 100));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->point_count(), 2u);
+}
+
+TEST(QuadtreeTest, SplitsUnderLoad) {
+  const auto points = testing::MakeUniformPoints(2000, 5);
+  QuadtreeOptions options;
+  options.max_points_per_leaf = 32;
+  const auto tree =
+      Quadtree::Build(points.xs(), points.ys(), points.size(),
+                      BoundingBox(0, 0, 100.001, 100.001), options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree->node_count(), 1u);
+  EXPECT_GT(tree->max_depth_reached(), 0);
+}
+
+TEST(QuadtreeTest, InvalidOptionsRejected) {
+  const std::vector<float> xs = {1.0f};
+  QuadtreeOptions bad;
+  bad.max_points_per_leaf = 0;
+  EXPECT_FALSE(Quadtree::Build(xs.data(), xs.data(), 1,
+                               BoundingBox(0, 0, 1, 1), bad)
+                   .ok());
+  EXPECT_FALSE(
+      Quadtree::Build(xs.data(), xs.data(), 1, BoundingBox()).ok());
+}
+
+TEST(QuadtreeTest, PolygonQueryMatchesBruteForce) {
+  const auto points = testing::MakeUniformPoints(4000, 6);
+  const auto tree = Quadtree::Build(points.xs(), points.ys(), points.size(),
+                                    BoundingBox(0, 0, 100.001, 100.001));
+  ASSERT_TRUE(tree.ok());
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Polygon poly = testing::RandomStarPolygon(
+        rng, {rng.NextDouble(25, 75), rng.NextDouble(25, 75)},
+        rng.NextDouble(8, 20), 10);
+    std::size_t matched = 0;
+    tree->Query(
+        poly,
+        [&](const std::uint32_t*, std::size_t n) { matched += n; },
+        [&](const std::uint32_t* ids, std::size_t n) {
+          for (std::size_t k = 0; k < n; ++k) {
+            if (poly.Contains({points.x(ids[k]), points.y(ids[k])})) {
+              ++matched;
+            }
+          }
+        });
+    std::size_t brute = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (poly.Contains({points.x(i), points.y(i)})) {
+        ++brute;
+      }
+    }
+    EXPECT_EQ(matched, brute) << "trial " << trial;
+  }
+}
+
+TEST(QuadtreeTest, TakeAllSubtreesAreTrulyInside) {
+  const auto points = testing::MakeUniformPoints(3000, 7);
+  const auto tree = Quadtree::Build(points.xs(), points.ys(), points.size(),
+                                    BoundingBox(0, 0, 100.001, 100.001));
+  ASSERT_TRUE(tree.ok());
+  const Polygon poly(Ring{{10, 10}, {90, 15}, {85, 90}, {15, 85}});
+  tree->Query(
+      poly,
+      [&](const std::uint32_t* ids, std::size_t n) {
+        for (std::size_t k = 0; k < n; ++k) {
+          EXPECT_TRUE(poly.Contains({points.x(ids[k]), points.y(ids[k])}));
+        }
+      },
+      [](const std::uint32_t*, std::size_t) {});
+}
+
+TEST(QuadtreeTest, QueryBoxMatchesBruteForce) {
+  const auto points = testing::MakeUniformPoints(3000, 8);
+  const auto tree = Quadtree::Build(points.xs(), points.ys(), points.size(),
+                                    BoundingBox(0, 0, 100.001, 100.001));
+  ASSERT_TRUE(tree.ok());
+  const BoundingBox query(20.5, 30.5, 60.5, 70.5);
+  std::size_t matched = 0;
+  tree->QueryBox(query, [&](const std::uint32_t* ids, std::size_t n,
+                            bool certain) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (certain || query.Contains({points.x(ids[k]), points.y(ids[k])})) {
+        ++matched;
+      }
+    }
+  });
+  std::size_t brute = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (query.Contains({points.x(i), points.y(i)})) {
+      ++brute;
+    }
+  }
+  EXPECT_EQ(matched, brute);
+}
+
+TEST(QuadtreeTest, EmptyPointSet) {
+  const auto tree =
+      Quadtree::Build(nullptr, nullptr, 0, BoundingBox(0, 0, 1, 1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->point_count(), 0u);
+  int calls = 0;
+  tree->Query(Polygon(Ring{{0, 0}, {1, 0}, {1, 1}}),
+              [&](const std::uint32_t*, std::size_t) { ++calls; },
+              [&](const std::uint32_t*, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(QuadtreeTest, DuplicatePointsRespectMaxDepth) {
+  // 1000 identical points can never split apart: max_depth must stop it.
+  std::vector<float> xs(1000, 50.0f);
+  std::vector<float> ys(1000, 50.0f);
+  QuadtreeOptions options;
+  options.max_points_per_leaf = 8;
+  options.max_depth = 6;
+  const auto tree = Quadtree::Build(xs.data(), ys.data(), xs.size(),
+                                    BoundingBox(0, 0, 100, 100), options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->max_depth_reached(), 6);
+  EXPECT_EQ(tree->point_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace urbane::index

@@ -1,0 +1,120 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace urbane::index {
+namespace {
+
+using geometry::BoundingBox;
+using geometry::Vec2;
+
+std::vector<BoundingBox> RandomBoxes(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BoundingBox> boxes;
+  boxes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = rng.NextDouble(0, 90);
+    const double y = rng.NextDouble(0, 90);
+    boxes.emplace_back(x, y, x + rng.NextDouble(1, 10),
+                       y + rng.NextDouble(1, 10));
+  }
+  return boxes;
+}
+
+TEST(RTreeTest, EmptyInput) {
+  const auto tree = RTree::Build({});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->item_count(), 0u);
+  int hits = 0;
+  tree->QueryPoint({1, 1}, [&](std::uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(RTreeTest, SingleItem) {
+  const auto tree = RTree::Build({BoundingBox(0, 0, 10, 10)});
+  ASSERT_TRUE(tree.ok());
+  std::vector<std::uint32_t> hits;
+  tree->QueryPoint({5, 5}, [&](std::uint32_t id) { hits.push_back(id); });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+  hits.clear();
+  tree->QueryPoint({20, 20}, [&](std::uint32_t id) { hits.push_back(id); });
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(RTreeTest, InvalidOptionsRejected) {
+  RTreeOptions bad;
+  bad.leaf_capacity = 0;
+  EXPECT_FALSE(RTree::Build({BoundingBox(0, 0, 1, 1)}, bad).ok());
+  bad.leaf_capacity = 4;
+  bad.fanout = 1;
+  EXPECT_FALSE(RTree::Build({BoundingBox(0, 0, 1, 1)}, bad).ok());
+}
+
+TEST(RTreeTest, PointQueryMatchesBruteForce) {
+  const auto boxes = RandomBoxes(500, 42);
+  const auto tree = RTree::Build(boxes);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    std::set<std::uint32_t> hits;
+    tree->QueryPoint(p, [&](std::uint32_t id) {
+      EXPECT_TRUE(hits.insert(id).second) << "duplicate hit";
+    });
+    std::set<std::uint32_t> brute;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].Contains(p)) {
+        brute.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(hits, brute) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, BoxQueryMatchesBruteForce) {
+  const auto boxes = RandomBoxes(400, 43);
+  const auto tree = RTree::Build(boxes);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x = rng.NextDouble(0, 80);
+    const double y = rng.NextDouble(0, 80);
+    const BoundingBox query(x, y, x + 15, y + 15);
+    std::set<std::uint32_t> hits;
+    tree->QueryBox(query, [&](std::uint32_t id) { hits.insert(id); });
+    std::set<std::uint32_t> brute;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].Intersects(query)) {
+        brute.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(hits, brute) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTreeOptions options;
+  options.leaf_capacity = 8;
+  options.fanout = 8;
+  const auto small = RTree::Build(RandomBoxes(10, 1), options);
+  const auto large = RTree::Build(RandomBoxes(2000, 2), options);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(small->height(), 2);
+  EXPECT_LE(large->height(), 5);  // 8^4 = 4096 >= 2000 leaves needed
+  EXPECT_GT(large->node_count(), small->node_count());
+}
+
+TEST(RTreeTest, MemoryBytesNonZero) {
+  const auto tree = RTree::Build(RandomBoxes(50, 3));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace urbane::index

@@ -1,0 +1,106 @@
+#include "index/temporal_index.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/random.h"
+
+namespace urbane::index {
+namespace {
+
+TEST(TemporalIndexTest, EmptyInput) {
+  const auto index = TemporalIndex::Build(nullptr, 0);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->point_count(), 0u);
+  EXPECT_EQ(index->CountInRange(0, 100), 0u);
+}
+
+TEST(TemporalIndexTest, SortsIdsByTime) {
+  const std::vector<std::int64_t> ts = {30, 10, 20};
+  const auto index = TemporalIndex::Build(ts.data(), ts.size());
+  ASSERT_TRUE(index.ok());
+  const auto [ids, n] = index->IdsInRange(0, 100);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[1], 2u);
+  EXPECT_EQ(ids[2], 0u);
+  EXPECT_EQ(index->min_time(), 10);
+  EXPECT_EQ(index->max_time(), 30);
+}
+
+TEST(TemporalIndexTest, RangeIsHalfOpen) {
+  const std::vector<std::int64_t> ts = {10, 20, 30};
+  const auto index = TemporalIndex::Build(ts.data(), ts.size());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->CountInRange(10, 30), 2u);   // 10, 20 but not 30
+  EXPECT_EQ(index->CountInRange(10, 31), 3u);
+  EXPECT_EQ(index->CountInRange(11, 20), 0u);
+  EXPECT_EQ(index->CountInRange(20, 20), 0u);   // empty range
+}
+
+TEST(TemporalIndexTest, CountMatchesBruteForce) {
+  Rng rng(99);
+  std::vector<std::int64_t> ts(5000);
+  for (auto& t : ts) {
+    t = rng.NextInt(1000, 2000);
+  }
+  const auto index = TemporalIndex::Build(ts.data(), ts.size());
+  ASSERT_TRUE(index.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t a = rng.NextInt(900, 2100);
+    const std::int64_t b = a + rng.NextInt(0, 300);
+    std::size_t brute = 0;
+    for (const std::int64_t t : ts) {
+      if (t >= a && t < b) ++brute;
+    }
+    EXPECT_EQ(index->CountInRange(a, b), brute);
+  }
+}
+
+TEST(TemporalIndexTest, HistogramSumsToCount) {
+  Rng rng(5);
+  std::vector<std::int64_t> ts(3000);
+  for (auto& t : ts) {
+    t = rng.NextInt(0, 86400);
+  }
+  const auto index = TemporalIndex::Build(ts.data(), ts.size(), 48);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->histogram_bins(), 48);
+  const std::size_t total =
+      std::accumulate(index->Histogram().begin(), index->Histogram().end(),
+                      std::size_t{0});
+  EXPECT_EQ(total, ts.size());
+}
+
+TEST(TemporalIndexTest, BinStartsAreMonotone) {
+  const std::vector<std::int64_t> ts = {0, 100, 200, 1000};
+  const auto index = TemporalIndex::Build(ts.data(), ts.size(), 10);
+  ASSERT_TRUE(index.ok());
+  for (int b = 1; b < 10; ++b) {
+    EXPECT_GT(index->BinStart(b), index->BinStart(b - 1));
+  }
+  EXPECT_EQ(index->BinStart(0), 0);
+}
+
+TEST(TemporalIndexTest, RejectsBadBinCount) {
+  const std::vector<std::int64_t> ts = {1};
+  EXPECT_FALSE(TemporalIndex::Build(ts.data(), 1, 0).ok());
+}
+
+TEST(TemporalIndexTest, IdsInRangeSpanIsTimeSorted) {
+  Rng rng(6);
+  std::vector<std::int64_t> ts(500);
+  for (auto& t : ts) {
+    t = rng.NextInt(0, 10000);
+  }
+  const auto index = TemporalIndex::Build(ts.data(), ts.size());
+  ASSERT_TRUE(index.ok());
+  const auto [ids, n] = index->IdsInRange(2000, 8000);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_LE(ts[ids[i - 1]], ts[ids[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace urbane::index

@@ -1,0 +1,64 @@
+#include "index/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace urbane::index {
+namespace {
+
+TEST(MortonTest, KnownValues) {
+  EXPECT_EQ(MortonEncode16(0, 0), 0u);
+  EXPECT_EQ(MortonEncode16(1, 0), 1u);
+  EXPECT_EQ(MortonEncode16(0, 1), 2u);
+  EXPECT_EQ(MortonEncode16(1, 1), 3u);
+  EXPECT_EQ(MortonEncode16(2, 0), 4u);
+  EXPECT_EQ(MortonEncode16(0xFFFF, 0xFFFF), 0xFFFFFFFFu);
+}
+
+TEST(MortonTest, RoundTrips) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint16_t>(rng.NextUint64(65536));
+    const auto y = static_cast<std::uint16_t>(rng.NextUint64(65536));
+    std::uint16_t dx;
+    std::uint16_t dy;
+    MortonDecode16(MortonEncode16(x, y), dx, dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+TEST(MortonTest, WideEncodeConsistentWithNarrow) {
+  EXPECT_EQ(MortonEncode32(3, 5),
+            static_cast<std::uint64_t>(MortonEncode16(3, 5)));
+  EXPECT_EQ(MortonEncode32(0xFFFFFFFF, 0),
+            0x5555555555555555ULL);
+}
+
+TEST(ZOrderKeyTest, CornersMapToExtremes) {
+  const geometry::BoundingBox box(0, 0, 10, 10);
+  EXPECT_EQ(ZOrderKey({0, 0}, box), 0u);
+  EXPECT_EQ(ZOrderKey({10, 10}, box), 0xFFFFFFFFu);
+}
+
+TEST(ZOrderKeyTest, ClampsOutOfBounds) {
+  const geometry::BoundingBox box(0, 0, 10, 10);
+  EXPECT_EQ(ZOrderKey({-5, -5}, box), ZOrderKey({0, 0}, box));
+  EXPECT_EQ(ZOrderKey({20, 20}, box), ZOrderKey({10, 10}, box));
+}
+
+TEST(ZOrderKeyTest, LocalityNearbyPointsShareHighBits) {
+  const geometry::BoundingBox box(0, 0, 100, 100);
+  const std::uint32_t a = ZOrderKey({50.0, 50.0}, box);
+  const std::uint32_t b = ZOrderKey({50.01, 50.01}, box);
+  const std::uint32_t c = ZOrderKey({95.0, 5.0}, box);
+  // a and b agree in far more high bits than a and c.
+  const auto diff_bits = [](std::uint32_t u, std::uint32_t v) {
+    return u == v ? 32 : __builtin_clz(u ^ v);
+  };
+  EXPECT_GT(diff_bits(a, b), diff_bits(a, c));
+}
+
+}  // namespace
+}  // namespace urbane::index

@@ -1,0 +1,84 @@
+#include "raster/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::raster {
+namespace {
+
+TEST(Buffer2DTest, ConstructionAndFillValue) {
+  Buffer2D<int> buf(4, 3, 7);
+  EXPECT_EQ(buf.width(), 4);
+  EXPECT_EQ(buf.height(), 3);
+  EXPECT_EQ(buf.size(), 12u);
+  EXPECT_EQ(buf.at(3, 2), 7);
+}
+
+TEST(Buffer2DTest, DefaultIsEmpty) {
+  Buffer2D<float> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(Buffer2DTest, AtIsRowMajor) {
+  Buffer2D<int> buf(3, 2, 0);
+  buf.at(2, 1) = 42;
+  EXPECT_EQ(buf.data()[1 * 3 + 2], 42);
+  EXPECT_EQ(buf.Row(1)[2], 42);
+}
+
+TEST(Buffer2DTest, FillOverwrites) {
+  Buffer2D<int> buf(2, 2, 1);
+  buf.Fill(9);
+  for (const int v : buf.data()) {
+    EXPECT_EQ(v, 9);
+  }
+}
+
+TEST(Buffer2DTest, InBounds) {
+  Buffer2D<int> buf(2, 2);
+  EXPECT_TRUE(buf.InBounds(0, 0));
+  EXPECT_TRUE(buf.InBounds(1, 1));
+  EXPECT_FALSE(buf.InBounds(2, 0));
+  EXPECT_FALSE(buf.InBounds(0, -1));
+}
+
+TEST(Buffer2DTest, MemoryBytesScalesWithSize) {
+  Buffer2D<double> buf(10, 10);
+  EXPECT_GE(buf.MemoryBytes(), 100 * sizeof(double));
+}
+
+TEST(ApplyBlendTest, AddAccumulates) {
+  int dst = 3;
+  ApplyBlend(BlendOp::kAdd, dst, 4);
+  EXPECT_EQ(dst, 7);
+}
+
+TEST(ApplyBlendTest, MinMaxKeepExtremes) {
+  float dst = 5.0f;
+  ApplyBlend(BlendOp::kMin, dst, 7.0f);
+  EXPECT_EQ(dst, 5.0f);
+  ApplyBlend(BlendOp::kMin, dst, 2.0f);
+  EXPECT_EQ(dst, 2.0f);
+  ApplyBlend(BlendOp::kMax, dst, 9.0f);
+  EXPECT_EQ(dst, 9.0f);
+  ApplyBlend(BlendOp::kMax, dst, 1.0f);
+  EXPECT_EQ(dst, 9.0f);
+}
+
+TEST(ApplyBlendTest, ReplaceOverwrites) {
+  int dst = 1;
+  ApplyBlend(BlendOp::kReplace, dst, 8);
+  EXPECT_EQ(dst, 8);
+}
+
+TEST(ApplyBlendTest, MinMaxIdempotent) {
+  float dst = 4.0f;
+  ApplyBlend(BlendOp::kMin, dst, 4.0f);
+  ApplyBlend(BlendOp::kMin, dst, 4.0f);
+  EXPECT_EQ(dst, 4.0f);
+  ApplyBlend(BlendOp::kMax, dst, 4.0f);
+  EXPECT_EQ(dst, 4.0f);
+}
+
+}  // namespace
+}  // namespace urbane::raster

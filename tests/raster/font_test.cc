@@ -1,0 +1,90 @@
+#include "raster/font.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::raster {
+namespace {
+
+int CountColoredPixels(const Image& image, const Rgb& color) {
+  int count = 0;
+  for (const Rgb& pixel : image.data()) {
+    if (pixel == color) ++count;
+  }
+  return count;
+}
+
+TEST(TextWidthTest, ScalesWithLengthAndScale) {
+  EXPECT_EQ(TextWidth(""), 0);
+  EXPECT_EQ(TextWidth("A"), kGlyphWidth);
+  EXPECT_EQ(TextWidth("AB"), 2 * (kGlyphWidth + 1) - 1);
+  EXPECT_EQ(TextWidth("A", 2), 2 * kGlyphWidth);
+  EXPECT_EQ(TextHeight(), kGlyphHeight);
+  EXPECT_EQ(TextHeight(3), 3 * kGlyphHeight);
+}
+
+TEST(DrawTextTest, RendersVisiblePixels) {
+  Image image(64, 16, Rgb{0, 0, 0});
+  const Rgb white{255, 255, 255};
+  const int end_x = DrawText(image, 2, 12, "ABC", white);
+  EXPECT_GT(end_x, 2);
+  EXPECT_GT(CountColoredPixels(image, white), 20);
+}
+
+TEST(DrawTextTest, LowercaseRendersAsUppercase) {
+  Image upper(32, 16, Rgb{0, 0, 0});
+  Image lower(32, 16, Rgb{0, 0, 0});
+  const Rgb white{255, 255, 255};
+  DrawText(upper, 1, 12, "XYZ", white);
+  DrawText(lower, 1, 12, "xyz", white);
+  EXPECT_EQ(upper.data(), lower.data());
+}
+
+TEST(DrawTextTest, UnknownGlyphFallsBackToQuestionMark) {
+  Image a(32, 16, Rgb{0, 0, 0});
+  Image b(32, 16, Rgb{0, 0, 0});
+  const Rgb white{255, 255, 255};
+  DrawText(a, 1, 12, "@", white);  // not in the font
+  DrawText(b, 1, 12, "?", white);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(DrawTextTest, ClipsAtImageEdges) {
+  Image image(10, 5, Rgb{0, 0, 0});
+  const Rgb white{255, 255, 255};
+  // Mostly off-screen; must not crash, may draw a few pixels.
+  DrawText(image, -3, 20, "HELLO WORLD", white);
+  DrawText(image, 8, 2, "XX", white);
+  SUCCEED();
+}
+
+TEST(DrawTextTest, ScaleEnlargesGlyphs) {
+  Image small(64, 32, Rgb{0, 0, 0});
+  Image large(64, 32, Rgb{0, 0, 0});
+  const Rgb white{255, 255, 255};
+  DrawText(small, 2, 28, "A", white, 1);
+  DrawText(large, 2, 28, "A", white, 2);
+  EXPECT_NEAR(CountColoredPixels(large, white),
+              4 * CountColoredPixels(small, white), 1);
+}
+
+TEST(DrawTextTest, DigitsAndPunctuationRender) {
+  Image image(200, 16, Rgb{0, 0, 0});
+  const Rgb white{255, 255, 255};
+  DrawText(image, 1, 12, "0123456789.-+:%()/<>=_',", white);
+  EXPECT_GT(CountColoredPixels(image, white), 100);
+}
+
+TEST(DrawLegendBarTest, BarAndLabelsRendered) {
+  Image image(300, 60, Rgb{0, 0, 0});
+  const Colormap cm = Colormap::Make(ColormapKind::kViridis);
+  DrawLegendBar(image, 10, 20, 150, 8, cm, "0", "42K", "PICKUPS",
+                Rgb{255, 255, 255});
+  // Bar endpoints carry the colormap's endpoint colors.
+  EXPECT_EQ(image.at(10, 24), cm.Map(0.0));
+  EXPECT_EQ(image.at(159, 24), cm.Map(1.0));
+  // Labels and title appear.
+  EXPECT_GT(CountColoredPixels(image, Rgb{255, 255, 255}), 30);
+}
+
+}  // namespace
+}  // namespace urbane::raster

@@ -1,0 +1,243 @@
+#include "raster/rasterizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "geometry/clip.h"
+#include "util/random.h"
+
+namespace urbane::raster {
+namespace {
+
+using geometry::BoundingBox;
+using geometry::Polygon;
+using geometry::Ring;
+using geometry::Triangle;
+using geometry::Vec2;
+
+using PixelSet = std::set<std::pair<int, int>>;
+
+PixelSet TrianglePixels(const Viewport& vp, const Triangle& t) {
+  PixelSet out;
+  RasterizeTriangle(vp, t, [&](int x, int y) {
+    const bool inserted = out.insert({x, y}).second;
+    EXPECT_TRUE(inserted) << "pixel emitted twice: " << x << "," << y;
+  });
+  return out;
+}
+
+PixelSet PolygonScanPixels(const Viewport& vp, const Polygon& p) {
+  PixelSet out;
+  ScanlineFillPolygonPixels(vp, p, [&](int x, int y) {
+    const bool inserted = out.insert({x, y}).second;
+    EXPECT_TRUE(inserted) << "pixel emitted twice: " << x << "," << y;
+  });
+  return out;
+}
+
+PixelSet PolygonTrianglePixels(const Viewport& vp, const Polygon& p) {
+  PixelSet out;
+  EXPECT_TRUE(RasterizePolygonTriangles(vp, p, [&](int x, int y) {
+    const bool inserted = out.insert({x, y}).second;
+    EXPECT_TRUE(inserted)
+        << "triangles double-covered pixel " << x << "," << y;
+  }));
+  return out;
+}
+
+TEST(RasterizeTriangleTest, CoversInteriorPixelCenters) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  // Big triangle covering lower-left half.
+  const Triangle t{{0, 0}, {10, 0}, {0, 10}};
+  const PixelSet pixels = TrianglePixels(vp, t);
+  EXPECT_TRUE(pixels.count({0, 0}));
+  EXPECT_TRUE(pixels.count({4, 4}));
+  EXPECT_FALSE(pixels.count({9, 9}));
+  // Diagonal pixel centers (x+0.5)+(y+0.5)=10 are exactly on the hypotenuse;
+  // the tie rule assigns them to exactly one side, so the full square's two
+  // halves partition: checked in SharedEdgePartition below.
+}
+
+TEST(RasterizeTriangleTest, DegenerateEmitsNothing) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  EXPECT_TRUE(TrianglePixels(vp, {{1, 1}, {5, 5}, {9, 9}}).empty());
+  EXPECT_TRUE(TrianglePixels(vp, {{1, 1}, {1, 1}, {1, 1}}).empty());
+}
+
+TEST(RasterizeTriangleTest, WindingOrderIrrelevant) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 20, 20);
+  const Triangle ccw{{1, 1}, {8, 2}, {4, 9}};
+  const Triangle cw{{1, 1}, {4, 9}, {8, 2}};
+  EXPECT_EQ(TrianglePixels(vp, ccw), TrianglePixels(vp, cw));
+}
+
+TEST(RasterizeTriangleTest, SharedEdgePartition) {
+  // Two triangles forming a square: every covered pixel must be covered by
+  // exactly one triangle (GPU watertight-fill rule).
+  const Viewport vp(BoundingBox(0, 0, 8, 8), 8, 8);
+  const Triangle lower{{0, 0}, {8, 0}, {8, 8}};
+  const Triangle upper{{0, 0}, {8, 8}, {0, 8}};
+  const PixelSet a = TrianglePixels(vp, lower);
+  const PixelSet b = TrianglePixels(vp, upper);
+  PixelSet unioned = a;
+  unioned.insert(b.begin(), b.end());
+  EXPECT_EQ(unioned.size(), a.size() + b.size()) << "shared edge double-covered";
+  EXPECT_EQ(unioned.size(), 64u) << "square not fully covered";
+}
+
+TEST(RasterizeTriangleTest, OffscreenTriangleClipped) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  EXPECT_TRUE(TrianglePixels(vp, {{20, 20}, {30, 20}, {25, 30}}).empty());
+  // Partially offscreen: only in-bounds pixels.
+  const PixelSet pixels = TrianglePixels(vp, {{-5, -5}, {5, -5}, {0, 5}});
+  for (const auto& [x, y] : pixels) {
+    EXPECT_TRUE(vp.PixelInBounds(x, y));
+  }
+  EXPECT_FALSE(pixels.empty());
+}
+
+TEST(ScanlineFillTest, RectangleCoversExpectedPixels) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  // Rectangle [2, 5] x [3, 6] in world coords: pixel centers inside are
+  // x in {2.5, 3.5, 4.5}, y in {3.5, 4.5, 5.5}.
+  const Polygon rect(Ring{{2, 3}, {5, 3}, {5, 6}, {2, 6}});
+  const PixelSet pixels = PolygonScanPixels(vp, rect);
+  EXPECT_EQ(pixels.size(), 9u);
+  EXPECT_TRUE(pixels.count({2, 3}));
+  EXPECT_TRUE(pixels.count({4, 5}));
+  EXPECT_FALSE(pixels.count({5, 3}));
+}
+
+TEST(ScanlineFillTest, HoleExcluded) {
+  const Viewport vp(BoundingBox(0, 0, 16, 16), 16, 16);
+  Polygon p(Ring{{1, 1}, {15, 1}, {15, 15}, {1, 15}});
+  p.add_hole(Ring{{6, 6}, {10, 6}, {10, 10}, {6, 10}});
+  p.Normalize();
+  const PixelSet pixels = PolygonScanPixels(vp, p);
+  EXPECT_TRUE(pixels.count({3, 3}));
+  EXPECT_FALSE(pixels.count({8, 8}));  // inside the hole
+  EXPECT_TRUE(pixels.count({12, 8}));
+}
+
+TEST(ScanlineFillTest, MatchesPointInPolygonOracle) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ring ring;
+    const int n = 5 + static_cast<int>(rng.NextUint64(10));
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2.0 * M_PI * i / n;
+      const double radius = rng.NextDouble(2.0, 7.0);
+      // Irrational-ish offsets avoid pixel centers landing exactly on edges.
+      ring.push_back({8.01 + radius * std::cos(angle) + 0.003 * trial,
+                      7.98 + radius * std::sin(angle)});
+    }
+    const Polygon poly(ring);
+    const Viewport vp(BoundingBox(0, 0, 16, 16), 64, 64);
+    const PixelSet pixels = PolygonScanPixels(vp, poly);
+    for (int y = 0; y < vp.height(); ++y) {
+      for (int x = 0; x < vp.width(); ++x) {
+        EXPECT_EQ(pixels.count({x, y}) > 0,
+                  geometry::RingContains(ring, vp.PixelCenter(x, y)))
+            << "mismatch at " << x << "," << y << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(ScanlineVsTrianglePipelineTest, IdenticalPixelSets) {
+  Rng rng(909);
+  for (int trial = 0; trial < 10; ++trial) {
+    Ring ring;
+    const int n = 5 + static_cast<int>(rng.NextUint64(14));
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2.0 * M_PI * i / n;
+      const double radius = rng.NextDouble(2.0, 7.3);
+      ring.push_back({8.013 + radius * std::cos(angle),
+                      8.027 + radius * std::sin(angle)});
+    }
+    const Polygon poly(ring);
+    const Viewport vp(BoundingBox(0, 0, 16, 16), 48, 48);
+    EXPECT_EQ(PolygonScanPixels(vp, poly), PolygonTrianglePixels(vp, poly))
+        << "trial " << trial;
+  }
+}
+
+TEST(SegmentConservativeTest, HorizontalSegmentMarksRow) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  PixelSet pixels;
+  RasterizeSegmentConservative(vp, {1.5, 4.5}, {7.5, 4.5},
+                               [&](int x, int y) { pixels.insert({x, y}); });
+  for (int x = 1; x <= 7; ++x) {
+    EXPECT_TRUE(pixels.count({x, 4})) << x;
+  }
+  EXPECT_FALSE(pixels.count({0, 4}));
+  EXPECT_FALSE(pixels.count({8, 4}));
+}
+
+TEST(SegmentConservativeTest, VerticalSegmentMarksColumn) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  PixelSet pixels;
+  RasterizeSegmentConservative(vp, {3.5, 1.5}, {3.5, 8.5},
+                               [&](int x, int y) { pixels.insert({x, y}); });
+  for (int y = 1; y <= 8; ++y) {
+    EXPECT_TRUE(pixels.count({3, y})) << y;
+  }
+}
+
+TEST(SegmentConservativeTest, NeverMissesCellsTouchedByDiagonal) {
+  // Conservativeness: every cell whose closed box the segment intersects
+  // must be emitted.
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 a{rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+    const Vec2 b{rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+    PixelSet pixels;
+    RasterizeSegmentConservative(vp, a, b,
+                                 [&](int x, int y) { pixels.insert({x, y}); });
+    for (int y = 0; y < 10; ++y) {
+      for (int x = 0; x < 10; ++x) {
+        if (geometry::SegmentIntersectsBox(vp.PixelCell(x, y), a, b)) {
+          EXPECT_TRUE(pixels.count({x, y}))
+              << "missed cell " << x << "," << y << " for segment " << a
+              << "-" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(SegmentConservativeTest, OffscreenSegmentEmitsNothing) {
+  const Viewport vp(BoundingBox(0, 0, 10, 10), 10, 10);
+  int count = 0;
+  RasterizeSegmentConservative(vp, {20, 20}, {30, 30},
+                               [&](int, int) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PolygonBoundaryTest, SeparatesInteriorFromBoundary) {
+  const Viewport vp(BoundingBox(0, 0, 16, 16), 16, 16);
+  const Polygon rect(Ring{{2.5, 2.5}, {13.5, 2.5}, {13.5, 13.5}, {2.5, 13.5}});
+  PixelSet boundary;
+  RasterizePolygonBoundary(vp, rect,
+                           [&](int x, int y) { boundary.insert({x, y}); });
+  // Interior pixel well away from edges is not boundary.
+  EXPECT_FALSE(boundary.count({8, 8}));
+  // A pixel the edge passes through is boundary.
+  EXPECT_TRUE(boundary.count({2, 8}));
+  EXPECT_TRUE(boundary.count({8, 2}));
+  // Conservative guarantee: every non-boundary covered pixel's cell is fully
+  // inside the polygon.
+  const PixelSet covered = PolygonScanPixels(vp, rect);
+  for (const auto& [x, y] : covered) {
+    if (boundary.count({x, y})) continue;
+    const BoundingBox cell = vp.PixelCell(x, y);
+    EXPECT_TRUE(geometry::PolygonContainsBox(rect, cell))
+        << "non-boundary covered cell not fully inside at " << x << "," << y;
+  }
+}
+
+}  // namespace
+}  // namespace urbane::raster

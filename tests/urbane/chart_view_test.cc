@@ -1,0 +1,93 @@
+#include "urbane/chart_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace urbane::app {
+namespace {
+
+ChartSeries Ramp(const std::string& label, int bins, double slope) {
+  ChartSeries s;
+  s.label = label;
+  for (int i = 0; i < bins; ++i) {
+    s.values.push_back(slope * i);
+  }
+  return s;
+}
+
+TEST(ChartViewTest, RendersRequestedSize) {
+  ChartOptions options;
+  options.width = 320;
+  options.height = 160;
+  const auto image = RenderTimeSeriesChart({Ramp("a", 10, 1.0)}, options);
+  ASSERT_TRUE(image.ok()) << image.status();
+  EXPECT_EQ(image->width(), 320);
+  EXPECT_EQ(image->height(), 160);
+}
+
+TEST(ChartViewTest, MultipleSeriesGetDistinctColors) {
+  ChartOptions options;
+  options.background = Rgb{0, 0, 0};
+  const auto image = RenderTimeSeriesChart(
+      {Ramp("up", 16, 1.0), Ramp("down", 16, -1.0), Ramp("flat", 16, 0.0)},
+      options);
+  ASSERT_TRUE(image.ok());
+  std::set<std::uint32_t> colors;
+  for (const Rgb& p : image->data()) {
+    colors.insert((std::uint32_t{p.r} << 16) | (std::uint32_t{p.g} << 8) |
+                  p.b);
+  }
+  // Background + axis/text + >= 3 series colors.
+  EXPECT_GE(colors.size(), 5u);
+}
+
+TEST(ChartViewTest, RejectsBadInput) {
+  EXPECT_FALSE(RenderTimeSeriesChart({}).ok());
+  EXPECT_FALSE(RenderTimeSeriesChart({Ramp("one-point", 1, 1.0)}).ok());
+  ChartSeries short_series = Ramp("short", 5, 1.0);
+  ChartSeries long_series = Ramp("long", 9, 1.0);
+  EXPECT_FALSE(RenderTimeSeriesChart({short_series, long_series}).ok());
+  ChartOptions tiny;
+  tiny.width = 20;
+  tiny.height = 20;
+  EXPECT_FALSE(RenderTimeSeriesChart({Ramp("a", 4, 1.0)}, tiny).ok());
+}
+
+TEST(ChartViewTest, NaNGapsDoNotCrash) {
+  ChartSeries gappy = Ramp("gaps", 12, 2.0);
+  gappy.values[5] = std::nan("");
+  gappy.values[6] = std::nan("");
+  const auto image = RenderTimeSeriesChart({gappy});
+  ASSERT_TRUE(image.ok());
+}
+
+TEST(ChartViewTest, ConstantSeriesAutoScales) {
+  const auto image = RenderTimeSeriesChart({Ramp("flat", 8, 0.0)});
+  ASSERT_TRUE(image.ok());
+}
+
+TEST(ChartViewTest, ExplicitYRangeClampsExcursions) {
+  ChartOptions options;
+  options.y_lo = 0.0;
+  options.y_hi = 5.0;
+  ChartSeries wild = Ramp("wild", 10, 100.0);  // values way above y_hi
+  const auto image = RenderTimeSeriesChart({wild}, options);
+  ASSERT_TRUE(image.ok());
+}
+
+TEST(ChartViewTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/chart.ppm";
+  const auto image =
+      RenderTimeSeriesChartToFile({Ramp("a", 8, 1.0)}, path);
+  ASSERT_TRUE(image.ok());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace urbane::app

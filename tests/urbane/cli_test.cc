@@ -1,0 +1,174 @@
+#include "urbane/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace urbane::app {
+namespace {
+
+std::string RunCommand(CommandInterpreter& cli, const std::string& line,
+                bool* keep_going = nullptr) {
+  std::ostringstream out;
+  const bool cont = cli.Execute(line, out);
+  if (keep_going != nullptr) {
+    *keep_going = cont;
+  }
+  return out.str();
+}
+
+TEST(CliTest, HelpAndUnknownCommand) {
+  CommandInterpreter cli;
+  EXPECT_NE(RunCommand(cli, "help").find("commands:"), std::string::npos);
+  EXPECT_NE(RunCommand(cli, "frobnicate").find("error"), std::string::npos);
+}
+
+TEST(CliTest, QuitStopsSession) {
+  CommandInterpreter cli;
+  bool keep_going = true;
+  RunCommand(cli, "quit", &keep_going);
+  EXPECT_FALSE(keep_going);
+}
+
+TEST(CliTest, BlankAndCommentLinesIgnored) {
+  CommandInterpreter cli;
+  bool keep_going = false;
+  EXPECT_EQ(RunCommand(cli, "", &keep_going), "");
+  EXPECT_TRUE(keep_going);
+  EXPECT_EQ(RunCommand(cli, "  # comment", &keep_going), "");
+  EXPECT_TRUE(keep_going);
+}
+
+TEST(CliTest, GenListSqlFlow) {
+  CommandInterpreter cli;
+  EXPECT_NE(RunCommand(cli, "gen taxi t 5000 7").find("generated 't'"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "gen regions h neighborhoods").find("generated 'h'"),
+            std::string::npos);
+  const std::string listing = RunCommand(cli, "list");
+  EXPECT_NE(listing.find("t(5000)"), std::string::npos);
+  EXPECT_NE(listing.find("h(256)"), std::string::npos);
+  const std::string result = RunCommand(cli, "sql SELECT COUNT(*) FROM t, h");
+  EXPECT_NE(result.find("256 groups"), std::string::npos);
+  EXPECT_NE(result.find("5000 matching points"), std::string::npos);
+}
+
+TEST(CliTest, BareSelectAccepted) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 2000");
+  RunCommand(cli, "gen regions h boroughs");
+  const std::string result = RunCommand(cli, "SELECT COUNT(*) FROM t, h");
+  EXPECT_NE(result.find("6 groups"), std::string::npos);
+}
+
+TEST(CliTest, MethodSwitching) {
+  CommandInterpreter cli;
+  EXPECT_NE(RunCommand(cli, "method scan").find("scan"), std::string::npos);
+  EXPECT_EQ(cli.method(), core::ExecutionMethod::kScan);
+  EXPECT_NE(RunCommand(cli, "method raster").find("raster"), std::string::npos);
+  EXPECT_EQ(cli.method(), core::ExecutionMethod::kBoundedRaster);
+  EXPECT_NE(RunCommand(cli, "method bogus").find("error"), std::string::npos);
+}
+
+TEST(CliTest, RasterMethodReportsErrorBounds) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 5000");
+  RunCommand(cli, "gen regions h boroughs");
+  RunCommand(cli, "method raster");
+  const std::string result = RunCommand(cli, "sql SELECT COUNT(*) FROM t, h");
+  EXPECT_NE(result.find("err<="), std::string::npos);
+}
+
+TEST(CliTest, SqlAgainstMissingDatasetFails) {
+  CommandInterpreter cli;
+  const std::string result = RunCommand(cli, "sql SELECT COUNT(*) FROM no, pe");
+  EXPECT_NE(result.find("error"), std::string::npos);
+}
+
+TEST(CliTest, SaveAndLoadRoundTrip) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 1000");
+  RunCommand(cli, "gen regions h boroughs");
+  const std::string points_path = ::testing::TempDir() + "/cli_points.upt";
+  const std::string regions_path = ::testing::TempDir() + "/cli_regions.urg";
+  EXPECT_NE(RunCommand(cli, "save points t " + points_path).find("saved"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "save regions h " + regions_path).find("saved"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "load points t2 " + points_path).find("loaded 1000"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "load regions h2 " + regions_path).find("loaded 6"),
+            std::string::npos);
+  const std::string result = RunCommand(cli, "sql SELECT COUNT(*) FROM t2, h2");
+  EXPECT_NE(result.find("1000 matching points"), std::string::npos);
+  std::remove(points_path.c_str());
+  std::remove(regions_path.c_str());
+}
+
+TEST(CliTest, CsvAndGeoJsonPathsSupported) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 500");
+  RunCommand(cli, "gen regions h boroughs");
+  const std::string csv_path = ::testing::TempDir() + "/cli_points.csv";
+  const std::string geojson_path = ::testing::TempDir() + "/cli_regions.geojson";
+  RunCommand(cli, "save points t " + csv_path);
+  RunCommand(cli, "save regions h " + geojson_path);
+  EXPECT_NE(RunCommand(cli, "load points tc " + csv_path).find("loaded 500"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "load regions hg " + geojson_path).find("loaded 6"),
+            std::string::npos);
+  std::remove(csv_path.c_str());
+  std::remove(geojson_path.c_str());
+}
+
+TEST(CliTest, MapWritesImage) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 2000");
+  RunCommand(cli, "gen regions h boroughs");
+  const std::string path = ::testing::TempDir() + "/cli_map.ppm";
+  const std::string result = RunCommand(cli, "map t h " + path + " MY TITLE");
+  EXPECT_NE(result.find("wrote"), std::string::npos);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, WorkspaceCommands) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 300");
+  RunCommand(cli, "gen regions h boroughs");
+  const std::string dir = ::testing::TempDir();
+  EXPECT_NE(RunCommand(cli, "save workspace " + dir).find("saved workspace"),
+            std::string::npos);
+  CommandInterpreter fresh;
+  const std::string loaded =
+      RunCommand(fresh, "load workspace " + dir + "/urbane.workspace.json");
+  EXPECT_NE(loaded.find("loaded workspace"), std::string::npos);
+  EXPECT_NE(loaded.find("t(300)"), std::string::npos);
+  EXPECT_NE(RunCommand(fresh, "load workspace").find("error"),
+            std::string::npos);
+}
+
+TEST(CliTest, UsageErrorsReported) {
+  CommandInterpreter cli;
+  EXPECT_NE(RunCommand(cli, "gen taxi").find("error"), std::string::npos);
+  EXPECT_NE(RunCommand(cli, "gen taxi t notanumber").find("error"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "gen taxi t -5").find("error"), std::string::npos);
+  EXPECT_NE(RunCommand(cli, "load points x").find("error"), std::string::npos);
+  EXPECT_NE(RunCommand(cli, "save wat x y").find("error"), std::string::npos);
+  EXPECT_NE(RunCommand(cli, "map onlyone").find("error"), std::string::npos);
+  EXPECT_NE(RunCommand(cli, "gen regions r boguslayer").find("error"),
+            std::string::npos);
+}
+
+TEST(CliTest, DuplicateNameRejected) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 100");
+  EXPECT_NE(RunCommand(cli, "gen taxi t 100").find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace urbane::app

@@ -1,0 +1,164 @@
+#include "urbane/dataset_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::app {
+namespace {
+
+TEST(DatasetManagerTest, RegisterAndLookup) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("taxi", testing::MakeUniformPoints(100, 1))
+          .ok());
+  ASSERT_TRUE(
+      manager.AddRegionLayer("hoods", testing::MakeRandomRegions(3, 2)).ok());
+  EXPECT_EQ(manager.PointDatasetNames(),
+            std::vector<std::string>{"taxi"});
+  EXPECT_EQ(manager.RegionLayerNames(), std::vector<std::string>{"hoods"});
+  ASSERT_TRUE(manager.PointDataset("taxi").ok());
+  EXPECT_EQ(manager.PointDataset("taxi").value()->size(), 100u);
+  EXPECT_FALSE(manager.PointDataset("nope").ok());
+  EXPECT_FALSE(manager.RegionLayer("nope").ok());
+}
+
+TEST(DatasetManagerTest, RejectsDuplicatesAndEmptyNames) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("a", testing::MakeUniformPoints(10, 1)).ok());
+  EXPECT_FALSE(
+      manager.AddPointDataset("a", testing::MakeUniformPoints(10, 2)).ok());
+  EXPECT_FALSE(
+      manager.AddPointDataset("", testing::MakeUniformPoints(10, 3)).ok());
+  ASSERT_TRUE(
+      manager.AddRegionLayer("r", testing::MakeRandomRegions(2, 4)).ok());
+  EXPECT_FALSE(
+      manager.AddRegionLayer("r", testing::MakeRandomRegions(2, 5)).ok());
+}
+
+TEST(DatasetManagerTest, EngineIsCachedPerPair) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("taxi", testing::MakeUniformPoints(500, 6))
+          .ok());
+  ASSERT_TRUE(
+      manager.AddRegionLayer("hoods", testing::MakeRandomRegions(3, 7)).ok());
+  ASSERT_TRUE(
+      manager.AddRegionLayer("tracts", testing::MakeRandomRegions(5, 8)).ok());
+  const auto e1 = manager.Engine("taxi", "hoods");
+  const auto e2 = manager.Engine("taxi", "hoods");
+  const auto e3 = manager.Engine("taxi", "tracts");
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(*e1, *e2);
+  EXPECT_NE(*e1, *e3);
+  EXPECT_FALSE(manager.Engine("nope", "hoods").ok());
+}
+
+TEST(DatasetManagerTest, EngineRunsQueries) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("taxi", testing::MakeUniformPoints(2000, 9))
+          .ok());
+  ASSERT_TRUE(manager
+                  .AddRegionLayer("hoods",
+                                  testing::MakeTessellationRegions(3, 10))
+                  .ok());
+  auto engine = manager.Engine("taxi", "hoods");
+  ASSERT_TRUE(engine.ok());
+  core::AggregationQuery query;
+  const auto result =
+      (*engine)->Execute(query, core::ExecutionMethod::kAccurateRaster);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t total = 0;
+  for (const auto c : result->counts) total += c;
+  EXPECT_EQ(total, 2000u);
+}
+
+TEST(DatasetManagerTest, TemporalIndexBuiltAndCached) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("taxi", testing::MakeUniformPoints(1000, 11))
+          .ok());
+  const auto t1 = manager.Temporal("taxi");
+  const auto t2 = manager.Temporal("taxi");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(*t1, *t2);
+  EXPECT_EQ((*t1)->point_count(), 1000u);
+  EXPECT_FALSE(manager.Temporal("nope").ok());
+}
+
+TEST(DatasetManagerTest, WorkspaceSaveLoadRoundTrip) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("taxi", testing::MakeUniformPoints(500, 20))
+          .ok());
+  ASSERT_TRUE(manager
+                  .AddRegionLayer("hoods",
+                                  testing::MakeTessellationRegions(2, 21))
+                  .ok());
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(manager.SaveWorkspace(dir).ok());
+
+  DatasetManager reloaded;
+  ASSERT_TRUE(reloaded.LoadWorkspace(dir + "/urbane.workspace.json").ok());
+  ASSERT_TRUE(reloaded.PointDataset("taxi").ok());
+  EXPECT_EQ(reloaded.PointDataset("taxi").value()->size(), 500u);
+  ASSERT_TRUE(reloaded.RegionLayer("hoods").ok());
+  EXPECT_EQ(reloaded.RegionLayer("hoods").value()->size(), 4u);
+  // Queries work on the reloaded workspace.
+  const auto result =
+      reloaded.ExecuteSql("SELECT COUNT(*) FROM taxi, hoods",
+                          core::ExecutionMethod::kScan);
+  ASSERT_TRUE(result.ok());
+  std::uint64_t total = 0;
+  for (const auto c : result->counts) total += c;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(DatasetManagerTest, SaveWorkspaceCreatesDirectory) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("t", testing::MakeUniformPoints(50, 24)).ok());
+  const std::string dir =
+      ::testing::TempDir() + "/nested/workspace/dir";
+  ASSERT_TRUE(manager.SaveWorkspace(dir).ok());
+  DatasetManager reloaded;
+  EXPECT_TRUE(reloaded.LoadWorkspace(dir + "/urbane.workspace.json").ok());
+}
+
+TEST(DatasetManagerTest, LoadWorkspaceMissingManifestFails) {
+  DatasetManager manager;
+  EXPECT_FALSE(manager.LoadWorkspace("/no/such/manifest.json").ok());
+}
+
+TEST(DatasetManagerTest, ExecuteSqlParsesAndRuns) {
+  DatasetManager manager;
+  ASSERT_TRUE(
+      manager.AddPointDataset("taxi", testing::MakeUniformPoints(1000, 22))
+          .ok());
+  ASSERT_TRUE(manager
+                  .AddRegionLayer("hoods",
+                                  testing::MakeTessellationRegions(2, 23))
+                  .ok());
+  const auto result = manager.ExecuteSql(
+      "SELECT AVG(v) FROM taxi, hoods WHERE v IN [0, 10]",
+      core::ExecutionMethod::kAccurateRaster);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 4u);
+  EXPECT_FALSE(
+      manager.ExecuteSql("garbage", core::ExecutionMethod::kScan).ok());
+}
+
+TEST(DatasetManagerTest, ValidatesTableOnAdd) {
+  DatasetManager manager;
+  data::PointTable ragged(data::Schema({"v"}));
+  ragged.AppendXyt(0, 0, 0);  // attribute column left short
+  EXPECT_FALSE(manager.AddPointDataset("bad", std::move(ragged)).ok());
+}
+
+}  // namespace
+}  // namespace urbane::app

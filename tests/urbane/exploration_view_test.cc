@@ -1,0 +1,154 @@
+#include "urbane/exploration_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::app {
+namespace {
+
+void PopulateManagerWorld(DatasetManager& manager) {
+  EXPECT_TRUE(
+      manager.AddPointDataset("taxi", testing::MakeUniformPoints(4000, 1))
+          .ok());
+  EXPECT_TRUE(
+      manager.AddPointDataset("crime", testing::MakeUniformPoints(2000, 2))
+          .ok());
+  EXPECT_TRUE(manager
+                  .AddRegionLayer("hoods",
+                                  testing::MakeTessellationRegions(4, 3))
+                  .ok());
+}
+
+ProfileMetric CountMetric(const std::string& dataset,
+                          const std::string& label) {
+  ProfileMetric metric;
+  metric.label = label;
+  metric.dataset = dataset;
+  metric.aggregate = core::AggregateSpec::Count();
+  return metric;
+}
+
+TEST(ExplorationViewTest, ComputesProfileMatrix) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  view.AddMetric(CountMetric("taxi", "taxi pickups"));
+  view.AddMetric(CountMetric("crime", "crimes"));
+  const auto table = view.ComputeProfiles(core::ExecutionMethod::kScan);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->metric_count(), 2u);
+  EXPECT_EQ(table->region_count(), 16u);
+  double total = 0.0;
+  for (const double v : table->values[0]) total += v;
+  EXPECT_DOUBLE_EQ(total, 4000.0);  // tessellation partitions the world
+}
+
+TEST(ExplorationViewTest, NoMetricsFails) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  EXPECT_FALSE(view.ComputeProfiles(core::ExecutionMethod::kScan).ok());
+}
+
+TEST(ExplorationViewTest, UnknownDatasetFails) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  view.AddMetric(CountMetric("nope", "x"));
+  EXPECT_FALSE(view.ComputeProfiles(core::ExecutionMethod::kScan).ok());
+}
+
+TEST(ExplorationViewTest, ZScoresAreNormalized) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  view.AddMetric(CountMetric("taxi", "t"));
+  const auto table = view.ComputeProfiles(core::ExecutionMethod::kScan);
+  ASSERT_TRUE(table.ok());
+  double mean = 0.0;
+  for (const double z : table->zscores[0]) mean += z;
+  mean /= static_cast<double>(table->region_count());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(ExplorationViewTest, RankByMetricDescending) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  view.AddMetric(CountMetric("taxi", "t"));
+  const auto table = view.ComputeProfiles(core::ExecutionMethod::kScan);
+  ASSERT_TRUE(table.ok());
+  const auto order = DataExplorationView::RankByMetric(*table, 0);
+  ASSERT_EQ(order.size(), table->region_count());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(table->values[0][order[i - 1]], table->values[0][order[i]]);
+  }
+}
+
+TEST(ExplorationViewTest, MostSimilarExcludesSelfAndSorts) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  view.AddMetric(CountMetric("taxi", "t"));
+  view.AddMetric(CountMetric("crime", "c"));
+  const auto table = view.ComputeProfiles(core::ExecutionMethod::kScan);
+  ASSERT_TRUE(table.ok());
+  const auto similar = DataExplorationView::MostSimilar(*table, 0, 5);
+  ASSERT_EQ(similar.size(), 5u);
+  for (std::size_t i = 0; i < similar.size(); ++i) {
+    EXPECT_NE(similar[i].region_index, 0u);
+    if (i > 0) {
+      EXPECT_GE(similar[i].distance, similar[i - 1].distance);
+    }
+  }
+}
+
+TEST(ExplorationViewTest, RasterMethodApproximatesScanProfiles) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  view.AddMetric(CountMetric("taxi", "t"));
+  const auto exact = view.ComputeProfiles(core::ExecutionMethod::kScan);
+  const auto raster =
+      view.ComputeProfiles(core::ExecutionMethod::kAccurateRaster);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(raster.ok());
+  for (std::size_t r = 0; r < exact->region_count(); ++r) {
+    EXPECT_DOUBLE_EQ(exact->values[0][r], raster->values[0][r]);
+  }
+}
+
+TEST(ExplorationViewTest, TimeSeriesBinsSumToWindowTotal) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  const ProfileMetric metric = CountMetric("taxi", "t");
+  const auto series = view.ComputeTimeSeries(
+      metric, 0, 86400, 8, core::ExecutionMethod::kScan);
+  ASSERT_TRUE(series.ok()) << series.status();
+  ASSERT_EQ(series->size(), 8u);
+  double total = 0.0;
+  for (const auto& bin : *series) {
+    for (const double v : bin) total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, 4000.0);
+}
+
+TEST(ExplorationViewTest, TimeSeriesRejectsBadArgs) {
+  DatasetManager manager;
+  PopulateManagerWorld(manager);
+  DataExplorationView view(manager, "hoods");
+  const ProfileMetric metric = CountMetric("taxi", "t");
+  EXPECT_FALSE(view.ComputeTimeSeries(metric, 100, 100, 4,
+                                      core::ExecutionMethod::kScan)
+                   .ok());
+  EXPECT_FALSE(view.ComputeTimeSeries(metric, 0, 100, 0,
+                                      core::ExecutionMethod::kScan)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace urbane::app

@@ -1,0 +1,69 @@
+#include "urbane/heatmap_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::app {
+namespace {
+
+TEST(RenderHeatmapTest, ProducesImage) {
+  const auto points = testing::MakeUniformPoints(2000, 1);
+  HeatmapOptions options;
+  options.image_width = 120;
+  const auto image = RenderHeatmap(points, core::FilterSpec(), options);
+  ASSERT_TRUE(image.ok()) << image.status();
+  EXPECT_EQ(image->width(), 120);
+}
+
+TEST(RenderHeatmapTest, FilterChangesOutput) {
+  const auto points = testing::MakeUniformPoints(5000, 2);
+  HeatmapOptions options;
+  options.image_width = 64;
+  const auto all = RenderHeatmap(points, core::FilterSpec(), options);
+  core::FilterSpec narrow;
+  narrow.WithTime(0, 1000);  // tiny slice of the day
+  const auto filtered = RenderHeatmap(points, narrow, options);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NE(all->data(), filtered->data());
+}
+
+TEST(RenderHeatmapTest, EmptyTableRejected) {
+  data::PointTable empty(data::Schema({"v"}));
+  EXPECT_FALSE(RenderHeatmap(empty, core::FilterSpec()).ok());
+}
+
+TEST(RenderHeatmapTest, ExplicitWorldWindow) {
+  const auto points = testing::MakeUniformPoints(1000, 3);
+  HeatmapOptions options;
+  options.image_width = 50;
+  options.world = geometry::BoundingBox(0, 0, 50, 50);  // zoomed view
+  const auto image = RenderHeatmap(points, core::FilterSpec(), options);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->width(), 50);
+}
+
+TEST(RenderHeatmapToFileTest, WritesFile) {
+  const auto points = testing::MakeUniformPoints(500, 4);
+  const std::string path = ::testing::TempDir() + "/heatmap.ppm";
+  const auto image =
+      RenderHeatmapToFile(points, core::FilterSpec(), path);
+  ASSERT_TRUE(image.ok());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(RenderHeatmapTest, UnknownFilterAttributeRejected) {
+  const auto points = testing::MakeUniformPoints(100, 5);
+  core::FilterSpec bad;
+  bad.WithRange("missing", 0, 1);
+  EXPECT_FALSE(RenderHeatmap(points, bad).ok());
+}
+
+}  // namespace
+}  // namespace urbane::app

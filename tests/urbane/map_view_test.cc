@@ -1,0 +1,149 @@
+#include "urbane/map_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "core/spatial_aggregation.h"
+#include "data/region_generator.h"
+#include "testing/test_worlds.h"
+
+namespace urbane::app {
+namespace {
+
+core::QueryResult MakeResult(std::size_t regions, double base = 10.0) {
+  core::QueryResult result;
+  for (std::size_t r = 0; r < regions; ++r) {
+    result.values.push_back(base * static_cast<double>(r + 1));
+    result.counts.push_back(r + 1);
+  }
+  return result;
+}
+
+TEST(RenderChoroplethTest, ProducesImageOfRequestedWidth) {
+  const auto regions = testing::MakeTessellationRegions(4, 1);
+  MapViewOptions options;
+  options.image_width = 200;
+  const auto render =
+      RenderChoropleth(regions, MakeResult(regions.size()), options);
+  ASSERT_TRUE(render.ok()) << render.status();
+  EXPECT_EQ(render->image.width(), 200);
+  EXPECT_GT(render->image.height(), 0);
+  EXPECT_LT(render->legend_lo, render->legend_hi);
+}
+
+TEST(RenderChoroplethTest, DifferentValuesYieldDifferentColors) {
+  const auto regions = testing::MakeTessellationRegions(2, 2);  // 4 regions
+  core::QueryResult result = MakeResult(regions.size());
+  result.values = {0.0, 1000.0, 0.0, 1000.0};
+  MapViewOptions options;
+  options.image_width = 100;
+  options.draw_boundaries = false;
+  const auto render = RenderChoropleth(regions, result, options);
+  ASSERT_TRUE(render.ok());
+  std::set<std::uint32_t> colors;
+  for (const Rgb& pixel : render->image.data()) {
+    colors.insert((std::uint32_t{pixel.r} << 16) |
+                  (std::uint32_t{pixel.g} << 8) | pixel.b);
+  }
+  EXPECT_GE(colors.size(), 2u);
+}
+
+TEST(RenderChoroplethTest, SizeMismatchRejected) {
+  const auto regions = testing::MakeTessellationRegions(2, 3);
+  EXPECT_FALSE(RenderChoropleth(regions, MakeResult(1)).ok());
+}
+
+TEST(RenderChoroplethTest, EmptyRegionSetRejected) {
+  data::RegionSet empty;
+  EXPECT_FALSE(RenderChoropleth(empty, core::QueryResult{}).ok());
+}
+
+TEST(RenderChoroplethTest, NaNValuesRenderedAsBackground) {
+  const auto regions = testing::MakeTessellationRegions(2, 4);
+  core::QueryResult result = MakeResult(regions.size());
+  result.values[0] = std::nan("");
+  const auto render = RenderChoropleth(regions, result);
+  ASSERT_TRUE(render.ok());  // must not crash or poison the legend
+  EXPECT_TRUE(std::isfinite(render->legend_lo));
+  EXPECT_TRUE(std::isfinite(render->legend_hi));
+}
+
+TEST(RenderChoroplethTest, ExplicitScaleUsed) {
+  const auto regions = testing::MakeTessellationRegions(2, 5);
+  MapViewOptions options;
+  options.scale_lo = 0.0;
+  options.scale_hi = 1000.0;
+  const auto render = RenderChoropleth(regions, MakeResult(regions.size()),
+                                       options);
+  ASSERT_TRUE(render.ok());
+  EXPECT_DOUBLE_EQ(render->legend_lo, 0.0);
+  EXPECT_DOUBLE_EQ(render->legend_hi, 1000.0);
+}
+
+TEST(RenderChoroplethToFileTest, WritesPpm) {
+  const auto regions = testing::MakeTessellationRegions(2, 6);
+  const std::string path = ::testing::TempDir() + "/choropleth.ppm";
+  const auto render =
+      RenderChoroplethToFile(regions, MakeResult(regions.size()), path);
+  ASSERT_TRUE(render.ok());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(RenderChoroplethTest, LevelOfDetailSimplification) {
+  // Vertex-heavy regions: LOD rendering must succeed and produce a broadly
+  // similar image (same fill colors, slightly different boundaries).
+  data::RandomRegionOptions region_options;
+  region_options.count = 8;
+  region_options.vertices_per_region = 512;
+  region_options.bounds = geometry::BoundingBox(0, 0, 100, 100);
+  const data::RegionSet regions = data::GenerateRandomRegions(region_options);
+  core::QueryResult result = MakeResult(regions.size());
+  MapViewOptions plain;
+  plain.image_width = 200;
+  plain.draw_legend = false;
+  MapViewOptions lod = plain;
+  lod.simplify_tolerance_px = 1.0;
+  const auto a = RenderChoropleth(regions, result, plain);
+  const auto b = RenderChoropleth(regions, result, lod);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Images agree on the overwhelming majority of pixels.
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a->image.data().size(); ++i) {
+    if (!(a->image.data()[i] == b->image.data()[i])) ++differing;
+  }
+  EXPECT_LT(differing, a->image.data().size() / 10);
+}
+
+TEST(RenderChoroplethTest, LegendCanBeDisabled) {
+  const auto regions = testing::MakeTessellationRegions(2, 9);
+  MapViewOptions with;
+  MapViewOptions without;
+  without.draw_legend = false;
+  const auto a = RenderChoropleth(regions, MakeResult(regions.size()), with);
+  const auto b =
+      RenderChoropleth(regions, MakeResult(regions.size()), without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->image.data(), b->image.data());
+}
+
+TEST(RenderChoroplethTest, EndToEndFromQuery) {
+  const auto points = testing::MakeUniformPoints(3000, 7);
+  const auto regions = testing::MakeTessellationRegions(3, 8);
+  core::SpatialAggregation engine(points, regions);
+  const auto result = engine.Execute(core::AggregationQuery{},
+                                     core::ExecutionMethod::kAccurateRaster);
+  ASSERT_TRUE(result.ok());
+  const auto render = RenderChoropleth(regions, *result);
+  ASSERT_TRUE(render.ok());
+  EXPECT_GT(render->legend_hi, 0.0);
+}
+
+}  // namespace
+}  // namespace urbane::app

@@ -1,0 +1,101 @@
+#include "urbane/session.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_worlds.h"
+
+namespace urbane::app {
+namespace {
+
+TEST(GenerateTraceTest, DeterministicAndSized) {
+  const auto a = GenerateInteractionTrace(50, 7);
+  const auto b = GenerateInteractionTrace(50, 7);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].magnitude, b[i].magnitude);
+  }
+}
+
+TEST(GenerateTraceTest, MixesInteractionKinds) {
+  const auto trace = GenerateInteractionTrace(300, 11);
+  std::set<InteractionKind> kinds;
+  for (const auto& event : trace) {
+    kinds.insert(event.kind);
+  }
+  EXPECT_GE(kinds.size(), 4u);
+}
+
+TEST(SessionReplayTest, ProducesFramePerEvent) {
+  const auto points = testing::MakeUniformPoints(3000, 21);
+  const auto regions = testing::MakeTessellationRegions(3, 22);
+  core::RasterJoinOptions options;
+  options.resolution = 128;
+  core::SpatialAggregation engine(points, regions, options);
+  InteractionSession session(engine, "v", 0, 86400);
+  const auto trace = GenerateInteractionTrace(20, 3);
+  const auto frames =
+      session.Replay(trace, core::ExecutionMethod::kAccurateRaster);
+  ASSERT_TRUE(frames.ok()) << frames.status();
+  ASSERT_EQ(frames->size(), 20u);
+  for (const FrameRecord& frame : *frames) {
+    EXPECT_GT(frame.latency_seconds, 0.0);
+    EXPECT_GE(frame.selectivity, 0.0);
+  }
+}
+
+TEST(SessionReplayTest, ChecksumsMatchAcrossExactExecutors) {
+  const auto points = testing::MakeUniformPoints(3000, 23);
+  const auto regions = testing::MakeTessellationRegions(3, 24);
+  core::SpatialAggregation engine(points, regions);
+  InteractionSession session(engine, "v", 0, 86400);
+  const auto trace = GenerateInteractionTrace(15, 5);
+  const auto scan_frames =
+      session.Replay(trace, core::ExecutionMethod::kScan);
+  const auto raster_frames =
+      session.Replay(trace, core::ExecutionMethod::kAccurateRaster);
+  ASSERT_TRUE(scan_frames.ok());
+  ASSERT_TRUE(raster_frames.ok());
+  for (std::size_t i = 0; i < scan_frames->size(); ++i) {
+    EXPECT_NEAR((*scan_frames)[i].checksum, (*raster_frames)[i].checksum,
+                1e-6 * std::max(1.0, std::fabs((*scan_frames)[i].checksum)))
+        << "frame " << i;
+  }
+}
+
+TEST(SessionReplayTest, UnknownAttributeRejected) {
+  const auto points = testing::MakeUniformPoints(100, 25);
+  const auto regions = testing::MakeTessellationRegions(2, 26);
+  core::SpatialAggregation engine(points, regions);
+  InteractionSession session(engine, "missing", 0, 86400);
+  EXPECT_FALSE(session
+                   .Replay(GenerateInteractionTrace(3, 1),
+                           core::ExecutionMethod::kScan)
+                   .ok());
+}
+
+TEST(SummarizeFramesTest, PercentilesAndBudget) {
+  std::vector<FrameRecord> frames;
+  for (int i = 1; i <= 10; ++i) {
+    FrameRecord frame;
+    frame.kind = InteractionKind::kTimeBrushMove;
+    frame.latency_seconds = 0.02 * i;  // 20ms .. 200ms
+    frames.push_back(frame);
+  }
+  const SessionSummary summary = SummarizeFrames(frames, 0.1);
+  EXPECT_EQ(summary.frames, 10u);
+  EXPECT_EQ(summary.interactive_frames, 5u);  // 20..100ms
+  EXPECT_NEAR(summary.max_seconds, 0.2, 1e-12);
+  EXPECT_GT(summary.p95_seconds, summary.p50_seconds);
+  EXPECT_NEAR(summary.total_seconds, 1.1, 1e-9);
+}
+
+TEST(InteractionKindToStringTest, AllNamed) {
+  EXPECT_STREQ(InteractionKindToString(InteractionKind::kTimeBrushMove),
+               "brush-move");
+  EXPECT_STREQ(InteractionKindToString(InteractionKind::kPanZoom),
+               "pan-zoom");
+}
+
+}  // namespace
+}  // namespace urbane::app

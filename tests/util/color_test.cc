@@ -1,0 +1,69 @@
+#include "util/color.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane {
+namespace {
+
+TEST(ColormapTest, EndpointsMatchControlPoints) {
+  const Colormap cm = Colormap::Make(ColormapKind::kViridis);
+  EXPECT_EQ(cm.Map(0.0), cm.control_points().front());
+  EXPECT_EQ(cm.Map(1.0), cm.control_points().back());
+}
+
+TEST(ColormapTest, ClampsOutOfRangeInput) {
+  const Colormap cm = Colormap::Make(ColormapKind::kMagma);
+  EXPECT_EQ(cm.Map(-3.0), cm.Map(0.0));
+  EXPECT_EQ(cm.Map(7.0), cm.Map(1.0));
+}
+
+TEST(ColormapTest, GrayscaleMidpointIsGray) {
+  const Colormap cm = Colormap::Make(ColormapKind::kGrayscale);
+  const Rgb mid = cm.Map(0.5);
+  EXPECT_NEAR(mid.r, 128, 1);
+  EXPECT_EQ(mid.r, mid.g);
+  EXPECT_EQ(mid.g, mid.b);
+}
+
+TEST(ColormapTest, InterpolationIsMonotoneForGrayscale) {
+  const Colormap cm = Colormap::Make(ColormapKind::kGrayscale);
+  int prev = -1;
+  for (int i = 0; i <= 20; ++i) {
+    const Rgb c = cm.Map(i / 20.0);
+    EXPECT_GE(static_cast<int>(c.r), prev);
+    prev = c.r;
+  }
+}
+
+TEST(ColormapTest, MapRangeScalesValues) {
+  const Colormap cm = Colormap::Make(ColormapKind::kGrayscale);
+  EXPECT_EQ(cm.MapRange(5.0, 0.0, 10.0), cm.Map(0.5));
+  EXPECT_EQ(cm.MapRange(-1.0, 0.0, 10.0), cm.Map(0.0));
+}
+
+TEST(ColormapTest, DegenerateRangeMapsLow) {
+  const Colormap cm = Colormap::Make(ColormapKind::kViridis);
+  EXPECT_EQ(cm.MapRange(5.0, 3.0, 3.0), cm.Map(0.0));
+}
+
+TEST(ColormapTest, CustomControlPoints) {
+  const Colormap cm(std::vector<Rgb>{{0, 0, 0}, {100, 0, 0}, {200, 0, 0}});
+  EXPECT_EQ(cm.Map(0.5).r, 100);
+  EXPECT_EQ(cm.Map(0.25).r, 50);
+}
+
+TEST(ColormapTest, AllBuiltinsHaveAtLeastTwoStops) {
+  for (const ColormapKind kind :
+       {ColormapKind::kViridis, ColormapKind::kMagma,
+        ColormapKind::kBlueOrange, ColormapKind::kGrayscale}) {
+    EXPECT_GE(Colormap::Make(kind).control_points().size(), 2u);
+  }
+}
+
+TEST(RgbToHexTest, FormatsLowercaseHex) {
+  EXPECT_EQ(RgbToHex({255, 0, 16}), "#ff0010");
+  EXPECT_EQ(RgbToHex({0, 0, 0}), "#000000");
+}
+
+}  // namespace
+}  // namespace urbane

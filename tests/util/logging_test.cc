@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace urbane {
+namespace {
+
+// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotAbortOrThrow) {
+  SetLogLevel(LogLevel::kError);
+  URBANE_LOG(Debug) << "invisible " << 42;
+  URBANE_LOG(Info) << "also invisible";
+  URBANE_LOG(Warning) << "still invisible";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EnabledMessagesEmitWithoutCrashing) {
+  SetLogLevel(LogLevel::kError);
+  URBANE_LOG(Error) << "expected test error output " << 3.14;
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckPassesOnTrueCondition) {
+  URBANE_CHECK(1 + 1 == 2) << "never printed";
+  URBANE_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH(URBANE_CHECK(false) << "boom", "Check failed");
+}
+
+TEST_F(LoggingTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(URBANE_CHECK_OK(Status::Internal("bad")), "Internal: bad");
+}
+
+TEST_F(LoggingTest, FatalLogAborts) {
+  EXPECT_DEATH(URBANE_LOG(Fatal) << "fatal path", "fatal path");
+}
+
+}  // namespace
+}  // namespace urbane

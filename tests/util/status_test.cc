@@ -1,0 +1,94 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("gone").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("dup").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("far").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("pre").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("oops").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("todo").code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::IoError("disk").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::IoError("disk").message(), "disk");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status status = Status::NotFound("missing file");
+  EXPECT_EQ(status.ToString(), "NotFound: missing file");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  URBANE_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  const Status status = UseHalf(7, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+Status Chain(bool fail) {
+  URBANE_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(false).ok());
+  EXPECT_EQ(Chain(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace urbane

@@ -1,0 +1,89 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  const auto fields = SplitString("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitStringTest, PreservesEmptyFields) {
+  const auto fields = SplitString("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitStringTest, EmptyInputIsOneEmptyField) {
+  const auto fields = SplitString("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(TrimWhitespace("word"), "word");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo123"), "hello123");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("  7 ").value(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(ParseInt64Test, ParsesAndRejects) {
+  EXPECT_EQ(ParseInt64("-42").value(), -42);
+  EXPECT_EQ(ParseInt64("1230768000").value(), 1230768000);
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(StringPrintfTest, HandlesLongOutput) {
+  const std::string long_arg(5000, 'a');
+  const std::string out = StringPrintf("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+}  // namespace
+}  // namespace urbane

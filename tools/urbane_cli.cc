@@ -1,0 +1,42 @@
+// urbane_cli — interactive / scriptable shell over the Urbane engine.
+//
+//   ./build/tools/urbane_cli                 # interactive REPL
+//   ./build/tools/urbane_cli -c "gen taxi t 100000; gen regions h neighborhoods; sql SELECT COUNT(*) FROM t, h"
+//   ./build/tools/urbane_cli < script.txt    # batch mode
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "urbane/cli.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  urbane::app::CommandInterpreter interpreter;
+  if (argc >= 3 && std::strcmp(argv[1], "-c") == 0) {
+    // Semicolon-separated one-shot commands.
+    for (const auto command : urbane::SplitString(argv[2], ';')) {
+      if (!interpreter.Execute(std::string(command), std::cout)) {
+        break;
+      }
+    }
+    return 0;
+  }
+  if (argc > 1) {
+    std::cerr << "usage: urbane_cli [-c \"cmd; cmd; ...\"]\n";
+    return 2;
+  }
+  const bool interactive = isatty(0);
+  if (interactive) {
+    std::cout << "urbane_cli — type 'help' for commands\n";
+  }
+  std::string line;
+  while ((!interactive || (std::cout << "urbane> " << std::flush)) &&
+         std::getline(std::cin, line)) {
+    if (!interpreter.Execute(line, std::cout)) {
+      break;
+    }
+  }
+  return 0;
+}
