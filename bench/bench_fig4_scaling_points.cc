@@ -6,7 +6,10 @@
 // (one splat per point + canvas sweep), winning by an order of magnitude at
 // the top of the sweep.
 //
-// Pass --grid-sweep to additionally ablate the index join's cell size.
+// Pass --grid-sweep to additionally ablate the index join's cell size, or
+// --threads-sweep to run the bounded raster join at the largest scale
+// across 1/2/4/8 worker threads (URBANE_BENCH_THREADS sets the thread
+// count for the main sweep; default 1 = serial).
 #include <cstdio>
 #include <cstring>
 
@@ -15,16 +18,27 @@
 #include "core/spatial_aggregation.h"
 #include "data/region_generator.h"
 #include "data/taxi_generator.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace urbane;
   const bool grid_sweep =
       argc > 1 && std::strcmp(argv[1], "--grid-sweep") == 0;
+  const bool threads_sweep =
+      argc > 1 && std::strcmp(argv[1], "--threads-sweep") == 0;
   bench::PrintHeader(
       "Figure 4: latency vs point count",
       "COUNT per neighborhood; per-query latency (prep excluded, reported "
       "separately in Table 2).");
+
+  const std::size_t bench_threads = bench::BenchThreads();
+  ThreadPool pool(bench_threads);
+  core::ExecutionContext exec;
+  if (bench_threads > 1) {
+    exec.pool = &pool;
+    exec.num_threads = bench_threads;
+  }
 
   const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
   const std::size_t sweep[] = {
@@ -41,7 +55,9 @@ int main(int argc, char** argv) {
     data::TaxiGeneratorOptions options;
     options.num_trips = num_points;
     const data::PointTable taxis = data::GenerateTaxiTrips(options);
-    core::SpatialAggregation engine(taxis, neighborhoods);
+    core::SpatialAggregation engine(taxis, neighborhoods,
+                                    core::RasterJoinOptions(),
+                                    core::IndexJoinOptions(), exec);
     core::AggregationQuery query;
     query.aggregate = core::AggregateSpec::Count();
 
@@ -93,6 +109,41 @@ int main(int argc, char** argv) {
       ablation.AddRow({bench::ResultTable::Cell("%.0f", target),
                        FormatDuration((*join)->stats().build_seconds),
                        FormatDuration(q)});
+    }
+    ablation.Finish();
+  }
+
+  if (threads_sweep) {
+    const std::size_t num_points = sweep[5];
+    std::printf("threads ablation (bounded raster join, %zu points):\n",
+                num_points);
+    data::TaxiGeneratorOptions options;
+    options.num_trips = num_points;
+    const data::PointTable taxis = data::GenerateTaxiTrips(options);
+    core::AggregationQuery query;
+    query.aggregate = core::AggregateSpec::Count();
+    query.points = &taxis;
+    query.regions = &neighborhoods;
+    bench::ResultTable ablation("fig4_threads_sweep",
+                                {"workers", "raster", "speedup(vs 1)"});
+    double serial_seconds = 0.0;
+    for (const std::size_t workers : {1, 2, 4, 8}) {
+      ThreadPool sweep_pool(workers);
+      core::RasterJoinOptions raster_options;
+      if (workers > 1) {
+        raster_options.exec.pool = &sweep_pool;
+        raster_options.exec.num_threads = workers;
+      }
+      auto join = core::BoundedRasterJoin::Create(taxis, neighborhoods,
+                                                  raster_options);
+      if (!join.ok()) continue;
+      const double q = bench::MeasureSeconds(
+          [&] { (void)(*join)->Execute(query); });
+      if (workers == 1) serial_seconds = q;
+      ablation.AddRow({bench::ResultTable::Cell("%zu", workers),
+                       FormatDuration(q),
+                       bench::ResultTable::Cell("%.2fx",
+                                                serial_seconds / q)});
     }
     ablation.Finish();
   }

@@ -24,6 +24,15 @@ std::size_t ScaledCount(std::size_t base) {
   return std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
 }
 
+std::size_t BenchThreads() {
+  const char* env = std::getenv("URBANE_BENCH_THREADS");
+  if (env == nullptr) {
+    return 1;
+  }
+  const long threads = std::atol(env);
+  return threads < 1 ? 1 : static_cast<std::size_t>(threads);
+}
+
 double MeasureSeconds(const std::function<void()>& fn, int repeats) {
   fn();  // warm-up / lazy-build
   std::vector<double> samples;
@@ -54,31 +63,43 @@ std::string ResultTable::Cell(const char* format, ...) {
 }
 
 bool ResultTable::Finish() const {
-  // Column widths.
-  std::vector<std::size_t> widths(columns_.size(), 0);
-  for (std::size_t c = 0; c < columns_.size(); ++c) {
-    widths[c] = columns_[c].size();
+  // Every table carries a trailing `threads` column so CSV rows from
+  // different URBANE_BENCH_THREADS runs can be concatenated and still
+  // distinguish the ablation axis.
+  std::vector<std::string> columns = columns_;
+  columns.push_back("threads");
+  const std::string threads_cell = std::to_string(BenchThreads());
+  std::vector<std::vector<std::string>> rows = rows_;
+  for (auto& row : rows) {
+    row.resize(columns_.size());
+    row.push_back(threads_cell);
   }
-  for (const auto& row : rows_) {
+
+  // Column widths.
+  std::vector<std::size_t> widths(columns.size(), 0);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].size();
+  }
+  for (const auto& row : rows) {
     for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
   auto print_row = [&](const std::vector<std::string>& row) {
-    for (std::size_t c = 0; c < columns_.size(); ++c) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
       const std::string& cell = c < row.size() ? row[c] : std::string();
       std::printf("%s%-*s", c == 0 ? "  " : "  ",
                   static_cast<int>(widths[c]), cell.c_str());
     }
     std::printf("\n");
   };
-  print_row(columns_);
+  print_row(columns);
   std::size_t total = 2;
   for (const std::size_t w : widths) {
     total += w + 2;
   }
   std::printf("  %s\n", std::string(total - 2, '-').c_str());
-  for (const auto& row : rows_) {
+  for (const auto& row : rows) {
     print_row(row);
   }
   std::printf("\n");
@@ -88,8 +109,8 @@ bool ResultTable::Finish() const {
     return true;
   }
   CsvDocument doc;
-  doc.header = columns_;
-  doc.rows = rows_;
+  doc.header = columns;
+  doc.rows = rows;
   const std::string path = std::string(csv_dir) + "/" + name_ + ".csv";
   const Status status = WriteCsvFile(doc, path);
   if (!status.ok()) {

@@ -17,6 +17,12 @@ double BenchScale();
 /// base * BenchScale(), at least 1.
 std::size_t ScaledCount(std::size_t base);
 
+/// Worker threads from URBANE_BENCH_THREADS (default 1 = serial, the
+/// historical behavior). Benches pass this into ExecutionContext so the
+/// same binaries measure the threads ablation axis; every ResultTable row
+/// records it in a trailing `threads` column.
+std::size_t BenchThreads();
+
 /// Median wall-clock seconds of `fn` over `repeats` runs (after one
 /// untimed warm-up that also populates lazy caches).
 double MeasureSeconds(const std::function<void()>& fn, int repeats = 3);

@@ -18,10 +18,6 @@ StatusOr<std::unique_ptr<AccurateRasterJoin>> AccurateRasterJoin::Create(
   auto executor = std::unique_ptr<AccurateRasterJoin>(new AccurateRasterJoin(
       points, regions, options, probe->canvas()));
   executor->BuildPixelIndex();
-  executor->stamp_.assign(static_cast<std::size_t>(
-                              executor->viewport_.width()) *
-                              executor->viewport_.height(),
-                          0);
   executor->stats_.build_seconds = timer.ElapsedSeconds();
   return executor;
 }
@@ -71,88 +67,105 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
   const double build_seconds = stats_.build_seconds;
   stats_.Reset();
   stats_.build_seconds = build_seconds;
+  const ExecutionContext& exec = options_.exec;
+  stats_.threads_used = exec.EffectiveThreads();
   WallTimer timer;
 
+  WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
-                          EvaluateFilter(query.filter, points_));
+                          EvaluateFilter(query.filter, points_, exec));
+  stats_.filter_seconds = filter_timer.ElapsedSeconds();
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
+  WallTimer splat_timer;
   internal::AggregateTargets targets = internal::BuildAggregateTargets(
       viewport_, points_, selection.ids, attr, query.aggregate.kind,
-      options_.use_float32_targets, /*need_abs_sum=*/false);
+      options_.use_float32_targets, /*need_abs_sum=*/false, exec.Splat());
+  stats_.splat_seconds = splat_timer.ElapsedSeconds();
   stats_.points_scanned = selection.ids.size();
 
+  // Pass 2: regions are partitioned across the pool; each worker owns a
+  // stamp buffer and a boundary-pixel scratch list, so region sweeps share
+  // nothing mutable and every region resolves exactly as in the serial
+  // sweep (exactness is per region, so partitioning cannot change it).
+  WallTimer sweep_timer;
+  const std::size_t num_regions = regions_.size();
   QueryResult result;
-  result.values.reserve(regions_.size());
-  result.counts.reserve(regions_.size());
+  result.values.assign(num_regions, 0.0);
+  result.counts.assign(num_regions, 0);
 
-  std::vector<std::uint32_t> boundary_pixels;
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    Accumulator acc;
-    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
-      // --- boundary pixels: exact tests against this part ---
-      ++current_stamp_;
-      if (current_stamp_ == 0) {
-        std::fill(stamp_.begin(), stamp_.end(), 0);
-        current_stamp_ = 1;
-      }
-      boundary_pixels.clear();
-      raster::RasterizePolygonBoundary(
-          viewport_, part, [&](int x, int y) {
-            const std::size_t idx =
-                static_cast<std::size_t>(y) * viewport_.width() + x;
-            if (stamp_[idx] == current_stamp_) {
-              return;
+  const std::size_t num_pixels =
+      static_cast<std::size_t>(viewport_.width()) * viewport_.height();
+  std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
+  ForEachPartition(exec, num_regions, [&](std::size_t part, std::size_t begin,
+                                          std::size_t end) {
+    ExecutorStats& ws = worker_stats[part];
+    internal::StampBuffer stamp(num_pixels);
+    std::vector<std::uint32_t> boundary_pixels;
+    for (std::size_t r = begin; r < end; ++r) {
+      Accumulator acc;
+      for (const geometry::Polygon& region_part :
+           regions_[r].geometry.parts()) {
+        // --- boundary pixels: exact tests against this part ---
+        stamp.NextScope();
+        boundary_pixels.clear();
+        raster::RasterizePolygonBoundary(
+            viewport_, region_part, [&](int x, int y) {
+              const std::size_t idx =
+                  static_cast<std::size_t>(y) * viewport_.width() + x;
+              if (stamp.MarkOnce(idx)) {
+                boundary_pixels.push_back(static_cast<std::uint32_t>(idx));
+              }
+            });
+        ws.boundary_pixels += boundary_pixels.size();
+        for (const std::uint32_t pixel : boundary_pixels) {
+          const std::uint32_t pt_begin = pixel_offsets_[pixel];
+          const std::uint32_t pt_end = pixel_offsets_[pixel + 1];
+          for (std::uint32_t k = pt_begin; k < pt_end; ++k) {
+            const std::uint32_t id = pixel_points_[k];
+            if (!selection.bitmap[id]) {
+              continue;
             }
-            stamp_[idx] = current_stamp_;
-            boundary_pixels.push_back(static_cast<std::uint32_t>(idx));
-          });
-      stats_.boundary_pixels += boundary_pixels.size();
-      for (const std::uint32_t pixel : boundary_pixels) {
-        const std::uint32_t begin = pixel_offsets_[pixel];
-        const std::uint32_t end = pixel_offsets_[pixel + 1];
-        for (std::uint32_t k = begin; k < end; ++k) {
-          const std::uint32_t id = pixel_points_[k];
-          if (!selection.bitmap[id]) {
-            continue;
-          }
-          ++stats_.pip_tests;
-          const geometry::Vec2 p{points_.x(id), points_.y(id)};
-          if (part.Contains(p)) {
-            acc.Add(attr ? static_cast<double>((*attr)[id]) : 1.0);
+            ++ws.pip_tests;
+            const geometry::Vec2 p{points_.x(id), points_.y(id)};
+            if (region_part.Contains(p)) {
+              acc.Add(attr ? static_cast<double>((*attr)[id]) : 1.0);
+            }
           }
         }
-      }
 
-      // --- interior pixels: wholesale raster reduction ---
-      raster::ScanlineFillPolygon(
-          viewport_, part, [&](int y, int x_begin, int x_end) {
-            stats_.pixels_touched +=
-                static_cast<std::size_t>(x_end - x_begin);
-            const std::size_t row_base =
-                static_cast<std::size_t>(y) * viewport_.width();
-            for (int x = x_begin; x < x_end; ++x) {
-              if (stamp_[row_base + x] == current_stamp_) {
-                continue;  // boundary pixel, already handled exactly
+        // --- interior pixels: wholesale raster reduction ---
+        raster::ScanlineFillPolygon(
+            viewport_, region_part, [&](int y, int x_begin, int x_end) {
+              ws.pixels_touched += static_cast<std::size_t>(x_end - x_begin);
+              const std::size_t row_base =
+                  static_cast<std::size_t>(y) * viewport_.width();
+              for (int x = x_begin; x < x_end; ++x) {
+                if (stamp.Marked(row_base + x)) {
+                  continue;  // boundary pixel, already handled exactly
+                }
+                internal::AccumulatePixel(targets, x, y, acc);
+                ws.points_bulk += targets.count.at(x, y);
               }
-              internal::AccumulatePixel(targets, x, y, acc);
-              stats_.points_bulk += targets.count.at(x, y);
-            }
-          });
+            });
+      }
+      result.values[r] = acc.Finalize(query.aggregate.kind);
+      result.counts[r] = acc.count;
     }
-    result.values.push_back(acc.Finalize(query.aggregate.kind));
-    result.counts.push_back(acc.count);
+  });
+  for (const ExecutorStats& ws : worker_stats) {
+    stats_.MergeCounters(ws);
   }
+  stats_.sweep_seconds = sweep_timer.ElapsedSeconds();
   stats_.query_seconds = timer.ElapsedSeconds();
   return result;
 }
 
 std::size_t AccurateRasterJoin::MemoryBytes() const {
   return pixel_offsets_.capacity() * sizeof(std::uint32_t) +
-         pixel_points_.capacity() * sizeof(std::uint32_t) +
-         stamp_.capacity() * sizeof(std::uint32_t);
+         pixel_points_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace urbane::core

@@ -51,8 +51,8 @@ class AccurateRasterJoin : public SpatialAggregationExecutor {
   raster::Viewport viewport_;
   std::vector<std::uint32_t> pixel_offsets_;  // W*H + 1
   std::vector<std::uint32_t> pixel_points_;   // point ids grouped by pixel
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t current_stamp_ = 0;
+  // Boundary-pixel dedup scratch is per sweep worker (see
+  // internal::StampBuffer); Execute holds no shared mutable state.
   ExecutorStats stats_;
 };
 

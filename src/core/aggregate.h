@@ -109,10 +109,25 @@ struct ExecutorStats {
   std::size_t pip_tests = 0;            // exact point-in-polygon tests run
   std::size_t pixels_touched = 0;       // raster: canvas pixels visited
   std::size_t boundary_pixels = 0;      // raster: boundary cells visited
+  std::size_t threads_used = 0;         // partitions of the last Execute
   double build_seconds = 0.0;           // one-time prep (index build, splat)
   double query_seconds = 0.0;           // per-query time
+  double filter_seconds = 0.0;          // per-pass: filter evaluation
+  double splat_seconds = 0.0;           // per-pass: point splat (pass 1)
+  double sweep_seconds = 0.0;           // per-pass: region sweep (pass 2)
 
   void Reset() { *this = ExecutorStats(); }
+
+  /// Folds one worker's counters into this (parallel executors keep
+  /// per-worker stats to avoid sharing; timings are not summed — wall
+  /// times overlap across workers and are recorded by the coordinator).
+  void MergeCounters(const ExecutorStats& other) {
+    points_scanned += other.points_scanned;
+    points_bulk += other.points_bulk;
+    pip_tests += other.pip_tests;
+    pixels_touched += other.pixels_touched;
+    boundary_pixels += other.boundary_pixels;
+  }
 };
 
 }  // namespace urbane::core

@@ -1,0 +1,89 @@
+#ifndef URBANE_CORE_EXECUTION_CONTEXT_H_
+#define URBANE_CORE_EXECUTION_CONTEXT_H_
+
+#include <cstddef>
+
+#include "raster/point_splat.h"
+#include "util/thread_pool.h"
+
+namespace urbane::core {
+
+/// How an executor spreads one query over cores. The default is serial,
+/// keeping existing behavior, benches and bit-exactness unchanged; set
+/// `num_threads > 1` (or 0 for "all") to parallelize the hot path.
+///
+/// Determinism contract: for a fixed `num_threads`, results are
+/// reproducible regardless of pool size or scheduling, because every
+/// parallel stage partitions work by `num_threads` and reduces partials in
+/// partition order. Integer aggregates (COUNT) are bit-identical to the
+/// serial result at every thread count; float SUM/AVG may differ from the
+/// serial summation order within 1e-6-relative (MIN/MAX stay exact — min
+/// and max are order-independent).
+struct ExecutionContext {
+  /// Worker pool to run on; null means `DefaultThreadPool()` whenever
+  /// `num_threads` asks for parallelism. Borrowed — must outlive queries.
+  ThreadPool* pool = nullptr;
+  /// Partition count. 1 = serial (default); 0 = one per pool worker.
+  std::size_t num_threads = 1;
+  /// Workload floor (points / rows) under which stages stay serial.
+  std::size_t min_parallel_points = raster::kDefaultParallelSplatMinPoints;
+
+  /// Resolved partition count (>= 1).
+  std::size_t EffectiveThreads() const {
+    if (num_threads == 1) return 1;
+    if (num_threads > 1) return num_threads;
+    const ThreadPool* p = pool != nullptr ? pool : DefaultThreadPool();
+    return p->num_threads() == 0 ? 1 : p->num_threads();
+  }
+
+  /// Pool to run on, or null when execution is serial.
+  ThreadPool* EffectivePool() const {
+    if (EffectiveThreads() <= 1) return nullptr;
+    return pool != nullptr ? pool : DefaultThreadPool();
+  }
+
+  bool IsSerial() const { return EffectivePool() == nullptr; }
+
+  /// The same knobs in the raster layer's vocabulary (pass-1 splats).
+  raster::SplatParallelism Splat() const {
+    raster::SplatParallelism par;
+    par.pool = EffectivePool();
+    par.partitions = EffectiveThreads();
+    par.min_points = min_parallel_points;
+    return par;
+  }
+};
+
+/// Runs `body(partition, begin, end)` for each of `EffectiveThreads()`
+/// contiguous partitions of `[0, count)`, blocking until all finish; runs
+/// inline when the context is serial. Unlike `ParallelFor`, the partition
+/// count is fixed by the context — not by pool size or load — so callers
+/// can keep per-partition state (stamp buffers, stats, accumulators) and
+/// reduce it in partition order, making results reproducible for a given
+/// `num_threads` on any machine.
+template <typename Body>
+void ForEachPartition(const ExecutionContext& exec, std::size_t count,
+                      Body&& body) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t parts = exec.EffectiveThreads();
+  ThreadPool* pool = exec.EffectivePool();
+  if (pool == nullptr || parts <= 1) {
+    body(std::size_t{0}, std::size_t{0}, count);
+    return;
+  }
+  const std::size_t chunk = (count + parts - 1) / parts;
+  ThreadPool::Batch batch = pool->CreateBatch();
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t begin = p * chunk;
+    const std::size_t end = begin + chunk < count ? begin + chunk : count;
+    if (begin >= end) break;
+    batch.Submit([&body, p, begin, end] { body(p, begin, end); });
+  }
+  batch.Wait();
+}
+
+}  // namespace urbane::core
+
+#endif  // URBANE_CORE_EXECUTION_CONTEXT_H_

@@ -48,6 +48,12 @@ bool CompiledFilter::Matches(const data::PointTable& table,
 
 StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
                                          const data::PointTable& table) {
+  return EvaluateFilter(spec, table, ExecutionContext());
+}
+
+StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
+                                         const data::PointTable& table,
+                                         const ExecutionContext& exec) {
   URBANE_ASSIGN_OR_RETURN(CompiledFilter compiled,
                           CompiledFilter::Compile(spec, table));
   FilterSelection selection;
@@ -61,13 +67,61 @@ StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
     }
     return selection;
   }
-  selection.ids.reserve(n / 4);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (compiled.Matches(table, i)) {
-      selection.bitmap[i] = 1;
-      selection.ids.push_back(static_cast<std::uint32_t>(i));
+  ThreadPool* pool = exec.EffectivePool();
+  const std::size_t parts = exec.EffectiveThreads();
+  if (pool == nullptr || parts <= 1 || n < exec.min_parallel_points) {
+    selection.ids.reserve(n / 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (compiled.Matches(table, i)) {
+        selection.bitmap[i] = 1;
+        selection.ids.push_back(static_cast<std::uint32_t>(i));
+      }
     }
+    return selection;
   }
+  // Pass A: partitioned predicate evaluation into the bitmap, counting
+  // survivors per partition.
+  const std::size_t chunk = (n + parts - 1) / parts;
+  std::vector<std::size_t> counts(parts, 0);
+  ThreadPool::Batch batch = pool->CreateBatch();
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t begin = p * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    batch.Submit([&, p, begin, end] {
+      std::size_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (compiled.Matches(table, i)) {
+          selection.bitmap[i] = 1;
+          ++local;
+        }
+      }
+      counts[p] = local;
+    });
+  }
+  batch.Wait();
+  // Pass B: prefix offsets, then each partition writes its ids in place —
+  // the id list comes out ascending, identical to the serial scan.
+  std::vector<std::size_t> offsets(parts + 1, 0);
+  for (std::size_t p = 0; p < parts; ++p) {
+    offsets[p + 1] = offsets[p] + counts[p];
+  }
+  selection.ids.resize(offsets[parts]);
+  ThreadPool::Batch fill = pool->CreateBatch();
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t begin = p * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    fill.Submit([&, p, begin, end] {
+      std::size_t cursor = offsets[p];
+      for (std::size_t i = begin; i < end; ++i) {
+        if (selection.bitmap[i]) {
+          selection.ids[cursor++] = static_cast<std::uint32_t>(i);
+        }
+      }
+    });
+  }
+  fill.Wait();
   return selection;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/execution_context.h"
 #include "data/point_table.h"
 #include "geometry/bounding_box.h"
 #include "util/status.h"
@@ -103,6 +104,14 @@ struct FilterSelection {
 /// Evaluates the filter over every row.
 StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
                                          const data::PointTable& table);
+
+/// Parallel variant: rows are partitioned across `exec`'s pool, per-chunk
+/// survivor counts are prefix-summed, and the id list is written in place,
+/// so the output (bitmap and ascending ids) is identical to the serial
+/// evaluation at every thread count.
+StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
+                                         const data::PointTable& table,
+                                         const ExecutionContext& exec);
 
 }  // namespace urbane::core
 

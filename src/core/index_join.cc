@@ -20,7 +20,7 @@ StatusOr<std::unique_ptr<IndexJoin>> IndexJoin::Create(
       index::GridIndex::BuildAuto(points.xs(), points.ys(), points.size(),
                                   bounds, options.target_points_per_cell));
   auto executor = std::unique_ptr<IndexJoin>(
-      new IndexJoin(points, regions, std::move(grid)));
+      new IndexJoin(points, regions, std::move(grid), options));
   executor->stats_.build_seconds = timer.ElapsedSeconds();
   return executor;
 }
@@ -48,46 +48,63 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
     return attr ? static_cast<double>((*attr)[id]) : 1.0;
   };
 
+  // Regions are independent probes of a read-only grid, so they partition
+  // across the pool; each region's accumulator is private to one worker
+  // and results land in preallocated region slots.
+  const ExecutionContext& exec = options_.exec;
+  stats_.threads_used = exec.EffectiveThreads();
+  const std::size_t num_regions = regions_.size();
   QueryResult result;
-  result.values.reserve(regions_.size());
-  result.counts.reserve(regions_.size());
+  result.values.assign(num_regions, 0.0);
+  result.counts.assign(num_regions, 0);
+  std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
 
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    Accumulator acc;
-    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
-      grid_.ClassifyCells(
-          part,
-          /*interior=*/
-          [&](int cx, int cy) {
-            const std::uint32_t* begin = grid_.CellBegin(cx, cy);
-            const std::uint32_t* end = grid_.CellEnd(cx, cy);
-            for (const std::uint32_t* it = begin; it != end; ++it) {
-              if (!trivial_filter && !filter.Matches(points_, *it)) {
-                continue;
-              }
-              acc.Add(value_of(*it));
-              ++stats_.points_bulk;
-            }
-          },
-          /*boundary=*/
-          [&](int cx, int cy) {
-            const std::uint32_t* begin = grid_.CellBegin(cx, cy);
-            const std::uint32_t* end = grid_.CellEnd(cx, cy);
-            for (const std::uint32_t* it = begin; it != end; ++it) {
-              if (!trivial_filter && !filter.Matches(points_, *it)) {
-                continue;
-              }
-              ++stats_.pip_tests;
-              const geometry::Vec2 p{points_.x(*it), points_.y(*it)};
-              if (part.Contains(p)) {
+  ForEachPartition(exec, num_regions, [&](std::size_t part_index,
+                                          std::size_t begin,
+                                          std::size_t end) {
+    ExecutorStats& ws = worker_stats[part_index];
+    for (std::size_t r = begin; r < end; ++r) {
+      Accumulator acc;
+      for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
+        grid_.ClassifyCells(
+            part,
+            /*interior=*/
+            [&](int cx, int cy) {
+              const std::uint32_t* cell_begin = grid_.CellBegin(cx, cy);
+              const std::uint32_t* cell_end = grid_.CellEnd(cx, cy);
+              for (const std::uint32_t* it = cell_begin; it != cell_end;
+                   ++it) {
+                if (!trivial_filter && !filter.Matches(points_, *it)) {
+                  continue;
+                }
                 acc.Add(value_of(*it));
-                ++stats_.points_scanned;
+                ++ws.points_bulk;
               }
-            }
-          });
+            },
+            /*boundary=*/
+            [&](int cx, int cy) {
+              const std::uint32_t* cell_begin = grid_.CellBegin(cx, cy);
+              const std::uint32_t* cell_end = grid_.CellEnd(cx, cy);
+              for (const std::uint32_t* it = cell_begin; it != cell_end;
+                   ++it) {
+                if (!trivial_filter && !filter.Matches(points_, *it)) {
+                  continue;
+                }
+                ++ws.pip_tests;
+                const geometry::Vec2 p{points_.x(*it), points_.y(*it)};
+                if (part.Contains(p)) {
+                  acc.Add(value_of(*it));
+                  ++ws.points_scanned;
+                }
+              }
+            });
+      }
+      result.values[r] = acc.Finalize(query.aggregate.kind);
+      result.counts[r] = acc.count;
     }
-    result.values.push_back(acc.Finalize(query.aggregate.kind));
-    result.counts.push_back(acc.count);
+  });
+  for (const ExecutorStats& ws : worker_stats) {
+    stats_.MergeCounters(ws);
   }
 
   stats_.query_seconds = timer.ElapsedSeconds();

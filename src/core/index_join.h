@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "core/execution_context.h"
 #include "core/query.h"
 #include "index/grid_index.h"
 
@@ -13,6 +14,10 @@ struct IndexJoinOptions {
   /// Target points per grid cell (index granularity). The F4 `--grid-sweep`
   /// ablation varies this.
   double target_points_per_cell = 64.0;
+  /// Execution parallelism: region probes are partitioned across the pool
+  /// (the grid is read-only; each region's accumulator is private).
+  /// Default serial.
+  ExecutionContext exec;
 };
 
 /// Exact index-based join baseline: a uniform grid is built over the points
@@ -38,12 +43,16 @@ class IndexJoin : public SpatialAggregationExecutor {
 
  private:
   IndexJoin(const data::PointTable& points, const data::RegionSet& regions,
-            index::GridIndex grid)
-      : points_(points), regions_(regions), grid_(std::move(grid)) {}
+            index::GridIndex grid, const IndexJoinOptions& options)
+      : points_(points),
+        regions_(regions),
+        grid_(std::move(grid)),
+        options_(options) {}
 
   const data::PointTable& points_;
   const data::RegionSet& regions_;
   index::GridIndex grid_;
+  IndexJoinOptions options_;
   ExecutorStats stats_;
 };
 

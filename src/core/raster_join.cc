@@ -71,8 +71,6 @@ StatusOr<std::unique_ptr<BoundedRasterJoin>> BoundedRasterJoin::Create(
   raster::Viewport viewport = MakeCanvas(world, options.resolution);
   auto executor = std::unique_ptr<BoundedRasterJoin>(
       new BoundedRasterJoin(points, regions, options, viewport));
-  executor->stamp_.assign(
-      static_cast<std::size_t>(viewport.width()) * viewport.height(), 0);
   executor->stats_.build_seconds = timer.ElapsedSeconds();
   return executor;
 }
@@ -87,83 +85,103 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
   const double build_seconds = stats_.build_seconds;
   stats_.Reset();
   stats_.build_seconds = build_seconds;
+  const ExecutionContext& exec = options_.exec;
+  stats_.threads_used = exec.EffectiveThreads();
   WallTimer timer;
 
   // --- filter + pass 1: splat the surviving points onto the canvas ---
+  WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
-                          EvaluateFilter(query.filter, points_));
+                          EvaluateFilter(query.filter, points_, exec));
+  stats_.filter_seconds = filter_timer.ElapsedSeconds();
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
   // abs-sum targets only bound SUM's error; COUNT/AVG/MIN/MAX report the
   // boundary point count (see QueryResult::error_bounds docs).
+  WallTimer splat_timer;
   internal::AggregateTargets targets = internal::BuildAggregateTargets(
       viewport_, points_, selection.ids, attr, query.aggregate.kind,
       options_.use_float32_targets,
       /*need_abs_sum=*/options_.compute_error_bounds &&
-          query.aggregate.kind == AggregateKind::kSum);
+          query.aggregate.kind == AggregateKind::kSum,
+      exec.Splat());
+  stats_.splat_seconds = splat_timer.ElapsedSeconds();
   stats_.points_scanned = selection.ids.size();
 
-  // --- pass 2: sweep each region over the canvas ---
+  // --- pass 2: sweep the regions over the canvas, one contiguous region
+  //     range per worker; every region's answer is computed exactly as in
+  //     the serial sweep, so parallelism cannot change the result ---
+  WallTimer sweep_timer;
+  const std::size_t num_regions = regions_.size();
   QueryResult result;
-  result.values.reserve(regions_.size());
-  result.counts.reserve(regions_.size());
+  result.values.assign(num_regions, 0.0);
+  result.counts.assign(num_regions, 0);
   if (options_.compute_error_bounds) {
-    result.error_bounds.reserve(regions_.size());
+    result.error_bounds.assign(num_regions, 0.0);
   }
 
   const bool sum_bound = targets.need_abs_sum;
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    Accumulator acc;
-    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
-      if (options_.use_triangle_pipeline) {
-        raster::RasterizePolygonTriangles(
-            viewport_, part, [&](int x, int y) {
-              ++stats_.pixels_touched;
-              internal::AccumulatePixel(targets, x, y, acc);
-            });
-      } else {
-        raster::ScanlineFillPolygon(
-            viewport_, part, [&](int y, int x_begin, int x_end) {
-              stats_.pixels_touched +=
-                  static_cast<std::size_t>(x_end - x_begin);
-              for (int x = x_begin; x < x_end; ++x) {
+  const std::size_t num_pixels =
+      static_cast<std::size_t>(viewport_.width()) * viewport_.height();
+  std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
+  ForEachPartition(exec, num_regions, [&](std::size_t part, std::size_t begin,
+                                          std::size_t end) {
+    ExecutorStats& ws = worker_stats[part];
+    internal::StampBuffer stamp(options_.compute_error_bounds ? num_pixels
+                                                              : 0);
+    for (std::size_t r = begin; r < end; ++r) {
+      Accumulator acc;
+      for (const geometry::Polygon& region_part : regions_[r].geometry.parts()) {
+        if (options_.use_triangle_pipeline) {
+          raster::RasterizePolygonTriangles(
+              viewport_, region_part, [&](int x, int y) {
+                ++ws.pixels_touched;
                 internal::AccumulatePixel(targets, x, y, acc);
-              }
-            });
+              });
+        } else {
+          raster::ScanlineFillPolygon(
+              viewport_, region_part, [&](int y, int x_begin, int x_end) {
+                ws.pixels_touched +=
+                    static_cast<std::size_t>(x_end - x_begin);
+                for (int x = x_begin; x < x_end; ++x) {
+                  internal::AccumulatePixel(targets, x, y, acc);
+                }
+              });
+        }
       }
-    }
-    result.values.push_back(acc.Finalize(query.aggregate.kind));
-    result.counts.push_back(acc.count);
+      result.values[r] = acc.Finalize(query.aggregate.kind);
+      result.counts[r] = acc.count;
 
-    if (options_.compute_error_bounds) {
-      // Error is confined to pixels the region boundary passes through;
-      // bound it by the aggregate mass sitting in those pixels.
-      ++current_stamp_;
-      if (current_stamp_ == 0) {  // wrapped: reset the stamp buffer
-        std::fill(stamp_.begin(), stamp_.end(), 0);
-        current_stamp_ = 1;
+      if (options_.compute_error_bounds) {
+        // Error is confined to pixels the region boundary passes through;
+        // bound it by the aggregate mass sitting in those pixels.
+        stamp.NextScope();
+        double bound = 0.0;
+        for (const geometry::Polygon& region_part :
+             regions_[r].geometry.parts()) {
+          raster::RasterizePolygonBoundary(
+              viewport_, region_part, [&](int x, int y) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(y) * viewport_.width() + x;
+                if (!stamp.MarkOnce(idx)) {
+                  return;
+                }
+                ++ws.boundary_pixels;
+                bound += sum_bound
+                             ? targets.abs_sum.at(x, y)
+                             : static_cast<double>(targets.count.at(x, y));
+              });
+        }
+        result.error_bounds[r] = bound;
       }
-      double bound = 0.0;
-      for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
-        raster::RasterizePolygonBoundary(
-            viewport_, part, [&](int x, int y) {
-              const std::size_t idx =
-                  static_cast<std::size_t>(y) * viewport_.width() + x;
-              if (stamp_[idx] == current_stamp_) {
-                return;
-              }
-              stamp_[idx] = current_stamp_;
-              ++stats_.boundary_pixels;
-              bound += sum_bound
-                           ? targets.abs_sum.at(x, y)
-                           : static_cast<double>(targets.count.at(x, y));
-            });
-      }
-      result.error_bounds.push_back(bound);
     }
+  });
+  for (const ExecutorStats& ws : worker_stats) {
+    stats_.MergeCounters(ws);
   }
+  stats_.sweep_seconds = sweep_timer.ElapsedSeconds();
   stats_.query_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -214,18 +232,25 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
   const double build_seconds = stats_.build_seconds;
   stats_.Reset();
   stats_.build_seconds = build_seconds;
+  const ExecutionContext& exec = options_.exec;
+  const raster::SplatParallelism splat_par = exec.Splat();
+  stats_.threads_used = exec.EffectiveThreads();
   WallTimer timer;
 
+  WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
-                          EvaluateFilter(queries.front().filter, points_));
+                          EvaluateFilter(queries.front().filter, points_,
+                                         exec));
+  stats_.filter_seconds = filter_timer.ElapsedSeconds();
   stats_.points_scanned = selection.ids.size();
 
   // --- shared pass 1: one count splat + one sum / min-max splat per
   //     distinct attribute the batch touches ---
+  WallTimer splat_timer;
   raster::Buffer2D<std::uint32_t> count(viewport_.width(),
                                         viewport_.height(), 0);
-  raster::SplatPointsSubset(
-      viewport_, points_.xs(), points_.ys(), selection.ids,
+  raster::ParallelSplatPointsSubset(
+      splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
       raster::BlendOp::kAdd, [](std::size_t) { return 1u; }, count);
 
   struct AttrTargets {
@@ -249,8 +274,8 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
       targets.has_sum = true;
       targets.sum =
           raster::Buffer2D<double>(viewport_.width(), viewport_.height(), 0);
-      raster::SplatPointsSubset(
-          viewport_, points_.xs(), points_.ys(), selection.ids,
+      raster::ParallelSplatPointsSubset(
+          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
           raster::BlendOp::kAdd,
           [&](std::size_t i) { return static_cast<double>(column[i]); },
           targets.sum);
@@ -259,8 +284,8 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
       targets.has_abs = true;
       targets.abs_sum =
           raster::Buffer2D<double>(viewport_.width(), viewport_.height(), 0);
-      raster::SplatPointsSubset(
-          viewport_, points_.xs(), points_.ys(), selection.ids,
+      raster::ParallelSplatPointsSubset(
+          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
           raster::BlendOp::kAdd,
           [&](std::size_t i) {
             return std::abs(static_cast<double>(column[i]));
@@ -274,112 +299,134 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
       targets.min_value = raster::Buffer2D<float>(
           viewport_.width(), viewport_.height(),
           std::numeric_limits<float>::infinity());
-      raster::SplatPointsSubset(
-          viewport_, points_.xs(), points_.ys(), selection.ids,
+      raster::ParallelSplatPointsSubset(
+          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
           raster::BlendOp::kMin, [&](std::size_t i) { return column[i]; },
           targets.min_value);
       targets.max_value = raster::Buffer2D<float>(
           viewport_.width(), viewport_.height(),
           -std::numeric_limits<float>::infinity());
-      raster::SplatPointsSubset(
-          viewport_, points_.xs(), points_.ys(), selection.ids,
+      raster::ParallelSplatPointsSubset(
+          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
           raster::BlendOp::kMax, [&](std::size_t i) { return column[i]; },
           targets.max_value);
     }
   }
+  stats_.splat_seconds = splat_timer.ElapsedSeconds();
 
-  // --- shared pass 2: sweep each region once, feeding every aggregate ---
-  std::vector<QueryResult> results(queries.size());
-  for (QueryResult& result : results) {
-    result.values.reserve(regions_.size());
-    result.counts.reserve(regions_.size());
-    if (options_.compute_error_bounds) {
-      result.error_bounds.reserve(regions_.size());
+  // Resolve each query's targets once; the sweep reads the map no more.
+  std::vector<const AttrTargets*> query_targets(queries.size(), nullptr);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (queries[q].aggregate.NeedsAttribute()) {
+      query_targets[q] = &per_attr.at(queries[q].aggregate.attribute);
     }
   }
-  std::vector<Accumulator> accumulators(queries.size());
-  for (std::size_t r = 0; r < regions_.size(); ++r) {
-    std::fill(accumulators.begin(), accumulators.end(), Accumulator());
-    for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
-      raster::ScanlineFillPolygon(
-          viewport_, part, [&](int y, int x_begin, int x_end) {
-            stats_.pixels_touched +=
-                static_cast<std::size_t>(x_end - x_begin);
-            for (int x = x_begin; x < x_end; ++x) {
-              const std::uint32_t c = count.at(x, y);
-              if (c == 0) continue;
-              for (std::size_t q = 0; q < queries.size(); ++q) {
-                const AggregateSpec& spec = queries[q].aggregate;
-                Accumulator& acc = accumulators[q];
-                if (!spec.NeedsAttribute()) {
-                  acc.AddBulk(c, 0.0);
-                  continue;
-                }
-                const AttrTargets& targets = per_attr[spec.attribute];
-                switch (spec.kind) {
-                  case AggregateKind::kSum:
-                  case AggregateKind::kAvg:
-                    acc.AddBulk(c, targets.sum.at(x, y));
-                    break;
-                  case AggregateKind::kMin:
-                  case AggregateKind::kMax:
-                    acc.AddBulk(c, 0.0);
-                    acc.MergeMinMax(targets.min_value.at(x, y),
-                                    targets.max_value.at(x, y));
-                    break;
-                  default:
-                    acc.AddBulk(c, 0.0);
-                }
-              }
-            }
-          });
-    }
-    // Error bounds share one boundary rasterization per region.
-    std::vector<double> count_bound(1, 0.0);
-    std::map<std::string, double> abs_bound;
+
+  // --- shared pass 2: sweep each region once, feeding every aggregate;
+  //     regions are partitioned across the pool ---
+  WallTimer sweep_timer;
+  const std::size_t num_regions = regions_.size();
+  std::vector<QueryResult> results(queries.size());
+  for (QueryResult& result : results) {
+    result.values.assign(num_regions, 0.0);
+    result.counts.assign(num_regions, 0);
     if (options_.compute_error_bounds) {
-      ++current_stamp_;
-      if (current_stamp_ == 0) {
-        std::fill(stamp_.begin(), stamp_.end(), 0);
-        current_stamp_ = 1;
-      }
-      double boundary_count = 0.0;
-      for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
-        raster::RasterizePolygonBoundary(
-            viewport_, part, [&](int x, int y) {
-              const std::size_t idx =
-                  static_cast<std::size_t>(y) * viewport_.width() + x;
-              if (stamp_[idx] == current_stamp_) return;
-              stamp_[idx] = current_stamp_;
-              ++stats_.boundary_pixels;
-              boundary_count += count.at(x, y);
-              for (auto& [name, targets] : per_attr) {
-                if (targets.has_abs) {
-                  abs_bound[name] += targets.abs_sum.at(x, y);
+      result.error_bounds.assign(num_regions, 0.0);
+    }
+  }
+  const std::size_t num_pixels =
+      static_cast<std::size_t>(viewport_.width()) * viewport_.height();
+  std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
+  ForEachPartition(exec, num_regions, [&](std::size_t part, std::size_t begin,
+                                          std::size_t end) {
+    ExecutorStats& ws = worker_stats[part];
+    internal::StampBuffer stamp(options_.compute_error_bounds ? num_pixels
+                                                              : 0);
+    std::vector<Accumulator> accumulators(queries.size());
+    for (std::size_t r = begin; r < end; ++r) {
+      std::fill(accumulators.begin(), accumulators.end(), Accumulator());
+      for (const geometry::Polygon& region_part :
+           regions_[r].geometry.parts()) {
+        raster::ScanlineFillPolygon(
+            viewport_, region_part, [&](int y, int x_begin, int x_end) {
+              ws.pixels_touched += static_cast<std::size_t>(x_end - x_begin);
+              for (int x = x_begin; x < x_end; ++x) {
+                const std::uint32_t c = count.at(x, y);
+                if (c == 0) continue;
+                for (std::size_t q = 0; q < queries.size(); ++q) {
+                  const AggregateSpec& spec = queries[q].aggregate;
+                  Accumulator& acc = accumulators[q];
+                  if (!spec.NeedsAttribute()) {
+                    acc.AddBulk(c, 0.0);
+                    continue;
+                  }
+                  const AttrTargets& targets = *query_targets[q];
+                  switch (spec.kind) {
+                    case AggregateKind::kSum:
+                    case AggregateKind::kAvg:
+                      acc.AddBulk(c, targets.sum.at(x, y));
+                      break;
+                    case AggregateKind::kMin:
+                    case AggregateKind::kMax:
+                      acc.AddBulk(c, 0.0);
+                      acc.MergeMinMax(targets.min_value.at(x, y),
+                                      targets.max_value.at(x, y));
+                      break;
+                    default:
+                      acc.AddBulk(c, 0.0);
+                  }
                 }
               }
             });
       }
-      count_bound[0] = boundary_count;
-    }
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      results[q].values.push_back(
-          accumulators[q].Finalize(queries[q].aggregate.kind));
-      results[q].counts.push_back(accumulators[q].count);
+      // Error bounds share one boundary rasterization per region.
+      double count_bound = 0.0;
+      std::map<std::string, double> abs_bound;
       if (options_.compute_error_bounds) {
-        const AggregateSpec& spec = queries[q].aggregate;
-        const bool sum_like = spec.kind == AggregateKind::kSum;
-        results[q].error_bounds.push_back(
-            sum_like ? abs_bound[spec.attribute] : count_bound[0]);
+        stamp.NextScope();
+        for (const geometry::Polygon& region_part :
+             regions_[r].geometry.parts()) {
+          raster::RasterizePolygonBoundary(
+              viewport_, region_part, [&](int x, int y) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(y) * viewport_.width() + x;
+                if (!stamp.MarkOnce(idx)) return;
+                ++ws.boundary_pixels;
+                count_bound += count.at(x, y);
+                for (const auto& [name, targets] : per_attr) {
+                  if (targets.has_abs) {
+                    abs_bound[name] += targets.abs_sum.at(x, y);
+                  }
+                }
+              });
+        }
+      }
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        results[q].values[r] =
+            accumulators[q].Finalize(queries[q].aggregate.kind);
+        results[q].counts[r] = accumulators[q].count;
+        if (options_.compute_error_bounds) {
+          const AggregateSpec& spec = queries[q].aggregate;
+          const bool sum_like = spec.kind == AggregateKind::kSum;
+          results[q].error_bounds[r] =
+              sum_like ? abs_bound[spec.attribute] : count_bound;
+        }
       }
     }
+  });
+  for (const ExecutorStats& ws : worker_stats) {
+    stats_.MergeCounters(ws);
   }
+  stats_.sweep_seconds = sweep_timer.ElapsedSeconds();
   stats_.query_seconds = timer.ElapsedSeconds();
   return results;
 }
 
 std::size_t BoundedRasterJoin::MemoryBytes() const {
-  return stamp_.capacity() * sizeof(std::uint32_t);
+  // Raster Join keeps no persistent point structures — render targets and
+  // per-worker stamp scratch are per-query — which is exactly the paper's
+  // "no preprocessing" story (Table 2).
+  return 0;
 }
 
 }  // namespace urbane::core

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/execution_context.h"
 #include "core/query.h"
 #include "raster/buffer.h"
 #include "raster/viewport.h"
@@ -33,6 +34,11 @@ struct RasterJoinOptions {
   /// the GPU implementation (default double keeps SUM/AVG bit-comparable to
   /// the scan oracle).
   bool use_float32_targets = false;
+  /// Parallelism of the query path: filter evaluation, the point splat
+  /// (pass 1, partial-buffer reduction) and the region sweep (pass 2, one
+  /// region range per worker). Default serial — identical to the
+  /// historical single-core behavior.
+  ExecutionContext exec;
 };
 
 /// Canvas construction shared by the executors and the resolution planner.
@@ -97,9 +103,9 @@ class BoundedRasterJoin : public SpatialAggregationExecutor {
   const data::RegionSet& regions_;
   RasterJoinOptions options_;
   raster::Viewport viewport_;
-  // Stamp buffer for per-region boundary-pixel dedup without clearing.
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t current_stamp_ = 0;
+  // Boundary-pixel dedup scratch lives per sweep worker (see
+  // internal::StampBuffer), so Execute holds no shared mutable state
+  // across regions.
   ExecutorStats stats_;
 };
 

@@ -34,11 +34,13 @@ struct AggregateTargets {
 
 /// Splats the selected rows of `table` into fresh targets.
 /// `attr` is the aggregate attribute column (nullptr for COUNT).
+/// `par` spreads each splat over a pool (default: serial).
 inline AggregateTargets BuildAggregateTargets(
     const raster::Viewport& vp, const data::PointTable& table,
     const std::vector<std::uint32_t>& selected_ids,
     const std::vector<float>* attr, AggregateKind kind, bool float32,
-    bool need_abs_sum) {
+    bool need_abs_sum,
+    const raster::SplatParallelism& par = raster::SplatParallelism()) {
   AggregateTargets t;
   t.float32 = float32;
   t.need_sum = kind == AggregateKind::kSum || kind == AggregateKind::kAvg;
@@ -46,27 +48,30 @@ inline AggregateTargets BuildAggregateTargets(
   t.need_abs_sum = need_abs_sum && t.need_sum;
 
   t.count = raster::Buffer2D<std::uint32_t>(vp.width(), vp.height(), 0);
-  raster::SplatPointsSubset(
-      vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+  raster::ParallelSplatPointsSubset(
+      par, vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
       [](std::size_t) { return 1u; }, t.count);
 
   if (t.need_sum) {
     if (float32) {
       t.sum32 = raster::Buffer2D<float>(vp.width(), vp.height(), 0.0f);
-      raster::SplatPointsSubset(
-          vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
-          [&](std::size_t i) { return (*attr)[i]; }, t.sum32);
+      raster::ParallelSplatPointsSubset(
+          par, vp, table.xs(), table.ys(), selected_ids,
+          raster::BlendOp::kAdd, [&](std::size_t i) { return (*attr)[i]; },
+          t.sum32);
     } else {
       t.sum = raster::Buffer2D<double>(vp.width(), vp.height(), 0.0);
-      raster::SplatPointsSubset(
-          vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+      raster::ParallelSplatPointsSubset(
+          par, vp, table.xs(), table.ys(), selected_ids,
+          raster::BlendOp::kAdd,
           [&](std::size_t i) { return static_cast<double>((*attr)[i]); },
           t.sum);
     }
     if (t.need_abs_sum) {
       t.abs_sum = raster::Buffer2D<double>(vp.width(), vp.height(), 0.0);
-      raster::SplatPointsSubset(
-          vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+      raster::ParallelSplatPointsSubset(
+          par, vp, table.xs(), table.ys(), selected_ids,
+          raster::BlendOp::kAdd,
           [&](std::size_t i) {
             return std::abs(static_cast<double>((*attr)[i]));
           },
@@ -76,13 +81,13 @@ inline AggregateTargets BuildAggregateTargets(
   if (t.need_minmax) {
     t.min_value = raster::Buffer2D<float>(
         vp.width(), vp.height(), std::numeric_limits<float>::infinity());
-    raster::SplatPointsSubset(
-        vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMin,
+    raster::ParallelSplatPointsSubset(
+        par, vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMin,
         [&](std::size_t i) { return (*attr)[i]; }, t.min_value);
     t.max_value = raster::Buffer2D<float>(
         vp.width(), vp.height(), -std::numeric_limits<float>::infinity());
-    raster::SplatPointsSubset(
-        vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMax,
+    raster::ParallelSplatPointsSubset(
+        par, vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMax,
         [&](std::size_t i) { return (*attr)[i]; }, t.max_value);
   }
   return t;
@@ -100,6 +105,41 @@ inline void AccumulatePixel(const AggregateTargets& t, int x, int y,
     acc.MergeMinMax(t.min_value.at(x, y), t.max_value.at(x, y));
   }
 }
+
+/// Per-worker boundary-pixel dedup scratch: a stamp buffer avoids clearing
+/// a W*H bitmap per region. Each pass-2 worker owns one, so the region
+/// sweep can run on many threads with no shared mutable state (this
+/// replaces the former executor-member stamp).
+class StampBuffer {
+ public:
+  StampBuffer() = default;
+  explicit StampBuffer(std::size_t num_pixels) : stamp_(num_pixels, 0) {}
+
+  /// Starts a new dedup scope; handles counter wrap by clearing.
+  void NextScope() {
+    ++current_;
+    if (current_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      current_ = 1;
+    }
+  }
+
+  /// Marks `idx`; returns true the first time it is seen in this scope.
+  bool MarkOnce(std::size_t idx) {
+    if (stamp_[idx] == current_) {
+      return false;
+    }
+    stamp_[idx] = current_;
+    return true;
+  }
+
+  /// True if `idx` was marked in the current scope.
+  bool Marked(std::size_t idx) const { return stamp_[idx] == current_; }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t current_ = 0;
+};
 
 }  // namespace urbane::core::internal
 

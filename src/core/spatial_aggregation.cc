@@ -9,18 +9,28 @@ namespace urbane::core {
 SpatialAggregation::SpatialAggregation(const data::PointTable& points,
                                        const data::RegionSet& regions,
                                        const RasterJoinOptions& raster_options,
-                                       const IndexJoinOptions& index_options)
+                                       const IndexJoinOptions& index_options,
+                                       const ExecutionContext& exec)
     : points_(points),
       regions_(regions),
       raster_options_(raster_options),
-      index_options_(index_options) {}
+      index_options_(index_options),
+      exec_(exec) {
+  // A non-serial facade-level context overrides the per-executor knobs so
+  // one argument parallelizes the whole engine uniformly.
+  if (!exec_.IsSerial()) {
+    raster_options_.exec = exec_;
+    index_options_.exec = exec_;
+  }
+}
 
 StatusOr<SpatialAggregationExecutor*> SpatialAggregation::Executor(
     ExecutionMethod method) {
   switch (method) {
     case ExecutionMethod::kScan:
       if (!scan_) {
-        URBANE_ASSIGN_OR_RETURN(scan_, ScanJoin::Create(points_, regions_));
+        URBANE_ASSIGN_OR_RETURN(scan_,
+                                ScanJoin::Create(points_, regions_, exec_));
       }
       return static_cast<SpatialAggregationExecutor*>(scan_.get());
     case ExecutionMethod::kIndexJoin:

@@ -34,12 +34,20 @@ namespace urbane::core {
 class SpatialAggregation {
  public:
   /// `points`/`regions` must outlive this object.
+  ///
+  /// `exec` sets the execution parallelism for every executor the facade
+  /// builds. Precedence: a non-serial `exec` overrides whatever the
+  /// per-executor options carry, so a caller who sets only `exec` gets a
+  /// uniformly parallel engine; the serial default leaves the options
+  /// untouched (so per-executor `raster_options.exec` still wins when the
+  /// facade-level knob is not used).
   SpatialAggregation(const data::PointTable& points,
                      const data::RegionSet& regions,
                      const RasterJoinOptions& raster_options =
                          RasterJoinOptions(),
                      const IndexJoinOptions& index_options =
-                         IndexJoinOptions());
+                         IndexJoinOptions(),
+                     const ExecutionContext& exec = ExecutionContext());
 
   const data::PointTable& points() const { return points_; }
   const data::RegionSet& regions() const { return regions_; }
@@ -86,6 +94,7 @@ class SpatialAggregation {
   const data::RegionSet& regions_;
   RasterJoinOptions raster_options_;
   IndexJoinOptions index_options_;
+  ExecutionContext exec_;
 
   std::unique_ptr<ScanJoin> scan_;
   std::unique_ptr<IndexJoin> index_;

@@ -4,6 +4,12 @@
 
 namespace urbane {
 
+/// Shared state of one batch; all fields are guarded by the pool's mutex.
+struct ThreadPool::BatchState {
+  std::size_t pending = 0;
+  std::condition_variable done;
+};
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -25,10 +31,56 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+ThreadPool::Batch ThreadPool::CreateBatch() {
+  return Batch(this, std::make_shared<BatchState>());
+}
+
+void ThreadPool::Batch::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(pool_->mutex_);
+    pool_->queue_.push_back({std::move(task), state_});
+    ++state_->pending;
+    ++pool_->in_flight_;
+  }
+  pool_->work_available_.notify_one();
+  // A Wait() sleeping on this batch must wake to help with the new task
+  // (submit-then-wait from inside a task of the same batch).
+  state_->done.notify_all();
+}
+
+void ThreadPool::Batch::Wait() {
+  std::unique_lock<std::mutex> lock(pool_->mutex_);
+  while (state_->pending > 0) {
+    // Help: run a queued task of THIS batch on the calling thread. Other
+    // batches' tasks are left alone so their latency cannot leak into
+    // this wait.
+    auto it = std::find_if(
+        pool_->queue_.begin(), pool_->queue_.end(),
+        [&](const TaskEntry& entry) { return entry.batch == state_; });
+    if (it != pool_->queue_.end()) {
+      TaskEntry entry = std::move(*it);
+      pool_->queue_.erase(it);
+      lock.unlock();
+      entry.fn();
+      lock.lock();
+      pool_->FinishTaskLocked(entry.batch);
+      continue;
+    }
+    // Nothing of ours queued: the rest is in flight on workers. Wake on
+    // completion (pending -> 0) or on new same-batch submissions.
+    state_->done.wait(lock, [&] {
+      if (state_->pending == 0) return true;
+      return std::any_of(
+          pool_->queue_.begin(), pool_->queue_.end(),
+          [&](const TaskEntry& entry) { return entry.batch == state_; });
+    });
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push_back({std::move(task), nullptr});
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -39,9 +91,22 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::FinishTaskLocked(const std::shared_ptr<BatchState>& batch) {
+  --in_flight_;
+  if (in_flight_ == 0) {
+    all_done_.notify_all();
+  }
+  if (batch != nullptr) {
+    --batch->pending;
+    if (batch->pending == 0) {
+      batch->done.notify_all();
+    }
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    TaskEntry entry;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -49,16 +114,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) {
         return;  // shutting down
       }
-      task = std::move(queue_.front());
-      queue_.pop();
+      entry = std::move(queue_.front());
+      queue_.pop_front();
     }
-    task();
+    entry.fn();
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        all_done_.notify_all();
-      }
+      FinishTaskLocked(entry.batch);
     }
   }
 }
@@ -77,11 +139,12 @@ void ParallelFor(ThreadPool* pool, std::size_t count,
   // Aim for a few chunks per worker for load balance, but respect min_chunk.
   const std::size_t target_chunks = workers * 4;
   std::size_t chunk = std::max(min_chunk, (count + target_chunks - 1) / target_chunks);
+  ThreadPool::Batch batch = pool->CreateBatch();
   for (std::size_t begin = 0; begin < count; begin += chunk) {
     const std::size_t end = std::min(count, begin + chunk);
-    pool->Submit([&body, begin, end] { body(begin, end); });
+    batch.Submit([&body, begin, end] { body(begin, end); });
   }
-  pool->Wait();
+  batch.Wait();
 }
 
 ThreadPool* DefaultThreadPool() {

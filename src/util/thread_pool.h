@@ -4,21 +4,53 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace urbane {
 
-/// Fixed-size worker pool. Tasks are `std::function<void()>`; `Wait()` blocks
-/// until the queue drains and all in-flight tasks finish.
+/// Fixed-size worker pool. Tasks are `std::function<void()>`.
+///
+/// Two waiting granularities exist:
+///  * `Batch` — a wait token scoping a group of tasks. `Batch::Wait()`
+///    blocks only on that group, so concurrent callers sharing one pool
+///    never wait on each other's work, and a task may submit-then-wait a
+///    nested batch without deadlocking (the waiter executes its own
+///    queued tasks while it waits).
+///  * pool-wide `Submit()`/`Wait()` — legacy drain of everything.
 ///
 /// The software rasterizer uses this to mimic the GPU's parallel fragment
-/// processing: each render tile becomes one task.
+/// processing: each render tile / point partition becomes one task.
 class ThreadPool {
  public:
+  struct BatchState;
+
+  /// A wait token for one group of tasks. Copyable (copies share the
+  /// group); reusable (submit more tasks after a Wait).
+  class Batch {
+   public:
+    /// Enqueues a task belonging to this batch. Never blocks.
+    void Submit(std::function<void()> task);
+
+    /// Blocks until every task submitted to THIS batch has completed.
+    /// Tasks of the batch still sitting in the queue are executed by the
+    /// calling thread (so waiting from inside a worker cannot deadlock);
+    /// other batches' tasks are never stolen.
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    Batch(ThreadPool* pool, std::shared_ptr<BatchState> state)
+        : pool_(pool), state_(std::move(state)) {}
+
+    ThreadPool* pool_;
+    std::shared_ptr<BatchState> state_;
+  };
+
   /// `num_threads == 0` selects `std::thread::hardware_concurrency()`
   /// (at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
@@ -29,17 +61,29 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task. Never blocks.
+  /// Creates an independent wait token.
+  Batch CreateBatch();
+
+  /// Enqueues a batch-less task. Never blocks.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task — all batches plus batch-less
+  /// tasks — has completed. Prefer `Batch::Wait()` when several callers
+  /// share the pool.
   void Wait();
 
  private:
+  struct TaskEntry {
+    std::function<void()> fn;
+    std::shared_ptr<BatchState> batch;  // null for batch-less tasks
+  };
+
   void WorkerLoop();
+  /// Bookkeeping after a task ran; requires `mutex_` held.
+  void FinishTaskLocked(const std::shared_ptr<BatchState>& batch);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::deque<TaskEntry> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
@@ -50,6 +94,8 @@ class ThreadPool {
 /// Splits `[0, count)` into contiguous chunks and runs
 /// `body(begin, end)` for each chunk on the pool, blocking until done.
 /// With a null pool (or a single worker and small `count`) runs inline.
+/// Each call uses its own `Batch`, so concurrent ParallelFor callers on
+/// one pool do not wait on each other.
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t, std::size_t)>& body,
                  std::size_t min_chunk = 1024);

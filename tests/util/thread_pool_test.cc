@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace urbane {
@@ -79,6 +81,99 @@ TEST(ParallelForTest, SmallCountRunsInline) {
       [&](std::size_t begin, std::size_t end) { total += end - begin; },
       /*min_chunk=*/1024);
   EXPECT_EQ(total, 10u);
+}
+
+TEST(ThreadPoolBatchTest, WaitScopedToOwnTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ThreadPool::Batch batch = pool.CreateBatch();
+  for (int i = 0; i < 50; ++i) {
+    batch.Submit([&counter] { counter.fetch_add(1); });
+  }
+  batch.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolBatchTest, BatchIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ThreadPool::Batch batch = pool.CreateBatch();
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      batch.Submit([&counter] { counter.fetch_add(1); });
+    }
+    batch.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+// Regression: with the old pool-wide in_flight_ counter, two ParallelFor
+// callers sharing one pool would each block until BOTH finished. Each
+// caller's Wait must scope to its own chunks only.
+TEST(ThreadPoolBatchTest, ConcurrentParallelForCallersDoNotEntangle) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  auto caller = [&] {
+    for (int round = 0; round < 20; ++round) {
+      ParallelFor(&pool, 2048,
+                  [&](std::size_t begin, std::size_t end) {
+                    total.fetch_add(static_cast<int>(end - begin));
+                  },
+                  /*min_chunk=*/64);
+    }
+  };
+  std::thread a(caller);
+  std::thread b(caller);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * 20 * 2048);
+}
+
+// Regression: a task that submits a nested batch and waits on it used to
+// deadlock a single-worker pool (the only worker was the waiter). The
+// waiter must execute its batch's queued tasks itself.
+TEST(ThreadPoolBatchTest, NestedSubmitWaitDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_runs{0};
+  ThreadPool::Batch outer = pool.CreateBatch();
+  outer.Submit([&] {
+    ThreadPool::Batch inner = pool.CreateBatch();
+    for (int i = 0; i < 8; ++i) {
+      inner.Submit([&inner_runs] { inner_runs.fetch_add(1); });
+    }
+    inner.Wait();
+  });
+  outer.Wait();
+  EXPECT_EQ(inner_runs.load(), 8);
+}
+
+// A batch's Wait must return even while another batch holds a worker
+// hostage on a long task.
+TEST(ThreadPoolBatchTest, WaitDoesNotWaitForOtherBatches) {
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> slow_started{false};
+
+  ThreadPool::Batch slow = pool.CreateBatch();
+  slow.Submit([&slow_started, gate] {
+    slow_started.store(true);
+    gate.wait();
+  });
+  while (!slow_started.load()) {
+    std::this_thread::yield();
+  }
+
+  ThreadPool::Batch quick = pool.CreateBatch();
+  std::atomic<int> quick_runs{0};
+  for (int i = 0; i < 16; ++i) {
+    quick.Submit([&quick_runs] { quick_runs.fetch_add(1); });
+  }
+  quick.Wait();  // must not block on the gated slow task
+  EXPECT_EQ(quick_runs.load(), 16);
+
+  release.set_value();
+  slow.Wait();
 }
 
 TEST(DefaultThreadPoolTest, IsSingleton) {
