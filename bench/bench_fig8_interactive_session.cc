@@ -3,7 +3,16 @@
 // percentiles and how many frames meet the 100 ms interactivity budget.
 // Expected shape: raster joins keep (nearly) all frames interactive; the
 // scan baseline misses the budget once the data set is large.
+//
+// `--sessions N` switches to the concurrent-session mode: N threads each
+// replay their own trace against ONE shared engine with the result cache
+// enabled, reporting aggregate throughput, cache hit rate, and a torn-result
+// check (every concurrent frame checksum must equal its serial replay).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "bench/harness.h"
 #include "core/spatial_aggregation.h"
@@ -12,7 +21,9 @@
 #include "urbane/session.h"
 #include "util/timer.h"
 
-int main() {
+namespace {
+
+int RunSingleSession() {
   using namespace urbane;
   bench::PrintHeader(
       "Figure 8: interactive session replay",
@@ -58,4 +69,131 @@ int main() {
   }
   table.Finish();
   return 0;
+}
+
+int RunConcurrentSessions(std::size_t num_sessions) {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Figure 8 (concurrent): shared-engine session replay",
+      "N threads replay distinct 60-event traces against one engine with "
+      "the versioned LRU result cache on; throughput, hit rate, and a "
+      "torn-result check against each trace's serial replay.");
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = bench::ScaledCount(1'000'000);
+  std::printf("generating %zu trips, %zu sessions...\n\n", options.num_trips,
+              num_sessions);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+
+  core::RasterJoinOptions raster_options;
+  raster_options.resolution = 1024;
+  core::SpatialAggregation engine(taxis, neighborhoods, raster_options);
+  engine.set_result_cache_capacity(4096);
+  const auto [t0, t1] = taxis.TimeRange();
+  const auto method = core::ExecutionMethod::kBoundedRaster;
+
+  // Serial reference pass: one session at a time on the shared engine.
+  // Also warms the executor and the cache, so the concurrent pass measures
+  // steady-state revisit traffic (the workload the cache exists for).
+  std::vector<std::vector<app::InteractionEvent>> traces(num_sessions);
+  std::vector<std::vector<app::FrameRecord>> reference(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    traces[s] = app::GenerateInteractionTrace(60, 2018 + s);
+    app::InteractionSession session(engine, "fare_amount", t0, t1);
+    auto frames = session.Replay(traces[s], method);
+    if (!frames.ok()) {
+      std::fprintf(stderr, "serial replay failed: %s\n",
+                   frames.status().ToString().c_str());
+      return 1;
+    }
+    reference[s] = std::move(*frames);
+  }
+
+  const core::QueryCacheStats before = engine.result_cache_stats();
+  std::vector<std::vector<app::FrameRecord>> concurrent(num_sessions);
+  std::vector<int> failed(num_sessions, 0);
+  WallTimer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_sessions);
+    for (std::size_t s = 0; s < num_sessions; ++s) {
+      threads.emplace_back([&, s] {
+        app::InteractionSession session(engine, "fare_amount", t0, t1);
+        auto frames = session.Replay(traces[s], method);
+        if (!frames.ok()) {
+          failed[s] = 1;
+          return;
+        }
+        concurrent[s] = std::move(*frames);
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  const double wall = timer.ElapsedSeconds();
+  const core::QueryCacheStats after = engine.result_cache_stats();
+
+  std::size_t total_frames = 0;
+  std::size_t torn_frames = 0;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    if (failed[s]) {
+      std::fprintf(stderr, "concurrent replay %zu failed\n", s);
+      return 1;
+    }
+    total_frames += concurrent[s].size();
+    for (std::size_t f = 0; f < concurrent[s].size(); ++f) {
+      if (concurrent[s][f].checksum != reference[s][f].checksum) {
+        ++torn_frames;
+      }
+    }
+  }
+  const std::size_t probes =
+      (after.hits - before.hits) + (after.misses - before.misses);
+  const double hit_rate =
+      probes == 0 ? 0.0
+                  : static_cast<double>(after.hits - before.hits) /
+                        static_cast<double>(probes);
+
+  bench::ResultTable table(
+      "fig8_concurrent_sessions",
+      {"sessions", "frames", "wall", "frames_per_s", "cache_hit_rate",
+       "cache_entries", "torn_frames"});
+  table.AddRow({bench::ResultTable::Cell("%zu", num_sessions),
+                bench::ResultTable::Cell("%zu", total_frames),
+                FormatDuration(wall),
+                bench::ResultTable::Cell(
+                    "%.1f", wall > 0.0
+                                ? static_cast<double>(total_frames) / wall
+                                : 0.0),
+                bench::ResultTable::Cell("%.1f%%", 100.0 * hit_rate),
+                bench::ResultTable::Cell("%zu", after.entries),
+                bench::ResultTable::Cell("%zu", torn_frames)});
+  table.Finish();
+  if (torn_frames > 0) {
+    std::fprintf(stderr, "FAIL: %zu torn frames\n", torn_frames);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t sessions = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--sessions expects a positive count\n");
+        return 1;
+      }
+      sessions = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [--sessions N]\n", argv[0]);
+      return 1;
+    }
+  }
+  return sessions > 1 ? RunConcurrentSessions(sessions) : RunSingleSession();
 }

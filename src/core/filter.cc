@@ -51,6 +51,34 @@ StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
   return EvaluateFilter(spec, table, ExecutionContext());
 }
 
+StatusOr<double> EstimateFilterSelectivity(const FilterSpec& spec,
+                                           const data::PointTable& table,
+                                           std::size_t max_sample) {
+  URBANE_ASSIGN_OR_RETURN(CompiledFilter compiled,
+                          CompiledFilter::Compile(spec, table));
+  const std::size_t n = table.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  if (compiled.IsTrivial()) {
+    return 1.0;
+  }
+  if (max_sample == 0) {
+    max_sample = 1;
+  }
+  const std::size_t stride =
+      n <= max_sample ? 1 : (n + max_sample - 1) / max_sample;
+  std::size_t tested = 0;
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < n; i += stride) {
+    ++tested;
+    if (compiled.Matches(table, i)) {
+      ++matched;
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(tested);
+}
+
 StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
                                          const data::PointTable& table,
                                          const ExecutionContext& exec) {

@@ -113,6 +113,16 @@ StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
                                          const data::PointTable& table,
                                          const ExecutionContext& exec);
 
+/// Planning-time selectivity estimate: compiles the filter and counts
+/// matches over an evenly strided sample of at most `max_sample` rows — no
+/// bitmap or id vector is materialized, so the cost is O(min(n, max_sample))
+/// time and O(1) memory (vs the O(n) allocation of EvaluateFilter). Exact
+/// when the table fits in the sample; deterministic either way (stride
+/// sampling, no RNG).
+StatusOr<double> EstimateFilterSelectivity(const FilterSpec& spec,
+                                           const data::PointTable& table,
+                                           std::size_t max_sample = 65536);
+
 }  // namespace urbane::core
 
 #endif  // URBANE_CORE_FILTER_H_

@@ -80,11 +80,20 @@ QueryPlan PlanQuery(const WorkloadProfile& profile,
         boundary_pixels * (1.0 + pts_per_pixel * kPipCost);
   }
 
-  // Pick the cheapest admissible method.
+  // Pick the cheapest admissible method. The inexact branch admits every
+  // method — an exact answer trivially satisfies an ε bound — so the index
+  // join wins here too when preprocessing already paid for it.
   if (!accuracy.exact) {
-    plan.method = plan.cost_raster <= plan.cost_scan
-                      ? ExecutionMethod::kBoundedRaster
-                      : ExecutionMethod::kScan;
+    plan.method = ExecutionMethod::kBoundedRaster;
+    double best = plan.cost_raster;
+    if (plan.cost_scan < best) {
+      plan.method = ExecutionMethod::kScan;
+      best = plan.cost_scan;
+    }
+    if (profile.has_point_index && plan.cost_index < best) {
+      plan.method = ExecutionMethod::kIndexJoin;
+      best = plan.cost_index;
+    }
   } else {
     plan.method = ExecutionMethod::kScan;
     double best = plan.cost_scan;

@@ -1,8 +1,7 @@
 #include "core/spatial_aggregation.h"
 
-#include <algorithm>
-
-#include "util/string_util.h"
+#include <optional>
+#include <utility>
 
 namespace urbane::core {
 
@@ -13,18 +12,21 @@ SpatialAggregation::SpatialAggregation(const data::PointTable& points,
                                        const ExecutionContext& exec)
     : points_(points),
       regions_(regions),
-      raster_options_(raster_options),
-      index_options_(index_options),
-      exec_(exec) {
-  // A non-serial facade-level context overrides the per-executor knobs so
-  // one argument parallelizes the whole engine uniformly.
-  if (!exec_.IsSerial()) {
-    raster_options_.exec = exec_;
-    index_options_.exec = exec_;
-  }
-}
+      index_options_([&] {
+        IndexJoinOptions options = index_options;
+        if (!exec.IsSerial()) options.exec = exec;
+        return options;
+      }()),
+      exec_(exec),
+      raster_options_([&] {
+        // A non-serial facade-level context overrides the per-executor knobs
+        // so one argument parallelizes the whole engine uniformly.
+        RasterJoinOptions options = raster_options;
+        if (!exec.IsSerial()) options.exec = exec;
+        return options;
+      }()) {}
 
-StatusOr<SpatialAggregationExecutor*> SpatialAggregation::Executor(
+StatusOr<SpatialAggregationExecutor*> SpatialAggregation::ExecutorLocked(
     ExecutionMethod method) {
   switch (method) {
     case ExecutionMethod::kScan:
@@ -57,44 +59,63 @@ StatusOr<SpatialAggregationExecutor*> SpatialAggregation::Executor(
   return Status::InvalidArgument("unknown execution method");
 }
 
-void SpatialAggregation::set_result_cache_capacity(std::size_t capacity) {
-  cache_capacity_ = capacity;
-  while (cache_.size() > cache_capacity_) {
-    cache_.pop_front();
-  }
+StatusOr<SpatialAggregationExecutor*> SpatialAggregation::Executor(
+    ExecutionMethod method) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return ExecutorLocked(method);
 }
 
-std::string SpatialAggregation::CacheKey(const AggregationQuery& query,
-                                         ExecutionMethod method) {
-  // ToString() renders aggregate + every filter conjunct deterministically;
-  // prepend the method so bounded/exact answers never mix.
-  return std::string(ExecutionMethodToString(method)) + "|" +
-         query.ToString();
+void SpatialAggregation::set_result_cache_capacity(std::size_t capacity) {
+  cache_.set_max_entries(capacity);
+}
+
+void SpatialAggregation::set_result_cache_max_bytes(std::size_t max_bytes) {
+  cache_.set_max_bytes(max_bytes);
+}
+
+std::uint64_t SpatialAggregation::Fingerprint(const AggregationQuery& query,
+                                              ExecutionMethod method) const {
+  int resolution = 0;
+  if (method == ExecutionMethod::kBoundedRaster ||
+      method == ExecutionMethod::kAccurateRaster) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    resolution = raster_options_.resolution;
+  }
+  return QueryCache::Fingerprint(query, method, resolution, config_epoch());
 }
 
 StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
                                                   ExecutionMethod method) {
   query.points = &points_;
   query.regions = &regions_;
-  const std::string key =
-      cache_capacity_ > 0 ? CacheKey(query, method) : std::string();
-  if (!key.empty()) {
-    const auto it =
-        std::find_if(cache_.begin(), cache_.end(),
-                     [&](const auto& entry) { return entry.first == key; });
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      return it->second;
+  const bool use_cache = cache_.enabled();
+  if (use_cache) {
+    // Fast path: a hit costs one shard mutex, no executor serialization.
+    const std::uint64_t key = Fingerprint(query, method);
+    if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
+      return std::move(*hit);
     }
   }
-  URBANE_ASSIGN_OR_RETURN(SpatialAggregationExecutor * executor,
-                          Executor(method));
-  URBANE_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
-  if (!key.empty()) {
-    cache_.emplace_back(key, result);
-    if (cache_.size() > cache_capacity_) {
-      cache_.pop_front();
+  std::lock_guard<std::mutex> serialize(method_mu_[MethodIndex(method)]);
+  std::uint64_t key = 0;
+  if (use_cache) {
+    // Re-fingerprint under the method lock: the config (and thus the key)
+    // is now stable, and a session that computed this entry while we waited
+    // for the lock turns this into a hit.
+    key = Fingerprint(query, method);
+    if (std::optional<QueryResult> hit =
+            cache_.Lookup(key, /*record_miss=*/false)) {
+      return std::move(*hit);
     }
+  }
+  SpatialAggregationExecutor* executor = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    URBANE_ASSIGN_OR_RETURN(executor, ExecutorLocked(method));
+  }
+  URBANE_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
+  if (use_cache) {
+    cache_.Insert(key, result);
   }
   return result;
 }
@@ -106,14 +127,58 @@ StatusOr<std::vector<QueryResult>> SpatialAggregation::ExecuteMany(
     query.regions = &regions_;
   }
   if (method == ExecutionMethod::kBoundedRaster && queries.size() > 1) {
-    URBANE_ASSIGN_OR_RETURN(SpatialAggregationExecutor * executor,
-                            Executor(method));
-    auto* raster = static_cast<BoundedRasterJoin*>(executor);
-    auto batched = raster->ExecuteBatch(queries);
-    if (batched.ok()) {
-      return batched;
+    const bool use_cache = cache_.enabled();
+    std::vector<std::optional<QueryResult>> found(queries.size());
+    bool batch_ok = false;
+    {
+      std::lock_guard<std::mutex> serialize(method_mu_[MethodIndex(method)]);
+      std::vector<std::uint64_t> keys(queries.size(), 0);
+      std::vector<std::size_t> missing;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (use_cache) {
+          keys[i] = Fingerprint(queries[i], method);
+          if (std::optional<QueryResult> hit = cache_.Lookup(keys[i])) {
+            found[i] = std::move(*hit);
+            continue;
+          }
+        }
+        missing.push_back(i);
+      }
+      if (missing.empty()) {
+        batch_ok = true;
+      } else {
+        SpatialAggregationExecutor* executor = nullptr;
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          URBANE_ASSIGN_OR_RETURN(executor, ExecutorLocked(method));
+        }
+        auto* raster = static_cast<BoundedRasterJoin*>(executor);
+        std::vector<AggregationQuery> pending;
+        pending.reserve(missing.size());
+        for (const std::size_t i : missing) {
+          pending.push_back(queries[i]);
+        }
+        auto batched = raster->ExecuteBatch(pending);
+        if (batched.ok()) {
+          for (std::size_t k = 0; k < missing.size(); ++k) {
+            if (use_cache) {
+              cache_.Insert(keys[missing[k]], (*batched)[k]);
+            }
+            found[missing[k]] = std::move((*batched)[k]);
+          }
+          batch_ok = true;
+        }
+        // Heterogeneous filters: fall through to per-query execution.
+      }
     }
-    // Heterogeneous filters: fall through to per-query execution.
+    if (batch_ok) {
+      std::vector<QueryResult> results;
+      results.reserve(queries.size());
+      for (std::optional<QueryResult>& result : found) {
+        results.push_back(std::move(*result));
+      }
+      return results;
+    }
   }
   std::vector<QueryResult> results;
   results.reserve(queries.size());
@@ -139,17 +204,33 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteAuto(
   profile.world.Extend(regions_.Bounds());
   URBANE_ASSIGN_OR_RETURN(profile.selectivity,
                           EstimateSelectivity(query.filter));
-  profile.has_point_index = index_ != nullptr;
-  profile.has_pixel_index = accurate_ != nullptr;
-
-  last_plan_ = PlanQuery(profile, accuracy, raster_options_.resolution);
-  // Honor a tighter epsilon by rebuilding the bounded executor's canvas.
-  if (last_plan_.method == ExecutionMethod::kBoundedRaster &&
-      last_plan_.resolution > raster_options_.resolution) {
-    raster_options_.resolution = last_plan_.resolution;
-    raster_.reset();
+  QueryPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    profile.has_point_index = index_ != nullptr;
+    profile.has_pixel_index = accurate_ != nullptr;
+    plan = PlanQuery(profile, accuracy, raster_options_.resolution);
+    last_plan_ = plan;
   }
-  return Execute(std::move(query), last_plan_.method);
+  // Honor a tighter epsilon by rebuilding the bounded executor's canvas.
+  // The rebuild holds the raster method mutex (no session can be mid-query
+  // on the old executor) and bumps the config epoch, which retires every
+  // cache entry computed at the old, coarser ε.
+  if (plan.method == ExecutionMethod::kBoundedRaster) {
+    std::scoped_lock rebuild(
+        method_mu_[MethodIndex(ExecutionMethod::kBoundedRaster)], state_mu_);
+    if (plan.resolution > raster_options_.resolution) {
+      raster_options_.resolution = plan.resolution;
+      raster_.reset();
+      config_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  return Execute(std::move(query), plan.method);
+}
+
+QueryPlan SpatialAggregation::last_plan() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return last_plan_;
 }
 
 StatusOr<double> SpatialAggregation::EstimateSelectivity(
@@ -157,9 +238,7 @@ StatusOr<double> SpatialAggregation::EstimateSelectivity(
   if (filter.IsTrivial()) {
     return 1.0;
   }
-  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
-                          EvaluateFilter(filter, points_));
-  return selection.Selectivity(points_.size());
+  return EstimateFilterSelectivity(filter, points_);
 }
 
 }  // namespace urbane::core

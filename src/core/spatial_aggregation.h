@@ -1,15 +1,18 @@
 #ifndef URBANE_CORE_SPATIAL_AGGREGATION_H_
 #define URBANE_CORE_SPATIAL_AGGREGATION_H_
 
-#include <list>
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <string>
-#include <utility>
+#include <mutex>
+#include <vector>
 
 #include "core/accurate_join.h"
 #include "core/index_join.h"
 #include "core/planner.h"
 #include "core/query.h"
+#include "core/query_cache.h"
 #include "core/raster_join.h"
 #include "core/scan_join.h"
 
@@ -31,6 +34,15 @@ namespace urbane::core {
 ///
 ///   auto result = engine.ExecuteAuto(q, {.exact = false,
 ///                                        .epsilon_world = 15.0});
+///
+/// Thread-safety contract: one engine serves many concurrent sessions.
+/// Execute / ExecuteMany / ExecuteAuto / EstimateSelectivity may be called
+/// from any number of threads. Executor construction and any rebuild (the
+/// ExecuteAuto resolution bump) happen under a mutex; because the executors
+/// keep per-query stats, execution itself is serialized per method (two
+/// sessions can run scan and raster concurrently, but not two rasters) —
+/// result-cache hits bypass that lock entirely, taking only a cache shard
+/// mutex, which is what keeps revisited brush states concurrent.
 class SpatialAggregation {
  public:
   /// `points`/`regions` must outlive this object.
@@ -52,59 +64,94 @@ class SpatialAggregation {
   const data::PointTable& points() const { return points_; }
   const data::RegionSet& regions() const { return regions_; }
 
-  /// Builds (or returns the cached) executor for a method.
+  /// Builds (or returns the cached) executor for a method. Construction is
+  /// thread-safe; the pointer stays valid until the engine rebuilds that
+  /// executor (e.g. an ExecuteAuto resolution bump), so concurrent sessions
+  /// should prefer Execute over holding executor pointers.
   StatusOr<SpatialAggregationExecutor*> Executor(ExecutionMethod method);
 
-  /// Result cache: interactive sessions revisit query states (brushing back
-  /// to a previous window), so Execute can memoize results keyed by
-  /// (method, aggregate, filter). The underlying tables are borrowed const,
-  /// so entries never go stale. Capacity-bounded FIFO. Disabled by default
+  /// Result cache (core::QueryCache): interactive sessions revisit query
+  /// states (brushing back to a previous window), so Execute memoizes
+  /// results keyed by a fingerprint of (method, aggregate, filter, viewport
+  /// window, canvas resolution, executor-config epoch). Any executor
+  /// rebuild bumps the epoch, so entries computed under an older config —
+  /// in particular a coarser ε — can never hit again. Disabled by default
   /// (capacity 0) so latency measurements see real executor cost; Urbane's
-  /// session layer turns it on.
+  /// session layer / the CLI `cache` command turn it on.
   void set_result_cache_capacity(std::size_t capacity);
-  std::size_t result_cache_hits() const { return cache_hits_; }
-  std::size_t result_cache_size() const { return cache_.size(); }
+  void set_result_cache_max_bytes(std::size_t max_bytes);
+  QueryCacheStats result_cache_stats() const { return cache_.stats(); }
+  std::size_t result_cache_hits() const { return cache_.stats().hits; }
+  std::size_t result_cache_size() const { return cache_.stats().entries; }
+
+  /// Rebuild counter mixed into every cache key; bumped whenever an
+  /// executor's configuration changes (see ExecuteAuto).
+  std::uint64_t config_epoch() const {
+    return config_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Fills in the query's points/regions and runs it with the given method.
   StatusOr<QueryResult> Execute(AggregationQuery query,
                                 ExecutionMethod method);
 
   /// Runs several queries. When the method is kBoundedRaster and all
-  /// queries share one filter, they execute as a single shared-splat batch
-  /// (see BoundedRasterJoin::ExecuteBatch); otherwise they run one by one.
+  /// queries share one filter, the cache is probed per query and only the
+  /// misses execute as a single shared-splat batch (see
+  /// BoundedRasterJoin::ExecuteBatch); otherwise they run one by one.
   StatusOr<std::vector<QueryResult>> ExecuteMany(
       std::vector<AggregationQuery> queries, ExecutionMethod method);
 
   /// Plans by cost model, then executes. `last_plan()` exposes the choice.
+  /// A plan that tightens the bounded-raster resolution rebuilds that
+  /// executor and bumps the config epoch (invalidating stale-ε entries).
   StatusOr<QueryResult> ExecuteAuto(AggregationQuery query,
                                     const AccuracyRequirement& accuracy);
 
-  const QueryPlan& last_plan() const { return last_plan_; }
+  /// Plan chosen by the most recent ExecuteAuto (copied under the state
+  /// lock — safe against concurrent planners, though "last" is then
+  /// whichever session planned most recently).
+  QueryPlan last_plan() const;
 
-  /// Estimated selectivity of a filter (exact evaluation; cheap relative to
-  /// any join and cached by filter fingerprint would be overkill here).
+  /// Estimated selectivity of a filter: a count-only pass over an evenly
+  /// strided sample (no bitmap / id materialization), so planning costs
+  /// O(min(n, sample)) time and O(1) memory.
   StatusOr<double> EstimateSelectivity(const FilterSpec& filter) const;
 
  private:
-  /// Stable fingerprint of (method, aggregate, filter) for the cache.
-  static std::string CacheKey(const AggregationQuery& query,
-                              ExecutionMethod method);
+  static constexpr std::size_t kNumMethods = 4;
+  static std::size_t MethodIndex(ExecutionMethod method) {
+    return static_cast<std::size_t>(method);
+  }
+
+  /// Requires state_mu_ held.
+  StatusOr<SpatialAggregationExecutor*> ExecutorLocked(ExecutionMethod method);
+
+  /// Cache key for `query` under the engine's *current* config (snapshots
+  /// resolution + epoch under state_mu_). Stable while the query's
+  /// method_mu_ is held, since rebuilds take that mutex too.
+  std::uint64_t Fingerprint(const AggregationQuery& query,
+                            ExecutionMethod method) const;
 
   const data::PointTable& points_;
   const data::RegionSet& regions_;
-  RasterJoinOptions raster_options_;
-  IndexJoinOptions index_options_;
+  const IndexJoinOptions index_options_;
   ExecutionContext exec_;
 
+  /// Guards executor pointers, raster_options_ and last_plan_.
+  mutable std::mutex state_mu_;
+  /// Serializes Execute per method (executors keep per-query stats) and
+  /// protects in-flight executions against a concurrent rebuild.
+  std::array<std::mutex, kNumMethods> method_mu_;
+
+  RasterJoinOptions raster_options_;  // resolution mutates in ExecuteAuto
   std::unique_ptr<ScanJoin> scan_;
   std::unique_ptr<IndexJoin> index_;
   std::unique_ptr<BoundedRasterJoin> raster_;
   std::unique_ptr<AccurateRasterJoin> accurate_;
   QueryPlan last_plan_;
 
-  std::size_t cache_capacity_ = 0;
-  std::size_t cache_hits_ = 0;
-  std::list<std::pair<std::string, QueryResult>> cache_;  // FIFO order
+  std::atomic<std::uint64_t> config_epoch_{0};
+  QueryCache cache_;
 };
 
 }  // namespace urbane::core

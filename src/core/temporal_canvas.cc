@@ -134,7 +134,11 @@ StatusOr<QueryResult> TemporalCanvasIndex::QueryTimeWindow(
 }
 
 std::size_t TemporalCanvasIndex::MemoryBytes() const {
-  return prefix_.capacity() * sizeof(std::uint32_t);
+  // Committed size, not capacity: the prefix stack is built once and never
+  // grows, so capacity() could overstate (growth slack) what the index
+  // actually holds; the object header itself is counted so T2/F10 memory
+  // rows reflect the whole structure.
+  return sizeof(*this) + prefix_.size() * sizeof(std::uint32_t);
 }
 
 }  // namespace urbane::core

@@ -58,6 +58,7 @@ const char* CommandInterpreter::Help() {
          "  save regions <name> <file.geojson|file.urg>\n"
          "  save workspace <dir> | load workspace <manifest.json>\n"
          "  method scan|index|raster|accurate\n"
+         "  cache <points> <regions> on [entries]|off|stats\n"
          "  sql SELECT AGG(attr|*) FROM <points>, <regions> [WHERE ...]\n"
          "  map <points> <regions> <out.ppm> [title...]\n"
          "  list | help | quit\n";
@@ -121,6 +122,9 @@ Status CommandInterpreter::Dispatch(const std::string& line,
   }
   if (command == "method") {
     return CmdMethod(tokens, out);
+  }
+  if (command == "cache") {
+    return CmdCache(tokens, out);
   }
   if (command == "sql" || command == "select") {
     // Allow both "sql SELECT ..." and bare "SELECT ...".
@@ -278,6 +282,43 @@ Status CommandInterpreter::CmdMethod(const std::vector<std::string>& args,
   out << "execution method = " << core::ExecutionMethodToString(method_)
       << "\n";
   return Status::OK();
+}
+
+Status CommandInterpreter::CmdCache(const std::vector<std::string>& args,
+                                    std::ostream& out) {
+  if (args.size() < 4) {
+    return Status::InvalidArgument(
+        "usage: cache <points> <regions> on [entries]|off|stats");
+  }
+  URBANE_ASSIGN_OR_RETURN(core::SpatialAggregation * engine,
+                          manager_.Engine(args[1], args[2]));
+  const std::string action = ToLowerAscii(args[3]);
+  if (action == "on") {
+    std::size_t entries = 1024;
+    if (args.size() >= 5) {
+      URBANE_ASSIGN_OR_RETURN(std::uint64_t parsed, ParseCount(args[4]));
+      entries = static_cast<std::size_t>(parsed);
+    }
+    engine->set_result_cache_capacity(entries);
+    out << "result cache on (" << entries << " entries)\n";
+    return Status::OK();
+  }
+  if (action == "off") {
+    engine->set_result_cache_capacity(0);
+    out << "result cache off\n";
+    return Status::OK();
+  }
+  if (action == "stats") {
+    const core::QueryCacheStats stats = engine->result_cache_stats();
+    out << StringPrintf(
+        "result cache: entries=%zu bytes=%zu hits=%zu misses=%zu "
+        "evictions=%zu hit-rate=%.1f%% epoch=%llu\n",
+        stats.entries, stats.bytes, stats.hits, stats.misses,
+        stats.evictions, 100.0 * stats.HitRate(),
+        static_cast<unsigned long long>(engine->config_epoch()));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("cache expects 'on', 'off', or 'stats'");
 }
 
 Status CommandInterpreter::CmdSql(const std::string& sql, std::ostream& out) {

@@ -23,6 +23,7 @@ namespace urbane::app {
 ///   save points <name> <file.csv|file.upt>
 ///   save regions <name> <file.geojson|file.urg>
 ///   method <scan|index|raster|accurate>
+///   cache <points> <regions> on [entries]|off|stats
 ///   sql SELECT ...                     run a query (paper dialect)
 ///   map <points> <regions> <out.ppm> [title...]
 ///   list                               registered data sets
@@ -48,6 +49,7 @@ class CommandInterpreter {
   Status CmdLoad(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSave(const std::vector<std::string>& args, std::ostream& out);
   Status CmdMethod(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdCache(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSql(const std::string& sql, std::ostream& out);
   Status CmdMap(const std::vector<std::string>& args, std::ostream& out);
   void CmdList(std::ostream& out);

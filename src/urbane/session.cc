@@ -36,6 +36,9 @@ SessionSummary SummarizeFrames(const std::vector<FrameRecord>& frames,
     if (frame.latency_seconds <= interactive_budget_seconds) {
       ++summary.interactive_frames;
     }
+    if (frame.cache_hit) {
+      ++summary.cache_hit_frames;
+    }
   }
   summary.p50_seconds = stats.PercentileSeconds(50.0);
   summary.p95_seconds = stats.PercentileSeconds(95.0);
@@ -169,12 +172,14 @@ StatusOr<std::vector<FrameRecord>> InteractionSession::Replay(
       query.filter.WithRange(attribute_, lo, hi);
     }
 
+    const std::size_t hits_before = engine_.result_cache_hits();
     WallTimer timer;
     URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
                             engine_.Execute(query, method));
     FrameRecord frame;
     frame.kind = event.kind;
     frame.latency_seconds = timer.ElapsedSeconds();
+    frame.cache_hit = engine_.result_cache_hits() > hits_before;
     double checksum = 0.0;
     std::uint64_t matched = 0;
     for (std::size_t r = 0; r < result.size(); ++r) {

@@ -39,6 +39,10 @@ struct FrameRecord {
   /// Sum of the per-region values (cheap checksum for comparing replays
   /// across executors).
   double checksum = 0.0;
+  /// Whether the engine's result cache served this frame (detected via the
+  /// engine-wide hit counter, so with several concurrent sessions on one
+  /// engine this is approximate — a neighbor's hit can be attributed here).
+  bool cache_hit = false;
 };
 
 /// Summary of a replay, as reported by the F8 experiment.
@@ -51,6 +55,8 @@ struct SessionSummary {
   /// Frames under the interactivity budget (100 ms — the usual HCI bar the
   /// demo targets).
   std::size_t interactive_frames = 0;
+  /// Frames served from the engine's result cache (0 when caching is off).
+  std::size_t cache_hit_frames = 0;
 };
 
 SessionSummary SummarizeFrames(const std::vector<FrameRecord>& frames,

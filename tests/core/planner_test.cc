@@ -57,6 +57,39 @@ TEST(PlannerTest, ExistingIndexMakesIndexJoinEligible) {
   EXPECT_GT(with.cost_index, 0.0);
 }
 
+TEST(PlannerTest, ApproximateBranchPicksIndexJoinWhenCheapest) {
+  // Few simple regions over many points: boundary cells are scarce, so the
+  // grid join beats the scan, and a tight ε forces a canvas so fine that
+  // the bounded raster sweep is the most expensive option. The inexact
+  // branch must admit the (exact, hence trivially ε-bounded) index join.
+  WorkloadProfile profile = BaseProfile();
+  profile.num_points = 50'000;
+  profile.num_regions = 4;
+  profile.total_region_vertices = 40;
+  profile.has_point_index = true;
+  const QueryPlan plan =
+      PlanQuery(profile, {.exact = false, .epsilon_world = 10.0});
+  EXPECT_EQ(plan.method, ExecutionMethod::kIndexJoin);
+  EXPECT_LT(plan.cost_index, plan.cost_scan);
+  EXPECT_LT(plan.cost_index, plan.cost_raster);
+
+  // Without a point index the same workload must not plan an index join.
+  profile.has_point_index = false;
+  const QueryPlan no_index =
+      PlanQuery(profile, {.exact = false, .epsilon_world = 10.0});
+  EXPECT_NE(no_index.method, ExecutionMethod::kIndexJoin);
+}
+
+TEST(PlannerTest, ApproximateBranchStillPrefersRasterAtScale) {
+  // The headline regime is untouched: huge point sets with a tolerant ε
+  // keep planning the bounded raster join even when an index exists.
+  WorkloadProfile profile = BaseProfile();
+  profile.has_point_index = true;
+  const QueryPlan plan =
+      PlanQuery(profile, {.exact = false, .epsilon_world = 100.0});
+  EXPECT_EQ(plan.method, ExecutionMethod::kBoundedRaster);
+}
+
 TEST(PlannerTest, ExplanationMentionsChoice) {
   const QueryPlan plan = PlanQuery(BaseProfile(), {.exact = true});
   EXPECT_NE(plan.explanation.find(ExecutionMethodToString(plan.method)),

@@ -177,6 +177,108 @@ TEST(SpatialAggregationTest, ResultCacheCapacityBounded) {
   EXPECT_EQ(engine.result_cache_size(), 0u);
 }
 
+// Regression for the stale-ε bug: a bounded-raster result memoized at a
+// coarse resolution must never be served after ExecuteAuto tightens the
+// canvas (the old FIFO keyed on method+query only, so the coarse answer —
+// and its loose error bounds — kept hitting).
+TEST(SpatialAggregationTest, AutoResolutionBumpInvalidatesStaleEpsilonHits) {
+  const auto points = testing::MakeUniformPoints(20000, 87);
+  const auto regions = testing::MakeRandomRegions(4, 88);
+  RasterJoinOptions options;
+  options.resolution = 32;  // deliberately coarse starting canvas
+  SpatialAggregation engine(points, regions, options);
+  engine.set_result_cache_capacity(64);
+
+  AggregationQuery query;
+  query.aggregate = AggregateSpec::Count();
+  const auto coarse = engine.Execute(query, ExecutionMethod::kBoundedRaster);
+  ASSERT_TRUE(coarse.ok());
+  // Same query again: a legitimate hit at the unchanged resolution.
+  ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kBoundedRaster).ok());
+  EXPECT_GE(engine.result_cache_hits(), 1u);
+
+  const std::uint64_t epoch_before = engine.config_epoch();
+  const auto fine =
+      engine.ExecuteAuto(query, {.exact = false, .epsilon_world = 0.5});
+  ASSERT_TRUE(fine.ok());
+  ASSERT_EQ(engine.last_plan().method, ExecutionMethod::kBoundedRaster);
+  ASSERT_GT(engine.last_plan().resolution, 32);
+  EXPECT_GT(engine.config_epoch(), epoch_before);
+
+  // Post-bump, the plain Execute must return the fine-ε answer, not the
+  // memoized coarse one.
+  const auto again = engine.Execute(query, ExecutionMethod::kBoundedRaster);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->values, fine->values);
+  EXPECT_EQ(again->error_bounds, fine->error_bounds);
+  ASSERT_EQ(coarse->error_bounds.size(), again->error_bounds.size());
+  double coarse_bound = 0.0;
+  double fine_bound = 0.0;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    coarse_bound += coarse->error_bounds[r];
+    fine_bound += again->error_bounds[r];
+  }
+  // The tighter canvas must have genuinely tightened the bounds — this is
+  // what the old cache silently withheld from callers.
+  EXPECT_LT(fine_bound, coarse_bound);
+}
+
+TEST(SpatialAggregationTest, CacheStatsCountersAndByteBound) {
+  const auto points = testing::MakeUniformPoints(2000, 89);
+  const auto regions = testing::MakeRandomRegions(3, 90);
+  SpatialAggregation engine(points, regions);
+  engine.set_result_cache_capacity(32);
+  AggregationQuery query;
+  query.filter.WithTime(0, 40000);
+  ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kScan).ok());
+  ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kScan).ok());
+  const QueryCacheStats stats = engine.result_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GT(stats.HitRate(), 0.0);
+  // A byte bound of zero retains nothing.
+  engine.set_result_cache_max_bytes(0);
+  EXPECT_EQ(engine.result_cache_size(), 0u);
+}
+
+TEST(SpatialAggregationTest, ExecuteManyBatchPathPopulatesAndProbesCache) {
+  const auto points = testing::MakeUniformPoints(4000, 94);
+  const auto regions = testing::MakeRandomRegions(3, 95);
+  RasterJoinOptions options;
+  options.resolution = 128;
+  SpatialAggregation engine(points, regions, options);
+  engine.set_result_cache_capacity(64);
+
+  std::vector<AggregationQuery> batch(3);
+  batch[0].aggregate = AggregateSpec::Count();
+  batch[1].aggregate = AggregateSpec::Sum("v");
+  batch[2].aggregate = AggregateSpec::Avg("v");
+  for (auto& q : batch) {
+    q.filter.WithTime(5000, 80000);
+  }
+  const auto first = engine.ExecuteMany(batch, ExecutionMethod::kBoundedRaster);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.result_cache_size(), 3u);  // batch populated per query
+
+  // A single query from the batch hits without touching the executor.
+  ASSERT_TRUE(engine.Execute(batch[1], ExecutionMethod::kBoundedRaster).ok());
+  EXPECT_GE(engine.result_cache_hits(), 1u);
+
+  // The whole batch replays from the cache with identical answers.
+  const std::size_t hits_before = engine.result_cache_hits();
+  const auto second =
+      engine.ExecuteMany(batch, ExecutionMethod::kBoundedRaster);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(engine.result_cache_hits(), hits_before + 3);
+  for (std::size_t q = 0; q < batch.size(); ++q) {
+    EXPECT_EQ((*second)[q].values, (*first)[q].values) << "query " << q;
+    EXPECT_EQ((*second)[q].counts, (*first)[q].counts) << "query " << q;
+  }
+}
+
 TEST(SpatialAggregationTest, InvalidQueryRejected) {
   const auto points = testing::MakeUniformPoints(100, 81);
   const auto regions = testing::MakeRandomRegions(2, 82);

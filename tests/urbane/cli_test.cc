@@ -54,6 +54,30 @@ TEST(CliTest, GenListSqlFlow) {
   EXPECT_NE(result.find("5000 matching points"), std::string::npos);
 }
 
+TEST(CliTest, CacheCommandFlow) {
+  CommandInterpreter cli;
+  RunCommand(cli, "gen taxi t 2000 7");
+  RunCommand(cli, "gen regions h boroughs");
+  EXPECT_NE(RunCommand(cli, "cache t h on 32").find("result cache on"),
+            std::string::npos);
+  RunCommand(cli, "method scan");
+  RunCommand(cli, "sql SELECT COUNT(*) FROM t, h");
+  RunCommand(cli, "sql SELECT COUNT(*) FROM t, h");
+  const std::string stats = RunCommand(cli, "cache t h stats");
+  EXPECT_NE(stats.find("hits=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("entries=1"), std::string::npos) << stats;
+  EXPECT_NE(RunCommand(cli, "cache t h off").find("result cache off"),
+            std::string::npos);
+  const std::string cleared = RunCommand(cli, "cache t h stats");
+  EXPECT_NE(cleared.find("entries=0"), std::string::npos) << cleared;
+  // Errors: unknown engine pair and a bad action.
+  EXPECT_NE(RunCommand(cli, "cache nope h on").find("error"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "cache t h sideways").find("error"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "cache t h").find("error"), std::string::npos);
+}
+
 TEST(CliTest, BareSelectAccepted) {
   CommandInterpreter cli;
   RunCommand(cli, "gen taxi t 2000");

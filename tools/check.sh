@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# TSan gate for the concurrent query path (see CONTRIBUTING.md).
+#
+# Builds the test suite with -DURBANE_SANITIZE=thread and runs the suites
+# that exercise cross-thread behavior:
+#   * the parallel-executor determinism suite (parallel == serial),
+#   * the shared-engine concurrency tests (N sessions on one facade),
+#   * the QueryCache unit tests (sharded LRU under mixed traffic),
+#   * the facade cache tests (stale-ε regression included).
+# Any data race aborts the run: TSAN_OPTIONS makes warnings fatal.
+#
+# Usage: tools/check.sh [extra ctest args...]
+#   BUILD_DIR=build-tsan  override the build directory
+#   JOBS=N                override the build parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DURBANE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test
+
+TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation' \
+  "$@"
+
+echo "tsan check OK"
