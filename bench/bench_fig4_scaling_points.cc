@@ -6,10 +6,13 @@
 // (one splat per point + canvas sweep), winning by an order of magnitude at
 // the top of the sweep.
 //
-// Pass --grid-sweep to additionally ablate the index join's cell size, or
+// Pass --grid-sweep to additionally ablate the index join's cell size,
 // --threads-sweep to run the bounded raster join at the largest scale
 // across 1/2/4/8 worker threads (URBANE_BENCH_THREADS sets the thread
-// count for the main sweep; default 1 = serial).
+// count for the main sweep; default 1 = serial), or --obs-overhead to
+// measure the observability subsystem's cost on the hot splat path
+// (bounded raster with metrics+tracing off vs on; the default sweep
+// always runs with obs disabled so baselines stay comparable).
 #include <cstdio>
 #include <cstring>
 
@@ -18,6 +21,8 @@
 #include "core/spatial_aggregation.h"
 #include "data/region_generator.h"
 #include "data/taxi_generator.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -27,6 +32,8 @@ int main(int argc, char** argv) {
       argc > 1 && std::strcmp(argv[1], "--grid-sweep") == 0;
   const bool threads_sweep =
       argc > 1 && std::strcmp(argv[1], "--threads-sweep") == 0;
+  const bool obs_overhead =
+      argc > 1 && std::strcmp(argv[1], "--obs-overhead") == 0;
   bench::PrintHeader(
       "Figure 4: latency vs point count",
       "COUNT per neighborhood; per-query latency (prep excluded, reported "
@@ -145,6 +152,44 @@ int main(int argc, char** argv) {
                        bench::ResultTable::Cell("%.2fx",
                                                 serial_seconds / q)});
     }
+    ablation.Finish();
+  }
+
+  if (obs_overhead) {
+    const std::size_t num_points = sweep[4];
+    std::printf("observability overhead (bounded raster join, %zu points):\n",
+                num_points);
+    data::TaxiGeneratorOptions options;
+    options.num_trips = num_points;
+    const data::PointTable taxis = data::GenerateTaxiTrips(options);
+    core::SpatialAggregation engine(taxis, neighborhoods,
+                                    core::RasterJoinOptions(),
+                                    core::IndexJoinOptions(), exec);
+    core::AggregationQuery query;
+    query.aggregate = core::AggregateSpec::Count();
+    bench::ResultTable ablation("fig4_obs_overhead",
+                                {"obs", "raster", "overhead(vs off)"});
+    double off_seconds = 0.0;
+    for (const bool enabled : {false, true}) {
+      obs::SetMetricsEnabled(enabled);
+      obs::SetTracingEnabled(enabled);
+      obs::QueryTrace trace;
+      core::AggregationQuery traced = query;
+      traced.trace = enabled ? &trace : nullptr;
+      const double q = bench::MeasureSeconds([&] {
+        trace.Clear();
+        (void)engine.Execute(traced, core::ExecutionMethod::kBoundedRaster);
+      });
+      if (!enabled) off_seconds = q;
+      ablation.AddRow(
+          {enabled ? "on" : "off", FormatDuration(q),
+           bench::ResultTable::Cell(
+               "%+.2f%%", off_seconds > 0.0
+                              ? 100.0 * (q - off_seconds) / off_seconds
+                              : 0.0)});
+    }
+    obs::SetMetricsEnabled(false);
+    obs::SetTracingEnabled(false);
     ablation.Finish();
   }
   return 0;

@@ -18,6 +18,8 @@
 #include "core/spatial_aggregation.h"
 #include "data/region_generator.h"
 #include "data/taxi_generator.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "urbane/session.h"
 #include "util/timer.h"
 
@@ -28,7 +30,9 @@ int RunSingleSession() {
   bench::PrintHeader(
       "Figure 8: interactive session replay",
       "60-event exploration trace (brushing, filtering, aggregate switches, "
-      "pans); per-frame latency percentiles per executor.");
+      "pans); per-frame latency percentiles per executor, with per-pass "
+      "means sourced from the obs metrics registry.");
+  obs::SetMetricsEnabled(true);
 
   data::TaxiGeneratorOptions options;
   options.num_trips = bench::ScaledCount(1'000'000);
@@ -45,18 +49,35 @@ int RunSingleSession() {
 
   bench::ResultTable table("fig8_interactive_session",
                            {"executor", "p50", "p95", "max", "total",
-                            "interactive<=100ms"});
+                            "interactive<=100ms", "filter", "splat", "sweep",
+                            "refine", "reduce"});
   const core::ExecutionMethod methods[] = {
       core::ExecutionMethod::kBoundedRaster,
       core::ExecutionMethod::kAccurateRaster,
       core::ExecutionMethod::kIndexJoin, core::ExecutionMethod::kScan};
   for (const auto method : methods) {
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
     const auto frames = session.Replay(trace, method);
     if (!frames.ok()) {
       std::fprintf(stderr, "replay failed: %s\n",
                    frames.status().ToString().c_str());
       return 1;
     }
+    // Per-pass means come from the registry's per-executor histograms (the
+    // executors publish them), not from ad-hoc timers in this bench.
+    const obs::MetricsSnapshot delta = obs::MetricsSnapshot::Delta(
+        obs::MetricsRegistry::Global().Snapshot(), before);
+    const std::string prefix =
+        std::string("exec.") + core::ExecutionMethodToString(method) + ".";
+    const auto pass_mean = [&](const char* pass) -> std::string {
+      const obs::HistogramSnapshot* histogram =
+          delta.FindHistogram(prefix + pass);
+      if (histogram == nullptr || histogram->count == 0) {
+        return "-";
+      }
+      return FormatDuration(histogram->Mean());
+    };
     const app::SessionSummary summary = app::SummarizeFrames(*frames);
     table.AddRow({core::ExecutionMethodToString(method),
                   FormatDuration(summary.p50_seconds),
@@ -65,7 +86,10 @@ int RunSingleSession() {
                   FormatDuration(summary.total_seconds),
                   bench::ResultTable::Cell("%zu/%zu",
                                            summary.interactive_frames,
-                                           summary.frames)});
+                                           summary.frames),
+                  pass_mean("filter_seconds"), pass_mean("splat_seconds"),
+                  pass_mean("sweep_seconds"), pass_mean("refine_seconds"),
+                  pass_mean("reduce_seconds")});
   }
   table.Finish();
   return 0;
@@ -76,8 +100,10 @@ int RunConcurrentSessions(std::size_t num_sessions) {
   bench::PrintHeader(
       "Figure 8 (concurrent): shared-engine session replay",
       "N threads replay distinct 60-event traces against one engine with "
-      "the versioned LRU result cache on; throughput, hit rate, and a "
-      "torn-result check against each trace's serial replay.");
+      "the versioned LRU result cache on; throughput, hit rate (from the "
+      "obs registry's cache counters), and a torn-result check against "
+      "each trace's serial replay.");
+  obs::SetMetricsEnabled(true);
 
   data::TaxiGeneratorOptions options;
   options.num_trips = bench::ScaledCount(1'000'000);
@@ -110,7 +136,8 @@ int RunConcurrentSessions(std::size_t num_sessions) {
     reference[s] = std::move(*frames);
   }
 
-  const core::QueryCacheStats before = engine.result_cache_stats();
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::Global().Snapshot();
   std::vector<std::vector<app::FrameRecord>> concurrent(num_sessions);
   std::vector<int> failed(num_sessions, 0);
   WallTimer timer;
@@ -149,11 +176,18 @@ int RunConcurrentSessions(std::size_t num_sessions) {
       }
     }
   }
+  // Hit rate is sourced from the registry's cache counters (QueryCache
+  // mirrors every probe into them); the engine's own stats stay as a
+  // cross-check for the entries column.
+  const obs::MetricsSnapshot metrics_delta = obs::MetricsSnapshot::Delta(
+      obs::MetricsRegistry::Global().Snapshot(), metrics_before);
+  const std::uint64_t reg_hits = metrics_delta.CounterValue("cache.hits");
+  const std::uint64_t reg_misses = metrics_delta.CounterValue("cache.misses");
   const std::size_t probes =
-      (after.hits - before.hits) + (after.misses - before.misses);
+      static_cast<std::size_t>(reg_hits + reg_misses);
   const double hit_rate =
       probes == 0 ? 0.0
-                  : static_cast<double>(after.hits - before.hits) /
+                  : static_cast<double>(reg_hits) /
                         static_cast<double>(probes);
 
   bench::ResultTable table(

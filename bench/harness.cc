@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "data/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/csv.h"
 #include "util/timer.h"
 
@@ -118,7 +121,41 @@ bool ResultTable::Finish() const {
                  status.ToString().c_str());
     return false;
   }
-  std::printf("  (wrote %s)\n\n", path.c_str());
+  std::printf("  (wrote %s)\n", path.c_str());
+
+  // JSON sibling: the same table plus the metrics registry snapshot, so
+  // per-pass histograms / cache counters travel with the results.
+  data::JsonValue::Object root;
+  root.emplace_back("name", data::JsonValue(name_));
+  root.emplace_back("scale", data::JsonValue(BenchScale()));
+  root.emplace_back("threads",
+                    data::JsonValue(static_cast<double>(BenchThreads())));
+  data::JsonValue::Array column_array;
+  for (const std::string& column : columns) {
+    column_array.emplace_back(column);
+  }
+  root.emplace_back("columns", data::JsonValue(std::move(column_array)));
+  data::JsonValue::Array row_array;
+  for (const auto& row : rows) {
+    data::JsonValue::Array cells;
+    for (const std::string& cell : row) {
+      cells.emplace_back(cell);
+    }
+    row_array.emplace_back(std::move(cells));
+  }
+  root.emplace_back("rows", data::JsonValue(std::move(row_array)));
+  root.emplace_back("metrics_enabled", data::JsonValue(obs::MetricsEnabled()));
+  root.emplace_back("metrics", obs::MetricsRegistry::Global().ToJson());
+
+  const std::string json_path = std::string(csv_dir) + "/" + name_ + ".json";
+  const Status json_status = WriteStringToFile(
+      data::JsonValue(std::move(root)).Dump(2) + "\n", json_path);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "JSON write failed: %s\n",
+                 json_status.ToString().c_str());
+    return false;
+  }
+  std::printf("  (wrote %s)\n\n", json_path.c_str());
   return true;
 }
 

@@ -28,7 +28,11 @@ std::size_t BenchThreads();
 double MeasureSeconds(const std::function<void()>& fn, int repeats = 3);
 
 /// Accumulates a results table, pretty-prints it to stdout and, when
-/// URBANE_BENCH_CSV is set to a directory, writes `<name>.csv` there.
+/// URBANE_BENCH_CSV is set to a directory, writes `<name>.csv` plus
+/// `<name>.json` there. The JSON file embeds a snapshot of the global
+/// metrics registry ("metrics" key, schema urbane.metrics.v1), so a bench
+/// that ran with obs::SetMetricsEnabled(true) ships its per-pass latency
+/// histograms and cache counters alongside the table.
 class ResultTable {
  public:
   ResultTable(std::string name, std::vector<std::string> columns);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/observe.h"
 #include "core/raster_targets.h"
 #include "raster/rasterizer.h"
 #include "util/timer.h"
@@ -69,12 +70,14 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
   stats_.build_seconds = build_seconds;
   const ExecutionContext& exec = options_.exec;
   stats_.threads_used = exec.EffectiveThreads();
+  obs::TraceSpan exec_span(query.trace, "accurate");
   WallTimer timer;
 
   WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
                           EvaluateFilter(query.filter, points_, exec));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
@@ -84,6 +87,7 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
       viewport_, points_, selection.ids, attr, query.aggregate.kind,
       options_.use_float32_targets, /*need_abs_sum=*/false, exec.Splat());
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "splat", stats_.splat_seconds);
   stats_.points_scanned = selection.ids.size();
 
   // Pass 2: regions are partitioned across the pool; each worker owns a
@@ -99,11 +103,17 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
   const std::size_t num_pixels =
       static_cast<std::size_t>(viewport_.width()) * viewport_.height();
   std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
+  // Refine time (the exact boundary-pixel tests interleaved with the sweep)
+  // is only clocked when someone is observing: the extra clock reads sit
+  // inside the per-region loop, and the disabled fast path must stay free.
+  const bool measure_refine =
+      obs::MetricsEnabled() || query.trace != nullptr;
   ForEachPartition(exec, num_regions, [&](std::size_t part, std::size_t begin,
                                           std::size_t end) {
     ExecutorStats& ws = worker_stats[part];
     internal::StampBuffer stamp(num_pixels);
     std::vector<std::uint32_t> boundary_pixels;
+    WallTimer refine_timer;
     for (std::size_t r = begin; r < end; ++r) {
       Accumulator acc;
       for (const geometry::Polygon& region_part :
@@ -120,6 +130,9 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
               }
             });
         ws.boundary_pixels += boundary_pixels.size();
+        if (measure_refine) {
+          refine_timer.Restart();
+        }
         for (const std::uint32_t pixel : boundary_pixels) {
           const std::uint32_t pt_begin = pixel_offsets_[pixel];
           const std::uint32_t pt_end = pixel_offsets_[pixel + 1];
@@ -134,6 +147,9 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
               acc.Add(attr ? static_cast<double>((*attr)[id]) : 1.0);
             }
           }
+        }
+        if (measure_refine) {
+          ws.refine_seconds += refine_timer.ElapsedSeconds();
         }
 
         // --- interior pixels: wholesale raster reduction ---
@@ -157,9 +173,15 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
   });
   for (const ExecutorStats& ws : worker_stats) {
     stats_.MergeCounters(ws);
+    // Workers run concurrently, so the slowest worker's refine time is the
+    // wall-clock contribution (summing would exceed sweep_seconds).
+    stats_.refine_seconds = std::max(stats_.refine_seconds, ws.refine_seconds);
   }
   stats_.sweep_seconds = sweep_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "sweep", stats_.sweep_seconds);
+  TracePass(query.trace, exec_span.id(), "refine", stats_.refine_seconds);
   stats_.query_seconds = timer.ElapsedSeconds();
+  ObserveExecutorStats("accurate", stats_);
   return result;
 }
 

@@ -115,6 +115,11 @@ struct ExecutorStats {
   double filter_seconds = 0.0;          // per-pass: filter evaluation
   double splat_seconds = 0.0;           // per-pass: point splat (pass 1)
   double sweep_seconds = 0.0;           // per-pass: region sweep (pass 2)
+  double reduce_seconds = 0.0;          // per-pass: probe/reduce loop
+                                        // (scan, index, quadtree)
+  double refine_seconds = 0.0;          // per-pass: boundary-pixel exact
+                                        // refinement (accurate raster only;
+                                        // recorded only when obs is enabled)
 
   void Reset() { *this = ExecutorStats(); }
 

@@ -1,5 +1,6 @@
 #include "core/index_join.h"
 
+#include "core/observe.h"
 #include "util/timer.h"
 
 namespace urbane::core {
@@ -34,10 +35,14 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
   const double build_seconds = stats_.build_seconds;
   stats_.Reset();
   stats_.build_seconds = build_seconds;
+  obs::TraceSpan exec_span(query.trace, "index");
   WallTimer timer;
 
+  WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(CompiledFilter filter,
                           CompiledFilter::Compile(query.filter, points_));
+  stats_.filter_seconds = filter_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   const bool trivial_filter = filter.IsTrivial();
 
   const std::vector<float>* attr = nullptr;
@@ -59,6 +64,7 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
   result.counts.assign(num_regions, 0);
   std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
 
+  WallTimer reduce_timer;
   ForEachPartition(exec, num_regions, [&](std::size_t part_index,
                                           std::size_t begin,
                                           std::size_t end) {
@@ -106,8 +112,11 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
   for (const ExecutorStats& ws : worker_stats) {
     stats_.MergeCounters(ws);
   }
+  stats_.reduce_seconds = reduce_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "reduce", stats_.reduce_seconds);
 
   stats_.query_seconds = timer.ElapsedSeconds();
+  ObserveExecutorStats("index", stats_);
   return result;
 }
 

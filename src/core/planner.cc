@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/raster_join.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/string_util.h"
 
 namespace urbane::core {
@@ -117,6 +119,14 @@ QueryPlan PlanQuery(const WorkloadProfile& profile,
       profile.has_point_index ? "" : " [no index]", plan.cost_raster, p,
       profile.selectivity, profile.num_regions,
       profile.total_region_vertices, resolution);
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("planner.plans").Add(1);
+    registry
+        .GetCounter(std::string("planner.chosen.") +
+                    ExecutionMethodToString(plan.method))
+        .Add(1);
+  }
   return plan;
 }
 

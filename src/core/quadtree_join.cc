@@ -1,5 +1,6 @@
 #include "core/quadtree_join.h"
 
+#include "core/observe.h"
 #include "util/timer.h"
 
 namespace urbane::core {
@@ -35,10 +36,14 @@ StatusOr<QueryResult> QuadtreeJoin::Execute(const AggregationQuery& query) {
   const double build_seconds = stats_.build_seconds;
   stats_.Reset();
   stats_.build_seconds = build_seconds;
+  obs::TraceSpan exec_span(query.trace, "quadtree");
   WallTimer timer;
 
+  WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(CompiledFilter filter,
                           CompiledFilter::Compile(query.filter, points_));
+  stats_.filter_seconds = filter_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   const bool trivial_filter = filter.IsTrivial();
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
@@ -51,6 +56,7 @@ StatusOr<QueryResult> QuadtreeJoin::Execute(const AggregationQuery& query) {
   QueryResult result;
   result.values.reserve(regions_.size());
   result.counts.reserve(regions_.size());
+  WallTimer reduce_timer;
   for (std::size_t r = 0; r < regions_.size(); ++r) {
     Accumulator acc;
     for (const geometry::Polygon& part : regions_[r].geometry.parts()) {
@@ -84,7 +90,10 @@ StatusOr<QueryResult> QuadtreeJoin::Execute(const AggregationQuery& query) {
     result.values.push_back(acc.Finalize(query.aggregate.kind));
     result.counts.push_back(acc.count);
   }
+  stats_.reduce_seconds = reduce_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "reduce", stats_.reduce_seconds);
   stats_.query_seconds = timer.ElapsedSeconds();
+  ObserveExecutorStats("quadtree", stats_);
   return result;
 }
 

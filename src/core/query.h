@@ -9,6 +9,10 @@
 #include "data/region.h"
 #include "util/status.h"
 
+namespace urbane::obs {
+class QueryTrace;
+}  // namespace urbane::obs
+
 namespace urbane::core {
 
 /// The paper's spatial aggregation query:
@@ -25,6 +29,11 @@ struct AggregationQuery {
   const data::RegionSet* regions = nullptr;
   AggregateSpec aggregate;
   FilterSpec filter;
+
+  /// Optional per-query trace sink (not part of the query's identity: the
+  /// cache fingerprint ignores it). Executors emit one span per pass into
+  /// it; null — the common case — makes every span a no-op.
+  obs::QueryTrace* trace = nullptr;
 
   /// Structural validation (non-null inputs, attribute names resolvable).
   Status Validate() const;

@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace urbane::core {
 
 namespace {
+
+/// Mirrors a per-shard counter bump into the global registry so the bench
+/// harness and the CLI `stats` command see cache traffic without polling
+/// every engine. Registry metric objects have stable addresses, so the
+/// lazily-bound references stay valid across MetricsRegistry::Reset.
+void BumpCacheCounter(const char* name) {
+  if (!obs::MetricsEnabled()) {
+    return;
+  }
+  obs::MetricsRegistry::Global().GetCounter(name).Add(1);
+}
 
 /// FNV-1a 64 over explicitly encoded fields. Field order and the presence
 /// flags make the encoding canonical: two queries fingerprint equal iff
@@ -105,6 +119,7 @@ void QueryCache::TrimLocked(Shard& shard) {
     shard.map.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
+    BumpCacheCounter("cache.evictions");
   }
 }
 
@@ -116,11 +131,13 @@ std::optional<QueryResult> QueryCache::Lookup(std::uint64_t key,
   if (it == shard.map.end()) {
     if (record_miss) {
       ++shard.misses;
+      BumpCacheCounter("cache.misses");
     }
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
+  BumpCacheCounter("cache.hits");
   return it->second->result;
 }
 
@@ -145,6 +162,7 @@ void QueryCache::Insert(std::uint64_t key, const QueryResult& result) {
     shard.map.emplace(key, shard.lru.begin());
     shard.bytes += bytes;
     ++shard.inserts;
+    BumpCacheCounter("cache.inserts");
   }
   TrimLocked(shard);
 }

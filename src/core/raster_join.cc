@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string>
 
+#include "core/observe.h"
 #include "core/raster_targets.h"
 #include "raster/rasterizer.h"
 #include "util/timer.h"
@@ -87,6 +89,7 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
   stats_.build_seconds = build_seconds;
   const ExecutionContext& exec = options_.exec;
   stats_.threads_used = exec.EffectiveThreads();
+  obs::TraceSpan exec_span(query.trace, "raster");
   WallTimer timer;
 
   // --- filter + pass 1: splat the surviving points onto the canvas ---
@@ -94,6 +97,7 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
   URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
                           EvaluateFilter(query.filter, points_, exec));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
@@ -108,6 +112,7 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
           query.aggregate.kind == AggregateKind::kSum,
       exec.Splat());
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "splat", stats_.splat_seconds);
   stats_.points_scanned = selection.ids.size();
 
   // --- pass 2: sweep the regions over the canvas, one contiguous region
@@ -182,7 +187,9 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
     stats_.MergeCounters(ws);
   }
   stats_.sweep_seconds = sweep_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "sweep", stats_.sweep_seconds);
   stats_.query_seconds = timer.ElapsedSeconds();
+  ObserveExecutorStats("raster", stats_);
   return result;
 }
 
@@ -235,6 +242,11 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
   const ExecutionContext& exec = options_.exec;
   const raster::SplatParallelism splat_par = exec.Splat();
   stats_.threads_used = exec.EffectiveThreads();
+  // Batch trace convention: the whole shared-splat execution reports into
+  // the front query's trace (the batch is one execution, not N).
+  obs::QueryTrace* trace = queries.front().trace;
+  obs::TraceSpan exec_span(trace, "raster");
+  exec_span.Tag("batch_size", std::to_string(queries.size()));
   WallTimer timer;
 
   WallTimer filter_timer;
@@ -242,6 +254,7 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
                           EvaluateFilter(queries.front().filter, points_,
                                          exec));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
+  TracePass(trace, exec_span.id(), "filter", stats_.filter_seconds);
   stats_.points_scanned = selection.ids.size();
 
   // --- shared pass 1: one count splat + one sum / min-max splat per
@@ -313,6 +326,7 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
     }
   }
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
+  TracePass(trace, exec_span.id(), "splat", stats_.splat_seconds);
 
   // Resolve each query's targets once; the sweep reads the map no more.
   std::vector<const AttrTargets*> query_targets(queries.size(), nullptr);
@@ -418,7 +432,9 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
     stats_.MergeCounters(ws);
   }
   stats_.sweep_seconds = sweep_timer.ElapsedSeconds();
+  TracePass(trace, exec_span.id(), "sweep", stats_.sweep_seconds);
   stats_.query_seconds = timer.ElapsedSeconds();
+  ObserveExecutorStats("raster", stats_);
   return results;
 }
 

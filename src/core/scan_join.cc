@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/observe.h"
 #include "util/timer.h"
 
 namespace urbane::core {
@@ -28,10 +29,14 @@ StatusOr<QueryResult> ScanJoin::Execute(const AggregationQuery& query) {
   stats_.Reset();
   stats_.build_seconds = build_seconds;
   stats_.threads_used = exec_.EffectiveThreads();
+  obs::TraceSpan exec_span(query.trace, "scan");
   WallTimer timer;
 
+  WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(CompiledFilter filter,
                           CompiledFilter::Compile(query.filter, points_));
+  stats_.filter_seconds = filter_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
 
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
@@ -53,6 +58,7 @@ StatusOr<QueryResult> ScanJoin::Execute(const AggregationQuery& query) {
   std::vector<std::vector<Accumulator>> partials(
       parts, std::vector<Accumulator>(regions_.size()));
   std::vector<ExecutorStats> worker_stats(parts);
+  WallTimer reduce_timer;
   ForEachPartition(scan_exec, n, [&](std::size_t part, std::size_t begin,
                                      std::size_t end) {
     std::vector<Accumulator>& accumulators = partials[part];
@@ -81,6 +87,8 @@ StatusOr<QueryResult> ScanJoin::Execute(const AggregationQuery& query) {
   for (const ExecutorStats& ws : worker_stats) {
     stats_.MergeCounters(ws);
   }
+  stats_.reduce_seconds = reduce_timer.ElapsedSeconds();
+  TracePass(query.trace, exec_span.id(), "reduce", stats_.reduce_seconds);
 
   QueryResult result;
   result.values.reserve(regions_.size());
@@ -90,6 +98,7 @@ StatusOr<QueryResult> ScanJoin::Execute(const AggregationQuery& query) {
     result.counts.push_back(acc.count);
   }
   stats_.query_seconds = timer.ElapsedSeconds();
+  ObserveExecutorStats("scan", stats_);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace urbane::core {
 
 SpatialAggregation::SpatialAggregation(const data::PointTable& points,
@@ -88,11 +90,22 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
                                                   ExecutionMethod method) {
   query.points = &points_;
   query.regions = &regions_;
+  // Facade-level span: the executor's own span nests under it, so a trace
+  // shows cache/serialization overhead as the gap between the two.
+  obs::TraceSpan facade_span(query.trace, "execute");
+  facade_span.Tag("method", ExecutionMethodToString(method));
   const bool use_cache = cache_.enabled();
+  if (query.trace != nullptr) {
+    query.trace->Tag("method", ExecutionMethodToString(method));
+    query.trace->Tag("cache", use_cache ? "miss" : "off");
+  }
   if (use_cache) {
     // Fast path: a hit costs one shard mutex, no executor serialization.
     const std::uint64_t key = Fingerprint(query, method);
     if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
+      if (query.trace != nullptr) {
+        query.trace->Tag("cache", "hit");
+      }
       return std::move(*hit);
     }
   }
@@ -105,6 +118,9 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
     key = Fingerprint(query, method);
     if (std::optional<QueryResult> hit =
             cache_.Lookup(key, /*record_miss=*/false)) {
+      if (query.trace != nullptr) {
+        query.trace->Tag("cache", "hit");
+      }
       return std::move(*hit);
     }
   }
@@ -211,6 +227,10 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteAuto(
     profile.has_pixel_index = accurate_ != nullptr;
     plan = PlanQuery(profile, accuracy, raster_options_.resolution);
     last_plan_ = plan;
+  }
+  if (query.trace != nullptr) {
+    query.trace->Tag("planner.choice", ExecutionMethodToString(plan.method));
+    query.trace->Tag("planner.explanation", plan.explanation);
   }
   // Honor a tighter epsilon by rebuilding the bounded executor's canvas.
   // The rebuild holds the raster method mutex (no session can be mid-query

@@ -1,6 +1,8 @@
 #include "core/sql.h"
 
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/string_util.h"
@@ -8,6 +10,24 @@
 namespace urbane::core {
 
 namespace {
+
+// Saturating double -> int64 conversion: a plain static_cast of an
+// out-of-range value (e.g. `t IN [1e24, ...)`) is undefined behavior.
+std::int64_t ClampToInt64(double value) {
+  // The largest int64 exactly representable as a double is 2^63 - 1024;
+  // comparing against 2^63 as a double is safe on both ends.
+  constexpr double kMax = 9223372036854775808.0;  // 2^63
+  if (std::isnan(value)) {
+    return 0;
+  }
+  if (value >= kMax) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (value <= -kMax) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  return static_cast<std::int64_t>(value);
+}
 
 enum class TokenKind {
   kIdent,    // fare_amount, P.loc, COUNT, taxi
@@ -167,10 +187,14 @@ class Parser {
     if (lexer_.current().kind != TokenKind::kNumber) {
       return Error("expected a number, got '" + lexer_.current().text + "'");
     }
-    URBANE_ASSIGN_OR_RETURN(double value,
-                            ParseDouble(lexer_.current().text));
+    // Re-wrap ParseDouble failures (overflow, "1e", "1.2.3") so every
+    // parser error carries the same prefix.
+    const auto value = ParseDouble(lexer_.current().text);
+    if (!value.ok()) {
+      return Error("invalid number '" + lexer_.current().text + "'");
+    }
     lexer_.Advance();
-    return value;
+    return *value;
   }
 
   Status ParseAggregate() {
@@ -265,8 +289,11 @@ class Parser {
         return Error("range must close with ')' or ']'");
       }
       if (is_time) {
-        const auto begin = static_cast<std::int64_t>(lo);
-        const auto end = static_cast<std::int64_t>(hi) + (half_open ? 0 : 1);
+        const std::int64_t begin = ClampToInt64(lo);
+        std::int64_t end = ClampToInt64(hi);
+        if (!half_open && end < std::numeric_limits<std::int64_t>::max()) {
+          ++end;  // closed `]` means `< hi+1`
+        }
         query_.filter.WithTime(begin, end);
       } else {
         if (half_open) {
@@ -282,8 +309,11 @@ class Parser {
       URBANE_RETURN_IF_ERROR(ExpectKeyword("and"));
       URBANE_ASSIGN_OR_RETURN(double hi, ExpectNumber());
       if (is_time) {
-        query_.filter.WithTime(static_cast<std::int64_t>(lo),
-                               static_cast<std::int64_t>(hi) + 1);
+        std::int64_t end = ClampToInt64(hi);
+        if (end < std::numeric_limits<std::int64_t>::max()) {
+          ++end;  // BETWEEN is closed
+        }
+        query_.filter.WithTime(ClampToInt64(lo), end);
       } else {
         query_.filter.WithRange(ident, lo, hi);
       }

@@ -1,0 +1,449 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace urbane::obs {
+namespace {
+
+// Each thread gets a stable slot so repeated Adds from one thread hit one
+// cache line, and threads spread across shards round-robin.
+std::size_t ThreadSlot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counter
+
+void Counter::Add(std::uint64_t delta) {
+  shards_[ThreadSlot() % kShards].value.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+void Gauge::Add(double delta) { AtomicAddDouble(value_, delta); }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::vector<double> DefaultLatencyBounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+          0.025,  0.05,    0.1,    0.25,  0.5,    1.0,   2.5,  5.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (buckets_.size() != bounds_.size() + 1) {
+    // Duplicates were removed; re-size the bucket array to match.
+    buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+  // Pre-C++20, default-constructed std::atomic is NOT value-initialized;
+  // vector's default construction leaves the counts indeterminate.
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow bucket last
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+  AtomicMinDouble(min_, value);
+  AtomicMaxDouble(max_, value);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+double HistogramSnapshot::Mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+namespace {
+
+template <typename T>
+const T* FindByName(const std::vector<T>& items, const std::string& name) {
+  for (const T& item : items) {
+    if (item.name == name) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    const std::string& name) const& {
+  return FindByName(counters, name);
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(
+    const std::string& name) const& {
+  return FindByName(gauges, name);
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const& {
+  return FindByName(histograms, name);
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const CounterSnapshot* counter = FindCounter(name);
+  return counter == nullptr ? 0 : counter->value;
+}
+
+data::JsonValue MetricsSnapshot::ToJson() const {
+  data::JsonValue::Object root;
+  root.emplace_back("schema", data::JsonValue("urbane.metrics.v1"));
+
+  data::JsonValue::Array counter_array;
+  for (const CounterSnapshot& counter : counters) {
+    data::JsonValue::Object entry;
+    entry.emplace_back("name", data::JsonValue(counter.name));
+    entry.emplace_back("value",
+                       data::JsonValue(static_cast<double>(counter.value)));
+    counter_array.emplace_back(std::move(entry));
+  }
+  root.emplace_back("counters", data::JsonValue(std::move(counter_array)));
+
+  data::JsonValue::Array gauge_array;
+  for (const GaugeSnapshot& gauge : gauges) {
+    data::JsonValue::Object entry;
+    entry.emplace_back("name", data::JsonValue(gauge.name));
+    entry.emplace_back("value", data::JsonValue(gauge.value));
+    gauge_array.emplace_back(std::move(entry));
+  }
+  root.emplace_back("gauges", data::JsonValue(std::move(gauge_array)));
+
+  data::JsonValue::Array histogram_array;
+  for (const HistogramSnapshot& histogram : histograms) {
+    data::JsonValue::Object entry;
+    entry.emplace_back("name", data::JsonValue(histogram.name));
+    data::JsonValue::Array bounds;
+    for (const double bound : histogram.bounds) {
+      bounds.emplace_back(bound);
+    }
+    entry.emplace_back("bounds", data::JsonValue(std::move(bounds)));
+    data::JsonValue::Array buckets;
+    for (const std::uint64_t bucket : histogram.buckets) {
+      buckets.emplace_back(static_cast<double>(bucket));
+    }
+    entry.emplace_back("buckets", data::JsonValue(std::move(buckets)));
+    entry.emplace_back("count",
+                       data::JsonValue(static_cast<double>(histogram.count)));
+    entry.emplace_back("sum", data::JsonValue(histogram.sum));
+    entry.emplace_back("min", data::JsonValue(histogram.min));
+    entry.emplace_back("max", data::JsonValue(histogram.max));
+    histogram_array.emplace_back(std::move(entry));
+  }
+  root.emplace_back("histograms", data::JsonValue(std::move(histogram_array)));
+
+  return data::JsonValue(std::move(root));
+}
+
+namespace {
+
+Status ExpectObject(const data::JsonValue& value, const char* what) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument(std::string(what) + " is not an object");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> RequireName(const data::JsonValue& entry,
+                                  const char* what) {
+  const data::JsonValue* name = entry.Find("name");
+  if (name == nullptr || !name->is_string()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " entry is missing a string \"name\"");
+  }
+  return name->AsString();
+}
+
+double NumberOr(const data::JsonValue& entry, const std::string& key,
+                double fallback) {
+  const data::JsonValue* value = entry.Find(key);
+  return (value != nullptr && value->is_number()) ? value->AsNumber()
+                                                  : fallback;
+}
+
+}  // namespace
+
+StatusOr<MetricsSnapshot> MetricsSnapshot::FromJson(
+    const data::JsonValue& json) {
+  URBANE_RETURN_IF_ERROR(ExpectObject(json, "metrics snapshot"));
+  MetricsSnapshot snapshot;
+
+  if (const data::JsonValue* counters = json.Find("counters");
+      counters != nullptr) {
+    if (!counters->is_array()) {
+      return Status::InvalidArgument("\"counters\" is not an array");
+    }
+    for (const data::JsonValue& entry : counters->AsArray()) {
+      URBANE_RETURN_IF_ERROR(ExpectObject(entry, "counter"));
+      URBANE_ASSIGN_OR_RETURN(std::string name, RequireName(entry, "counter"));
+      CounterSnapshot counter;
+      counter.name = std::move(name);
+      counter.value =
+          static_cast<std::uint64_t>(NumberOr(entry, "value", 0.0));
+      snapshot.counters.push_back(std::move(counter));
+    }
+  }
+
+  if (const data::JsonValue* gauges = json.Find("gauges"); gauges != nullptr) {
+    if (!gauges->is_array()) {
+      return Status::InvalidArgument("\"gauges\" is not an array");
+    }
+    for (const data::JsonValue& entry : gauges->AsArray()) {
+      URBANE_RETURN_IF_ERROR(ExpectObject(entry, "gauge"));
+      URBANE_ASSIGN_OR_RETURN(std::string name, RequireName(entry, "gauge"));
+      GaugeSnapshot gauge;
+      gauge.name = std::move(name);
+      gauge.value = NumberOr(entry, "value", 0.0);
+      snapshot.gauges.push_back(std::move(gauge));
+    }
+  }
+
+  if (const data::JsonValue* histograms = json.Find("histograms");
+      histograms != nullptr) {
+    if (!histograms->is_array()) {
+      return Status::InvalidArgument("\"histograms\" is not an array");
+    }
+    for (const data::JsonValue& entry : histograms->AsArray()) {
+      URBANE_RETURN_IF_ERROR(ExpectObject(entry, "histogram"));
+      URBANE_ASSIGN_OR_RETURN(std::string name,
+                              RequireName(entry, "histogram"));
+      HistogramSnapshot histogram;
+      histogram.name = std::move(name);
+      if (const data::JsonValue* bounds = entry.Find("bounds");
+          bounds != nullptr && bounds->is_array()) {
+        for (const data::JsonValue& bound : bounds->AsArray()) {
+          if (!bound.is_number()) {
+            return Status::InvalidArgument("histogram bound is not a number");
+          }
+          histogram.bounds.push_back(bound.AsNumber());
+        }
+      }
+      if (const data::JsonValue* buckets = entry.Find("buckets");
+          buckets != nullptr && buckets->is_array()) {
+        for (const data::JsonValue& bucket : buckets->AsArray()) {
+          if (!bucket.is_number()) {
+            return Status::InvalidArgument("histogram bucket is not a number");
+          }
+          histogram.buckets.push_back(
+              static_cast<std::uint64_t>(bucket.AsNumber()));
+        }
+      }
+      histogram.count =
+          static_cast<std::uint64_t>(NumberOr(entry, "count", 0.0));
+      histogram.sum = NumberOr(entry, "sum", 0.0);
+      histogram.min = NumberOr(entry, "min", 0.0);
+      histogram.max = NumberOr(entry, "max", 0.0);
+      snapshot.histograms.push_back(std::move(histogram));
+    }
+  }
+
+  return snapshot;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& after,
+                                       const MetricsSnapshot& before) {
+  MetricsSnapshot delta;
+  delta.counters.reserve(after.counters.size());
+  for (const CounterSnapshot& counter : after.counters) {
+    CounterSnapshot diff = counter;
+    if (const CounterSnapshot* base = before.FindCounter(counter.name);
+        base != nullptr && base->value <= counter.value) {
+      diff.value = counter.value - base->value;
+    }
+    delta.counters.push_back(std::move(diff));
+  }
+  delta.gauges = after.gauges;
+  delta.histograms.reserve(after.histograms.size());
+  for (const HistogramSnapshot& histogram : after.histograms) {
+    HistogramSnapshot diff = histogram;
+    const HistogramSnapshot* base = before.FindHistogram(histogram.name);
+    if (base != nullptr && base->bounds == histogram.bounds &&
+        base->buckets.size() == histogram.buckets.size() &&
+        base->count <= histogram.count) {
+      for (std::size_t i = 0; i < diff.buckets.size(); ++i) {
+        diff.buckets[i] = histogram.buckets[i] >= base->buckets[i]
+                              ? histogram.buckets[i] - base->buckets[i]
+                              : 0;
+      }
+      diff.count = histogram.count - base->count;
+      diff.sum = histogram.sum - base->sum;
+      // min/max are not recoverable from a diff; keep the `after` values.
+    }
+    delta.histograms.push_back(std::move(diff));
+  }
+  return delta;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
+    const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.counters[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.gauges[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.counters) {
+      snapshot.counters.push_back(CounterSnapshot{name, counter->Value()});
+    }
+    for (const auto& [name, gauge] : shard.gauges) {
+      snapshot.gauges.push_back(GaugeSnapshot{name, gauge->Value()});
+    }
+    for (const auto& [name, histogram] : shard.histograms) {
+      HistogramSnapshot copy;
+      copy.name = name;
+      copy.bounds = histogram->bounds();
+      copy.buckets.reserve(histogram->buckets_.size());
+      for (const auto& bucket : histogram->buckets_) {
+        copy.buckets.push_back(bucket.load(std::memory_order_relaxed));
+      }
+      copy.count = histogram->count_.load(std::memory_order_relaxed);
+      copy.sum = histogram->sum_.load(std::memory_order_relaxed);
+      const double min = histogram->min_.load(std::memory_order_relaxed);
+      const double max = histogram->max_.load(std::memory_order_relaxed);
+      copy.min = copy.count == 0 ? 0.0 : min;
+      copy.max = copy.count == 0 ? 0.0 : max;
+      snapshot.histograms.push_back(std::move(copy));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, counter] : shard.counters) {
+      counter->Reset();
+    }
+    for (auto& [name, gauge] : shard.gauges) {
+      gauge->Reset();
+    }
+    for (auto& [name, histogram] : shard.histograms) {
+      histogram->Reset();
+    }
+  }
+}
+
+}  // namespace urbane::obs

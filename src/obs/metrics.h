@@ -1,0 +1,196 @@
+#ifndef URBANE_OBS_METRICS_H_
+#define URBANE_OBS_METRICS_H_
+
+// Process-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms, collected in a lock-sharded registry.
+//
+// Hot-path contract:
+//   * `Counter::Add` is a single relaxed fetch_add on a cache-line-padded
+//     shard picked by a thread-local slot — no locks, no false sharing.
+//   * `Histogram::Observe` is a bucket scan plus a handful of relaxed
+//     atomics; bucket bounds are immutable after construction.
+//   * Registry lookups take a per-shard mutex, so instrumentation sites
+//     should capture `Counter&`/`Histogram&` references once (metric
+//     objects have stable addresses for the life of the process — `Reset`
+//     zeroes values but never destroys a metric).
+//
+// Snapshots decouple readers from writers: `MetricsRegistry::Snapshot`
+// copies every metric under the shard locks into plain structs that can be
+// diffed (`MetricsSnapshot::Delta`) and serialized (`ToJson`/`FromJson`).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/json.h"
+#include "util/status.h"
+
+namespace urbane::obs {
+
+/// Monotonic counter, sharded to keep concurrent increments cheap.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t delta = 1);
+  std::uint64_t Value() const;
+  void Reset();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value (e.g. cache entries, bytes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket upper bounds suited to frame latencies: 100 us .. 5 s.
+std::vector<double> DefaultLatencyBounds();
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds, strictly
+/// increasing; one extra overflow bucket catches everything above the last
+/// bound. Also tracks count/sum/min/max for mean and range reporting.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double Mean() const;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Lookups return pointers into this snapshot, so they are lvalue-only:
+  /// `registry.Snapshot().FindHistogram(...)` would dangle and is a
+  /// compile error. Bind the snapshot to a local first.
+  const CounterSnapshot* FindCounter(const std::string& name) const&;
+  const GaugeSnapshot* FindGauge(const std::string& name) const&;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const&;
+  const CounterSnapshot* FindCounter(const std::string&) const&& = delete;
+  const GaugeSnapshot* FindGauge(const std::string&) const&& = delete;
+  const HistogramSnapshot* FindHistogram(const std::string&) const&& = delete;
+  /// Counter value by name; 0 when absent (by value: safe on temporaries).
+  std::uint64_t CounterValue(const std::string& name) const;
+
+  /// Schema "urbane.metrics.v1" — see DESIGN.md "Observability".
+  data::JsonValue ToJson() const;
+  /// Tolerant parse: unknown fields are ignored, missing sections and
+  /// missing optional fields default to empty/zero. Fails only on type
+  /// mismatches or entries without a name.
+  static StatusOr<MetricsSnapshot> FromJson(const data::JsonValue& json);
+
+  /// Per-metric difference `after - before` (counters and histogram
+  /// buckets clamp at 0; gauges keep the `after` value). Metrics absent
+  /// from `before` are kept as-is.
+  static MetricsSnapshot Delta(const MetricsSnapshot& after,
+                               const MetricsSnapshot& before);
+};
+
+/// Name -> metric map, sharded by name hash. Metric objects live for the
+/// life of the registry: `Reset` zeroes values, it never invalidates a
+/// reference handed out by a Get* call.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by all instrumentation sites.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// First Get wins the bucket bounds; later calls with different bounds
+  /// return the existing histogram unchanged.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultLatencyBounds());
+
+  MetricsSnapshot Snapshot() const;
+  data::JsonValue ToJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every metric's value, preserving the objects (and therefore
+  /// every cached reference).
+  void Reset();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& ShardFor(const std::string& name);
+  const Shard& ShardFor(const std::string& name) const;
+
+  Shard shards_[kShards];
+};
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_METRICS_H_

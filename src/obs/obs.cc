@@ -1,0 +1,22 @@
+#include "obs/obs.h"
+
+namespace urbane::obs {
+
+#ifndef URBANE_OBS_DISABLED
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+#endif  // URBANE_OBS_DISABLED
+
+}  // namespace urbane::obs

@@ -1,0 +1,195 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace urbane::obs {
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+QueryTrace::QueryTrace() : origin_seconds_(MonotonicSeconds()) {}
+
+int QueryTrace::BeginSpan(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpanRecord span;
+  span.name = name;
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.start_seconds = MonotonicSeconds() - origin_seconds_;
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void QueryTrace::EndSpan(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  const double now = MonotonicSeconds() - origin_seconds_;
+  // Close the span and any descendants left open above it on the stack.
+  const auto it = std::find(open_stack_.begin(), open_stack_.end(), id);
+  if (it == open_stack_.end()) {
+    return;  // already closed
+  }
+  for (auto open = it; open != open_stack_.end(); ++open) {
+    TraceSpanRecord& span = spans_[static_cast<std::size_t>(*open)];
+    span.duration_seconds = now - span.start_seconds;
+  }
+  open_stack_.erase(it, open_stack_.end());
+}
+
+void QueryTrace::AddSpanTag(int id, const std::string& key,
+                            const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  spans_[static_cast<std::size_t>(id)].tags.emplace_back(key, value);
+}
+
+int QueryTrace::AddCompletedSpan(const std::string& name,
+                                 double duration_seconds, int parent,
+                                 double start_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpanRecord span;
+  span.name = name;
+  span.parent =
+      (parent >= 0 && parent < static_cast<int>(spans_.size())) ? parent : -1;
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+void QueryTrace::Tag(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& tag : tags_) {
+    if (tag.first == key) {
+      tag.second = value;
+      return;
+    }
+  }
+  tags_.emplace_back(key, value);
+}
+
+std::vector<TraceSpanRecord> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<std::pair<std::string, std::string>> QueryTrace::Tags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tags_;
+}
+
+bool QueryTrace::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.empty() && tags_.empty();
+}
+
+void QueryTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  open_stack_.clear();
+  tags_.clear();
+  origin_seconds_ = MonotonicSeconds();
+}
+
+data::JsonValue QueryTrace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  data::JsonValue::Object root;
+  root.emplace_back("schema", data::JsonValue("urbane.trace.v1"));
+
+  data::JsonValue::Object tags;
+  for (const auto& [key, value] : tags_) {
+    tags.emplace_back(key, data::JsonValue(value));
+  }
+  root.emplace_back("tags", data::JsonValue(std::move(tags)));
+
+  data::JsonValue::Array spans;
+  for (const TraceSpanRecord& span : spans_) {
+    data::JsonValue::Object entry;
+    entry.emplace_back("name", data::JsonValue(span.name));
+    entry.emplace_back("parent", data::JsonValue(span.parent));
+    entry.emplace_back("start_seconds", data::JsonValue(span.start_seconds));
+    entry.emplace_back("duration_seconds",
+                       data::JsonValue(span.duration_seconds));
+    if (!span.tags.empty()) {
+      data::JsonValue::Object span_tags;
+      for (const auto& [key, value] : span.tags) {
+        span_tags.emplace_back(key, data::JsonValue(value));
+      }
+      entry.emplace_back("tags", data::JsonValue(std::move(span_tags)));
+    }
+    spans.emplace_back(std::move(entry));
+  }
+  root.emplace_back("spans", data::JsonValue(std::move(spans)));
+
+  return data::JsonValue(std::move(root));
+}
+
+std::string QueryTrace::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [key, value] : tags_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  }
+  // Children in span-id order under each parent (spans are appended in
+  // begin order, so this reads as the execution unfolded).
+  std::vector<std::vector<int>> children(spans_.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const int parent = spans_[i].parent;
+    if (parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[static_cast<std::size_t>(parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  struct Frame {
+    int id;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back(Frame{*it, 0});
+  }
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const TraceSpanRecord& span = spans_[static_cast<std::size_t>(frame.id)];
+    char line[256];
+    std::snprintf(line, sizeof(line), "%*s%s  %.3f ms", frame.depth * 2, "",
+                  span.name.c_str(), span.duration_seconds * 1e3);
+    out += line;
+    for (const auto& [key, value] : span.tags) {
+      out += "  [";
+      out += key;
+      out += "=";
+      out += value;
+      out += "]";
+    }
+    out += "\n";
+    const auto& kids = children[static_cast<std::size_t>(frame.id)];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Frame{*it, frame.depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace urbane::obs

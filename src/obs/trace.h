@@ -1,0 +1,107 @@
+#ifndef URBANE_OBS_TRACE_H_
+#define URBANE_OBS_TRACE_H_
+
+// Per-query hierarchical tracing.
+//
+// A `QueryTrace` collects the spans and tags for one query: the planner's
+// choice, the cache probe outcome, and one span per executor pass (filter,
+// splat, reduce, sweep, refine). Executors receive the trace as a nullable
+// pointer on `AggregationQuery`; a null pointer makes every `TraceSpan` a
+// no-op, which is the disabled fast path.
+//
+// Coordinator-side spans are opened/closed sequentially, so parentage is
+// tracked with a stack of open spans: a span begun while another is open
+// becomes its child. Worker threads never open spans directly — per-worker
+// timings are folded in afterwards via `AddCompletedSpan` with an explicit
+// parent. All mutating calls lock the trace's mutex, so one trace may be
+// shared by the facade and an executor without racing.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/json.h"
+
+namespace urbane::obs {
+
+struct TraceSpanRecord {
+  std::string name;
+  int parent = -1;  // index into the trace's span list; -1 for roots
+  double start_seconds = 0.0;     // relative to the trace origin
+  double duration_seconds = 0.0;  // 0 while the span is still open
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+class QueryTrace {
+ public:
+  QueryTrace();
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Opens a span; it becomes a child of the innermost open span. Returns
+  /// the span id for `EndSpan`/`AddSpanTag`.
+  int BeginSpan(const std::string& name);
+  /// Closes the span, recording its duration. Ends any of its still-open
+  /// descendants as well (they share the end time).
+  void EndSpan(int id);
+  void AddSpanTag(int id, const std::string& key, const std::string& value);
+
+  /// Appends an already-measured span (e.g. per-worker time folded in by a
+  /// coordinator). `start_seconds` defaults to 0 so traces assembled from
+  /// synthetic durations stay deterministic.
+  int AddCompletedSpan(const std::string& name, double duration_seconds,
+                       int parent = -1, double start_seconds = 0.0);
+
+  /// Trace-level tag (planner choice, cache outcome, ...). Last write wins.
+  void Tag(const std::string& key, const std::string& value);
+
+  std::vector<TraceSpanRecord> Spans() const;
+  std::vector<std::pair<std::string, std::string>> Tags() const;
+  bool Empty() const;
+  void Clear();
+
+  /// Schema "urbane.trace.v1" — see DESIGN.md "Observability".
+  data::JsonValue ToJson() const;
+  /// Indented span tree with millisecond durations, for the CLI.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpanRecord> spans_;
+  std::vector<int> open_stack_;
+  std::vector<std::pair<std::string, std::string>> tags_;
+  double origin_seconds_ = 0.0;  // monotonic clock at construction
+};
+
+/// RAII span handle. A null trace makes construction, tagging, and
+/// destruction no-ops — instrumentation sites don't branch on the obs
+/// switches themselves.
+class TraceSpan {
+ public:
+  TraceSpan(QueryTrace* trace, const char* name)
+      : trace_(trace), id_(trace ? trace->BeginSpan(name) : -1) {}
+  ~TraceSpan() {
+    if (trace_ != nullptr) {
+      trace_->EndSpan(id_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Tag(const std::string& key, const std::string& value) {
+    if (trace_ != nullptr) {
+      trace_->AddSpanTag(id_, key, value);
+    }
+  }
+  int id() const { return id_; }
+
+ private:
+  QueryTrace* trace_;
+  int id_;
+};
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_TRACE_H_

@@ -10,6 +10,8 @@
 #include "data/geojson.h"
 #include "data/region_generator.h"
 #include "data/taxi_generator.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "urbane/map_view.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -61,6 +63,8 @@ const char* CommandInterpreter::Help() {
          "  cache <points> <regions> on [entries]|off|stats\n"
          "  sql SELECT AGG(attr|*) FROM <points>, <regions> [WHERE ...]\n"
          "  map <points> <regions> <out.ppm> [title...]\n"
+         "  stats [on|off|reset|json]\n"
+         "  trace on|off|dump [json]\n"
          "  list | help | quit\n";
 }
 
@@ -134,6 +138,12 @@ Status CommandInterpreter::Dispatch(const std::string& line,
   }
   if (command == "map") {
     return CmdMap(tokens, out);
+  }
+  if (command == "stats") {
+    return CmdStats(tokens, out);
+  }
+  if (command == "trace") {
+    return CmdTrace(tokens, out);
   }
   return Status::InvalidArgument("unknown command '" + tokens[0] +
                                  "' (try 'help')");
@@ -326,9 +336,14 @@ Status CommandInterpreter::CmdSql(const std::string& sql, std::ostream& out) {
                           core::ParseQuerySql(sql));
   URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
                           manager_.RegionLayer(parsed.regions_layer));
+  obs::QueryTrace* trace = nullptr;
+  if (trace_on_) {
+    last_trace_ = std::make_unique<obs::QueryTrace>();
+    trace = last_trace_.get();
+  }
   WallTimer timer;
   URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
-                          manager_.ExecuteSql(sql, method_));
+                          manager_.ExecuteSql(sql, method_, trace));
   const double seconds = timer.ElapsedSeconds();
 
   // Top regions by value.
@@ -388,6 +403,92 @@ Status CommandInterpreter::CmdMap(const std::vector<std::string>& args,
       << render.image.height() << ", scale " << render.legend_lo << ".."
       << render.legend_hi << ")\n";
   return Status::OK();
+}
+
+Status CommandInterpreter::CmdStats(const std::vector<std::string>& args,
+                                    std::ostream& out) {
+  if (args.size() >= 2) {
+    const std::string action = ToLowerAscii(args[1]);
+    if (action == "on") {
+      obs::SetMetricsEnabled(true);
+      out << "metrics on\n";
+      return Status::OK();
+    }
+    if (action == "off") {
+      obs::SetMetricsEnabled(false);
+      out << "metrics off\n";
+      return Status::OK();
+    }
+    if (action == "reset") {
+      obs::MetricsRegistry::Global().Reset();
+      out << "metrics reset\n";
+      return Status::OK();
+    }
+    if (action == "json") {
+      out << obs::MetricsRegistry::Global().ToJson().Dump(2) << "\n";
+      return Status::OK();
+    }
+    return Status::InvalidArgument("usage: stats [on|off|reset|json]");
+  }
+  if (!obs::MetricsEnabled()) {
+    out << "metrics are off ('stats on' to enable)\n";
+  }
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    out << "no metrics recorded\n";
+    return Status::OK();
+  }
+  for (const obs::CounterSnapshot& counter : snapshot.counters) {
+    out << StringPrintf("%-40s %llu\n", counter.name.c_str(),
+                        static_cast<unsigned long long>(counter.value));
+  }
+  for (const obs::GaugeSnapshot& gauge : snapshot.gauges) {
+    out << StringPrintf("%-40s %.6g\n", gauge.name.c_str(), gauge.value);
+  }
+  for (const obs::HistogramSnapshot& histogram : snapshot.histograms) {
+    out << StringPrintf(
+        "%-40s n=%llu mean=%s min=%s max=%s\n", histogram.name.c_str(),
+        static_cast<unsigned long long>(histogram.count),
+        FormatDuration(histogram.Mean()).c_str(),
+        FormatDuration(histogram.min).c_str(),
+        FormatDuration(histogram.max).c_str());
+  }
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdTrace(const std::vector<std::string>& args,
+                                    std::ostream& out) {
+  if (args.size() < 2) {
+    return Status::InvalidArgument("usage: trace on|off|dump [json]");
+  }
+  const std::string action = ToLowerAscii(args[1]);
+  if (action == "on") {
+    trace_on_ = true;
+    obs::SetTracingEnabled(true);
+    out << "tracing on (next 'sql' records a trace; 'trace dump' prints it)\n";
+    return Status::OK();
+  }
+  if (action == "off") {
+    trace_on_ = false;
+    obs::SetTracingEnabled(false);
+    out << "tracing off\n";
+    return Status::OK();
+  }
+  if (action == "dump") {
+    if (last_trace_ == nullptr || last_trace_->Empty()) {
+      out << "no trace recorded (run 'trace on' and then a 'sql' command)\n";
+      return Status::OK();
+    }
+    if (args.size() >= 3 && ToLowerAscii(args[2]) == "json") {
+      out << last_trace_->ToJson().Dump(2) << "\n";
+    } else {
+      out << last_trace_->ToString();
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("trace expects 'on', 'off', or 'dump'");
 }
 
 void CommandInterpreter::CmdList(std::ostream& out) {

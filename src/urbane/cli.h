@@ -1,10 +1,12 @@
 #ifndef URBANE_URBANE_CLI_H_
 #define URBANE_URBANE_CLI_H_
 
+#include <memory>
 #include <ostream>
 #include <string>
 
 #include "core/planner.h"
+#include "obs/trace.h"
 #include "urbane/dataset_manager.h"
 
 namespace urbane::app {
@@ -26,6 +28,8 @@ namespace urbane::app {
 ///   cache <points> <regions> on [entries]|off|stats
 ///   sql SELECT ...                     run a query (paper dialect)
 ///   map <points> <regions> <out.ppm> [title...]
+///   stats [on|off|reset|json]          process-wide metrics registry
+///   trace on|off|dump [json]           per-query span traces for sql
 ///   list                               registered data sets
 ///   help
 ///   quit
@@ -52,10 +56,16 @@ class CommandInterpreter {
   Status CmdCache(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSql(const std::string& sql, std::ostream& out);
   Status CmdMap(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdTrace(const std::vector<std::string>& args, std::ostream& out);
   void CmdList(std::ostream& out);
 
   DatasetManager manager_;
   core::ExecutionMethod method_ = core::ExecutionMethod::kAccurateRaster;
+  bool trace_on_ = false;
+  /// Trace of the most recent `sql` command while tracing is on; what
+  /// `trace dump` prints.
+  std::unique_ptr<obs::QueryTrace> last_trace_;
 };
 
 }  // namespace urbane::app

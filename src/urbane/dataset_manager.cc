@@ -179,7 +179,8 @@ Status DatasetManager::SaveWorkspace(const std::string& directory) const {
 }
 
 StatusOr<core::QueryResult> DatasetManager::ExecuteSql(
-    const std::string& sql, core::ExecutionMethod method) {
+    const std::string& sql, core::ExecutionMethod method,
+    obs::QueryTrace* trace) {
   URBANE_ASSIGN_OR_RETURN(core::ParsedQuery parsed,
                           core::ParseQuerySql(sql));
   URBANE_ASSIGN_OR_RETURN(
@@ -188,6 +189,7 @@ StatusOr<core::QueryResult> DatasetManager::ExecuteSql(
   core::AggregationQuery query;
   query.aggregate = std::move(parsed.aggregate);
   query.filter = std::move(parsed.filter);
+  query.trace = trace;
   return engine->Execute(std::move(query), method);
 }
 

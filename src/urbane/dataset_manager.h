@@ -57,8 +57,10 @@ class DatasetManager {
   ///   "SELECT AVG(fare_amount) FROM taxi, neighborhoods
   ///    WHERE t IN [1230768000, 1233446400) AND passenger_count IN [1, 2]"
   /// binding the FROM names to registered data sets / region layers.
+  /// A non-null `trace` collects the query's spans and tags (CLI `trace`).
   StatusOr<core::QueryResult> ExecuteSql(const std::string& sql,
-                                         core::ExecutionMethod method);
+                                         core::ExecutionMethod method,
+                                         obs::QueryTrace* trace = nullptr);
 
  private:
   std::map<std::string, std::unique_ptr<data::PointTable>> points_;

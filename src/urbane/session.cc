@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/random.h"
 
 namespace urbane::app {
@@ -194,6 +196,15 @@ StatusOr<std::vector<FrameRecord>> InteractionSession::Replay(
             ? 0.0
             : static_cast<double>(matched) /
                   static_cast<double>(engine_.points().size());
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("session.frames").Add(1);
+      registry.GetHistogram("session.frame_seconds")
+          .Observe(frame.latency_seconds);
+      if (frame.cache_hit) {
+        registry.GetCounter("session.cache_hit_frames").Add(1);
+      }
+    }
     frames.push_back(frame);
   }
   return frames;

@@ -12,8 +12,12 @@
 #include "core/quadtree_join.h"
 #include "core/raster_join.h"
 #include "core/scan_join.h"
+#include "core/spatial_aggregation.h"
 #include "data/region_generator.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "testing/test_worlds.h"
+#include "util/thread_pool.h"
 
 namespace urbane::core {
 namespace {
@@ -150,6 +154,104 @@ INSTANTIATE_TEST_SUITE_P(
       os << info.param;
       return os.str();
     });
+
+// Observability must be a pure observer: with metrics + tracing enabled and
+// a QueryTrace attached, every executor returns bit-identical results to
+// the obs-off run — at 1 and at 4 threads. Guards against instrumentation
+// accidentally perturbing execution (reordered reductions, skipped work,
+// shared state).
+TEST(ObservabilityDeterminismTest, ResultsBitIdenticalWithTracingOnAndOff) {
+  const auto points = testing::MakeUniformPoints(12'000, 424242);
+  const data::RegionSet regions = testing::MakeRandomRegions(8, 424242 ^ 0xBEEF);
+
+  AggregationQuery query;
+  query.aggregate = AggregateSpec::Avg("v");
+  query.filter.WithTime(10000, 80000).WithRange("v", -8.0, 8.0);
+
+  const ExecutionMethod methods[] = {
+      ExecutionMethod::kScan, ExecutionMethod::kIndexJoin,
+      ExecutionMethod::kBoundedRaster, ExecutionMethod::kAccurateRaster};
+
+  const bool metrics_was = obs::MetricsEnabled();
+  const bool tracing_was = obs::TracingEnabled();
+  ThreadPool pool(4);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ExecutionContext exec;
+    if (threads > 1) {
+      exec.pool = &pool;
+      exec.num_threads = threads;
+      exec.min_parallel_points = 1;  // small world: force real partitioning
+    }
+    SpatialAggregation engine(points, regions, RasterJoinOptions(),
+                              IndexJoinOptions(), exec);
+    for (const ExecutionMethod method : methods) {
+      obs::SetMetricsEnabled(false);
+      obs::SetTracingEnabled(false);
+      const auto baseline = engine.Execute(query, method);
+      ASSERT_TRUE(baseline.ok()) << ExecutionMethodToString(method);
+
+      obs::SetMetricsEnabled(true);
+      obs::SetTracingEnabled(true);
+      obs::QueryTrace trace;
+      AggregationQuery traced = query;
+      traced.trace = &trace;
+      const auto observed = engine.Execute(traced, method);
+      ASSERT_TRUE(observed.ok()) << ExecutionMethodToString(method);
+
+      ASSERT_EQ(observed->size(), baseline->size());
+      for (std::size_t r = 0; r < baseline->size(); ++r) {
+        const double expect = baseline->values[r];
+        const double got = observed->values[r];
+        if (std::isnan(expect)) {
+          EXPECT_TRUE(std::isnan(got))
+              << ExecutionMethodToString(method) << " threads=" << threads
+              << " region " << r;
+        } else {
+          EXPECT_EQ(got, expect)  // bitwise, not NEAR
+              << ExecutionMethodToString(method) << " threads=" << threads
+              << " region " << r;
+        }
+        EXPECT_EQ(observed->counts[r], baseline->counts[r])
+            << ExecutionMethodToString(method) << " threads=" << threads
+            << " region " << r;
+      }
+
+      // The trace actually recorded the execution it observed.
+      EXPECT_FALSE(trace.Empty()) << ExecutionMethodToString(method);
+      bool has_execute_span = false;
+      for (const obs::TraceSpanRecord& span : trace.Spans()) {
+        has_execute_span |= span.name == "execute";
+      }
+      EXPECT_TRUE(has_execute_span) << ExecutionMethodToString(method);
+    }
+  }
+  obs::SetMetricsEnabled(metrics_was);
+  obs::SetTracingEnabled(tracing_was);
+
+  // The serial quadtree executor, which lives outside the facade.
+  auto quadtree = QuadtreeJoin::Create(points, regions);
+  ASSERT_TRUE(quadtree.ok());
+  AggregationQuery direct = query;
+  direct.points = &points;
+  direct.regions = &regions;
+  const auto baseline = (*quadtree)->Execute(direct);
+  ASSERT_TRUE(baseline.ok());
+  obs::SetMetricsEnabled(true);
+  obs::SetTracingEnabled(true);
+  obs::QueryTrace trace;
+  direct.trace = &trace;
+  const auto observed = (*quadtree)->Execute(direct);
+  obs::SetMetricsEnabled(metrics_was);
+  obs::SetTracingEnabled(tracing_was);
+  ASSERT_TRUE(observed.ok());
+  for (std::size_t r = 0; r < baseline->size(); ++r) {
+    EXPECT_EQ(observed->counts[r], baseline->counts[r]) << "quadtree " << r;
+    if (!std::isnan(baseline->values[r])) {
+      EXPECT_EQ(observed->values[r], baseline->values[r]) << "quadtree " << r;
+    }
+  }
+  EXPECT_FALSE(trace.Empty());
+}
 
 }  // namespace
 }  // namespace urbane::core

@@ -1,0 +1,212 @@
+// Adversarial / malformed SQL corpus: every input here must come back as a
+// clean Status error from ParseQuerySql — no crash, no UB (the suite is run
+// under ASan/UBSan and TSan via tools/check.sh). A companion test feeds
+// hostile-but-tolerated inputs (the dialect has no string literals, so
+// quotes lex as plain symbols; identifiers may be arbitrarily long) where
+// the only requirement is "returns, doesn't die".
+#include "core/sql.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace urbane::core {
+namespace {
+
+struct BadCase {
+  const char* label;
+  std::string sql;
+};
+
+std::vector<BadCase> MalformedCorpus() {
+  const std::string q =
+      "SELECT COUNT(*) FROM taxi, nbhd WHERE ";  // valid prefix for reuse
+  std::vector<BadCase> cases = {
+      // --- truncations at every production ---
+      {"empty", ""},
+      {"whitespace_only", " \t\n\r "},
+      {"keyword_only", "SELECT"},
+      {"agg_name_only", "SELECT COUNT"},
+      {"agg_open_paren", "SELECT COUNT("},
+      {"agg_star_unclosed", "SELECT COUNT(*"},
+      {"missing_from", "SELECT COUNT(*)"},
+      {"from_without_tables", "SELECT COUNT(*) FROM"},
+      {"one_from_item", "SELECT COUNT(*) FROM taxi"},
+      {"dangling_comma", "SELECT COUNT(*) FROM taxi,"},
+      {"empty_where", "SELECT COUNT(*) FROM taxi, nbhd WHERE"},
+      {"bare_condition_ident", q + "t"},
+      {"in_without_bracket", q + "t IN"},
+      {"in_open_bracket", q + "t IN ["},
+      {"in_one_number", q + "t IN [0"},
+      {"in_number_comma", q + "t IN [0,"},
+      {"in_unclosed_range", q + "t IN [0, 10"},
+      {"between_nothing", q + "v BETWEEN"},
+      {"between_one_bound", q + "v BETWEEN 1"},
+      {"between_missing_hi", q + "v BETWEEN 1 AND"},
+      {"trailing_and", q + "v = 1 AND"},
+      {"group_without_by", "SELECT COUNT(*) FROM a, b GROUP"},
+      {"group_by_empty", "SELECT COUNT(*) FROM a, b GROUP BY"},
+
+      // --- aggregate clause abuse ---
+      {"unknown_aggregate", "SELECT MEDIAN(v) FROM a, b"},
+      {"paren_as_aggregate", "SELECT (v) FROM a, b"},
+      {"count_missing_parens", "SELECT COUNT * FROM a, b"},
+      {"count_star_no_close", "SELECT COUNT(* FROM a, b"},
+      {"sum_of_star", "SELECT SUM(*) FROM a, b"},
+      {"sum_empty_args", "SELECT SUM() FROM a, b"},
+      {"count_empty_args", "SELECT COUNT() FROM a, b"},
+      {"nested_parens", "SELECT COUNT((v)) FROM a, b"},
+      {"avg_unclosed", "SELECT AVG(v FROM a, b"},
+      {"huge_aggregate_name",
+       "SELECT " + std::string(10'000, 'Z') + "(v) FROM a, b"},
+
+      // --- FROM clause abuse ---
+      {"numeric_points_set", "SELECT COUNT(*) FROM 123, nbhd"},
+      {"numeric_regions_set", "SELECT COUNT(*) FROM taxi, 42"},
+      {"missing_comma", "SELECT COUNT(*) FROM taxi nbhd"},
+      {"double_comma", "SELECT COUNT(*) FROM taxi,, nbhd"},
+      {"star_as_table", "SELECT COUNT(*) FROM *, nbhd"},
+
+      // --- trailing garbage / injection shapes ---
+      {"trailing_ident", "SELECT COUNT(*) FROM a, b extra"},
+      {"stacked_statement", "SELECT COUNT(*) FROM a, b; DROP TABLE a"},
+      {"trailing_group_key", "SELECT COUNT(*) FROM a, b GROUP BY id id"},
+      {"group_by_wrong_key", "SELECT COUNT(*) FROM a, b GROUP BY fare"},
+      {"group_then_where", "SELECT COUNT(*) FROM a, b GROUP WHERE"},
+
+      // --- quotes: the dialect has no string literals ---
+      {"quoted_table", "SELECT COUNT(*) FROM 'taxi', nbhd"},
+      {"quoted_aggregate", "SELECT \"COUNT\"(*) FROM a, b"},
+      {"unterminated_literal", q + "v = 'unterminated"},
+      {"backtick_ident", "SELECT COUNT(*) FROM `taxi`, nbhd"},
+
+      // --- numbers that must not slip through ---
+      {"overflow_exponent", q + "v = 1e999999"},
+      {"overflow_in_range", q + "v IN [1e999999, 2]"},
+      {"exponent_no_digits", q + "v = 1e"},
+      {"double_dot_number", q + "v = 1.2.3"},
+      {"double_minus", q + "v = --5"},
+      {"comparison_no_rhs", q + "v >= abc"},
+      {"double_equals", q + "v == 5"},
+      {"angle_pair", q + "v <> 5"},
+
+      // --- range bracket abuse ---
+      {"half_open_attribute", q + "v IN [1, 2)"},
+      {"range_without_brackets", q + "v IN 1, 2]"},
+      {"nested_brackets", q + "v IN [[[[1, 2]]]]"},
+      {"time_comparison", q + "t < 5"},
+
+      // --- spatial predicate abuse ---
+      {"loc_alone", q + "loc"},
+      {"inside_nothing", q + "loc INSIDE"},
+      {"inside_unknown_target", q + "loc INSIDE sphere"},
+      {"box_without_bracket", q + "loc INSIDE BOX"},
+      {"box_unclosed", q + "loc INSIDE BOX [1, 2, 3, 4"},
+      {"box_three_coords", q + "loc INSIDE BOX [1, 2, 3]"},
+      {"box_parens", q + "loc INSIDE BOX (1, 2, 3, 4)"},
+
+      // --- conjunction abuse ---
+      {"and_as_condition", q + "AND v = 1"},
+      {"double_and", q + "v = 1 AND AND v = 2"},
+
+      // --- hostile bytes (the lexer casts through unsigned char, so high
+      // bytes are defined behavior and lex as one-char symbols) ---
+      {"high_bytes_in_where", q + "\xFF\xFE v = 1"},
+      {"utf8_ellipsis_table", "SELECT COUNT(*) FROM \xE2\x80\xA6, nbhd"},
+      {"control_chars", std::string("SELECT \x01\x02 COUNT(*) FROM a, b")},
+  };
+  // Embedded NUL (cannot be written as a C literal suffix).
+  std::string nul = "SELECT ";
+  nul.push_back('\0');
+  nul += "COUNT(*) FROM a, b";
+  cases.push_back({"embedded_nul", nul});
+  return cases;
+}
+
+TEST(SqlEdgeCaseTest, EveryMalformedInputIsACleanError) {
+  const std::vector<BadCase> corpus = MalformedCorpus();
+  ASSERT_GE(corpus.size(), 60u);
+  for (const BadCase& bad : corpus) {
+    const auto parsed = ParseQuerySql(bad.sql);
+    EXPECT_FALSE(parsed.ok()) << bad.label << ": " << bad.sql;
+    if (!parsed.ok()) {
+      // Errors are InvalidArgument with the parser's prefix, never an
+      // internal/unknown failure.
+      EXPECT_NE(parsed.status().ToString().find("SQL parse error"),
+                std::string::npos)
+          << bad.label << ": " << parsed.status().ToString();
+    }
+  }
+}
+
+TEST(SqlEdgeCaseTest, HostileButTolerated) {
+  // These inputs are ugly but legal in the dialect: the parser must return
+  // *something* without crashing; whether it accepts them is part of the
+  // documented semantics, asserted here so it can't drift silently.
+  const std::string long_ident(10'000, 'a');
+  struct Tolerated {
+    const char* label;
+    std::string sql;
+    bool expect_ok;
+  };
+  const Tolerated cases[] = {
+      {"long_table_name",
+       "SELECT COUNT(*) FROM " + long_ident + ", nbhd", true},
+      {"reversed_attribute_range",
+       "SELECT COUNT(*) FROM a, b WHERE v IN [5, 1]", true},
+      {"reversed_time_range",
+       "SELECT COUNT(*) FROM a, b WHERE t IN [100, 0)", true},
+      {"huge_but_finite_number",
+       "SELECT COUNT(*) FROM a, b WHERE t IN [999999999999999999999999, "
+       "1e300)",
+       true},
+      {"dotted_table_names",
+       "SELECT COUNT(*) FROM P.loc, R.geometry", true},
+      {"mixed_case_keywords",
+       "sElEcT cOuNt(*) fRoM a, b wHeRe V = 1 gRoUp By Id", true},
+      {"count_of_attribute", "SELECT COUNT(fare) FROM a, b", true},
+      {"explicit_spatial_predicate",
+       "SELECT COUNT(*) FROM a, b WHERE P.loc INSIDE R.geometry", true},
+  };
+  for (const Tolerated& t : cases) {
+    const auto parsed = ParseQuerySql(t.sql);
+    EXPECT_EQ(parsed.ok(), t.expect_ok)
+        << t.label << ": "
+        << (parsed.ok() ? "ok" : parsed.status().ToString());
+  }
+}
+
+TEST(SqlEdgeCaseTest, ManyConjunctsParseWithoutRecursionBlowup) {
+  // The condition list is parsed iteratively; 200 conjuncts must neither
+  // crash nor overflow the stack.
+  std::string sql = "SELECT COUNT(*) FROM a, b WHERE v = 0";
+  for (int i = 1; i <= 200; ++i) {
+    sql += " AND v = " + std::to_string(i);
+  }
+  EXPECT_TRUE(ParseQuerySql(sql).ok());
+  sql += " AND";  // now truncated mid-conjunction
+  EXPECT_FALSE(ParseQuerySql(sql).ok());
+}
+
+TEST(SqlEdgeCaseTest, EveryPrefixTruncationReturnsCleanly) {
+  // Chop a fully-featured statement at every byte boundary: each prefix
+  // must produce a Status (ok for the few prefixes that happen to be
+  // complete statements) without reading past the buffer.
+  const std::string full =
+      "SELECT AVG(P.fare) FROM taxi, nbhd WHERE P.loc INSIDE R.geometry "
+      "AND t IN [100, 200) AND fare BETWEEN 2.5 AND 50 AND tip >= 0 "
+      "GROUP BY R.id";
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    const auto parsed = ParseQuerySql(full.substr(0, len));
+    // Reaching here without a sanitizer report is the assertion; also check
+    // the result is a genuine Status, not garbage.
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().ToString().empty()) << "len=" << len;
+    }
+  }
+  EXPECT_TRUE(ParseQuerySql(full).ok());
+}
+
+}  // namespace
+}  // namespace urbane::core

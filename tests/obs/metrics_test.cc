@@ -1,0 +1,219 @@
+// Unit tests for the metrics primitives: counters, gauges, fixed-bucket
+// histograms, registry lookup/reset semantics, and snapshot deltas.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/obs.h"
+
+namespace urbane::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ZeroDeltaIsANoOp) {
+  Counter counter;
+  counter.Add(0);
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.Value(), 1.5);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsByInclusiveUpperBound) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);   // bucket 0
+  histogram.Observe(1.0);   // bucket 0 (inclusive)
+  histogram.Observe(1.5);   // bucket 1
+  histogram.Observe(4.0);   // bucket 2 (inclusive)
+  histogram.Observe(100.0); // overflow
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(HistogramTest, SortsAndDedupesBounds) {
+  Histogram histogram({4.0, 1.0, 2.0, 1.0});
+  const std::vector<double> expected = {1.0, 2.0, 4.0};
+  EXPECT_EQ(histogram.bounds(), expected);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeroMinMax) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty", {1.0});
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+  EXPECT_EQ(h->min, 0.0);
+  EXPECT_EQ(h->max, 0.0);
+  EXPECT_EQ(h->Mean(), 0.0);
+}
+
+TEST(HistogramTest, TracksMinMaxMean) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("h", {1.0, 10.0});
+  histogram.Observe(0.5);
+  histogram.Observe(8.0);
+  histogram.Observe(2.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 8.0);
+  EXPECT_NEAR(h->Mean(), (0.5 + 8.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(RegistryTest, SameNameSameObject) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.GetGauge("x");  // separate namespace per kind
+  Gauge& g2 = registry.GetGauge("x");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(RegistryTest, FirstHistogramBoundsWin) {
+  MetricsRegistry registry;
+  Histogram& a = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram& b = registry.GetHistogram("h", {5.0});
+  EXPECT_EQ(&a, &b);
+  const std::vector<double> expected = {1.0, 2.0};
+  EXPECT_EQ(b.bounds(), expected);
+}
+
+TEST(RegistryTest, ResetZeroesButPreservesReferences) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Histogram& histogram = registry.GetHistogram("h");
+  counter.Add(7);
+  histogram.Observe(0.01);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.Count(), 0u);
+  // The reference survives reset and keeps recording.
+  counter.Add(1);
+  EXPECT_EQ(registry.GetCounter("c").Value(), 1u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta").Add(1);
+  registry.GetCounter("alpha").Add(2);
+  registry.GetCounter("mid").Add(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "mid");
+  EXPECT_EQ(snapshot.counters[2].name, "zeta");
+}
+
+TEST(RegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(SnapshotTest, CounterValueDefaultsToZero) {
+  MetricsSnapshot snapshot;
+  EXPECT_EQ(snapshot.CounterValue("absent"), 0u);
+  EXPECT_EQ(snapshot.FindCounter("absent"), nullptr);
+  EXPECT_EQ(snapshot.FindGauge("absent"), nullptr);
+  EXPECT_EQ(snapshot.FindHistogram("absent"), nullptr);
+}
+
+TEST(SnapshotTest, DeltaSubtractsCountersAndClampsAtZero) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(10);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("c").Add(5);
+  registry.GetCounter("fresh").Add(3);
+  const MetricsSnapshot after = registry.Snapshot();
+
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(after, before);
+  EXPECT_EQ(delta.CounterValue("c"), 5u);
+  EXPECT_EQ(delta.CounterValue("fresh"), 3u);
+
+  // A counter that went backwards (reset between snapshots) clamps to 0.
+  registry.Reset();
+  const MetricsSnapshot reset_delta =
+      MetricsSnapshot::Delta(registry.Snapshot(), after);
+  EXPECT_EQ(reset_delta.CounterValue("c"), 0u);
+}
+
+TEST(SnapshotTest, DeltaDiffsHistogramBuckets) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("h", {1.0, 2.0});
+  histogram.Observe(0.5);
+  const MetricsSnapshot before = registry.Snapshot();
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  const MetricsSnapshot after = registry.Snapshot();
+
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(after, before);
+  const HistogramSnapshot* h = delta.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  ASSERT_EQ(h->buckets.size(), 3u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[1], 1u);
+  EXPECT_EQ(h->buckets[2], 0u);
+  EXPECT_NEAR(h->sum, 2.0, 1e-12);
+}
+
+TEST(SnapshotTest, DeltaKeepsGaugeAfterValue) {
+  MetricsRegistry registry;
+  registry.GetGauge("g").Set(10.0);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetGauge("g").Set(4.0);
+  const MetricsSnapshot delta =
+      MetricsSnapshot::Delta(registry.Snapshot(), before);
+  const GaugeSnapshot* g = delta.FindGauge("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, 4.0);
+}
+
+TEST(DefaultLatencyBoundsTest, StrictlyIncreasing) {
+  const std::vector<double> bounds = DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(EnableFlagsTest, TogglesRoundTrip) {
+  const bool metrics_was = MetricsEnabled();
+  const bool tracing_was = TracingEnabled();
+  SetMetricsEnabled(true);
+  SetTracingEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+  EXPECT_TRUE(TracingEnabled());
+  EXPECT_FALSE(Disabled());
+  SetMetricsEnabled(false);
+  SetTracingEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  EXPECT_FALSE(TracingEnabled());
+  EXPECT_TRUE(Disabled());
+  SetMetricsEnabled(metrics_was);
+  SetTracingEnabled(tracing_was);
+}
+
+}  // namespace
+}  // namespace urbane::obs

@@ -1,0 +1,152 @@
+// Unit tests for hierarchical query tracing: span nesting via the open
+// stack, RAII handles, completed spans, tags, and text rendering.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace urbane::obs {
+namespace {
+
+TEST(QueryTraceTest, StartsEmpty) {
+  QueryTrace trace;
+  EXPECT_TRUE(trace.Empty());
+  EXPECT_TRUE(trace.Spans().empty());
+  EXPECT_TRUE(trace.Tags().empty());
+}
+
+TEST(QueryTraceTest, NestedSpansRecordParentage) {
+  QueryTrace trace;
+  const int outer = trace.BeginSpan("execute");
+  const int inner = trace.BeginSpan("scan");
+  trace.EndSpan(inner);
+  trace.EndSpan(outer);
+
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[outer].name, "execute");
+  EXPECT_EQ(spans[outer].parent, -1);
+  EXPECT_EQ(spans[inner].name, "scan");
+  EXPECT_EQ(spans[inner].parent, outer);
+  EXPECT_GE(spans[inner].duration_seconds, 0.0);
+  EXPECT_GE(spans[outer].duration_seconds, spans[inner].duration_seconds);
+}
+
+TEST(QueryTraceTest, SiblingsShareAParent) {
+  QueryTrace trace;
+  const int root = trace.BeginSpan("execute");
+  const int a = trace.BeginSpan("filter");
+  trace.EndSpan(a);
+  const int b = trace.BeginSpan("reduce");
+  trace.EndSpan(b);
+  trace.EndSpan(root);
+
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[a].parent, root);
+  EXPECT_EQ(spans[b].parent, root);
+}
+
+TEST(QueryTraceTest, EndSpanClosesOpenDescendants) {
+  QueryTrace trace;
+  const int root = trace.BeginSpan("execute");
+  const int child = trace.BeginSpan("scan");
+  const int grandchild = trace.BeginSpan("filter");
+  (void)grandchild;
+  trace.EndSpan(root);  // child + grandchild left open
+
+  for (const TraceSpanRecord& span : trace.Spans()) {
+    EXPECT_GE(span.duration_seconds, 0.0) << span.name;
+  }
+  // A new span after everything closed is a root again.
+  const int next = trace.BeginSpan("again");
+  trace.EndSpan(next);
+  EXPECT_EQ(trace.Spans()[next].parent, -1);
+  (void)child;
+}
+
+TEST(QueryTraceTest, AddCompletedSpanIsDeterministic) {
+  QueryTrace trace;
+  const int parent = trace.BeginSpan("raster");
+  const int pass = trace.AddCompletedSpan("splat", 0.25, parent);
+  trace.EndSpan(parent);
+
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[pass].name, "splat");
+  EXPECT_EQ(spans[pass].parent, parent);
+  EXPECT_DOUBLE_EQ(spans[pass].duration_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(spans[pass].start_seconds, 0.0);
+}
+
+TEST(QueryTraceTest, TraceTagsLastWriteWins) {
+  QueryTrace trace;
+  trace.Tag("cache", "miss");
+  trace.Tag("method", "scan");
+  trace.Tag("cache", "hit");
+  const auto tags = trace.Tags();
+  ASSERT_EQ(tags.size(), 2u);
+  int cache_index = tags[0].first == "cache" ? 0 : 1;
+  EXPECT_EQ(tags[cache_index].second, "hit");
+}
+
+TEST(QueryTraceTest, SpanTags) {
+  QueryTrace trace;
+  const int id = trace.BeginSpan("raster");
+  trace.AddSpanTag(id, "batch_size", "4");
+  trace.EndSpan(id);
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].tags.size(), 1u);
+  EXPECT_EQ(spans[0].tags[0].first, "batch_size");
+  EXPECT_EQ(spans[0].tags[0].second, "4");
+}
+
+TEST(QueryTraceTest, ClearEmptiesEverything) {
+  QueryTrace trace;
+  trace.Tag("k", "v");
+  const int id = trace.BeginSpan("s");
+  trace.EndSpan(id);
+  EXPECT_FALSE(trace.Empty());
+  trace.Clear();
+  EXPECT_TRUE(trace.Empty());
+  // Usable after Clear; ids restart from zero.
+  EXPECT_EQ(trace.BeginSpan("fresh"), 0);
+}
+
+TEST(TraceSpanTest, NullTraceIsANoOp) {
+  TraceSpan span(nullptr, "anything");
+  span.Tag("k", "v");  // must not crash
+  EXPECT_EQ(span.id(), -1);
+}
+
+TEST(TraceSpanTest, RaiiOpensAndCloses) {
+  QueryTrace trace;
+  {
+    TraceSpan outer(&trace, "execute");
+    TraceSpan inner(&trace, "scan");
+    inner.Tag("threads", "4");
+  }
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "execute");
+  EXPECT_EQ(spans[1].parent, 0);
+  ASSERT_EQ(spans[1].tags.size(), 1u);
+  EXPECT_EQ(spans[1].tags[0].first, "threads");
+}
+
+TEST(QueryTraceTest, ToStringRendersTreeAndTags) {
+  QueryTrace trace;
+  trace.Tag("method", "scan");
+  const int root = trace.BeginSpan("execute");
+  trace.AddCompletedSpan("filter", 0.001, root);
+  trace.EndSpan(root);
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("method = scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("execute"), std::string::npos) << text;
+  EXPECT_NE(text.find("filter"), std::string::npos) << text;
+  // Child is indented relative to the root.
+  EXPECT_LT(text.find("execute"), text.find("filter"));
+}
+
+}  // namespace
+}  // namespace urbane::obs

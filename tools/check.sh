@@ -1,31 +1,54 @@
 #!/usr/bin/env bash
-# TSan gate for the concurrent query path (see CONTRIBUTING.md).
+# Sanitizer / quick-check gate (see CONTRIBUTING.md).
 #
-# Builds the test suite with -DURBANE_SANITIZE=thread and runs the suites
-# that exercise cross-thread behavior:
+# Default mode is the TSan gate for the concurrent query path: builds the
+# test suite with -DURBANE_SANITIZE=thread and runs the suites that
+# exercise cross-thread behavior:
 #   * the parallel-executor determinism suite (parallel == serial),
 #   * the shared-engine concurrency tests (N sessions on one facade),
 #   * the QueryCache unit tests (sharded LRU under mixed traffic),
-#   * the facade cache tests (stale-ε regression included).
+#   * the facade cache tests (stale-ε regression included),
+#   * the obs metrics/trace concurrency tests (threads vs serial oracle).
 # Any data race aborts the run: TSAN_OPTIONS makes warnings fatal.
 #
-# Usage: tools/check.sh [extra ctest args...]
-#   BUILD_DIR=build-tsan  override the build directory
+# `--fast` instead builds a plain (unsanitized) tree and runs only the
+# suites labeled `fast` in tests/CMakeLists.txt — the seconds-scale
+# inner-loop gate.
+#
+# Usage: tools/check.sh [--fast] [extra ctest args...]
+#   BUILD_DIR=build-tsan  override the build directory (build-fast in --fast)
 #   JOBS=N                override the build parallelism
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
+
+MODE=tsan
+if [[ "${1:-}" == "--fast" ]]; then
+  MODE=fast
+  shift
+fi
+
+if [[ "${MODE}" == "fast" ]]; then
+  BUILD_DIR=${BUILD_DIR:-build-fast}
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+    --target util_test geometry_test raster_test index_test data_test obs_test
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
+  echo "fast check OK"
+  exit 0
+fi
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
 
 cmake -B "${BUILD_DIR}" -S . \
   -DURBANE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test obs_test
 
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation' \
+  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism' \
   "$@"
 
 echo "tsan check OK"
