@@ -18,12 +18,29 @@
 #include "core/spatial_aggregation.h"
 #include "data/region_generator.h"
 #include "data/taxi_generator.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/slow_query_log.h"
 #include "urbane/session.h"
 #include "util/timer.h"
 
 namespace {
+
+// `--telemetry` arms the full production pipeline (event journal + slow
+// query flight recorder) on top of the metrics the bench always enables,
+// so the table quantifies the armed-mode overhead on frame latency (the
+// acceptance bar is < 5% on the median).
+void ArmTelemetry() {
+  using namespace urbane;
+  obs::SetJournalEnabled(true);
+  obs::SlowQueryLogOptions options;
+  options.p99_multiplier = 3.0;
+  obs::SlowQueryLog::Global().SetOptions(options);
+  obs::SlowQueryLog::Global().Arm();
+  std::printf(
+      "telemetry armed: event journal + slow-query recorder (3x p99)\n");
+}
 
 int RunSingleSession() {
   using namespace urbane;
@@ -216,6 +233,7 @@ int RunConcurrentSessions(std::size_t num_sessions) {
 
 int main(int argc, char** argv) {
   std::size_t sessions = 1;
+  bool telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
       const long parsed = std::strtol(argv[++i], nullptr, 10);
@@ -224,10 +242,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       sessions = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--sessions N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--sessions N] [--telemetry]\n",
+                   argv[0]);
       return 1;
     }
   }
+  if (telemetry) ArmTelemetry();
   return sessions > 1 ? RunConcurrentSessions(sessions) : RunSingleSession();
 }

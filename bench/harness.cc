@@ -8,6 +8,7 @@
 #include "data/json.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/process_metrics.h"
 #include "util/csv.h"
 #include "util/timer.h"
 
@@ -145,6 +146,11 @@ bool ResultTable::Finish() const {
   }
   root.emplace_back("rows", data::JsonValue(std::move(row_array)));
   root.emplace_back("metrics_enabled", data::JsonValue(obs::MetricsEnabled()));
+  // Stamp process.* gauges (RSS, uptime, threads) so bench_report can
+  // compare memory footprints across runs, not just latencies.
+  if (obs::MetricsEnabled()) {
+    obs::UpdateProcessGauges(obs::MetricsRegistry::Global());
+  }
   root.emplace_back("metrics", obs::MetricsRegistry::Global().ToJson());
 
   const std::string json_path = std::string(csv_dir) + "/" + name_ + ".json";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -116,6 +117,13 @@ void QueryCache::TrimLocked(Shard& shard) {
          (shard.lru.size() > entry_bound || shard.bytes > byte_bound)) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
+    if (obs::JournalEnabled()) {
+      obs::Event evict;
+      evict.kind = obs::EventKind::kCacheEvict;
+      evict.fingerprint = victim.key;
+      evict.value = static_cast<double>(victim.bytes);
+      obs::EmitEvent(evict);
+    }
     shard.map.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;

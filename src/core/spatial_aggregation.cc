@@ -1,9 +1,15 @@
 #include "core/spatial_aggregation.h"
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
+#include "obs/event_journal.h"
+#include "obs/obs.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "util/timer.h"
 
 namespace urbane::core {
 
@@ -86,8 +92,8 @@ std::uint64_t SpatialAggregation::Fingerprint(const AggregationQuery& query,
   return QueryCache::Fingerprint(query, method, resolution, config_epoch());
 }
 
-StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
-                                                  ExecutionMethod method) {
+StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
+    AggregationQuery query, ExecutionMethod method, bool* cache_hit) {
   query.points = &points_;
   query.regions = &regions_;
   // Facade-level span: the executor's own span nests under it, so a trace
@@ -106,6 +112,7 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
       if (query.trace != nullptr) {
         query.trace->Tag("cache", "hit");
       }
+      if (cache_hit != nullptr) *cache_hit = true;
       return std::move(*hit);
     }
   }
@@ -121,6 +128,7 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
       if (query.trace != nullptr) {
         query.trace->Tag("cache", "hit");
       }
+      if (cache_hit != nullptr) *cache_hit = true;
       return std::move(*hit);
     }
   }
@@ -132,6 +140,82 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
   URBANE_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
   if (use_cache) {
     cache_.Insert(key, result);
+  }
+  return result;
+}
+
+StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
+                                                  ExecutionMethod method) {
+  obs::SlowQueryLog& recorder = obs::SlowQueryLog::Global();
+  const bool journal = obs::JournalEnabled();
+  const bool armed = recorder.armed();
+  const bool metrics = obs::MetricsEnabled();
+  if (!journal && !armed && !metrics && query.trace == nullptr) {
+    // The obs-off == baseline guarantee: three relaxed loads, then the
+    // unchanged query path.
+    return ExecuteUnobserved(std::move(query), method, nullptr);
+  }
+
+  // The fingerprint keys journal events and slow-query records to the same
+  // identity the cache uses (it ignores points/regions pointers, so it is
+  // safe to compute before ExecuteUnobserved fills those in).
+  const std::uint64_t fingerprint =
+      journal || armed ? Fingerprint(query, method) : 0;
+  if (journal) {
+    obs::Event start;
+    start.kind = obs::EventKind::kQueryStart;
+    start.method = static_cast<std::uint8_t>(method);
+    start.fingerprint = fingerprint;
+    obs::EmitEvent(start);
+  }
+
+  // Armed mode: attach a trace the caller did not ask for, so a slow query
+  // retains its per-pass spans. Dropped unless MaybeRecord captures it.
+  std::unique_ptr<obs::QueryTrace> armed_trace;
+  if (armed && query.trace == nullptr) {
+    armed_trace = std::make_unique<obs::QueryTrace>();
+    query.trace = armed_trace.get();
+  }
+
+  WallTimer timer;
+  bool cache_hit = false;
+  StatusOr<QueryResult> result =
+      ExecuteUnobserved(query, method, &cache_hit);
+  const double wall_seconds = timer.ElapsedSeconds();
+
+  if (metrics) {
+    // The recorder's p99-multiplier threshold derives from this histogram.
+    obs::MetricsRegistry::Global()
+        .GetHistogram("query.wall_seconds")
+        .Observe(wall_seconds);
+  }
+  if (journal) {
+    obs::Event finish;
+    finish.kind = obs::EventKind::kQueryFinish;
+    finish.method = static_cast<std::uint8_t>(method);
+    finish.fingerprint = fingerprint;
+    finish.value = wall_seconds;
+    if (cache_hit) finish.flags |= obs::kEventCacheHit;
+    if (!result.ok()) finish.flags |= obs::kEventError;
+    obs::EmitEvent(finish);
+    if (!result.ok()) {
+      obs::Event error;
+      error.kind = obs::EventKind::kError;
+      error.method = static_cast<std::uint8_t>(method);
+      error.fingerprint = fingerprint;
+      error.detail = static_cast<std::uint8_t>(result.status().code());
+      obs::EmitEvent(error);
+    }
+  }
+  if (armed) {
+    std::string plan;
+    if (query.trace != nullptr) {
+      for (const auto& [key, value] : query.trace->Tags()) {
+        if (key == "planner.explanation") plan = value;
+      }
+    }
+    recorder.MaybeRecord(fingerprint, ExecutionMethodToString(method),
+                         query.ToString(), plan, wall_seconds, query.trace);
   }
   return result;
 }
@@ -231,6 +315,17 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteAuto(
   if (query.trace != nullptr) {
     query.trace->Tag("planner.choice", ExecutionMethodToString(plan.method));
     query.trace->Tag("planner.explanation", plan.explanation);
+  }
+  if (obs::JournalEnabled()) {
+    obs::Event chose;
+    chose.kind = obs::EventKind::kPlannerChoose;
+    chose.method = static_cast<std::uint8_t>(plan.method);
+    chose.fingerprint = Fingerprint(query, plan.method);
+    chose.value = plan.method == ExecutionMethod::kScan ? plan.cost_scan
+                  : plan.method == ExecutionMethod::kIndexJoin
+                      ? plan.cost_index
+                      : plan.cost_raster;
+    obs::EmitEvent(chose);
   }
   // Honor a tighter epsilon by rebuilding the bounded executor's canvas.
   // The rebuild holds the raster method mutex (no session can be mid-query

@@ -91,6 +91,13 @@ class SpatialAggregation {
   }
 
   /// Fills in the query's points/regions and runs it with the given method.
+  ///
+  /// Telemetry: when the event journal is enabled, emits `query.start` /
+  /// `query.finish` (and `error`) events; when the slow-query flight
+  /// recorder is armed, attaches a lightweight trace and commits it to the
+  /// recorder if the wall time crosses the threshold; when metrics are
+  /// enabled, feeds the `query.wall_seconds` histogram. With everything
+  /// off the cost is three relaxed loads before the baseline path.
   StatusOr<QueryResult> Execute(AggregationQuery query,
                                 ExecutionMethod method);
 
@@ -125,6 +132,13 @@ class SpatialAggregation {
 
   /// Requires state_mu_ held.
   StatusOr<SpatialAggregationExecutor*> ExecutorLocked(ExecutionMethod method);
+
+  /// The baseline query path (cache probe + executor dispatch), free of
+  /// journal/recorder instrumentation. `cache_hit`, when non-null, reports
+  /// whether the result came from the cache.
+  StatusOr<QueryResult> ExecuteUnobserved(AggregationQuery query,
+                                          ExecutionMethod method,
+                                          bool* cache_hit);
 
   /// Cache key for `query` under the engine's *current* config (snapshots
   /// resolution + epoch under state_mu_). Stable while the query's

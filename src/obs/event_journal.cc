@@ -1,0 +1,118 @@
+#include "obs/event_journal.h"
+
+#include <chrono>
+
+namespace urbane::obs {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQueryStart:
+      return "query.start";
+    case EventKind::kQueryFinish:
+      return "query.finish";
+    case EventKind::kCacheEvict:
+      return "cache.evict";
+    case EventKind::kPlannerChoose:
+      return "planner.choose";
+    case EventKind::kSessionFrame:
+      return "session.frame";
+    case EventKind::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+EventJournal::EventJournal(std::size_t capacity)
+    : capacity_(RoundUpPow2(capacity < 2 ? 2 : capacity)),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {
+  // Slot sequence i == "slot i is free for the producer whose ticket is i".
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool EventJournal::Publish(Event event) {
+  std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  Slot* slot;
+  for (;;) {
+    slot = &slots_[pos & mask_];
+    const std::uint64_t seq = slot->seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      // Slot is free at our ticket; claim it.
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+      // CAS failed: pos was reloaded, retry with the new ticket.
+    } else if (dif < 0) {
+      // The consumer has not yet freed this slot — ring is full. Dropping
+      // here (rather than spinning) is the "never block writers" contract.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      // Another producer claimed this ticket; chase the head.
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+  event.sequence = published_.fetch_add(1, std::memory_order_relaxed);
+  if (event.timestamp_ns == 0) event.timestamp_ns = SteadyNowNs();
+  slot->event = event;
+  // Release-publish: seq == pos + 1 means "filled, consumer may take it".
+  slot->seq.store(pos + 1, std::memory_order_release);
+  return true;
+}
+
+std::size_t EventJournal::Drain(std::vector<Event>* out,
+                                std::size_t max_events) {
+  std::lock_guard<std::mutex> lock(consumer_mu_);
+  std::size_t drained = 0;
+  while (drained < max_events) {
+    Slot* slot = &slots_[tail_ & mask_];
+    const std::uint64_t seq = slot->seq.load(std::memory_order_acquire);
+    if (seq != tail_ + 1) break;  // not yet filled
+    out->push_back(slot->event);
+    // Free the slot for the producer one lap ahead.
+    slot->seq.store(tail_ + capacity_, std::memory_order_release);
+    ++tail_;
+    ++drained;
+  }
+  return drained;
+}
+
+void EventJournal::Reset() {
+  std::lock_guard<std::mutex> lock(consumer_mu_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_relaxed);
+  tail_ = 0;
+  published_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+EventJournal& EventJournal::Global() {
+  static EventJournal* journal = new EventJournal();
+  return *journal;
+}
+
+}  // namespace urbane::obs

@@ -1,0 +1,134 @@
+#ifndef URBANE_OBS_EVENT_JOURNAL_H_
+#define URBANE_OBS_EVENT_JOURNAL_H_
+
+// Bounded lock-free MPSC journal of fixed-size structured events.
+//
+// The journal is the always-on production feed: every query start/finish,
+// cache eviction, planner decision, session frame, and error drops one
+// fixed-size Event into a bounded ring. Producers (query threads) never
+// block and never allocate — a full ring drops the event and counts the
+// drop exactly. A single drainer (CLI `events`, the TelemetryExporter, or
+// a test) consumes events in publication order without ever stalling
+// producers.
+//
+// The ring is a Vyukov bounded MPMC queue specialised to multi-producer /
+// single-consumer: each slot carries a sequence number that encodes whose
+// turn it is (producer vs. consumer) for that slot, so producers only
+// contend on one atomic counter and the consumer walks the ring with plain
+// loads + one release store per slot.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace urbane::obs {
+
+enum class EventKind : std::uint8_t {
+  kQueryStart = 0,
+  kQueryFinish = 1,
+  kCacheEvict = 2,
+  kPlannerChoose = 3,
+  kSessionFrame = 4,
+  kError = 5,
+};
+
+// Stable wire name for an event kind ("query.start", "cache.evict", ...).
+const char* EventKindName(EventKind kind);
+
+// Event::flags bits.
+inline constexpr std::uint8_t kEventCacheHit = 1u << 0;
+inline constexpr std::uint8_t kEventError = 1u << 1;
+
+// One fixed-size journal entry. Interpretation of the payload fields by
+// kind (unused fields are zero):
+//   kQueryStart    method=ExecutionMethod, fingerprint=query fingerprint
+//   kQueryFinish   method, fingerprint, value=wall seconds,
+//                  flags&kEventCacheHit, flags&kEventError
+//   kCacheEvict    fingerprint=evicted key, value=entry bytes
+//   kPlannerChoose method=chosen ExecutionMethod, fingerprint,
+//                  value=estimated cost of the chosen plan
+//   kSessionFrame  detail=InteractionKind, value=frame seconds,
+//                  flags&kEventCacheHit
+//   kError         method, fingerprint, detail=StatusCode
+struct Event {
+  EventKind kind = EventKind::kQueryStart;
+  std::uint8_t method = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t detail = 0;
+  std::uint64_t fingerprint = 0;
+  double value = 0.0;
+  // Monotonic (steady_clock) nanoseconds, stamped at publication.
+  std::uint64_t timestamp_ns = 0;
+  // Global publication order; contiguous across drains, so gaps caused by
+  // overflow drops are visible to consumers.
+  std::uint64_t sequence = 0;
+};
+
+class EventJournal {
+ public:
+  // Capacity is rounded up to a power of two; minimum 2.
+  explicit EventJournal(std::size_t capacity = kDefaultCapacity);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  // Publishes one event (stamping sequence + timestamp). Never blocks;
+  // returns false and counts the drop when the ring is full. Safe to call
+  // from any number of threads concurrently with Drain.
+  bool Publish(Event event);
+
+  // Drains up to max_events in publication order into *out (appending).
+  // Single-consumer: concurrent Drain calls are serialised internally, and
+  // never block producers. Returns the number of events appended.
+  std::size_t Drain(std::vector<Event>* out,
+                    std::size_t max_events = SIZE_MAX);
+
+  std::size_t capacity() const { return capacity_; }
+  // Total events accepted / rejected since construction (or last Reset).
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Discards buffered events and zeroes the publish/drop counters. Not
+  // safe concurrently with Publish; intended for tests and CLI resets.
+  void Reset();
+
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  // The process-wide journal instrumentation sites publish into.
+  static EventJournal& Global();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq;
+    Event event;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next producer position
+  alignas(64) std::uint64_t tail_ = 0;              // next consumer position
+  std::mutex consumer_mu_;                          // serialises drainers
+  alignas(64) std::atomic<std::uint64_t> published_{0};
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Publishes into EventJournal::Global() iff JournalEnabled(); stamps the
+// timestamp. Instrumentation sites call this so a disabled journal costs
+// one relaxed load.
+inline void EmitEvent(const Event& event) {
+  if (!JournalEnabled()) return;
+  EventJournal::Global().Publish(event);
+}
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_EVENT_JOURNAL_H_

@@ -1,0 +1,238 @@
+#include "obs/exporter.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/process_metrics.h"
+#include "obs/prometheus.h"
+#include "obs/slow_query_log.h"
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define URBANE_HAVE_SOCKETS 1
+#endif
+
+namespace urbane::obs {
+
+namespace {
+
+constexpr int kPollSliceMs = 50;
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+#ifdef URBANE_HAVE_SOCKETS
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+// Blocking send of the whole buffer; swallows errors (client gone).
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+#endif  // URBANE_HAVE_SOCKETS
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << code << " " << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(TelemetryExporterOptions options)
+    : options_(std::move(options)) {}
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+Status TelemetryExporter::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("exporter already running");
+  }
+#ifndef URBANE_HAVE_SOCKETS
+  if (options_.listen) {
+    return Status::NotImplemented("sockets unavailable on this platform");
+  }
+#else
+  if (options_.listen) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IoError("bind: " + err);
+    }
+    if (::listen(listen_fd_, 8) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IoError("listen: " + err);
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      port_ = ntohs(addr.sin_port);
+    }
+    // Non-blocking accept so the poll loop never wedges on a vanished
+    // connection between poll() and accept().
+    const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+#endif  // URBANE_HAVE_SOCKETS
+
+  stop_.store(false, std::memory_order_release);
+  last_flushed_ = MetricsSnapshot{};
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void TelemetryExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+#ifdef URBANE_HAVE_SOCKETS
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+#endif
+  port_ = 0;
+  Flush();  // final flush so short-lived runs still leave a sink line
+}
+
+void TelemetryExporter::Run() {
+  using Clock = std::chrono::steady_clock;
+  const auto flush_period = std::chrono::duration<double>(
+      options_.flush_period_seconds > 0.0 ? options_.flush_period_seconds
+                                          : 1.0);
+  Flush();  // initial snapshot establishes the delta baseline
+  auto next_flush = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       flush_period);
+  while (!stop_.load(std::memory_order_acquire)) {
+#ifdef URBANE_HAVE_SOCKETS
+    if (listen_fd_ >= 0) {
+      pollfd pfd{};
+      pfd.fd = listen_fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, kPollSliceMs);
+      if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client >= 0) ServeOne(client);
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollSliceMs));
+    }
+#else
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollSliceMs));
+#endif
+    if (Clock::now() >= next_flush) {
+      Flush();
+      next_flush = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      flush_period);
+    }
+  }
+}
+
+#ifdef URBANE_HAVE_SOCKETS
+void TelemetryExporter::ServeOne(int client_fd) {
+  // Bound how long a slow client can hold the loop hostage.
+  timeval timeout{};
+  timeout.tv_sec = 1;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+    // GET requests have no body; the request line alone is enough.
+    if (request.find('\n') != std::string::npos) break;
+  }
+
+  std::string method, path;
+  std::istringstream line(request.substr(0, request.find('\n')));
+  line >> method >> path;
+  SendAll(client_fd, HandleRequest(method, path));
+  ::close(client_fd);
+}
+#else
+void TelemetryExporter::ServeOne(int) {}
+#endif  // URBANE_HAVE_SOCKETS
+
+std::string TelemetryExporter::HandleRequest(const std::string& method,
+                                             const std::string& path) const {
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed", "text/plain",
+                        "method not allowed\n");
+  }
+  // Ignore any query string.
+  const std::string route = path.substr(0, path.find('?'));
+  if (route == "/metrics") {
+    UpdateProcessGauges(MetricsRegistry::Global());
+    const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                        ToPrometheusText(snapshot));
+  }
+  if (route == "/slowlog") {
+    return HttpResponse(200, "OK", "application/json",
+                        SlowQueryLog::Global().ToJson().Dump(2) + "\n");
+  }
+  if (route == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain", "not found\n");
+}
+
+void TelemetryExporter::Flush() {
+  if (options_.sink_path.empty()) return;
+  UpdateProcessGauges(MetricsRegistry::Global());
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(snapshot, last_flushed_);
+  last_flushed_ = snapshot;
+
+  data::JsonValue::Object line;
+  line.emplace_back("schema", data::JsonValue("urbane.telemetry.v1"));
+  line.emplace_back("uptime_seconds",
+                    data::JsonValue(ProcessUptimeSeconds()));
+  line.emplace_back("delta", delta.ToJson());
+  std::ofstream out(options_.sink_path, std::ios::app);
+  if (!out) return;
+  out << data::JsonValue(std::move(line)).Dump(-1) << "\n";
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace urbane::obs

@@ -1,0 +1,85 @@
+#ifndef URBANE_OBS_EXPORTER_H_
+#define URBANE_OBS_EXPORTER_H_
+
+// Background telemetry exporter.
+//
+// One thread owns (a) a periodic flush that snapshots the metrics registry
+// and appends a JSONL delta line ("urbane.telemetry.v1") to a sink file,
+// and (b) a minimal single-threaded, poll-based HTTP/1.0 listener serving
+//   GET /metrics  — Prometheus text exposition format (0.0.4)
+//   GET /slowlog  — the slow-query flight recorder as urbane.slowlog.v1
+//   GET /healthz  — "ok"
+// Requests are handled synchronously between 50 ms poll slices, so Stop()
+// latency is bounded and no extra threads are spawned. No third-party
+// dependencies — raw POSIX sockets.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace urbane::obs {
+
+struct TelemetryExporterOptions {
+  // TCP listener; port 0 picks an ephemeral port (see port()). Set
+  // listen = false for a sink-only exporter with no socket.
+  bool listen = true;
+  std::uint16_t port = 0;
+  // JSONL delta sink; empty disables file output.
+  std::string sink_path;
+  // Period between registry snapshots / sink flushes.
+  double flush_period_seconds = 1.0;
+};
+
+class TelemetryExporter {
+ public:
+  explicit TelemetryExporter(TelemetryExporterOptions options = {});
+  ~TelemetryExporter();  // calls Stop()
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  // Binds the listener (when enabled) and starts the background thread.
+  // Fails on socket errors or double Start.
+  Status Start();
+  // Stops the thread, closes the socket, and writes one final sink flush.
+  // Idempotent; also invoked by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolves port 0 to the actual ephemeral port); 0 when
+  // not listening.
+  std::uint16_t port() const { return port_; }
+  const TelemetryExporterOptions& options() const { return options_; }
+
+  // Handles one request path and returns the full HTTP response; exposed
+  // for tests. `path` is e.g. "/metrics".
+  std::string HandleRequest(const std::string& method,
+                            const std::string& path) const;
+
+  // Number of sink flushes written so far.
+  std::uint64_t flushes() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  void ServeOne(int client_fd);
+  void Flush();
+
+  TelemetryExporterOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<std::uint64_t> flushes_{0};
+  MetricsSnapshot last_flushed_;  // thread-private to Run()/final Stop flush
+};
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_EXPORTER_H_

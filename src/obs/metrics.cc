@@ -125,6 +125,34 @@ double HistogramSnapshot::Mean() const {
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, linear in q).
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const double next = static_cast<double>(cumulative + in_bucket);
+    if (rank <= next || i + 1 == buckets.size()) {
+      // Interpolate within [lower, upper). The overflow bucket (no bound)
+      // stretches from the last bound to the observed max.
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = i < bounds.size() ? bounds[i] : std::max(max, lower);
+      const double into =
+          std::min(1.0, std::max(0.0, (rank - static_cast<double>(cumulative)) /
+                                          static_cast<double>(in_bucket)));
+      const double value = lower + (upper - lower) * into;
+      // Bucket edges can over/under-shoot the true range; the histogram
+      // tracks exact min/max, so clamp to them.
+      return std::min(max, std::max(min, value));
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
 namespace {
 
 template <typename T>
@@ -201,6 +229,11 @@ data::JsonValue MetricsSnapshot::ToJson() const {
     entry.emplace_back("sum", data::JsonValue(histogram.sum));
     entry.emplace_back("min", data::JsonValue(histogram.min));
     entry.emplace_back("max", data::JsonValue(histogram.max));
+    // Derived, not parsed back by FromJson (recomputable from the buckets);
+    // exported so dashboards need not re-derive quantiles themselves.
+    entry.emplace_back("p50", data::JsonValue(histogram.Quantile(0.50)));
+    entry.emplace_back("p95", data::JsonValue(histogram.Quantile(0.95)));
+    entry.emplace_back("p99", data::JsonValue(histogram.Quantile(0.99)));
     histogram_array.emplace_back(std::move(entry));
   }
   root.emplace_back("histograms", data::JsonValue(std::move(histogram_array)));
@@ -393,6 +426,29 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
     slot = std::make_unique<Histogram>(std::move(bounds));
   }
   return *slot;
+}
+
+HistogramSnapshot MetricsRegistry::SnapshotHistogram(
+    const std::string& name) const {
+  HistogramSnapshot copy;
+  const Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) return copy;
+  const Histogram& histogram = *it->second;
+  copy.name = name;
+  copy.bounds = histogram.bounds();
+  copy.buckets.reserve(histogram.buckets_.size());
+  for (const auto& bucket : histogram.buckets_) {
+    copy.buckets.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  copy.count = histogram.count_.load(std::memory_order_relaxed);
+  copy.sum = histogram.sum_.load(std::memory_order_relaxed);
+  const double min = histogram.min_.load(std::memory_order_relaxed);
+  const double max = histogram.max_.load(std::memory_order_relaxed);
+  copy.min = copy.count == 0 ? 0.0 : min;
+  copy.max = copy.count == 0 ? 0.0 : max;
+  return copy;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

@@ -116,6 +116,11 @@ struct HistogramSnapshot {
   double max = 0.0;
 
   double Mean() const;
+  /// Approximate quantile (q in [0, 1]) by linear interpolation inside the
+  /// fixed buckets, clamped to the exact observed [min, max]. Returns 0
+  /// when the histogram is empty. The overflow bucket interpolates between
+  /// the last bound and max.
+  double Quantile(double q) const;
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.
@@ -170,6 +175,10 @@ class MetricsRegistry {
                           std::vector<double> bounds = DefaultLatencyBounds());
 
   MetricsSnapshot Snapshot() const;
+  /// Copies a single histogram without walking the whole registry — cheap
+  /// enough for periodic reads on the query path (slow-query thresholds).
+  /// Returns an empty snapshot (count 0, empty name) when absent.
+  HistogramSnapshot SnapshotHistogram(const std::string& name) const;
   data::JsonValue ToJson() const { return Snapshot().ToJson(); }
 
   /// Zeroes every metric's value, preserving the objects (and therefore

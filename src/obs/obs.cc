@@ -7,6 +7,7 @@ namespace urbane::obs {
 namespace internal {
 std::atomic<bool> g_metrics_enabled{false};
 std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_journal_enabled{false};
 }  // namespace internal
 
 void SetMetricsEnabled(bool enabled) {
@@ -15,6 +16,10 @@ void SetMetricsEnabled(bool enabled) {
 
 void SetTracingEnabled(bool enabled) {
   internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetJournalEnabled(bool enabled) {
+  internal::g_journal_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 #endif  // URBANE_OBS_DISABLED

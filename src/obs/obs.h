@@ -20,8 +20,10 @@ namespace urbane::obs {
 
 inline constexpr bool MetricsEnabled() { return false; }
 inline constexpr bool TracingEnabled() { return false; }
+inline constexpr bool JournalEnabled() { return false; }
 inline void SetMetricsEnabled(bool) {}
 inline void SetTracingEnabled(bool) {}
+inline void SetJournalEnabled(bool) {}
 
 #else
 
@@ -30,6 +32,7 @@ namespace internal {
 // *recording*, not inter-thread data publication.
 extern std::atomic<bool> g_metrics_enabled;
 extern std::atomic<bool> g_tracing_enabled;
+extern std::atomic<bool> g_journal_enabled;
 }  // namespace internal
 
 inline bool MetricsEnabled() {
@@ -38,8 +41,15 @@ inline bool MetricsEnabled() {
 inline bool TracingEnabled() {
   return internal::g_tracing_enabled.load(std::memory_order_relaxed);
 }
+// Gates the structured event journal (obs/event_journal.h). Independent of
+// the other two switches: the journal is the always-on production feed,
+// metrics/tracing are the heavier aggregate/diagnostic layers.
+inline bool JournalEnabled() {
+  return internal::g_journal_enabled.load(std::memory_order_relaxed);
+}
 void SetMetricsEnabled(bool enabled);
 void SetTracingEnabled(bool enabled);
+void SetJournalEnabled(bool enabled);
 
 #endif  // URBANE_OBS_DISABLED
 

@@ -1,0 +1,94 @@
+#include "obs/process_metrics.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace urbane::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+// Ensures the uptime origin is stamped at static-init time, not on the
+// first scrape.
+const bool g_start_stamped = (ProcessStart(), true);
+
+}  // namespace
+
+double ProcessUptimeSeconds() {
+  (void)g_start_stamped;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
+}
+
+std::uint64_t ProcessResidentBytes() {
+#ifdef __linux__
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t vm_pages = 0, rss_pages = 0;
+  if (statm >> vm_pages >> rss_pages) {
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page > 0) return rss_pages * static_cast<std::uint64_t>(page);
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t ProcessVirtualBytes() {
+#ifdef __linux__
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t vm_pages = 0;
+  if (statm >> vm_pages) {
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page > 0) return vm_pages * static_cast<std::uint64_t>(page);
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t ProcessThreadCount() {
+#ifdef __linux__
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      std::istringstream fields(line.substr(8));
+      std::uint64_t threads = 0;
+      if (fields >> threads) return threads;
+      break;
+    }
+  }
+#endif
+  return 0;
+}
+
+void UpdateProcessGauges(MetricsRegistry& registry) {
+  registry.GetGauge("process.uptime_seconds").Set(ProcessUptimeSeconds());
+  if (const std::uint64_t rss = ProcessResidentBytes(); rss > 0) {
+    registry.GetGauge("process.resident_bytes")
+        .Set(static_cast<double>(rss));
+  }
+  if (const std::uint64_t vm = ProcessVirtualBytes(); vm > 0) {
+    registry.GetGauge("process.virtual_bytes").Set(static_cast<double>(vm));
+  }
+  if (const std::uint64_t threads = ProcessThreadCount(); threads > 0) {
+    registry.GetGauge("process.threads").Set(static_cast<double>(threads));
+  }
+  registry.GetGauge("process.hardware_threads")
+      .Set(static_cast<double>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace urbane::obs

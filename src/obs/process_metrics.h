@@ -1,0 +1,31 @@
+#ifndef URBANE_OBS_PROCESS_METRICS_H_
+#define URBANE_OBS_PROCESS_METRICS_H_
+
+// Process-level gauges for the exporter's /metrics page: uptime, memory
+// from /proc/self (graceful zero fallback off-Linux), and thread counts.
+
+#include <cstdint>
+
+namespace urbane::obs {
+class MetricsRegistry;
+
+// Seconds since this module was first initialised (steady clock).
+double ProcessUptimeSeconds();
+
+// Resident-set / virtual-memory size in bytes from /proc/self/statm;
+// 0 when unavailable (non-Linux or restricted /proc).
+std::uint64_t ProcessResidentBytes();
+std::uint64_t ProcessVirtualBytes();
+
+// Live OS thread count from /proc/self/status ("Threads:"); 0 when
+// unavailable.
+std::uint64_t ProcessThreadCount();
+
+// Writes the process.* gauges (uptime_seconds, resident_bytes,
+// virtual_bytes, threads, hardware_threads) into `registry`. Unavailable
+// values are skipped rather than exported as 0.
+void UpdateProcessGauges(MetricsRegistry& registry);
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_PROCESS_METRICS_H_

@@ -1,0 +1,70 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace urbane::obs {
+
+namespace {
+
+void AppendNumber(std::ostringstream& out, double value) {
+  // ostream default formatting gives shortest-ish round-trippable doubles
+  // at precision 17; Prometheus accepts any float literal. Use a fixed
+  // high precision but trim via ostringstream default instead.
+  out << value;
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "urbane_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(12);
+
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    const std::string name = PrometheusMetricName(counter.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << counter.value << "\n";
+  }
+
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    const std::string name = PrometheusMetricName(gauge.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " ";
+    AppendNumber(out, gauge.value);
+    out << "\n";
+  }
+
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    const std::string name = PrometheusMetricName(histogram.name);
+    out << "# TYPE " << name << " histogram\n";
+    // Snapshot buckets are per-bucket counts; Prometheus buckets are
+    // cumulative ("observations <= le").
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
+      cumulative += i < histogram.buckets.size() ? histogram.buckets[i] : 0;
+      out << name << "_bucket{le=\"";
+      AppendNumber(out, histogram.bounds[i]);
+      out << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << histogram.count << "\n";
+    out << name << "_sum ";
+    AppendNumber(out, histogram.sum);
+    out << "\n";
+    out << name << "_count " << histogram.count << "\n";
+  }
+
+  return out.str();
+}
+
+}  // namespace urbane::obs

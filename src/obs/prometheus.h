@@ -1,0 +1,22 @@
+#ifndef URBANE_OBS_PROMETHEUS_H_
+#define URBANE_OBS_PROMETHEUS_H_
+
+// Prometheus text exposition format (version 0.0.4) rendering for a
+// MetricsSnapshot. Metric names are prefixed "urbane_" and sanitised to
+// [a-zA-Z0-9_:]; histograms render the conventional cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace urbane::obs {
+
+// "cache.hits" -> "urbane_cache_hits".
+std::string PrometheusMetricName(const std::string& name);
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_PROMETHEUS_H_

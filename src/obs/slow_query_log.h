@@ -1,0 +1,117 @@
+#ifndef URBANE_OBS_SLOW_QUERY_LOG_H_
+#define URBANE_OBS_SLOW_QUERY_LOG_H_
+
+// Slow-query flight recorder.
+//
+// Globally enabling per-query tracing is too expensive for production, and
+// switching it on *after* a slow query happened is too late. The flight
+// recorder arms a cheap per-query trace instead: the facade attaches a
+// trace to every query while armed, and after the query finishes asks
+// `MaybeRecord` whether the wall time crossed the threshold. Only then is
+// the full trace (with per-pass spans), the query fingerprint, the query
+// text, and the plan committed to a bounded ring of retained records —
+// tail diagnosis at the cost of one trace allocation per query.
+//
+// The threshold is either absolute (`threshold_seconds`) or relative: with
+// `p99_multiplier > 0` the threshold is `multiplier * p99` of a registry
+// latency histogram, re-read at most every 250 ms so the p99 computation
+// stays off the per-query path.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace urbane::obs {
+
+struct SlowQueryRecord {
+  std::uint64_t sequence = 0;       // monotonically increasing capture index
+  std::uint64_t fingerprint = 0;    // query fingerprint (cache key)
+  std::string method;               // executor name ("scan", "raster", ...)
+  std::string query;                // AggregationQuery::ToString()
+  std::string plan;                 // planner explanation, if any
+  double wall_seconds = 0.0;
+  double threshold_seconds = 0.0;   // the threshold in force at capture
+  double timestamp_seconds = 0.0;   // process uptime at capture
+  data::JsonValue trace;            // urbane.trace.v1 span tree
+};
+
+struct SlowQueryLogOptions {
+  // Absolute threshold. Used as-is when p99_multiplier == 0.
+  double threshold_seconds = 0.1;
+  // When > 0: threshold = p99_multiplier * p99(histogram_name), floored at
+  // threshold_floor_seconds so an idle histogram doesn't capture everything.
+  double p99_multiplier = 0.0;
+  std::string histogram_name = "query.wall_seconds";
+  double threshold_floor_seconds = 0.001;
+  // Retained records; oldest evicted first.
+  std::size_t capacity = 64;
+};
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowQueryLogOptions options = {});
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // The process-wide recorder the facade consults.
+  static SlowQueryLog& Global();
+
+  // Armed == the facade should attach a lightweight trace to every query.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  void Arm() { armed_.store(true, std::memory_order_relaxed); }
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+  void SetOptions(const SlowQueryLogOptions& options);
+  SlowQueryLogOptions options() const;
+
+  // The threshold currently in force (cached; see RefreshThreshold).
+  double ThresholdSeconds() const;
+  // Recomputes the p99-derived threshold immediately (the per-query path
+  // refreshes it lazily at most every 250 ms). Reads `registry` — pass the
+  // registry whose histogram the options name; defaults to the global one.
+  void RefreshThreshold(const MetricsRegistry* registry = nullptr);
+
+  // Commits a record iff wall_seconds >= ThresholdSeconds(). The trace may
+  // be null (the record is kept without spans). Returns true on capture.
+  bool MaybeRecord(std::uint64_t fingerprint, const std::string& method,
+                   const std::string& query, const std::string& plan,
+                   double wall_seconds, const QueryTrace* trace);
+
+  // Newest-last copy of the retained records.
+  std::vector<SlowQueryRecord> Records() const;
+  // Total captures since construction/Clear (>= Records().size()).
+  std::uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  // Schema "urbane.slowlog.v1": {schema, armed, threshold_seconds,
+  // captured, records: [...]} — see DESIGN.md "Observability".
+  data::JsonValue ToJson() const;
+
+ private:
+  std::atomic<bool> armed_{false};
+
+  mutable std::mutex mu_;
+  SlowQueryLogOptions options_;
+  std::deque<SlowQueryRecord> records_;
+  std::atomic<std::uint64_t> captured_{0};
+  std::uint64_t next_sequence_ = 0;
+
+  // Cached threshold, refreshed from the histogram at most every 250 ms.
+  mutable std::mutex threshold_mu_;
+  mutable double cached_threshold_ = 0.0;
+  mutable double cached_at_seconds_ = -1.0;
+};
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_SLOW_QUERY_LOG_H_

@@ -10,8 +10,10 @@
 #include "data/geojson.h"
 #include "data/region_generator.h"
 #include "data/taxi_generator.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/slow_query_log.h"
 #include "urbane/map_view.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -65,6 +67,10 @@ const char* CommandInterpreter::Help() {
          "  map <points> <regions> <out.ppm> [title...]\n"
          "  stats [on|off|reset|json]\n"
          "  trace on|off|dump [json]\n"
+         "  serve [[start] [port] [sink <path>]|stop|status]\n"
+         "  events [drain|status|on|off|reset]\n"
+         "  slowlog [arm [threshold-ms]|arm p99 [multiplier]|disarm|clear|"
+         "json]\n"
          "  list | help | quit\n";
 }
 
@@ -144,6 +150,15 @@ Status CommandInterpreter::Dispatch(const std::string& line,
   }
   if (command == "trace") {
     return CmdTrace(tokens, out);
+  }
+  if (command == "serve") {
+    return CmdServe(tokens, out);
+  }
+  if (command == "events") {
+    return CmdEvents(tokens, out);
+  }
+  if (command == "slowlog") {
+    return CmdSlowlog(tokens, out);
   }
   return Status::InvalidArgument("unknown command '" + tokens[0] +
                                  "' (try 'help')");
@@ -489,6 +504,237 @@ Status CommandInterpreter::CmdTrace(const std::vector<std::string>& args,
     return Status::OK();
   }
   return Status::InvalidArgument("trace expects 'on', 'off', or 'dump'");
+}
+
+Status CommandInterpreter::CmdServe(const std::vector<std::string>& args,
+                                    std::ostream& out) {
+  std::string action =
+      args.size() >= 2 ? ToLowerAscii(args[1]) : std::string("start");
+  // "serve 9090" and "serve sink <path>" are shorthands for "serve start ...".
+  std::size_t i = 2;
+  if (action != "start" && action != "stop" && action != "status") {
+    const bool numeric =
+        !action.empty() &&
+        action.find_first_not_of("0123456789") == std::string::npos;
+    if (numeric || action == "sink") {
+      action = "start";
+      i = 1;
+    }
+  }
+  if (action == "stop") {
+    if (exporter_ == nullptr) {
+      out << "exporter is not running\n";
+      return Status::OK();
+    }
+    exporter_->Stop();
+    exporter_.reset();
+    out << "exporter stopped\n";
+    return Status::OK();
+  }
+  if (action == "status") {
+    if (exporter_ != nullptr && exporter_->running()) {
+      out << "exporter listening on 127.0.0.1:" << exporter_->port() << "\n";
+    } else {
+      out << "exporter is not running\n";
+    }
+    return Status::OK();
+  }
+  if (action != "start") {
+    return Status::InvalidArgument(
+        "usage: serve [[start] [port] [sink <path>]|stop|status]");
+  }
+  if (exporter_ != nullptr && exporter_->running()) {
+    return Status::FailedPrecondition(
+        "exporter already running ('serve stop' first)");
+  }
+  obs::TelemetryExporterOptions options;
+  if (i < args.size() && ToLowerAscii(args[i]) != "sink") {
+    URBANE_ASSIGN_OR_RETURN(std::int64_t port, ParseInt64(args[i]));
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("port out of range: " + args[i]);
+    }
+    options.port = static_cast<std::uint16_t>(port);
+    ++i;
+  }
+  if (i < args.size() && ToLowerAscii(args[i]) == "sink") {
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("'sink' expects a file path");
+    }
+    options.sink_path = args[i + 1];
+    i += 2;
+  }
+  if (i < args.size()) {
+    return Status::InvalidArgument("unexpected argument: " + args[i]);
+  }
+  // A scrape endpoint with an empty registry is useless, so serving
+  // implies the metrics + journal switches.
+  obs::SetMetricsEnabled(true);
+  obs::SetJournalEnabled(true);
+  exporter_ = std::make_unique<obs::TelemetryExporter>(options);
+  if (Status status = exporter_->Start(); !status.ok()) {
+    exporter_.reset();
+    return status;
+  }
+  out << "exporter listening on 127.0.0.1:" << exporter_->port()
+      << " (metrics + journal on; try: curl http://127.0.0.1:"
+      << exporter_->port() << "/metrics)\n";
+  if (!options.sink_path.empty()) {
+    out << "telemetry sink: " << options.sink_path << "\n";
+  }
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdEvents(const std::vector<std::string>& args,
+                                     std::ostream& out) {
+  obs::EventJournal& journal = obs::EventJournal::Global();
+  const std::string action =
+      args.size() >= 2 ? ToLowerAscii(args[1]) : std::string("drain");
+  if (action == "on") {
+    obs::SetJournalEnabled(true);
+    out << "event journal on\n";
+    return Status::OK();
+  }
+  if (action == "off") {
+    obs::SetJournalEnabled(false);
+    out << "event journal off\n";
+    return Status::OK();
+  }
+  if (action == "reset") {
+    journal.Reset();
+    out << "event journal reset\n";
+    return Status::OK();
+  }
+  if (action == "status") {
+    out << StringPrintf(
+        "event journal: %s, capacity=%zu published=%llu dropped=%llu\n",
+        obs::JournalEnabled() ? "on" : "off", journal.capacity(),
+        static_cast<unsigned long long>(journal.published()),
+        static_cast<unsigned long long>(journal.dropped()));
+    return Status::OK();
+  }
+  if (action != "drain") {
+    return Status::InvalidArgument(
+        "usage: events [drain|status|on|off|reset]");
+  }
+  if (!obs::JournalEnabled() && journal.published() == 0) {
+    out << "event journal is off ('events on' to enable)\n";
+    return Status::OK();
+  }
+  std::vector<obs::Event> events;
+  journal.Drain(&events);
+  if (events.empty()) {
+    out << "no events\n";
+    return Status::OK();
+  }
+  for (const obs::Event& event : events) {
+    out << StringPrintf("%8llu  %-14s",
+                        static_cast<unsigned long long>(event.sequence),
+                        obs::EventKindName(event.kind));
+    if (event.kind == obs::EventKind::kQueryStart ||
+        event.kind == obs::EventKind::kQueryFinish ||
+        event.kind == obs::EventKind::kPlannerChoose ||
+        event.kind == obs::EventKind::kError) {
+      out << "  method=" << core::ExecutionMethodToString(
+                                static_cast<core::ExecutionMethod>(
+                                    event.method));
+    }
+    if (event.fingerprint != 0) {
+      out << StringPrintf(
+          "  fp=%016llx",
+          static_cast<unsigned long long>(event.fingerprint));
+    }
+    if (event.kind == obs::EventKind::kQueryFinish ||
+        event.kind == obs::EventKind::kSessionFrame) {
+      out << "  wall=" << FormatDuration(event.value);
+    } else if (event.kind == obs::EventKind::kCacheEvict) {
+      out << StringPrintf("  bytes=%.0f", event.value);
+    } else if (event.kind == obs::EventKind::kPlannerChoose) {
+      out << StringPrintf("  cost=%.3g", event.value);
+    }
+    if ((event.flags & obs::kEventCacheHit) != 0) out << "  cache-hit";
+    if ((event.flags & obs::kEventError) != 0) out << "  error";
+    out << "\n";
+  }
+  out << events.size() << " events ("
+      << static_cast<unsigned long long>(journal.dropped()) << " dropped)\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdSlowlog(const std::vector<std::string>& args,
+                                      std::ostream& out) {
+  obs::SlowQueryLog& recorder = obs::SlowQueryLog::Global();
+  const std::string action =
+      args.size() >= 2 ? ToLowerAscii(args[1]) : std::string("show");
+  if (action == "arm") {
+    obs::SlowQueryLogOptions options = recorder.options();
+    if (args.size() >= 3 && ToLowerAscii(args[2]) == "p99") {
+      options.p99_multiplier = 3.0;
+      if (args.size() >= 4) {
+        URBANE_ASSIGN_OR_RETURN(std::int64_t mult, ParseInt64(args[3]));
+        if (mult <= 0) {
+          return Status::InvalidArgument("multiplier must be positive");
+        }
+        options.p99_multiplier = static_cast<double>(mult);
+      }
+      // The rolling threshold needs the latency histogram populated.
+      obs::SetMetricsEnabled(true);
+    } else {
+      options.p99_multiplier = 0.0;
+      if (args.size() >= 3) {
+        URBANE_ASSIGN_OR_RETURN(std::int64_t ms, ParseInt64(args[2]));
+        if (ms < 0) {
+          return Status::InvalidArgument("threshold must be >= 0");
+        }
+        options.threshold_seconds = static_cast<double>(ms) / 1000.0;
+      }
+    }
+    recorder.SetOptions(options);
+    recorder.Arm();
+    if (options.p99_multiplier > 0.0) {
+      out << StringPrintf(
+          "slow-query recorder armed (threshold = %.0fx rolling p99 of "
+          "%s)\n",
+          options.p99_multiplier, options.histogram_name.c_str());
+    } else {
+      out << StringPrintf("slow-query recorder armed (threshold = %s)\n",
+                          FormatDuration(options.threshold_seconds).c_str());
+    }
+    return Status::OK();
+  }
+  if (action == "disarm") {
+    recorder.Disarm();
+    out << "slow-query recorder disarmed\n";
+    return Status::OK();
+  }
+  if (action == "clear") {
+    recorder.Clear();
+    out << "slow-query log cleared\n";
+    return Status::OK();
+  }
+  if (action == "json") {
+    out << recorder.ToJson().Dump(2) << "\n";
+    return Status::OK();
+  }
+  if (action != "show") {
+    return Status::InvalidArgument(
+        "usage: slowlog [arm [threshold-ms]|arm p99 [multiplier]|disarm|"
+        "clear|json]");
+  }
+  const std::vector<obs::SlowQueryRecord> records = recorder.Records();
+  out << StringPrintf(
+      "slow-query recorder: %s, threshold=%s, captured=%llu, retained=%zu\n",
+      recorder.armed() ? "armed" : "disarmed",
+      FormatDuration(recorder.ThresholdSeconds()).c_str(),
+      static_cast<unsigned long long>(recorder.captured()), records.size());
+  for (const obs::SlowQueryRecord& record : records) {
+    out << StringPrintf(
+        "  #%llu  %s  wall=%s  fp=%016llx  %s\n",
+        static_cast<unsigned long long>(record.sequence),
+        record.method.c_str(), FormatDuration(record.wall_seconds).c_str(),
+        static_cast<unsigned long long>(record.fingerprint),
+        record.query.c_str());
+  }
+  return Status::OK();
 }
 
 void CommandInterpreter::CmdList(std::ostream& out) {

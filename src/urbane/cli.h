@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/planner.h"
+#include "obs/exporter.h"
 #include "obs/trace.h"
 #include "urbane/dataset_manager.h"
 
@@ -30,6 +31,11 @@ namespace urbane::app {
 ///   map <points> <regions> <out.ppm> [title...]
 ///   stats [on|off|reset|json]          process-wide metrics registry
 ///   trace on|off|dump [json]           per-query span traces for sql
+///   serve [start [port] [sink <path>]|stop|status]
+///                                      telemetry exporter (/metrics HTTP)
+///   events [drain|status|on|off|reset] structured event journal
+///   slowlog [arm [ms]|arm p99 [mult]|disarm|clear|json]
+///                                      slow-query flight recorder
 ///   list                               registered data sets
 ///   help
 ///   quit
@@ -58,14 +64,24 @@ class CommandInterpreter {
   Status CmdMap(const std::vector<std::string>& args, std::ostream& out);
   Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
   Status CmdTrace(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdServe(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdEvents(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdSlowlog(const std::vector<std::string>& args, std::ostream& out);
   void CmdList(std::ostream& out);
 
+ public:
+  /// The running telemetry exporter, if `serve` started one (exposed so
+  /// embedding code and tests can discover the bound port).
+  const obs::TelemetryExporter* exporter() const { return exporter_.get(); }
+
+ private:
   DatasetManager manager_;
   core::ExecutionMethod method_ = core::ExecutionMethod::kAccurateRaster;
   bool trace_on_ = false;
   /// Trace of the most recent `sql` command while tracing is on; what
   /// `trace dump` prints.
   std::unique_ptr<obs::QueryTrace> last_trace_;
+  std::unique_ptr<obs::TelemetryExporter> exporter_;
 };
 
 }  // namespace urbane::app

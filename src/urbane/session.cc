@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "util/random.h"
@@ -204,6 +205,14 @@ StatusOr<std::vector<FrameRecord>> InteractionSession::Replay(
       if (frame.cache_hit) {
         registry.GetCounter("session.cache_hit_frames").Add(1);
       }
+    }
+    if (obs::JournalEnabled()) {
+      obs::Event frame_event;
+      frame_event.kind = obs::EventKind::kSessionFrame;
+      frame_event.detail = static_cast<std::uint8_t>(event.kind);
+      frame_event.value = frame.latency_seconds;
+      if (frame.cache_hit) frame_event.flags |= obs::kEventCacheHit;
+      obs::EmitEvent(frame_event);
     }
     frames.push_back(frame);
   }

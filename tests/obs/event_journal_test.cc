@@ -1,0 +1,201 @@
+// Event journal tests: FIFO semantics, exact overflow drop accounting, and
+// the N-producers / 1-drainer concurrency contract checked against a
+// serial oracle (run under TSan via tools/check.sh).
+#include "obs/event_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace urbane::obs {
+namespace {
+
+Event MakeEvent(EventKind kind, double value) {
+  Event event;
+  event.kind = kind;
+  event.value = value;
+  return event;
+}
+
+TEST(EventJournalTest, PublishDrainPreservesOrder) {
+  EventJournal journal(16);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        journal.Publish(MakeEvent(EventKind::kQueryFinish, double(i))));
+  }
+  EXPECT_EQ(journal.published(), 10u);
+  EXPECT_EQ(journal.dropped(), 0u);
+
+  std::vector<Event> events;
+  EXPECT_EQ(journal.Drain(&events), 10u);
+  ASSERT_EQ(events.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].value, double(i));
+    EXPECT_EQ(events[i].sequence, std::uint64_t(i));
+    EXPECT_EQ(events[i].kind, EventKind::kQueryFinish);
+    EXPECT_GT(events[i].timestamp_ns, 0u);
+  }
+  // Drained slots are reusable.
+  EXPECT_TRUE(journal.Publish(MakeEvent(EventKind::kError, 99.0)));
+  events.clear();
+  EXPECT_EQ(journal.Drain(&events), 1u);
+  EXPECT_EQ(events[0].sequence, 10u);
+}
+
+TEST(EventJournalTest, OverflowDropsAreCountedExactly) {
+  EventJournal journal(8);
+  ASSERT_EQ(journal.capacity(), 8u);
+  int accepted = 0;
+  for (int i = 0; i < 11; ++i) {
+    if (journal.Publish(MakeEvent(EventKind::kCacheEvict, double(i)))) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 8);
+  EXPECT_EQ(journal.published(), 8u);
+  EXPECT_EQ(journal.dropped(), 3u);
+
+  // Draining frees capacity; drops never resurface.
+  std::vector<Event> events;
+  EXPECT_EQ(journal.Drain(&events), 8u);
+  EXPECT_EQ(events.front().value, 0.0);
+  EXPECT_EQ(events.back().value, 7.0);
+  EXPECT_TRUE(journal.Publish(MakeEvent(EventKind::kCacheEvict, 11.0)));
+  EXPECT_EQ(journal.dropped(), 3u);
+}
+
+TEST(EventJournalTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventJournal(1).capacity(), 2u);
+  EXPECT_EQ(EventJournal(3).capacity(), 4u);
+  EXPECT_EQ(EventJournal(8).capacity(), 8u);
+  EXPECT_EQ(EventJournal(1000).capacity(), 1024u);
+}
+
+TEST(EventJournalTest, DrainHonorsMaxEvents) {
+  EventJournal journal(16);
+  for (int i = 0; i < 6; ++i) {
+    journal.Publish(MakeEvent(EventKind::kSessionFrame, double(i)));
+  }
+  std::vector<Event> events;
+  EXPECT_EQ(journal.Drain(&events, 4), 4u);
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(journal.Drain(&events, 100), 2u);
+  EXPECT_EQ(events.size(), 6u);
+}
+
+TEST(EventJournalTest, ResetClearsStateAndCounters) {
+  EventJournal journal(8);
+  for (int i = 0; i < 20; ++i) {
+    journal.Publish(MakeEvent(EventKind::kError, double(i)));
+  }
+  journal.Reset();
+  EXPECT_EQ(journal.published(), 0u);
+  EXPECT_EQ(journal.dropped(), 0u);
+  std::vector<Event> events;
+  EXPECT_EQ(journal.Drain(&events), 0u);
+  EXPECT_TRUE(journal.Publish(MakeEvent(EventKind::kError, 1.0)));
+  EXPECT_EQ(journal.Drain(&events), 1u);
+  EXPECT_EQ(events[0].sequence, 0u);
+}
+
+TEST(EventJournalTest, EmitEventIsGatedOnTheJournalFlag) {
+  EventJournal& global = EventJournal::Global();
+  global.Reset();
+  SetJournalEnabled(false);
+  EmitEvent(MakeEvent(EventKind::kQueryStart, 1.0));
+  EXPECT_EQ(global.published(), 0u);
+  SetJournalEnabled(true);
+  EmitEvent(MakeEvent(EventKind::kQueryStart, 2.0));
+  EXPECT_EQ(global.published(), 1u);
+  SetJournalEnabled(false);
+  global.Reset();
+}
+
+TEST(EventJournalTest, KindNamesAreStable) {
+  EXPECT_STREQ(EventKindName(EventKind::kQueryStart), "query.start");
+  EXPECT_STREQ(EventKindName(EventKind::kQueryFinish), "query.finish");
+  EXPECT_STREQ(EventKindName(EventKind::kCacheEvict), "cache.evict");
+  EXPECT_STREQ(EventKindName(EventKind::kPlannerChoose), "planner.choose");
+  EXPECT_STREQ(EventKindName(EventKind::kSessionFrame), "session.frame");
+  EXPECT_STREQ(EventKindName(EventKind::kError), "error");
+}
+
+// N producers vs one concurrent drainer, checked against a serial oracle:
+// every drained event must carry a (producer, step) pair the producer
+// actually published, per-producer values must arrive in increasing order
+// (MPSC preserves each producer's program order), and the accepted/dropped
+// accounting must balance exactly.
+TEST(EventJournalConcurrencyTest, ProducersVersusDrainerMatchesOracle) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  EventJournal journal(256);  // small ring => real overflow pressure
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<bool> done{false};
+  std::vector<Event> drained;
+
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      journal.Drain(&drained);
+      std::this_thread::yield();
+    }
+    journal.Drain(&drained);  // final sweep
+  });
+
+  {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          Event event;
+          event.kind = EventKind::kQueryFinish;
+          event.method = static_cast<std::uint8_t>(p);
+          // Encodes (producer, step) for the oracle check.
+          event.value = static_cast<double>(p * kPerProducer + i);
+          if (journal.Publish(event)) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+  done.store(true, std::memory_order_release);
+  drainer.join();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  // Exact accounting: every publish either drained or counted as dropped.
+  EXPECT_EQ(journal.published(), accepted.load());
+  EXPECT_EQ(drained.size(), accepted.load());
+  EXPECT_EQ(accepted.load() + journal.dropped(), total);
+
+  // Global sequence numbers are unique and none is drained twice.
+  std::vector<bool> seen(total, false);
+  // Per-producer step order is strictly increasing (program order).
+  std::map<int, int> last_step;
+  for (const Event& event : drained) {
+    ASSERT_LT(event.sequence, accepted.load());
+    ASSERT_FALSE(seen[event.sequence]) << "sequence drained twice";
+    seen[event.sequence] = true;
+    const int producer = static_cast<int>(event.method);
+    const int step = static_cast<int>(event.value) - producer * kPerProducer;
+    ASSERT_GE(step, 0);
+    ASSERT_LT(step, kPerProducer);
+    const auto it = last_step.find(producer);
+    if (it != last_step.end()) {
+      ASSERT_GT(step, it->second)
+          << "producer " << producer << " order violated";
+    }
+    last_step[producer] = step;
+  }
+}
+
+}  // namespace
+}  // namespace urbane::obs

@@ -1,0 +1,259 @@
+// Telemetry exporter tests: Prometheus text exposition, the HTTP endpoints
+// round-tripped over a real loopback socket, and the JSONL sink.
+#include "obs/exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/slow_query_log.h"
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define URBANE_TEST_SOCKETS 1
+#endif
+
+namespace urbane::obs {
+namespace {
+
+#ifdef URBANE_TEST_SOCKETS
+// Minimal HTTP/1.0 GET over a fresh loopback connection; returns the raw
+// response (status line + headers + body).
+std::string HttpGet(std::uint16_t port, const std::string& path,
+                    const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = method + " " + path + " HTTP/1.0\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+#endif  // URBANE_TEST_SOCKETS
+
+TEST(PrometheusTextTest, SanitizesMetricNames) {
+  EXPECT_EQ(PrometheusMetricName("cache.hits"), "urbane_cache_hits");
+  EXPECT_EQ(PrometheusMetricName("exec.scan.query_seconds"),
+            "urbane_exec_scan_query_seconds");
+  EXPECT_EQ(PrometheusMetricName("weird-name!"), "urbane_weird_name_");
+}
+
+TEST(PrometheusTextTest, EmitsCumulativeHistogramBuckets) {
+  MetricsSnapshot snapshot;
+  CounterSnapshot counter;
+  counter.name = "cache.hits";
+  counter.value = 3;
+  snapshot.counters.push_back(counter);
+  HistogramSnapshot histogram;
+  histogram.name = "query.wall_seconds";
+  histogram.bounds = {0.001, 0.01};
+  histogram.buckets = {2, 3, 1};  // per-bucket, overflow last
+  histogram.count = 6;
+  histogram.sum = 0.25;
+  snapshot.histograms.push_back(histogram);
+
+  const std::string text = ToPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE urbane_cache_hits counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("urbane_cache_hits 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE urbane_query_wall_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative, not per-bucket: 2, then 2+3=5, then +Inf = count.
+  EXPECT_NE(text.find("urbane_query_wall_seconds_bucket{le=\"0.001\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("urbane_query_wall_seconds_bucket{le=\"0.01\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("urbane_query_wall_seconds_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("urbane_query_wall_seconds_sum 0.25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("urbane_query_wall_seconds_count 6\n"),
+            std::string::npos);
+}
+
+TEST(TelemetryExporterTest, HandleRequestRoutesWithoutStarting) {
+  TelemetryExporter exporter;
+  const std::string metrics = exporter.HandleRequest("GET", "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+
+  const std::string health = exporter.HandleRequest("GET", "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  EXPECT_NE(exporter.HandleRequest("GET", "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+  EXPECT_NE(exporter.HandleRequest("POST", "/metrics").find("HTTP/1.0 405"),
+            std::string::npos);
+  // Query strings are ignored when routing.
+  EXPECT_NE(
+      exporter.HandleRequest("GET", "/healthz?verbose=1").find("200 OK"),
+      std::string::npos);
+}
+
+#ifdef URBANE_TEST_SOCKETS
+TEST(TelemetryExporterTest, ServesPrometheusMetricsOverSocket) {
+  // Unique metric names so the assertions are immune to registry state
+  // left behind by other tests.
+  MetricsRegistry::Global().GetCounter("exportertest.requests").Add(7);
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "exportertest.latency_seconds", {0.01, 0.1});
+  histogram.Observe(0.005);
+  histogram.Observe(0.05);
+  histogram.Observe(5.0);
+
+  TelemetryExporterOptions options;
+  options.port = 0;  // ephemeral
+  TelemetryExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_TRUE(exporter.running());
+  ASSERT_GT(exporter.port(), 0);
+
+  const std::string response = HttpGet(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("# TYPE urbane_exportertest_requests counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("urbane_exportertest_requests 7"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE urbane_exportertest_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("urbane_exportertest_latency_seconds_bucket{le=\"+Inf\"} 3"),
+      std::string::npos);
+  // /metrics refreshes the process gauges on every scrape.
+  EXPECT_NE(body.find("urbane_process_uptime_seconds"), std::string::npos);
+
+  // Several sequential scrapes on the single-threaded listener.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(HttpGet(exporter.port(), "/healthz").find("ok"),
+              std::string::npos);
+  }
+  EXPECT_NE(HttpGet(exporter.port(), "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_EQ(exporter.port(), 0);
+}
+
+TEST(TelemetryExporterTest, SlowQueryAppearsInSlowlogEndpoint) {
+  SlowQueryLog& recorder = SlowQueryLog::Global();
+  SlowQueryLogOptions recorder_options;
+  recorder_options.threshold_seconds = 0.0;
+  recorder_options.p99_multiplier = 0.0;
+  recorder.SetOptions(recorder_options);
+  recorder.Clear();
+  recorder.MaybeRecord(0xabcdefULL, "raster", "SELECT COUNT(*)",
+                       "exporter-test-plan", 1.5, nullptr);
+
+  TelemetryExporter exporter;
+  ASSERT_TRUE(exporter.Start().ok());
+  const std::string response = HttpGet(exporter.port(), "/slowlog");
+  exporter.Stop();
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+
+  const auto parsed = data::ParseJson(Body(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("schema")->AsString(), "urbane.slowlog.v1");
+  const data::JsonValue* records = parsed->Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->AsArray().size(), 1u);
+  EXPECT_EQ(records->AsArray()[0].Find("plan")->AsString(),
+            "exporter-test-plan");
+  EXPECT_EQ(records->AsArray()[0].Find("fingerprint")->AsString(),
+            "0000000000abcdef");
+
+  recorder.SetOptions(SlowQueryLogOptions{});
+  recorder.Clear();
+}
+
+TEST(TelemetryExporterTest, StopIsIdempotentAndRestartable) {
+  TelemetryExporter exporter;
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_FALSE(exporter.Start().ok());  // double start refused
+  exporter.Stop();
+  exporter.Stop();  // no-op
+  ASSERT_TRUE(exporter.Start().ok());  // restart binds a fresh socket
+  EXPECT_GT(exporter.port(), 0);
+  exporter.Stop();
+}
+#endif  // URBANE_TEST_SOCKETS
+
+TEST(TelemetryExporterTest, SinkReceivesJsonlDeltas) {
+  const std::string sink = ::testing::TempDir() + "/urbane_exporter_sink.jsonl";
+  std::remove(sink.c_str());
+
+  TelemetryExporterOptions options;
+  options.listen = false;
+  options.sink_path = sink;
+  options.flush_period_seconds = 0.05;
+
+  MetricsRegistry::Global().GetCounter("exportertest.sink").Add(5);
+  {
+    TelemetryExporter exporter(options);
+    ASSERT_TRUE(exporter.Start().ok());
+    while (exporter.flushes() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    exporter.Stop();
+    EXPECT_GE(exporter.flushes(), 2u);
+  }
+
+  std::ifstream in(sink);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 2u);
+  bool saw_sink_counter = false;
+  for (const std::string& one : lines) {
+    const auto parsed = data::ParseJson(one);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << one;
+    EXPECT_EQ(parsed->Find("schema")->AsString(), "urbane.telemetry.v1");
+    EXPECT_GE(parsed->Find("uptime_seconds")->AsNumber(), 0.0);
+    const data::JsonValue* delta = parsed->Find("delta");
+    ASSERT_NE(delta, nullptr);
+    EXPECT_EQ(delta->Find("schema")->AsString(), "urbane.metrics.v1");
+    if (one.find("exportertest.sink") != std::string::npos) {
+      saw_sink_counter = true;
+    }
+  }
+  // The first flush (the delta baseline) carries the pre-Start increment.
+  EXPECT_TRUE(saw_sink_counter);
+  std::remove(sink.c_str());
+}
+
+}  // namespace
+}  // namespace urbane::obs

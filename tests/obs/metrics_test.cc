@@ -198,6 +198,85 @@ TEST(DefaultLatencyBoundsTest, StrictlyIncreasing) {
   }
 }
 
+TEST(QuantileTest, EmptyHistogramReturnsZero) {
+  HistogramSnapshot histogram;
+  histogram.bounds = {1.0};
+  histogram.buckets = {0, 0};
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesWithinBucketsAndOverflow) {
+  // The golden-fixture shape: one observation per bucket including the
+  // overflow bucket, which interpolates between the last bound and max.
+  HistogramSnapshot histogram;
+  histogram.bounds = {0.001, 0.01, 0.1};
+  histogram.buckets = {1, 1, 1, 1};
+  histogram.count = 4;
+  histogram.min = 0.0005;
+  histogram.max = 0.5;
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.50), 0.01);
+  EXPECT_NEAR(histogram.Quantile(0.95), 0.42, 1e-12);
+  EXPECT_NEAR(histogram.Quantile(0.99), 0.484, 1e-12);
+}
+
+TEST(QuantileTest, ClampsToObservedRange) {
+  HistogramSnapshot histogram;
+  histogram.bounds = {1.0};
+  histogram.buckets = {4, 0};
+  histogram.count = 4;
+  histogram.min = 0.2;
+  histogram.max = 0.9;
+  // Linear interpolation inside [0, 1.0) would give 0.5 at the median...
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.5);
+  // ...but the extremes clamp to the exact observed min/max.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 0.9);
+}
+
+TEST(QuantileTest, MonotoneInQ) {
+  HistogramSnapshot histogram;
+  histogram.bounds = {0.01, 0.1, 1.0};
+  histogram.buckets = {10, 5, 2, 1};
+  histogram.count = 18;
+  histogram.min = 0.001;
+  histogram.max = 3.0;
+  double last = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = histogram.Quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+}
+
+TEST(RegistryTest, SnapshotHistogramCopiesOneMetric) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("solo", {1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+
+  const HistogramSnapshot snapshot = registry.SnapshotHistogram("solo");
+  EXPECT_EQ(snapshot.name, "solo");
+  EXPECT_EQ(snapshot.count, 2u);
+  ASSERT_EQ(snapshot.buckets.size(), 3u);
+  EXPECT_EQ(snapshot.buckets[0], 1u);
+  EXPECT_EQ(snapshot.buckets[1], 1u);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 1.5);
+
+  const HistogramSnapshot absent = registry.SnapshotHistogram("nope");
+  EXPECT_TRUE(absent.name.empty());
+  EXPECT_EQ(absent.count, 0u);
+}
+
+TEST(EnableFlagsTest, JournalFlagRoundTrips) {
+  const bool was = JournalEnabled();
+  SetJournalEnabled(true);
+  EXPECT_TRUE(JournalEnabled());
+  SetJournalEnabled(false);
+  EXPECT_FALSE(JournalEnabled());
+  SetJournalEnabled(was);
+}
+
 TEST(EnableFlagsTest, TogglesRoundTrip) {
   const bool metrics_was = MetricsEnabled();
   const bool tracing_was = TracingEnabled();

@@ -5,6 +5,11 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/slow_query_log.h"
+
 namespace urbane::app {
 namespace {
 
@@ -192,6 +197,102 @@ TEST(CliTest, DuplicateNameRejected) {
   CommandInterpreter cli;
   RunCommand(cli, "gen taxi t 100");
   EXPECT_NE(RunCommand(cli, "gen taxi t 100").find("error"), std::string::npos);
+}
+
+TEST(CliTest, StatsJsonIncludesQuantiles) {
+  CommandInterpreter cli;
+  obs::MetricsRegistry::Global()
+      .GetHistogram("clitest.latency_seconds", {0.01, 0.1})
+      .Observe(0.05);
+  const std::string json = RunCommand(cli, "stats json");
+  EXPECT_NE(json.find("\"clitest.latency_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(CliTest, ServeStartStatusStopFlow) {
+  CommandInterpreter cli;
+  EXPECT_NE(RunCommand(cli, "serve status").find("not running"),
+            std::string::npos);
+  const std::string started = RunCommand(cli, "serve");
+  EXPECT_NE(started.find("exporter listening on 127.0.0.1:"),
+            std::string::npos)
+      << started;
+  ASSERT_NE(cli.exporter(), nullptr);
+  EXPECT_GT(cli.exporter()->port(), 0);
+  // Serving implies the metrics + journal switches.
+  EXPECT_TRUE(obs::MetricsEnabled());
+  EXPECT_TRUE(obs::JournalEnabled());
+  EXPECT_NE(RunCommand(cli, "serve status").find("listening"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "serve").find("error"), std::string::npos);
+  EXPECT_NE(RunCommand(cli, "serve stop").find("exporter stopped"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "serve status").find("not running"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "serve bogus").find("error"), std::string::npos);
+
+  obs::SetMetricsEnabled(false);
+  obs::SetJournalEnabled(false);
+  obs::MetricsRegistry::Global().Reset();
+  obs::EventJournal::Global().Reset();
+}
+
+TEST(CliTest, EventsCommandFlow) {
+  CommandInterpreter cli;
+  obs::EventJournal::Global().Reset();
+  EXPECT_NE(RunCommand(cli, "events").find("event journal is off"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "events on").find("event journal on"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "events status").find("event journal: on"),
+            std::string::npos);
+
+  RunCommand(cli, "gen taxi t 500");
+  RunCommand(cli, "gen regions h boroughs");
+  RunCommand(cli, "method scan");
+  RunCommand(cli, "sql SELECT COUNT(*) FROM t, h");
+
+  const std::string drained = RunCommand(cli, "events");
+  EXPECT_NE(drained.find("query.start"), std::string::npos) << drained;
+  EXPECT_NE(drained.find("query.finish"), std::string::npos) << drained;
+  EXPECT_NE(drained.find("method=scan"), std::string::npos) << drained;
+  EXPECT_NE(drained.find("events ("), std::string::npos) << drained;
+
+  EXPECT_NE(RunCommand(cli, "events off").find("event journal off"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "events reset").find("event journal reset"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "events bogus").find("error"), std::string::npos);
+}
+
+TEST(CliTest, SlowlogArmCaptureJsonFlow) {
+  CommandInterpreter cli;
+  obs::SlowQueryLog::Global().Clear();
+  // Threshold 0 ms: every query is a "slow" query.
+  EXPECT_NE(RunCommand(cli, "slowlog arm 0").find("recorder armed"),
+            std::string::npos);
+  RunCommand(cli, "gen taxi t 500");
+  RunCommand(cli, "gen regions h boroughs");
+  RunCommand(cli, "method scan");
+  RunCommand(cli, "sql SELECT COUNT(*) FROM t, h");
+
+  const std::string show = RunCommand(cli, "slowlog");
+  EXPECT_NE(show.find("slow-query recorder: armed"), std::string::npos)
+      << show;
+  const std::string json = RunCommand(cli, "slowlog json");
+  EXPECT_NE(json.find("urbane.slowlog.v1"), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"scan\""), std::string::npos) << json;
+
+  EXPECT_NE(RunCommand(cli, "slowlog disarm").find("disarmed"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "slowlog clear").find("cleared"),
+            std::string::npos);
+  EXPECT_NE(RunCommand(cli, "slowlog bogus").find("error"), std::string::npos);
+
+  obs::SlowQueryLogOptions defaults;
+  obs::SlowQueryLog::Global().SetOptions(defaults);
 }
 
 }  // namespace

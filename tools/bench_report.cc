@@ -1,0 +1,314 @@
+// bench_report — aggregate bench harness JSON snapshots into a single
+// BENCH_TRAJECTORY.json and compare against a committed baseline.
+//
+// Every bench harness run with URBANE_BENCH_CSV set writes a sibling
+// `<bench>.json` embedding its result table and the metrics-registry
+// snapshot ("urbane.metrics.v1"). This tool collects those files into one
+// trajectory document ("urbane.bench_trajectory.v1") with per-histogram
+// latency summaries (count/mean/p50/p95/p99), and — when a baseline
+// trajectory is given or committed at the default path — prints a
+// per-figure latency delta table and exits non-zero if any tracked
+// histogram's mean regressed past the threshold.
+//
+// Usage:
+//   bench_report [--dir <dir>] [--out <path>] [--baseline <path>]
+//                [--threshold <pct>] [files.json ...]
+//
+// Defaults: --dir ., --out BENCH_TRAJECTORY.json, --threshold 25,
+// --baseline bench/BASELINE_TRAJECTORY.json (compared only if readable).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/json.h"
+#include "obs/metrics.h"
+#include "util/csv.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace {
+
+using urbane::Status;
+using urbane::StatusOr;
+
+struct BenchEntry {
+  std::string name;        // bench table name, e.g. "fig8_interactive_session"
+  std::string source;      // file the snapshot came from
+  double scale = 1.0;
+  double threads = 1.0;
+  urbane::obs::MetricsSnapshot metrics;
+};
+
+StatusOr<BenchEntry> LoadBenchJson(const std::string& path) {
+  URBANE_ASSIGN_OR_RETURN(std::string text, urbane::ReadFileToString(path));
+  URBANE_ASSIGN_OR_RETURN(urbane::data::JsonValue root,
+                          urbane::data::ParseJson(text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument(path + ": not a JSON object");
+  }
+  BenchEntry entry;
+  entry.source = path;
+  if (const auto* name = root.Find("name"); name != nullptr && name->is_string()) {
+    entry.name = name->AsString();
+  } else {
+    entry.name = std::filesystem::path(path).stem().string();
+  }
+  if (const auto* scale = root.Find("scale");
+      scale != nullptr && scale->is_number()) {
+    entry.scale = scale->AsNumber();
+  }
+  if (const auto* threads = root.Find("threads");
+      threads != nullptr && threads->is_number()) {
+    entry.threads = threads->AsNumber();
+  }
+  const auto* metrics = root.Find("metrics");
+  if (metrics == nullptr) {
+    return Status::InvalidArgument(path + ": no \"metrics\" snapshot");
+  }
+  URBANE_ASSIGN_OR_RETURN(entry.metrics,
+                          urbane::obs::MetricsSnapshot::FromJson(*metrics));
+  return entry;
+}
+
+urbane::data::JsonValue TrajectoryJson(const std::vector<BenchEntry>& entries) {
+  namespace data = urbane::data;
+  data::JsonValue::Object root;
+  root.emplace_back("schema", data::JsonValue("urbane.bench_trajectory.v1"));
+  data::JsonValue::Array bench_array;
+  for (const BenchEntry& entry : entries) {
+    data::JsonValue::Object bench;
+    bench.emplace_back("name", data::JsonValue(entry.name));
+    bench.emplace_back("source", data::JsonValue(entry.source));
+    bench.emplace_back("scale", data::JsonValue(entry.scale));
+    bench.emplace_back("threads", data::JsonValue(entry.threads));
+    data::JsonValue::Array histogram_array;
+    for (const urbane::obs::HistogramSnapshot& histogram :
+         entry.metrics.histograms) {
+      if (histogram.count == 0) continue;
+      data::JsonValue::Object summary;
+      summary.emplace_back("name", data::JsonValue(histogram.name));
+      summary.emplace_back(
+          "count", data::JsonValue(static_cast<double>(histogram.count)));
+      summary.emplace_back("mean", data::JsonValue(histogram.Mean()));
+      summary.emplace_back("p50", data::JsonValue(histogram.Quantile(0.50)));
+      summary.emplace_back("p95", data::JsonValue(histogram.Quantile(0.95)));
+      summary.emplace_back("p99", data::JsonValue(histogram.Quantile(0.99)));
+      histogram_array.emplace_back(std::move(summary));
+    }
+    bench.emplace_back("histograms",
+                       data::JsonValue(std::move(histogram_array)));
+    data::JsonValue::Array counter_array;
+    for (const urbane::obs::CounterSnapshot& counter : entry.metrics.counters) {
+      data::JsonValue::Object one;
+      one.emplace_back("name", data::JsonValue(counter.name));
+      one.emplace_back("value",
+                       data::JsonValue(static_cast<double>(counter.value)));
+      counter_array.emplace_back(std::move(one));
+    }
+    bench.emplace_back("counters", data::JsonValue(std::move(counter_array)));
+    bench_array.emplace_back(std::move(bench));
+  }
+  root.emplace_back("benches", data::JsonValue(std::move(bench_array)));
+  return data::JsonValue(std::move(root));
+}
+
+struct BaselineHistogram {
+  std::string bench;
+  std::string name;
+  double mean = 0.0;
+  double p99 = 0.0;
+};
+
+StatusOr<std::vector<BaselineHistogram>> LoadBaseline(
+    const std::string& path) {
+  URBANE_ASSIGN_OR_RETURN(std::string text, urbane::ReadFileToString(path));
+  URBANE_ASSIGN_OR_RETURN(urbane::data::JsonValue root,
+                          urbane::data::ParseJson(text));
+  const auto* benches = root.Find("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    return Status::InvalidArgument(path + ": no \"benches\" array");
+  }
+  std::vector<BaselineHistogram> out;
+  for (const urbane::data::JsonValue& bench : benches->AsArray()) {
+    const auto* bench_name = bench.Find("name");
+    const auto* histograms = bench.Find("histograms");
+    if (bench_name == nullptr || !bench_name->is_string() ||
+        histograms == nullptr || !histograms->is_array()) {
+      continue;
+    }
+    for (const urbane::data::JsonValue& histogram : histograms->AsArray()) {
+      const auto* name = histogram.Find("name");
+      const auto* mean = histogram.Find("mean");
+      if (name == nullptr || !name->is_string() || mean == nullptr ||
+          !mean->is_number()) {
+        continue;
+      }
+      BaselineHistogram base;
+      base.bench = bench_name->AsString();
+      base.name = name->AsString();
+      base.mean = mean->AsNumber();
+      if (const auto* p99 = histogram.Find("p99");
+          p99 != nullptr && p99->is_number()) {
+        base.p99 = p99->AsNumber();
+      }
+      out.push_back(std::move(base));
+    }
+  }
+  return out;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dir <dir>] [--out <path>] [--baseline <path>] "
+               "[--threshold <pct>] [files.json ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = ".";
+  std::string out_path = "BENCH_TRAJECTORY.json";
+  std::string baseline_path = "bench/BASELINE_TRAJECTORY.json";
+  bool baseline_explicit = false;
+  double threshold_pct = 25.0;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+      baseline_explicit = true;
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold_pct = std::strtod(argv[++i], nullptr);
+      if (threshold_pct <= 0.0) {
+        std::fprintf(stderr, "--threshold expects a positive percentage\n");
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  // No explicit files: sweep the directory for sibling bench snapshots.
+  if (files.empty()) {
+    std::error_code ec;
+    for (const auto& item : std::filesystem::directory_iterator(dir, ec)) {
+      if (!item.is_regular_file()) continue;
+      const std::filesystem::path& path = item.path();
+      if (path.extension() != ".json") continue;
+      // Skip our own outputs.
+      const std::string stem = path.stem().string();
+      if (stem == "BENCH_TRAJECTORY" || stem == "BASELINE_TRAJECTORY") {
+        continue;
+      }
+      files.push_back(path.string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read directory %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "no bench JSON files found in %s (run a bench with "
+                 "URBANE_BENCH_CSV set first)\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  std::vector<BenchEntry> entries;
+  for (const std::string& file : files) {
+    StatusOr<BenchEntry> entry = LoadBenchJson(file);
+    if (!entry.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", file.c_str(),
+                   entry.status().ToString().c_str());
+      continue;
+    }
+    entries.push_back(std::move(*entry));
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "no parseable bench snapshots\n");
+    return 2;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BenchEntry& a, const BenchEntry& b) {
+              return a.name < b.name;
+            });
+
+  const urbane::data::JsonValue trajectory = TrajectoryJson(entries);
+  if (const Status status =
+          urbane::WriteStringToFile(trajectory.Dump(2) + "\n", out_path);
+      !status.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", out_path.c_str(),
+                 status.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%zu benches)\n", out_path.c_str(), entries.size());
+
+  // Baseline comparison.
+  StatusOr<std::vector<BaselineHistogram>> baseline =
+      LoadBaseline(baseline_path);
+  if (!baseline.ok()) {
+    if (baseline_explicit) {
+      std::fprintf(stderr, "baseline %s: %s\n", baseline_path.c_str(),
+                   baseline.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("no baseline at %s; skipping regression check\n",
+                baseline_path.c_str());
+    return 0;
+  }
+
+  std::printf("\n%-28s %-34s %12s %12s %8s\n", "bench", "histogram",
+              "baseline", "current", "delta");
+  int regressions = 0;
+  int compared = 0;
+  for (const BenchEntry& entry : entries) {
+    for (const urbane::obs::HistogramSnapshot& histogram :
+         entry.metrics.histograms) {
+      if (histogram.count == 0) continue;
+      const auto it = std::find_if(
+          baseline->begin(), baseline->end(),
+          [&](const BaselineHistogram& base) {
+            return base.bench == entry.name && base.name == histogram.name;
+          });
+      if (it == baseline->end() || it->mean <= 0.0) continue;
+      ++compared;
+      const double mean = histogram.Mean();
+      const double delta_pct = 100.0 * (mean - it->mean) / it->mean;
+      const bool regressed = delta_pct > threshold_pct;
+      if (regressed) ++regressions;
+      std::printf("%-28s %-34s %11.4gs %11.4gs %+7.1f%%%s\n",
+                  entry.name.c_str(), histogram.name.c_str(), it->mean, mean,
+                  delta_pct, regressed ? "  REGRESSED" : "");
+    }
+  }
+  if (compared == 0) {
+    std::printf("(no overlapping histograms with the baseline)\n");
+    return 0;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "\n%d histogram(s) regressed more than %.1f%% vs %s\n",
+                 regressions, threshold_pct, baseline_path.c_str());
+    return 1;
+  }
+  std::printf("\nno regressions beyond %.1f%% vs %s\n", threshold_pct,
+              baseline_path.c_str());
+  return 0;
+}

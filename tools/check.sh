@@ -8,7 +8,9 @@
 #   * the shared-engine concurrency tests (N sessions on one facade),
 #   * the QueryCache unit tests (sharded LRU under mixed traffic),
 #   * the facade cache tests (stale-ε regression included),
-#   * the obs metrics/trace concurrency tests (threads vs serial oracle).
+#   * the obs metrics/trace concurrency tests (threads vs serial oracle),
+#   * the telemetry pipeline suites (event-journal MPSC ring producers vs
+#     drainer, slow-query recorder, exporter socket round-trip).
 # Any data race aborts the run: TSAN_OPTIONS makes warnings fatal.
 #
 # `--fast` instead builds a plain (unsanitized) tree and runs only the
@@ -33,7 +35,8 @@ if [[ "${MODE}" == "fast" ]]; then
   BUILD_DIR=${BUILD_DIR:-build-fast}
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-    --target util_test geometry_test raster_test index_test data_test obs_test
+    --target util_test geometry_test raster_test index_test data_test \
+             obs_test obs_pipeline_test
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
   echo "fast check OK"
   exit 0
@@ -44,11 +47,12 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "${BUILD_DIR}" -S . \
   -DURBANE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target core_test obs_test
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target core_test obs_test obs_pipeline_test
 
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism' \
+  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism|EventJournal|SlowQuery|TelemetryExporter' \
   "$@"
 
 echo "tsan check OK"
