@@ -1,0 +1,228 @@
+// Server load — closed-loop and overload benchmarks for the HTTP/JSON
+// query server (src/server). C client threads each run their own
+// connect → POST /v1/query → read-response loop against one server; the
+// table reports per-concurrency throughput and client-observed latency
+// percentiles (p50/p95/p99), plus an overload row demonstrating 429 load
+// shedding with a deliberately tiny admission queue. Client latencies are
+// also recorded into the `server.client.wall_seconds` histogram so
+// bench_report's trajectory carries them alongside the server-side
+// `server.request.wall_seconds`.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "server/query_server.h"
+#include "urbane/dataset_manager.h"
+#include "urbane/server_backend.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace urbane;
+
+struct ClientStats {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;  // 429
+  std::uint64_t failed = 0;      // anything else
+};
+
+std::string PostQueryRequest(const std::string& sql) {
+  const std::string body = "{\"sql\": \"" + sql + "\"}";
+  return "POST /v1/query HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// One request over a fresh connection; returns the HTTP status (0 on
+// transport failure).
+int RunOnce(std::uint16_t port, const std::string& request) {
+  StatusOr<int> fd = net::ConnectLoopback(port);
+  if (!fd.ok()) return 0;
+  net::SetSocketTimeouts(*fd, 10'000, 10'000);
+  std::string response;
+  int status = 0;
+  if (net::SendAll(*fd, request).ok() &&
+      net::RecvAll(*fd, &response).ok() && response.size() >= 12) {
+    status = std::atoi(response.c_str() + 9);
+  }
+  net::CloseSocket(*fd);
+  return status;
+}
+
+ClientStats RunClosedLoop(std::uint16_t port, int concurrency,
+                          int requests_per_client, const std::string& sql) {
+  const std::string request = PostQueryRequest(sql);
+  std::vector<ClientStats> per_client(concurrency);
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      ClientStats& stats = per_client[c];
+      for (int i = 0; i < requests_per_client; ++i) {
+        WallTimer timer;
+        const int status = RunOnce(port, request);
+        const double ms = timer.ElapsedMillis();
+        if (status == 200) {
+          ++stats.ok;
+          stats.latencies_ms.push_back(ms);
+        } else if (status == 429) {
+          ++stats.overloaded;
+        } else {
+          ++stats.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ClientStats total;
+  for (ClientStats& stats : per_client) {
+    total.ok += stats.ok;
+    total.overloaded += stats.overloaded;
+    total.failed += stats.failed;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              stats.latencies_ms.begin(),
+                              stats.latencies_ms.end());
+  }
+  return total;
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "server_load",
+      "HTTP/JSON query server under closed-loop load: C client threads x "
+      "M requests each, fresh connection per request; plus an overload "
+      "scenario (queue 2) demonstrating 429 shedding.");
+  obs::SetMetricsEnabled(true);
+
+  app::DatasetManager manager;
+  data::TaxiGeneratorOptions taxi_options;
+  taxi_options.num_trips = bench::ScaledCount(200'000);
+  std::printf("generating %zu trips...\n", taxi_options.num_trips);
+  if (const Status status = manager.AddPointDataset(
+          "taxi", data::GenerateTaxiTrips(taxi_options));
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (const Status status =
+          manager.AddRegionLayer("nbhd", data::GenerateNeighborhoods());
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  app::DatasetManagerBackend backend(&manager);
+
+  const std::string sql = "SELECT COUNT(*) FROM taxi, nbhd";
+  const int requests_per_client =
+      static_cast<int>(bench::ScaledCount(50));
+  obs::Histogram& client_hist = obs::MetricsRegistry::Global().GetHistogram(
+      "server.client.wall_seconds");
+
+  bench::ResultTable table(
+      "server_load",
+      {"scenario", "clients", "requests", "ok", "throttled_429", "failed",
+       "rps", "p50_ms", "p95_ms", "p99_ms"});
+
+  for (const int concurrency : {1, 2, 4, 8}) {
+    server::QueryServerOptions options;
+    options.worker_threads = 4;
+    options.max_queue_depth = 64;
+    server::QueryServer server(&backend, options);
+    if (const Status status = server.Start(); !status.ok()) {
+      std::fprintf(stderr, "server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    // Warm the engine (index/canvas builds) out of band so the table
+    // measures serving, not first-touch preprocessing.
+    RunOnce(server.port(), PostQueryRequest(sql));
+
+    WallTimer wall;
+    ClientStats stats =
+        RunClosedLoop(server.port(), concurrency, requests_per_client, sql);
+    const double elapsed = wall.ElapsedSeconds();
+    server.Stop();
+
+    for (const double ms : stats.latencies_ms) {
+      client_hist.Observe(ms / 1e3);
+    }
+    std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
+    const std::uint64_t total = stats.ok + stats.overloaded + stats.failed;
+    table.AddRow({"closed_loop", bench::ResultTable::Cell("%d", concurrency),
+                  bench::ResultTable::Cell("%llu",
+                                           (unsigned long long)total),
+                  bench::ResultTable::Cell("%llu",
+                                           (unsigned long long)stats.ok),
+                  bench::ResultTable::Cell(
+                      "%llu", (unsigned long long)stats.overloaded),
+                  bench::ResultTable::Cell("%llu",
+                                           (unsigned long long)stats.failed),
+                  bench::ResultTable::Cell(
+                      "%.0f", elapsed > 0 ? stats.ok / elapsed : 0.0),
+                  bench::ResultTable::Cell(
+                      "%.2f", Percentile(stats.latencies_ms, 0.50)),
+                  bench::ResultTable::Cell(
+                      "%.2f", Percentile(stats.latencies_ms, 0.95)),
+                  bench::ResultTable::Cell(
+                      "%.2f", Percentile(stats.latencies_ms, 0.99))});
+  }
+
+  // Overload: one slow worker, a queue of 2, and a 16-client burst — most
+  // requests must be shed with 429, none may fail any other way.
+  {
+    server::QueryServerOptions options;
+    options.worker_threads = 1;
+    options.max_queue_depth = 2;
+    server::QueryServer server(&backend, options);
+    if (const Status status = server.Start(); !status.ok()) {
+      std::fprintf(stderr, "server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    RunOnce(server.port(), PostQueryRequest(sql));
+    WallTimer wall;
+    ClientStats stats = RunClosedLoop(server.port(), 16, 8, sql);
+    const double elapsed = wall.ElapsedSeconds();
+    server.Stop();
+    std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
+    const std::uint64_t total = stats.ok + stats.overloaded + stats.failed;
+    table.AddRow({"overload_q2", "16",
+                  bench::ResultTable::Cell("%llu",
+                                           (unsigned long long)total),
+                  bench::ResultTable::Cell("%llu",
+                                           (unsigned long long)stats.ok),
+                  bench::ResultTable::Cell(
+                      "%llu", (unsigned long long)stats.overloaded),
+                  bench::ResultTable::Cell("%llu",
+                                           (unsigned long long)stats.failed),
+                  bench::ResultTable::Cell(
+                      "%.0f", elapsed > 0 ? stats.ok / elapsed : 0.0),
+                  bench::ResultTable::Cell(
+                      "%.2f", Percentile(stats.latencies_ms, 0.50)),
+                  bench::ResultTable::Cell(
+                      "%.2f", Percentile(stats.latencies_ms, 0.95)),
+                  bench::ResultTable::Cell(
+                      "%.2f", Percentile(stats.latencies_ms, 0.99))});
+  }
+
+  return table.Finish() ? 0 : 1;
+}

@@ -78,6 +78,7 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
                           EvaluateFilter(query.filter, points_, exec));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
@@ -88,6 +89,7 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
       options_.use_float32_targets, /*need_abs_sum=*/false, exec.Splat());
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "splat", stats_.splat_seconds);
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
   stats_.points_scanned = selection.ids.size();
 
   // Pass 2: regions are partitioned across the pool; each worker owns a

@@ -43,6 +43,7 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
                           CompiledFilter::Compile(query.filter, points_));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
   const bool trivial_filter = filter.IsTrivial();
 
   const std::vector<float>* attr = nullptr;

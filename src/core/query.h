@@ -1,6 +1,8 @@
 #ifndef URBANE_CORE_QUERY_H_
 #define URBANE_CORE_QUERY_H_
 
+#include <atomic>
+#include <chrono>
 #include <string>
 
 #include "core/aggregate.h"
@@ -14,6 +16,41 @@ class QueryTrace;
 }  // namespace urbane::obs
 
 namespace urbane::core {
+
+/// Cooperative deadline / cancellation for one in-flight query. The owner
+/// (e.g. a server worker) keeps the control alive for the duration of
+/// Execute; executors poll Check() at pass boundaries (filter → splat →
+/// sweep → reduce → refine), so a query aborts within one pass of the
+/// deadline expiring or `cancelled` being set — never mid-buffer.
+///
+/// Not part of a query's identity: the result cache fingerprint ignores
+/// it, and a query that aborts returns a non-OK status, so partial results
+/// can never be cached.
+struct QueryControl {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute deadline; the epoch default means "none".
+  Clock::time_point deadline{};
+  /// Asynchronous abort (e.g. server drain past its drain deadline). May
+  /// be set from any thread while the query runs.
+  std::atomic<bool> cancelled{false};
+
+  void SetTimeout(std::chrono::milliseconds timeout) {
+    deadline = Clock::now() + timeout;
+  }
+
+  /// OK while the query may keep running; DeadlineExceeded once the
+  /// deadline passed or the control was cancelled.
+  Status Check() const {
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("query cancelled");
+    }
+    if (deadline != Clock::time_point{} && Clock::now() > deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
 
 /// The paper's spatial aggregation query:
 ///
@@ -34,6 +71,17 @@ struct AggregationQuery {
   /// cache fingerprint ignores it). Executors emit one span per pass into
   /// it; null — the common case — makes every span a no-op.
   obs::QueryTrace* trace = nullptr;
+
+  /// Optional deadline/cancellation hook, polled between executor passes;
+  /// null (the common case) costs one pointer test per pass. Borrowed —
+  /// the caller keeps it alive for the duration of Execute. Like `trace`,
+  /// not part of the query's identity.
+  const QueryControl* control = nullptr;
+
+  /// Pass-boundary deadline poll (see QueryControl).
+  Status CheckControl() const {
+    return control == nullptr ? Status::OK() : control->Check();
+  }
 
   /// Structural validation (non-null inputs, attribute names resolvable).
   Status Validate() const;

@@ -98,6 +98,7 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
                           EvaluateFilter(query.filter, points_, exec));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
   const std::vector<float>* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
@@ -113,6 +114,7 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
       exec.Splat());
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "splat", stats_.splat_seconds);
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
   stats_.points_scanned = selection.ids.size();
 
   // --- pass 2: sweep the regions over the canvas, one contiguous region
@@ -255,6 +257,7 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
                                          exec));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(trace, exec_span.id(), "filter", stats_.filter_seconds);
+  URBANE_RETURN_IF_ERROR(queries.front().CheckControl());
   stats_.points_scanned = selection.ids.size();
 
   // --- shared pass 1: one count splat + one sum / min-max splat per
@@ -327,6 +330,7 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
   }
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
   TracePass(trace, exec_span.id(), "splat", stats_.splat_seconds);
+  URBANE_RETURN_IF_ERROR(queries.front().CheckControl());
 
   // Resolve each query's targets once; the sweep reads the map no more.
   std::vector<const AttrTargets*> query_targets(queries.size(), nullptr);

@@ -137,6 +137,11 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
     std::lock_guard<std::mutex> lock(state_mu_);
     URBANE_ASSIGN_OR_RETURN(executor, ExecutorLocked(method));
   }
+  // A query whose deadline expired while queued (e.g. behind the method
+  // lock) aborts here instead of paying for a doomed execution. Cache hits
+  // above are deliberately exempt: they are cheaper than the check is
+  // useful.
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
   URBANE_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
   if (use_cache) {
     cache_.Insert(key, result);

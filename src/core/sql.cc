@@ -1,6 +1,7 @@
 #include "core/sql.h"
 
 #include <cctype>
+#include <cstddef>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -39,6 +40,10 @@ enum class TokenKind {
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;
+  // Byte offset of the token's first character in the original SQL string
+  // (for kEnd, the input length). Surfaced in parse-error messages so a
+  // client can point at the offending token.
+  std::size_t offset = 0;
 };
 
 class Lexer {
@@ -53,7 +58,7 @@ class Lexer {
       ++pos_;
     }
     if (pos_ >= input_.size()) {
-      current_ = {TokenKind::kEnd, ""};
+      current_ = {TokenKind::kEnd, "", pos_};
       return;
     }
     const char c = input_[pos_];
@@ -64,7 +69,8 @@ class Lexer {
               input_[pos_] == '_' || input_[pos_] == '.')) {
         ++pos_;
       }
-      current_ = {TokenKind::kIdent, input_.substr(start, pos_ - start)};
+      current_ = {TokenKind::kIdent, input_.substr(start, pos_ - start),
+                  start};
       return;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -80,17 +86,18 @@ class Lexer {
                (input_[pos_ - 1] == 'e' || input_[pos_ - 1] == 'E')))) {
         ++pos_;
       }
-      current_ = {TokenKind::kNumber, input_.substr(start, pos_ - start)};
+      current_ = {TokenKind::kNumber, input_.substr(start, pos_ - start),
+                  start};
       return;
     }
     // Two-char comparison operators.
     if ((c == '<' || c == '>') && pos_ + 1 < input_.size() &&
         input_[pos_ + 1] == '=') {
-      current_ = {TokenKind::kSymbol, input_.substr(pos_, 2)};
+      current_ = {TokenKind::kSymbol, input_.substr(pos_, 2), pos_};
       pos_ += 2;
       return;
     }
-    current_ = {TokenKind::kSymbol, std::string(1, c)};
+    current_ = {TokenKind::kSymbol, std::string(1, c), pos_};
     ++pos_;
   }
 
@@ -131,10 +138,11 @@ class Parser {
     if (IsKeyword("group")) {
       lexer_.Advance();
       URBANE_RETURN_IF_ERROR(ExpectKeyword("by"));
+      const std::size_t key_offset = lexer_.current().offset;
       URBANE_ASSIGN_OR_RETURN(std::string key, ExpectIdent("group key"));
       const std::string lowered = ToLowerAscii(key);
       if (lowered != "r.id" && lowered != "id" && lowered != "region") {
-        return Error("GROUP BY must be R.id (got '" + key + "')");
+        return Error("GROUP BY must be R.id (got '" + key + "')", key_offset);
       }
     }
     if (lexer_.current().kind != TokenKind::kEnd) {
@@ -145,8 +153,15 @@ class Parser {
   }
 
  private:
+  // Points at the current (offending) token; the overload lets semantic
+  // checks that already consumed the token point back at it.
   Status Error(const std::string& message) const {
-    return Status::InvalidArgument("SQL parse error: " + message);
+    return Error(message, lexer_.current().offset);
+  }
+
+  Status Error(const std::string& message, std::size_t offset) const {
+    return Status::InvalidArgument("SQL parse error at byte " +
+                                   std::to_string(offset) + ": " + message);
   }
 
   bool IsKeyword(const char* keyword) const {
@@ -198,6 +213,7 @@ class Parser {
   }
 
   Status ParseAggregate() {
+    const std::size_t name_offset = lexer_.current().offset;
     URBANE_ASSIGN_OR_RETURN(std::string name, ExpectIdent("aggregate"));
     const std::string lowered = ToLowerAscii(name);
     AggregateKind kind;
@@ -212,7 +228,7 @@ class Parser {
     } else if (lowered == "max") {
       kind = AggregateKind::kMax;
     } else {
-      return Error("unknown aggregate '" + name + "'");
+      return Error("unknown aggregate '" + name + "'", name_offset);
     }
     URBANE_RETURN_IF_ERROR(ExpectSymbol("("));
     if (kind == AggregateKind::kCount) {

@@ -1,0 +1,260 @@
+#include "net/http.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "net/socket.h"
+
+namespace urbane::net {
+
+namespace {
+
+std::string LowerAscii(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+std::string TrimSpaces(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::QueryParam(const std::string& key) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (eq == std::string::npos && pair == key) {
+      return "";  // bare flag
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+HttpRequestParser::HttpRequestParser(HttpLimits limits)
+    : limits_(limits) {}
+
+HttpRequestParser::State HttpRequestParser::Fail(std::string message) {
+  state_ = State::kError;
+  error_ = Status::InvalidArgument(std::move(message));
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(const char* data,
+                                                 std::size_t size) {
+  if (state_ == State::kDone || state_ == State::kError) {
+    return state_;  // Connection: close — surplus bytes are ignored
+  }
+  if (state_ == State::kBody) {
+    const std::size_t take =
+        size < body_needed_ - request_.body.size()
+            ? size
+            : body_needed_ - request_.body.size();
+    request_.body.append(data, take);
+    if (request_.body.size() == body_needed_) {
+      state_ = State::kDone;
+    }
+    return state_;
+  }
+
+  buffer_.append(data, size);
+  // Terminator: blank line, tolerating bare-LF clients.
+  std::size_t header_end = buffer_.find("\r\n\r\n");
+  std::size_t body_start;
+  if (header_end != std::string::npos) {
+    body_start = header_end + 4;
+  } else {
+    header_end = buffer_.find("\n\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail("header block exceeds " +
+                    std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return state_;  // need more bytes
+    }
+    body_start = header_end + 2;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return Fail("header block exceeds " +
+                std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  const std::string leftover = buffer_.substr(body_start);
+  buffer_.resize(header_end);
+  if (!ParseHeaderBlock()) {
+    return state_;  // Fail() already ran
+  }
+
+  body_needed_ = 0;
+  if (const std::string* length = request_.FindHeader("content-length")) {
+    const std::string trimmed = TrimSpaces(*length);
+    if (trimmed.empty() ||
+        trimmed.find_first_not_of("0123456789") != std::string::npos) {
+      return Fail("invalid Content-Length '" + trimmed + "'");
+    }
+    errno = 0;
+    const unsigned long long parsed =
+        std::strtoull(trimmed.c_str(), nullptr, 10);
+    if (errno != 0 || parsed > limits_.max_body_bytes) {
+      return Fail("Content-Length " + trimmed + " exceeds limit of " +
+                  std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+    body_needed_ = static_cast<std::size_t>(parsed);
+  }
+  if (body_needed_ == 0) {
+    state_ = State::kDone;
+    return state_;
+  }
+  state_ = State::kBody;
+  request_.body.reserve(body_needed_);
+  // Bytes that arrived glued to the header block.
+  return Feed(leftover.data(), leftover.size());
+}
+
+bool HttpRequestParser::ParseHeaderBlock() {
+  std::size_t pos = 0;
+  bool first_line = true;
+  while (pos <= buffer_.size()) {
+    std::size_t eol = buffer_.find('\n', pos);
+    if (eol == std::string::npos) eol = buffer_.size();
+    std::string line = buffer_.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = eol + 1;
+    if (first_line) {
+      first_line = false;
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        Fail("malformed request line '" + line.substr(0, 64) + "'");
+        return false;
+      }
+      request_.method = line.substr(0, sp1);
+      request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      request_.version = TrimSpaces(line.substr(sp2 + 1));
+      if (request_.method.empty() || request_.target.empty() ||
+          request_.version.rfind("HTTP/", 0) != 0) {
+        Fail("malformed request line '" + line.substr(0, 64) + "'");
+        return false;
+      }
+      const std::size_t qmark = request_.target.find('?');
+      request_.path = request_.target.substr(0, qmark);
+      request_.query = qmark == std::string::npos
+                           ? std::string()
+                           : request_.target.substr(qmark + 1);
+      continue;
+    }
+    if (line.empty()) {
+      continue;  // tolerated stray blank before the terminator
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail("malformed header line '" + line.substr(0, 64) + "'");
+      return false;
+    }
+    request_.headers.emplace_back(LowerAscii(line.substr(0, colon)),
+                                  TrimSpaces(line.substr(colon + 1)));
+  }
+  if (first_line) {
+    Fail("empty request");
+    return false;
+  }
+  return true;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 416: return "Range Not Satisfiable";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string FormatHttpResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += response.version;
+  out += ' ';
+  out += std::to_string(response.status);
+  out += ' ';
+  out += response.reason.empty() ? HttpReasonPhrase(response.status)
+                                 : response.reason.c_str();
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+StatusOr<HttpRequest> ReadHttpRequest(int fd, const HttpLimits& limits) {
+  HttpRequestParser parser(limits);
+  char buffer[4096];
+  for (;;) {
+    URBANE_ASSIGN_OR_RETURN(std::size_t n,
+                            RecvSome(fd, buffer, sizeof(buffer)));
+    if (n == 0) {
+      return Status::IoError("connection closed before a complete request");
+    }
+    switch (parser.Feed(buffer, n)) {
+      case HttpRequestParser::State::kDone:
+        return parser.request();
+      case HttpRequestParser::State::kError:
+        return parser.error();
+      default:
+        break;  // keep reading
+    }
+  }
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response) {
+  return SendAll(fd, FormatHttpResponse(response));
+}
+
+}  // namespace urbane::net

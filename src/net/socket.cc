@@ -1,0 +1,212 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#define URBANE_NET_HAVE_SOCKETS 1
+#endif
+
+namespace urbane::net {
+
+#ifdef URBANE_NET_HAVE_SOCKETS
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+bool SocketsAvailable() { return true; }
+
+StatusOr<int> ListenLoopback(std::uint16_t port, int backlog,
+                             std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind: " + err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen: " + err);
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      *bound_port = ntohs(addr.sin_port);
+    }
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+bool WaitReadable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  return ready > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+int AcceptConnection(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  return fd >= 0 ? fd : -1;
+}
+
+void SetSocketTimeouts(int fd, int recv_timeout_ms, int send_timeout_ms) {
+  const auto to_timeval = [](int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    return tv;
+  };
+  if (recv_timeout_ms > 0) {
+    const timeval tv = to_timeval(recv_timeout_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (send_timeout_ms > 0) {
+    const timeval tv = to_timeval(send_timeout_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+}
+
+Status SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;  // interrupted mid-write: retry the remainder
+    }
+    // EAGAIN/EWOULDBLOCK here means SO_SNDTIMEO expired: the peer stopped
+    // reading. Give up rather than stall the serving thread.
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::size_t> RecvSome(int fd, char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n >= 0) {
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void LingeringClose(int fd, int max_wait_ms) {
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_WR);  // peer sees orderly EOF after our response
+  char discard[1024];
+  int waited_ms = 0;
+  constexpr int kSliceMs = 10;
+  while (waited_ms < max_wait_ms) {
+    if (!WaitReadable(fd, kSliceMs)) {
+      waited_ms += kSliceMs;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, discard, sizeof(discard), 0);
+    if (n == 0) break;                   // orderly EOF: peer is done
+    if (n < 0 && errno != EINTR) break;  // reset or timeout: give up
+  }
+  ::close(fd);
+}
+
+StatusOr<int> ConnectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect: " + err);
+  }
+  return fd;
+}
+
+Status RecvAll(int fd, std::string* out) {
+  char buffer[4096];
+  for (;;) {
+    URBANE_ASSIGN_OR_RETURN(std::size_t n,
+                            RecvSome(fd, buffer, sizeof(buffer)));
+    if (n == 0) return Status::OK();
+    out->append(buffer, n);
+  }
+}
+
+#else  // !URBANE_NET_HAVE_SOCKETS
+
+bool SocketsAvailable() { return false; }
+
+StatusOr<int> ListenLoopback(std::uint16_t, int, std::uint16_t*) {
+  return Status::NotImplemented("sockets unavailable on this platform");
+}
+
+bool WaitReadable(int, int) { return false; }
+
+int AcceptConnection(int) { return -1; }
+
+void SetSocketTimeouts(int, int, int) {}
+
+Status SendAll(int, const std::string&) {
+  return Status::NotImplemented("sockets unavailable on this platform");
+}
+
+StatusOr<std::size_t> RecvSome(int, char*, std::size_t) {
+  return Status::NotImplemented("sockets unavailable on this platform");
+}
+
+void CloseSocket(int) {}
+
+void LingeringClose(int, int) {}
+
+StatusOr<int> ConnectLoopback(std::uint16_t) {
+  return Status::NotImplemented("sockets unavailable on this platform");
+}
+
+Status RecvAll(int, std::string*) {
+  return Status::NotImplemented("sockets unavailable on this platform");
+}
+
+#endif  // URBANE_NET_HAVE_SOCKETS
+
+}  // namespace urbane::net

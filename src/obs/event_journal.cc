@@ -115,4 +115,17 @@ EventJournal& EventJournal::Global() {
   return *journal;
 }
 
+namespace {
+thread_local std::uint64_t t_event_context = 0;
+}  // namespace
+
+std::uint64_t CurrentEventContext() { return t_event_context; }
+
+ScopedEventContext::ScopedEventContext(std::uint64_t context)
+    : previous_(t_event_context) {
+  t_event_context = context;
+}
+
+ScopedEventContext::~ScopedEventContext() { t_event_context = previous_; }
+
 }  // namespace urbane::obs

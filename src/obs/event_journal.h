@@ -61,11 +61,34 @@ struct Event {
   std::uint8_t detail = 0;
   std::uint64_t fingerprint = 0;
   double value = 0.0;
+  // Caller context (e.g. the query server's connection id), 0 when none.
+  // Stamped by EmitEvent from the thread-local ScopedEventContext, so deep
+  // instrumentation sites (cache, planner) inherit it for free.
+  std::uint64_t context = 0;
   // Monotonic (steady_clock) nanoseconds, stamped at publication.
   std::uint64_t timestamp_ns = 0;
   // Global publication order; contiguous across drains, so gaps caused by
   // overflow drops are visible to consumers.
   std::uint64_t sequence = 0;
+};
+
+// The calling thread's current event context (0 = none). Set via
+// ScopedEventContext; read by EmitEvent.
+std::uint64_t CurrentEventContext();
+
+// RAII: tags every event the current thread emits within the scope with
+// `context` (e.g. one server request handler). Nestable; restores the
+// previous context on destruction.
+class ScopedEventContext {
+ public:
+  explicit ScopedEventContext(std::uint64_t context);
+  ~ScopedEventContext();
+
+  ScopedEventContext(const ScopedEventContext&) = delete;
+  ScopedEventContext& operator=(const ScopedEventContext&) = delete;
+
+ private:
+  std::uint64_t previous_;
 };
 
 class EventJournal {
@@ -126,6 +149,12 @@ class EventJournal {
 // one relaxed load.
 inline void EmitEvent(const Event& event) {
   if (!JournalEnabled()) return;
+  if (event.context == 0) {
+    Event tagged = event;
+    tagged.context = CurrentEventContext();
+    EventJournal::Global().Publish(tagged);
+    return;
+  }
   EventJournal::Global().Publish(event);
 }
 

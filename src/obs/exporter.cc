@@ -1,63 +1,61 @@
 #include "obs/exporter.h"
 
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <fstream>
-#include <sstream>
 #include <utility>
 
+#include "net/http.h"
+#include "net/socket.h"
 #include "obs/process_metrics.h"
 #include "obs/prometheus.h"
 #include "obs/slow_query_log.h"
-
-#ifdef __unix__
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#define URBANE_HAVE_SOCKETS 1
-#endif
 
 namespace urbane::obs {
 
 namespace {
 
 constexpr int kPollSliceMs = 50;
+
+// Scrape requests are tiny GETs; anything bigger is not a scraper.
 constexpr std::size_t kMaxRequestBytes = 4096;
 
-#ifdef URBANE_HAVE_SOCKETS
-#ifndef MSG_NOSIGNAL
-#define MSG_NOSIGNAL 0
-#endif
-
-// Blocking send of the whole buffer; swallows errors (client gone).
-void SendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
-  }
-}
-#endif  // URBANE_HAVE_SOCKETS
-
-std::string HttpResponse(int code, const char* reason,
-                         const std::string& content_type,
-                         const std::string& body) {
-  std::ostringstream out;
-  out << "HTTP/1.0 " << code << " " << reason << "\r\n"
-      << "Content-Type: " << content_type << "\r\n"
-      << "Content-Length: " << body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << body;
-  return out.str();
+std::string HttpResponseString(int code, const char* reason,
+                               const std::string& content_type,
+                               const std::string& body) {
+  net::HttpResponse response;
+  response.version = "HTTP/1.0";
+  response.status = code;
+  response.reason = reason;
+  response.content_type = content_type;
+  response.body = body;
+  return net::FormatHttpResponse(response);
 }
 
 }  // namespace
+
+bool TelemetryEndpoint(const std::string& path, std::string* content_type,
+                       std::string* body) {
+  // Ignore any query string.
+  const std::string route = path.substr(0, path.find('?'));
+  if (route == "/metrics") {
+    UpdateProcessGauges(MetricsRegistry::Global());
+    const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+    *content_type = "text/plain; version=0.0.4";
+    *body = ToPrometheusText(snapshot);
+    return true;
+  }
+  if (route == "/slowlog") {
+    *content_type = "application/json";
+    *body = SlowQueryLog::Global().ToJson().Dump(2) + "\n";
+    return true;
+  }
+  if (route == "/healthz") {
+    *content_type = "text/plain";
+    *body = "ok\n";
+    return true;
+  }
+  return false;
+}
 
 TelemetryExporter::TelemetryExporter(TelemetryExporterOptions options)
     : options_(std::move(options)) {}
@@ -68,47 +66,13 @@ Status TelemetryExporter::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("exporter already running");
   }
-#ifndef URBANE_HAVE_SOCKETS
   if (options_.listen) {
-    return Status::NotImplemented("sockets unavailable on this platform");
+    if (!net::SocketsAvailable()) {
+      return Status::NotImplemented("sockets unavailable on this platform");
+    }
+    URBANE_ASSIGN_OR_RETURN(listen_fd_,
+                            net::ListenLoopback(options_.port, 8, &port_));
   }
-#else
-  if (options_.listen) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-      return Status::IoError(std::string("socket: ") + std::strerror(errno));
-    }
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(options_.port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      const std::string err = std::strerror(errno);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Status::IoError("bind: " + err);
-    }
-    if (::listen(listen_fd_, 8) != 0) {
-      const std::string err = std::strerror(errno);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Status::IoError("listen: " + err);
-    }
-    socklen_t len = sizeof(addr);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-        0) {
-      port_ = ntohs(addr.sin_port);
-    }
-    // Non-blocking accept so the poll loop never wedges on a vanished
-    // connection between poll() and accept().
-    const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
-    if (flags >= 0) ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
-  }
-#endif  // URBANE_HAVE_SOCKETS
 
   stop_.store(false, std::memory_order_release);
   last_flushed_ = MetricsSnapshot{};
@@ -121,12 +85,8 @@ void TelemetryExporter::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
-#ifdef URBANE_HAVE_SOCKETS
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-#endif
+  net::CloseSocket(listen_fd_);
+  listen_fd_ = -1;
   port_ = 0;
   Flush();  // final flush so short-lived runs still leave a sink line
 }
@@ -140,22 +100,14 @@ void TelemetryExporter::Run() {
   auto next_flush = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                        flush_period);
   while (!stop_.load(std::memory_order_acquire)) {
-#ifdef URBANE_HAVE_SOCKETS
     if (listen_fd_ >= 0) {
-      pollfd pfd{};
-      pfd.fd = listen_fd_;
-      pfd.events = POLLIN;
-      const int ready = ::poll(&pfd, 1, kPollSliceMs);
-      if (ready > 0 && (pfd.revents & POLLIN) != 0) {
-        const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (net::WaitReadable(listen_fd_, kPollSliceMs)) {
+        const int client = net::AcceptConnection(listen_fd_);
         if (client >= 0) ServeOne(client);
       }
     } else {
       std::this_thread::sleep_for(std::chrono::milliseconds(kPollSliceMs));
     }
-#else
-    std::this_thread::sleep_for(std::chrono::milliseconds(kPollSliceMs));
-#endif
     if (Clock::now() >= next_flush) {
       Flush();
       next_flush = Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -164,57 +116,41 @@ void TelemetryExporter::Run() {
   }
 }
 
-#ifdef URBANE_HAVE_SOCKETS
 void TelemetryExporter::ServeOne(int client_fd) {
-  // Bound how long a slow client can hold the loop hostage.
-  timeval timeout{};
-  timeout.tv_sec = 1;
-  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  // Bound how long a slow or half-open client can hold the loop: both the
+  // read of its request and the write of our response time out.
+  const int timeout_ms =
+      options_.client_timeout_ms > 0 ? options_.client_timeout_ms : 250;
+  net::SetSocketTimeouts(client_fd, timeout_ms, timeout_ms);
 
-  std::string request;
-  char buffer[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos) {
-    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    request.append(buffer, static_cast<std::size_t>(n));
-    // GET requests have no body; the request line alone is enough.
-    if (request.find('\n') != std::string::npos) break;
+  net::HttpLimits limits;
+  limits.max_header_bytes = kMaxRequestBytes;
+  limits.max_body_bytes = 0;  // scrape endpoints take no request body
+  StatusOr<net::HttpRequest> request = net::ReadHttpRequest(client_fd, limits);
+  if (request.ok()) {
+    net::SendAll(client_fd,
+                 HandleRequest(request->method, request->target));
+  } else if (request.status().code() == StatusCode::kInvalidArgument) {
+    net::SendAll(client_fd,
+                 HttpResponseString(400, "Bad Request", "text/plain",
+                                    request.status().message() + "\n"));
   }
-
-  std::string method, path;
-  std::istringstream line(request.substr(0, request.find('\n')));
-  line >> method >> path;
-  SendAll(client_fd, HandleRequest(method, path));
-  ::close(client_fd);
+  // IoError (half-open peer, timeout): nothing useful to send.
+  net::CloseSocket(client_fd);
 }
-#else
-void TelemetryExporter::ServeOne(int) {}
-#endif  // URBANE_HAVE_SOCKETS
 
 std::string TelemetryExporter::HandleRequest(const std::string& method,
                                              const std::string& path) const {
   if (method != "GET") {
-    return HttpResponse(405, "Method Not Allowed", "text/plain",
-                        "method not allowed\n");
+    return HttpResponseString(405, "Method Not Allowed", "text/plain",
+                              "method not allowed\n");
   }
-  // Ignore any query string.
-  const std::string route = path.substr(0, path.find('?'));
-  if (route == "/metrics") {
-    UpdateProcessGauges(MetricsRegistry::Global());
-    const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
-    return HttpResponse(200, "OK", "text/plain; version=0.0.4",
-                        ToPrometheusText(snapshot));
+  std::string content_type;
+  std::string body;
+  if (TelemetryEndpoint(path, &content_type, &body)) {
+    return HttpResponseString(200, "OK", content_type, body);
   }
-  if (route == "/slowlog") {
-    return HttpResponse(200, "OK", "application/json",
-                        SlowQueryLog::Global().ToJson().Dump(2) + "\n");
-  }
-  if (route == "/healthz") {
-    return HttpResponse(200, "OK", "text/plain", "ok\n");
-  }
-  return HttpResponse(404, "Not Found", "text/plain", "not found\n");
+  return HttpResponseString(404, "Not Found", "text/plain", "not found\n");
 }
 
 void TelemetryExporter::Flush() {

@@ -5,13 +5,16 @@
 //
 // One thread owns (a) a periodic flush that snapshots the metrics registry
 // and appends a JSONL delta line ("urbane.telemetry.v1") to a sink file,
-// and (b) a minimal single-threaded, poll-based HTTP/1.0 listener serving
+// and (b) a minimal single-threaded, poll-based HTTP listener serving
 //   GET /metrics  — Prometheus text exposition format (0.0.4)
 //   GET /slowlog  — the slow-query flight recorder as urbane.slowlog.v1
 //   GET /healthz  — "ok"
-// Requests are handled synchronously between 50 ms poll slices, so Stop()
-// latency is bounded and no extra threads are spawned. No third-party
-// dependencies — raw POSIX sockets.
+// Requests are handled synchronously between 50 ms poll slices. Every
+// connection carries a per-socket recv/send timeout
+// (client_timeout_ms), so a slow or half-open client can delay other
+// scrapers by at most one timeout slice — never stall the exporter thread
+// indefinitely. Socket plumbing lives in src/net (shared with the query
+// server). No third-party dependencies — raw POSIX sockets.
 
 #include <atomic>
 #include <cstdint>
@@ -23,6 +26,13 @@
 
 namespace urbane::obs {
 
+/// Routes one telemetry path to its payload, shared by the exporter and
+/// the query server (which mounts /metrics, /slowlog, /healthz on its own
+/// listener so one port serves traffic and scrape). Returns false for an
+/// unknown path; otherwise fills content type and body.
+bool TelemetryEndpoint(const std::string& path, std::string* content_type,
+                       std::string* body);
+
 struct TelemetryExporterOptions {
   // TCP listener; port 0 picks an ephemeral port (see port()). Set
   // listen = false for a sink-only exporter with no socket.
@@ -32,6 +42,9 @@ struct TelemetryExporterOptions {
   std::string sink_path;
   // Period between registry snapshots / sink flushes.
   double flush_period_seconds = 1.0;
+  // Per-connection socket recv/send timeout: the longest a slow or
+  // half-open client can hold the (single-threaded) serving loop.
+  int client_timeout_ms = 250;
 };
 
 class TelemetryExporter {

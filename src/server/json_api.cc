@@ -1,0 +1,145 @@
+#include "server/json_api.h"
+
+#include <cmath>
+#include <utility>
+
+namespace urbane::server {
+
+StatusOr<std::optional<core::ExecutionMethod>> ParseMethodName(
+    const std::string& name) {
+  if (name == "scan") return std::optional(core::ExecutionMethod::kScan);
+  if (name == "index") return std::optional(core::ExecutionMethod::kIndexJoin);
+  if (name == "raster") {
+    return std::optional(core::ExecutionMethod::kBoundedRaster);
+  }
+  if (name == "accurate") {
+    return std::optional(core::ExecutionMethod::kAccurateRaster);
+  }
+  if (name == "auto") return std::optional<core::ExecutionMethod>();
+  return Status::InvalidArgument(
+      "unknown method '" + name +
+      "' (expected scan | index | raster | accurate | auto)");
+}
+
+StatusOr<ApiRequest> ParseApiRequest(const std::string& body) {
+  URBANE_ASSIGN_OR_RETURN(data::JsonValue doc, data::ParseJson(body));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  ApiRequest request;
+
+  const data::JsonValue* sql = doc.Find("sql");
+  if (sql == nullptr || !sql->is_string() || sql->AsString().empty()) {
+    return Status::InvalidArgument(
+        "request must carry a non-empty string field \"sql\"");
+  }
+  request.sql = sql->AsString();
+
+  if (const data::JsonValue* method = doc.Find("method")) {
+    if (!method->is_string()) {
+      return Status::InvalidArgument("\"method\" must be a string");
+    }
+    URBANE_ASSIGN_OR_RETURN(request.method,
+                            ParseMethodName(method->AsString()));
+  } else {
+    // Default: the paper's exact raster join, the fastest exact engine.
+    request.method = core::ExecutionMethod::kAccurateRaster;
+  }
+
+  if (const data::JsonValue* timeout = doc.Find("timeout_ms")) {
+    if (!timeout->is_number() || !std::isfinite(timeout->AsNumber()) ||
+        timeout->AsNumber() < 0) {
+      return Status::InvalidArgument(
+          "\"timeout_ms\" must be a non-negative number");
+    }
+    request.timeout_ms = static_cast<int>(timeout->AsNumber());
+  }
+  return request;
+}
+
+namespace {
+
+// JsonValue refuses to serialise non-finite numbers; the API contract is
+// that they render as null (e.g. AVG over an empty group is NaN).
+data::JsonValue FiniteOrNull(double value) {
+  if (!std::isfinite(value)) return data::JsonValue();
+  return data::JsonValue(value);
+}
+
+}  // namespace
+
+data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms) {
+  data::JsonValue::Array regions;
+  regions.reserve(result.rows.size());
+  for (const RegionRow& row : result.rows) {
+    data::JsonValue::Object region;
+    region.emplace_back("id",
+                        data::JsonValue(static_cast<double>(row.id)));
+    region.emplace_back("name", data::JsonValue(row.name));
+    region.emplace_back("value", FiniteOrNull(row.value));
+    region.emplace_back("count",
+                        data::JsonValue(static_cast<double>(row.count)));
+    if (row.has_error_bound) {
+      region.emplace_back("error_bound", FiniteOrNull(row.error_bound));
+    }
+    regions.emplace_back(std::move(region));
+  }
+  data::JsonValue::Object doc;
+  doc.emplace_back("schema", data::JsonValue("urbane.result.v1"));
+  doc.emplace_back("dataset", data::JsonValue(result.dataset));
+  doc.emplace_back("regions_layer", data::JsonValue(result.regions_layer));
+  doc.emplace_back("method", data::JsonValue(result.method));
+  doc.emplace_back("exact", data::JsonValue(result.exact));
+  doc.emplace_back("elapsed_ms", FiniteOrNull(elapsed_ms));
+  doc.emplace_back("regions", data::JsonValue(std::move(regions)));
+  return data::JsonValue(std::move(doc));
+}
+
+data::JsonValue RenderCatalog(const std::string& key,
+                              const std::vector<CatalogEntry>& entries) {
+  data::JsonValue::Array items;
+  items.reserve(entries.size());
+  for (const CatalogEntry& entry : entries) {
+    data::JsonValue::Object item;
+    item.emplace_back("name", data::JsonValue(entry.name));
+    item.emplace_back("size",
+                      data::JsonValue(static_cast<double>(entry.size)));
+    items.emplace_back(std::move(item));
+  }
+  data::JsonValue::Object doc;
+  doc.emplace_back("schema", data::JsonValue("urbane.catalog.v1"));
+  doc.emplace_back(key, data::JsonValue(std::move(items)));
+  return data::JsonValue(std::move(doc));
+}
+
+data::JsonValue RenderError(const Status& status) {
+  data::JsonValue::Object error;
+  error.emplace_back("code",
+                     data::JsonValue(StatusCodeToString(status.code())));
+  error.emplace_back("message", data::JsonValue(status.message()));
+  data::JsonValue::Object doc;
+  doc.emplace_back("error", data::JsonValue(std::move(error)));
+  return data::JsonValue(std::move(doc));
+}
+
+int HttpStatusForError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kOutOfRange:
+      return 416;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kNotImplemented:
+      return 501;
+    default:
+      return 500;
+  }
+}
+
+}  // namespace urbane::server

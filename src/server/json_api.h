@@ -1,0 +1,67 @@
+#ifndef URBANE_SERVER_JSON_API_H_
+#define URBANE_SERVER_JSON_API_H_
+
+// The query server's wire format, kept separate from the transport so the
+// tests can exercise request parsing and result rendering without sockets.
+//
+// Request (POST /v1/query):
+//   { "sql": "SELECT ...",            — required
+//     "method": "accurate",           — optional: scan | index | raster |
+//                                       accurate | auto (default accurate)
+//     "timeout_ms": 250 }             — optional per-request deadline
+//
+// Success response ("urbane.result.v1"):
+//   { "schema": "urbane.result.v1", "dataset": ..., "regions_layer": ...,
+//     "method": ..., "exact": true, "elapsed_ms": ...,
+//     "regions": [ {"id": 1, "name": "...", "value": ..., "count": ...,
+//                   "error_bound": ...?}, ... ] }
+// Non-finite values (AVG over an empty group) render as JSON null.
+//
+// Error response (any 4xx/5xx):
+//   { "error": { "code": "InvalidArgument", "message": "..." } }
+
+#include <optional>
+#include <string>
+
+#include "core/planner.h"
+#include "data/json.h"
+#include "server/query_backend.h"
+#include "util/status.h"
+
+namespace urbane::server {
+
+/// A parsed and validated /v1/query body.
+struct ApiRequest {
+  std::string sql;
+  /// Engine to run; unset means "auto" (the planner decides).
+  std::optional<core::ExecutionMethod> method;
+  /// Per-request deadline; <= 0 means none.
+  int timeout_ms = 0;
+};
+
+/// Parses a JSON request body. InvalidArgument on malformed JSON, a
+/// missing/empty "sql", an unknown "method", or a non-numeric/negative
+/// "timeout_ms".
+StatusOr<ApiRequest> ParseApiRequest(const std::string& body);
+
+/// "scan" | "index" | "raster" | "accurate" -> the enum; "auto" -> unset.
+StatusOr<std::optional<core::ExecutionMethod>> ParseMethodName(
+    const std::string& name);
+
+/// Renders a BackendResult as the urbane.result.v1 document.
+data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms);
+
+/// Renders the catalog endpoints (GET /v1/datasets, /v1/regions).
+data::JsonValue RenderCatalog(const std::string& key,
+                              const std::vector<CatalogEntry>& entries);
+
+/// Renders the {"error": {...}} envelope.
+data::JsonValue RenderError(const Status& status);
+
+/// Maps a Status code onto the HTTP status the handler responds with
+/// (InvalidArgument -> 400, NotFound -> 404, DeadlineExceeded -> 504, ...).
+int HttpStatusForError(const Status& status);
+
+}  // namespace urbane::server
+
+#endif  // URBANE_SERVER_JSON_API_H_

@@ -1,0 +1,69 @@
+#ifndef URBANE_SERVER_QUERY_BACKEND_H_
+#define URBANE_SERVER_QUERY_BACKEND_H_
+
+// The server's view of the query engine.
+//
+// QueryServer deliberately does not depend on app::DatasetManager (that
+// would create a cycle: the CLI that embeds the server lives in the same
+// library as the manager). Instead the app layer hands the server this
+// narrow interface; src/urbane/server_backend.* adapts DatasetManager to
+// it. Implementations must be safe for concurrent calls — the server
+// invokes ExecuteSql from N worker threads at once.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace urbane::server {
+
+/// One region's aggregate in a query result, already joined with the
+/// region's identity (results inside the engine are keyed by position).
+struct RegionRow {
+  std::int64_t id = 0;
+  std::string name;
+  double value = 0.0;
+  std::uint64_t count = 0;
+  /// Bounded-raster error bound; meaningful only when `has_error_bound`.
+  double error_bound = 0.0;
+  bool has_error_bound = false;
+};
+
+/// A fully-bound query result plus the identity needed to render it.
+struct BackendResult {
+  std::string dataset;
+  std::string regions_layer;
+  /// Executor that produced the rows ("scan", "index", ...).
+  std::string method;
+  bool exact = true;
+  std::vector<RegionRow> rows;
+};
+
+/// A registered point data set or region layer, for the catalog endpoints.
+struct CatalogEntry {
+  std::string name;
+  std::uint64_t size = 0;  // points or regions
+};
+
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  /// Parses and executes one statement. An unset `method` means "auto"
+  /// (the planner decides). `control` (borrowed, may be null) carries the
+  /// request deadline; executors poll it between passes.
+  virtual StatusOr<BackendResult> ExecuteSql(
+      const std::string& sql, std::optional<core::ExecutionMethod> method,
+      const core::QueryControl* control) = 0;
+
+  virtual std::vector<CatalogEntry> ListDatasets() = 0;
+  virtual std::vector<CatalogEntry> ListRegionLayers() = 0;
+};
+
+}  // namespace urbane::server
+
+#endif  // URBANE_SERVER_QUERY_BACKEND_H_

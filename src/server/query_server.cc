@@ -1,0 +1,316 @@
+#include "server/query_server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "net/http.h"
+#include "net/socket.h"
+#include "obs/event_journal.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "server/json_api.h"
+#include "util/timer.h"
+
+namespace urbane::server {
+
+namespace {
+
+constexpr int kPollSliceMs = 50;
+
+std::string JsonResponse(int http_status, const data::JsonValue& doc,
+                         int retry_after_seconds = 0) {
+  net::HttpResponse response;
+  response.status = http_status;
+  response.reason = "";  // resolved from the status code
+  response.content_type = "application/json";
+  response.body = doc.Dump(-1) + "\n";
+  if (retry_after_seconds > 0) {
+    response.extra_headers.emplace_back(
+        "Retry-After", std::to_string(retry_after_seconds));
+  }
+  return net::FormatHttpResponse(response);
+}
+
+obs::Counter& ServerCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+QueryServer::QueryServer(QueryBackend* backend, QueryServerOptions options)
+    : backend_(backend), options_(std::move(options)) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (backend_ == nullptr) {
+    return Status::InvalidArgument("query server needs a backend");
+  }
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("query server already running");
+  }
+  if (!net::SocketsAvailable()) {
+    return Status::NotImplemented("sockets unavailable on this platform");
+  }
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.max_queue_depth < 1) options_.max_queue_depth = 1;
+  URBANE_ASSIGN_OR_RETURN(
+      listen_fd_,
+      net::ListenLoopback(options_.port, options_.max_queue_depth + 8,
+                          &port_));
+
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_.clear();
+  workers_.reserve(static_cast<std::size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    auto state = std::make_unique<WorkerState>();
+    WorkerState* raw = state.get();
+    state->thread = std::thread([this, raw] { WorkerLoop(raw); });
+    workers_.push_back(std::move(state));
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // Phase 1: stop admitting. The acceptor sees `draining_` and exits; any
+  // connection racing the flag gets 503 from its worker.
+  draining_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  net::CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+
+  // Phase 2: bounded drain. Workers answer everything still queued with
+  // 503 and finish in-flight requests; past the deadline, cancel whatever
+  // is still executing (it aborts at its next pass boundary -> 504).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          options_.drain_timeout_ms > 0 ? options_.drain_timeout_ms : 0);
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.notify_all();
+    const bool drained = drain_cv_.wait_until(lock, deadline, [this] {
+      return queue_.empty() && in_flight_ == 0;
+    });
+    if (!drained) {
+      ServerCounter("server.drain.cancelled").Add(1);
+      for (const auto& worker : workers_) {
+        worker->control.cancelled.store(true, std::memory_order_release);
+      }
+    }
+  }
+  for (const auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  workers_.clear();
+  port_ = 0;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    if (!net::WaitReadable(listen_fd_, kPollSliceMs)) continue;
+    const int fd = net::AcceptConnection(listen_fd_);
+    if (fd < 0) continue;
+    const std::uint64_t conn_id =
+        next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Timeouts armed before any byte moves: a half-open peer costs one
+    // worker at most client_timeout_ms, never a hang.
+    net::SetSocketTimeouts(fd, options_.client_timeout_ms,
+                           options_.client_timeout_ms);
+    bool overloaded = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() <
+          static_cast<std::size_t>(options_.max_queue_depth)) {
+        queue_.push_back(PendingConn{fd, conn_id});
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        overloaded = true;
+      }
+    }
+    if (overloaded) {
+      // Shed load from the acceptor itself: the engine never sees the
+      // request, and the tiny response fits in the socket buffer.
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      ServerCounter("server.rejected.overload").Add(1);
+      SendErrorAndClose(
+          fd, 429,
+          Status::FailedPrecondition("admission queue full, retry later"),
+          options_.retry_after_seconds);
+      continue;
+    }
+    ServerCounter("server.accepted").Add(1);
+    queue_cv_.notify_one();
+  }
+}
+
+void QueryServer::WorkerLoop(WorkerState* state) {
+  for (;;) {
+    PendingConn conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        if (draining_.load(std::memory_order_acquire)) return;
+        continue;  // spurious wakeup race; re-wait
+      }
+      conn = queue_.front();
+      queue_.pop_front();
+      if (draining_.load(std::memory_order_acquire)) {
+        // Queued-but-not-started at drain time: refuse, don't execute.
+        lock.unlock();
+        rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+        ServerCounter("server.rejected.draining").Add(1);
+        SendErrorAndClose(
+            conn.fd, 503,
+            Status::FailedPrecondition("server is draining"));
+        lock.lock();
+        drain_cv_.notify_all();
+        continue;
+      }
+      ++in_flight_;
+    }
+    ServeConnection(state, conn);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void QueryServer::ServeConnection(WorkerState* state, PendingConn conn) {
+  // Everything emitted below (journal events from the cache, planner,
+  // facade) carries this connection id.
+  obs::ScopedEventContext event_context(conn.conn_id);
+  WallTimer timer;
+
+  net::HttpLimits limits;
+  StatusOr<net::HttpRequest> request = net::ReadHttpRequest(conn.fd, limits);
+  if (!request.ok()) {
+    if (request.status().code() == StatusCode::kInvalidArgument) {
+      ServerCounter("server.requests.bad").Add(1);
+      SendErrorAndClose(conn.fd, 400, request.status());
+    } else {
+      // Half-open or timed-out peer: nothing useful to send.
+      ServerCounter("server.requests.aborted").Add(1);
+      net::CloseSocket(conn.fd);
+    }
+    return;
+  }
+  const std::string response = HandleRequest(
+      state, conn.conn_id, request->method, request->path, request->body);
+  net::SendAll(conn.fd, response);
+  net::CloseSocket(conn.fd);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  ServerCounter("server.requests.served").Add(1);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("server.request.wall_seconds")
+      .Observe(timer.ElapsedSeconds());
+}
+
+std::string QueryServer::HandleRequest(WorkerState* state,
+                                       std::uint64_t conn_id,
+                                       const std::string& method,
+                                       const std::string& path,
+                                       const std::string& body) {
+  (void)conn_id;
+  // Telemetry endpoints ride the same listener as traffic.
+  {
+    std::string content_type;
+    std::string telemetry;
+    if (obs::TelemetryEndpoint(path, &content_type, &telemetry)) {
+      if (method != "GET") {
+        return JsonResponse(
+            405, RenderError(Status::InvalidArgument("use GET")));
+      }
+      net::HttpResponse response;
+      response.content_type = content_type;
+      response.body = std::move(telemetry);
+      return net::FormatHttpResponse(response);
+    }
+  }
+  if (path == "/v1/query") {
+    if (method != "POST") {
+      return JsonResponse(
+          405, RenderError(Status::InvalidArgument("use POST /v1/query")));
+    }
+    return HandleQuery(state, body);
+  }
+  if (path == "/v1/datasets" || path == "/v1/regions") {
+    if (method != "GET") {
+      return JsonResponse(
+          405, RenderError(Status::InvalidArgument("use GET")));
+    }
+    const bool datasets = path == "/v1/datasets";
+    return JsonResponse(
+        200, RenderCatalog(datasets ? "datasets" : "regions",
+                           datasets ? backend_->ListDatasets()
+                                    : backend_->ListRegionLayers()));
+  }
+  return JsonResponse(
+      404, RenderError(Status::NotFound("no such endpoint: " + path)));
+}
+
+std::string QueryServer::HandleQuery(WorkerState* state,
+                                     const std::string& body) {
+  StatusOr<ApiRequest> api = ParseApiRequest(body);
+  if (!api.ok()) {
+    ServerCounter("server.queries.bad").Add(1);
+    return JsonResponse(HttpStatusForError(api.status()),
+                        RenderError(api.status()));
+  }
+
+  // Arm this worker's (stable-address) control; Stop() may cancel it
+  // concurrently, so only reset state here, never destroy.
+  state->control.cancelled.store(false, std::memory_order_release);
+  state->control.deadline = core::QueryControl::Clock::time_point{};
+  const int timeout_ms =
+      api->timeout_ms > 0 ? api->timeout_ms : options_.default_timeout_ms;
+  if (timeout_ms > 0) {
+    state->control.SetTimeout(std::chrono::milliseconds(timeout_ms));
+  }
+  state->executing.store(true, std::memory_order_release);
+  WallTimer timer;
+  StatusOr<BackendResult> result =
+      backend_->ExecuteSql(api->sql, api->method, &state->control);
+  const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+  state->executing.store(false, std::memory_order_release);
+
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      ServerCounter("server.queries.deadline_exceeded").Add(1);
+    } else {
+      ServerCounter("server.queries.error").Add(1);
+    }
+    return JsonResponse(HttpStatusForError(result.status()),
+                        RenderError(result.status()));
+  }
+  ServerCounter("server.queries.ok").Add(1);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("server.query.wall_seconds")
+      .Observe(elapsed_ms / 1e3);
+  return JsonResponse(200, RenderResult(*result, elapsed_ms));
+}
+
+void QueryServer::SendErrorAndClose(int fd, int http_status,
+                                    const Status& error,
+                                    int retry_after_seconds) {
+  net::SendAll(fd,
+               JsonResponse(http_status, RenderError(error),
+                            retry_after_seconds));
+  // These responses (429 shed, 503 drain, 400 framing) answer requests
+  // whose body was never read; a plain close would RST the connection and
+  // the peer could lose the response. On loopback with a well-behaved
+  // client the drain completes in microseconds; the bound only limits how
+  // long a hostile trickler can hold the calling thread.
+  net::LingeringClose(fd, /*max_wait_ms=*/100);
+}
+
+}  // namespace urbane::server

@@ -1,0 +1,165 @@
+#ifndef URBANE_SERVER_QUERY_SERVER_H_
+#define URBANE_SERVER_QUERY_SERVER_H_
+
+// Urbane's concurrent HTTP/JSON query service.
+//
+// Topology: one poll-based acceptor thread owns the loopback listener and
+// performs admission control; accepted connections carry a monotonically
+// increasing connection id and enter a bounded queue drained by N worker
+// threads. Each worker handles one connection end-to-end: read request
+// (per-socket timeouts), route, execute against the QueryBackend, write
+// the JSON response, close.
+//
+// Admission control: when the queue is full the acceptor answers 429 with
+// a Retry-After header and closes — the request is never admitted, so an
+// overloaded server sheds load in O(1) without touching the engine. The
+// in-flight cap is the worker pool itself (at most `worker_threads`
+// queries execute concurrently).
+//
+// Deadlines: a request's `timeout_ms` (or the server default) arms a
+// core::QueryControl polled by executors at pass boundaries; an expired
+// query aborts within one pass and the client gets 504.
+//
+// Graceful drain: Stop() stops the acceptor first (new connections are
+// refused), lets in-flight requests finish, and answers any still-queued
+// connection with 503. If in-flight work outlives drain_timeout_ms, the
+// remaining queries are cancelled through their QueryControls (-> 504) so
+// Stop() is bounded by one executor pass, never unbounded.
+//
+// Endpoints:
+//   POST /v1/query     — execute one statement (see server/json_api.h)
+//   GET  /v1/datasets  — registered point data sets
+//   GET  /v1/regions   — registered region layers
+//   GET  /metrics, /slowlog, /healthz — shared telemetry endpoints, so one
+//        port serves traffic and scrape.
+//
+// Every request runs under an obs::ScopedEventContext carrying its
+// connection id: journal events emitted anywhere below (query start /
+// finish, cache evictions, planner decisions) are attributable to the
+// connection that caused them.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "server/query_backend.h"
+#include "util/status.h"
+
+namespace urbane::server {
+
+struct QueryServerOptions {
+  /// Loopback TCP port; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Worker pool size == maximum concurrently executing requests.
+  int worker_threads = 4;
+  /// Maximum accepted-but-not-yet-started connections; beyond this the
+  /// acceptor sheds load with 429.
+  int max_queue_depth = 64;
+  /// Per-socket recv/send timeout for client connections.
+  int client_timeout_ms = 5000;
+  /// Deadline applied to requests that don't carry `timeout_ms`; 0 = none.
+  int default_timeout_ms = 0;
+  /// Retry-After value on 429 responses.
+  int retry_after_seconds = 1;
+  /// How long Stop() waits for in-flight requests before cancelling them.
+  int drain_timeout_ms = 5000;
+};
+
+class QueryServer {
+ public:
+  /// `backend` is borrowed and must outlive the server.
+  explicit QueryServer(QueryBackend* backend, QueryServerOptions options = {});
+  ~QueryServer();  // calls Stop()
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds the listener and starts the acceptor + worker threads. Fails on
+  /// socket errors, a missing backend, or double Start.
+  Status Start();
+
+  /// Graceful drain (see file comment). Idempotent; also run by the
+  /// destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True once Stop() has begun refusing new work (drain in progress).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0 to the actual ephemeral port).
+  std::uint16_t port() const { return port_; }
+  const QueryServerOptions& options() const { return options_; }
+
+  /// Lifetime counters (also exported as server.* metrics).
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected_overload() const {
+    return rejected_overload_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected_draining() const {
+    return rejected_draining_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingConn {
+    int fd = -1;
+    std::uint64_t conn_id = 0;
+  };
+
+  /// Per-worker state with a stable address, so Stop() can cancel the
+  /// control of whatever query the worker is running without racing its
+  /// destruction.
+  struct WorkerState {
+    std::thread thread;
+    core::QueryControl control;
+    std::atomic<bool> executing{false};
+  };
+
+  void AcceptLoop();
+  void WorkerLoop(WorkerState* state);
+  void ServeConnection(WorkerState* state, PendingConn conn);
+  /// Routes one parsed request; returns the full response string.
+  std::string HandleRequest(WorkerState* state, std::uint64_t conn_id,
+                            const std::string& method,
+                            const std::string& path,
+                            const std::string& body);
+  std::string HandleQuery(WorkerState* state, const std::string& body);
+  void SendErrorAndClose(int fd, int http_status, const Status& error,
+                         int retry_after_seconds = 0);
+
+  QueryBackend* backend_;
+  QueryServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<std::uint64_t> next_conn_id_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;   // workers wait for work
+  std::condition_variable drain_cv_;   // Stop waits for idle
+  std::deque<PendingConn> queue_;
+  int in_flight_ = 0;  // guarded by queue_mu_
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_draining_{0};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace urbane::server
+
+#endif  // URBANE_SERVER_QUERY_SERVER_H_

@@ -68,6 +68,8 @@ const char* CommandInterpreter::Help() {
          "  stats [on|off|reset|json]\n"
          "  trace on|off|dump [json]\n"
          "  serve [[start] [port] [sink <path>]|stop|status]\n"
+         "  server [[start] [port] [workers N] [queue N] [timeout MS]|"
+         "stop|status]\n"
          "  events [drain|status|on|off|reset]\n"
          "  slowlog [arm [threshold-ms]|arm p99 [multiplier]|disarm|clear|"
          "json]\n"
@@ -153,6 +155,9 @@ Status CommandInterpreter::Dispatch(const std::string& line,
   }
   if (command == "serve") {
     return CmdServe(tokens, out);
+  }
+  if (command == "server") {
+    return CmdServer(tokens, out);
   }
   if (command == "events") {
     return CmdEvents(tokens, out);
@@ -584,6 +589,97 @@ Status CommandInterpreter::CmdServe(const std::vector<std::string>& args,
   return Status::OK();
 }
 
+Status CommandInterpreter::CmdServer(const std::vector<std::string>& args,
+                                     std::ostream& out) {
+  std::string action =
+      args.size() >= 2 ? ToLowerAscii(args[1]) : std::string("start");
+  std::size_t i = 2;
+  // "server 9090" is shorthand for "server start 9090".
+  if (action != "start" && action != "stop" && action != "status" &&
+      !action.empty() &&
+      action.find_first_not_of("0123456789") == std::string::npos) {
+    action = "start";
+    i = 1;
+  }
+  if (action == "stop") {
+    if (server_ == nullptr) {
+      out << "query server is not running\n";
+      return Status::OK();
+    }
+    server_->Stop();
+    out << "query server stopped (served "
+        << server_->served() << " requests, shed "
+        << server_->rejected_overload() << " on overload)\n";
+    server_.reset();
+    return Status::OK();
+  }
+  if (action == "status") {
+    if (server_ != nullptr && server_->running()) {
+      out << "query server listening on 127.0.0.1:" << server_->port()
+          << " (accepted " << server_->accepted() << ", served "
+          << server_->served() << ", overload 429s "
+          << server_->rejected_overload() << ")\n";
+    } else {
+      out << "query server is not running\n";
+    }
+    return Status::OK();
+  }
+  if (action != "start") {
+    return Status::InvalidArgument(
+        "usage: server [[start] [port] [workers N] [queue N] "
+        "[timeout MS]|stop|status]");
+  }
+  if (server_ != nullptr && server_->running()) {
+    return Status::FailedPrecondition(
+        "query server already running ('server stop' first)");
+  }
+  server::QueryServerOptions options;
+  if (i < args.size() &&
+      args[i].find_first_not_of("0123456789") == std::string::npos) {
+    URBANE_ASSIGN_OR_RETURN(std::int64_t port, ParseInt64(args[i]));
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("port out of range: " + args[i]);
+    }
+    options.port = static_cast<std::uint16_t>(port);
+    ++i;
+  }
+  while (i < args.size()) {
+    const std::string key = ToLowerAscii(args[i]);
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("'" + key + "' expects a value");
+    }
+    URBANE_ASSIGN_OR_RETURN(std::int64_t value, ParseInt64(args[i + 1]));
+    if (key == "workers") {
+      options.worker_threads = static_cast<int>(value);
+    } else if (key == "queue") {
+      options.max_queue_depth = static_cast<int>(value);
+    } else if (key == "timeout") {
+      options.default_timeout_ms = static_cast<int>(value);
+    } else {
+      return Status::InvalidArgument("unexpected argument: " + args[i]);
+    }
+    i += 2;
+  }
+  // A query service without telemetry is flying blind; serving implies
+  // the metrics + journal switches (same policy as `serve`).
+  obs::SetMetricsEnabled(true);
+  obs::SetJournalEnabled(true);
+  if (backend_ == nullptr) {
+    backend_ = std::make_unique<DatasetManagerBackend>(&manager_);
+  }
+  server_ = std::make_unique<server::QueryServer>(backend_.get(), options);
+  if (Status status = server_->Start(); !status.ok()) {
+    server_.reset();
+    return status;
+  }
+  out << "query server listening on 127.0.0.1:" << server_->port() << " ("
+      << options.worker_threads << " workers, queue "
+      << options.max_queue_depth << "; try: curl -d '{\"sql\": "
+      << "\"SELECT COUNT(*) FROM taxi, nbhd\"}' http://127.0.0.1:"
+      << server_->port() << "/v1/query)\n";
+  return Status::OK();
+}
+
 Status CommandInterpreter::CmdEvents(const std::vector<std::string>& args,
                                      std::ostream& out) {
   obs::EventJournal& journal = obs::EventJournal::Global();
@@ -642,6 +738,10 @@ Status CommandInterpreter::CmdEvents(const std::vector<std::string>& args,
       out << StringPrintf(
           "  fp=%016llx",
           static_cast<unsigned long long>(event.fingerprint));
+    }
+    if (event.context != 0) {
+      out << StringPrintf("  conn=%llu",
+                          static_cast<unsigned long long>(event.context));
     }
     if (event.kind == obs::EventKind::kQueryFinish ||
         event.kind == obs::EventKind::kSessionFrame) {

@@ -8,7 +8,9 @@
 #include "core/planner.h"
 #include "obs/exporter.h"
 #include "obs/trace.h"
+#include "server/query_server.h"
 #include "urbane/dataset_manager.h"
+#include "urbane/server_backend.h"
 
 namespace urbane::app {
 
@@ -33,6 +35,9 @@ namespace urbane::app {
 ///   trace on|off|dump [json]           per-query span traces for sql
 ///   serve [start [port] [sink <path>]|stop|status]
 ///                                      telemetry exporter (/metrics HTTP)
+///   server [start [port] [workers N] [queue N] [timeout MS]|stop|status]
+///                                      HTTP/JSON query server (POST
+///                                      /v1/query, GET /v1/datasets, ...)
 ///   events [drain|status|on|off|reset] structured event journal
 ///   slowlog [arm [ms]|arm p99 [mult]|disarm|clear|json]
 ///                                      slow-query flight recorder
@@ -65,6 +70,7 @@ class CommandInterpreter {
   Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
   Status CmdTrace(const std::vector<std::string>& args, std::ostream& out);
   Status CmdServe(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdServer(const std::vector<std::string>& args, std::ostream& out);
   Status CmdEvents(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSlowlog(const std::vector<std::string>& args, std::ostream& out);
   void CmdList(std::ostream& out);
@@ -74,6 +80,9 @@ class CommandInterpreter {
   /// embedding code and tests can discover the bound port).
   const obs::TelemetryExporter* exporter() const { return exporter_.get(); }
 
+  /// The running query server, if `server start` started one.
+  const server::QueryServer* query_server() const { return server_.get(); }
+
  private:
   DatasetManager manager_;
   core::ExecutionMethod method_ = core::ExecutionMethod::kAccurateRaster;
@@ -82,6 +91,8 @@ class CommandInterpreter {
   /// `trace dump` prints.
   std::unique_ptr<obs::QueryTrace> last_trace_;
   std::unique_ptr<obs::TelemetryExporter> exporter_;
+  std::unique_ptr<DatasetManagerBackend> backend_;
+  std::unique_ptr<server::QueryServer> server_;
 };
 
 }  // namespace urbane::app

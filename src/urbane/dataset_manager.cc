@@ -28,6 +28,7 @@ Status DatasetManager::AddPointDataset(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("data set name must be non-empty");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (points_.count(name) != 0) {
     return Status::AlreadyExists("data set already registered: " + name);
   }
@@ -41,6 +42,7 @@ Status DatasetManager::AddRegionLayer(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("region layer name must be non-empty");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (regions_.count(name) != 0) {
     return Status::AlreadyExists("region layer already registered: " + name);
   }
@@ -49,6 +51,7 @@ Status DatasetManager::AddRegionLayer(const std::string& name,
 }
 
 std::vector<std::string> DatasetManager::PointDatasetNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(points_.size());
   for (const auto& [name, table] : points_) {
@@ -58,6 +61,7 @@ std::vector<std::string> DatasetManager::PointDatasetNames() const {
 }
 
 std::vector<std::string> DatasetManager::RegionLayerNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(regions_.size());
   for (const auto& [name, set] : regions_) {
@@ -66,7 +70,7 @@ std::vector<std::string> DatasetManager::RegionLayerNames() const {
   return names;
 }
 
-StatusOr<const data::PointTable*> DatasetManager::PointDataset(
+StatusOr<const data::PointTable*> DatasetManager::PointDatasetLocked(
     const std::string& name) const {
   const auto it = points_.find(name);
   if (it == points_.end()) {
@@ -75,7 +79,7 @@ StatusOr<const data::PointTable*> DatasetManager::PointDataset(
   return const_cast<const data::PointTable*>(it->second.get());
 }
 
-StatusOr<const data::RegionSet*> DatasetManager::RegionLayer(
+StatusOr<const data::RegionSet*> DatasetManager::RegionLayerLocked(
     const std::string& name) const {
   const auto it = regions_.find(name);
   if (it == regions_.end()) {
@@ -84,18 +88,31 @@ StatusOr<const data::RegionSet*> DatasetManager::RegionLayer(
   return const_cast<const data::RegionSet*>(it->second.get());
 }
 
+StatusOr<const data::PointTable*> DatasetManager::PointDataset(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PointDatasetLocked(name);
+}
+
+StatusOr<const data::RegionSet*> DatasetManager::RegionLayer(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegionLayerLocked(name);
+}
+
 StatusOr<core::SpatialAggregation*> DatasetManager::Engine(
     const std::string& dataset, const std::string& region_layer,
     const core::RasterJoinOptions& raster_options) {
   const std::string key = dataset + "\x1f" + region_layer;
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = engines_.find(key);
   if (it != engines_.end()) {
     return it->second.get();
   }
   URBANE_ASSIGN_OR_RETURN(const data::PointTable* table,
-                          PointDataset(dataset));
+                          PointDatasetLocked(dataset));
   URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
-                          RegionLayer(region_layer));
+                          RegionLayerLocked(region_layer));
   auto engine = std::make_unique<core::SpatialAggregation>(*table, *regions,
                                                            raster_options);
   core::SpatialAggregation* raw = engine.get();
@@ -105,12 +122,13 @@ StatusOr<core::SpatialAggregation*> DatasetManager::Engine(
 
 StatusOr<const index::TemporalIndex*> DatasetManager::Temporal(
     const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = temporal_.find(dataset);
   if (it != temporal_.end()) {
     return const_cast<const index::TemporalIndex*>(it->second.get());
   }
   URBANE_ASSIGN_OR_RETURN(const data::PointTable* table,
-                          PointDataset(dataset));
+                          PointDatasetLocked(dataset));
   URBANE_ASSIGN_OR_RETURN(
       index::TemporalIndex index,
       index::TemporalIndex::Build(table->ts(), table->size()));
@@ -154,6 +172,7 @@ Status DatasetManager::SaveWorkspace(const std::string& directory) const {
     return Status::IoError("cannot create workspace directory '" +
                            directory + "': " + ec.message());
   }
+  std::lock_guard<std::mutex> lock(mu_);
   data::Catalog catalog;
   for (const auto& [name, table] : points_) {
     const std::string filename = name + ".upt";

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,14 @@ namespace urbane::app {
 /// named region layers (boroughs, neighborhoods, tracts), plus lazily-built
 /// query engines for every (data set, region layer) pair and per-data-set
 /// temporal indexes backing the time-brush histogram.
+///
+/// Thread-safety: all methods may be called concurrently (the query server
+/// binds names from N worker threads at once). The registry maps are
+/// guarded by one mutex; registered tables/regions are immutable after
+/// registration and engines are internally thread-safe, so pointers handed
+/// out stay valid and usable without the lock. Lazy builds (first Engine /
+/// Temporal call for a pair) happen under the lock — concurrent first
+/// touches serialize rather than building twice.
 class DatasetManager {
  public:
   DatasetManager() = default;
@@ -63,6 +72,12 @@ class DatasetManager {
                                          obs::QueryTrace* trace = nullptr);
 
  private:
+  StatusOr<const data::PointTable*> PointDatasetLocked(
+      const std::string& name) const;
+  StatusOr<const data::RegionSet*> RegionLayerLocked(
+      const std::string& name) const;
+
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<data::PointTable>> points_;
   std::map<std::string, std::unique_ptr<data::RegionSet>> regions_;
   std::map<std::string, std::unique_ptr<core::SpatialAggregation>> engines_;

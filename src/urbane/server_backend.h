@@ -1,0 +1,33 @@
+#ifndef URBANE_URBANE_SERVER_BACKEND_H_
+#define URBANE_URBANE_SERVER_BACKEND_H_
+
+#include "server/query_backend.h"
+#include "urbane/dataset_manager.h"
+
+namespace urbane::app {
+
+/// Adapts DatasetManager to the query server's backend interface: parses
+/// the statement, binds the FROM names to registered data sets / region
+/// layers, runs the engine (planner-chosen when `method` is unset), and
+/// joins the positional result with region identities. Stateless beyond
+/// the borrowed manager, so one instance serves every worker thread.
+class DatasetManagerBackend : public server::QueryBackend {
+ public:
+  /// `manager` is borrowed and must outlive the backend.
+  explicit DatasetManagerBackend(DatasetManager* manager)
+      : manager_(manager) {}
+
+  StatusOr<server::BackendResult> ExecuteSql(
+      const std::string& sql, std::optional<core::ExecutionMethod> method,
+      const core::QueryControl* control) override;
+
+  std::vector<server::CatalogEntry> ListDatasets() override;
+  std::vector<server::CatalogEntry> ListRegionLayers() override;
+
+ private:
+  DatasetManager* manager_;
+};
+
+}  // namespace urbane::app
+
+#endif  // URBANE_URBANE_SERVER_BACKEND_H_

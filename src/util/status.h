@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal = 6,
   kNotImplemented = 7,
   kIoError = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "IOError").
@@ -65,6 +66,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,105 @@
+// QueryControl: cooperative deadlines/cancellation polled by executors at
+// pass boundaries, and its interaction with the result cache.
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/spatial_aggregation.h"
+#include "testing/test_worlds.h"
+
+namespace urbane::core {
+namespace {
+
+TEST(QueryControlTest, CheckSemantics) {
+  QueryControl control;
+  EXPECT_TRUE(control.Check().ok());  // no deadline, not cancelled
+
+  control.SetTimeout(std::chrono::milliseconds(60'000));
+  EXPECT_TRUE(control.Check().ok());  // far-future deadline
+
+  control.deadline = QueryControl::Clock::now() -
+                     std::chrono::milliseconds(1);
+  EXPECT_EQ(control.Check().code(), StatusCode::kDeadlineExceeded);
+
+  control.deadline = QueryControl::Clock::time_point{};  // back to "none"
+  EXPECT_TRUE(control.Check().ok());
+  control.cancelled.store(true);
+  EXPECT_EQ(control.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryControlTest, NullControlIsAlwaysOk) {
+  AggregationQuery query;
+  EXPECT_EQ(query.control, nullptr);
+  EXPECT_TRUE(query.CheckControl().ok());
+}
+
+TEST(QueryControlTest, CancelledControlAbortsEveryExecutionMethod) {
+  const auto points = testing::MakeUniformPoints(3000, 81);
+  const auto regions = testing::MakeRandomRegions(4, 82);
+  SpatialAggregation engine(points, regions);
+
+  QueryControl control;
+  control.cancelled.store(true);
+  for (const ExecutionMethod method :
+       {ExecutionMethod::kScan, ExecutionMethod::kIndexJoin,
+        ExecutionMethod::kBoundedRaster, ExecutionMethod::kAccurateRaster}) {
+    AggregationQuery query;
+    query.aggregate = AggregateSpec::Count();
+    query.control = &control;
+    const auto result = engine.Execute(query, method);
+    ASSERT_FALSE(result.ok()) << ExecutionMethodToString(method);
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << ExecutionMethodToString(method);
+  }
+
+  // An aborted query must never poison the cache: re-running with the
+  // control released produces the real result.
+  control.cancelled.store(false);
+  AggregationQuery query;
+  query.aggregate = AggregateSpec::Count();
+  query.control = &control;
+  const auto result = engine.Execute(query, ExecutionMethod::kScan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), regions.size());
+}
+
+TEST(QueryControlTest, ExpiredDeadlineAbortsExecution) {
+  const auto points = testing::MakeUniformPoints(2000, 83);
+  const auto regions = testing::MakeRandomRegions(3, 84);
+  SpatialAggregation engine(points, regions);
+
+  QueryControl control;
+  control.deadline = QueryControl::Clock::now() -
+                     std::chrono::milliseconds(1);
+  AggregationQuery query;
+  query.aggregate = AggregateSpec::Count();
+  query.control = &control;
+  const auto result = engine.Execute(query, ExecutionMethod::kIndexJoin);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryControlTest, CacheHitsAreExemptFromTheDeadline) {
+  // Documented trade-off: a cached result is cheaper than the check is
+  // useful, so an expired control does not block serving it.
+  const auto points = testing::MakeUniformPoints(2000, 85);
+  const auto regions = testing::MakeRandomRegions(3, 86);
+  SpatialAggregation engine(points, regions);
+  engine.set_result_cache_capacity(16);  // off by default
+
+  AggregationQuery query;
+  query.aggregate = AggregateSpec::Count();
+  ASSERT_TRUE(engine.Execute(query, ExecutionMethod::kScan).ok());  // warm
+
+  QueryControl control;
+  control.cancelled.store(true);
+  query.control = &control;  // not part of the fingerprint
+  const auto cached = engine.Execute(query, ExecutionMethod::kScan);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->size(), regions.size());
+}
+
+}  // namespace
+}  // namespace urbane::core

@@ -131,13 +131,52 @@ TEST(SqlEdgeCaseTest, EveryMalformedInputIsACleanError) {
     const auto parsed = ParseQuerySql(bad.sql);
     EXPECT_FALSE(parsed.ok()) << bad.label << ": " << bad.sql;
     if (!parsed.ok()) {
-      // Errors are InvalidArgument with the parser's prefix, never an
-      // internal/unknown failure.
-      EXPECT_NE(parsed.status().ToString().find("SQL parse error"),
+      // Errors are InvalidArgument with the parser's prefix (including the
+      // byte offset of the offending token), never an internal/unknown
+      // failure.
+      EXPECT_NE(parsed.status().ToString().find("SQL parse error at byte "),
                 std::string::npos)
           << bad.label << ": " << parsed.status().ToString();
     }
   }
+}
+
+TEST(SqlEdgeCaseTest, ParseErrorsPointAtTheOffendingToken) {
+  // The reported byte offset is the index of the offending token's first
+  // character in the original string, so a client can underline it.
+  struct OffsetCase {
+    const char* label;
+    std::string sql;
+    std::string offending;  // first occurrence locates the expected offset
+  };
+  const OffsetCase cases[] = {
+      {"missing_comma", "SELECT COUNT(*) FROM taxi nbhd", "nbhd"},
+      {"unknown_aggregate", "SELECT MEDIAN(v) FROM a, b", "MEDIAN"},
+      {"trailing_ident", "SELECT COUNT(*) FROM a, b extra", "extra"},
+      {"group_by_wrong_key", "SELECT COUNT(*) FROM a, b GROUP BY fare",
+       "fare"},
+      {"stacked_statement", "SELECT COUNT(*) FROM a, b; DROP TABLE a", ";"},
+      {"double_equals",
+       "SELECT COUNT(*) FROM taxi, nbhd WHERE v == 5", "= 5"},
+  };
+  for (const OffsetCase& c : cases) {
+    const auto parsed = ParseQuerySql(c.sql);
+    ASSERT_FALSE(parsed.ok()) << c.label;
+    const std::string expected =
+        "at byte " + std::to_string(c.sql.find(c.offending));
+    EXPECT_NE(parsed.status().message().find(expected), std::string::npos)
+        << c.label << ": " << parsed.status().ToString()
+        << " (expected '" << expected << "')";
+  }
+  // Truncated input: the offending token is end-of-input, reported at the
+  // byte just past the string.
+  const std::string truncated = "SELECT COUNT(*) FROM";
+  const auto parsed = ParseQuerySql(truncated);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find(
+                "at byte " + std::to_string(truncated.size())),
+            std::string::npos)
+      << parsed.status().ToString();
 }
 
 TEST(SqlEdgeCaseTest, HostileButTolerated) {

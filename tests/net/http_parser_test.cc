@@ -1,0 +1,164 @@
+// HTTP request parser corpus: well-formed requests (including adversarial
+// but legal framing like byte-at-a-time delivery and bare-LF terminators),
+// a malformed corpus that must fail with a 400-safe message and never
+// crash, and the response formatter's invariants.
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace urbane::net {
+namespace {
+
+using State = HttpRequestParser::State;
+
+State FeedAll(HttpRequestParser& parser, const std::string& bytes) {
+  return parser.Feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpRequestParserTest, ParsesGetWithQueryString) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "GET /v1/regions?layer=nbhd&x=1 HTTP/1.1\r\n"
+                    "Host: localhost\r\n"
+                    "X-Custom: value with spaces\r\n\r\n"),
+            State::kDone);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/v1/regions?layer=nbhd&x=1");
+  EXPECT_EQ(request.path, "/v1/regions");
+  EXPECT_EQ(request.query, "layer=nbhd&x=1");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.QueryParam("layer"), "nbhd");
+  EXPECT_EQ(request.QueryParam("x"), "1");
+  EXPECT_EQ(request.QueryParam("missing"), "");
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "localhost");
+  // Header names are lowercased at parse time; values keep their bytes.
+  ASSERT_NE(request.FindHeader("x-custom"), nullptr);
+  EXPECT_EQ(*request.FindHeader("x-custom"), "value with spaces");
+  EXPECT_EQ(request.FindHeader("X-Custom"), nullptr);
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpRequestParserTest, ParsesPostBodyDeliveredByteByByte) {
+  const std::string message =
+      "POST /v1/query HTTP/1.1\r\n"
+      "Content-Length: 16\r\n\r\n"
+      "{\"sql\": \"SELECT\"";
+  HttpRequestParser parser;
+  for (std::size_t i = 0; i + 1 < message.size(); ++i) {
+    ASSERT_NE(parser.Feed(&message[i], 1), State::kError) << "byte " << i;
+    ASSERT_NE(parser.state(), State::kDone) << "byte " << i;
+  }
+  ASSERT_EQ(parser.Feed(&message[message.size() - 1], 1), State::kDone);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "{\"sql\": \"SELECT\"");
+}
+
+TEST(HttpRequestParserTest, BodyBytesGluedToHeaderBlock) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"),
+            State::kDone);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpRequestParserTest, ToleratesBareLfTerminators) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET /healthz HTTP/1.0\nHost: x\n\n"),
+            State::kDone);
+  EXPECT_EQ(parser.request().path, "/healthz");
+}
+
+TEST(HttpRequestParserTest, SurplusBytesAfterCompleteMessageAreIgnored) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET / HTTP/1.1\r\n\r\n"), State::kDone);
+  const std::string extra = "GET /other HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(parser.Feed(extra.data(), extra.size()), State::kDone);
+  EXPECT_EQ(parser.request().path, "/");  // no pipelining
+}
+
+TEST(HttpRequestParserTest, MalformedCorpusFailsWithSafeMessages) {
+  const std::vector<std::string> corpus = {
+      "\r\n\r\n",                                 // empty request line
+      "GARBAGE\r\n\r\n",                          // no spaces
+      "GET /\r\n\r\n",                            // missing version
+      "GET / FTP/1.1\r\n\r\n",                    // wrong protocol
+      " / HTTP/1.1\r\n\r\n",                      // empty method
+      "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",    // header without ':'
+      "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",   // header with empty name
+      "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",   // negative length
+      "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",  // non-numeric
+      "POST / HTTP/1.1\r\nContent-Length:\r\n\r\n",      // empty value
+  };
+  for (const std::string& bytes : corpus) {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(parser, bytes), State::kError) << bytes;
+    EXPECT_FALSE(parser.error().ok()) << bytes;
+    EXPECT_EQ(parser.error().code(), StatusCode::kInvalidArgument) << bytes;
+    EXPECT_FALSE(parser.error().message().empty()) << bytes;
+    // Errors are sticky: more bytes cannot resurrect the parse.
+    EXPECT_EQ(FeedAll(parser, "GET / HTTP/1.1\r\n\r\n"), State::kError);
+  }
+}
+
+TEST(HttpRequestParserTest, EnforcesHeaderLimit) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  HttpRequestParser parser(limits);
+  // Never sends the terminator: the parser must cut the buffer off at the
+  // limit instead of ballooning.
+  const std::string chunk(50, 'A');
+  State state = State::kHeaders;
+  for (int i = 0; i < 10 && state == State::kHeaders; ++i) {
+    state = parser.Feed(chunk.data(), chunk.size());
+  }
+  EXPECT_EQ(state, State::kError);
+  EXPECT_NE(parser.error().message().find("header block exceeds"),
+            std::string::npos);
+}
+
+TEST(HttpRequestParserTest, EnforcesBodyLimit) {
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  HttpRequestParser parser(limits);
+  EXPECT_EQ(FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+            State::kError);
+  EXPECT_NE(parser.error().message().find("exceeds limit"),
+            std::string::npos);
+}
+
+TEST(HttpResponseTest, FormatterWritesFramingHeaders) {
+  HttpResponse response;
+  response.status = 429;
+  response.reason = "";  // resolved from the status
+  response.content_type = "application/json";
+  response.body = "{\"error\":{}}";
+  response.extra_headers.emplace_back("Retry-After", "1");
+  const std::string wire = FormatHttpResponse(response);
+  EXPECT_EQ(wire.rfind("HTTP/1.1 429 Too Many Requests\r\n", 0), 0u);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 12\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n\r\n{\"error\":{}}"),
+            std::string::npos);
+}
+
+TEST(HttpResponseTest, ReasonPhrasesCoverTheServersStatusCodes) {
+  EXPECT_STREQ(HttpReasonPhrase(200), "OK");
+  EXPECT_STREQ(HttpReasonPhrase(400), "Bad Request");
+  EXPECT_STREQ(HttpReasonPhrase(404), "Not Found");
+  EXPECT_STREQ(HttpReasonPhrase(416), "Range Not Satisfiable");
+  EXPECT_STREQ(HttpReasonPhrase(429), "Too Many Requests");
+  EXPECT_STREQ(HttpReasonPhrase(501), "Not Implemented");
+  EXPECT_STREQ(HttpReasonPhrase(503), "Service Unavailable");
+  EXPECT_STREQ(HttpReasonPhrase(504), "Gateway Timeout");
+  EXPECT_STREQ(HttpReasonPhrase(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace urbane::net

@@ -1,0 +1,148 @@
+// Loopback socket plumbing: listener/connector round trips, request
+// framing over a real socket, and the timeout guards that keep a slow peer
+// from wedging a serving thread.
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "net/http.h"
+
+namespace urbane::net {
+namespace {
+
+#ifdef __unix__
+
+TEST(SocketTest, ListenConnectSendRecvRoundTrip) {
+  ASSERT_TRUE(SocketsAvailable());
+  std::uint16_t port = 0;
+  StatusOr<int> listen_fd = ListenLoopback(0, 8, &port);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status().ToString();
+  ASSERT_GT(port, 0);
+
+  StatusOr<int> client = ConnectLoopback(port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_TRUE(WaitReadable(*listen_fd, 2000));
+  const int server_fd = AcceptConnection(*listen_fd);
+  ASSERT_GE(server_fd, 0);
+  SetSocketTimeouts(server_fd, 2000, 2000);
+  SetSocketTimeouts(*client, 2000, 2000);
+
+  ASSERT_TRUE(SendAll(*client, "ping").ok());
+  char buffer[16];
+  StatusOr<std::size_t> n = RecvSome(server_fd, buffer, sizeof(buffer));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(std::string(buffer, *n), "ping");
+
+  // Server responds then closes; RecvAll on the client collects the full
+  // payload up to orderly EOF.
+  ASSERT_TRUE(SendAll(server_fd, "pong and then some").ok());
+  CloseSocket(server_fd);
+  std::string response;
+  ASSERT_TRUE(RecvAll(*client, &response).ok());
+  EXPECT_EQ(response, "pong and then some");
+
+  CloseSocket(*client);
+  CloseSocket(*listen_fd);
+}
+
+TEST(SocketTest, WaitReadableTimesOutWithoutTraffic) {
+  std::uint16_t port = 0;
+  StatusOr<int> listen_fd = ListenLoopback(0, 8, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  EXPECT_FALSE(WaitReadable(*listen_fd, 20));
+  EXPECT_EQ(AcceptConnection(*listen_fd), -1);  // EAGAIN, not a crash
+  CloseSocket(*listen_fd);
+}
+
+TEST(SocketTest, RecvTimeoutFailsInsteadOfHangingForever) {
+  std::uint16_t port = 0;
+  StatusOr<int> listen_fd = ListenLoopback(0, 8, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  StatusOr<int> client = ConnectLoopback(port);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(WaitReadable(*listen_fd, 2000));
+  const int server_fd = AcceptConnection(*listen_fd);
+  ASSERT_GE(server_fd, 0);
+
+  // The peer never sends: a 50 ms SO_RCVTIMEO turns the read into an
+  // IoError instead of an unbounded stall.
+  SetSocketTimeouts(server_fd, 50, 50);
+  char buffer[16];
+  const StatusOr<std::size_t> n = RecvSome(server_fd, buffer, sizeof(buffer));
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kIoError);
+
+  CloseSocket(server_fd);
+  CloseSocket(*client);
+  CloseSocket(*listen_fd);
+}
+
+TEST(SocketTest, ReadHttpRequestFramesOneMessage) {
+  std::uint16_t port = 0;
+  StatusOr<int> listen_fd = ListenLoopback(0, 8, &port);
+  ASSERT_TRUE(listen_fd.ok());
+
+  std::thread client_thread([port] {
+    StatusOr<int> fd = ConnectLoopback(port);
+    ASSERT_TRUE(fd.ok());
+    // Two sends, split mid-body, as a real client's packets might arrive.
+    SendAll(*fd, "POST /v1/query HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"sql");
+    SendAll(*fd, "\": 1}");
+    CloseSocket(*fd);
+  });
+
+  ASSERT_TRUE(WaitReadable(*listen_fd, 2000));
+  const int server_fd = AcceptConnection(*listen_fd);
+  ASSERT_GE(server_fd, 0);
+  SetSocketTimeouts(server_fd, 2000, 2000);
+  const StatusOr<HttpRequest> request = ReadHttpRequest(server_fd, {});
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(request->path, "/v1/query");
+  EXPECT_EQ(request->body, "{\"sql\": 1}");
+
+  client_thread.join();
+  CloseSocket(server_fd);
+  CloseSocket(*listen_fd);
+}
+
+TEST(SocketTest, ReadHttpRequestReportsEarlyDisconnectAsIoError) {
+  std::uint16_t port = 0;
+  StatusOr<int> listen_fd = ListenLoopback(0, 8, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  std::thread client_thread([port] {
+    StatusOr<int> fd = ConnectLoopback(port);
+    ASSERT_TRUE(fd.ok());
+    SendAll(*fd, "GET /healthz HTT");  // hangs up mid request line
+    CloseSocket(*fd);
+  });
+  ASSERT_TRUE(WaitReadable(*listen_fd, 2000));
+  const int server_fd = AcceptConnection(*listen_fd);
+  ASSERT_GE(server_fd, 0);
+  SetSocketTimeouts(server_fd, 2000, 2000);
+  const StatusOr<HttpRequest> request = ReadHttpRequest(server_fd, {});
+  EXPECT_FALSE(request.ok());
+  // IoError (not InvalidArgument): nothing was malformed, the peer left.
+  EXPECT_EQ(request.status().code(), StatusCode::kIoError);
+  client_thread.join();
+  CloseSocket(server_fd);
+  CloseSocket(*listen_fd);
+}
+
+#else  // !__unix__
+
+TEST(SocketTest, StubsReportNotImplemented) {
+  EXPECT_FALSE(SocketsAvailable());
+  std::uint16_t port = 0;
+  EXPECT_FALSE(ListenLoopback(0, 8, &port).ok());
+  EXPECT_FALSE(ConnectLoopback(1).ok());
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace urbane::net

@@ -197,6 +197,41 @@ TEST(TelemetryExporterTest, SlowQueryAppearsInSlowlogEndpoint) {
   recorder.Clear();
 }
 
+TEST(TelemetryExporterTest, HalfOpenClientCannotStallOtherScrapers) {
+  // Regression test for the synchronous serving loop: a client that
+  // connects and never sends a request used to park the exporter thread in
+  // a timeout-less recv(), starving every other scraper. With per-socket
+  // timeouts the stall is bounded by client_timeout_ms.
+  TelemetryExporterOptions options;
+  options.client_timeout_ms = 150;
+  TelemetryExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+
+  // The half-open peer: connect, send nothing, stay open until the end.
+  const int mute_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(mute_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(exporter.port());
+  ASSERT_EQ(
+      ::connect(mute_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  // Scrapes issued behind the mute client must still be answered — each
+  // can be delayed by at most one client_timeout_ms slice, never starved.
+  for (int i = 0; i < 3; ++i) {
+    const std::string response = HttpGet(exporter.port(), "/healthz");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+        << "scrape " << i << " starved by a half-open client";
+  }
+  const std::string metrics = HttpGet(exporter.port(), "/metrics");
+  EXPECT_NE(metrics.find("urbane_process_uptime_seconds"), std::string::npos);
+
+  ::close(mute_fd);
+  exporter.Stop();
+}
+
 TEST(TelemetryExporterTest, StopIsIdempotentAndRestartable) {
   TelemetryExporter exporter;
   ASSERT_TRUE(exporter.Start().ok());

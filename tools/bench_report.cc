@@ -41,6 +41,11 @@ struct BenchEntry {
   std::string source;      // file the snapshot came from
   double scale = 1.0;
   double threads = 1.0;
+  // The bench's result table (verbatim cells). Lets non-histogram results
+  // — the load generator's throughput / client-side percentiles — land in
+  // the trajectory next to the registry histograms.
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
   urbane::obs::MetricsSnapshot metrics;
 };
 
@@ -65,6 +70,23 @@ StatusOr<BenchEntry> LoadBenchJson(const std::string& path) {
   if (const auto* threads = root.Find("threads");
       threads != nullptr && threads->is_number()) {
     entry.threads = threads->AsNumber();
+  }
+  if (const auto* columns = root.Find("columns");
+      columns != nullptr && columns->is_array()) {
+    for (const urbane::data::JsonValue& column : columns->AsArray()) {
+      if (column.is_string()) entry.columns.push_back(column.AsString());
+    }
+  }
+  if (const auto* rows = root.Find("rows");
+      rows != nullptr && rows->is_array()) {
+    for (const urbane::data::JsonValue& row : rows->AsArray()) {
+      if (!row.is_array()) continue;
+      std::vector<std::string> cells;
+      for (const urbane::data::JsonValue& cell : row.AsArray()) {
+        cells.push_back(cell.is_string() ? cell.AsString() : cell.Dump(-1));
+      }
+      entry.rows.push_back(std::move(cells));
+    }
   }
   const auto* metrics = root.Find("metrics");
   if (metrics == nullptr) {
@@ -111,6 +133,24 @@ urbane::data::JsonValue TrajectoryJson(const std::vector<BenchEntry>& entries) {
       counter_array.emplace_back(std::move(one));
     }
     bench.emplace_back("counters", data::JsonValue(std::move(counter_array)));
+    if (!entry.rows.empty()) {
+      data::JsonValue::Object table;
+      data::JsonValue::Array columns;
+      for (const std::string& column : entry.columns) {
+        columns.emplace_back(column);
+      }
+      table.emplace_back("columns", data::JsonValue(std::move(columns)));
+      data::JsonValue::Array rows;
+      for (const auto& row : entry.rows) {
+        data::JsonValue::Array cells;
+        for (const std::string& cell : row) {
+          cells.emplace_back(cell);
+        }
+        rows.emplace_back(std::move(cells));
+      }
+      table.emplace_back("rows", data::JsonValue(std::move(rows)));
+      bench.emplace_back("table", data::JsonValue(std::move(table)));
+    }
     bench_array.emplace_back(std::move(bench));
   }
   root.emplace_back("benches", data::JsonValue(std::move(bench_array)));

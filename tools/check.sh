@@ -10,7 +10,9 @@
 #   * the facade cache tests (stale-ε regression included),
 #   * the obs metrics/trace concurrency tests (threads vs serial oracle),
 #   * the telemetry pipeline suites (event-journal MPSC ring producers vs
-#     drainer, slow-query recorder, exporter socket round-trip).
+#     drainer, slow-query recorder, exporter socket round-trip),
+#   * the query-server suites (concurrent HTTP round trips, admission
+#     control, graceful drain, per-request deadlines) and the net substrate.
 # Any data race aborts the run: TSAN_OPTIONS makes warnings fatal.
 #
 # `--fast` instead builds a plain (unsanitized) tree and runs only the
@@ -36,7 +38,7 @@ if [[ "${MODE}" == "fast" ]]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
     --target util_test geometry_test raster_test index_test data_test \
-             obs_test obs_pipeline_test
+             obs_test obs_pipeline_test net_test
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
   echo "fast check OK"
   exit 0
@@ -48,11 +50,11 @@ cmake -B "${BUILD_DIR}" -S . \
   -DURBANE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target core_test obs_test obs_pipeline_test
+  --target core_test obs_test obs_pipeline_test net_test server_test
 
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism|EventJournal|SlowQuery|TelemetryExporter' \
+  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism|EventJournal|SlowQuery|TelemetryExporter|QueryServer|QueryControl|Socket|HttpRequestParser' \
   "$@"
 
 echo "tsan check OK"
