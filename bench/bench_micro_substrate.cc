@@ -1,20 +1,34 @@
 // MB — google-benchmark microbenchmarks of the substrate stages that the
 // executors compose: point-in-polygon tests, scanline vs triangle polygon
 // fill (the pipeline ablation), point splatting (z-order-sorted vs shuffled
-// input — memory-locality ablation), grid-index probes and boundary
-// rasterization.
+// input — memory-locality ablation), grid-index probes, boundary
+// rasterization, and the splat/sweep SIMD kernel tables (scalar vs sse2 vs
+// avx2 ns/fragment). The kernel workloads additionally emit a harness
+// ResultTable sidecar (micro_substrate_kernels.json when URBANE_BENCH_CSV
+// is set) so tools/bench_report tracks kernel regressions in
+// BENCH_TRAJECTORY.json without a full fig4/fig8 run.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <numeric>
+#include <string>
+#include <vector>
 
+#include "bench/harness.h"
 #include "data/region_generator.h"
 #include "geometry/polygon.h"
 #include "geometry/triangulate.h"
 #include "index/grid_index.h"
 #include "index/zorder.h"
+#include "obs/metrics.h"
+#include "raster/kernels.h"
 #include "raster/point_splat.h"
 #include "raster/rasterizer.h"
+#include "raster/simd.h"
+#include "raster/tile_raster.h"
 #include "testing/test_worlds.h"
 #include "util/random.h"
 
@@ -156,7 +170,216 @@ void BM_Triangulate(benchmark::State& state) {
 }
 BENCHMARK(BM_Triangulate)->Arg(16)->Arg(64)->Arg(256);
 
+// ---------------------------------------------------------------------------
+// Splat/sweep SIMD kernels. One workload per RasterKernels entry point plus
+// the tiled triangle walk; each runs at every URBANE_SIMD level available on
+// this CPU. Registered twice: as BM_SimdKernel below for interactive runs,
+// and through EmitKernelSidecar() (called from main after the benchmark
+// pass) as a harness ResultTable so the numbers land in the JSON sidecar
+// bench_report aggregates.
+
+std::vector<raster::SimdLevel> AvailableKernelLevels() {
+  std::vector<raster::SimdLevel> levels = {raster::SimdLevel::kOff};
+  const int max = static_cast<int>(raster::CpuMaxSimdLevel());
+  if (max >= static_cast<int>(raster::SimdLevel::kSse2)) {
+    levels.push_back(raster::SimdLevel::kSse2);
+  }
+  if (max >= static_cast<int>(raster::SimdLevel::kAvx2)) {
+    levels.push_back(raster::SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+struct KernelWorkload {
+  const char* name;
+  std::size_t fragments;  // pixels one run() call pushes through the kernel
+  std::function<void(const raster::RasterKernels&)> run;
+};
+
+std::vector<KernelWorkload> MakeKernelWorkloads() {
+  std::vector<KernelWorkload> workloads;
+
+  // Splat pass 1: point -> linear framebuffer index, 1M uniform points.
+  {
+    const std::size_t n = 1 << 20;
+    const data::PointTable points = testing::MakeUniformPoints(n, 11);
+    auto xs = std::make_shared<std::vector<float>>(points.xs(),
+                                                   points.xs() + n);
+    auto ys = std::make_shared<std::vector<float>>(points.ys(),
+                                                   points.ys() + n);
+    auto out = std::make_shared<std::vector<std::uint32_t>>(n);
+    const raster::Viewport vp(geometry::BoundingBox(0, 0, 100.001, 100.001),
+                              1024, 1024);
+    const raster::SplatGeometry geom = raster::SplatGeometry::From(vp);
+    workloads.push_back(
+        {"splat_pixel_indices", n,
+         [=](const raster::RasterKernels& k) {
+           benchmark::DoNotOptimize(k.compute_pixel_indices(
+               geom, xs->data(), ys->data(), xs->size(), out->data()));
+         }});
+  }
+
+  // Sweep COUNT fast path: exact u64 sum over dense count rows.
+  {
+    const std::size_t len = 1 << 16;
+    const int rounds = 64;
+    auto row = std::make_shared<std::vector<std::uint32_t>>(len);
+    Rng rng(3);
+    for (auto& v : *row) {
+      v = static_cast<std::uint32_t>(rng.NextUint64(5));
+    }
+    workloads.push_back(
+        {"sweep_span_sum", len * rounds,
+         [=](const raster::RasterKernels& k) {
+           std::uint64_t total = 0;
+           for (int r = 0; r < rounds; ++r) {
+             total += k.sum_span_u32(row->data(), row->size());
+           }
+           benchmark::DoNotOptimize(total);
+         }});
+  }
+
+  // Sweep sparse path: gather nonzero pixel columns (~12% occupancy).
+  {
+    const std::size_t len = 1 << 16;
+    const int rounds = 64;
+    auto row = std::make_shared<std::vector<std::uint32_t>>(len, 0u);
+    Rng rng(4);
+    for (auto& v : *row) {
+      v = rng.NextUint64(8) == 0
+              ? static_cast<std::uint32_t>(1 + rng.NextUint64(4))
+              : 0u;
+    }
+    auto out = std::make_shared<std::vector<std::uint32_t>>(len);
+    workloads.push_back(
+        {"sweep_gather_nonzero", len * rounds,
+         [=](const raster::RasterKernels& k) {
+           std::size_t hits = 0;
+           for (int r = 0; r < rounds; ++r) {
+             hits += k.gather_nonzero_u32(row->data(), row->size(),
+                                          out->data());
+           }
+           benchmark::DoNotOptimize(hits);
+         }});
+  }
+
+  // Boundary-tile coverage: 64-pixel rows against three live edges whose
+  // crossing point shifts per row, so the mask is neither empty nor full.
+  {
+    const int rows = 1 << 14;
+    workloads.push_back(
+        {"edge_coverage_mask", static_cast<std::size_t>(rows) * 64,
+         [=](const raster::RasterKernels& k) {
+           std::uint64_t acc = 0;
+           raster::EdgeRowSetup row;
+           row.dx[0] = -49152;
+           row.dx[1] = 32768;
+           row.dx[2] = 16384;
+           for (int r = 0; r < rows; ++r) {
+             row.e[0] = (std::int64_t{1} << 22) - r * 1315;
+             row.e[1] = (std::int64_t{1} << 21) + r * 771;
+             row.e[2] = (r % 64 - 32) * std::int64_t{65536};
+             acc += k.edge_coverage_mask(row, 64);
+           }
+           benchmark::DoNotOptimize(acc);
+         }});
+  }
+
+  // Full tile walk: triangulated 64-gon star filled at 1024x1024.
+  {
+    auto poly = std::make_shared<geometry::Polygon>(MakePolygon(64));
+    auto triangulated = geometry::TriangulatePolygon(*poly);
+    auto tris = std::make_shared<std::vector<geometry::Triangle>>(
+        std::move(*triangulated));
+    const raster::Viewport vp(geometry::BoundingBox(0, 0, 100, 100), 1024,
+                              1024);
+    std::size_t frags = 0;
+    for (const geometry::Triangle& tri : *tris) {
+      raster::TiledRasterizeTriangle(
+          vp, tri, raster::kScalarRasterKernels,
+          [&](int, int x0, int x1) { frags += static_cast<std::size_t>(x1 - x0); });
+    }
+    workloads.push_back(
+        {"tiled_triangle_fill", frags,
+         [=](const raster::RasterKernels& k) {
+           std::size_t pixels = 0;
+           for (const geometry::Triangle& tri : *tris) {
+             raster::TiledRasterizeTriangle(vp, tri, k,
+                                            [&](int, int x0, int x1) {
+                                              pixels += static_cast<std::size_t>(
+                                                  x1 - x0);
+                                            });
+           }
+           benchmark::DoNotOptimize(pixels);
+         }});
+  }
+
+  return workloads;
+}
+
+const std::vector<KernelWorkload>& KernelWorkloads() {
+  static const std::vector<KernelWorkload> workloads = MakeKernelWorkloads();
+  return workloads;
+}
+
+void BM_SimdKernel(benchmark::State& state) {
+  const KernelWorkload& w =
+      KernelWorkloads()[static_cast<std::size_t>(state.range(0))];
+  const auto level = static_cast<raster::SimdLevel>(state.range(1));
+  if (static_cast<int>(level) >
+      static_cast<int>(raster::CpuMaxSimdLevel())) {
+    state.SkipWithError("SIMD level unavailable on this CPU");
+    return;
+  }
+  const raster::RasterKernels& kernels = raster::KernelsForLevel(level);
+  for (auto _ : state) {
+    w.run(kernels);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.fragments));
+  state.SetLabel(std::string(w.name) + "/" + raster::SimdLevelName(level));
+}
+BENCHMARK(BM_SimdKernel)->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2}});
+
 }  // namespace
+
+// Harness-table pass over the same workloads: ns/fragment per kernel per
+// level, plus a `micro.<kernel>.<level>.ns_per_fragment` histogram sample so
+// bench_report's baseline comparison covers the kernels.
+void EmitKernelSidecar() {
+  bench::PrintHeader("micro_substrate_kernels",
+                     "splat/sweep kernel ns-per-fragment across "
+                     "URBANE_SIMD levels (scalar oracle = off)");
+  bench::ResultTable table("micro_substrate_kernels",
+                           {"kernel", "level", "fragments", "ns_per_fragment",
+                            "speedup_vs_scalar"});
+  for (const KernelWorkload& w : KernelWorkloads()) {
+    double scalar_ns = 0.0;
+    for (const raster::SimdLevel level : AvailableKernelLevels()) {
+      const raster::RasterKernels& kernels = raster::KernelsForLevel(level);
+      const double seconds = bench::MeasureSeconds([&] { w.run(kernels); });
+      const double ns = seconds * 1e9 / static_cast<double>(w.fragments);
+      if (level == raster::SimdLevel::kOff) scalar_ns = ns;
+      obs::MetricsRegistry::Global()
+          .GetHistogram(std::string("micro.") + w.name + "." +
+                        raster::SimdLevelName(level) + ".ns_per_fragment")
+          .Observe(ns);
+      table.AddRow({w.name, raster::SimdLevelName(level),
+                    bench::ResultTable::Cell("%zu", w.fragments),
+                    bench::ResultTable::Cell("%.3f", ns),
+                    bench::ResultTable::Cell("%.2fx", scalar_ns / ns)});
+    }
+  }
+  table.Finish();
+}
+
 }  // namespace urbane
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  urbane::EmitKernelSidecar();
+  return 0;
+}

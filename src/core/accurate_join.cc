@@ -12,13 +12,17 @@ namespace urbane::core {
 StatusOr<std::unique_ptr<AccurateRasterJoin>> AccurateRasterJoin::Create(
     const data::PointTable& points, const data::RegionSet& regions,
     const RasterJoinOptions& options) {
-  // Reuse the bounded join's canvas validation by constructing one.
-  URBANE_ASSIGN_OR_RETURN(std::unique_ptr<BoundedRasterJoin> probe,
-                          BoundedRasterJoin::Create(points, regions, options));
   WallTimer timer;
+  URBANE_ASSIGN_OR_RETURN(raster::Viewport viewport,
+                          MakeValidatedCanvas(points, regions, options));
   auto executor = std::unique_ptr<AccurateRasterJoin>(new AccurateRasterJoin(
-      points, regions, options, probe->canvas()));
+      points, regions, options, viewport));
   executor->BuildPixelIndex();
+  executor->morton_ = raster::MortonSplatOrder::Build(
+      viewport, points.xs(), points.ys(), points.size());
+  executor->sweep_ = internal::BuildSweepGeometry(
+      viewport, regions, internal::SweepMode::kAccurate,
+      /*with_boundary=*/true, /*triangle_pipeline=*/false);
   executor->stats_.build_seconds = timer.ElapsedSeconds();
   return executor;
 }
@@ -27,21 +31,16 @@ void AccurateRasterJoin::BuildPixelIndex() {
   const std::size_t num_pixels =
       static_cast<std::size_t>(viewport_.width()) * viewport_.height();
   const std::size_t n = points_.size();
+  // Pixel per point through the SIMD kernels (bit-identical to
+  // PixelForPoint at every level; kInvalidPixel marks points off canvas).
   std::vector<std::uint32_t> pixel_of_point(n);
+  raster::ComputeSplatIndices(viewport_, points_.xs(), points_.ys(), n,
+                              pixel_of_point.data());
   std::vector<std::uint32_t> counts(num_pixels, 0);
-  const std::uint32_t kOutside = std::numeric_limits<std::uint32_t>::max();
   std::size_t kept = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    int ix;
-    int iy;
-    if (!viewport_.PixelForPoint({points_.x(i), points_.y(i)}, ix, iy)) {
-      pixel_of_point[i] = kOutside;
-      continue;
-    }
-    const std::uint32_t pixel =
-        static_cast<std::uint32_t>(iy) * viewport_.width() + ix;
-    pixel_of_point[i] = pixel;
-    ++counts[pixel];
+    if (pixel_of_point[i] == raster::kInvalidPixel) continue;
+    ++counts[pixel_of_point[i]];
     ++kept;
   }
   pixel_offsets_.assign(num_pixels + 1, 0);
@@ -52,7 +51,7 @@ void AccurateRasterJoin::BuildPixelIndex() {
   std::vector<std::uint32_t> cursor(pixel_offsets_.begin(),
                                     pixel_offsets_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    if (pixel_of_point[i] == kOutside) continue;
+    if (pixel_of_point[i] == raster::kInvalidPixel) continue;
     pixel_points_[cursor[pixel_of_point[i]]++] =
         static_cast<std::uint32_t>(i);
   }
@@ -84,26 +83,32 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
   WallTimer splat_timer;
-  internal::AggregateTargets targets = internal::BuildAggregateTargets(
-      viewport_, points_, selection.ids, attr, query.aggregate.kind,
-      options_.use_float32_targets, /*need_abs_sum=*/false, exec.Splat());
+  const internal::SplatSchedule schedule =
+      internal::BuildSplatSchedule(viewport_, points_, selection, &morton_);
+  internal::AggregateTargets& targets = targets_scratch_;
+  internal::BuildAggregateTargets(viewport_, schedule, attr,
+                                  query.aggregate.kind,
+                                  options_.use_float32_targets,
+                                  /*need_abs_sum=*/false, targets,
+                                  exec.Splat());
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "splat", stats_.splat_seconds);
   URBANE_RETURN_IF_ERROR(query.CheckControl());
   stats_.points_scanned = selection.ids.size();
 
-  // Pass 2: regions are partitioned across the pool; each worker owns a
-  // stamp buffer and a boundary-pixel scratch list, so region sweeps share
-  // nothing mutable and every region resolves exactly as in the serial
-  // sweep (exactness is per region, so partitioning cannot change it).
+  // Pass 2: regions are partitioned across the pool. Each part's cached
+  // boundary pixels are refined exactly (in cached emission order) and its
+  // cached interior spans — boundary already cut out at Create — reduce
+  // wholesale through the SIMD span kernels. Both walks follow the order of
+  // the uncached loops they replace, so results are bit-identical and
+  // exactness is per region: partitioning cannot change it.
   WallTimer sweep_timer;
   const std::size_t num_regions = regions_.size();
   QueryResult result;
   result.values.assign(num_regions, 0.0);
   result.counts.assign(num_regions, 0);
 
-  const std::size_t num_pixels =
-      static_cast<std::size_t>(viewport_.width()) * viewport_.height();
+  const raster::RasterKernels& kernels = raster::ActiveKernels();
   std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
   // Refine time (the exact boundary-pixel tests interleaved with the sweep)
   // is only clocked when someone is observing: the extra clock reads sit
@@ -113,29 +118,25 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
   ForEachPartition(exec, num_regions, [&](std::size_t part, std::size_t begin,
                                           std::size_t end) {
     ExecutorStats& ws = worker_stats[part];
-    internal::StampBuffer stamp(num_pixels);
-    std::vector<std::uint32_t> boundary_pixels;
+    std::vector<std::uint32_t> scratch(
+        static_cast<std::size_t>(viewport_.width()));
     WallTimer refine_timer;
     for (std::size_t r = begin; r < end; ++r) {
+      const internal::RegionSpanCache& cache = sweep_.regions[r];
+      const auto& parts = regions_[r].geometry.parts();
       Accumulator acc;
-      for (const geometry::Polygon& region_part :
-           regions_[r].geometry.parts()) {
+      for (std::size_t p = 0; p < parts.size(); ++p) {
+        const geometry::Polygon& region_part = parts[p];
+
         // --- boundary pixels: exact tests against this part ---
-        stamp.NextScope();
-        boundary_pixels.clear();
-        raster::RasterizePolygonBoundary(
-            viewport_, region_part, [&](int x, int y) {
-              const std::size_t idx =
-                  static_cast<std::size_t>(y) * viewport_.width() + x;
-              if (stamp.MarkOnce(idx)) {
-                boundary_pixels.push_back(static_cast<std::uint32_t>(idx));
-              }
-            });
-        ws.boundary_pixels += boundary_pixels.size();
+        const std::uint32_t b_begin = cache.boundary_part_offsets[p];
+        const std::uint32_t b_end = cache.boundary_part_offsets[p + 1];
+        ws.boundary_pixels += b_end - b_begin;
         if (measure_refine) {
           refine_timer.Restart();
         }
-        for (const std::uint32_t pixel : boundary_pixels) {
+        for (std::uint32_t b = b_begin; b < b_end; ++b) {
+          const std::uint32_t pixel = cache.boundary[b];
           const std::uint32_t pt_begin = pixel_offsets_[pixel];
           const std::uint32_t pt_end = pixel_offsets_[pixel + 1];
           for (std::uint32_t k = pt_begin; k < pt_end; ++k) {
@@ -144,8 +145,8 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
               continue;
             }
             ++ws.pip_tests;
-            const geometry::Vec2 p{points_.x(id), points_.y(id)};
-            if (region_part.Contains(p)) {
+            const geometry::Vec2 pt{points_.x(id), points_.y(id)};
+            if (region_part.Contains(pt)) {
               acc.Add(attr ? static_cast<double>((*attr)[id]) : 1.0);
             }
           }
@@ -154,21 +155,20 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
           ws.refine_seconds += refine_timer.ElapsedSeconds();
         }
 
-        // --- interior pixels: wholesale raster reduction ---
-        raster::ScanlineFillPolygon(
-            viewport_, region_part, [&](int y, int x_begin, int x_end) {
-              ws.pixels_touched += static_cast<std::size_t>(x_end - x_begin);
-              const std::size_t row_base =
-                  static_cast<std::size_t>(y) * viewport_.width();
-              for (int x = x_begin; x < x_end; ++x) {
-                if (stamp.Marked(row_base + x)) {
-                  continue;  // boundary pixel, already handled exactly
-                }
-                internal::AccumulatePixel(targets, x, y, acc);
-                ws.points_bulk += targets.count.at(x, y);
-              }
-            });
+        // --- interior pixels: wholesale raster reduction over the cached
+        //     boundary-free spans ---
+        const std::uint32_t s_begin = cache.span_part_offsets[p];
+        const std::uint32_t s_end = cache.span_part_offsets[p + 1];
+        for (std::uint32_t s = s_begin; s < s_end; ++s) {
+          const raster::PixelSpan& span = cache.spans[s];
+          ws.simd_fragments +=
+              static_cast<std::size_t>(span.x_end - span.x_begin);
+          ws.points_bulk += internal::AccumulateSpan(targets, kernels, span,
+                                                     acc, scratch.data());
+        }
       }
+      ws.pixels_touched += cache.pixels;
+      ws.tiles_visited += cache.tiles;
       result.values[r] = acc.Finalize(query.aggregate.kind);
       result.counts[r] = acc.count;
     }
@@ -189,7 +189,8 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
 
 std::size_t AccurateRasterJoin::MemoryBytes() const {
   return pixel_offsets_.capacity() * sizeof(std::uint32_t) +
-         pixel_points_.capacity() * sizeof(std::uint32_t);
+         pixel_points_.capacity() * sizeof(std::uint32_t) +
+         morton_.MemoryBytes() + sweep_.MemoryBytes();
 }
 
 }  // namespace urbane::core

@@ -51,6 +51,15 @@ class AccurateRasterJoin : public SpatialAggregationExecutor {
   raster::Viewport viewport_;
   std::vector<std::uint32_t> pixel_offsets_;  // W*H + 1
   std::vector<std::uint32_t> pixel_points_;   // point ids grouped by pixel
+  // Query-independent caches (see BoundedRasterJoin): Z-ordered splat
+  // schedule and per-region sweep spans. The accurate cache additionally
+  // pre-cuts each part's boundary pixels out of its interior spans, so the
+  // sweep loop runs without per-pixel stamp checks.
+  raster::MortonSplatOrder morton_;
+  internal::SweepGeometry sweep_;
+  // Render-target scratch reused across Execute calls (see
+  // BoundedRasterJoin::targets_scratch_).
+  internal::AggregateTargets targets_scratch_;
   // Boundary-pixel dedup scratch is per sweep worker (see
   // internal::StampBuffer); Execute holds no shared mutable state.
   ExecutorStats stats_;

@@ -109,6 +109,10 @@ struct ExecutorStats {
   std::size_t pip_tests = 0;            // exact point-in-polygon tests run
   std::size_t pixels_touched = 0;       // raster: canvas pixels visited
   std::size_t boundary_pixels = 0;      // raster: boundary cells visited
+  std::size_t tiles_visited = 0;        // raster: distinct 64x64 canvas
+                                        // tiles the sweep covered
+  std::size_t simd_fragments = 0;       // raster: pixels pushed through the
+                                        // SIMD span kernels
   std::size_t threads_used = 0;         // partitions of the last Execute
   double build_seconds = 0.0;           // one-time prep (index build, splat)
   double query_seconds = 0.0;           // per-query time
@@ -132,6 +136,8 @@ struct ExecutorStats {
     pip_tests += other.pip_tests;
     pixels_touched += other.pixels_touched;
     boundary_pixels += other.boundary_pixels;
+    tiles_visited += other.tiles_visited;
+    simd_fragments += other.simd_fragments;
   }
 };
 

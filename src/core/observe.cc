@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "raster/simd.h"
+
 namespace urbane::core {
 namespace {
 
@@ -41,6 +43,13 @@ void ObserveExecutorStats(const char* executor, const ExecutorStats& stats) {
   ObserveCount(registry, prefix, "pip_tests", stats.pip_tests);
   ObserveCount(registry, prefix, "pixels_touched", stats.pixels_touched);
   ObserveCount(registry, prefix, "boundary_pixels", stats.boundary_pixels);
+  ObserveCount(registry, prefix, "raster.tiles", stats.tiles_visited);
+  ObserveCount(registry, prefix, "raster.fragments", stats.simd_fragments);
+  // Which kernel table the raster executors ran with (0 = scalar,
+  // 1 = SSE2, 2 = AVX2) — one global gauge, since the level is
+  // process-wide.
+  registry.GetGauge("raster.simd_level")
+      .Set(static_cast<double>(static_cast<int>(raster::ActiveSimdLevel())));
 }
 
 }  // namespace urbane::core

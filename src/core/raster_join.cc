@@ -54,13 +54,12 @@ geometry::BoundingBox ComputeCanvasWorld(const data::PointTable& points,
 
 }  // namespace
 
-StatusOr<std::unique_ptr<BoundedRasterJoin>> BoundedRasterJoin::Create(
+StatusOr<raster::Viewport> MakeValidatedCanvas(
     const data::PointTable& points, const data::RegionSet& regions,
     const RasterJoinOptions& options) {
   if (options.resolution <= 0) {
     return Status::InvalidArgument("canvas resolution must be positive");
   }
-  WallTimer timer;
   const geometry::BoundingBox world =
       options.world.value_or(ComputeCanvasWorld(points, regions));
   const geometry::BoundingBox point_bounds = points.Bounds();
@@ -70,9 +69,23 @@ StatusOr<std::unique_ptr<BoundedRasterJoin>> BoundedRasterJoin::Create(
     return Status::InvalidArgument(
         "canvas world window must cover all points and regions");
   }
-  raster::Viewport viewport = MakeCanvas(world, options.resolution);
+  return MakeCanvas(world, options.resolution);
+}
+
+StatusOr<std::unique_ptr<BoundedRasterJoin>> BoundedRasterJoin::Create(
+    const data::PointTable& points, const data::RegionSet& regions,
+    const RasterJoinOptions& options) {
+  WallTimer timer;
+  URBANE_ASSIGN_OR_RETURN(raster::Viewport viewport,
+                          MakeValidatedCanvas(points, regions, options));
   auto executor = std::unique_ptr<BoundedRasterJoin>(
       new BoundedRasterJoin(points, regions, options, viewport));
+  executor->morton_ = raster::MortonSplatOrder::Build(
+      viewport, points.xs(), points.ys(), points.size());
+  executor->sweep_ = internal::BuildSweepGeometry(
+      viewport, regions, internal::SweepMode::kBounded,
+      /*with_boundary=*/options.compute_error_bounds,
+      options.use_triangle_pipeline);
   executor->stats_.build_seconds = timer.ElapsedSeconds();
   return executor;
 }
@@ -92,7 +105,8 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
   obs::TraceSpan exec_span(query.trace, "raster");
   WallTimer timer;
 
-  // --- filter + pass 1: splat the surviving points onto the canvas ---
+  // --- filter + pass 1: splat the surviving points onto the canvas (pixel
+  //     indices computed once, SIMD, and shared by every render target) ---
   WallTimer filter_timer;
   URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
                           EvaluateFilter(query.filter, points_, exec));
@@ -106,20 +120,24 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
   // abs-sum targets only bound SUM's error; COUNT/AVG/MIN/MAX report the
   // boundary point count (see QueryResult::error_bounds docs).
   WallTimer splat_timer;
-  internal::AggregateTargets targets = internal::BuildAggregateTargets(
-      viewport_, points_, selection.ids, attr, query.aggregate.kind,
+  const internal::SplatSchedule schedule =
+      internal::BuildSplatSchedule(viewport_, points_, selection, &morton_);
+  internal::AggregateTargets& targets = targets_scratch_;
+  internal::BuildAggregateTargets(
+      viewport_, schedule, attr, query.aggregate.kind,
       options_.use_float32_targets,
       /*need_abs_sum=*/options_.compute_error_bounds &&
           query.aggregate.kind == AggregateKind::kSum,
-      exec.Splat());
+      targets, exec.Splat());
   stats_.splat_seconds = splat_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "splat", stats_.splat_seconds);
   URBANE_RETURN_IF_ERROR(query.CheckControl());
   stats_.points_scanned = selection.ids.size();
 
-  // --- pass 2: sweep the regions over the canvas, one contiguous region
-  //     range per worker; every region's answer is computed exactly as in
-  //     the serial sweep, so parallelism cannot change the result ---
+  // --- pass 2: sweep the cached region spans, one contiguous region range
+  //     per worker; spans are walked in the exact order the scan converter
+  //     emitted them, so results match the uncached serial sweep bit for
+  //     bit ---
   WallTimer sweep_timer;
   const std::size_t num_regions = regions_.size();
   QueryResult result;
@@ -130,57 +148,42 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
   }
 
   const bool sum_bound = targets.need_abs_sum;
-  const std::size_t num_pixels =
-      static_cast<std::size_t>(viewport_.width()) * viewport_.height();
+  const raster::RasterKernels& kernels = raster::ActiveKernels();
+  const std::uint32_t* count_data = targets.count.data().data();
+  const double* abs_data =
+      sum_bound ? targets.abs_sum.data().data() : nullptr;
   std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
   ForEachPartition(exec, num_regions, [&](std::size_t part, std::size_t begin,
                                           std::size_t end) {
     ExecutorStats& ws = worker_stats[part];
-    internal::StampBuffer stamp(options_.compute_error_bounds ? num_pixels
-                                                              : 0);
+    std::vector<std::uint32_t> scratch(
+        static_cast<std::size_t>(viewport_.width()));
     for (std::size_t r = begin; r < end; ++r) {
+      const internal::RegionSpanCache& cache = sweep_.regions[r];
       Accumulator acc;
-      for (const geometry::Polygon& region_part : regions_[r].geometry.parts()) {
-        if (options_.use_triangle_pipeline) {
-          raster::RasterizePolygonTriangles(
-              viewport_, region_part, [&](int x, int y) {
-                ++ws.pixels_touched;
-                internal::AccumulatePixel(targets, x, y, acc);
-              });
-        } else {
-          raster::ScanlineFillPolygon(
-              viewport_, region_part, [&](int y, int x_begin, int x_end) {
-                ws.pixels_touched +=
-                    static_cast<std::size_t>(x_end - x_begin);
-                for (int x = x_begin; x < x_end; ++x) {
-                  internal::AccumulatePixel(targets, x, y, acc);
-                }
-              });
-        }
+      for (const raster::PixelSpan& span : cache.spans) {
+        ws.simd_fragments +=
+            static_cast<std::size_t>(span.x_end - span.x_begin);
+        internal::AccumulateSpan(targets, kernels, span, acc,
+                                 scratch.data());
       }
+      ws.pixels_touched += cache.pixels;
+      ws.tiles_visited += cache.tiles;
       result.values[r] = acc.Finalize(query.aggregate.kind);
       result.counts[r] = acc.count;
 
       if (options_.compute_error_bounds) {
         // Error is confined to pixels the region boundary passes through;
-        // bound it by the aggregate mass sitting in those pixels.
-        stamp.NextScope();
+        // bound it by the aggregate mass sitting in those pixels. Pixels no
+        // point hit carry no mass — the count gate also keeps the read off
+        // abs_sum's first-touch-initialized (possibly stale) cells.
         double bound = 0.0;
-        for (const geometry::Polygon& region_part :
-             regions_[r].geometry.parts()) {
-          raster::RasterizePolygonBoundary(
-              viewport_, region_part, [&](int x, int y) {
-                const std::size_t idx =
-                    static_cast<std::size_t>(y) * viewport_.width() + x;
-                if (!stamp.MarkOnce(idx)) {
-                  return;
-                }
-                ++ws.boundary_pixels;
-                bound += sum_bound
-                             ? targets.abs_sum.at(x, y)
-                             : static_cast<double>(targets.count.at(x, y));
-              });
+        for (const std::uint32_t idx : cache.boundary) {
+          const std::uint32_t c = count_data[idx];
+          if (c == 0) continue;
+          bound += sum_bound ? abs_data[idx] : static_cast<double>(c);
         }
+        ws.boundary_pixels += cache.boundary.size();
         result.error_bounds[r] = bound;
       }
     }
@@ -260,13 +263,16 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
   URBANE_RETURN_IF_ERROR(queries.front().CheckControl());
   stats_.points_scanned = selection.ids.size();
 
-  // --- shared pass 1: one count splat + one sum / min-max splat per
-  //     distinct attribute the batch touches ---
+  // --- shared pass 1: the pixel indices are computed once for the whole
+  //     batch; one count splat + one sum / min-max splat per distinct
+  //     attribute the batch touches ---
   WallTimer splat_timer;
+  const internal::SplatSchedule schedule =
+      internal::BuildSplatSchedule(viewport_, points_, selection, &morton_);
   raster::Buffer2D<std::uint32_t> count(viewport_.width(),
                                         viewport_.height(), 0);
-  raster::ParallelSplatPointsSubset(
-      splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
+  raster::ParallelSplatIndexed(
+      splat_par, viewport_, schedule.indices.data(), schedule.size(),
       raster::BlendOp::kAdd, [](std::size_t) { return 1u; }, count);
 
   struct AttrTargets {
@@ -290,21 +296,23 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
       targets.has_sum = true;
       targets.sum =
           raster::Buffer2D<double>(viewport_.width(), viewport_.height(), 0);
-      raster::ParallelSplatPointsSubset(
-          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
+      raster::ParallelSplatIndexed(
+          splat_par, viewport_, schedule.indices.data(), schedule.size(),
           raster::BlendOp::kAdd,
-          [&](std::size_t i) { return static_cast<double>(column[i]); },
+          [&](std::size_t k) {
+            return static_cast<double>(column[schedule.ids[k]]);
+          },
           targets.sum);
     }
     if (needs_sum && options_.compute_error_bounds && !targets.has_abs) {
       targets.has_abs = true;
       targets.abs_sum =
           raster::Buffer2D<double>(viewport_.width(), viewport_.height(), 0);
-      raster::ParallelSplatPointsSubset(
-          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
+      raster::ParallelSplatIndexed(
+          splat_par, viewport_, schedule.indices.data(), schedule.size(),
           raster::BlendOp::kAdd,
-          [&](std::size_t i) {
-            return std::abs(static_cast<double>(column[i]));
+          [&](std::size_t k) {
+            return std::abs(static_cast<double>(column[schedule.ids[k]]));
           },
           targets.abs_sum);
     }
@@ -315,16 +323,18 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
       targets.min_value = raster::Buffer2D<float>(
           viewport_.width(), viewport_.height(),
           std::numeric_limits<float>::infinity());
-      raster::ParallelSplatPointsSubset(
-          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
-          raster::BlendOp::kMin, [&](std::size_t i) { return column[i]; },
+      raster::ParallelSplatIndexed(
+          splat_par, viewport_, schedule.indices.data(), schedule.size(),
+          raster::BlendOp::kMin,
+          [&](std::size_t k) { return column[schedule.ids[k]]; },
           targets.min_value);
       targets.max_value = raster::Buffer2D<float>(
           viewport_.width(), viewport_.height(),
           -std::numeric_limits<float>::infinity());
-      raster::ParallelSplatPointsSubset(
-          splat_par, viewport_, points_.xs(), points_.ys(), selection.ids,
-          raster::BlendOp::kMax, [&](std::size_t i) { return column[i]; },
+      raster::ParallelSplatIndexed(
+          splat_par, viewport_, schedule.indices.data(), schedule.size(),
+          raster::BlendOp::kMax,
+          [&](std::size_t k) { return column[schedule.ids[k]]; },
           targets.max_value);
     }
   }
@@ -340,8 +350,10 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
     }
   }
 
-  // --- shared pass 2: sweep each region once, feeding every aggregate;
-  //     regions are partitioned across the pool ---
+  // --- shared pass 2: sweep each region's cached spans once, feeding every
+  //     aggregate; the nonzero-count pixels of a span are gathered by the
+  //     SIMD kernels and visited in ascending order, exactly like the
+  //     per-pixel loop they replace ---
   WallTimer sweep_timer;
   const std::size_t num_regions = regions_.size();
   std::vector<QueryResult> results(queries.size());
@@ -352,72 +364,70 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
       result.error_bounds.assign(num_regions, 0.0);
     }
   }
-  const std::size_t num_pixels =
-      static_cast<std::size_t>(viewport_.width()) * viewport_.height();
+  const raster::RasterKernels& kernels = raster::ActiveKernels();
+  const std::uint32_t* count_data = count.data().data();
   std::vector<ExecutorStats> worker_stats(exec.EffectiveThreads());
   ForEachPartition(exec, num_regions, [&](std::size_t part, std::size_t begin,
                                           std::size_t end) {
     ExecutorStats& ws = worker_stats[part];
-    internal::StampBuffer stamp(options_.compute_error_bounds ? num_pixels
-                                                              : 0);
+    std::vector<std::uint32_t> scratch(
+        static_cast<std::size_t>(viewport_.width()));
     std::vector<Accumulator> accumulators(queries.size());
     for (std::size_t r = begin; r < end; ++r) {
+      const internal::RegionSpanCache& cache = sweep_.regions[r];
       std::fill(accumulators.begin(), accumulators.end(), Accumulator());
-      for (const geometry::Polygon& region_part :
-           regions_[r].geometry.parts()) {
-        raster::ScanlineFillPolygon(
-            viewport_, region_part, [&](int y, int x_begin, int x_end) {
-              ws.pixels_touched += static_cast<std::size_t>(x_end - x_begin);
-              for (int x = x_begin; x < x_end; ++x) {
-                const std::uint32_t c = count.at(x, y);
-                if (c == 0) continue;
-                for (std::size_t q = 0; q < queries.size(); ++q) {
-                  const AggregateSpec& spec = queries[q].aggregate;
-                  Accumulator& acc = accumulators[q];
-                  if (!spec.NeedsAttribute()) {
-                    acc.AddBulk(c, 0.0);
-                    continue;
-                  }
-                  const AttrTargets& targets = *query_targets[q];
-                  switch (spec.kind) {
-                    case AggregateKind::kSum:
-                    case AggregateKind::kAvg:
-                      acc.AddBulk(c, targets.sum.at(x, y));
-                      break;
-                    case AggregateKind::kMin:
-                    case AggregateKind::kMax:
-                      acc.AddBulk(c, 0.0);
-                      acc.MergeMinMax(targets.min_value.at(x, y),
-                                      targets.max_value.at(x, y));
-                      break;
-                    default:
-                      acc.AddBulk(c, 0.0);
-                  }
-                }
-              }
-            });
+      for (const raster::PixelSpan& span : cache.spans) {
+        const std::size_t len =
+            static_cast<std::size_t>(span.x_end - span.x_begin);
+        ws.simd_fragments += len;
+        const std::uint32_t* row =
+            count.Row(span.y) + static_cast<std::size_t>(span.x_begin);
+        const std::size_t hits =
+            kernels.gather_nonzero_u32(row, len, scratch.data());
+        for (std::size_t j = 0; j < hits; ++j) {
+          const int x = span.x_begin + static_cast<int>(scratch[j]);
+          const int y = span.y;
+          const std::uint32_t c = row[scratch[j]];
+          for (std::size_t q = 0; q < queries.size(); ++q) {
+            const AggregateSpec& spec = queries[q].aggregate;
+            Accumulator& acc = accumulators[q];
+            if (!spec.NeedsAttribute()) {
+              acc.AddBulk(c, 0.0);
+              continue;
+            }
+            const AttrTargets& targets = *query_targets[q];
+            switch (spec.kind) {
+              case AggregateKind::kSum:
+              case AggregateKind::kAvg:
+                acc.AddBulk(c, targets.sum.at(x, y));
+                break;
+              case AggregateKind::kMin:
+              case AggregateKind::kMax:
+                acc.AddBulk(c, 0.0);
+                acc.MergeMinMax(targets.min_value.at(x, y),
+                                targets.max_value.at(x, y));
+                break;
+              default:
+                acc.AddBulk(c, 0.0);
+            }
+          }
+        }
       }
-      // Error bounds share one boundary rasterization per region.
+      ws.pixels_touched += cache.pixels;
+      ws.tiles_visited += cache.tiles;
+      // Error bounds share one cached boundary list per region.
       double count_bound = 0.0;
       std::map<std::string, double> abs_bound;
       if (options_.compute_error_bounds) {
-        stamp.NextScope();
-        for (const geometry::Polygon& region_part :
-             regions_[r].geometry.parts()) {
-          raster::RasterizePolygonBoundary(
-              viewport_, region_part, [&](int x, int y) {
-                const std::size_t idx =
-                    static_cast<std::size_t>(y) * viewport_.width() + x;
-                if (!stamp.MarkOnce(idx)) return;
-                ++ws.boundary_pixels;
-                count_bound += count.at(x, y);
-                for (const auto& [name, targets] : per_attr) {
-                  if (targets.has_abs) {
-                    abs_bound[name] += targets.abs_sum.at(x, y);
-                  }
-                }
-              });
+        for (const std::uint32_t idx : cache.boundary) {
+          count_bound += count_data[idx];
+          for (const auto& [name, targets] : per_attr) {
+            if (targets.has_abs) {
+              abs_bound[name] += targets.abs_sum.data()[idx];
+            }
+          }
         }
+        ws.boundary_pixels += cache.boundary.size();
       }
       for (std::size_t q = 0; q < queries.size(); ++q) {
         results[q].values[r] =
@@ -443,10 +453,10 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
 }
 
 std::size_t BoundedRasterJoin::MemoryBytes() const {
-  // Raster Join keeps no persistent point structures — render targets and
-  // per-worker stamp scratch are per-query — which is exactly the paper's
-  // "no preprocessing" story (Table 2).
-  return 0;
+  // The paper's "no preprocessing" story (Table 2) now carries two small
+  // query-independent caches: the Morton splat order and the per-region
+  // sweep spans. Render targets and per-worker scratch remain per-query.
+  return morton_.MemoryBytes() + sweep_.MemoryBytes();
 }
 
 }  // namespace urbane::core

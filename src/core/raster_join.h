@@ -7,7 +7,10 @@
 
 #include "core/execution_context.h"
 #include "core/query.h"
+#include "core/raster_targets.h"
+#include "core/region_spans.h"
 #include "raster/buffer.h"
+#include "raster/morton.h"
 #include "raster/viewport.h"
 
 namespace urbane::core {
@@ -49,6 +52,13 @@ raster::Viewport MakeCanvas(const geometry::BoundingBox& world,
 /// the Mercator plane), i.e. the cheapest canvas honoring the error bound.
 int ResolutionForEpsilon(const geometry::BoundingBox& world,
                          double epsilon_world);
+
+/// Validates `options` against the data and builds the canvas — the checks
+/// both raster executors share (the world window must cover every point and
+/// region).
+StatusOr<raster::Viewport> MakeValidatedCanvas(
+    const data::PointTable& points, const data::RegionSet& regions,
+    const RasterJoinOptions& options);
 
 /// Bounded Raster Join — the paper's approximate, fully raster-based
 /// executor. Drawing operations on a canvas replace the spatial join:
@@ -103,6 +113,19 @@ class BoundedRasterJoin : public SpatialAggregationExecutor {
   const data::RegionSet& regions_;
   RasterJoinOptions options_;
   raster::Viewport viewport_;
+  // Query-independent caches built once at Create: the points in Z-order
+  // (dense selections splat tile-coherently) and each region's covered
+  // spans + boundary pixels (the sweep becomes a linear walk the SIMD span
+  // kernels accelerate). Executors are rebuilt on dataset epoch bumps, so
+  // neither can go stale.
+  raster::MortonSplatOrder morton_;
+  internal::SweepGeometry sweep_;
+  // Render-target scratch reused across Execute calls: a warm refill is
+  // several times cheaper than a fresh page-faulting allocation, and the
+  // serial fused scatter first-touch-initializes value targets so most
+  // queries only clear the count plane. Mutated per query like stats_ —
+  // an executor instance serves one query at a time.
+  internal::AggregateTargets targets_scratch_;
   // Boundary-pixel dedup scratch lives per sweep worker (see
   // internal::StampBuffer), so Execute holds no shared mutable state
   // across regions.

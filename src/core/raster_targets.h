@@ -1,16 +1,89 @@
 #ifndef URBANE_CORE_RASTER_TARGETS_H_
 #define URBANE_CORE_RASTER_TARGETS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/aggregate.h"
+#include "core/filter.h"
 #include "data/point_table.h"
 #include "raster/buffer.h"
+#include "raster/kernels.h"
+#include "raster/morton.h"
 #include "raster/point_splat.h"
+#include "raster/tile_raster.h"
 #include "raster/viewport.h"
 
 namespace urbane::core::internal {
+
+/// The points one query splats, gathered into contiguous arrays with their
+/// framebuffer index precomputed once (SIMD, raster/kernels.h) and shared by
+/// every render target — the seed path recomputed PixelForPoint per point
+/// per target, up to five times for SUM with error bounds.
+struct SplatSchedule {
+  std::vector<std::uint32_t> ids;      // original rows, schedule order
+  std::vector<std::uint32_t> indices;  // pixel index per position
+                                       // (raster::kInvalidPixel = off canvas)
+  bool morton = false;                 // schedule follows the Z-order curve
+  std::size_t size() const { return ids.size(); }
+};
+
+/// Morton-ordered splats only pay off when the schedule covers most of the
+/// dataset: walking the full Morton permutation costs O(table size), so a
+/// sparse selection is cheaper in row order. The gate reads only sizes and
+/// is therefore deterministic across SIMD levels and thread counts.
+inline bool UseMortonSchedule(const FilterSelection& selection,
+                              std::size_t table_size) {
+  return selection.ids.size() * 4 >= table_size;
+}
+
+/// Gathers the selected rows into a splat schedule — along the Z-order
+/// curve when `morton` is built and the selection is dense enough, else in
+/// ascending row order (the seed's order). The Morton key is pixel-granular
+/// and the underlying sort is stable, so points of one pixel keep their row
+/// order either way: per-pixel accumulation, and hence every query result,
+/// is bit-identical under both schedules.
+inline SplatSchedule BuildSplatSchedule(
+    const raster::Viewport& vp, const data::PointTable& table,
+    const FilterSelection& selection,
+    const raster::MortonSplatOrder* morton) {
+  SplatSchedule s;
+  std::vector<float> xs;
+  std::vector<float> ys;
+  const std::size_t n = selection.ids.size();
+  s.ids.reserve(n);
+  xs.reserve(n);
+  ys.reserve(n);
+  if (morton != nullptr && morton->enabled() &&
+      morton->size() == table.size() &&
+      selection.bitmap.size() == table.size() &&
+      UseMortonSchedule(selection, table.size())) {
+    s.morton = true;
+    const std::vector<std::uint32_t>& order = morton->ids();
+    const std::vector<float>& mxs = morton->xs();
+    const std::vector<float>& mys = morton->ys();
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::uint32_t id = order[k];
+      if (!selection.bitmap[id]) continue;
+      s.ids.push_back(id);
+      xs.push_back(mxs[k]);
+      ys.push_back(mys[k]);
+    }
+  } else {
+    for (const std::uint32_t id : selection.ids) {
+      s.ids.push_back(id);
+      xs.push_back(table.xs()[id]);
+      ys.push_back(table.ys()[id]);
+    }
+  }
+  s.indices.resize(s.ids.size());
+  raster::ComputeSplatIndices(vp, xs.data(), ys.data(), s.ids.size(),
+                              s.indices.data());
+  return s;
+}
 
 /// Per-pixel aggregate render targets produced by the point-splat pass
 /// (pass 1 of Raster Join). Which targets exist depends on the aggregate:
@@ -32,65 +105,168 @@ struct AggregateTargets {
   }
 };
 
-/// Splats the selected rows of `table` into fresh targets.
-/// `attr` is the aggregate attribute column (nullptr for COUNT).
-/// `par` spreads each splat over a pool (default: serial).
-inline AggregateTargets BuildAggregateTargets(
-    const raster::Viewport& vp, const data::PointTable& table,
-    const std::vector<std::uint32_t>& selected_ids,
+/// Reuses `buf` when the canvas size matches (refilled with `fill`),
+/// reallocating otherwise. Refilling a warm buffer is several times cheaper
+/// than a fresh allocation (no page faults), which is why the executors keep
+/// their AggregateTargets as a member scratch across queries.
+template <typename T>
+inline void EnsureFilled(raster::Buffer2D<T>& buf, int w, int h, T fill) {
+  if (buf.width() == w && buf.height() == h) {
+    buf.Fill(fill);
+  } else {
+    buf = raster::Buffer2D<T>(w, h, fill);
+  }
+}
+
+/// Like EnsureFilled but skips the refill: for targets whose scatter
+/// initializes every pixel it touches on first touch (and whose readers are
+/// gated on count > 0), stale contents are never observable.
+template <typename T>
+inline void EnsureAllocated(raster::Buffer2D<T>& buf, int w, int h) {
+  if (buf.width() != w || buf.height() != h) {
+    buf = raster::Buffer2D<T>(w, h);
+  }
+}
+
+/// Serial fused scatter: one pass over the schedule feeds every live target.
+/// Per pixel the accumulation sequence is exactly the per-target zero-init
+/// loops' (first touch computes `identity op v`, later touches fold into the
+/// stored value), so results are bit-identical to the unfused form while
+/// value targets never need a whole-canvas clear. Returns hits.
+inline std::size_t SplatScheduleSerial(AggregateTargets& t,
+                                       const SplatSchedule& schedule,
+                                       const std::vector<float>* attr) {
+  const std::uint32_t* indices = schedule.indices.data();
+  const std::size_t n = schedule.size();
+  std::uint32_t* count = t.count.data().data();
+  std::size_t hits = 0;
+  if (!t.need_sum && !t.need_minmax) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint32_t idx = indices[k];
+      if (idx == raster::kInvalidPixel) continue;
+      ++count[idx];
+      ++hits;
+    }
+    return hits;
+  }
+  const bool need_sum = t.need_sum;
+  const bool need_abs = t.need_abs_sum;
+  const bool need_minmax = t.need_minmax;
+  const bool float32 = t.float32;
+  double* sum = t.sum.empty() ? nullptr : t.sum.data().data();
+  float* sum32 = t.sum32.empty() ? nullptr : t.sum32.data().data();
+  double* abs_sum = t.abs_sum.empty() ? nullptr : t.abs_sum.data().data();
+  float* min_v = t.min_value.empty() ? nullptr : t.min_value.data().data();
+  float* max_v = t.max_value.empty() ? nullptr : t.max_value.data().data();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t idx = indices[k];
+    if (idx == raster::kInvalidPixel) continue;
+    const std::uint32_t c = ++count[idx];
+    const float v = (*attr)[schedule.ids[k]];
+    const bool first = c == 1;
+    if (need_sum) {
+      if (float32) {
+        sum32[idx] = (first ? 0.0f : sum32[idx]) + v;
+      } else {
+        sum[idx] = (first ? 0.0 : sum[idx]) + static_cast<double>(v);
+      }
+      if (need_abs) {
+        abs_sum[idx] = (first ? 0.0 : abs_sum[idx]) +
+                       std::abs(static_cast<double>(v));
+      }
+    }
+    if (need_minmax) {
+      min_v[idx] = std::min(first ? kInf : min_v[idx], v);
+      max_v[idx] = std::max(first ? -kInf : max_v[idx], v);
+    }
+    ++hits;
+  }
+  return hits;
+}
+
+/// Splats a schedule into `t` (caller-owned scratch, reused across queries).
+/// `attr` is the aggregate attribute
+/// column (nullptr for COUNT). Every target reuses the schedule's
+/// precomputed pixel indices; `par` spreads each splat over a pool
+/// (partitions are contiguous schedule ranges, default serial).
+inline void BuildAggregateTargets(
+    const raster::Viewport& vp, const SplatSchedule& schedule,
     const std::vector<float>* attr, AggregateKind kind, bool float32,
-    bool need_abs_sum,
+    bool need_abs_sum, AggregateTargets& t,
     const raster::SplatParallelism& par = raster::SplatParallelism()) {
-  AggregateTargets t;
   t.float32 = float32;
   t.need_sum = kind == AggregateKind::kSum || kind == AggregateKind::kAvg;
   t.need_minmax = kind == AggregateKind::kMin || kind == AggregateKind::kMax;
   t.need_abs_sum = need_abs_sum && t.need_sum;
 
-  t.count = raster::Buffer2D<std::uint32_t>(vp.width(), vp.height(), 0);
-  raster::ParallelSplatPointsSubset(
-      par, vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kAdd,
+  const std::uint32_t* indices = schedule.indices.data();
+  const std::size_t n = schedule.size();
+  const int w = vp.width();
+  const int h = vp.height();
+  EnsureFilled(t.count, w, h, 0u);
+
+  const bool parallel = par.EffectivePartitions() > 1 && n >= par.min_points;
+  if (!parallel) {
+    // Serial fused path: value targets are first-touch-initialized by the
+    // scatter, so they only need to exist — no whole-canvas clear.
+    if (t.need_sum) {
+      if (float32) {
+        EnsureAllocated(t.sum32, w, h);
+      } else {
+        EnsureAllocated(t.sum, w, h);
+      }
+      if (t.need_abs_sum) EnsureAllocated(t.abs_sum, w, h);
+    }
+    if (t.need_minmax) {
+      EnsureAllocated(t.min_value, w, h);
+      EnsureAllocated(t.max_value, w, h);
+    }
+    SplatScheduleSerial(t, schedule, attr);
+    return;
+  }
+
+  // Parallel path: per-target identity-filled buffers, partial-buffer
+  // reduction (Morton ranges when the schedule is Morton-ordered).
+  raster::ParallelSplatIndexed(
+      par, vp, indices, n, raster::BlendOp::kAdd,
       [](std::size_t) { return 1u; }, t.count);
 
   if (t.need_sum) {
     if (float32) {
-      t.sum32 = raster::Buffer2D<float>(vp.width(), vp.height(), 0.0f);
-      raster::ParallelSplatPointsSubset(
-          par, vp, table.xs(), table.ys(), selected_ids,
-          raster::BlendOp::kAdd, [&](std::size_t i) { return (*attr)[i]; },
-          t.sum32);
+      EnsureFilled(t.sum32, w, h, 0.0f);
+      raster::ParallelSplatIndexed(
+          par, vp, indices, n, raster::BlendOp::kAdd,
+          [&](std::size_t k) { return (*attr)[schedule.ids[k]]; }, t.sum32);
     } else {
-      t.sum = raster::Buffer2D<double>(vp.width(), vp.height(), 0.0);
-      raster::ParallelSplatPointsSubset(
-          par, vp, table.xs(), table.ys(), selected_ids,
-          raster::BlendOp::kAdd,
-          [&](std::size_t i) { return static_cast<double>((*attr)[i]); },
+      EnsureFilled(t.sum, w, h, 0.0);
+      raster::ParallelSplatIndexed(
+          par, vp, indices, n, raster::BlendOp::kAdd,
+          [&](std::size_t k) {
+            return static_cast<double>((*attr)[schedule.ids[k]]);
+          },
           t.sum);
     }
     if (t.need_abs_sum) {
-      t.abs_sum = raster::Buffer2D<double>(vp.width(), vp.height(), 0.0);
-      raster::ParallelSplatPointsSubset(
-          par, vp, table.xs(), table.ys(), selected_ids,
-          raster::BlendOp::kAdd,
-          [&](std::size_t i) {
-            return std::abs(static_cast<double>((*attr)[i]));
+      EnsureFilled(t.abs_sum, w, h, 0.0);
+      raster::ParallelSplatIndexed(
+          par, vp, indices, n, raster::BlendOp::kAdd,
+          [&](std::size_t k) {
+            return std::abs(static_cast<double>((*attr)[schedule.ids[k]]));
           },
           t.abs_sum);
     }
   }
   if (t.need_minmax) {
-    t.min_value = raster::Buffer2D<float>(
-        vp.width(), vp.height(), std::numeric_limits<float>::infinity());
-    raster::ParallelSplatPointsSubset(
-        par, vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMin,
-        [&](std::size_t i) { return (*attr)[i]; }, t.min_value);
-    t.max_value = raster::Buffer2D<float>(
-        vp.width(), vp.height(), -std::numeric_limits<float>::infinity());
-    raster::ParallelSplatPointsSubset(
-        par, vp, table.xs(), table.ys(), selected_ids, raster::BlendOp::kMax,
-        [&](std::size_t i) { return (*attr)[i]; }, t.max_value);
+    EnsureFilled(t.min_value, w, h, std::numeric_limits<float>::infinity());
+    raster::ParallelSplatIndexed(
+        par, vp, indices, n, raster::BlendOp::kMin,
+        [&](std::size_t k) { return (*attr)[schedule.ids[k]]; }, t.min_value);
+    EnsureFilled(t.max_value, w, h, -std::numeric_limits<float>::infinity());
+    raster::ParallelSplatIndexed(
+        par, vp, indices, n, raster::BlendOp::kMax,
+        [&](std::size_t k) { return (*attr)[schedule.ids[k]]; }, t.max_value);
   }
-  return t;
 }
 
 /// Folds one covered pixel into a region accumulator.
@@ -104,6 +280,44 @@ inline void AccumulatePixel(const AggregateTargets& t, int x, int y,
   if (t.need_minmax) {
     acc.MergeMinMax(t.min_value.at(x, y), t.max_value.at(x, y));
   }
+}
+
+/// Folds one cached span into `acc`, bit-identical to running
+/// AccumulatePixel over its pixels left to right:
+///
+///   * COUNT-only targets take the whole-span count sum in one AddBulk —
+///     exact (u64 arithmetic) and order-free, since every per-pixel bulk
+///     adds 0.0 to the float sum;
+///   * targets with sums or min/max gather the nonzero columns (SIMD) and
+///     accumulate them scalar, in ascending order — the float additions
+///     happen in exactly the seed loop's sequence.
+///
+/// `scratch` must hold at least span-width entries. Returns the span's
+/// point total (for points_bulk accounting).
+inline std::uint64_t AccumulateSpan(const AggregateTargets& t,
+                                    const raster::RasterKernels& kernels,
+                                    const raster::PixelSpan& span,
+                                    Accumulator& acc,
+                                    std::uint32_t* scratch) {
+  const std::uint32_t* row =
+      t.count.Row(span.y) + static_cast<std::size_t>(span.x_begin);
+  const std::size_t len =
+      static_cast<std::size_t>(span.x_end - span.x_begin);
+  if (!t.need_sum && !t.need_minmax) {
+    const std::uint64_t total = kernels.sum_span_u32(row, len);
+    if (total != 0) {
+      acc.AddBulk(total, 0.0);
+    }
+    return total;
+  }
+  std::uint64_t total = 0;
+  const std::size_t hits = kernels.gather_nonzero_u32(row, len, scratch);
+  for (std::size_t j = 0; j < hits; ++j) {
+    const int x = span.x_begin + static_cast<int>(scratch[j]);
+    total += row[scratch[j]];
+    AccumulatePixel(t, x, span.y, acc);
+  }
+  return total;
 }
 
 /// Per-worker boundary-pixel dedup scratch: a stamp buffer avoids clearing

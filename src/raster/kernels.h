@@ -1,0 +1,94 @@
+#ifndef URBANE_RASTER_KERNELS_H_
+#define URBANE_RASTER_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "raster/simd.h"
+#include "raster/viewport.h"
+
+// x86-64 builds ship SSE2 and AVX2 kernel tables next to the portable
+// scalar one; every other architecture gets the scalar table at all levels.
+#if defined(__x86_64__) || defined(_M_X64)
+#define URBANE_RASTER_X86 1
+#else
+#define URBANE_RASTER_X86 0
+#endif
+
+namespace urbane::raster {
+
+/// Sentinel pixel index for a point outside the canvas world box.
+inline constexpr std::uint32_t kInvalidPixel = 0xFFFFFFFFu;
+
+/// The exact arithmetic of Viewport::PixelForPoint, flattened into a POD so
+/// kernels can vectorize it. Every kernel must reproduce the scalar mapping
+/// bit-for-bit: closed-box containment in double, then
+/// `static_cast<int>((w - min) / pixel)` (IEEE division, truncation), then
+/// the max-edge fold — this is what keeps splats identical at every
+/// SimdLevel.
+struct SplatGeometry {
+  double min_x, min_y, max_x, max_y;  // closed world box
+  double pixel_w, pixel_h;
+  std::int32_t width, height;
+
+  static SplatGeometry From(const Viewport& vp) {
+    const geometry::BoundingBox& world = vp.world();
+    return {world.min_x, world.min_y, world.max_x,  world.max_y,
+            vp.pixel_width(), vp.pixel_height(), vp.width(), vp.height()};
+  }
+};
+
+/// One row segment of the fixed-point triangle rasterizer: three biased
+/// edge values at the segment's first pixel center plus per-pixel steps.
+/// The bias folds the fill rule into a sign test — a pixel is covered iff
+/// all three values are >= 0, i.e. iff (e0 | e1 | e2) has a clear sign bit
+/// (see tile_raster.h for the setup).
+struct EdgeRowSetup {
+  std::int64_t e[3];
+  std::int64_t dx[3];
+};
+
+/// Dispatch table of the data-parallel inner loops shared by the splat and
+/// sweep passes. All kernels are pure functions with lane-count-independent
+/// semantics: the scalar table is the executable specification, and the
+/// SSE2/AVX2 tables must match it bit-for-bit on every input (the simd test
+/// suite enforces this).
+struct RasterKernels {
+  const char* name;
+
+  /// Splat pass 1: out[i] = linear framebuffer index of point i, or
+  /// kInvalidPixel when the point is outside the world box (NaNs are
+  /// outside). Returns the number of valid indices.
+  std::size_t (*compute_pixel_indices)(const SplatGeometry& geom,
+                                       const float* xs, const float* ys,
+                                       std::size_t count, std::uint32_t* out);
+
+  /// Sweep pass 2, COUNT fast path: exact u64 sum of a u32 span.
+  std::uint64_t (*sum_span_u32)(const std::uint32_t* v, std::size_t n);
+
+  /// Sweep pass 2, sparse path: writes i (ascending) for every v[i] != 0;
+  /// returns how many were written. `out` must hold at least n entries.
+  std::size_t (*gather_nonzero_u32)(const std::uint32_t* v, std::size_t n,
+                                    std::uint32_t* out);
+
+  /// Tiled triangle rasterizer: coverage bits of up to 64 consecutive
+  /// pixels (bit i set iff pixel i is covered under `row`). n in [0, 64].
+  std::uint64_t (*edge_coverage_mask)(const EdgeRowSetup& row, int n);
+};
+
+/// Kernel table for a level (levels absent from this build resolve to the
+/// nearest level below that is present).
+const RasterKernels& KernelsForLevel(SimdLevel level);
+
+/// KernelsForLevel(ActiveSimdLevel()).
+const RasterKernels& ActiveKernels();
+
+extern const RasterKernels kScalarRasterKernels;
+#if URBANE_RASTER_X86
+extern const RasterKernels kSse2RasterKernels;
+extern const RasterKernels kAvx2RasterKernels;
+#endif
+
+}  // namespace urbane::raster
+
+#endif  // URBANE_RASTER_KERNELS_H_

@@ -1,0 +1,150 @@
+// 256-bit kernel table. Compiled with -mavx2 (see src/raster/CMakeLists.txt)
+// and only ever dispatched to after a runtime CPUID check; must produce
+// bit-identical results to kernels_scalar.cc on every input.
+#include "raster/kernels.h"
+
+#if URBANE_RASTER_X86
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "raster/kernels_inl.h"
+
+namespace urbane::raster {
+namespace {
+
+std::size_t ComputePixelIndicesAvx2(const SplatGeometry& g, const float* xs,
+                                    const float* ys, std::size_t count,
+                                    std::uint32_t* out) {
+  const __m256d min_x = _mm256_set1_pd(g.min_x);
+  const __m256d max_x = _mm256_set1_pd(g.max_x);
+  const __m256d min_y = _mm256_set1_pd(g.min_y);
+  const __m256d max_y = _mm256_set1_pd(g.max_y);
+  const __m256d pw = _mm256_set1_pd(g.pixel_w);
+  const __m256d ph = _mm256_set1_pd(g.pixel_h);
+  const __m128i width = _mm_set1_epi32(g.width);
+  const __m128i height = _mm_set1_epi32(g.height);
+
+  std::size_t hits = 0;
+  std::size_t i = 0;
+  alignas(16) std::uint32_t idx[4];
+  for (; i + 4 <= count; i += 4) {
+    // Four points per iteration: widen the floats to double and replicate
+    // the scalar arithmetic lane-wise (same IEEE divide, same truncation).
+    const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(xs + i));
+    const __m256d yd = _mm256_cvtps_pd(_mm_loadu_ps(ys + i));
+    // _CMP_*_OQ compares are ordered: NaN lanes come out invalid.
+    const __m256d in_x = _mm256_and_pd(_mm256_cmp_pd(xd, min_x, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(xd, max_x, _CMP_LE_OQ));
+    const __m256d in_y = _mm256_and_pd(_mm256_cmp_pd(yd, min_y, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(yd, max_y, _CMP_LE_OQ));
+    const unsigned valid = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_and_pd(in_x, in_y)));
+
+    __m128i ix4 =
+        _mm256_cvttpd_epi32(_mm256_div_pd(_mm256_sub_pd(xd, min_x), pw));
+    __m128i iy4 =
+        _mm256_cvttpd_epi32(_mm256_div_pd(_mm256_sub_pd(yd, min_y), ph));
+    // Closed max-edge fold: lanes equal to width/height step back by one.
+    ix4 = _mm_add_epi32(ix4, _mm_cmpeq_epi32(ix4, width));
+    iy4 = _mm_add_epi32(iy4, _mm_cmpeq_epi32(iy4, height));
+    _mm_store_si128(reinterpret_cast<__m128i*>(idx),
+                    _mm_add_epi32(_mm_mullo_epi32(iy4, width), ix4));
+    for (int k = 0; k < 4; ++k) {
+      out[i + k] = (valid >> k) & 1u ? idx[k] : kInvalidPixel;
+    }
+    hits += static_cast<std::size_t>(__builtin_popcount(valid));
+  }
+  for (; i < count; ++i) {
+    out[i] = internal::ScalarPixelIndex(g, xs[i], ys[i]);
+    hits += out[i] != kInvalidPixel;
+  }
+  return hits;
+}
+
+std::uint64_t SumSpanU32Avx2(const std::uint32_t* v, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();  // four u64 lanes
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    acc = _mm256_add_epi64(acc, _mm256_unpacklo_epi32(x, zero));
+    acc = _mm256_add_epi64(acc, _mm256_unpackhi_epi32(x, zero));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         internal::ScalarSumSpanU32(v + i, n - i);
+}
+
+std::size_t GatherNonZeroU32Avx2(const std::uint32_t* v, std::size_t n,
+                                 std::uint32_t* out) {
+  std::size_t found = 0;
+  std::size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    unsigned m = static_cast<unsigned>(_mm256_movemask_ps(
+                     _mm256_castsi256_ps(_mm256_cmpeq_epi32(x, zero)))) ^
+                 0xFFu;
+    while (m != 0) {
+      const unsigned k = static_cast<unsigned>(__builtin_ctz(m));
+      out[found++] = static_cast<std::uint32_t>(i) + k;
+      m &= m - 1;
+    }
+  }
+  found += internal::ScalarGatherNonZeroU32(v + i, n - i,
+                                            static_cast<std::uint32_t>(i),
+                                            out + found);
+  return found;
+}
+
+std::uint64_t EdgeCoverageMaskAvx2(const EdgeRowSetup& row, int n) {
+  if (n <= 0) return 0;
+  // Four pixels per iteration: lane k sits k pixels ahead.
+  __m256i e0 = _mm256_set_epi64x(row.e[0] + 3 * row.dx[0],
+                                 row.e[0] + 2 * row.dx[0],
+                                 row.e[0] + row.dx[0], row.e[0]);
+  __m256i e1 = _mm256_set_epi64x(row.e[1] + 3 * row.dx[1],
+                                 row.e[1] + 2 * row.dx[1],
+                                 row.e[1] + row.dx[1], row.e[1]);
+  __m256i e2 = _mm256_set_epi64x(row.e[2] + 3 * row.dx[2],
+                                 row.e[2] + 2 * row.dx[2],
+                                 row.e[2] + row.dx[2], row.e[2]);
+  const __m256i s0 = _mm256_set1_epi64x(4 * row.dx[0]);
+  const __m256i s1 = _mm256_set1_epi64x(4 * row.dx[1]);
+  const __m256i s2 = _mm256_set1_epi64x(4 * row.dx[2]);
+  std::uint64_t mask = 0;
+  for (int i = 0; i < n; i += 4) {
+    const __m256i ored = _mm256_or_si256(_mm256_or_si256(e0, e1), e2);
+    // movemask_pd reads the four 64-bit sign bits: clear sign ⇒ covered.
+    const unsigned covered =
+        ~static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(ored))) &
+        0xFu;
+    mask |= static_cast<std::uint64_t>(covered) << i;
+    e0 = _mm256_add_epi64(e0, s0);
+    e1 = _mm256_add_epi64(e1, s1);
+    e2 = _mm256_add_epi64(e2, s2);
+  }
+  // The loop may compute up to three pixels past n-1; trim them.
+  if (n < 64) mask &= (std::uint64_t{1} << n) - 1;
+  return mask;
+}
+
+}  // namespace
+
+const RasterKernels kAvx2RasterKernels = {
+    "avx2",
+    &ComputePixelIndicesAvx2,
+    &SumSpanU32Avx2,
+    &GatherNonZeroU32Avx2,
+    &EdgeCoverageMaskAvx2,
+};
+
+}  // namespace urbane::raster
+
+#endif  // URBANE_RASTER_X86

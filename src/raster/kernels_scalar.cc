@@ -1,0 +1,42 @@
+// Portable scalar kernel table: the executable specification the SSE2/AVX2
+// tables must match bit-for-bit. The bodies live in kernels_inl.h so the
+// vector translation units reuse them verbatim for loop tails.
+#include <cstddef>
+#include <cstdint>
+
+#include "raster/kernels.h"
+#include "raster/kernels_inl.h"
+
+namespace urbane::raster {
+namespace {
+
+std::size_t ComputePixelIndicesScalar(const SplatGeometry& g, const float* xs,
+                                      const float* ys, std::size_t count,
+                                      std::uint32_t* out) {
+  return internal::ScalarComputePixelIndices(g, xs, ys, count, out);
+}
+
+std::uint64_t SumSpanU32Scalar(const std::uint32_t* v, std::size_t n) {
+  return internal::ScalarSumSpanU32(v, n);
+}
+
+std::size_t GatherNonZeroU32Scalar(const std::uint32_t* v, std::size_t n,
+                                   std::uint32_t* out) {
+  return internal::ScalarGatherNonZeroU32(v, n, 0, out);
+}
+
+std::uint64_t EdgeCoverageMaskScalar(const EdgeRowSetup& row, int n) {
+  return internal::ScalarEdgeCoverageMask(row, n);
+}
+
+}  // namespace
+
+const RasterKernels kScalarRasterKernels = {
+    "off",
+    &ComputePixelIndicesScalar,
+    &SumSpanU32Scalar,
+    &GatherNonZeroU32Scalar,
+    &EdgeCoverageMaskScalar,
+};
+
+}  // namespace urbane::raster

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "raster/buffer.h"
+#include "raster/kernels.h"
 #include "raster/viewport.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace urbane::raster {
@@ -101,6 +103,35 @@ std::size_t SplatPointsSubset(const Viewport& vp, const float* xs,
   return hits;
 }
 
+/// Computes the framebuffer index of each point through the active SIMD
+/// kernels (kInvalidPixel marks points outside the canvas). Bit-identical
+/// to Viewport::PixelForPoint per point, at every SIMD level.
+inline std::size_t ComputeSplatIndices(const Viewport& vp, const float* xs,
+                                       const float* ys, std::size_t count,
+                                       std::uint32_t* out) {
+  return ActiveKernels().compute_pixel_indices(SplatGeometry::From(vp), xs,
+                                               ys, count, out);
+}
+
+/// Scatters points with precomputed pixel indices into `target`, in input
+/// order; `weight(k)` supplies the blended value of position k. Equivalent
+/// to SplatPoints over the same coordinate sequence — the index computation
+/// is merely hoisted out so it runs vectorized and is shared across the
+/// aggregate targets of one query.
+template <typename T, typename WeightFn>
+std::size_t SplatIndexed(const std::uint32_t* indices, std::size_t count,
+                         BlendOp op, WeightFn&& weight, Buffer2D<T>& target) {
+  T* data = target.data().data();
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t idx = indices[k];
+    if (idx == kInvalidPixel) continue;
+    ApplyBlend(op, data[idx], static_cast<T>(weight(k)));
+    ++hits;
+  }
+  return hits;
+}
+
 namespace internal {
 
 /// Shared scaffold of the parallel splat variants: runs `splat_range(p,
@@ -113,6 +144,9 @@ template <typename T, typename SplatRange>
 std::size_t ReduceParallelSplat(const SplatParallelism& par, const Viewport& vp,
                                 std::size_t count, BlendOp op,
                                 SplatRange&& splat_range, Buffer2D<T>& target) {
+  URBANE_CHECK(op != BlendOp::kReplace)
+      << "BlendOp::kReplace has no identity element and is order-dependent; "
+         "it cannot be splatted through partial-buffer reduction";
   const std::size_t parts = par.EffectivePartitions();
   std::vector<Buffer2D<T>> partials;
   std::vector<std::size_t> partial_hits(parts, 0);
@@ -148,16 +182,19 @@ std::size_t ReduceParallelSplat(const SplatParallelism& par, const Viewport& vp,
 
 /// Parallel splat: partitions the points across the pool, each worker
 /// accumulating into a private identity-filled buffer, then reduces with
-/// the blend op. Valid for the commutative/associative ops (kAdd, kMin,
-/// kMax); kReplace is order-dependent and falls back to the serial path,
-/// as does a null pool or a workload under `par.min_points`.
+/// the blend op. Valid only for the commutative/associative ops (kAdd,
+/// kMin, kMax): requesting parallelism for kReplace is a hard error — its
+/// result depends on splat order, which a partial-buffer reduction cannot
+/// reproduce. A null pool or a workload under `par.min_points` runs serial.
 template <typename T, typename WeightFn>
 std::size_t ParallelSplatPoints(const SplatParallelism& par, const Viewport& vp,
                                 const float* xs, const float* ys,
                                 std::size_t count, BlendOp op,
                                 WeightFn&& weight, Buffer2D<T>& target) {
-  if (par.EffectivePartitions() <= 1 || count < par.min_points ||
-      op == BlendOp::kReplace) {
+  URBANE_CHECK(op != BlendOp::kReplace || par.EffectivePartitions() <= 1)
+      << "BlendOp::kReplace is order-dependent and must not be splatted in "
+         "parallel";
+  if (par.EffectivePartitions() <= 1 || count < par.min_points) {
     return SplatPoints(vp, xs, ys, count, op, weight, target);
   }
   return internal::ReduceParallelSplat(
@@ -193,8 +230,10 @@ std::size_t ParallelSplatPointsSubset(const SplatParallelism& par,
                                       const std::vector<std::uint32_t>& subset,
                                       BlendOp op, WeightFn&& weight,
                                       Buffer2D<T>& target) {
-  if (par.EffectivePartitions() <= 1 || subset.size() < par.min_points ||
-      op == BlendOp::kReplace) {
+  URBANE_CHECK(op != BlendOp::kReplace || par.EffectivePartitions() <= 1)
+      << "BlendOp::kReplace is order-dependent and must not be splatted in "
+         "parallel";
+  if (par.EffectivePartitions() <= 1 || subset.size() < par.min_points) {
     return SplatPointsSubset(vp, xs, ys, subset, op, weight, target);
   }
   return internal::ReduceParallelSplat(
@@ -213,6 +252,33 @@ std::size_t ParallelSplatPointsSubset(const SplatParallelism& par,
           ++hits;
         }
         return hits;
+      },
+      target);
+}
+
+/// Parallel SplatIndexed: partitions are contiguous ranges of the index
+/// array — Morton ranges when the schedule is Morton-ordered — each into an
+/// identity-filled partial, reduced in partition order. `weight(k)` receives
+/// positions of the full array, as in the serial form.
+template <typename T, typename WeightFn>
+std::size_t ParallelSplatIndexed(const SplatParallelism& par,
+                                 const Viewport& vp,
+                                 const std::uint32_t* indices,
+                                 std::size_t count, BlendOp op,
+                                 WeightFn&& weight, Buffer2D<T>& target) {
+  URBANE_CHECK(op != BlendOp::kReplace || par.EffectivePartitions() <= 1)
+      << "BlendOp::kReplace is order-dependent and must not be splatted in "
+         "parallel";
+  if (par.EffectivePartitions() <= 1 || count < par.min_points) {
+    return SplatIndexed(indices, count, op, weight, target);
+  }
+  return internal::ReduceParallelSplat(
+      par, vp, count, op,
+      [&](std::size_t, std::size_t begin, std::size_t end,
+          Buffer2D<T>& partial) {
+        return SplatIndexed(indices + begin, end - begin, op,
+                            [&](std::size_t k) { return weight(begin + k); },
+                            partial);
       },
       target);
 }

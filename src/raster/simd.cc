@@ -1,0 +1,122 @@
+#include "raster/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "raster/kernels.h"
+
+namespace urbane::raster {
+namespace {
+
+SimdLevel Clamp(SimdLevel level) {
+  const SimdLevel max = CpuMaxSimdLevel();
+  return level > max ? max : level;
+}
+
+SimdLevel LevelFromEnv() {
+  const char* text = std::getenv("URBANE_SIMD");
+  if (text == nullptr || *text == '\0') return CpuMaxSimdLevel();
+  SimdLevel level;
+  bool is_auto;
+  if (!ParseSimdLevel(text, level, is_auto)) return CpuMaxSimdLevel();
+  return is_auto ? CpuMaxSimdLevel() : Clamp(level);
+}
+
+// Encodes "no override" distinctly from any real level.
+constexpr int kNoOverride = -1;
+std::atomic<int> g_override{kNoOverride};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kOff:
+      return "off";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const char* text, SimdLevel& level, bool& is_auto) {
+  if (text == nullptr) return false;
+  is_auto = false;
+  if (std::strcmp(text, "off") == 0 || std::strcmp(text, "scalar") == 0 ||
+      std::strcmp(text, "none") == 0 || std::strcmp(text, "0") == 0) {
+    level = SimdLevel::kOff;
+    return true;
+  }
+  if (std::strcmp(text, "sse2") == 0) {
+    level = SimdLevel::kSse2;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    level = SimdLevel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(text, "auto") == 0) {
+    level = CpuMaxSimdLevel();
+    is_auto = true;
+    return true;
+  }
+  return false;
+}
+
+SimdLevel CpuMaxSimdLevel() {
+#if URBANE_RASTER_X86
+  static const SimdLevel cached = [] {
+#if defined(__GNUC__) || defined(__clang__)
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+    return SimdLevel::kOff;
+#else
+    // SSE2 is part of the x86-64 baseline.
+    return SimdLevel::kSse2;
+#endif
+  }();
+  return cached;
+#else
+  return SimdLevel::kOff;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int forced = g_override.load(std::memory_order_acquire);
+  if (forced != kNoOverride) return static_cast<SimdLevel>(forced);
+  static const SimdLevel from_env = LevelFromEnv();
+  return from_env;
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  const SimdLevel installed = Clamp(level);
+  g_override.store(static_cast<int>(installed), std::memory_order_release);
+  return installed;
+}
+
+void ResetSimdLevelFromEnv() {
+  g_override.store(kNoOverride, std::memory_order_release);
+}
+
+const RasterKernels& KernelsForLevel(SimdLevel level) {
+#if URBANE_RASTER_X86
+  switch (Clamp(level)) {
+    case SimdLevel::kAvx2:
+      return kAvx2RasterKernels;
+    case SimdLevel::kSse2:
+      return kSse2RasterKernels;
+    case SimdLevel::kOff:
+      return kScalarRasterKernels;
+  }
+#endif
+  (void)level;
+  return kScalarRasterKernels;
+}
+
+const RasterKernels& ActiveKernels() {
+  return KernelsForLevel(ActiveSimdLevel());
+}
+
+}  // namespace urbane::raster

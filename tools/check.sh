@@ -17,7 +17,17 @@
 #
 # `--fast` instead builds a plain (unsanitized) tree and runs only the
 # suites labeled `fast` in tests/CMakeLists.txt — the seconds-scale
-# inner-loop gate.
+# inner-loop gate. The fast gate then re-runs the `simd` label (kernel
+# tables, tiled rasterizer, raster-executor bit-identity) once per
+# URBANE_SIMD level — off, sse2 and, when the CPU has it, avx2 — so every
+# dispatchable code path is exercised even though `auto` would pick only
+# the widest one. Levels the CPU lacks clamp down, so the loop is safe on
+# any machine.
+#
+# The TSan job pins URBANE_SIMD=off: the sanitizer gate is about
+# cross-thread interleavings, which are identical at every level by the
+# bit-identity contract, and the scalar path keeps the instrumented build
+# debuggable.
 #
 # Usage: tools/check.sh [--fast] [extra ctest args...]
 #   BUILD_DIR=build-tsan  override the build directory (build-fast in --fast)
@@ -37,9 +47,18 @@ if [[ "${MODE}" == "fast" ]]; then
   BUILD_DIR=${BUILD_DIR:-build-fast}
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-    --target util_test geometry_test raster_test index_test data_test \
-             obs_test obs_pipeline_test net_test
+    --target util_test geometry_test raster_test simd_test index_test \
+             data_test obs_test obs_pipeline_test net_test
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
+  SIMD_LEVELS="off sse2"
+  if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+    SIMD_LEVELS="${SIMD_LEVELS} avx2"
+  fi
+  for level in ${SIMD_LEVELS}; do
+    echo "== simd suite @ URBANE_SIMD=${level} =="
+    URBANE_SIMD="${level}" \
+      ctest --test-dir "${BUILD_DIR}" --output-on-failure -L simd "$@"
+  done
   echo "fast check OK"
   exit 0
 fi
@@ -52,6 +71,7 @@ cmake -B "${BUILD_DIR}" -S . \
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target core_test obs_test obs_pipeline_test net_test server_test
 
+URBANE_SIMD=off \
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism|EventJournal|SlowQuery|TelemetryExporter|QueryServer|QueryControl|Socket|HttpRequestParser' \
