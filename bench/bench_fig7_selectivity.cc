@@ -27,7 +27,8 @@ int main() {
 
   // Build fare thresholds hitting target selectivities via the sorted
   // column (quantiles).
-  std::vector<float> fares = *taxis.AttributeByName("fare_amount");
+  const float* fare_col = taxis.AttributeByName("fare_amount");
+  std::vector<float> fares(fare_col, fare_col + taxis.size());
   std::sort(fares.begin(), fares.end());
   auto quantile = [&](double q) {
     const std::size_t idx = static_cast<std::size_t>(

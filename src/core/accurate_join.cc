@@ -73,12 +73,13 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
   WallTimer timer;
 
   WallTimer filter_timer;
-  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
-                          EvaluateFilter(query.filter, points_, exec));
+  URBANE_ASSIGN_OR_RETURN(
+      FilterSelection selection,
+      EvaluateFilter(query.filter, points_, exec, query.candidate_ranges));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   URBANE_RETURN_IF_ERROR(query.CheckControl());
-  const std::vector<float>* attr = nullptr;
+  const float* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
@@ -147,7 +148,7 @@ StatusOr<QueryResult> AccurateRasterJoin::Execute(
             ++ws.pip_tests;
             const geometry::Vec2 pt{points_.x(id), points_.y(id)};
             if (region_part.Contains(pt)) {
-              acc.Add(attr ? static_cast<double>((*attr)[id]) : 1.0);
+              acc.Add(attr ? static_cast<double>(attr[id]) : 1.0);
             }
           }
         }

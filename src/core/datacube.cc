@@ -14,7 +14,7 @@ StatusOr<std::unique_ptr<PreAggregatedCube>> PreAggregatedCube::Build(
   if (options.time_bins <= 0 || options.attribute_bins <= 0) {
     return Status::InvalidArgument("cube bins must be positive");
   }
-  const std::vector<float>* attr = nullptr;
+  const float* attr = nullptr;
   if (!options.attribute.empty()) {
     attr = points.AttributeByName(options.attribute);
     if (attr == nullptr) {
@@ -31,9 +31,9 @@ StatusOr<std::unique_ptr<PreAggregatedCube>> PreAggregatedCube::Build(
   const auto [t0, t1] = points.TimeRange();
   cube->min_time_ = t0;
   cube->max_time_ = t1;
-  if (attr != nullptr && !attr->empty()) {
-    cube->min_attr_ = *std::min_element(attr->begin(), attr->end());
-    cube->max_attr_ = *std::max_element(attr->begin(), attr->end());
+  if (attr != nullptr && points.size() > 0) {
+    cube->min_attr_ = *std::min_element(attr, attr + points.size());
+    cube->max_attr_ = *std::max_element(attr, attr + points.size());
   }
   cube->counts_.assign(regions.size() *
                            static_cast<std::size_t>(
@@ -49,7 +49,7 @@ StatusOr<std::unique_ptr<PreAggregatedCube>> PreAggregatedCube::Build(
     const geometry::Vec2 p{points.x(i), points.y(i)};
     const int tb = cube->TimeBinFor(points.t(i));
     const int ab =
-        attr == nullptr ? 0 : cube->AttributeBinFor((*attr)[i]);
+        attr == nullptr ? 0 : cube->AttributeBinFor(attr[i]);
     rtree.QueryPoint(p, [&](std::uint32_t r) {
       if (regions[r].geometry.Contains(p)) {
         ++cube->counts_[cube->CellIndex(r, tb, ab)];

@@ -82,12 +82,19 @@ StatusOr<double> EstimateFilterSelectivity(const FilterSpec& spec,
 StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
                                          const data::PointTable& table,
                                          const ExecutionContext& exec) {
+  return EvaluateFilter(spec, table, exec, nullptr);
+}
+
+StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
+                                         const data::PointTable& table,
+                                         const ExecutionContext& exec,
+                                         const RowRangeSet* candidates) {
   URBANE_ASSIGN_OR_RETURN(CompiledFilter compiled,
                           CompiledFilter::Compile(spec, table));
   FilterSelection selection;
   const std::size_t n = table.size();
   selection.bitmap.assign(n, 0);
-  if (compiled.IsTrivial()) {
+  if (compiled.IsTrivial() && candidates == nullptr) {
     selection.ids.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       selection.bitmap[i] = 1;
@@ -99,16 +106,18 @@ StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
   const std::size_t parts = exec.EffectiveThreads();
   if (pool == nullptr || parts <= 1 || n < exec.min_parallel_points) {
     selection.ids.reserve(n / 4);
-    for (std::size_t i = 0; i < n; ++i) {
+    ForEachCandidateRow(candidates, 0, n, [&](std::uint64_t i) {
       if (compiled.Matches(table, i)) {
         selection.bitmap[i] = 1;
         selection.ids.push_back(static_cast<std::uint32_t>(i));
       }
-    }
+    });
     return selection;
   }
   // Pass A: partitioned predicate evaluation into the bitmap, counting
-  // survivors per partition.
+  // survivors per partition. Candidate ranges narrow each partition's row
+  // walk; the bitmap (and hence pass B) is unaffected by how rows were
+  // skipped.
   const std::size_t chunk = (n + parts - 1) / parts;
   std::vector<std::size_t> counts(parts, 0);
   ThreadPool::Batch batch = pool->CreateBatch();
@@ -118,12 +127,12 @@ StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
     if (begin >= end) break;
     batch.Submit([&, p, begin, end] {
       std::size_t local = 0;
-      for (std::size_t i = begin; i < end; ++i) {
+      ForEachCandidateRow(candidates, begin, end, [&](std::uint64_t i) {
         if (compiled.Matches(table, i)) {
           selection.bitmap[i] = 1;
           ++local;
         }
-      }
+      });
       counts[p] = local;
     });
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/execution_context.h"
+#include "core/row_range.h"
 #include "data/point_table.h"
 #include "geometry/bounding_box.h"
 #include "util/status.h"
@@ -112,6 +113,15 @@ StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
 StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
                                          const data::PointTable& table,
                                          const ExecutionContext& exec);
+
+/// Zone-map-aware variant: rows outside `candidates` (null = all rows) are
+/// skipped without testing the predicate. Because pruned rows cannot match
+/// the filter, the selection is identical to the unpruned evaluation — the
+/// pruning only saves the per-row work.
+StatusOr<FilterSelection> EvaluateFilter(const FilterSpec& spec,
+                                         const data::PointTable& table,
+                                         const ExecutionContext& exec,
+                                         const RowRangeSet* candidates);
 
 /// Planning-time selectivity estimate: compiles the filter and counts
 /// matches over an evenly strided sample of at most `max_sample` rows — no

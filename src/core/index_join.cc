@@ -46,12 +46,18 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
   URBANE_RETURN_IF_ERROR(query.CheckControl());
   const bool trivial_filter = filter.IsTrivial();
 
-  const std::vector<float>* attr = nullptr;
+  const float* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
   auto value_of = [&](std::uint32_t id) {
-    return attr ? static_cast<double>((*attr)[id]) : 1.0;
+    return attr ? static_cast<double>(attr[id]) : 1.0;
+  };
+  // Zone-map gate: a pruned id cannot match the filter, so skipping it
+  // before Matches only saves the predicate work.
+  const RowRangeSet* cand = query.candidate_ranges;
+  auto pruned = [&](std::uint32_t id) {
+    return cand != nullptr && !cand->Contains(id);
   };
 
   // Regions are independent probes of a read-only grid, so they partition
@@ -81,6 +87,9 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
               const std::uint32_t* cell_end = grid_.CellEnd(cx, cy);
               for (const std::uint32_t* it = cell_begin; it != cell_end;
                    ++it) {
+                if (pruned(*it)) {
+                  continue;
+                }
                 if (!trivial_filter && !filter.Matches(points_, *it)) {
                   continue;
                 }
@@ -94,6 +103,9 @@ StatusOr<QueryResult> IndexJoin::Execute(const AggregationQuery& query) {
               const std::uint32_t* cell_end = grid_.CellEnd(cx, cy);
               for (const std::uint32_t* it = cell_begin; it != cell_end;
                    ++it) {
+                if (pruned(*it)) {
+                  continue;
+                }
                 if (!trivial_filter && !filter.Matches(points_, *it)) {
                   continue;
                 }

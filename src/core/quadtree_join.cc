@@ -45,12 +45,18 @@ StatusOr<QueryResult> QuadtreeJoin::Execute(const AggregationQuery& query) {
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   const bool trivial_filter = filter.IsTrivial();
-  const std::vector<float>* attr = nullptr;
+  const float* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
   auto value_of = [&](std::uint32_t id) {
-    return attr ? static_cast<double>((*attr)[id]) : 1.0;
+    return attr ? static_cast<double>(attr[id]) : 1.0;
+  };
+  // Zone-map gate: a pruned id cannot match the filter, so skipping it
+  // before Matches only saves the predicate work.
+  const RowRangeSet* cand = query.candidate_ranges;
+  auto pruned = [&](std::uint32_t id) {
+    return cand != nullptr && !cand->Contains(id);
   };
 
   QueryResult result;
@@ -65,6 +71,9 @@ StatusOr<QueryResult> QuadtreeJoin::Execute(const AggregationQuery& query) {
           /*take_all=*/
           [&](const std::uint32_t* ids, std::size_t n) {
             for (std::size_t k = 0; k < n; ++k) {
+              if (pruned(ids[k])) {
+                continue;
+              }
               if (!trivial_filter && !filter.Matches(points_, ids[k])) {
                 continue;
               }
@@ -75,6 +84,9 @@ StatusOr<QueryResult> QuadtreeJoin::Execute(const AggregationQuery& query) {
           /*test_each=*/
           [&](const std::uint32_t* ids, std::size_t n) {
             for (std::size_t k = 0; k < n; ++k) {
+              if (pruned(ids[k])) {
+                continue;
+              }
               if (!trivial_filter && !filter.Matches(points_, ids[k])) {
                 continue;
               }

@@ -7,6 +7,7 @@
 
 #include "core/aggregate.h"
 #include "core/filter.h"
+#include "core/row_range.h"
 #include "data/point_table.h"
 #include "data/region.h"
 #include "util/status.h"
@@ -77,6 +78,14 @@ struct AggregationQuery {
   /// the caller keeps it alive for the duration of Execute. Like `trace`,
   /// not part of the query's identity.
   const QueryControl* control = nullptr;
+
+  /// Optional zone-map pruning output (ZoneMapIndex::Prune over this
+  /// query's filter): rows outside these ranges are known not to match the
+  /// filter, so executors skip them before the per-point predicate. Null —
+  /// the in-memory common case — means all rows are candidates. Borrowed
+  /// for the duration of Execute; not part of the query's identity, since
+  /// pruning never changes results (see ZoneMapIndex).
+  const RowRangeSet* candidate_ranges = nullptr;
 
   /// Pass-boundary deadline poll (see QueryControl).
   Status CheckControl() const {

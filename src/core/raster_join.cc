@@ -108,12 +108,13 @@ StatusOr<QueryResult> BoundedRasterJoin::Execute(
   // --- filter + pass 1: splat the surviving points onto the canvas (pixel
   //     indices computed once, SIMD, and shared by every render target) ---
   WallTimer filter_timer;
-  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
-                          EvaluateFilter(query.filter, points_, exec));
+  URBANE_ASSIGN_OR_RETURN(
+      FilterSelection selection,
+      EvaluateFilter(query.filter, points_, exec, query.candidate_ranges));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   URBANE_RETURN_IF_ERROR(query.CheckControl());
-  const std::vector<float>* attr = nullptr;
+  const float* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
@@ -255,9 +256,10 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
   WallTimer timer;
 
   WallTimer filter_timer;
-  URBANE_ASSIGN_OR_RETURN(FilterSelection selection,
-                          EvaluateFilter(queries.front().filter, points_,
-                                         exec));
+  URBANE_ASSIGN_OR_RETURN(
+      FilterSelection selection,
+      EvaluateFilter(queries.front().filter, points_, exec,
+                     queries.front().candidate_ranges));
   stats_.filter_seconds = filter_timer.ElapsedSeconds();
   TracePass(trace, exec_span.id(), "filter", stats_.filter_seconds);
   URBANE_RETURN_IF_ERROR(queries.front().CheckControl());
@@ -289,7 +291,7 @@ StatusOr<std::vector<QueryResult>> BoundedRasterJoin::ExecuteBatch(
     if (!query.aggregate.NeedsAttribute()) continue;
     const std::string& name = query.aggregate.attribute;
     AttrTargets& targets = per_attr[name];
-    const std::vector<float>& column = *points_.AttributeByName(name);
+    const float* column = points_.AttributeByName(name);
     const bool needs_sum = query.aggregate.kind == AggregateKind::kSum ||
                            query.aggregate.kind == AggregateKind::kAvg;
     if (needs_sum && !targets.has_sum) {

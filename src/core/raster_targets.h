@@ -135,7 +135,7 @@ inline void EnsureAllocated(raster::Buffer2D<T>& buf, int w, int h) {
 /// value targets never need a whole-canvas clear. Returns hits.
 inline std::size_t SplatScheduleSerial(AggregateTargets& t,
                                        const SplatSchedule& schedule,
-                                       const std::vector<float>* attr) {
+                                       const float* attr) {
   const std::uint32_t* indices = schedule.indices.data();
   const std::size_t n = schedule.size();
   std::uint32_t* count = t.count.data().data();
@@ -163,7 +163,7 @@ inline std::size_t SplatScheduleSerial(AggregateTargets& t,
     const std::uint32_t idx = indices[k];
     if (idx == raster::kInvalidPixel) continue;
     const std::uint32_t c = ++count[idx];
-    const float v = (*attr)[schedule.ids[k]];
+    const float v = attr[schedule.ids[k]];
     const bool first = c == 1;
     if (need_sum) {
       if (float32) {
@@ -192,7 +192,7 @@ inline std::size_t SplatScheduleSerial(AggregateTargets& t,
 /// (partitions are contiguous schedule ranges, default serial).
 inline void BuildAggregateTargets(
     const raster::Viewport& vp, const SplatSchedule& schedule,
-    const std::vector<float>* attr, AggregateKind kind, bool float32,
+    const float* attr, AggregateKind kind, bool float32,
     bool need_abs_sum, AggregateTargets& t,
     const raster::SplatParallelism& par = raster::SplatParallelism()) {
   t.float32 = float32;
@@ -237,13 +237,13 @@ inline void BuildAggregateTargets(
       EnsureFilled(t.sum32, w, h, 0.0f);
       raster::ParallelSplatIndexed(
           par, vp, indices, n, raster::BlendOp::kAdd,
-          [&](std::size_t k) { return (*attr)[schedule.ids[k]]; }, t.sum32);
+          [&](std::size_t k) { return attr[schedule.ids[k]]; }, t.sum32);
     } else {
       EnsureFilled(t.sum, w, h, 0.0);
       raster::ParallelSplatIndexed(
           par, vp, indices, n, raster::BlendOp::kAdd,
           [&](std::size_t k) {
-            return static_cast<double>((*attr)[schedule.ids[k]]);
+            return static_cast<double>(attr[schedule.ids[k]]);
           },
           t.sum);
     }
@@ -252,7 +252,7 @@ inline void BuildAggregateTargets(
       raster::ParallelSplatIndexed(
           par, vp, indices, n, raster::BlendOp::kAdd,
           [&](std::size_t k) {
-            return std::abs(static_cast<double>((*attr)[schedule.ids[k]]));
+            return std::abs(static_cast<double>(attr[schedule.ids[k]]));
           },
           t.abs_sum);
     }
@@ -261,11 +261,11 @@ inline void BuildAggregateTargets(
     EnsureFilled(t.min_value, w, h, std::numeric_limits<float>::infinity());
     raster::ParallelSplatIndexed(
         par, vp, indices, n, raster::BlendOp::kMin,
-        [&](std::size_t k) { return (*attr)[schedule.ids[k]]; }, t.min_value);
+        [&](std::size_t k) { return attr[schedule.ids[k]]; }, t.min_value);
     EnsureFilled(t.max_value, w, h, -std::numeric_limits<float>::infinity());
     raster::ParallelSplatIndexed(
         par, vp, indices, n, raster::BlendOp::kMax,
-        [&](std::size_t k) { return (*attr)[schedule.ids[k]]; }, t.max_value);
+        [&](std::size_t k) { return attr[schedule.ids[k]]; }, t.max_value);
   }
 }
 

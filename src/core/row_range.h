@@ -1,0 +1,92 @@
+#ifndef URBANE_CORE_ROW_RANGE_H_
+#define URBANE_CORE_ROW_RANGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace urbane::core {
+
+/// Half-open row interval [begin, end) over a point table's row space.
+struct RowRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t size() const { return end - begin; }
+  bool operator==(const RowRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// Sorted, disjoint, coalesced set of row ranges — the output of zone-map
+/// pruning. Executors either walk the ranges directly (scan) or probe
+/// membership per row id (index/quadtree); both observe the same set, so
+/// every executor skips exactly the same pruned rows.
+class RowRangeSet {
+ public:
+  RowRangeSet() = default;
+
+  /// `ranges` must be sorted by begin, non-overlapping, and non-empty per
+  /// element; adjacent ranges are coalesced here so Contains and the range
+  /// walk touch as few intervals as possible.
+  explicit RowRangeSet(std::vector<RowRange> ranges) {
+    for (RowRange& r : ranges) {
+      if (r.begin >= r.end) continue;
+      if (!ranges_.empty() && ranges_.back().end == r.begin) {
+        ranges_.back().end = r.end;
+      } else {
+        ranges_.push_back(r);
+      }
+      total_rows_ += r.size();
+    }
+  }
+
+  const std::vector<RowRange>& ranges() const { return ranges_; }
+  bool empty() const { return ranges_.empty(); }
+  std::uint64_t total_rows() const { return total_rows_; }
+
+  /// Membership probe: O(log #ranges).
+  bool Contains(std::uint64_t row) const {
+    const auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), row,
+        [](std::uint64_t r, const RowRange& range) { return r < range.end; });
+    return it != ranges_.end() && row >= it->begin;
+  }
+
+ private:
+  std::vector<RowRange> ranges_;
+  std::uint64_t total_rows_ = 0;
+};
+
+/// Calls `fn(i)` for every row in [begin, end) ∩ candidates, ascending.
+/// A null candidate set means "all rows". This is the scan executors' row
+/// loop: candidate ranges replace the dense `for` so fully-pruned blocks
+/// cost nothing, while the visit order (ascending) — and hence every
+/// accumulator's fold order — is unchanged.
+template <typename Fn>
+inline void ForEachCandidateRow(const RowRangeSet* candidates,
+                                std::uint64_t begin, std::uint64_t end,
+                                Fn&& fn) {
+  if (candidates == nullptr) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const std::vector<RowRange>& ranges = candidates->ranges();
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), begin,
+      [](std::uint64_t r, const RowRange& range) { return r < range.end; });
+  for (; it != ranges.end() && it->begin < end; ++it) {
+    const std::uint64_t lo = std::max(begin, it->begin);
+    const std::uint64_t hi = std::min(end, it->end);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      fn(i);
+    }
+  }
+}
+
+}  // namespace urbane::core
+
+#endif  // URBANE_CORE_ROW_RANGE_H_

@@ -39,7 +39,7 @@ StatusOr<QueryResult> ScanJoin::Execute(const AggregationQuery& query) {
   TracePass(query.trace, exec_span.id(), "filter", stats_.filter_seconds);
   URBANE_RETURN_IF_ERROR(query.CheckControl());
 
-  const std::vector<float>* attr = nullptr;
+  const float* attr = nullptr;
   if (query.aggregate.NeedsAttribute()) {
     attr = points_.AttributeByName(query.aggregate.attribute);
   }
@@ -64,20 +64,24 @@ StatusOr<QueryResult> ScanJoin::Execute(const AggregationQuery& query) {
                                      std::size_t end) {
     std::vector<Accumulator>& accumulators = partials[part];
     ExecutorStats& ws = worker_stats[part];
-    for (std::size_t i = begin; i < end; ++i) {
+    // Candidate ranges (zone-map pruning) narrow the walk to rows the
+    // filter might match; visit order stays ascending, so accumulation is
+    // bit-identical to the dense loop.
+    ForEachCandidateRow(query.candidate_ranges, begin, end,
+                        [&](std::uint64_t i) {
       if (!filter.Matches(points_, i)) {
-        continue;
+        return;
       }
       ++ws.points_scanned;
       const geometry::Vec2 p{points_.x(i), points_.y(i)};
-      const double value = attr ? static_cast<double>((*attr)[i]) : 1.0;
+      const double value = attr ? static_cast<double>(attr[i]) : 1.0;
       rtree_.QueryPoint(p, [&](std::uint32_t region_index) {
         ++ws.pip_tests;
         if (regions_[region_index].geometry.Contains(p)) {
           accumulators[region_index].Add(value);
         }
       });
-    }
+    });
   });
   std::vector<Accumulator>& accumulators = partials[0];
   for (std::size_t part = 1; part < parts; ++part) {

@@ -1,5 +1,6 @@
 #include "core/spatial_aggregation.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -142,6 +143,24 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
   // above are deliberately exempt: they are cheaper than the check is
   // useful.
   URBANE_RETURN_IF_ERROR(query.CheckControl());
+  // Zone-map pruning (store-backed tables): skip blocks the filter rules
+  // out. Computed after the cache probes (hits never pay for it) and kept
+  // alive on this frame through Execute. A caller-supplied range set wins.
+  PruneResult prune;
+  if (zone_maps_ != nullptr && query.candidate_ranges == nullptr &&
+      !query.filter.IsTrivial()) {
+    prune = zone_maps_->Prune(query.filter, points_.schema());
+    query.candidate_ranges = &prune.candidates;
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("store.blocks_pruned").Add(prune.blocks_pruned);
+      registry.GetCounter("store.rows_pruned").Add(prune.rows_pruned);
+    }
+    if (query.trace != nullptr) {
+      query.trace->Tag("store.blocks_pruned",
+                       std::to_string(prune.blocks_pruned));
+    }
+  }
   URBANE_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
   if (use_cache) {
     cache_.Insert(key, result);
@@ -263,6 +282,24 @@ StatusOr<std::vector<QueryResult>> SpatialAggregation::ExecuteMany(
         for (const std::size_t i : missing) {
           pending.push_back(queries[i]);
         }
+        // The batch path shares one filter evaluation (ExecuteBatch checks
+        // the filters are equal), so one prune serves every pending query.
+        PruneResult prune;
+        if (zone_maps_ != nullptr &&
+            !pending.front().filter.IsTrivial()) {
+          prune =
+              zone_maps_->Prune(pending.front().filter, points_.schema());
+          for (AggregationQuery& query : pending) {
+            if (query.candidate_ranges == nullptr) {
+              query.candidate_ranges = &prune.candidates;
+            }
+          }
+          if (obs::MetricsEnabled()) {
+            obs::MetricsRegistry::Global()
+                .GetCounter("store.blocks_pruned")
+                .Add(prune.blocks_pruned);
+          }
+        }
         auto batched = raster->ExecuteBatch(pending);
         if (batched.ok()) {
           for (std::size_t k = 0; k < missing.size(); ++k) {
@@ -358,7 +395,15 @@ StatusOr<double> SpatialAggregation::EstimateSelectivity(
   if (filter.IsTrivial()) {
     return 1.0;
   }
-  return EstimateFilterSelectivity(filter, points_);
+  URBANE_ASSIGN_OR_RETURN(double estimate,
+                          EstimateFilterSelectivity(filter, points_));
+  // Zone maps give an exact upper bound (pruned rows cannot match), which
+  // sharpens the strided sample when the filter is clustered in few blocks.
+  if (zone_maps_ != nullptr) {
+    estimate = std::min(
+        estimate, zone_maps_->CandidateFraction(filter, points_.schema()));
+  }
+  return estimate;
 }
 
 }  // namespace urbane::core

@@ -15,6 +15,7 @@
 #include "core/query_cache.h"
 #include "core/raster_join.h"
 #include "core/scan_join.h"
+#include "core/zone_map.h"
 
 namespace urbane::core {
 
@@ -63,6 +64,16 @@ class SpatialAggregation {
 
   const data::PointTable& points() const { return points_; }
   const data::RegionSet& regions() const { return regions_; }
+
+  /// Attaches the block zone maps of a store-backed table: every query's
+  /// filter is pruned against them and executors skip the pruned blocks
+  /// (`AggregationQuery::candidate_ranges`). Call once, before the first
+  /// query; `zone_maps` is borrowed and must outlive the engine. Pruning
+  /// never changes results (see ZoneMapIndex), only the rows visited.
+  void AttachZoneMaps(const ZoneMapIndex* zone_maps) {
+    zone_maps_ = zone_maps;
+  }
+  const ZoneMapIndex* zone_maps() const { return zone_maps_; }
 
   /// Builds (or returns the cached) executor for a method. Construction is
   /// thread-safe; the pointer stays valid until the engine rebuilds that
@@ -150,6 +161,7 @@ class SpatialAggregation {
   const data::RegionSet& regions_;
   const IndexJoinOptions index_options_;
   ExecutionContext exec_;
+  const ZoneMapIndex* zone_maps_ = nullptr;  // set before first query
 
   /// Guards executor pointers, raster_options_ and last_plan_.
   mutable std::mutex state_mu_;

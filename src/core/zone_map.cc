@@ -1,0 +1,125 @@
+#include "core/zone_map.h"
+
+#include "util/string_util.h"
+
+namespace urbane::core {
+
+StatusOr<ZoneMapIndex> ZoneMapIndex::Create(std::vector<BlockZoneMap> blocks,
+                                            std::size_t attribute_count) {
+  std::uint64_t next_row = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const BlockZoneMap& block = blocks[b];
+    if (block.row_begin != next_row) {
+      return Status::InvalidArgument(StringPrintf(
+          "zone map %zu starts at row %llu, expected %llu", b,
+          static_cast<unsigned long long>(block.row_begin),
+          static_cast<unsigned long long>(next_row)));
+    }
+    if (block.row_count == 0) {
+      return Status::InvalidArgument(
+          StringPrintf("zone map %zu covers zero rows", b));
+    }
+    if (block.attr_min.size() != attribute_count ||
+        block.attr_max.size() != attribute_count) {
+      return Status::InvalidArgument(StringPrintf(
+          "zone map %zu has %zu/%zu attribute extents, schema expects %zu",
+          b, block.attr_min.size(), block.attr_max.size(), attribute_count));
+    }
+    next_row = block.row_end();
+  }
+  ZoneMapIndex index;
+  index.blocks_ = std::move(blocks);
+  index.total_rows_ = next_row;
+  return index;
+}
+
+PruneResult ZoneMapIndex::Prune(const FilterSpec& spec,
+                                const data::Schema& schema) const {
+  // Resolve attribute names once; unresolvable names never prune.
+  std::vector<std::pair<std::size_t, const AttributeRange*>> bound;
+  bound.reserve(spec.attribute_ranges.size());
+  for (const AttributeRange& range : spec.attribute_ranges) {
+    const int col = schema.AttributeIndex(range.attribute);
+    if (col >= 0) {
+      bound.emplace_back(static_cast<std::size_t>(col), &range);
+    }
+  }
+
+  PruneResult result;
+  result.blocks_total = blocks_.size();
+  std::vector<RowRange> survivors;
+  survivors.reserve(blocks_.size());
+  for (const BlockZoneMap& block : blocks_) {
+    bool keep = true;
+    if (spec.time_range) {
+      keep = block.min_t < spec.time_range->end &&
+             block.max_t >= spec.time_range->begin;
+    }
+    if (keep && spec.spatial_window) {
+      const geometry::BoundingBox& w = *spec.spatial_window;
+      keep = static_cast<double>(block.min_x) <= w.max_x &&
+             static_cast<double>(block.max_x) >= w.min_x &&
+             static_cast<double>(block.min_y) <= w.max_y &&
+             static_cast<double>(block.max_y) >= w.min_y;
+    }
+    for (std::size_t i = 0; keep && i < bound.size(); ++i) {
+      const AttributeRange& range = *bound[i].second;
+      const float lo = block.attr_min[bound[i].first];
+      const float hi = block.attr_max[bound[i].first];
+      keep = static_cast<double>(lo) <= range.hi &&
+             static_cast<double>(hi) >= range.lo;
+    }
+    if (keep) {
+      survivors.push_back({block.row_begin, block.row_end()});
+    } else {
+      ++result.blocks_pruned;
+      result.rows_pruned += block.row_count;
+    }
+  }
+  result.candidates = RowRangeSet(std::move(survivors));
+  return result;
+}
+
+double ZoneMapIndex::CandidateFraction(const FilterSpec& spec,
+                                       const data::Schema& schema) const {
+  if (total_rows_ == 0) {
+    return 0.0;
+  }
+  const PruneResult result = Prune(spec, schema);
+  return static_cast<double>(result.candidates.total_rows()) /
+         static_cast<double>(total_rows_);
+}
+
+geometry::BoundingBox ZoneMapIndex::Bounds() const {
+  geometry::BoundingBox box;
+  for (const BlockZoneMap& block : blocks_) {
+    if (block.min_x > block.max_x || block.min_y > block.max_y) {
+      continue;  // empty/all-NaN block: no spatial extent
+    }
+    box.Extend({block.min_x, block.min_y});
+    box.Extend({block.max_x, block.max_y});
+  }
+  return box;
+}
+
+std::pair<std::int64_t, std::int64_t> ZoneMapIndex::TimeRange() const {
+  bool any = false;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (const BlockZoneMap& block : blocks_) {
+    if (block.min_t > block.max_t) {
+      continue;
+    }
+    if (!any) {
+      lo = block.min_t;
+      hi = block.max_t;
+      any = true;
+    } else {
+      lo = std::min(lo, block.min_t);
+      hi = std::max(hi, block.max_t);
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace urbane::core

@@ -1,8 +1,10 @@
 #include "data/binary_io.h"
 
+#include <cctype>
 #include <cstring>
 #include <fstream>
 
+#include "util/file_util.h"
 #include "util/string_util.h"
 
 namespace urbane::data {
@@ -12,16 +14,35 @@ namespace {
 constexpr char kPointMagic[4] = {'U', 'P', 'T', '1'};
 constexpr char kRegionMagic[4] = {'U', 'R', 'G', '1'};
 
+std::string PrintableMagic(const char magic[4]) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned char c = static_cast<unsigned char>(magic[i]);
+    if (std::isprint(c)) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out += StringPrintf("\\x%02x", c);
+    }
+  }
+  return out;
+}
+
+/// Buffered writer over the crash-safe AtomicFileWriter: bytes land in
+/// `<path>.tmp` and only an error-free Finish() renames onto the final
+/// path, so interrupted saves never leave a half-written snapshot behind.
 class Writer {
  public:
-  explicit Writer(const std::string& path)
-      : file_(path, std::ios::binary | std::ios::trunc), path_(path) {}
-
-  bool ok() const { return static_cast<bool>(file_); }
+  static StatusOr<Writer> Open(const std::string& path) {
+    URBANE_ASSIGN_OR_RETURN(AtomicFileWriter file,
+                            AtomicFileWriter::Open(path));
+    Writer w;
+    w.file_ = std::move(file);
+    return w;
+  }
 
   void Bytes(const void* data, std::size_t size) {
-    file_.write(static_cast<const char*>(data),
-                static_cast<std::streamsize>(size));
+    if (!status_.ok()) return;
+    status_ = file_.Write(data, size);
   }
   template <typename T>
   void Pod(const T& value) {
@@ -39,30 +60,58 @@ class Writer {
   }
 
   Status Finish() {
-    file_.flush();
-    if (!file_) {
-      return Status::IoError("write failure: " + path_);
-    }
-    return Status::OK();
+    URBANE_RETURN_IF_ERROR(status_);
+    return file_.Commit();
   }
 
  private:
-  std::ofstream file_;
-  std::string path_;
+  Writer() = default;
+
+  AtomicFileWriter file_;
+  Status status_;
 };
 
+/// Hardened reader: every length field is validated against the bytes that
+/// actually remain in the file *before* any allocation or read, so a
+/// truncated or corrupted snapshot yields a clean IoError (with the byte
+/// offset of the offending field) instead of a multi-GB allocation or a
+/// silent short read.
 class Reader {
  public:
   explicit Reader(const std::string& path)
-      : file_(path, std::ios::binary), path_(path) {}
+      : file_(path, std::ios::binary), path_(path) {
+    if (file_) {
+      file_.seekg(0, std::ios::end);
+      const std::streamoff size = file_.tellg();
+      file_.seekg(0, std::ios::beg);
+      if (size >= 0 && file_) {
+        file_size_ = static_cast<std::uint64_t>(size);
+        sized_ = true;
+      }
+    }
+  }
 
-  bool ok() const { return static_cast<bool>(file_); }
+  bool ok() const { return sized_ && static_cast<bool>(file_); }
+
+  std::uint64_t offset() const { return offset_; }
+  std::uint64_t Remaining() const {
+    return offset_ <= file_size_ ? file_size_ - offset_ : 0;
+  }
 
   Status Bytes(void* data, std::size_t size) {
+    if (size > Remaining()) {
+      return Status::IoError(StringPrintf(
+          "truncated file %s: need %zu bytes at offset %llu, %llu remain",
+          path_.c_str(), size, static_cast<unsigned long long>(offset_),
+          static_cast<unsigned long long>(Remaining())));
+    }
     file_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
     if (!file_) {
-      return Status::IoError("truncated or unreadable file: " + path_);
+      return Status::IoError(StringPrintf(
+          "read failure in %s at offset %llu", path_.c_str(),
+          static_cast<unsigned long long>(offset_)));
     }
+    offset_ += size;
     return Status::OK();
   }
   template <typename T>
@@ -74,36 +123,77 @@ class Reader {
     URBANE_RETURN_IF_ERROR(Pod(v));
     return v;
   }
-  StatusOr<std::string> Str() {
-    URBANE_ASSIGN_OR_RETURN(std::uint64_t size, U64());
-    if (size > (1ULL << 32)) {
-      return Status::IoError("implausible string length in " + path_);
+
+  /// A count of `elem_size`-byte elements read at the current offset; the
+  /// claimed payload must fit in the remaining file bytes.
+  StatusOr<std::uint64_t> Count(std::size_t elem_size, const char* what) {
+    const std::uint64_t at = offset_;
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t n, U64());
+    if (elem_size != 0 && n > Remaining() / elem_size) {
+      return Status::IoError(StringPrintf(
+          "corrupt %s count %llu at offset %llu of %s: %llu * %zu bytes "
+          "exceed the %llu remaining",
+          what, static_cast<unsigned long long>(n),
+          static_cast<unsigned long long>(at), path_.c_str(),
+          static_cast<unsigned long long>(n), elem_size,
+          static_cast<unsigned long long>(Remaining())));
     }
+    return n;
+  }
+
+  StatusOr<std::string> Str() {
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t size, Count(1, "string length"));
     std::string s(size, '\0');
     URBANE_RETURN_IF_ERROR(Bytes(s.data(), size));
     return s;
   }
   template <typename T>
   Status Vec(std::vector<T>& v) {
-    URBANE_ASSIGN_OR_RETURN(std::uint64_t size, U64());
-    if (size > (1ULL << 34) / sizeof(T)) {
-      return Status::IoError("implausible vector length in " + path_);
-    }
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t size,
+                            Count(sizeof(T), "vector length"));
     v.resize(size);
     return Bytes(v.data(), v.size() * sizeof(T));
   }
 
+  /// Validated bulk column read: `n` elements must fit in the remaining
+  /// bytes (Bytes() checks) — kept for symmetry and error context.
+  template <typename T>
+  Status Column(std::vector<T>& v, std::uint64_t n, const char* what) {
+    if (n > Remaining() / sizeof(T)) {
+      return Status::IoError(StringPrintf(
+          "truncated %s column in %s at offset %llu: %llu elements do not "
+          "fit in the %llu remaining bytes",
+          what, path_.c_str(), static_cast<unsigned long long>(offset_),
+          static_cast<unsigned long long>(n),
+          static_cast<unsigned long long>(Remaining())));
+    }
+    v.resize(n);
+    return Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& path() const { return path_; }
+
  private:
   std::ifstream file_;
   std::string path_;
+  std::uint64_t file_size_ = 0;
+  std::uint64_t offset_ = 0;
+  bool sized_ = false;
 };
 
+/// Distinct, actionable magic/version diagnostics: a mismatch names both
+/// the found and the expected magic so a format upgrade (or handing a UPT1
+/// file to the region reader) fails loudly instead of as a generic read
+/// error downstream.
 Status CheckMagic(Reader& reader, const char expected[4],
                   const std::string& what) {
   char magic[4];
   URBANE_RETURN_IF_ERROR(reader.Bytes(magic, 4));
   if (std::memcmp(magic, expected, 4) != 0) {
-    return Status::InvalidArgument("not a " + what + " snapshot file");
+    return Status::IoError("bad magic in " + reader.path() + ": found '" +
+                           PrintableMagic(magic) + "', expected '" +
+                           PrintableMagic(expected) + "' (" + what +
+                           " snapshot)");
   }
   return Status::OK();
 }
@@ -117,10 +207,8 @@ void WriteRing(Writer& w, const geometry::Ring& ring) {
 }
 
 StatusOr<geometry::Ring> ReadRing(Reader& r) {
-  URBANE_ASSIGN_OR_RETURN(std::uint64_t n, r.U64());
-  if (n > (1ULL << 28)) {
-    return Status::IoError("implausible ring size");
-  }
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t n,
+                          r.Count(2 * sizeof(double), "ring size"));
   geometry::Ring ring(n);
   for (auto& p : ring) {
     URBANE_RETURN_IF_ERROR(r.Pod(p.x));
@@ -133,10 +221,7 @@ StatusOr<geometry::Ring> ReadRing(Reader& r) {
 
 Status WritePointTableBinary(const PointTable& table,
                              const std::string& path) {
-  Writer w(path);
-  if (!w.ok()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  URBANE_ASSIGN_OR_RETURN(Writer w, Writer::Open(path));
   w.Bytes(kPointMagic, 4);
   w.U64(table.schema().attribute_count());
   for (const std::string& name : table.schema().attribute_names()) {
@@ -148,7 +233,7 @@ Status WritePointTableBinary(const PointTable& table,
   w.Bytes(table.ys(), n * sizeof(float));
   w.Bytes(table.ts(), n * sizeof(std::int64_t));
   for (std::size_t c = 0; c < table.schema().attribute_count(); ++c) {
-    w.Bytes(table.attribute_column(c).data(), n * sizeof(float));
+    w.Bytes(table.attribute_data(c), n * sizeof(float));
   }
   return w.Finish();
 }
@@ -159,9 +244,12 @@ StatusOr<PointTable> ReadPointTableBinary(const std::string& path) {
     return Status::IoError("cannot open for reading: " + path);
   }
   URBANE_RETURN_IF_ERROR(CheckMagic(r, kPointMagic, "point-table"));
-  URBANE_ASSIGN_OR_RETURN(std::uint64_t attr_count, r.U64());
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t attr_count,
+                          r.Count(/*elem_size=*/9, "attribute"));
   if (attr_count > 4096) {
-    return Status::IoError("implausible attribute count");
+    return Status::IoError(StringPrintf(
+        "implausible attribute count %llu in %s",
+        static_cast<unsigned long long>(attr_count), path.c_str()));
   }
   std::vector<std::string> names;
   names.reserve(attr_count);
@@ -170,25 +258,26 @@ StatusOr<PointTable> ReadPointTableBinary(const std::string& path) {
     names.push_back(std::move(name));
   }
   URBANE_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(names)));
-  URBANE_ASSIGN_OR_RETURN(std::uint64_t n, r.U64());
-  if (n > (1ULL << 33)) {
-    return Status::IoError("implausible row count");
-  }
+  // Each row occupies 16 + 4 * attr_count bytes of payload after the count.
+  const std::size_t row_bytes =
+      2 * sizeof(float) + sizeof(std::int64_t) +
+      schema.attribute_count() * sizeof(float);
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t n, r.Count(row_bytes, "row"));
   PointTable table(schema);
   table.Reserve(n);
-  std::vector<float> xs(n);
-  std::vector<float> ys(n);
-  std::vector<std::int64_t> ts(n);
-  URBANE_RETURN_IF_ERROR(r.Bytes(xs.data(), n * sizeof(float)));
-  URBANE_RETURN_IF_ERROR(r.Bytes(ys.data(), n * sizeof(float)));
-  URBANE_RETURN_IF_ERROR(r.Bytes(ts.data(), n * sizeof(std::int64_t)));
+  std::vector<float> xs;
+  std::vector<float> ys;
+  std::vector<std::int64_t> ts;
+  URBANE_RETURN_IF_ERROR(r.Column(xs, n, "x"));
+  URBANE_RETURN_IF_ERROR(r.Column(ys, n, "y"));
+  URBANE_RETURN_IF_ERROR(r.Column(ts, n, "t"));
   for (std::uint64_t i = 0; i < n; ++i) {
     table.AppendXyt(xs[i], ys[i], ts[i]);
   }
   for (std::size_t c = 0; c < schema.attribute_count(); ++c) {
     std::vector<float>& col = table.mutable_attribute_column(c);
-    col.resize(n);
-    URBANE_RETURN_IF_ERROR(r.Bytes(col.data(), n * sizeof(float)));
+    URBANE_RETURN_IF_ERROR(
+        r.Column(col, n, schema.attribute_name(c).c_str()));
   }
   URBANE_RETURN_IF_ERROR(table.Validate());
   return table;
@@ -196,10 +285,7 @@ StatusOr<PointTable> ReadPointTableBinary(const std::string& path) {
 
 Status WriteRegionSetBinary(const RegionSet& regions,
                             const std::string& path) {
-  Writer w(path);
-  if (!w.ok()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  URBANE_ASSIGN_OR_RETURN(Writer w, Writer::Open(path));
   w.Bytes(kRegionMagic, 4);
   w.U64(regions.size());
   for (const Region& region : regions.regions()) {
@@ -223,26 +309,20 @@ StatusOr<RegionSet> ReadRegionSetBinary(const std::string& path) {
     return Status::IoError("cannot open for reading: " + path);
   }
   URBANE_RETURN_IF_ERROR(CheckMagic(r, kRegionMagic, "region-set"));
-  URBANE_ASSIGN_OR_RETURN(std::uint64_t count, r.U64());
-  if (count > (1ULL << 24)) {
-    return Status::IoError("implausible region count");
-  }
+  // A serialized region is at least id + name length + part count bytes.
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t count,
+                          r.Count(/*elem_size=*/20, "region"));
   RegionSet regions;
   for (std::uint64_t i = 0; i < count; ++i) {
     Region region;
     URBANE_RETURN_IF_ERROR(r.Pod(region.id));
     URBANE_ASSIGN_OR_RETURN(region.name, r.Str());
-    URBANE_ASSIGN_OR_RETURN(std::uint64_t parts, r.U64());
-    if (parts > (1ULL << 20)) {
-      return Status::IoError("implausible part count");
-    }
+    // A part carries at least an outer-ring size and a hole count.
+    URBANE_ASSIGN_OR_RETURN(std::uint64_t parts, r.Count(16, "part"));
     for (std::uint64_t p = 0; p < parts; ++p) {
       URBANE_ASSIGN_OR_RETURN(geometry::Ring outer, ReadRing(r));
       geometry::Polygon polygon(std::move(outer));
-      URBANE_ASSIGN_OR_RETURN(std::uint64_t holes, r.U64());
-      if (holes > (1ULL << 20)) {
-        return Status::IoError("implausible hole count");
-      }
+      URBANE_ASSIGN_OR_RETURN(std::uint64_t holes, r.Count(8, "hole"));
       for (std::uint64_t h = 0; h < holes; ++h) {
         URBANE_ASSIGN_OR_RETURN(geometry::Ring hole, ReadRing(r));
         polygon.add_hole(std::move(hole));

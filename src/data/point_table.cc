@@ -1,11 +1,43 @@
 #include "data/point_table.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace urbane::data {
 
 PointTable::PointTable(Schema schema) : schema_(std::move(schema)) {
   attributes_.resize(schema_.attribute_count());
+}
+
+StatusOr<PointTable> PointTable::View(Schema schema, const float* xs,
+                                      const float* ys, const std::int64_t* ts,
+                                      std::vector<const float*> attributes,
+                                      std::size_t size) {
+  if (attributes.size() != schema.attribute_count()) {
+    return Status::InvalidArgument(StringPrintf(
+        "view has %zu attribute columns, schema expects %zu",
+        attributes.size(), schema.attribute_count()));
+  }
+  if (size > 0) {
+    if (xs == nullptr || ys == nullptr || ts == nullptr) {
+      return Status::InvalidArgument("view with null x/y/t columns");
+    }
+    for (const float* col : attributes) {
+      if (col == nullptr) {
+        return Status::InvalidArgument("view with null attribute column");
+      }
+    }
+  }
+  PointTable table;
+  table.schema_ = std::move(schema);
+  table.is_view_ = true;
+  table.view_size_ = size;
+  table.view_xs_ = xs;
+  table.view_ys_ = ys;
+  table.view_ts_ = ts;
+  table.view_attributes_ = std::move(attributes);
+  return table;
 }
 
 void PointTable::Reserve(std::size_t capacity) {
@@ -19,6 +51,9 @@ void PointTable::Reserve(std::size_t capacity) {
 
 Status PointTable::AppendRow(float x, float y, std::int64_t t,
                              const std::vector<float>& attributes) {
+  if (is_view_) {
+    return Status::FailedPrecondition("cannot append to a PointTable view");
+  }
   if (attributes.size() != schema_.attribute_count()) {
     return Status::InvalidArgument(StringPrintf(
         "row has %zu attributes, schema expects %zu", attributes.size(),
@@ -39,37 +74,65 @@ void PointTable::AppendXyt(float x, float y, std::int64_t t) {
   ts_.push_back(t);
 }
 
-const std::vector<float>* PointTable::AttributeByName(
-    const std::string& name) const {
+const float* PointTable::AttributeByName(const std::string& name) const {
   const int col = schema_.AttributeIndex(name);
   if (col < 0) {
     return nullptr;
   }
-  return &attributes_[static_cast<std::size_t>(col)];
+  return attribute_data(static_cast<std::size_t>(col));
 }
 
 geometry::BoundingBox PointTable::Bounds() const {
+  if (has_cached_extents_) {
+    return cached_bounds_;
+  }
   geometry::BoundingBox box;
-  for (std::size_t i = 0; i < xs_.size(); ++i) {
-    box.Extend({xs_[i], ys_[i]});
+  const float* px = xs();
+  const float* py = ys();
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    box.Extend({px[i], py[i]});
   }
   return box;
 }
 
 std::pair<std::int64_t, std::int64_t> PointTable::TimeRange() const {
-  if (ts_.empty()) {
+  if (has_cached_extents_) {
+    return cached_time_range_;
+  }
+  const std::int64_t* pt = ts();
+  const std::size_t n = size();
+  if (n == 0) {
     return {0, 0};
   }
-  std::int64_t lo = ts_.front();
-  std::int64_t hi = ts_.front();
-  for (const std::int64_t t : ts_) {
-    lo = std::min(lo, t);
-    hi = std::max(hi, t);
+  std::int64_t lo = pt[0];
+  std::int64_t hi = pt[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, pt[i]);
+    hi = std::max(hi, pt[i]);
   }
   return {lo, hi};
 }
 
+void PointTable::SetCachedExtents(
+    const geometry::BoundingBox& bounds,
+    std::pair<std::int64_t, std::int64_t> time_range) {
+  has_cached_extents_ = true;
+  cached_bounds_ = bounds;
+  cached_time_range_ = time_range;
+}
+
 Status PointTable::Validate() const {
+  if (is_view_) {
+    if (view_attributes_.size() != schema_.attribute_count()) {
+      return Status::Internal("view attribute arity disagrees with schema");
+    }
+    if (view_size_ > 0 &&
+        (view_xs_ == nullptr || view_ys_ == nullptr || view_ts_ == nullptr)) {
+      return Status::Internal("non-empty view with null columns");
+    }
+    return Status::OK();
+  }
   if (ys_.size() != xs_.size() || ts_.size() != xs_.size()) {
     return Status::Internal("x/y/t column lengths disagree");
   }
@@ -91,6 +154,8 @@ std::size_t PointTable::MemoryBytes() const {
   for (const auto& col : attributes_) {
     bytes += col.capacity() * sizeof(float);
   }
+  // A view owns only its pointer array; the columns belong to the store.
+  bytes += view_attributes_.capacity() * sizeof(const float*);
   return bytes;
 }
 

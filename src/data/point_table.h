@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/schema.h"
@@ -15,53 +16,83 @@ namespace urbane::data {
 /// complaints, crime incidents, ...). Column-major layout mirrors the GPU
 /// vertex-buffer representation Raster Join consumes: contiguous float32
 /// x/y arrays stream straight into the splatting stage.
+///
+/// A table is either *owning* (the default: appendable, backed by vectors)
+/// or a *view* (borrowed column pointers, e.g. into an mmap'ed store file).
+/// Views are immutable and do not outlive the memory they borrow; every
+/// read accessor behaves identically in both modes, so executors are
+/// oblivious to where the columns live.
 class PointTable {
  public:
   PointTable() = default;
   explicit PointTable(Schema schema);
 
+  /// Wraps borrowed columns (length `size` each, one pointer per schema
+  /// attribute) without copying. The caller keeps the backing memory alive
+  /// for the lifetime of the view and of anything derived from it.
+  static StatusOr<PointTable> View(Schema schema, const float* xs,
+                                   const float* ys, const std::int64_t* ts,
+                                   std::vector<const float*> attributes,
+                                   std::size_t size);
+
+  bool is_view() const { return is_view_; }
+
   const Schema& schema() const { return schema_; }
-  std::size_t size() const { return xs_.size(); }
-  bool empty() const { return xs_.empty(); }
+  std::size_t size() const { return is_view_ ? view_size_ : xs_.size(); }
+  bool empty() const { return size() == 0; }
 
   void Reserve(std::size_t capacity);
 
   /// Appends one event. `attributes` must match the schema's arity.
+  /// FailedPrecondition on a view.
   Status AppendRow(float x, float y, std::int64_t t,
                    const std::vector<float>& attributes);
 
   /// Unchecked fast-path append used by the generators (attribute columns
-  /// are filled separately via mutable_attribute_column).
+  /// are filled separately via mutable_attribute_column). Owning mode only.
   void AppendXyt(float x, float y, std::int64_t t);
 
-  const float* xs() const { return xs_.data(); }
-  const float* ys() const { return ys_.data(); }
-  const std::int64_t* ts() const { return ts_.data(); }
+  const float* xs() const { return is_view_ ? view_xs_ : xs_.data(); }
+  const float* ys() const { return is_view_ ? view_ys_ : ys_.data(); }
+  const std::int64_t* ts() const { return is_view_ ? view_ts_ : ts_.data(); }
 
-  float x(std::size_t i) const { return xs_[i]; }
-  float y(std::size_t i) const { return ys_[i]; }
-  std::int64_t t(std::size_t i) const { return ts_[i]; }
+  float x(std::size_t i) const { return xs()[i]; }
+  float y(std::size_t i) const { return ys()[i]; }
+  std::int64_t t(std::size_t i) const { return ts()[i]; }
 
   /// Attribute column by index (dense float32 array of length size()).
+  const float* attribute_data(std::size_t col) const {
+    return is_view_ ? view_attributes_[col] : attributes_[col].data();
+  }
+  /// Owning mode only; prefer attribute_data(), which also works on views.
   const std::vector<float>& attribute_column(std::size_t col) const {
     return attributes_[col];
   }
+  /// Owning mode only (the generators fill columns in place).
   std::vector<float>& mutable_attribute_column(std::size_t col) {
     return attributes_[col];
   }
 
   /// Attribute column by name; nullptr if the name is unknown.
-  const std::vector<float>* AttributeByName(const std::string& name) const;
+  const float* AttributeByName(const std::string& name) const;
 
   float attribute(std::size_t row, std::size_t col) const {
-    return attributes_[col][row];
+    return attribute_data(col)[row];
   }
 
-  /// Spatial extent of all points.
+  /// Spatial extent of all points. O(n) unless cached extents were set
+  /// (store-backed views derive them from the block zone maps).
   geometry::BoundingBox Bounds() const;
 
   /// [min_t, max_t] over all points; {0, 0} when empty.
   std::pair<std::int64_t, std::int64_t> TimeRange() const;
+
+  /// Installs precomputed extents so Bounds()/TimeRange() skip their O(n)
+  /// scans. The values must equal what the scans would produce (the store
+  /// oracle test checks this bit-exactly); mutating the table afterwards
+  /// is unsupported.
+  void SetCachedExtents(const geometry::BoundingBox& bounds,
+                        std::pair<std::int64_t, std::int64_t> time_range);
 
   /// Consistency check: every column has length size().
   Status Validate() const;
@@ -74,6 +105,18 @@ class PointTable {
   std::vector<float> ys_;
   std::vector<std::int64_t> ts_;
   std::vector<std::vector<float>> attributes_;  // one vector per attribute
+
+  // View mode: borrowed columns (is_view_ true, owning vectors empty).
+  bool is_view_ = false;
+  std::size_t view_size_ = 0;
+  const float* view_xs_ = nullptr;
+  const float* view_ys_ = nullptr;
+  const std::int64_t* view_ts_ = nullptr;
+  std::vector<const float*> view_attributes_;
+
+  bool has_cached_extents_ = false;
+  geometry::BoundingBox cached_bounds_;
+  std::pair<std::int64_t, std::int64_t> cached_time_range_{0, 0};
 };
 
 }  // namespace urbane::data

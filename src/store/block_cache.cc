@@ -1,0 +1,128 @@
+#include "store/block_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace urbane::store {
+
+namespace {
+
+void Bump(const char* name) {
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global().GetCounter(name).Add(1);
+  }
+}
+
+}  // namespace
+
+BlockCache::PinnedBlock& BlockCache::PinnedBlock::operator=(
+    PinnedBlock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    index_ = other.index_;
+    block_ = other.block_;
+    other.cache_ = nullptr;
+    other.block_ = nullptr;
+  }
+  return *this;
+}
+
+void BlockCache::PinnedBlock::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(index_);
+    cache_ = nullptr;
+    block_ = nullptr;
+  }
+}
+
+BlockCache::BlockCache(const StoreReader* reader,
+                       const BlockCacheOptions& options)
+    : reader_(reader), options_(options) {
+  if (options_.capacity_blocks == 0) {
+    options_.capacity_blocks = 1;
+  }
+}
+
+StatusOr<BlockCache::PinnedBlock> BlockCache::Pin(std::size_t block_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = entries_.find(block_index);
+    if (it == entries_.end()) break;
+    if (!it->second.loading) {
+      ++stats_.hits;
+      Bump("store.cache_hit");
+      ++it->second.pin_count;
+      it->second.last_use = ++tick_;
+      return PinnedBlock(this, block_index, &it->second.block);
+    }
+    // Another thread is loading this block; wait for it. It may fail and
+    // erase the entry, in which case we loop and become the loader.
+    load_cv_.wait(lock);
+  }
+
+  ++stats_.misses;
+  Bump("store.cache_miss");
+  Entry& entry = entries_[block_index];  // loading=true placeholder
+  lock.unlock();
+
+  StatusOr<StoreBlock> block_or = reader_->ReadBlock(block_index);
+
+  lock.lock();
+  if (!block_or.ok()) {
+    entries_.erase(block_index);
+    load_cv_.notify_all();
+    return block_or.status();
+  }
+  entry.block = std::move(block_or).value();
+  entry.loading = false;
+  entry.pin_count = 1;
+  entry.last_use = ++tick_;
+  ++stats_.blocks_read;
+  Bump("store.blocks_read");
+  EvictLocked();
+  load_cv_.notify_all();
+  return PinnedBlock(this, block_index, &entry.block);
+}
+
+void BlockCache::Unpin(std::size_t block_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(block_index);
+  if (it != entries_.end() && it->second.pin_count > 0) {
+    --it->second.pin_count;
+    if (it->second.pin_count == 0) {
+      EvictLocked();
+    }
+  }
+}
+
+void BlockCache::EvictLocked() {
+  while (entries_.size() > options_.capacity_blocks) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.loading || it->second.pin_count > 0) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything pinned or loading
+    entries_.erase(victim);
+    ++stats_.evictions;
+    Bump("store.cache_evict");
+  }
+}
+
+BlockCacheStats BlockCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t BlockCache::resident_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace urbane::store

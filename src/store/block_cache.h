@@ -1,0 +1,104 @@
+#ifndef URBANE_STORE_BLOCK_CACHE_H_
+#define URBANE_STORE_BLOCK_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "store/store_reader.h"
+#include "util/status.h"
+
+namespace urbane::store {
+
+struct BlockCacheOptions {
+  /// Maximum resident blocks. Pinned blocks never leave, so the cache can
+  /// temporarily exceed this if more than capacity_blocks are pinned at
+  /// once; unpinned blocks are evicted LRU-first back down to capacity.
+  std::size_t capacity_blocks = 64;
+};
+
+struct BlockCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t blocks_read = 0;  // actual disk reads (== misses that loaded)
+};
+
+/// Bounded, thread-safe cache of decoded store blocks with pin/unpin
+/// semantics: a block stays resident while any PinnedBlock handle is live.
+/// Concurrent requests for the same absent block coalesce — one thread
+/// loads while the rest wait on a condition variable, so a block is read
+/// from disk at most once per residency. Hit/miss/eviction counts feed the
+/// obs counters store.cache_hit / store.cache_miss / store.cache_evict /
+/// store.blocks_read.
+class BlockCache {
+ public:
+  /// `reader` must outlive the cache.
+  explicit BlockCache(const StoreReader* reader,
+                      const BlockCacheOptions& options = BlockCacheOptions());
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// RAII pin: the referenced block cannot be evicted until destruction.
+  class PinnedBlock {
+   public:
+    PinnedBlock() = default;
+    PinnedBlock(PinnedBlock&& other) noexcept
+        : cache_(other.cache_), index_(other.index_), block_(other.block_) {
+      other.cache_ = nullptr;
+      other.block_ = nullptr;
+    }
+    PinnedBlock& operator=(PinnedBlock&& other) noexcept;
+    PinnedBlock(const PinnedBlock&) = delete;
+    PinnedBlock& operator=(const PinnedBlock&) = delete;
+    ~PinnedBlock() { Release(); }
+
+    const StoreBlock& operator*() const { return *block_; }
+    const StoreBlock* operator->() const { return block_; }
+    const StoreBlock* get() const { return block_; }
+
+   private:
+    friend class BlockCache;
+    PinnedBlock(BlockCache* cache, std::size_t index,
+                const StoreBlock* block)
+        : cache_(cache), index_(index), block_(block) {}
+    void Release();
+
+    BlockCache* cache_ = nullptr;
+    std::size_t index_ = 0;
+    const StoreBlock* block_ = nullptr;
+  };
+
+  /// Returns the block pinned; loads it (once) on a miss.
+  StatusOr<PinnedBlock> Pin(std::size_t block_index);
+
+  BlockCacheStats stats() const;
+  std::size_t resident_blocks() const;
+
+ private:
+  struct Entry {
+    StoreBlock block;
+    int pin_count = 0;
+    bool loading = true;
+    std::uint64_t last_use = 0;
+  };
+
+  void Unpin(std::size_t block_index);
+  /// Drops LRU unpinned entries until at most capacity remain. Caller holds
+  /// the lock.
+  void EvictLocked();
+
+  const StoreReader* reader_;
+  BlockCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable load_cv_;
+  std::unordered_map<std::size_t, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  BlockCacheStats stats_;
+};
+
+}  // namespace urbane::store
+
+#endif  // URBANE_STORE_BLOCK_CACHE_H_

@@ -1,0 +1,38 @@
+#include "store/block_cursor.h"
+
+namespace urbane::store {
+
+BlockCursor::BlockCursor(const StoreReader& reader, BlockCache& cache,
+                         const core::FilterSpec& filter)
+    : reader_(reader), cache_(cache) {
+  const core::ZoneMapIndex& index = reader.zone_maps();
+  blocks_total_ = index.block_count();
+  if (filter.IsTrivial()) {
+    survivors_.reserve(index.block_count());
+    for (std::size_t b = 0; b < index.block_count(); ++b) {
+      survivors_.push_back(b);
+    }
+    return;
+  }
+  // Prune() returns candidate row ranges built from whole blocks, so a
+  // block survives iff its first row is a candidate.
+  const core::PruneResult prune = index.Prune(filter, reader.schema());
+  blocks_pruned_ = prune.blocks_pruned;
+  rows_pruned_ = prune.rows_pruned;
+  survivors_.reserve(index.block_count() - prune.blocks_pruned);
+  for (std::size_t b = 0; b < index.block_count(); ++b) {
+    if (prune.candidates.Contains(index.blocks()[b].row_begin)) {
+      survivors_.push_back(b);
+    }
+  }
+}
+
+const core::BlockZoneMap& BlockCursor::ZoneMap() const {
+  return reader_.zone_maps().blocks()[survivors_[pos_]];
+}
+
+StatusOr<BlockCache::PinnedBlock> BlockCursor::Pin() {
+  return cache_.Pin(survivors_[pos_]);
+}
+
+}  // namespace urbane::store

@@ -1,0 +1,56 @@
+#ifndef URBANE_STORE_BLOCK_CURSOR_H_
+#define URBANE_STORE_BLOCK_CURSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter.h"
+#include "core/zone_map.h"
+#include "store/block_cache.h"
+#include "store/store_reader.h"
+#include "util/status.h"
+
+namespace urbane::store {
+
+/// Block-at-a-time iteration over a store, with zone-map pruning decided up
+/// front: blocks the filter provably cannot match are never read. Blocks
+/// are visited in ascending row order, so a consumer that folds rows in
+/// cursor order reproduces the in-memory row order exactly.
+///
+///   BlockCursor cursor(reader, cache, query.filter);
+///   for (; !cursor.Done(); cursor.Advance()) {
+///     URBANE_ASSIGN_OR_RETURN(auto pinned, cursor.Pin());
+///     ... pinned->xs / ys / ts / attrs, rows start at pinned->row_begin
+///   }
+class BlockCursor {
+ public:
+  /// `reader` and `cache` must outlive the cursor.
+  BlockCursor(const StoreReader& reader, BlockCache& cache,
+              const core::FilterSpec& filter);
+
+  bool Done() const { return pos_ >= survivors_.size(); }
+  void Advance() { ++pos_; }
+
+  /// Zone map of the current block (valid while !Done()).
+  const core::BlockZoneMap& ZoneMap() const;
+
+  /// Reads (or fetches from cache) the current block, pinned.
+  StatusOr<BlockCache::PinnedBlock> Pin();
+
+  std::uint64_t blocks_total() const { return blocks_total_; }
+  std::uint64_t blocks_pruned() const { return blocks_pruned_; }
+  std::uint64_t rows_pruned() const { return rows_pruned_; }
+
+ private:
+  const StoreReader& reader_;
+  BlockCache& cache_;
+  std::vector<std::size_t> survivors_;
+  std::size_t pos_ = 0;
+  std::uint64_t blocks_total_ = 0;
+  std::uint64_t blocks_pruned_ = 0;
+  std::uint64_t rows_pruned_ = 0;
+};
+
+}  // namespace urbane::store
+
+#endif  // URBANE_STORE_BLOCK_CURSOR_H_

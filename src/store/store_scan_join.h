@@ -1,0 +1,70 @@
+#ifndef URBANE_STORE_STORE_SCAN_JOIN_H_
+#define URBANE_STORE_STORE_SCAN_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/query.h"
+#include "data/point_table.h"
+#include "data/region.h"
+#include "index/rtree.h"
+#include "store/block_cache.h"
+#include "store/store_reader.h"
+
+namespace urbane::store {
+
+/// Per-query block accounting from the most recent Execute.
+struct StoreScanStats {
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_pruned = 0;
+  std::uint64_t blocks_scanned = 0;
+};
+
+/// Out-of-core exact scan: streams the store block-at-a-time through the
+/// block cache (pread mode needs no mapping of the whole file), pruning
+/// blocks by zone map before any byte of them is read. Rows within and
+/// across blocks are visited in store order — identical to the row order
+/// the mmap'ed view exposes — so results are bit-identical to a serial
+/// in-memory ScanJoin over the same store.
+class StoreScanJoin : public core::SpatialAggregationExecutor {
+ public:
+  /// `reader`, `cache`, and `regions` must outlive this. Builds the same
+  /// region-box R-tree as the in-memory scan.
+  static StatusOr<std::unique_ptr<StoreScanJoin>> Create(
+      const StoreReader& reader, BlockCache& cache,
+      const data::RegionSet& regions);
+
+  /// `query.points` may be null (the store supplies the rows); if set, it
+  /// is only used to validate the schema.
+  StatusOr<core::QueryResult> Execute(
+      const core::AggregationQuery& query) override;
+  std::string name() const override { return "store_scan"; }
+  bool exact() const override { return true; }
+  const core::ExecutorStats& stats() const override { return stats_; }
+
+  const StoreScanStats& store_stats() const { return store_stats_; }
+
+ private:
+  StoreScanJoin(const StoreReader& reader, BlockCache& cache,
+                const data::RegionSet& regions, index::RTree rtree)
+      : reader_(reader),
+        cache_(cache),
+        regions_(regions),
+        rtree_(std::move(rtree)),
+        schema_table_(reader.schema()) {}
+
+  const StoreReader& reader_;
+  BlockCache& cache_;
+  const data::RegionSet& regions_;
+  index::RTree rtree_;
+  /// Empty table carrying the store's schema, used to validate queries and
+  /// compile filters without materializing any rows.
+  data::PointTable schema_table_;
+  core::ExecutorStats stats_;
+  StoreScanStats store_stats_;
+};
+
+}  // namespace urbane::store
+
+#endif  // URBANE_STORE_STORE_SCAN_JOIN_H_

@@ -61,6 +61,8 @@ const char* CommandInterpreter::Help() {
          "  save points <name> <file.csv|file.upt>\n"
          "  save regions <name> <file.geojson|file.urg>\n"
          "  save workspace <dir> | load workspace <manifest.json>\n"
+         "  convert <points> <file.ust> [block-rows]\n"
+         "  open <name> <file.ust>\n"
          "  method scan|index|raster|accurate\n"
          "  cache <points> <regions> on [entries]|off|stats\n"
          "  sql SELECT AGG(attr|*) FROM <points>, <regions> [WHERE ...]\n"
@@ -131,6 +133,12 @@ Status CommandInterpreter::Dispatch(const std::string& line,
       return Status::OK();
     }
     return CmdSave(tokens, out);
+  }
+  if (command == "convert") {
+    return CmdConvert(tokens, out);
+  }
+  if (command == "open") {
+    return CmdOpen(tokens, out);
   }
   if (command == "method") {
     return CmdMethod(tokens, out);
@@ -288,6 +296,43 @@ Status CommandInterpreter::CmdSave(const std::vector<std::string>& args,
     return Status::InvalidArgument("save expects 'points' or 'regions'");
   }
   out << "saved '" << name << "' to " << path << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdConvert(const std::vector<std::string>& args,
+                                      std::ostream& out) {
+  if (args.size() != 3 && args.size() != 4) {
+    return Status::InvalidArgument(
+        "usage: convert <points> <file.ust> [block-rows]");
+  }
+  std::uint64_t block_rows = 64 * 1024;
+  if (args.size() == 4) {
+    URBANE_ASSIGN_OR_RETURN(block_rows, ParseCount(args[3]));
+  }
+  WallTimer timer;
+  URBANE_ASSIGN_OR_RETURN(
+      store::StoreWriterStats stats,
+      manager_.ConvertToStore(args[1], args[2], block_rows));
+  out << "converted '" << args[1] << "' to " << args[2] << ": "
+      << stats.rows_written << " rows in " << stats.blocks_written
+      << " blocks (" << stats.file_bytes << " bytes) in "
+      << FormatDuration(timer.ElapsedSeconds()) << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdOpen(const std::vector<std::string>& args,
+                                   std::ostream& out) {
+  if (args.size() != 3) {
+    return Status::InvalidArgument("usage: open <name> <file.ust>");
+  }
+  WallTimer timer;
+  URBANE_RETURN_IF_ERROR(manager_.AddStoreDataset(args[1], args[2]));
+  URBANE_ASSIGN_OR_RETURN(const data::PointTable* table,
+                          manager_.PointDataset(args[1]));
+  out << "opened store " << args[2] << " as '" << args[1] << "': "
+      << table->size() << " rows"
+      << (table->is_view() ? " (memory-mapped)" : " (materialized)")
+      << " in " << FormatDuration(timer.ElapsedSeconds()) << "\n";
   return Status::OK();
 }
 

@@ -63,6 +63,8 @@ class CommandInterpreter {
   Status CmdGen(const std::vector<std::string>& args, std::ostream& out);
   Status CmdLoad(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSave(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdConvert(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdOpen(const std::vector<std::string>& args, std::ostream& out);
   Status CmdMethod(const std::vector<std::string>& args, std::ostream& out);
   Status CmdCache(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSql(const std::string& sql, std::ostream& out);

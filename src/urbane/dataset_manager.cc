@@ -37,6 +37,45 @@ Status DatasetManager::AddPointDataset(const std::string& name,
   return Status::OK();
 }
 
+Status DatasetManager::AddStoreDataset(const std::string& name,
+                                       const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("data set name must be non-empty");
+  }
+  URBANE_ASSIGN_OR_RETURN(store::StoreReader reader,
+                          store::StoreReader::Open(path));
+  auto owned = std::make_unique<store::StoreReader>(std::move(reader));
+  data::PointTable table;
+  if (owned->mapped() || owned->row_count() == 0) {
+    URBANE_ASSIGN_OR_RETURN(table, owned->MappedTable());
+  } else {
+    URBANE_ASSIGN_OR_RETURN(table, owned->Materialize());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.count(name) != 0) {
+    return Status::AlreadyExists("data set already registered: " + name);
+  }
+  URBANE_RETURN_IF_ERROR(table.Validate());
+  points_[name] = std::make_unique<data::PointTable>(std::move(table));
+  stores_[name] = std::move(owned);
+  return Status::OK();
+}
+
+StatusOr<store::StoreWriterStats> DatasetManager::ConvertToStore(
+    const std::string& dataset, const std::string& path,
+    std::uint64_t block_rows) {
+  const data::PointTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    URBANE_ASSIGN_OR_RETURN(table, PointDatasetLocked(dataset));
+  }
+  // Conversion runs outside the lock: the table is immutable once
+  // registered, and a long conversion must not stall concurrent queries.
+  store::StoreWriterOptions options;
+  options.block_rows = block_rows;
+  return store::WritePointStore(*table, path, options);
+}
+
 Status DatasetManager::AddRegionLayer(const std::string& name,
                                       data::RegionSet regions) {
   if (name.empty()) {
@@ -115,6 +154,10 @@ StatusOr<core::SpatialAggregation*> DatasetManager::Engine(
                           RegionLayerLocked(region_layer));
   auto engine = std::make_unique<core::SpatialAggregation>(*table, *regions,
                                                            raster_options);
+  const auto store_it = stores_.find(dataset);
+  if (store_it != stores_.end()) {
+    engine->AttachZoneMaps(&store_it->second->zone_maps());
+  }
   core::SpatialAggregation* raw = engine.get();
   engines_[key] = std::move(engine);
   return raw;

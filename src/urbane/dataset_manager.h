@@ -11,6 +11,8 @@
 #include "data/point_table.h"
 #include "data/region.h"
 #include "index/temporal_index.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
 #include "util/status.h"
 
 namespace urbane::app {
@@ -36,6 +38,19 @@ class DatasetManager {
 
   Status AddPointDataset(const std::string& name, data::PointTable table);
   Status AddRegionLayer(const std::string& name, data::RegionSet regions);
+
+  /// Registers a UST1 block store as a point data set. The table is served
+  /// zero-copy from the mmap'ed file when possible (rows are paged in on
+  /// demand, so data sets larger than RAM work) and engines built for it
+  /// automatically prune blocks via the store's zone maps. Falls back to
+  /// materializing the rows when the file cannot be mapped.
+  Status AddStoreDataset(const std::string& name, const std::string& path);
+
+  /// Converts a registered point data set to a UST1 block store at `path`
+  /// (atomic: the file appears only when complete). Returns writer stats.
+  StatusOr<store::StoreWriterStats> ConvertToStore(
+      const std::string& dataset, const std::string& path,
+      std::uint64_t block_rows = 64 * 1024);
 
   std::vector<std::string> PointDatasetNames() const;
   std::vector<std::string> RegionLayerNames() const;
@@ -78,6 +93,10 @@ class DatasetManager {
       const std::string& name) const;
 
   mutable std::mutex mu_;
+  /// Open store readers backing store-registered data sets (the PointTable
+  /// in points_ is a view into the reader's mapping, so the reader must
+  /// stay alive; keyed by data set name).
+  std::map<std::string, std::unique_ptr<store::StoreReader>> stores_;
   std::map<std::string, std::unique_ptr<data::PointTable>> points_;
   std::map<std::string, std::unique_ptr<data::RegionSet>> regions_;
   std::map<std::string, std::unique_ptr<core::SpatialAggregation>> engines_;

@@ -104,17 +104,17 @@ StatusOr<std::vector<FrameRecord>> InteractionSession::Replay(
   int aggregate_cycle = 0;
 
   // Attribute value range for filter construction.
-  const std::vector<float>* attr_col =
-      engine_.points().AttributeByName(attribute_);
+  const float* attr_col = engine_.points().AttributeByName(attribute_);
   if (attr_col == nullptr) {
     return Status::InvalidArgument("session attribute not in table: " +
                                    attribute_);
   }
+  const std::size_t attr_n = engine_.points().size();
   float attr_min = 0.0f;
   float attr_max = 1.0f;
-  if (!attr_col->empty()) {
-    attr_min = *std::min_element(attr_col->begin(), attr_col->end());
-    attr_max = *std::max_element(attr_col->begin(), attr_col->end());
+  if (attr_n > 0) {
+    attr_min = *std::min_element(attr_col, attr_col + attr_n);
+    attr_max = *std::max_element(attr_col, attr_col + attr_n);
   }
 
   std::vector<FrameRecord> frames;

@@ -1,0 +1,134 @@
+#include "util/file_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace urbane {
+
+namespace {
+
+std::string ParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void BestEffortFsyncDirectory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+StatusOr<std::uint64_t> FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError("cannot stat " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::IoError("not a regular file: " + path);
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      temp_path_(std::move(other.temp_path_)),
+      offset_(other.offset_) {
+  other.file_ = nullptr;
+  other.temp_path_.clear();
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    temp_path_ = std::move(other.temp_path_);
+    offset_ = other.offset_;
+    other.file_ = nullptr;
+    other.temp_path_.clear();
+  }
+  return *this;
+}
+
+void AtomicFileWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!temp_path_.empty()) {
+    ::unlink(temp_path_.c_str());
+    temp_path_.clear();
+  }
+}
+
+StatusOr<AtomicFileWriter> AtomicFileWriter::Open(const std::string& path) {
+  AtomicFileWriter writer;
+  writer.path_ = path;
+  writer.temp_path_ = path + ".tmp";
+  writer.file_ = std::fopen(writer.temp_path_.c_str(), "wb");
+  if (writer.file_ == nullptr) {
+    const std::string temp = writer.temp_path_;
+    writer.temp_path_.clear();  // nothing to unlink
+    return Status::IoError("cannot open for writing: " + temp + ": " +
+                           std::strerror(errno));
+  }
+  return writer;
+}
+
+Status AtomicFileWriter::Write(const void* data, std::size_t size) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("write on a closed AtomicFileWriter");
+  }
+  if (size == 0) {
+    return Status::OK();
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError(StringPrintf(
+        "write failure at offset %llu of %s",
+        static_cast<unsigned long long>(offset_), temp_path_.c_str()));
+  }
+  offset_ += size;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("commit on a closed AtomicFileWriter");
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    Abandon();
+    return Status::IoError("flush/fsync failure: " + path_ + ".tmp");
+  }
+  const int close_result = std::fclose(file_);
+  file_ = nullptr;
+  if (close_result != 0) {
+    Abandon();
+    return Status::IoError("close failure: " + path_ + ".tmp");
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    Abandon();
+    return Status::IoError("rename failure: " + temp_path_ + " -> " + path_ +
+                           ": " + std::strerror(errno));
+  }
+  temp_path_.clear();  // committed: nothing left to clean up
+  BestEffortFsyncDirectory(ParentDirectory(path_));
+  return Status::OK();
+}
+
+}  // namespace urbane

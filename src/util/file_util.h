@@ -1,0 +1,58 @@
+#ifndef URBANE_UTIL_FILE_UTIL_H_
+#define URBANE_UTIL_FILE_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace urbane {
+
+/// Size of a regular file in bytes; IoError if it cannot be stat'ed.
+StatusOr<std::uint64_t> FileSizeBytes(const std::string& path);
+
+/// Crash-safe whole-file writer: all bytes go to `<path>.tmp`; Commit()
+/// flushes, fsyncs, and atomically renames onto `path` (then best-effort
+/// fsyncs the parent directory). A writer destroyed without a successful
+/// Commit unlinks the temp file, so a failed or interrupted save can never
+/// leave a half-written file at the final path — readers either see the old
+/// complete file or the new complete file.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Opens `<path>.tmp` for writing (truncating any stale temp file left by
+  /// an earlier crash).
+  static StatusOr<AtomicFileWriter> Open(const std::string& path);
+
+  Status Write(const void* data, std::size_t size);
+
+  /// Bytes written so far (the would-be file offset).
+  std::uint64_t offset() const { return offset_; }
+
+  /// Flush + fsync + close + rename. After an error the temp file is
+  /// removed and the final path is untouched.
+  Status Commit();
+
+  /// Final destination path.
+  const std::string& path() const { return path_; }
+
+ private:
+  void Abandon();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string temp_path_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace urbane
+
+#endif  // URBANE_UTIL_FILE_UTIL_H_

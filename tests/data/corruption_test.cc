@@ -66,6 +66,46 @@ TEST(CorruptionTest, LengthFieldBitFlipRejected) {
   std::remove(path.c_str());
 }
 
+TEST(CorruptionTest, WrongMagicNamesFoundAndExpected) {
+  // A URG1 region file handed to the point-table reader must say exactly
+  // what it found and what it wanted — the actionable half of the error.
+  const RegionSet regions = testing::MakeTessellationRegions(2, 80);
+  const std::string path = ::testing::TempDir() + "/cross_format.urg";
+  ASSERT_TRUE(WriteRegionSetBinary(regions, path).ok());
+  const auto loaded = ReadPointTableBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("URG1"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("UPT1"), std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionTest, OversizedCountErrorNamesByteOffset) {
+  const PointTable table = testing::MakeUniformPoints(100, 81);
+  const std::string path = ::testing::TempDir() + "/count_offset.upt";
+  ASSERT_TRUE(WritePointTableBinary(table, path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string bytes = std::move(*content);
+  const std::size_t count_offset = 4 + 8 + 8 + 1;  // row count field
+  ASSERT_LT(count_offset + 8, bytes.size());
+  bytes[count_offset + 7] = '\x7f';
+  ASSERT_TRUE(WriteStringToFile(bytes, path).ok());
+  const auto loaded = ReadPointTableBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  // The message must locate the corrupt field by byte offset, pointing past
+  // the magic + attribute block where the count lives.
+  EXPECT_NE(loaded.status().message().find("offset"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find(std::to_string(count_offset)),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
 TEST(CorruptionTest, EmptyFileRejected) {
   const std::string path = ::testing::TempDir() + "/empty.upt";
   ASSERT_TRUE(WriteStringToFile("", path).ok());

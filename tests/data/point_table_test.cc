@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace urbane::data {
 namespace {
 
@@ -31,10 +33,66 @@ TEST(PointTableTest, AppendRowArityChecked) {
 
 TEST(PointTableTest, AttributeByName) {
   const PointTable table = MakeTable();
-  const auto* fares = table.AttributeByName("fare");
+  const float* fares = table.AttributeByName("fare");
   ASSERT_NE(fares, nullptr);
-  EXPECT_FLOAT_EQ((*fares)[1], 20.0f);
+  EXPECT_FLOAT_EQ(fares[1], 20.0f);
   EXPECT_EQ(table.AttributeByName("nope"), nullptr);
+}
+
+TEST(PointTableTest, ViewBorrowsColumnsWithoutCopying) {
+  const PointTable owner = MakeTable();
+  auto view_or = PointTable::View(
+      owner.schema(), owner.xs(), owner.ys(), owner.ts(),
+      {owner.attribute_data(0), owner.attribute_data(1)}, owner.size());
+  ASSERT_TRUE(view_or.ok());
+  const PointTable view = std::move(view_or).value();
+  EXPECT_TRUE(view.is_view());
+  EXPECT_EQ(view.size(), owner.size());
+  EXPECT_EQ(view.xs(), owner.xs());  // same pointer, no copy
+  EXPECT_FLOAT_EQ(view.x(1), owner.x(1));
+  EXPECT_EQ(view.t(0), owner.t(0));
+  EXPECT_FLOAT_EQ(view.attribute(1, 0), 20.0f);
+  const float* fares = view.AttributeByName("fare");
+  ASSERT_NE(fares, nullptr);
+  EXPECT_EQ(fares, owner.attribute_data(0));
+  EXPECT_TRUE(view.Validate().ok());
+  const auto bounds = view.Bounds();
+  EXPECT_DOUBLE_EQ(bounds.min_x, owner.Bounds().min_x);
+  EXPECT_EQ(view.TimeRange(), owner.TimeRange());
+}
+
+TEST(PointTableTest, ViewRejectsAppendsAndBadShapes) {
+  const PointTable owner = MakeTable();
+  auto view_or = PointTable::View(
+      owner.schema(), owner.xs(), owner.ys(), owner.ts(),
+      {owner.attribute_data(0), owner.attribute_data(1)}, owner.size());
+  ASSERT_TRUE(view_or.ok());
+  PointTable view = std::move(view_or).value();
+  EXPECT_FALSE(view.AppendRow(0, 0, 0, {1.0f, 2.0f}).ok());
+
+  // Arity mismatch and null columns are rejected up front.
+  EXPECT_FALSE(PointTable::View(owner.schema(), owner.xs(), owner.ys(),
+                                owner.ts(), {owner.attribute_data(0)},
+                                owner.size())
+                   .ok());
+  EXPECT_FALSE(PointTable::View(owner.schema(), nullptr, owner.ys(),
+                                owner.ts(),
+                                {owner.attribute_data(0),
+                                 owner.attribute_data(1)},
+                                owner.size())
+                   .ok());
+}
+
+TEST(PointTableTest, CachedExtentsShortCircuitScans) {
+  PointTable table = MakeTable();
+  geometry::BoundingBox box;
+  box.Extend({1.0, 2.0});
+  box.Extend({3.0, 4.0});
+  table.SetCachedExtents(box, {100, 200});
+  EXPECT_DOUBLE_EQ(table.Bounds().min_x, 1.0);
+  EXPECT_DOUBLE_EQ(table.Bounds().max_y, 4.0);
+  EXPECT_EQ(table.TimeRange(),
+            (std::pair<std::int64_t, std::int64_t>{100, 200}));
 }
 
 TEST(PointTableTest, BoundsAndTimeRange) {

@@ -1,0 +1,207 @@
+// Store-vs-in-memory oracle: every executor x aggregate must produce
+// BIT-IDENTICAL results when the points come from disk blocks (mmap view
+// with zone-map pruning attached, or the pread streaming scan) instead of
+// an owning in-memory table — at 1 and at 4 threads. This is the contract
+// that makes the out-of-core path a drop-in substitute: not "close", equal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/scan_join.h"
+#include "core/spatial_aggregation.h"
+#include "store/block_cache.h"
+#include "store/store_reader.h"
+#include "store/store_scan_join.h"
+#include "store/store_writer.h"
+#include "testing/test_worlds.h"
+#include "util/thread_pool.h"
+
+namespace urbane::store {
+namespace {
+
+struct Oracle {
+  std::string path;
+  data::RegionSet regions;
+  std::unique_ptr<StoreReader> reader;
+  data::PointTable view;        // mmap-backed
+  data::PointTable materialized;  // owning copy, same row order
+
+  ~Oracle() { std::remove(path.c_str()); }
+};
+
+std::unique_ptr<Oracle> MakeOracle(const char* name) {
+  auto oracle = std::make_unique<Oracle>();
+  oracle->path = ::testing::TempDir() + "/" + name;
+  oracle->regions = testing::MakeRandomRegions(10, 0xFEED);
+  const data::PointTable table = testing::MakeUniformPoints(20000, 0xBEEF);
+  StoreWriterOptions options;
+  options.block_rows = 1024;
+  EXPECT_TRUE(WritePointStore(table, oracle->path, options).ok());
+  auto reader = StoreReader::Open(oracle->path);
+  EXPECT_TRUE(reader.ok());
+  oracle->reader = std::make_unique<StoreReader>(std::move(*reader));
+  auto view = oracle->reader->MappedTable();
+  EXPECT_TRUE(view.ok());
+  oracle->view = std::move(*view);
+  auto owned = oracle->reader->Materialize();
+  EXPECT_TRUE(owned.ok());
+  oracle->materialized = std::move(*owned);
+  return oracle;
+}
+
+std::vector<core::AggregateSpec> AllAggregates() {
+  return {core::AggregateSpec::Count(), core::AggregateSpec::Sum("v"),
+          core::AggregateSpec::Avg("v"), core::AggregateSpec::Min("v"),
+          core::AggregateSpec::Max("v")};
+}
+
+std::vector<core::FilterSpec> OracleFilters() {
+  core::FilterSpec trivial;
+  core::FilterSpec window;
+  window.spatial_window = geometry::BoundingBox(10.0, 10.0, 35.0, 35.0);
+  core::FilterSpec combined;
+  combined.spatial_window = geometry::BoundingBox(20.0, 20.0, 80.0, 80.0);
+  combined.time_range = core::TimeRange{10000, 50000};
+  combined.attribute_ranges.push_back({"v", -5.0, 5.0});
+  return {trivial, window, combined};
+}
+
+// "Bit-identical" is literal: compare the byte patterns, so two NaNs (AVG
+// over an empty region) compare equal while +0.0 vs -0.0 would not.
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectBitIdentical(const core::QueryResult& store_result,
+                        const core::QueryResult& memory_result,
+                        const char* what) {
+  ASSERT_EQ(store_result.values.size(), memory_result.values.size()) << what;
+  for (std::size_t r = 0; r < store_result.values.size(); ++r) {
+    EXPECT_EQ(DoubleBits(store_result.values[r]),
+              DoubleBits(memory_result.values[r]))
+        << what << " region " << r << ": " << store_result.values[r] << " vs "
+        << memory_result.values[r];
+    EXPECT_EQ(store_result.counts[r], memory_result.counts[r])
+        << what << " region " << r;
+  }
+}
+
+TEST(StoreOracleTest, EveryMethodAndAggregateBitIdenticalFromDiskBlocks) {
+  auto oracle = MakeOracle("oracle_methods.ust");
+  ThreadPool pool(4);
+  const core::ExecutionMethod methods[] = {
+      core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+      core::ExecutionMethod::kBoundedRaster,
+      core::ExecutionMethod::kAccurateRaster};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    core::ExecutionContext exec;
+    if (threads > 1) {
+      exec.pool = &pool;
+      exec.num_threads = threads;
+      exec.min_parallel_points = 1;  // 20k rows must actually parallelize
+    }
+    // The store-backed engine queries the mmap view with zone maps
+    // attached; the oracle engine queries an owning copy of the same rows.
+    core::SpatialAggregation store_engine(oracle->view, oracle->regions,
+                                          core::RasterJoinOptions(),
+                                          core::IndexJoinOptions(), exec);
+    store_engine.AttachZoneMaps(&oracle->reader->zone_maps());
+    core::SpatialAggregation memory_engine(
+        oracle->materialized, oracle->regions, core::RasterJoinOptions(),
+        core::IndexJoinOptions(), exec);
+    for (const core::ExecutionMethod method : methods) {
+      for (const core::AggregateSpec& aggregate : AllAggregates()) {
+        for (const core::FilterSpec& filter : OracleFilters()) {
+          core::AggregationQuery query;
+          query.aggregate = aggregate;
+          query.filter = filter;
+          auto from_store = store_engine.Execute(query, method);
+          auto from_memory = memory_engine.Execute(query, method);
+          ASSERT_TRUE(from_store.ok()) << from_store.status().ToString();
+          ASSERT_TRUE(from_memory.ok()) << from_memory.status().ToString();
+          const std::string what =
+              std::string(core::ExecutionMethodToString(method)) + "/" +
+              core::AggregateKindToString(aggregate.kind) + "/t" +
+              std::to_string(threads);
+          ExpectBitIdentical(*from_store, *from_memory, what.c_str());
+        }
+      }
+    }
+  }
+}
+
+TEST(StoreOracleTest, SelectiveFiltersActuallyPruneBlocks) {
+  auto oracle = MakeOracle("oracle_prune.ust");
+  const auto filters = OracleFilters();
+  // The trivial filter prunes nothing; the selective ones must prune.
+  const core::PruneResult trivial = oracle->reader->zone_maps().Prune(
+      filters[0], oracle->reader->schema());
+  EXPECT_EQ(trivial.blocks_pruned, 0u);
+  for (std::size_t f = 1; f < filters.size(); ++f) {
+    const core::PruneResult prune = oracle->reader->zone_maps().Prune(
+        filters[f], oracle->reader->schema());
+    EXPECT_GT(prune.blocks_pruned, 0u) << "filter " << f;
+    EXPECT_LT(prune.candidates.total_rows(), oracle->reader->row_count())
+        << "filter " << f;
+  }
+}
+
+TEST(StoreOracleTest, StreamingStoreScanMatchesSerialInMemoryScan) {
+  auto oracle = MakeOracle("oracle_stream.ust");
+  // Re-open in pread mode: the streaming path must not depend on the map.
+  StoreReaderOptions read_options;
+  read_options.use_mmap = false;
+  auto reader = StoreReader::Open(oracle->path, read_options);
+  ASSERT_TRUE(reader.ok());
+  BlockCacheOptions cache_options;
+  cache_options.capacity_blocks = 3;  // much smaller than the block count
+  BlockCache cache(&*reader, cache_options);
+  auto store_scan = StoreScanJoin::Create(*reader, cache, oracle->regions);
+  ASSERT_TRUE(store_scan.ok());
+  auto memory_scan =
+      core::ScanJoin::Create(oracle->materialized, oracle->regions);
+  ASSERT_TRUE(memory_scan.ok());
+  for (const core::AggregateSpec& aggregate : AllAggregates()) {
+    for (const core::FilterSpec& filter : OracleFilters()) {
+      core::AggregationQuery query;
+      query.aggregate = aggregate;
+      query.filter = filter;
+      auto from_store = (*store_scan)->Execute(query);
+      core::AggregationQuery direct = query;
+      direct.points = &oracle->materialized;
+      direct.regions = &oracle->regions;
+      auto from_memory = (*memory_scan)->Execute(direct);
+      ASSERT_TRUE(from_store.ok()) << from_store.status().ToString();
+      ASSERT_TRUE(from_memory.ok()) << from_memory.status().ToString();
+      ExpectBitIdentical(*from_store, *from_memory, "store_scan");
+      if (!filter.IsTrivial()) {
+        EXPECT_GT((*store_scan)->store_stats().blocks_pruned, 0u);
+        EXPECT_LT((*store_scan)->store_stats().blocks_scanned,
+                  (*store_scan)->store_stats().blocks_total);
+      }
+    }
+  }
+}
+
+TEST(StoreOracleTest, ViewBoundsDriveIdenticalCanvases) {
+  // Raster executors derive their canvas from Bounds(); the view's cached
+  // (zone-map) extents must therefore be bit-exact with the scan, or the
+  // raster results above could never match. Check it explicitly so a
+  // regression fails here with a readable message.
+  auto oracle = MakeOracle("oracle_bounds.ust");
+  const geometry::BoundingBox view_bounds = oracle->view.Bounds();
+  const geometry::BoundingBox owned_bounds = oracle->materialized.Bounds();
+  EXPECT_EQ(view_bounds.min_x, owned_bounds.min_x);
+  EXPECT_EQ(view_bounds.min_y, owned_bounds.min_y);
+  EXPECT_EQ(view_bounds.max_x, owned_bounds.max_x);
+  EXPECT_EQ(view_bounds.max_y, owned_bounds.max_y);
+  EXPECT_EQ(oracle->view.TimeRange(), oracle->materialized.TimeRange());
+}
+
+}  // namespace
+}  // namespace urbane::store

@@ -1,0 +1,369 @@
+// UST1 block store: round trip, streaming writer, zone-map fidelity, block
+// cache pin/unpin/eviction (including concurrent access — run under TSan),
+// and prune-aware cursor iteration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "store/block_cache.h"
+#include "store/block_cursor.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
+#include "testing/test_worlds.h"
+#include "util/random.h"
+
+namespace urbane::store {
+namespace {
+
+using Row = std::tuple<float, float, std::int64_t, float>;
+
+std::vector<Row> SortedRows(const data::PointTable& table) {
+  std::vector<Row> rows;
+  rows.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    rows.emplace_back(table.x(i), table.y(i), table.t(i),
+                      table.attribute(i, 0));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::string TempStorePath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StoreWriterTest, RoundTripPreservesRowMultiset) {
+  const data::PointTable table = testing::MakeUniformPoints(5000, 41);
+  const std::string path = TempStorePath("roundtrip.ust");
+  StoreWriterOptions options;
+  options.block_rows = 512;
+  auto stats = WritePointStore(table, path, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_written, table.size());
+  EXPECT_EQ(stats->blocks_written, (table.size() + 511) / 512);
+
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->row_count(), table.size());
+  EXPECT_EQ(reader->schema(), table.schema());
+  auto copy = reader->Materialize();
+  ASSERT_TRUE(copy.ok());
+  // The writer Morton-permutes rows, so compare as multisets.
+  EXPECT_EQ(SortedRows(*copy), SortedRows(table));
+  std::remove(path.c_str());
+}
+
+TEST(StoreWriterTest, ZoneMapsMatchRecomputedBlockExtents) {
+  const data::PointTable table = testing::MakeUniformPoints(3000, 42);
+  const std::string path = TempStorePath("zonemaps.ust");
+  StoreWriterOptions options;
+  options.block_rows = 256;
+  ASSERT_TRUE(WritePointStore(table, path, options).ok());
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto stored = reader->Materialize();
+  ASSERT_TRUE(stored.ok());
+  for (const core::BlockZoneMap& zm : reader->zone_maps().blocks()) {
+    float min_x = stored->x(zm.row_begin), max_x = min_x;
+    float min_y = stored->y(zm.row_begin), max_y = min_y;
+    std::int64_t min_t = stored->t(zm.row_begin), max_t = min_t;
+    float min_v = stored->attribute(zm.row_begin, 0), max_v = min_v;
+    for (std::uint64_t i = zm.row_begin; i < zm.row_end(); ++i) {
+      min_x = std::min(min_x, stored->x(i));
+      max_x = std::max(max_x, stored->x(i));
+      min_y = std::min(min_y, stored->y(i));
+      max_y = std::max(max_y, stored->y(i));
+      min_t = std::min(min_t, stored->t(i));
+      max_t = std::max(max_t, stored->t(i));
+      min_v = std::min(min_v, stored->attribute(i, 0));
+      max_v = std::max(max_v, stored->attribute(i, 0));
+    }
+    EXPECT_EQ(zm.min_x, min_x);
+    EXPECT_EQ(zm.max_x, max_x);
+    EXPECT_EQ(zm.min_y, min_y);
+    EXPECT_EQ(zm.max_y, max_y);
+    EXPECT_EQ(zm.min_t, min_t);
+    EXPECT_EQ(zm.max_t, max_t);
+    EXPECT_EQ(zm.attr_min[0], min_v);
+    EXPECT_EQ(zm.attr_max[0], max_v);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreWriterTest, StreamingMultiBatchAppendMatchesOneShot) {
+  const data::PointTable table = testing::MakeUniformPoints(4000, 43);
+  const std::string path = TempStorePath("streaming.ust");
+  StoreWriterOptions options;
+  options.block_rows = 300;
+  options.sort_batch_rows = 700;  // forces several spill flushes
+  auto writer = StoreWriter::Create(path, table.schema(), options);
+  ASSERT_TRUE(writer.ok());
+  // Feed the table in uneven chunks.
+  std::size_t at = 0;
+  for (const std::size_t chunk : {100, 900, 1, 1500, 1499}) {
+    data::PointTable batch(table.schema());
+    for (std::size_t i = 0; i < chunk; ++i, ++at) {
+      ASSERT_TRUE(batch
+                      .AppendRow(table.x(at), table.y(at), table.t(at),
+                                 {table.attribute(at, 0)})
+                      .ok());
+    }
+    ASSERT_TRUE(writer->Append(batch).ok());
+  }
+  ASSERT_EQ(at, table.size());
+  auto stats = writer->Finish();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_written, table.size());
+
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto copy = reader->Materialize();
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(SortedRows(*copy), SortedRows(table));
+  std::remove(path.c_str());
+}
+
+TEST(StoreWriterTest, AbandonedWriterLeavesNoFiles) {
+  const std::string path = TempStorePath("abandoned.ust");
+  {
+    auto writer = StoreWriter::Create(
+        path, data::Schema(std::vector<std::string>{"v"}));
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(testing::MakeUniformPoints(100, 44)).ok());
+    // No Finish: destructor must clean up spills and never publish `path`.
+  }
+  EXPECT_FALSE(StoreReader::Open(path).ok());
+  std::FILE* spill = std::fopen((path + ".col0.tmp").c_str(), "rb");
+  EXPECT_EQ(spill, nullptr);
+  if (spill != nullptr) std::fclose(spill);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
+TEST(StoreWriterTest, MisuseIsRejected) {
+  const std::string path = TempStorePath("misuse.ust");
+  auto writer = StoreWriter::Create(
+      path, data::Schema(std::vector<std::string>{"v"}));
+  ASSERT_TRUE(writer.ok());
+  // Schema mismatch.
+  data::PointTable other{data::Schema(std::vector<std::string>{"w"})};
+  EXPECT_FALSE(writer->Append(other).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_FALSE(writer->Append(data::PointTable(
+                                  data::Schema(std::vector<std::string>{"v"})))
+                   .ok());
+  EXPECT_FALSE(writer->Finish().ok());
+  std::remove(path.c_str());
+}
+
+TEST(StoreReaderTest, MappedTableIsZeroCopyWithCachedExtents) {
+  const data::PointTable table = testing::MakeUniformPoints(2000, 45);
+  const std::string path = TempStorePath("mapped.ust");
+  StoreWriterOptions options;
+  options.block_rows = 128;
+  ASSERT_TRUE(WritePointStore(table, path, options).ok());
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->mapped());
+  auto view = reader->MappedTable();
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->is_view());
+  EXPECT_EQ(view->size(), table.size());
+  auto owned = reader->Materialize();
+  ASSERT_TRUE(owned.ok());
+  // Cached extents (zone-map union) must be bit-exact with the O(n) scan.
+  const auto view_bounds = view->Bounds();
+  const auto owned_bounds = owned->Bounds();
+  EXPECT_EQ(view_bounds.min_x, owned_bounds.min_x);
+  EXPECT_EQ(view_bounds.max_x, owned_bounds.max_x);
+  EXPECT_EQ(view_bounds.min_y, owned_bounds.min_y);
+  EXPECT_EQ(view_bounds.max_y, owned_bounds.max_y);
+  EXPECT_EQ(view->TimeRange(), owned->TimeRange());
+  // And the mapped rows themselves are identical.
+  for (std::size_t i = 0; i < owned->size(); i += 97) {
+    EXPECT_EQ(view->x(i), owned->x(i));
+    EXPECT_EQ(view->t(i), owned->t(i));
+    EXPECT_EQ(view->attribute(i, 0), owned->attribute(i, 0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreReaderTest, PreadModeServesBlocksWithoutMapping) {
+  const data::PointTable table = testing::MakeUniformPoints(1500, 46);
+  const std::string path = TempStorePath("pread.ust");
+  StoreWriterOptions options;
+  options.block_rows = 200;
+  ASSERT_TRUE(WritePointStore(table, path, options).ok());
+  StoreReaderOptions read_options;
+  read_options.use_mmap = false;
+  auto reader = StoreReader::Open(path, read_options);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->mapped());
+  EXPECT_FALSE(reader->MappedTable().ok());
+  auto copy = reader->Materialize();
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(SortedRows(*copy), SortedRows(table));
+  EXPECT_FALSE(reader->ReadBlock(reader->block_count()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(StoreReaderTest, EmptyStoreRoundTrips) {
+  const std::string path = TempStorePath("empty.ust");
+  data::PointTable empty{data::Schema(std::vector<std::string>{"v"})};
+  ASSERT_TRUE(WritePointStore(empty, path).ok());
+  auto reader = StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->row_count(), 0u);
+  EXPECT_EQ(reader->block_count(), 0u);
+  auto view = reader->MappedTable();
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->size(), 0u);
+  std::remove(path.c_str());
+}
+
+class BlockCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempStorePath("cache.ust");
+    const data::PointTable table = testing::MakeUniformPoints(1000, 47);
+    StoreWriterOptions options;
+    options.block_rows = 100;  // 10 blocks
+    ASSERT_TRUE(WritePointStore(table, path_, options).ok());
+    StoreReaderOptions read_options;
+    read_options.use_mmap = false;
+    auto reader = StoreReader::Open(path_, read_options);
+    ASSERT_TRUE(reader.ok());
+    reader_ = std::make_unique<StoreReader>(std::move(*reader));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  std::unique_ptr<StoreReader> reader_;
+};
+
+TEST_F(BlockCacheTest, HitsMissesAndEviction) {
+  BlockCacheOptions options;
+  options.capacity_blocks = 2;
+  BlockCache cache(reader_.get(), options);
+  { auto p = cache.Pin(0); ASSERT_TRUE(p.ok()); }
+  { auto p = cache.Pin(1); ASSERT_TRUE(p.ok()); }
+  { auto p = cache.Pin(0); ASSERT_TRUE(p.ok()); }  // hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  { auto p = cache.Pin(2); ASSERT_TRUE(p.ok()); }  // evicts LRU (block 1)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.resident_blocks(), 2u);
+  { auto p = cache.Pin(0); ASSERT_TRUE(p.ok()); }  // 0 was MRU: still a hit
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().blocks_read, cache.stats().misses);
+}
+
+TEST_F(BlockCacheTest, PinnedBlocksSurviveOverCapacity) {
+  BlockCacheOptions options;
+  options.capacity_blocks = 1;
+  BlockCache cache(reader_.get(), options);
+  auto p0_or = cache.Pin(0);
+  ASSERT_TRUE(p0_or.ok());
+  auto p1_or = cache.Pin(1);
+  ASSERT_TRUE(p1_or.ok());
+  BlockCache::PinnedBlock p0 = std::move(*p0_or);
+  BlockCache::PinnedBlock p1 = std::move(*p1_or);
+  // Both pinned: nothing evictable even though capacity is 1.
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.resident_blocks(), 2u);
+  const float x0 = p0->xs[0];
+  p0 = BlockCache::PinnedBlock();
+  p1 = BlockCache::PinnedBlock();
+  // Unpinning shrinks back to capacity.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.resident_blocks(), 1u);
+  auto again = cache.Pin(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->xs[0], x0);
+}
+
+TEST_F(BlockCacheTest, ConcurrentPinsAreCoherent) {
+  BlockCacheOptions options;
+  options.capacity_blocks = 3;  // smaller than the working set: churn
+  BlockCache cache(reader_.get(), options);
+  const std::size_t blocks = reader_->block_count();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      for (int i = 0; i < 200; ++i) {
+        const auto b = static_cast<std::size_t>(
+            rng.NextInt(0, static_cast<int>(blocks) - 1));
+        auto pinned = cache.Pin(b);
+        if (!pinned.ok()) {
+          ++failures;
+          continue;
+        }
+        const StoreBlock& block = **pinned;
+        if (block.row_begin != b * 100 || block.row_count() == 0) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const BlockCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 200u);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST_F(BlockCacheTest, CursorPrunesAndVisitsAscending) {
+  BlockCache cache(reader_.get());
+  // A window covering a corner of the (Morton-clustered) space: some blocks
+  // must be pruned, and no matching row may be lost.
+  core::FilterSpec filter;
+  filter.spatial_window = geometry::BoundingBox(0.0, 0.0, 25.0, 25.0);
+  BlockCursor cursor(*reader_, cache, filter);
+  EXPECT_EQ(cursor.blocks_total(), reader_->block_count());
+  EXPECT_GT(cursor.blocks_pruned(), 0u);
+
+  std::uint64_t visited_rows = 0;
+  std::uint64_t matches_in_visited = 0;
+  std::uint64_t last_row_begin = 0;
+  bool first = true;
+  for (; !cursor.Done(); cursor.Advance()) {
+    auto pinned = cursor.Pin();
+    ASSERT_TRUE(pinned.ok());
+    const StoreBlock& block = **pinned;
+    if (!first) EXPECT_GT(block.row_begin, last_row_begin);
+    first = false;
+    last_row_begin = block.row_begin;
+    visited_rows += block.row_count();
+    for (std::size_t i = 0; i < block.row_count(); ++i) {
+      if (block.xs[i] >= 0.0f && block.xs[i] <= 25.0f &&
+          block.ys[i] >= 0.0f && block.ys[i] <= 25.0f) {
+        ++matches_in_visited;
+      }
+    }
+  }
+  // Oracle: count matches over the full table; pruning must not lose any.
+  auto all = reader_->Materialize();
+  ASSERT_TRUE(all.ok());
+  std::uint64_t matches_total = 0;
+  for (std::size_t i = 0; i < all->size(); ++i) {
+    if (all->x(i) >= 0.0f && all->x(i) <= 25.0f && all->y(i) >= 0.0f &&
+        all->y(i) <= 25.0f) {
+      ++matches_total;
+    }
+  }
+  EXPECT_EQ(matches_in_visited, matches_total);
+  EXPECT_LT(visited_rows, reader_->row_count());
+}
+
+}  // namespace
+}  // namespace urbane::store

@@ -1,0 +1,95 @@
+// AtomicFileWriter's crash-safety contract: a reader can only ever observe
+// the old complete file or the new complete file — never a partial write,
+// never a stray temp file after abandonment.
+#include "util/file_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/csv.h"
+
+namespace urbane {
+namespace {
+
+bool FileExists(const std::string& path) {
+  return FileSizeBytes(path).ok();
+}
+
+TEST(FileUtilTest, FileSizeBytesReportsSizeAndMissingFails) {
+  const std::string path = ::testing::TempDir() + "/size_probe.bin";
+  ASSERT_TRUE(WriteStringToFile("hello", path).ok());
+  auto size = FileSizeBytes(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(FileSizeBytes(path).ok());
+}
+
+TEST(AtomicFileWriterTest, CommitPublishesAllBytesAtOnce) {
+  const std::string path = ::testing::TempDir() + "/atomic_commit.bin";
+  auto writer = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Write("abc", 3).ok());
+  // Until Commit, the final path must not exist: readers see nothing.
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  ASSERT_TRUE(writer->Write("def", 3).ok());
+  EXPECT_EQ(writer->offset(), 6u);
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "abcdef");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, AbandonedWriterLeavesOldFileIntact) {
+  const std::string path = ::testing::TempDir() + "/atomic_abandon.bin";
+  ASSERT_TRUE(WriteStringToFile("old complete contents", path).ok());
+  {
+    auto writer = AtomicFileWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Write("half-writ", 9).ok());
+    // Destroyed without Commit: an interrupted save.
+  }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "old complete contents");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, CommitReplacesExistingFileAtomically) {
+  const std::string path = ::testing::TempDir() + "/atomic_replace.bin";
+  ASSERT_TRUE(WriteStringToFile("version one", path).ok());
+  auto writer = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Write("version two", 11).ok());
+  // The old file stays readable right up to the rename.
+  auto before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(*before, "version one");
+  ASSERT_TRUE(writer->Commit().ok());
+  auto after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, "version two");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, OpenTruncatesStaleTempFromEarlierCrash) {
+  const std::string path = ::testing::TempDir() + "/atomic_stale.bin";
+  ASSERT_TRUE(WriteStringToFile("stale temp junk", path + ".tmp").ok());
+  auto writer = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Write("x", 1).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "x");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace urbane

@@ -12,7 +12,10 @@
 #   * the telemetry pipeline suites (event-journal MPSC ring producers vs
 #     drainer, slow-query recorder, exporter socket round-trip),
 #   * the query-server suites (concurrent HTTP round trips, admission
-#     control, graceful drain, per-request deadlines) and the net substrate.
+#     control, graceful drain, per-request deadlines) and the net substrate,
+#   * the block-store suites (`store` label): the BlockCache pin/evict/
+#     load-coalescing paths under concurrent readers, plus the corrupt-file
+#     corpus so the hardened I/O layer is swept by the sanitizer too.
 # Any data race aborts the run: TSAN_OPTIONS makes warnings fatal.
 #
 # `--fast` instead builds a plain (unsanitized) tree and runs only the
@@ -48,7 +51,7 @@ if [[ "${MODE}" == "fast" ]]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
     --target util_test geometry_test raster_test simd_test index_test \
-             data_test obs_test obs_pipeline_test net_test
+             data_test obs_test obs_pipeline_test net_test store_test
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
   SIMD_LEVELS="off sse2"
   if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
@@ -69,12 +72,13 @@ cmake -B "${BUILD_DIR}" -S . \
   -DURBANE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-  --target core_test obs_test obs_pipeline_test net_test server_test
+  --target core_test obs_test obs_pipeline_test net_test server_test \
+           store_test
 
 URBANE_SIMD=off \
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism|EventJournal|SlowQuery|TelemetryExporter|QueryServer|QueryControl|Socket|HttpRequestParser' \
+  -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism|EventJournal|SlowQuery|TelemetryExporter|QueryServer|QueryControl|Socket|HttpRequestParser|BlockCache|StoreCorruption|StoreTruncation' \
   "$@"
 
 echo "tsan check OK"
