@@ -1,15 +1,26 @@
-// Server load — closed-loop and overload benchmarks for the HTTP/JSON
-// query server (src/server). C client threads each run their own
-// connect → POST /v1/query → read-response loop against one server; the
-// table reports per-concurrency throughput and client-observed latency
-// percentiles (p50/p95/p99), plus an overload row demonstrating 429 load
-// shedding with a deliberately tiny admission queue. Client latencies are
-// also recorded into the `server.client.wall_seconds` histogram so
+// Server load — closed-loop, overload, and shard-scaling benchmarks for
+// the HTTP/JSON query server (src/server). C client threads each run their
+// own connect → POST /v1/query → read-response loop against one server.
+//
+// Tables:
+//   server_load        per-concurrency throughput + client latency
+//                      percentiles, and an overload row demonstrating 429
+//                      shedding with a deliberately tiny admission queue.
+//   server_load_shards closed-loop throughput with the backend engines
+//                      fanned out over M shards (scatter-gather layer,
+//                      src/shard) — the near-linear-QPS axis. `--shards M`
+//                      pins the sweep to one fan-out.
+//
+// Latencies live in a per-phase util::LatencyRecorder: each scenario
+// summarizes and then Reset()s, so one phase's tail can never bleed into
+// the next phase's p99 (the bug class tests/util/latency_test.cc pins).
+// Client latencies also feed the `server.client.wall_seconds` histogram so
 // bench_report's trajectory carries them alongside the server-side
 // `server.request.wall_seconds`.
-#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +35,7 @@
 #include "server/query_server.h"
 #include "urbane/dataset_manager.h"
 #include "urbane/server_backend.h"
+#include "util/latency.h"
 #include "util/timer.h"
 
 namespace {
@@ -31,7 +43,7 @@ namespace {
 using namespace urbane;
 
 struct ClientStats {
-  std::vector<double> latencies_ms;
+  LatencyRecorder latencies_ms;
   std::uint64_t ok = 0;
   std::uint64_t overloaded = 0;  // 429
   std::uint64_t failed = 0;      // anything else
@@ -62,6 +74,10 @@ int RunOnce(std::uint16_t port, const std::string& request) {
 ClientStats RunClosedLoop(std::uint16_t port, int concurrency,
                           int requests_per_client, const std::string& sql) {
   const std::string request = PostQueryRequest(sql);
+  // One stats block (and so one latency recorder) per client thread, then
+  // one fold into a per-PHASE total: every call to RunClosedLoop starts
+  // from empty recorders, which is what keeps scenario percentiles
+  // independent.
   std::vector<ClientStats> per_client(concurrency);
   std::vector<std::thread> clients;
   clients.reserve(concurrency);
@@ -74,7 +90,7 @@ ClientStats RunClosedLoop(std::uint16_t port, int concurrency,
         const double ms = timer.ElapsedMillis();
         if (status == 200) {
           ++stats.ok;
-          stats.latencies_ms.push_back(ms);
+          stats.latencies_ms.Record(ms);
         } else if (status == 429) {
           ++stats.overloaded;
         } else {
@@ -89,30 +105,59 @@ ClientStats RunClosedLoop(std::uint16_t port, int concurrency,
     total.ok += stats.ok;
     total.overloaded += stats.overloaded;
     total.failed += stats.failed;
-    total.latencies_ms.insert(total.latencies_ms.end(),
-                              stats.latencies_ms.begin(),
-                              stats.latencies_ms.end());
+    total.latencies_ms.Merge(stats.latencies_ms);
   }
   return total;
 }
 
-double Percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+// Shared row shape for both tables' closed-loop scenarios; `trailing`
+// appends table-specific columns (the shard table's fan-out).
+void AddLoadRow(bench::ResultTable& table, const std::string& scenario,
+                int clients, const ClientStats& stats, double elapsed,
+                std::vector<std::string> trailing = {}) {
+  const LatencySummary lat = stats.latencies_ms.Summarize();
+  const std::uint64_t total = stats.ok + stats.overloaded + stats.failed;
+  std::vector<std::string> row = {
+      scenario, bench::ResultTable::Cell("%d", clients),
+      bench::ResultTable::Cell("%llu", (unsigned long long)total),
+      bench::ResultTable::Cell("%llu", (unsigned long long)stats.ok),
+      bench::ResultTable::Cell("%llu", (unsigned long long)stats.overloaded),
+      bench::ResultTable::Cell("%llu", (unsigned long long)stats.failed),
+      bench::ResultTable::Cell("%.0f",
+                               elapsed > 0 ? stats.ok / elapsed : 0.0),
+      bench::ResultTable::Cell("%.2f", lat.p50),
+      bench::ResultTable::Cell("%.2f", lat.p95),
+      bench::ResultTable::Cell("%.2f", lat.p99)};
+  for (std::string& cell : trailing) row.push_back(std::move(cell));
+  table.AddRow(std::move(row));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --shards M pins the shard sweep to a single fan-out; default sweeps
+  // {1, 2, 4, 8}.
+  std::vector<std::size_t> shard_sweep = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      const long m = std::atol(argv[++i]);
+      if (m < 1) {
+        std::fprintf(stderr, "--shards wants a positive integer\n");
+        return 1;
+      }
+      shard_sweep = {static_cast<std::size_t>(m)};
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards M]\n", argv[0]);
+      return 1;
+    }
+  }
+
   bench::PrintHeader(
       "server_load",
       "HTTP/JSON query server under closed-loop load: C client threads x "
-      "M requests each, fresh connection per request; plus an overload "
-      "scenario (queue 2) demonstrating 429 shedding.");
+      "M requests each, fresh connection per request; an overload scenario "
+      "(queue 2) demonstrating 429 shedding; and a shard-scaling sweep "
+      "with the engines fanned out over --shards M.");
   obs::SetMetricsEnabled(true);
 
   app::DatasetManager manager;
@@ -158,33 +203,15 @@ int main() {
     RunOnce(server.port(), PostQueryRequest(sql));
 
     WallTimer wall;
-    ClientStats stats =
+    const ClientStats stats =
         RunClosedLoop(server.port(), concurrency, requests_per_client, sql);
     const double elapsed = wall.ElapsedSeconds();
     server.Stop();
 
-    for (const double ms : stats.latencies_ms) {
+    for (const double ms : stats.latencies_ms.samples()) {
       client_hist.Observe(ms / 1e3);
     }
-    std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
-    const std::uint64_t total = stats.ok + stats.overloaded + stats.failed;
-    table.AddRow({"closed_loop", bench::ResultTable::Cell("%d", concurrency),
-                  bench::ResultTable::Cell("%llu",
-                                           (unsigned long long)total),
-                  bench::ResultTable::Cell("%llu",
-                                           (unsigned long long)stats.ok),
-                  bench::ResultTable::Cell(
-                      "%llu", (unsigned long long)stats.overloaded),
-                  bench::ResultTable::Cell("%llu",
-                                           (unsigned long long)stats.failed),
-                  bench::ResultTable::Cell(
-                      "%.0f", elapsed > 0 ? stats.ok / elapsed : 0.0),
-                  bench::ResultTable::Cell(
-                      "%.2f", Percentile(stats.latencies_ms, 0.50)),
-                  bench::ResultTable::Cell(
-                      "%.2f", Percentile(stats.latencies_ms, 0.95)),
-                  bench::ResultTable::Cell(
-                      "%.2f", Percentile(stats.latencies_ms, 0.99))});
+    AddLoadRow(table, "closed_loop", concurrency, stats, elapsed);
   }
 
   // Overload: one slow worker, a queue of 2, and a 16-client burst — most
@@ -200,29 +227,43 @@ int main() {
     }
     RunOnce(server.port(), PostQueryRequest(sql));
     WallTimer wall;
-    ClientStats stats = RunClosedLoop(server.port(), 16, 8, sql);
+    const ClientStats stats = RunClosedLoop(server.port(), 16, 8, sql);
     const double elapsed = wall.ElapsedSeconds();
     server.Stop();
-    std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
-    const std::uint64_t total = stats.ok + stats.overloaded + stats.failed;
-    table.AddRow({"overload_q2", "16",
-                  bench::ResultTable::Cell("%llu",
-                                           (unsigned long long)total),
-                  bench::ResultTable::Cell("%llu",
-                                           (unsigned long long)stats.ok),
-                  bench::ResultTable::Cell(
-                      "%llu", (unsigned long long)stats.overloaded),
-                  bench::ResultTable::Cell("%llu",
-                                           (unsigned long long)stats.failed),
-                  bench::ResultTable::Cell(
-                      "%.0f", elapsed > 0 ? stats.ok / elapsed : 0.0),
-                  bench::ResultTable::Cell(
-                      "%.2f", Percentile(stats.latencies_ms, 0.50)),
-                  bench::ResultTable::Cell(
-                      "%.2f", Percentile(stats.latencies_ms, 0.95)),
-                  bench::ResultTable::Cell(
-                      "%.2f", Percentile(stats.latencies_ms, 0.99))});
+    AddLoadRow(table, "overload_q2", 16, stats, elapsed);
   }
 
-  return table.Finish() ? 0 : 1;
+  const bool load_ok = table.Finish();
+
+  // Shard scaling: same dataset, same SQL, 8 closed-loop clients, with the
+  // backend's engines fanned out over M shards (scatter on the shared
+  // pool, merge per shard/shard_merge.h). Near-linear rps growth across
+  // this table is the tentpole's throughput claim; correctness is pinned
+  // separately by the shard conformance suite (bit-identical responses).
+  bench::ResultTable shard_table(
+      "server_load_shards",
+      {"scenario", "clients", "requests", "ok", "throttled_429", "failed",
+       "rps", "p50_ms", "p95_ms", "p99_ms", "shards"});
+  for (const std::size_t shards : shard_sweep) {
+    manager.set_engine_shards(shards);
+    server::QueryServerOptions options;
+    options.worker_threads = 4;
+    options.max_queue_depth = 64;
+    server::QueryServer server(&backend, options);
+    if (const Status status = server.Start(); !status.ok()) {
+      std::fprintf(stderr, "server: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    RunOnce(server.port(), PostQueryRequest(sql));
+    WallTimer wall;
+    const ClientStats stats =
+        RunClosedLoop(server.port(), 8, requests_per_client, sql);
+    const double elapsed = wall.ElapsedSeconds();
+    server.Stop();
+    AddLoadRow(shard_table, "sharded_closed_loop", 8, stats, elapsed,
+               {bench::ResultTable::Cell("%zu", shards)});
+  }
+  manager.set_engine_shards(1);
+
+  return (load_ok && shard_table.Finish()) ? 0 : 1;
 }

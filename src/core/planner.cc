@@ -112,13 +112,14 @@ QueryPlan PlanQuery(const WorkloadProfile& profile,
                      plan.method == ExecutionMethod::kAccurateRaster)
                         ? resolution
                         : 0;
+  plan.shards = std::max<std::size_t>(1, profile.available_shards);
   plan.explanation = StringPrintf(
       "planned %s (costs: scan=%.3g index=%.3g%s raster=%.3g; "
-      "P=%.3g after selectivity=%.2f, R=%zu, V=%zu, res=%d)",
+      "P=%.3g after selectivity=%.2f, R=%zu, V=%zu, res=%d, shards=%zu)",
       ExecutionMethodToString(plan.method), plan.cost_scan, plan.cost_index,
       profile.has_point_index ? "" : " [no index]", plan.cost_raster, p,
       profile.selectivity, profile.num_regions,
-      profile.total_region_vertices, resolution);
+      profile.total_region_vertices, resolution, plan.shards);
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("planner.plans").Add(1);

@@ -39,6 +39,11 @@ struct WorkloadProfile {
   /// Whether a reusable point index / pixel index already exists.
   bool has_point_index = false;
   bool has_pixel_index = false;
+  /// Shard fan-out the engine is configured for (SpatialAggregation::
+  /// set_num_shards); 1 = unsharded. Sharding never changes which method
+  /// is cheapest — every method shards the same way (by row range) — so
+  /// the planner passes it through to the plan rather than weighing it.
+  std::size_t available_shards = 1;
 };
 
 /// The chosen plan plus the reasoning (EXPLAIN-style).
@@ -50,6 +55,9 @@ struct QueryPlan {
   double cost_scan = 0.0;
   double cost_index = 0.0;
   double cost_raster = 0.0;
+  /// Scatter-gather fan-out the chosen method will run with (1 = serial
+  /// engine). Mirrors WorkloadProfile::available_shards.
+  std::size_t shards = 1;
   std::string explanation;
 };
 

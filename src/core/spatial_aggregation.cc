@@ -68,10 +68,52 @@ StatusOr<SpatialAggregationExecutor*> SpatialAggregation::ExecutorLocked(
   return Status::InvalidArgument("unknown execution method");
 }
 
+StatusOr<SpatialAggregationExecutor*> SpatialAggregation::ActiveExecutorLocked(
+    ExecutionMethod method) {
+  const std::size_t n = num_shards_.load(std::memory_order_relaxed);
+  if (n <= 1) {
+    return ExecutorLocked(method);
+  }
+  std::unique_ptr<shard::ShardedExecutor>& slot = sharded_[MethodIndex(method)];
+  if (!slot) {
+    shard::ShardedExecutorOptions options;
+    options.num_shards = n;
+    options.pool = exec_.pool;
+    // Block-aligned shard boundaries over a store-backed table: no block
+    // straddles two shards, so per-shard pruning stays whole-block.
+    if (zone_maps_ != nullptr && !zone_maps_->blocks().empty()) {
+      options.align_rows = zone_maps_->blocks().front().row_count;
+    }
+    URBANE_ASSIGN_OR_RETURN(
+        slot, shard::ShardedExecutor::Create(points_, regions_, method,
+                                             options, raster_options_,
+                                             index_options_));
+  }
+  return static_cast<SpatialAggregationExecutor*>(slot.get());
+}
+
 StatusOr<SpatialAggregationExecutor*> SpatialAggregation::Executor(
     ExecutionMethod method) {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return ExecutorLocked(method);
+  return ActiveExecutorLocked(method);
+}
+
+void SpatialAggregation::set_num_shards(std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  // No query may be in flight on the old fan-out while it changes, and
+  // cached results from the old configuration must never hit again (float
+  // SUM/AVG can differ bitwise across fan-outs) — same discipline as the
+  // ExecuteAuto resolution rebuild.
+  std::scoped_lock lock(method_mu_[0], method_mu_[1], method_mu_[2],
+                        method_mu_[3], state_mu_);
+  if (num_shards_.load(std::memory_order_relaxed) == num_shards) {
+    return;
+  }
+  num_shards_.store(num_shards, std::memory_order_release);
+  for (std::unique_ptr<shard::ShardedExecutor>& slot : sharded_) {
+    slot.reset();
+  }
+  config_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void SpatialAggregation::set_result_cache_capacity(std::size_t capacity) {
@@ -136,7 +178,7 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
   SpatialAggregationExecutor* executor = nullptr;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    URBANE_ASSIGN_OR_RETURN(executor, ExecutorLocked(method));
+    URBANE_ASSIGN_OR_RETURN(executor, ActiveExecutorLocked(method));
   }
   // A query whose deadline expired while queued (e.g. behind the method
   // lock) aborts here instead of paying for a doomed execution. Cache hits
@@ -250,7 +292,10 @@ StatusOr<std::vector<QueryResult>> SpatialAggregation::ExecuteMany(
     query.points = &points_;
     query.regions = &regions_;
   }
-  if (method == ExecutionMethod::kBoundedRaster && queries.size() > 1) {
+  // The shared-splat batch is a single-executor optimization; a sharded
+  // engine answers each query through its scatter-gather path instead.
+  if (method == ExecutionMethod::kBoundedRaster && queries.size() > 1 &&
+      num_shards() <= 1) {
     const bool use_cache = cache_.enabled();
     std::vector<std::optional<QueryResult>> found(queries.size());
     bool batch_ok = false;
@@ -346,6 +391,7 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteAuto(
   profile.world.Extend(regions_.Bounds());
   URBANE_ASSIGN_OR_RETURN(profile.selectivity,
                           EstimateSelectivity(query.filter));
+  profile.available_shards = num_shards();
   QueryPlan plan;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -379,6 +425,8 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteAuto(
     if (plan.resolution > raster_options_.resolution) {
       raster_options_.resolution = plan.resolution;
       raster_.reset();
+      // The sharded wrapper's inner rasters carry the old canvas too.
+      sharded_[MethodIndex(ExecutionMethod::kBoundedRaster)].reset();
       config_epoch_.fetch_add(1, std::memory_order_acq_rel);
     }
   }

@@ -16,6 +16,7 @@
 #include "core/raster_join.h"
 #include "core/scan_join.h"
 #include "core/zone_map.h"
+#include "shard/sharded_executor.h"
 
 namespace urbane::core {
 
@@ -89,6 +90,19 @@ class SpatialAggregation {
   /// in particular a coarser ε — can never hit again. Disabled by default
   /// (capacity 0) so latency measurements see real executor cost; Urbane's
   /// session layer / the CLI `cache` command turn it on.
+  /// Scatter-gather fan-out: with `num_shards > 1` every Execute runs as a
+  /// sharded pass — the row space splits into that many contiguous shards
+  /// (block-aligned when zone maps are attached), each shard executes the
+  /// chosen method serially on the shared pool, and the partials merge per
+  /// the shard-merge contract (see shard/shard_merge.h). 0 and 1 both mean
+  /// unsharded. Takes every method mutex (no query can be in flight on the
+  /// old configuration) and bumps the config epoch, so cached results from
+  /// a different fan-out can never hit.
+  void set_num_shards(std::size_t num_shards);
+  std::size_t num_shards() const {
+    return num_shards_.load(std::memory_order_acquire);
+  }
+
   void set_result_cache_capacity(std::size_t capacity);
   void set_result_cache_max_bytes(std::size_t max_bytes);
   QueryCacheStats result_cache_stats() const { return cache_.stats(); }
@@ -144,6 +158,12 @@ class SpatialAggregation {
   /// Requires state_mu_ held.
   StatusOr<SpatialAggregationExecutor*> ExecutorLocked(ExecutionMethod method);
 
+  /// The executor Execute dispatches to: the sharded wrapper when
+  /// `num_shards() > 1`, the plain executor otherwise. Requires state_mu_
+  /// held.
+  StatusOr<SpatialAggregationExecutor*> ActiveExecutorLocked(
+      ExecutionMethod method);
+
   /// The baseline query path (cache probe + executor dispatch), free of
   /// journal/recorder instrumentation. `cache_hit`, when non-null, reports
   /// whether the result came from the cache.
@@ -174,8 +194,13 @@ class SpatialAggregation {
   std::unique_ptr<IndexJoin> index_;
   std::unique_ptr<BoundedRasterJoin> raster_;
   std::unique_ptr<AccurateRasterJoin> accurate_;
+  /// Sharded wrappers, one per method, built lazily like the executors
+  /// above whenever num_shards_ > 1 (each owns its private per-shard inner
+  /// executors — the plain ones above stay untouched).
+  std::array<std::unique_ptr<shard::ShardedExecutor>, kNumMethods> sharded_;
   QueryPlan last_plan_;
 
+  std::atomic<std::size_t> num_shards_{1};
   std::atomic<std::uint64_t> config_epoch_{0};
   QueryCache cache_;
 };

@@ -1,0 +1,99 @@
+#include "shard/shard_merge.h"
+
+#include <cmath>
+
+namespace urbane::shard {
+
+core::AggregateKind ShardExecutionKind(core::AggregateKind requested) {
+  return requested == core::AggregateKind::kAvg ? core::AggregateKind::kSum
+                                                : requested;
+}
+
+StatusOr<core::QueryResult> MergeShardPartials(
+    core::AggregateKind kind,
+    const std::vector<core::QueryResult>& partials) {
+  if (partials.empty()) {
+    return Status::InvalidArgument("shard merge needs at least one partial");
+  }
+  const std::size_t regions = partials.front().size();
+  bool any_bounds = false;
+  for (const core::QueryResult& partial : partials) {
+    if (partial.values.size() != regions ||
+        partial.counts.size() != regions) {
+      return Status::InvalidArgument(
+          "shard partials disagree on region count");
+    }
+    if (!partial.error_bounds.empty() &&
+        partial.error_bounds.size() != regions) {
+      return Status::InvalidArgument(
+          "shard partial carries malformed error bounds");
+    }
+    any_bounds = any_bounds || !partial.error_bounds.empty();
+  }
+
+  core::QueryResult merged;
+  merged.values.assign(regions, 0.0);
+  merged.counts.assign(regions, 0);
+  if (any_bounds) {
+    merged.error_bounds.assign(regions, 0.0);
+  }
+
+  for (std::size_t r = 0; r < regions; ++r) {
+    std::uint64_t count = 0;
+    double additive = 0.0;       // COUNT / SUM / AVG-numerator
+    double extreme = std::nan("");  // MIN / MAX fold, NaN = nothing yet
+    double bound = 0.0;
+    // Always in ascending shard order: the merge is a function of the
+    // partials alone, never of which shard finished first.
+    for (const core::QueryResult& partial : partials) {
+      count += partial.counts[r];
+      const double v = partial.values[r];
+      switch (kind) {
+        case core::AggregateKind::kCount:
+        case core::AggregateKind::kSum:
+        case core::AggregateKind::kAvg:
+          additive += v;
+          break;
+        case core::AggregateKind::kMin:
+          // NaN marks "this shard saw no point in this region"; any
+          // non-NaN partial (including ±inf) participates in the fold.
+          if (!std::isnan(v) && (std::isnan(extreme) || v < extreme)) {
+            extreme = v;
+          }
+          break;
+        case core::AggregateKind::kMax:
+          if (!std::isnan(v) && (std::isnan(extreme) || v > extreme)) {
+            extreme = v;
+          }
+          break;
+      }
+      if (!partial.error_bounds.empty()) {
+        bound += partial.error_bounds[r];
+      }
+    }
+    switch (kind) {
+      case core::AggregateKind::kCount:
+      case core::AggregateKind::kSum:
+        merged.values[r] = additive;
+        break;
+      case core::AggregateKind::kAvg:
+        // (sum, count) pairs, finalized once — identical structure to
+        // Accumulator::Finalize, never an average of averages.
+        merged.values[r] =
+            count == 0 ? std::nan("")
+                       : additive / static_cast<double>(count);
+        break;
+      case core::AggregateKind::kMin:
+      case core::AggregateKind::kMax:
+        merged.values[r] = extreme;
+        break;
+    }
+    merged.counts[r] = count;
+    if (any_bounds) {
+      merged.error_bounds[r] = bound;
+    }
+  }
+  return merged;
+}
+
+}  // namespace urbane::shard

@@ -1,0 +1,52 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+
+namespace urbane::shard {
+
+ShardPlan MakeShardPlan(std::uint64_t total_rows, std::size_t num_shards,
+                        std::uint64_t align_rows) {
+  if (num_shards == 0) num_shards = 1;
+  ShardPlan plan;
+  plan.shards.reserve(num_shards);
+  const std::uint64_t m = static_cast<std::uint64_t>(num_shards);
+  std::uint64_t prev_end = 0;
+  for (std::uint64_t s = 0; s < m; ++s) {
+    // Ideal boundary of shard s's end, before alignment: ceil-balanced so
+    // shard sizes differ by at most one row.
+    std::uint64_t end = s + 1 == m
+                            ? total_rows
+                            : (total_rows * (s + 1)) / m;
+    if (align_rows > 0 && s + 1 < m) {
+      end = (end / align_rows) * align_rows;
+    }
+    // Boundaries must stay monotone after snapping; a shard squeezed to
+    // nothing stays in the plan as an empty range.
+    end = std::max(end, prev_end);
+    end = std::min(end, total_rows);
+    plan.shards.push_back(core::RowRange{prev_end, end});
+    prev_end = end;
+  }
+  return plan;
+}
+
+core::RowRangeSet IntersectCandidates(const core::RowRangeSet* candidates,
+                                      core::RowRange shard) {
+  std::vector<core::RowRange> out;
+  if (candidates == nullptr) {
+    if (shard.begin < shard.end) {
+      out.push_back(shard);
+    }
+    return core::RowRangeSet(std::move(out));
+  }
+  for (const core::RowRange& r : candidates->ranges()) {
+    const std::uint64_t lo = std::max(r.begin, shard.begin);
+    const std::uint64_t hi = std::min(r.end, shard.end);
+    if (lo < hi) {
+      out.push_back(core::RowRange{lo, hi});
+    }
+  }
+  return core::RowRangeSet(std::move(out));
+}
+
+}  // namespace urbane::shard

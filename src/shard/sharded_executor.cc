@@ -1,0 +1,255 @@
+#include "shard/sharded_executor.h"
+
+#include <atomic>
+#include <utility>
+
+#include "core/observe.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "shard/shard_merge.h"
+#include "util/timer.h"
+
+namespace urbane::shard {
+
+namespace {
+
+/// The per-shard inner context: always serial. Shard-level concurrency is
+/// the only parallelism in a sharded pass, so the shard partials — and
+/// therefore the merged result — depend on the shard plan alone, never on
+/// how many workers the pool happens to have.
+core::ExecutionContext SerialContext() { return core::ExecutionContext(); }
+
+Status ValidateExplicitShards(const std::vector<core::RowRange>& shards,
+                              std::uint64_t rows) {
+  std::uint64_t expect = 0;
+  for (const core::RowRange& s : shards) {
+    if (s.begin != expect || s.end < s.begin) {
+      return Status::InvalidArgument(
+          "explicit shards must tile the row space in ascending order");
+    }
+    expect = s.end;
+  }
+  if (expect != rows) {
+    return Status::InvalidArgument("explicit shards do not cover all rows");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedExecutor>> ShardedExecutor::Create(
+    const data::PointTable& points, const data::RegionSet& regions,
+    core::ExecutionMethod method, const ShardedExecutorOptions& options,
+    const core::RasterJoinOptions& raster_options,
+    const core::IndexJoinOptions& index_options) {
+  std::size_t m = options.num_shards == 0 ? 1 : options.num_shards;
+  if (!options.explicit_shards.empty()) {
+    m = options.explicit_shards.size();
+  }
+
+  WallTimer timer;
+  std::unique_ptr<ShardedExecutor> sharded(
+      new ShardedExecutor(points, regions, method, options));
+  sharded->shards_.reserve(m);
+  for (std::size_t s = 0; s < m; ++s) {
+    switch (method) {
+      case core::ExecutionMethod::kScan: {
+        auto inner = core::ScanJoin::Create(points, regions, SerialContext());
+        if (!inner.ok()) return inner.status();
+        sharded->shards_.push_back(std::move(inner).value());
+        break;
+      }
+      case core::ExecutionMethod::kIndexJoin: {
+        core::IndexJoinOptions opts = index_options;
+        opts.exec = SerialContext();
+        auto inner = core::IndexJoin::Create(points, regions, opts);
+        if (!inner.ok()) return inner.status();
+        sharded->shards_.push_back(std::move(inner).value());
+        break;
+      }
+      case core::ExecutionMethod::kBoundedRaster: {
+        core::RasterJoinOptions opts = raster_options;
+        opts.exec = SerialContext();
+        auto inner = core::BoundedRasterJoin::Create(points, regions, opts);
+        if (!inner.ok()) return inner.status();
+        sharded->bounded_.push_back(inner.value().get());
+        sharded->shards_.push_back(std::move(inner).value());
+        break;
+      }
+      case core::ExecutionMethod::kAccurateRaster: {
+        core::RasterJoinOptions opts = raster_options;
+        opts.exec = SerialContext();
+        auto inner = core::AccurateRasterJoin::Create(points, regions, opts);
+        if (!inner.ok()) return inner.status();
+        sharded->shards_.push_back(std::move(inner).value());
+        break;
+      }
+    }
+  }
+  sharded->stats_.build_seconds = timer.ElapsedSeconds();
+  return sharded;
+}
+
+std::string ShardedExecutor::name() const {
+  return "sharded-" + (shards_.empty() ? std::string("?")
+                                       : shards_.front()->name());
+}
+
+bool ShardedExecutor::exact() const {
+  return shards_.empty() ? true : shards_.front()->exact();
+}
+
+StatusOr<core::QueryResult> ShardedExecutor::ExecuteShard(
+    const core::AggregationQuery& query, std::size_t s,
+    const core::RowRangeSet& candidates) {
+  if (options_.fault_injector) {
+    URBANE_RETURN_IF_ERROR(options_.fault_injector(s));
+  }
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
+
+  core::AggregationQuery shard_query = query;
+  shard_query.trace = nullptr;  // spans come from the coordinator
+  shard_query.candidate_ranges = &candidates;
+  shard_query.aggregate.kind = ShardExecutionKind(query.aggregate.kind);
+
+  // Bounded-raster AVG with error bounds: the merged AVG bound must be the
+  // boundary point count (aggregate.h), but a SUM pass bounds Σ|attr|.
+  // Batch SUM and COUNT through one splat+sweep and graft the COUNT pass's
+  // bounds (and counts) onto the SUM partial.
+  if (query.aggregate.kind == core::AggregateKind::kAvg &&
+      method_ == core::ExecutionMethod::kBoundedRaster) {
+    core::AggregationQuery count_query = shard_query;
+    count_query.aggregate.kind = core::AggregateKind::kCount;
+    count_query.aggregate.attribute.clear();
+    auto batch = bounded_[s]->ExecuteBatch({shard_query, count_query});
+    if (!batch.ok()) return batch.status();
+    std::vector<core::QueryResult>& results = batch.value();
+    core::QueryResult partial = std::move(results[0]);
+    partial.counts = std::move(results[1].counts);
+    partial.error_bounds = std::move(results[1].error_bounds);
+    return partial;
+  }
+  return shards_[s]->Execute(shard_query);
+}
+
+StatusOr<core::QueryResult> ShardedExecutor::Execute(
+    const core::AggregationQuery& query) {
+  URBANE_RETURN_IF_ERROR(query.Validate());
+
+  const std::uint64_t rows = points_.size();
+  ShardPlan plan;
+  if (!options_.explicit_shards.empty()) {
+    URBANE_RETURN_IF_ERROR(
+        ValidateExplicitShards(options_.explicit_shards, rows));
+    plan.shards = options_.explicit_shards;
+  } else {
+    plan = MakeShardPlan(rows, shards_.size(), options_.align_rows);
+  }
+  if (plan.size() != shards_.size()) {
+    return Status::Internal("shard plan size disagrees with executor count");
+  }
+  const std::size_t m = plan.size();
+
+  const double build_seconds = stats_.build_seconds;
+  stats_.Reset();
+  stats_.build_seconds = build_seconds;
+  stats_.threads_used = m;
+
+  obs::TraceSpan exec_span(query.trace, "sharded");
+  if (query.trace != nullptr) {
+    exec_span.Tag("shards", std::to_string(m));
+    exec_span.Tag("method", shards_.empty() ? "?" : shards_.front()->name());
+  }
+  const bool metrics = obs::MetricsEnabled();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (metrics) {
+    registry.GetCounter("shard.queries").Add(1);
+    registry.GetCounter("shard.fanout").Add(m);
+    registry.GetGauge("shard.inflight").Add(static_cast<double>(m));
+  }
+  WallTimer timer;
+
+  // Candidate sets must outlive the scatter; one slot per shard, fixed
+  // before any task runs.
+  std::vector<core::RowRangeSet> candidates;
+  candidates.reserve(m);
+  std::size_t empty_shards = 0;
+  for (std::size_t s = 0; s < m; ++s) {
+    candidates.push_back(
+        IntersectCandidates(query.candidate_ranges, plan.shards[s]));
+    if (candidates.back().empty()) ++empty_shards;
+  }
+
+  // Scatter. Each task writes ONLY its own slot; the coordinator reads the
+  // slots after Batch::Wait (the pool's completion acts as the fence).
+  // Failure latches are per-slot too, so the first-failing *shard index* —
+  // not the first-failing completion — decides the reported status.
+  std::vector<core::QueryResult> partials(m);
+  std::vector<Status> statuses(m, Status::OK());
+  WallTimer scatter_timer;
+  const bool inline_scatter = options_.serial_scatter || m == 1;
+  auto run_shard = [&](std::size_t s) {
+    StatusOr<core::QueryResult> partial =
+        ExecuteShard(query, s, candidates[s]);
+    if (partial.ok()) {
+      // The hook gates *successful* publishes only: a failed shard has no
+      // partial to hold back, and the fault suite counts hook calls to
+      // prove the healthy shards really did finish before being discarded.
+      if (options_.completion_hook) {
+        options_.completion_hook(s);
+      }
+      partials[s] = std::move(partial).value();
+    } else {
+      statuses[s] = partial.status();
+    }
+  };
+  if (inline_scatter) {
+    for (std::size_t s = 0; s < m; ++s) run_shard(s);
+  } else {
+    ThreadPool* pool =
+        options_.pool != nullptr ? options_.pool : DefaultThreadPool();
+    ThreadPool::Batch batch = pool->CreateBatch();
+    for (std::size_t s = 0; s < m; ++s) {
+      batch.Submit([&run_shard, s] { run_shard(s); });
+    }
+    batch.Wait();
+  }
+  const double scatter_seconds = scatter_timer.ElapsedSeconds();
+  core::TracePass(query.trace, exec_span.id(), "scatter", scatter_seconds);
+
+  if (metrics) {
+    registry.GetGauge("shard.inflight").Add(-static_cast<double>(m));
+    registry.GetCounter("shard.empty_shards").Add(empty_shards);
+  }
+
+  // Gather: any shard failure fails the whole query — no partial merge,
+  // ever. Ties between shards break by shard index for reproducibility.
+  for (std::size_t s = 0; s < m; ++s) {
+    if (!statuses[s].ok()) {
+      if (metrics) registry.GetCounter("shard.failures").Add(1);
+      return statuses[s];
+    }
+    stats_.MergeCounters(shards_[s]->stats());
+  }
+  URBANE_RETURN_IF_ERROR(query.CheckControl());
+
+  WallTimer merge_timer;
+  StatusOr<core::QueryResult> merged =
+      MergeShardPartials(query.aggregate.kind, partials);
+  if (!merged.ok()) {
+    if (metrics) registry.GetCounter("shard.failures").Add(1);
+    return merged.status();
+  }
+  stats_.reduce_seconds = merge_timer.ElapsedSeconds();
+  core::TracePass(query.trace, exec_span.id(), "merge", stats_.reduce_seconds);
+
+  stats_.query_seconds = timer.ElapsedSeconds();
+  if (metrics) {
+    registry.GetHistogram("shard.merge_seconds").Observe(stats_.reduce_seconds);
+  }
+  core::ObserveExecutorStats("sharded", stats_);
+  return merged;
+}
+
+}  // namespace urbane::shard

@@ -1,0 +1,144 @@
+#ifndef URBANE_SHARD_SHARDED_EXECUTOR_H_
+#define URBANE_SHARD_SHARDED_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/accurate_join.h"
+#include "core/execution_context.h"
+#include "core/index_join.h"
+#include "core/planner.h"
+#include "core/query.h"
+#include "core/raster_join.h"
+#include "core/scan_join.h"
+#include "shard/shard_plan.h"
+
+namespace urbane::shard {
+
+/// Configuration of one sharded executor.
+struct ShardedExecutorOptions {
+  /// Shard count M. 0 and 1 both mean "one shard" (still the scatter-gather
+  /// code path, so M=1 is the degenerate conformance case).
+  std::size_t num_shards = 1;
+
+  /// Interior shard boundaries snap down to multiples of this (the store's
+  /// block_rows); 0 = no alignment. See MakeShardPlan.
+  std::uint64_t align_rows = 0;
+
+  /// Pool the shard passes scatter onto. Null uses DefaultThreadPool().
+  /// Pool size changes scheduling only, never results: each shard's pass is
+  /// serial inside, partials land in per-shard slots, and the gather merges
+  /// slots in shard-index order after every shard finished.
+  ThreadPool* pool = nullptr;
+
+  /// When true (or when num_shards == 1) shards run inline on the calling
+  /// thread, in shard order — the fully deterministic schedule the
+  /// conformance suite uses as one endpoint of the interleaving space.
+  bool serial_scatter = false;
+
+  /// Test-only plan override: when non-empty, used instead of
+  /// MakeShardPlan. Ranges must be disjoint, ascending, and tile
+  /// [0, rows) (validated at Execute). Enables skewed / empty /
+  /// single-point shard partitions in the property suite.
+  std::vector<core::RowRange> explicit_shards;
+
+  /// Test-only fault injection: called per shard before it executes; a
+  /// non-OK status makes that shard fail. The whole query must then fail
+  /// with that status — never a partial merge.
+  std::function<Status(std::size_t shard)> fault_injector;
+
+  /// Test-only completion hook: called on the shard's worker thread after
+  /// its partial is computed successfully, before it is published to the
+  /// gather slot (failed shards publish their status without a hook call).
+  /// The adversarial-interleaving harness blocks here to force shard
+  /// completions into hostile orders; the fault suite counts calls to
+  /// prove healthy shards finished and were still discarded.
+  std::function<void(std::size_t shard)> completion_hook;
+};
+
+/// Scatter-gather execution of one query over M spatial/temporal shards.
+///
+/// Scatter: the row space is split by ShardPlan; shard s executes a private
+/// instance of the underlying executor (scan/index/bounded/accurate) with
+/// `candidate_ranges` restricted to its rows ∩ the query's pruned ranges,
+/// serially within the shard, concurrently across shards on the pool.
+/// Gather: partials are published into per-shard slots; after all shards
+/// finish, MergeShardPartials folds the slots in ascending shard index —
+/// canvas-free partial merge (COUNT/SUM additive, AVG by (sum, count),
+/// MIN/MAX by NaN-aware extrema, error bounds additive).
+///
+/// Why private executor instances: executors keep per-query stats and
+/// scratch (render targets, stamp buffers), so one instance serves one
+/// in-flight query. M instances buy shard independence today and are the
+/// process-per-shard seam later (ROADMAP). The build cost (R-tree / grid /
+/// splat order per instance) is paid once at Create and amortized across
+/// queries, exactly like the unsharded executors.
+///
+/// Determinism contract (DESIGN.md §11): for a fixed shard count the result
+/// is reproducible on any pool size and any completion order. COUNT and
+/// MIN/MAX are bit-identical to the unsharded executor at every M; float
+/// SUM/AVG merge per-shard partial sums in shard order, so they are
+/// bit-identical whenever double addition over the data is exact (the
+/// conformance suite constructs such data to pin the merge order) and
+/// within summation-reorder noise otherwise — the same contract
+/// ExecutionContext documents for thread partitioning.
+class ShardedExecutor : public core::SpatialAggregationExecutor {
+ public:
+  /// Builds M per-shard instances of `method`'s executor. The raster/index
+  /// options are taken as configured EXCEPT their ExecutionContext, which
+  /// is forced serial — parallelism lives at the shard level.
+  static StatusOr<std::unique_ptr<ShardedExecutor>> Create(
+      const data::PointTable& points, const data::RegionSet& regions,
+      core::ExecutionMethod method, const ShardedExecutorOptions& options,
+      const core::RasterJoinOptions& raster_options =
+          core::RasterJoinOptions(),
+      const core::IndexJoinOptions& index_options =
+          core::IndexJoinOptions());
+
+  StatusOr<core::QueryResult> Execute(
+      const core::AggregationQuery& query) override;
+
+  std::string name() const override;
+  bool exact() const override;
+  const core::ExecutorStats& stats() const override { return stats_; }
+
+  core::ExecutionMethod method() const { return method_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  ShardedExecutor(const data::PointTable& points,
+                  const data::RegionSet& regions,
+                  core::ExecutionMethod method,
+                  ShardedExecutorOptions options)
+      : points_(points),
+        regions_(regions),
+        method_(method),
+        options_(std::move(options)) {}
+
+  /// Runs shard `s` of `query` (already validated). The partial result
+  /// carries ShardExecutionKind(aggregate); for bounded-raster AVG it is a
+  /// SUM result whose error bounds are COUNT-semantics boundary counts.
+  StatusOr<core::QueryResult> ExecuteShard(
+      const core::AggregationQuery& query, std::size_t s,
+      const core::RowRangeSet& candidates);
+
+  const data::PointTable& points_;
+  const data::RegionSet& regions_;
+  const core::ExecutionMethod method_;
+  const ShardedExecutorOptions options_;
+
+  /// One underlying executor per shard (all built over the full table; the
+  /// per-shard restriction is purely candidate_ranges).
+  std::vector<std::unique_ptr<core::SpatialAggregationExecutor>> shards_;
+  /// Concrete bounded-raster handles (same objects as shards_) for the
+  /// AVG batch path; empty for the other methods.
+  std::vector<core::BoundedRasterJoin*> bounded_;
+
+  core::ExecutorStats stats_;
+};
+
+}  // namespace urbane::shard
+
+#endif  // URBANE_SHARD_SHARDED_EXECUTOR_H_

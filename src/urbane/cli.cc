@@ -70,8 +70,8 @@ const char* CommandInterpreter::Help() {
          "  stats [on|off|reset|json]\n"
          "  trace on|off|dump [json]\n"
          "  serve [[start] [port] [sink <path>]|stop|status]\n"
-         "  server [[start] [port] [workers N] [queue N] [timeout MS]|"
-         "stop|status]\n"
+         "  server [[start] [port] [workers N] [queue N] [timeout MS] "
+         "[shards N]|stop|status]\n"
          "  events [drain|status|on|off|reset]\n"
          "  slowlog [arm [threshold-ms]|arm p99 [multiplier]|disarm|clear|"
          "json]\n"
@@ -672,7 +672,7 @@ Status CommandInterpreter::CmdServer(const std::vector<std::string>& args,
   if (action != "start") {
     return Status::InvalidArgument(
         "usage: server [[start] [port] [workers N] [queue N] "
-        "[timeout MS]|stop|status]");
+        "[timeout MS] [shards N]|stop|status]");
   }
   if (server_ != nullptr && server_->running()) {
     return Status::FailedPrecondition(
@@ -700,6 +700,11 @@ Status CommandInterpreter::CmdServer(const std::vector<std::string>& args,
       options.max_queue_depth = static_cast<int>(value);
     } else if (key == "timeout") {
       options.default_timeout_ms = static_cast<int>(value);
+    } else if (key == "shards") {
+      if (value < 0) {
+        return Status::InvalidArgument("'shards' must be >= 0");
+      }
+      manager_.set_engine_shards(static_cast<std::size_t>(value));
     } else {
       return Status::InvalidArgument("unexpected argument: " + args[i]);
     }
@@ -719,7 +724,11 @@ Status CommandInterpreter::CmdServer(const std::vector<std::string>& args,
   }
   out << "query server listening on 127.0.0.1:" << server_->port() << " ("
       << options.worker_threads << " workers, queue "
-      << options.max_queue_depth << "; try: curl -d '{\"sql\": "
+      << options.max_queue_depth;
+  if (manager_.engine_shards() > 1) {
+    out << ", " << manager_.engine_shards() << " shards";
+  }
+  out << "; try: curl -d '{\"sql\": "
       << "\"SELECT COUNT(*) FROM taxi, nbhd\"}' http://127.0.0.1:"
       << server_->port() << "/v1/query)\n";
   return Status::OK();

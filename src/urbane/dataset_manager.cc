@@ -158,9 +158,26 @@ StatusOr<core::SpatialAggregation*> DatasetManager::Engine(
   if (store_it != stores_.end()) {
     engine->AttachZoneMaps(&store_it->second->zone_maps());
   }
+  if (engine_shards_ > 1) {
+    engine->set_num_shards(engine_shards_);
+  }
   core::SpatialAggregation* raw = engine.get();
   engines_[key] = std::move(engine);
   return raw;
+}
+
+void DatasetManager::set_engine_shards(std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_shards_ = num_shards;
+  for (auto& [key, engine] : engines_) {
+    engine->set_num_shards(num_shards);
+  }
+}
+
+std::size_t DatasetManager::engine_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_shards_;
 }
 
 StatusOr<const index::TemporalIndex*> DatasetManager::Temporal(

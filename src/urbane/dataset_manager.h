@@ -66,6 +66,12 @@ class DatasetManager {
       const core::RasterJoinOptions& raster_options =
           core::RasterJoinOptions());
 
+  /// Scatter-gather fan-out applied to every engine — existing and future
+  /// (the server's `--shards` flag lands here). See
+  /// SpatialAggregation::set_num_shards for the semantics; 0/1 = unsharded.
+  void set_engine_shards(std::size_t num_shards);
+  std::size_t engine_shards() const;
+
   /// Temporal index of a data set (built on first use).
   StatusOr<const index::TemporalIndex*> Temporal(const std::string& dataset);
 
@@ -93,6 +99,8 @@ class DatasetManager {
       const std::string& name) const;
 
   mutable std::mutex mu_;
+  /// Fan-out stamped onto every engine (see set_engine_shards).
+  std::size_t engine_shards_ = 1;
   /// Open store readers backing store-registered data sets (the PointTable
   /// in points_ is a view into the reader's mapping, so the reader must
   /// stay alive; keyed by data set name).

@@ -1,0 +1,36 @@
+#include "util/latency.h"
+
+#include <algorithm>
+
+namespace urbane {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+LatencySummary LatencyRecorder::Summarize() const {
+  LatencySummary summary;
+  if (samples_.empty()) return summary;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  summary.count = sorted.size();
+  summary.min = sorted.front();
+  summary.max = sorted.back();
+  double total = 0.0;
+  for (const double v : sorted) total += v;
+  summary.mean = total / static_cast<double>(sorted.size());
+  summary.p50 = Percentile(sorted, 0.50);
+  summary.p95 = Percentile(sorted, 0.95);
+  summary.p99 = Percentile(sorted, 0.99);
+  return summary;
+}
+
+}  // namespace urbane

@@ -1,0 +1,63 @@
+#ifndef URBANE_UTIL_LATENCY_H_
+#define URBANE_UTIL_LATENCY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace urbane {
+
+/// Percentile summary of one latency phase. All values carry whatever unit
+/// was Record()ed (the benches use milliseconds).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Phase-scoped latency samples for benchmark loops.
+///
+/// Grew out of a bench_server_load bug class: the closed-loop driver kept
+/// one latency vector across scenarios and summarized a sorted *copy*, so
+/// a missing clear between phases silently blended a previous phase's
+/// tail into the next phase's p99 — plausible numbers, wrong attribution.
+/// This type makes the phase boundary explicit: Record() appends,
+/// Summarize() never mutates (samples stay in arrival order), and Reset()
+/// is the one and only way samples leave the recorder.
+class LatencyRecorder {
+ public:
+  void Record(double value) { samples_.push_back(value); }
+
+  /// Merges another recorder's samples (per-client recorders folding into
+  /// a per-phase total). The source is left untouched.
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  /// Starts the next phase empty. Phase isolation is the point: a
+  /// summarize-then-reset pair is what the regression test pins.
+  void Reset() { samples_.clear(); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Samples in arrival order — Summarize() must never reorder these.
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Percentiles over a sorted copy; the recorder itself is not mutated.
+  /// Linear interpolation between order statistics; an empty phase
+  /// summarizes to all zeros.
+  LatencySummary Summarize() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace urbane
+
+#endif  // URBANE_UTIL_LATENCY_H_

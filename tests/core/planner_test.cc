@@ -106,6 +106,30 @@ TEST(PlannerTest, SelectivityReducesRasterCost) {
   EXPECT_LT(plan_filtered.cost_scan, plan_all.cost_scan);
 }
 
+TEST(PlannerTest, ShardFanOutPassesThroughWithoutChangingTheChoice) {
+  // Sharding partitions whatever method wins; it must never change WHICH
+  // method wins (every shard pays the same per-row cost model). The plan
+  // just carries the fan-out so EXPLAIN and the facade agree.
+  WorkloadProfile unsharded = BaseProfile();
+  WorkloadProfile sharded = BaseProfile();
+  sharded.available_shards = 8;
+  for (const bool exact : {true, false}) {
+    const QueryPlan plain = PlanQuery(unsharded, {.exact = exact});
+    const QueryPlan fanned = PlanQuery(sharded, {.exact = exact});
+    EXPECT_EQ(plain.method, fanned.method);
+    EXPECT_EQ(plain.shards, 1u);
+    EXPECT_EQ(fanned.shards, 8u);
+    EXPECT_NE(fanned.explanation.find("shards=8"), std::string::npos)
+        << fanned.explanation;
+  }
+}
+
+TEST(PlannerTest, ZeroAvailableShardsNormalizesToOne) {
+  WorkloadProfile profile = BaseProfile();
+  profile.available_shards = 0;
+  EXPECT_EQ(PlanQuery(profile, {.exact = true}).shards, 1u);
+}
+
 TEST(ExecutionMethodToStringTest, Names) {
   EXPECT_STREQ(ExecutionMethodToString(ExecutionMethod::kScan), "scan");
   EXPECT_STREQ(ExecutionMethodToString(ExecutionMethod::kIndexJoin), "index");

@@ -17,7 +17,10 @@ class TruncationSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TruncationSweepTest, TruncatedPointSnapshotRejected) {
   const PointTable table = testing::MakeUniformPoints(2000, 77);
-  const std::string path = ::testing::TempDir() + "/trunc_sweep.upt";
+  // Parameter-unique filename: ctest runs each instance as its own process
+  // against the same TempDir, so a shared name races under -j.
+  const std::string path = ::testing::TempDir() + "/trunc_sweep_" +
+                           std::to_string(GetParam()) + ".upt";
   ASSERT_TRUE(WritePointTableBinary(table, path).ok());
   const auto content = ReadFileToString(path);
   ASSERT_TRUE(content.ok());
@@ -33,7 +36,8 @@ TEST_P(TruncationSweepTest, TruncatedPointSnapshotRejected) {
 
 TEST_P(TruncationSweepTest, TruncatedRegionSnapshotRejected) {
   const RegionSet regions = testing::MakeTessellationRegions(4, 78);
-  const std::string path = ::testing::TempDir() + "/trunc_sweep.urg";
+  const std::string path = ::testing::TempDir() + "/trunc_sweep_" +
+                           std::to_string(GetParam()) + ".urg";
   ASSERT_TRUE(WriteRegionSetBinary(regions, path).ok());
   const auto content = ReadFileToString(path);
   ASSERT_TRUE(content.ok());
@@ -107,7 +111,9 @@ TEST(CorruptionTest, OversizedCountErrorNamesByteOffset) {
 }
 
 TEST(CorruptionTest, EmptyFileRejected) {
-  const std::string path = ::testing::TempDir() + "/empty.upt";
+  // Not "empty.upt": binary_io_test writes that name from another ctest
+  // process, and the two race under -j.
+  const std::string path = ::testing::TempDir() + "/empty_zero_bytes.upt";
   ASSERT_TRUE(WriteStringToFile("", path).ok());
   EXPECT_FALSE(ReadPointTableBinary(path).ok());
   EXPECT_FALSE(ReadRegionSetBinary(path).ok());

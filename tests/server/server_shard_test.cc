@@ -1,0 +1,185 @@
+// Sharded execution behind the HTTP server. Two obligations: (1) a query
+// that fails inside the sharded engine — one shard crashed, a deadline
+// tripped — must come back as the taxonomy-correct HTTP error with the
+// error envelope and NO result rows, because a failed scatter-gather never
+// merges a partial answer; (2) a healthy sharded engine must serve
+// responses byte-identical to the unsharded engine, so turning on --shards
+// is invisible to clients.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/json.h"
+#include "net/socket.h"
+#include "obs/obs.h"
+#include "server/json_api.h"
+#include "server/query_server.h"
+#include "testing/test_worlds.h"
+#include "urbane/dataset_manager.h"
+#include "urbane/server_backend.h"
+
+namespace urbane::server {
+namespace {
+
+struct HttpReply {
+  int status = 0;
+  std::string body;
+};
+
+HttpReply Post(std::uint16_t port, const std::string& path,
+               const std::string& json) {
+  HttpReply reply;
+  StatusOr<int> fd = net::ConnectLoopback(port);
+  if (!fd.ok()) return reply;
+  net::SetSocketTimeouts(*fd, 10'000, 10'000);
+  const std::string raw = "POST " + path + " HTTP/1.1\r\nHost: x\r\n" +
+                          "Content-Length: " + std::to_string(json.size()) +
+                          "\r\n\r\n" + json;
+  std::string response;
+  if (net::SendAll(*fd, raw).ok() && net::RecvAll(*fd, &response).ok() &&
+      response.size() >= 12) {
+    reply.status = std::atoi(response.c_str() + 9);
+    const std::size_t split = response.find("\r\n\r\n");
+    if (split != std::string::npos) reply.body = response.substr(split + 4);
+  }
+  net::CloseSocket(*fd);
+  return reply;
+}
+
+/// A backend standing in for a sharded engine whose scatter-gather failed:
+/// it returns exactly the Status the shard layer reports (the first failed
+/// shard's, by shard index) and never any rows — which is what the real
+/// ShardedExecutor guarantees (see shard_fault_test).
+class FailedShardBackend : public QueryBackend {
+ public:
+  explicit FailedShardBackend(Status failure) : failure_(std::move(failure)) {}
+
+  StatusOr<BackendResult> ExecuteSql(
+      const std::string&, std::optional<core::ExecutionMethod>,
+      const core::QueryControl*) override {
+    return failure_;
+  }
+  std::vector<CatalogEntry> ListDatasets() override { return {}; }
+  std::vector<CatalogEntry> ListRegionLayers() override { return {}; }
+
+ private:
+  Status failure_;
+};
+
+struct TaxonomyCase {
+  Status failure;
+  int http_status;
+  const char* code_token;
+};
+
+TEST(ServerShardFaultTest, ShardFailuresMapToTaxonomyCorrectHttpErrors) {
+  if (!net::SocketsAvailable()) GTEST_SKIP() << "no sockets here";
+  const std::vector<TaxonomyCase> cases = {
+      {Status::Internal("shard 2 lost its store"), 500, "\"Internal\""},
+      {Status::NotFound("shard 1 block missing"), 404, "\"NotFound\""},
+      {Status::InvalidArgument("shard 0 bad column"), 400,
+       "\"InvalidArgument\""},
+      {Status::DeadlineExceeded("query deadline exceeded"), 504,
+       "\"DeadlineExceeded\""},
+  };
+  for (const TaxonomyCase& c : cases) {
+    FailedShardBackend backend(c.failure);
+    QueryServer server(&backend);
+    ASSERT_TRUE(server.Start().ok());
+    const HttpReply reply =
+        Post(server.port(), "/v1/query",
+             R"({"sql": "SELECT COUNT(*) FROM a, b"})");
+    EXPECT_EQ(reply.status, c.http_status) << c.failure.ToString();
+    EXPECT_NE(reply.body.find(c.code_token), std::string::npos) << reply.body;
+    EXPECT_NE(reply.body.find(c.failure.message()), std::string::npos)
+        << reply.body;
+    // Never a partial merge on the wire: the error envelope carries no
+    // result rows.
+    EXPECT_EQ(reply.body.find("\"regions\""), std::string::npos) << reply.body;
+    server.Stop();
+  }
+}
+
+class ServerShardRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!net::SocketsAvailable()) GTEST_SKIP() << "no sockets here";
+    // Dyadic values: every double sum exact, so sharded and unsharded
+    // engines render byte-identical JSON (%.17g round-trips doubles).
+    const data::PointTable points = testing::MakeDyadicPoints(5000, 0x5E2F);
+    const data::RegionSet regions = testing::MakeTessellationRegions(3, 7);
+    ASSERT_TRUE(sharded_manager_.AddPointDataset("pts", points).ok());
+    ASSERT_TRUE(sharded_manager_.AddRegionLayer("cells", regions).ok());
+    ASSERT_TRUE(plain_manager_.AddPointDataset("pts", points).ok());
+    ASSERT_TRUE(plain_manager_.AddRegionLayer("cells", regions).ok());
+    sharded_manager_.set_engine_shards(4);
+  }
+
+  app::DatasetManager sharded_manager_;
+  app::DatasetManager plain_manager_;
+};
+
+TEST_F(ServerShardRoundTripTest, ShardedResponsesMatchUnshardedByteForByte) {
+  app::DatasetManagerBackend sharded_backend(&sharded_manager_);
+  app::DatasetManagerBackend plain_backend(&plain_manager_);
+  QueryServer server(&sharded_backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> statements = {
+      "SELECT COUNT(*) FROM pts, cells", "SELECT AVG(v) FROM pts, cells",
+      "SELECT SUM(v) FROM pts, cells"};
+  for (const std::string& sql : statements) {
+    for (const char* method : {"scan", "accurate"}) {
+      StatusOr<BackendResult> direct = plain_backend.ExecuteSql(
+          sql,
+          std::string(method) == "scan" ? core::ExecutionMethod::kScan
+                                        : core::ExecutionMethod::kAccurateRaster,
+          nullptr);
+      ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+      const std::string expected =
+          RenderResult(*direct, 0.0).Find("regions")->Dump();
+
+      const HttpReply reply =
+          Post(server.port(), "/v1/query",
+               "{\"sql\": \"" + sql + "\", \"method\": \"" + method + "\"}");
+      ASSERT_EQ(reply.status, 200) << sql << " via " << method << ": "
+                                   << reply.body;
+      const auto parsed = data::ParseJson(reply.body);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(parsed->Find("regions")->Dump(), expected)
+          << sql << " via " << method;
+    }
+  }
+  server.Stop();
+  EXPECT_EQ(server.served(), statements.size() * 2);
+}
+
+TEST_F(ServerShardRoundTripTest, ShardMetricsSurfaceAfterShardedQueries) {
+  obs::SetMetricsEnabled(true);
+  if (!obs::MetricsEnabled()) GTEST_SKIP() << "obs compiled out";
+  app::DatasetManagerBackend backend(&sharded_manager_);
+  ASSERT_TRUE(backend
+                  .ExecuteSql("SELECT SUM(v) FROM pts, cells",
+                              core::ExecutionMethod::kScan, nullptr)
+                  .ok());
+  QueryServer server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<int> fd = net::ConnectLoopback(server.port());
+  ASSERT_TRUE(fd.ok());
+  net::SetSocketTimeouts(*fd, 10'000, 10'000);
+  std::string response;
+  ASSERT_TRUE(
+      net::SendAll(*fd, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+  ASSERT_TRUE(net::RecvAll(*fd, &response).ok());
+  net::CloseSocket(*fd);
+  EXPECT_NE(response.find("shard_queries"), std::string::npos) << response;
+  EXPECT_NE(response.find("shard_fanout"), std::string::npos) << response;
+  server.Stop();
+  obs::SetMetricsEnabled(false);
+}
+
+}  // namespace
+}  // namespace urbane::server

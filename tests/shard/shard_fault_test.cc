@@ -1,0 +1,209 @@
+// Crash-of-one-shard semantics: a shard that fails — injected fault or
+// tripped deadline — must fail the WHOLE query with that shard's status.
+// Never a partial merge, and deterministically: when several shards fail,
+// the lowest shard index wins regardless of completion order. Also covers
+// the facade surface (set_num_shards) end to end, including the cache
+// epoch bump that keeps unsharded cached results from leaking into a
+// sharded configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/query.h"
+#include "core/spatial_aggregation.h"
+#include "shard/sharded_executor.h"
+#include "testing/test_worlds.h"
+#include "util/thread_pool.h"
+
+namespace urbane::shard {
+namespace {
+
+class ShardFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    points_ = testing::MakeDyadicPoints(1000, 0xFA17);
+    regions_ = testing::MakeRandomRegions(4, 0xFA57);
+  }
+
+  core::AggregationQuery Query() const {
+    core::AggregationQuery query;
+    query.points = &points_;
+    query.regions = &regions_;
+    query.aggregate = core::AggregateSpec::Sum("v");
+    return query;
+  }
+
+  StatusOr<std::unique_ptr<ShardedExecutor>> Make(
+      ShardedExecutorOptions options) {
+    return ShardedExecutor::Create(points_, regions_,
+                                   core::ExecutionMethod::kScan, options);
+  }
+
+  data::PointTable points_;
+  data::RegionSet regions_;
+};
+
+TEST_F(ShardFaultTest, OneFailingShardFailsTheWholeQuery) {
+  ThreadPool pool(4);
+  std::atomic<int> healthy_shards{0};
+  ShardedExecutorOptions options;
+  options.num_shards = 4;
+  options.pool = &pool;
+  options.fault_injector = [](std::size_t shard) {
+    return shard == 2 ? Status::Internal("shard 2 lost its store")
+                      : Status::OK();
+  };
+  options.completion_hook = [&healthy_shards](std::size_t) {
+    healthy_shards.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto sharded = Make(options);
+  ASSERT_TRUE(sharded.ok());
+
+  auto result = (*sharded)->Execute(Query());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().ToString().find("shard 2 lost its store"),
+            std::string::npos);
+  // The other shards DID complete (their partials existed) — and were
+  // still discarded rather than merged into a partial answer.
+  EXPECT_EQ(healthy_shards.load(std::memory_order_relaxed), 3);
+}
+
+TEST_F(ShardFaultTest, LowestFailingShardIndexWinsDeterministically) {
+  // Shards 1 and 3 both fail with different codes. Whatever order they
+  // complete in, the reported error must be shard 1's — the gather walks
+  // slots in shard-index order, so error selection is schedule-free.
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    ShardedExecutorOptions options;
+    options.num_shards = 4;
+    options.pool = &pool;
+    options.fault_injector = [](std::size_t shard) {
+      if (shard == 1) return Status::NotFound("shard 1 block missing");
+      if (shard == 3) return Status::InvalidArgument("shard 3 bad column");
+      return Status::OK();
+    };
+    auto sharded = Make(options);
+    ASSERT_TRUE(sharded.ok());
+    auto result = (*sharded)->Execute(Query());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound) << "repeat "
+                                                             << repeat;
+  }
+}
+
+TEST_F(ShardFaultTest, CancelledControlPropagatesDeadlineExceeded) {
+  ThreadPool pool(2);
+  ShardedExecutorOptions options;
+  options.num_shards = 3;
+  options.pool = &pool;
+  auto sharded = Make(options);
+  ASSERT_TRUE(sharded.ok());
+
+  core::QueryControl control;
+  control.cancelled.store(true);
+  core::AggregationQuery query = Query();
+  query.control = &control;
+  auto result = (*sharded)->Execute(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ShardFaultTest, FailedQueryLeavesExecutorUsable) {
+  // A fault is per-query, not per-executor: the next query on the same
+  // instance succeeds and matches the serial answer.
+  ThreadPool pool(4);
+  std::atomic<bool> arm_fault{true};
+  ShardedExecutorOptions options;
+  options.num_shards = 4;
+  options.pool = &pool;
+  options.fault_injector = [&arm_fault](std::size_t shard) {
+    return (arm_fault.load() && shard == 0) ? Status::Internal("transient")
+                                            : Status::OK();
+  };
+  auto sharded = Make(options);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_FALSE((*sharded)->Execute(Query()).ok());
+
+  arm_fault.store(false);
+  auto recovered = (*sharded)->Execute(Query());
+  ASSERT_TRUE(recovered.ok());
+
+  auto serial = core::ScanJoin::Create(points_, regions_);
+  ASSERT_TRUE(serial.ok());
+  auto expected = (*serial)->Execute(Query());
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(recovered->size(), expected->size());
+  for (std::size_t r = 0; r < expected->size(); ++r) {
+    EXPECT_EQ(recovered->values[r], expected->values[r]) << "region " << r;
+    EXPECT_EQ(recovered->counts[r], expected->counts[r]) << "region " << r;
+  }
+}
+
+// Facade smoke: set_num_shards reconfigures every method, results still
+// match the unsharded engine, and the config epoch bump firewalls the
+// result cache across the reconfiguration.
+TEST(ShardFacadeTest, SetNumShardsMatchesUnshardedAndBumpsEpoch) {
+  const data::PointTable points = testing::MakeDyadicPoints(1500, 0xFACADE);
+  const data::RegionSet regions = testing::MakeRandomRegions(5, 0xD002);
+  core::SpatialAggregation engine(points, regions);
+  core::AggregationQuery query;
+  query.aggregate = core::AggregateSpec::Avg("v");
+
+  auto unsharded = engine.Execute(query, core::ExecutionMethod::kScan);
+  ASSERT_TRUE(unsharded.ok());
+
+  const std::uint64_t epoch_before = engine.config_epoch();
+  engine.set_num_shards(4);
+  EXPECT_EQ(engine.num_shards(), 4u);
+  EXPECT_GT(engine.config_epoch(), epoch_before);
+
+  for (const core::ExecutionMethod method :
+       {core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+        core::ExecutionMethod::kBoundedRaster,
+        core::ExecutionMethod::kAccurateRaster}) {
+    auto sharded = engine.Execute(query, method);
+    ASSERT_TRUE(sharded.ok()) << core::ExecutionMethodToString(method);
+  }
+  auto sharded_scan = engine.Execute(query, core::ExecutionMethod::kScan);
+  ASSERT_TRUE(sharded_scan.ok());
+  ASSERT_EQ(sharded_scan->size(), unsharded->size());
+  for (std::size_t r = 0; r < unsharded->size(); ++r) {
+    const bool both_nan = std::isnan(sharded_scan->values[r]) &&
+                          std::isnan(unsharded->values[r]);
+    EXPECT_TRUE(both_nan ||
+                sharded_scan->values[r] == unsharded->values[r])
+        << "region " << r;
+  }
+
+  // Back to 1 shard: another epoch bump, same answers.
+  const std::uint64_t epoch_mid = engine.config_epoch();
+  engine.set_num_shards(1);
+  EXPECT_GT(engine.config_epoch(), epoch_mid);
+  auto back = engine.Execute(query, core::ExecutionMethod::kScan);
+  ASSERT_TRUE(back.ok());
+}
+
+TEST(ShardFacadeTest, ShardedFacadeHonorsQueryControl) {
+  const data::PointTable points = testing::MakeDyadicPoints(800, 0xC721);
+  const data::RegionSet regions = testing::MakeRandomRegions(3, 0x90D);
+  core::SpatialAggregation engine(points, regions);
+  engine.set_num_shards(3);
+
+  core::QueryControl control;
+  control.cancelled.store(true);
+  core::AggregationQuery query;
+  query.aggregate = core::AggregateSpec::Count();
+  query.control = &control;
+  auto result = engine.Execute(std::move(query), core::ExecutionMethod::kScan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace urbane::shard

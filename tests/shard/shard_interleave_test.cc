@@ -1,0 +1,163 @@
+// Deterministic concurrency harness: shard completions are forced into
+// adversarial orders (reverse, odd/even, rotations) via the completion
+// hook, which blocks each shard until the prescribed permutation says it
+// may publish. Whatever the completion order, the merged result must be
+// bit-identical — the gather merges slots in shard-index order, so arrival
+// order is unobservable. This is the GatedBackend trick from the server
+// suite applied to the shard layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/query.h"
+#include "shard/sharded_executor.h"
+#include "testing/test_worlds.h"
+#include "util/thread_pool.h"
+
+namespace urbane::shard {
+namespace {
+
+constexpr std::size_t kShards = 4;
+
+// Blocks each shard's publish until every shard earlier in `order` has
+// published. All kShards tasks must be in flight at once (the pool has
+// kShards workers), so each waits on the others regardless of how the
+// scheduler interleaved their execution.
+class PublishGate {
+ public:
+  explicit PublishGate(std::vector<std::size_t> order)
+      : order_(std::move(order)) {}
+
+  void WaitForTurn(std::size_t shard) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return next_ < order_.size() && order_[next_] == shard;
+    });
+    ++next_;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::size_t> order_;
+  std::size_t next_ = 0;
+};
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectBitIdentical(const core::QueryResult& a,
+                        const core::QueryResult& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(a.error_bounds.size(), b.error_bounds.size()) << what;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    const bool both_nan = std::isnan(a.values[r]) && std::isnan(b.values[r]);
+    EXPECT_TRUE(both_nan ||
+                DoubleBits(a.values[r]) == DoubleBits(b.values[r]))
+        << what << " region " << r;
+    EXPECT_EQ(a.counts[r], b.counts[r]) << what << " region " << r;
+    if (!a.error_bounds.empty()) {
+      EXPECT_EQ(DoubleBits(a.error_bounds[r]), DoubleBits(b.error_bounds[r]))
+          << what << " bound " << r;
+    }
+  }
+}
+
+class ShardInterleaveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    points_ = testing::MakeUniformPoints(3000, 0xC0FFEE);
+    regions_ = testing::MakeRandomRegions(6, 0x7EA);
+  }
+
+  core::QueryResult RunWithOrder(core::ExecutionMethod method,
+                                 const std::vector<std::size_t>& order,
+                                 const core::AggregateSpec& aggregate) {
+    // Exactly kShards workers: every shard task is in flight, so the gate
+    // can hold all of them and release in the hostile order.
+    ThreadPool pool(kShards);
+    PublishGate gate(order);
+    ShardedExecutorOptions options;
+    options.num_shards = kShards;
+    options.pool = &pool;
+    options.completion_hook = [&gate](std::size_t shard) {
+      gate.WaitForTurn(shard);
+    };
+    core::RasterJoinOptions raster;
+    raster.resolution = 256;
+    auto sharded =
+        ShardedExecutor::Create(points_, regions_, method, options, raster);
+    EXPECT_TRUE(sharded.ok());
+    core::AggregationQuery query;
+    query.points = &points_;
+    query.regions = &regions_;
+    query.aggregate = aggregate;
+    auto result = (*sharded)->Execute(query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(*result) : core::QueryResult();
+  }
+
+  data::PointTable points_;
+  data::RegionSet regions_;
+};
+
+TEST_F(ShardInterleaveTest, CompletionOrderIsUnobservable) {
+  const std::vector<std::vector<std::size_t>> orders = {
+      {0, 1, 2, 3},  // in-order baseline
+      {3, 2, 1, 0},  // fully reversed
+      {1, 3, 0, 2},  // odd shards first
+      {2, 0, 3, 1},  // rotation + swap
+  };
+  for (const core::ExecutionMethod method :
+       {core::ExecutionMethod::kScan, core::ExecutionMethod::kBoundedRaster}) {
+    for (const core::AggregateSpec& aggregate :
+         {core::AggregateSpec::Sum("v"), core::AggregateSpec::Avg("v"),
+          core::AggregateSpec::Min("v")}) {
+      const core::QueryResult baseline =
+          RunWithOrder(method, orders[0], aggregate);
+      for (std::size_t o = 1; o < orders.size(); ++o) {
+        const core::QueryResult hostile =
+            RunWithOrder(method, orders[o], aggregate);
+        ExpectBitIdentical(
+            hostile, baseline,
+            std::string(core::ExecutionMethodToString(method)) + " order " +
+                std::to_string(o));
+      }
+    }
+  }
+}
+
+// The two scheduling endpoints — all-inline (serial_scatter) and fully
+// concurrent with a hostile publish order — bracket every real schedule.
+TEST_F(ShardInterleaveTest, SerialScatterMatchesConcurrentScatter) {
+  ShardedExecutorOptions serial_options;
+  serial_options.num_shards = kShards;
+  serial_options.serial_scatter = true;
+  auto serial_sharded = ShardedExecutor::Create(
+      points_, regions_, core::ExecutionMethod::kScan, serial_options);
+  ASSERT_TRUE(serial_sharded.ok());
+  core::AggregationQuery query;
+  query.points = &points_;
+  query.regions = &regions_;
+  query.aggregate = core::AggregateSpec::Sum("v");
+  auto inline_result = (*serial_sharded)->Execute(query);
+  ASSERT_TRUE(inline_result.ok());
+
+  const core::QueryResult concurrent = RunWithOrder(
+      core::ExecutionMethod::kScan, {3, 1, 2, 0},
+      core::AggregateSpec::Sum("v"));
+  ExpectBitIdentical(concurrent, *inline_result, "inline vs concurrent");
+}
+
+}  // namespace
+}  // namespace urbane::shard

@@ -1,0 +1,170 @@
+// The shard-merge contract, aggregate by aggregate — including the unit
+// counterexample that kills the naive AVG merge: averaging per-shard
+// averages is wrong whenever shard sizes differ, which is why shards
+// execute SUM and the merge divides (Σsum, Σcount) once.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "shard/shard_merge.h"
+
+namespace urbane::shard {
+namespace {
+
+core::QueryResult Partial(std::vector<double> values,
+                          std::vector<std::uint64_t> counts,
+                          std::vector<double> bounds = {}) {
+  core::QueryResult partial;
+  partial.values = std::move(values);
+  partial.counts = std::move(counts);
+  partial.error_bounds = std::move(bounds);
+  return partial;
+}
+
+TEST(ShardExecutionKindTest, OnlyAvgRemaps) {
+  EXPECT_EQ(ShardExecutionKind(core::AggregateKind::kCount),
+            core::AggregateKind::kCount);
+  EXPECT_EQ(ShardExecutionKind(core::AggregateKind::kSum),
+            core::AggregateKind::kSum);
+  EXPECT_EQ(ShardExecutionKind(core::AggregateKind::kAvg),
+            core::AggregateKind::kSum);
+  EXPECT_EQ(ShardExecutionKind(core::AggregateKind::kMin),
+            core::AggregateKind::kMin);
+  EXPECT_EQ(ShardExecutionKind(core::AggregateKind::kMax),
+            core::AggregateKind::kMax);
+}
+
+// The satellite counterexample. Shard A holds {2, 4} (sum 6, count 2),
+// shard B holds {12} (sum 12, count 1). True average = 18/3 = 6. The naive
+// merge — average of per-shard averages — gives (3 + 12)/2 = 7.5. The
+// (sum, count) merge must produce exactly 6 and thereby fail the naive
+// value.
+TEST(ShardMergeTest, AvgMergesSumCountPairsNotAverages) {
+  const std::vector<core::QueryResult> partials = {
+      Partial({6.0}, {2}),   // SUM partial of shard A = {2, 4}
+      Partial({12.0}, {1}),  // SUM partial of shard B = {12}
+  };
+  const auto merged =
+      MergeShardPartials(core::AggregateKind::kAvg, partials);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->values[0], 6.0);
+  EXPECT_EQ(merged->counts[0], 3u);
+
+  const double naive = (6.0 / 2.0 + 12.0 / 1.0) / 2.0;
+  EXPECT_EQ(naive, 7.5);  // what average-of-averages would have produced
+  EXPECT_NE(merged->values[0], naive);
+}
+
+TEST(ShardMergeTest, AvgOfNoPointsIsNaNLikeFinalize) {
+  const std::vector<core::QueryResult> partials = {Partial({0.0}, {0}),
+                                                   Partial({0.0}, {0})};
+  const auto merged =
+      MergeShardPartials(core::AggregateKind::kAvg, partials);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(std::isnan(merged->values[0]));
+  EXPECT_EQ(merged->counts[0], 0u);
+}
+
+TEST(ShardMergeTest, CountAndSumAreAdditive) {
+  const std::vector<core::QueryResult> partials = {
+      Partial({3.0, 0.0}, {3, 0}), Partial({5.0, 2.0}, {5, 2})};
+  const auto count =
+      MergeShardPartials(core::AggregateKind::kCount, partials);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->values[0], 8.0);
+  EXPECT_EQ(count->values[1], 2.0);
+  EXPECT_EQ(count->counts[0], 8u);
+
+  const auto sum = MergeShardPartials(core::AggregateKind::kSum, partials);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->values[0], 8.0);
+  EXPECT_EQ(sum->values[1], 2.0);
+}
+
+TEST(ShardMergeTest, MinMaxSkipNaNEmptyShards) {
+  const double nan = std::nan("");
+  // Region 0: only shard 1 saw points. Region 1: no shard did.
+  const std::vector<core::QueryResult> partials = {
+      Partial({nan, nan}, {0, 0}), Partial({-4.5, nan}, {3, 0}),
+      Partial({nan, nan}, {0, 0})};
+  const auto merged_min =
+      MergeShardPartials(core::AggregateKind::kMin, partials);
+  ASSERT_TRUE(merged_min.ok());
+  EXPECT_EQ(merged_min->values[0], -4.5);
+  EXPECT_TRUE(std::isnan(merged_min->values[1]));
+
+  const auto merged_max =
+      MergeShardPartials(core::AggregateKind::kMax, partials);
+  ASSERT_TRUE(merged_max.ok());
+  EXPECT_EQ(merged_max->values[0], -4.5);
+  EXPECT_TRUE(std::isnan(merged_max->values[1]));
+}
+
+TEST(ShardMergeTest, MinMaxFoldAcrossShards) {
+  const std::vector<core::QueryResult> partials = {
+      Partial({2.0}, {4}), Partial({-1.0}, {1}), Partial({7.0}, {2})};
+  const auto merged_min =
+      MergeShardPartials(core::AggregateKind::kMin, partials);
+  ASSERT_TRUE(merged_min.ok());
+  EXPECT_EQ(merged_min->values[0], -1.0);
+  const auto merged_max =
+      MergeShardPartials(core::AggregateKind::kMax, partials);
+  ASSERT_TRUE(merged_max.ok());
+  EXPECT_EQ(merged_max->values[0], 7.0);
+  EXPECT_EQ(merged_max->counts[0], 7u);
+}
+
+TEST(ShardMergeTest, ErrorBoundsAddAndPropagatePresence) {
+  const std::vector<core::QueryResult> with_bounds = {
+      Partial({1.0}, {1}, {0.5}), Partial({2.0}, {2}, {1.5})};
+  const auto merged =
+      MergeShardPartials(core::AggregateKind::kSum, with_bounds);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->error_bounds.size(), 1u);
+  EXPECT_EQ(merged->error_bounds[0], 2.0);
+
+  const std::vector<core::QueryResult> without = {Partial({1.0}, {1}),
+                                                  Partial({2.0}, {2})};
+  const auto plain = MergeShardPartials(core::AggregateKind::kSum, without);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->error_bounds.empty());
+}
+
+TEST(ShardMergeTest, MergeIsAFunctionOfPartialsNotArrivalOrder) {
+  // Same partials presented in the same slot order must merge identically
+  // however many times we run it — the executor guarantees slot order, the
+  // merge guarantees purity.
+  const std::vector<core::QueryResult> partials = {
+      Partial({0.1, 0.2}, {1, 2}, {0.0, 0.25}),
+      Partial({0.3, 0.4}, {3, 4}, {0.5, 0.0})};
+  const auto once = MergeShardPartials(core::AggregateKind::kSum, partials);
+  const auto twice = MergeShardPartials(core::AggregateKind::kSum, partials);
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once->values, twice->values);
+  EXPECT_EQ(once->counts, twice->counts);
+  EXPECT_EQ(once->error_bounds, twice->error_bounds);
+}
+
+TEST(ShardMergeTest, RejectsNoPartials) {
+  EXPECT_FALSE(MergeShardPartials(core::AggregateKind::kCount, {}).ok());
+}
+
+TEST(ShardMergeTest, RejectsRegionCountDisagreement) {
+  const std::vector<core::QueryResult> partials = {
+      Partial({1.0}, {1}), Partial({1.0, 2.0}, {1, 2})};
+  EXPECT_FALSE(
+      MergeShardPartials(core::AggregateKind::kCount, partials).ok());
+}
+
+TEST(ShardMergeTest, RejectsMalformedBounds) {
+  const std::vector<core::QueryResult> partials = {
+      Partial({1.0, 2.0}, {1, 2}, {0.5})};  // bounds shorter than values
+  EXPECT_FALSE(
+      MergeShardPartials(core::AggregateKind::kSum, partials).ok());
+}
+
+}  // namespace
+}  // namespace urbane::shard

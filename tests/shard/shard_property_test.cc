@@ -1,0 +1,172 @@
+// Randomized partition property: ANY disjoint tiling of the row space —
+// balanced, wildly skewed, with empty shards, or with single-point shards
+// — must merge to the serial result. The partition is scheduling metadata;
+// it is not allowed to leak into answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/query.h"
+#include "core/scan_join.h"
+#include "shard/sharded_executor.h"
+#include "testing/test_worlds.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace urbane::shard {
+namespace {
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectSameResult(const core::QueryResult& sharded,
+                      const core::QueryResult& serial,
+                      const std::string& what) {
+  ASSERT_EQ(sharded.size(), serial.size()) << what;
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    const bool both_nan =
+        std::isnan(sharded.values[r]) && std::isnan(serial.values[r]);
+    EXPECT_TRUE(both_nan ||
+                DoubleBits(sharded.values[r]) == DoubleBits(serial.values[r]))
+        << what << " region " << r << ": " << sharded.values[r] << " vs "
+        << serial.values[r];
+    EXPECT_EQ(sharded.counts[r], serial.counts[r]) << what << " region " << r;
+  }
+}
+
+// A random tiling of [0, rows): cut count in [0, max_cuts], cut positions
+// uniform WITH repetition — repeats make empty shards, adjacent cuts make
+// single-point shards, and clustering near one end makes skew. All three
+// degenerate partition families fall out of one generator.
+std::vector<core::RowRange> RandomPartition(Rng& rng, std::uint64_t rows,
+                                            std::size_t max_cuts) {
+  std::vector<std::uint64_t> cuts;
+  const std::size_t num_cuts =
+      static_cast<std::size_t>(rng.NextInt(0, static_cast<int>(max_cuts)));
+  for (std::size_t i = 0; i < num_cuts; ++i) {
+    cuts.push_back(
+        static_cast<std::uint64_t>(rng.NextInt(0, static_cast<int>(rows))));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<core::RowRange> shards;
+  std::uint64_t prev = 0;
+  for (const std::uint64_t cut : cuts) {
+    shards.push_back(core::RowRange{prev, cut});
+    prev = cut;
+  }
+  shards.push_back(core::RowRange{prev, rows});
+  return shards;
+}
+
+TEST(ShardPropertyTest, AnyPartitionMatchesSerialScan) {
+  const data::PointTable points = testing::MakeDyadicPoints(2000, 0xA11CE);
+  const data::RegionSet regions = testing::MakeRandomRegions(6, 0xCAFE);
+  auto serial = core::ScanJoin::Create(points, regions);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(4);
+  Rng rng(0x9E3779B9);
+
+  const std::vector<core::AggregateSpec> aggregates = {
+      core::AggregateSpec::Count(), core::AggregateSpec::Sum("v"),
+      core::AggregateSpec::Avg("v"), core::AggregateSpec::Min("v"),
+      core::AggregateSpec::Max("v")};
+
+  for (int trial = 0; trial < 12; ++trial) {
+    ShardedExecutorOptions options;
+    options.explicit_shards = RandomPartition(rng, points.size(), 9);
+    options.pool = &pool;
+    auto sharded = ShardedExecutor::Create(
+        points, regions, core::ExecutionMethod::kScan, options);
+    ASSERT_TRUE(sharded.ok());
+    for (const core::AggregateSpec& aggregate : aggregates) {
+      core::AggregationQuery query;
+      query.points = &points;
+      query.regions = &regions;
+      query.aggregate = aggregate;
+      auto sharded_result = (*sharded)->Execute(query);
+      ASSERT_TRUE(sharded_result.ok()) << sharded_result.status().ToString();
+      auto serial_result = (*serial)->Execute(query);
+      ASSERT_TRUE(serial_result.ok());
+      ExpectSameResult(*sharded_result, *serial_result,
+                       "trial " + std::to_string(trial) + " shards " +
+                           std::to_string(options.explicit_shards.size()));
+    }
+  }
+}
+
+// The named degenerate partitions, pinned explicitly so a generator change
+// can never silently stop covering them.
+TEST(ShardPropertyTest, DegeneratePartitionsMatchSerial) {
+  const data::PointTable points = testing::MakeDyadicPoints(500, 0xBEA7);
+  const data::RegionSet regions = testing::MakeRandomRegions(5, 0xF00D);
+  auto serial = core::ScanJoin::Create(points, regions);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(4);
+  const std::uint64_t n = points.size();
+
+  const std::vector<std::vector<core::RowRange>> partitions = {
+      // All empty but one.
+      {{0, 0}, {0, 0}, {0, n}, {n, n}},
+      // Single-point leading shards.
+      {{0, 1}, {1, 2}, {2, 3}, {3, n}},
+      // Heavy skew: 1 row vs everything.
+      {{0, n - 1}, {n - 1, n}},
+      // Every shard empty except a single-point one at the end.
+      {{0, 0}, {0, n - 1}, {n - 1, n}, {n, n}},
+  };
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    ShardedExecutorOptions options;
+    options.explicit_shards = partitions[p];
+    options.pool = &pool;
+    auto sharded = ShardedExecutor::Create(
+        points, regions, core::ExecutionMethod::kScan, options);
+    ASSERT_TRUE(sharded.ok());
+    core::AggregationQuery query;
+    query.points = &points;
+    query.regions = &regions;
+    query.aggregate = core::AggregateSpec::Avg("v");
+    auto sharded_result = (*sharded)->Execute(query);
+    ASSERT_TRUE(sharded_result.ok());
+    auto serial_result = (*serial)->Execute(query);
+    ASSERT_TRUE(serial_result.ok());
+    ExpectSameResult(*sharded_result, *serial_result,
+                     "degenerate partition " + std::to_string(p));
+  }
+}
+
+TEST(ShardPropertyTest, MalformedExplicitPartitionsAreRejected) {
+  const data::PointTable points = testing::MakeDyadicPoints(100, 0x5EED);
+  const data::RegionSet regions = testing::MakeRandomRegions(3, 0xFEED);
+  const std::uint64_t n = points.size();
+
+  const std::vector<std::vector<core::RowRange>> bad = {
+      {{0, 50}},                 // does not cover all rows
+      {{0, 50}, {60, n}},        // gap
+      {{0, 60}, {50, n}},        // overlap / non-ascending
+      {{5, n}},                  // does not start at 0
+  };
+  for (std::size_t p = 0; p < bad.size(); ++p) {
+    ShardedExecutorOptions options;
+    options.explicit_shards = bad[p];
+    auto sharded = ShardedExecutor::Create(
+        points, regions, core::ExecutionMethod::kScan, options);
+    ASSERT_TRUE(sharded.ok());
+    core::AggregationQuery query;
+    query.points = &points;
+    query.regions = &regions;
+    auto result = (*sharded)->Execute(query);
+    EXPECT_FALSE(result.ok()) << "partition " << p << " accepted";
+  }
+}
+
+}  // namespace
+}  // namespace urbane::shard

@@ -18,7 +18,7 @@
 namespace urbane::store {
 namespace {
 
-std::string WriteSampleStore(const char* name, std::size_t rows = 600,
+std::string WriteSampleStore(const std::string& name, std::size_t rows = 600,
                              std::uint64_t block_rows = 128) {
   const data::PointTable table = testing::MakeUniformPoints(rows, 91);
   const std::string path = ::testing::TempDir() + "/" + name;
@@ -41,7 +41,10 @@ void WriteAll(const std::string& path, const std::string& bytes) {
 class StoreTruncationTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(StoreTruncationTest, EveryStrictPrefixRejected) {
-  const std::string path = WriteSampleStore("trunc.ust");
+  // Parameter-unique filename: ctest runs each instance as its own process
+  // against the same TempDir, so a shared name races under -j.
+  const std::string path =
+      WriteSampleStore("trunc_" + std::to_string(GetParam()) + ".ust");
   const std::string bytes = ReadAll(path);
   const std::size_t keep =
       bytes.size() * static_cast<std::size_t>(GetParam()) / 100;

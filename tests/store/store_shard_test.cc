@@ -1,0 +1,230 @@
+// Sharding over the out-of-core store: shard boundaries snap to block
+// boundaries (align_rows = block_rows), so a shard is a run of whole
+// blocks and composes with zone-map pruning. The cases a cursor can get
+// wrong live here: a shard whose blocks are all pruned (empty candidate
+// set), a shard holding exactly one block, and more shards than blocks
+// (trailing empty shards). Every one must merge to the serial answer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scan_join.h"
+#include "core/spatial_aggregation.h"
+#include "shard/sharded_executor.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
+#include "testing/test_worlds.h"
+#include "util/thread_pool.h"
+
+namespace urbane::store {
+namespace {
+
+struct ShardStore {
+  std::string path;
+  data::RegionSet regions;
+  std::unique_ptr<StoreReader> reader;
+  data::PointTable view;  // mmap-backed
+
+  ~ShardStore() { std::remove(path.c_str()); }
+};
+
+// Dyadic attribute values (k/256) keep every double sum exact, so the
+// sharded float SUM/AVG is literally bit-identical to serial — the same
+// trick the in-memory oracle uses, now over disk blocks.
+std::unique_ptr<ShardStore> MakeShardStore(const std::string& name,
+                                           std::uint64_t block_rows = 1024) {
+  auto store = std::make_unique<ShardStore>();
+  store->path = ::testing::TempDir() + "/" + name;
+  store->regions = testing::MakeRandomRegions(6, 0x51AB);
+  const data::PointTable table = testing::MakeDyadicPoints(10000, 0xB10C);
+  StoreWriterOptions options;
+  options.block_rows = block_rows;
+  EXPECT_TRUE(WritePointStore(table, store->path, options).ok());
+  auto reader = StoreReader::Open(store->path);
+  EXPECT_TRUE(reader.ok());
+  store->reader = std::make_unique<StoreReader>(std::move(*reader));
+  auto view = store->reader->MappedTable();
+  EXPECT_TRUE(view.ok());
+  store->view = std::move(*view);
+  return store;
+}
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectBitIdentical(const core::QueryResult& sharded,
+                        const core::QueryResult& serial,
+                        const std::string& what) {
+  ASSERT_EQ(sharded.size(), serial.size()) << what;
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    const bool both_nan =
+        std::isnan(sharded.values[r]) && std::isnan(serial.values[r]);
+    EXPECT_TRUE(both_nan ||
+                DoubleBits(sharded.values[r]) == DoubleBits(serial.values[r]))
+        << what << " region " << r;
+    EXPECT_EQ(sharded.counts[r], serial.counts[r]) << what << " region " << r;
+  }
+}
+
+TEST(StoreShardTest, BlockAlignedShardsMatchSerialOnStoreView) {
+  auto store = MakeShardStore("shard_aligned.ust");
+  const std::uint64_t block_rows =
+      store->reader->zone_maps().blocks().front().row_count;
+  ThreadPool pool(4);
+  auto serial = core::ScanJoin::Create(store->view, store->regions);
+  ASSERT_TRUE(serial.ok());
+
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    shard::ShardedExecutorOptions options;
+    options.num_shards = m;
+    options.align_rows = block_rows;
+    options.pool = &pool;
+    auto sharded = shard::ShardedExecutor::Create(
+        store->view, store->regions, core::ExecutionMethod::kScan, options);
+    ASSERT_TRUE(sharded.ok());
+    for (const core::AggregateSpec& aggregate :
+         {core::AggregateSpec::Count(), core::AggregateSpec::Sum("v"),
+          core::AggregateSpec::Avg("v"), core::AggregateSpec::Min("v")}) {
+      core::AggregationQuery query;
+      query.points = &store->view;
+      query.regions = &store->regions;
+      query.aggregate = aggregate;
+      auto sharded_result = (*sharded)->Execute(query);
+      auto serial_result = (*serial)->Execute(query);
+      ASSERT_TRUE(sharded_result.ok()) << sharded_result.status().ToString();
+      ASSERT_TRUE(serial_result.ok());
+      ExpectBitIdentical(*sharded_result, *serial_result,
+                         "m=" + std::to_string(m));
+    }
+  }
+}
+
+TEST(StoreShardTest, ZoneMapPruningCanEmptyAShardEntirely) {
+  auto store = MakeShardStore("shard_pruned.ust");
+  const std::uint64_t block_rows =
+      store->reader->zone_maps().blocks().front().row_count;
+
+  // A tight spatial window: the store is Morton-clustered, so the window's
+  // candidate blocks are a small contiguous-ish subset and at least one
+  // shard of a 4-way block-aligned split holds NO candidate block — the
+  // empty-cursor path.
+  core::FilterSpec filter;
+  filter.spatial_window = geometry::BoundingBox(5.0, 5.0, 15.0, 15.0);
+  const core::PruneResult prune =
+      store->reader->zone_maps().Prune(filter, store->reader->schema());
+  ASSERT_GT(prune.blocks_pruned, 0u) << "window not selective enough";
+
+  const shard::ShardPlan plan = shard::MakeShardPlan(
+      store->reader->row_count(), 4, block_rows);
+  bool some_shard_fully_pruned = false;
+  for (const core::RowRange& s : plan.shards) {
+    if (shard::IntersectCandidates(&prune.candidates, s).empty()) {
+      some_shard_fully_pruned = true;
+    }
+  }
+  EXPECT_TRUE(some_shard_fully_pruned)
+      << "the test world no longer produces an empty shard; tighten the "
+         "window";
+
+  ThreadPool pool(4);
+  shard::ShardedExecutorOptions options;
+  options.num_shards = 4;
+  options.align_rows = block_rows;
+  options.pool = &pool;
+  auto sharded = shard::ShardedExecutor::Create(
+      store->view, store->regions, core::ExecutionMethod::kScan, options);
+  ASSERT_TRUE(sharded.ok());
+  auto serial = core::ScanJoin::Create(store->view, store->regions);
+  ASSERT_TRUE(serial.ok());
+
+  core::AggregationQuery query;
+  query.points = &store->view;
+  query.regions = &store->regions;
+  query.aggregate = core::AggregateSpec::Avg("v");
+  query.filter = filter;
+  query.candidate_ranges = &prune.candidates;
+  auto sharded_result = (*sharded)->Execute(query);
+  auto serial_result = (*serial)->Execute(query);
+  ASSERT_TRUE(sharded_result.ok()) << sharded_result.status().ToString();
+  ASSERT_TRUE(serial_result.ok());
+  ExpectBitIdentical(*sharded_result, *serial_result, "pruned shards");
+}
+
+TEST(StoreShardTest, OneShardPerBlockAndMoreShardsThanBlocks) {
+  // Small store: 10000 rows in 4096-row blocks = 3 blocks. One shard per
+  // block exercises the single-block cursor; 8 shards over 3 blocks forces
+  // empty trailing shards through the whole scatter-gather path.
+  auto store = MakeShardStore("shard_per_block.ust", /*block_rows=*/4096);
+  const auto& blocks = store->reader->zone_maps().blocks();
+  const std::uint64_t block_rows = blocks.front().row_count;
+  ASSERT_GE(blocks.size(), 3u);
+  auto serial = core::ScanJoin::Create(store->view, store->regions);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(4);
+
+  for (const std::size_t m : {blocks.size(), std::size_t{8}}) {
+    shard::ShardedExecutorOptions options;
+    options.num_shards = m;
+    options.align_rows = block_rows;
+    options.pool = &pool;
+    auto sharded = shard::ShardedExecutor::Create(
+        store->view, store->regions, core::ExecutionMethod::kScan, options);
+    ASSERT_TRUE(sharded.ok());
+    core::AggregationQuery query;
+    query.points = &store->view;
+    query.regions = &store->regions;
+    query.aggregate = core::AggregateSpec::Sum("v");
+    auto sharded_result = (*sharded)->Execute(query);
+    auto serial_result = (*serial)->Execute(query);
+    ASSERT_TRUE(sharded_result.ok()) << sharded_result.status().ToString();
+    ASSERT_TRUE(serial_result.ok());
+    ExpectBitIdentical(*sharded_result, *serial_result,
+                       "m=" + std::to_string(m));
+  }
+}
+
+TEST(StoreShardTest, FacadeShardsBlockAlignedOverStoreEngine) {
+  // The facade path the server uses: engine over the mmap view with zone
+  // maps attached, set_num_shards, every method. Results must match the
+  // same engine unsharded — pruning, sharding, and the executor zoo all
+  // composed.
+  auto store = MakeShardStore("shard_facade.ust");
+  core::SpatialAggregation engine(store->view, store->regions);
+  engine.AttachZoneMaps(&store->reader->zone_maps());
+
+  core::FilterSpec window;
+  window.spatial_window = geometry::BoundingBox(10.0, 10.0, 60.0, 60.0);
+  core::AggregationQuery query;
+  query.aggregate = core::AggregateSpec::Avg("v");
+  query.filter = window;
+
+  std::vector<core::QueryResult> unsharded;
+  const core::ExecutionMethod methods[] = {
+      core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+      core::ExecutionMethod::kBoundedRaster,
+      core::ExecutionMethod::kAccurateRaster};
+  for (const core::ExecutionMethod method : methods) {
+    auto result = engine.Execute(query, method);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    unsharded.push_back(std::move(*result));
+  }
+
+  engine.set_num_shards(4);
+  for (std::size_t i = 0; i < std::size(methods); ++i) {
+    auto result = engine.Execute(query, methods[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitIdentical(*result, unsharded[i],
+                       core::ExecutionMethodToString(methods[i]));
+  }
+}
+
+}  // namespace
+}  // namespace urbane::store

@@ -231,7 +231,11 @@ TEST(StoreReaderTest, EmptyStoreRoundTrips) {
 class BlockCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = TempStorePath("cache.ust");
+    // Test-unique filename: ctest runs each TEST_F as its own process
+    // against the same TempDir, so a shared name races under -j.
+    path_ = ::testing::TempDir() + "/cache_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ust";
     const data::PointTable table = testing::MakeUniformPoints(1000, 47);
     StoreWriterOptions options;
     options.block_rows = 100;  // 10 blocks

@@ -40,6 +40,31 @@ inline data::PointTable MakeUniformPoints(std::size_t count,
   return table;
 }
 
+/// Uniform random points whose attribute values are dyadic rationals
+/// v = k/256, k integer in [-2560, 2560]. Every partial double sum of such
+/// values (at test scale) is exact, so summation order cannot change a
+/// single bit — folds that reorder additions (thread partitions, shard
+/// merges) must then be BIT-identical to the serial fold, not merely
+/// close. Conformance suites use this to pin down float SUM/AVG merge
+/// paths that tolerance comparisons would let drift.
+inline data::PointTable MakeDyadicPoints(std::size_t count,
+                                         std::uint64_t seed,
+                                         double lo = 0.0,
+                                         double hi = 100.0) {
+  data::Schema schema(std::vector<std::string>{"v"});
+  data::PointTable table(schema);
+  table.Reserve(count);
+  Rng rng(seed);
+  std::vector<float>& v = table.mutable_attribute_column(0);
+  for (std::size_t i = 0; i < count; ++i) {
+    table.AppendXyt(static_cast<float>(rng.NextDouble(lo, hi)),
+                    static_cast<float>(rng.NextDouble(lo, hi)),
+                    rng.NextInt(0, 86399));
+    v.push_back(static_cast<float>(rng.NextInt(-2560, 2560)) / 256.0f);
+  }
+  return table;
+}
+
 /// Star-convex random polygon (always simple).
 inline geometry::Polygon RandomStarPolygon(Rng& rng, const geometry::Vec2& c,
                                            double radius,

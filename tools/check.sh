@@ -15,7 +15,12 @@
 #     control, graceful drain, per-request deadlines) and the net substrate,
 #   * the block-store suites (`store` label): the BlockCache pin/evict/
 #     load-coalescing paths under concurrent readers, plus the corrupt-file
-#     corpus so the hardened I/O layer is swept by the sanitizer too.
+#     corpus so the hardened I/O layer is swept by the sanitizer too,
+#   * the sharded scatter-gather suites (`shard` label): the shard-merge
+#     oracle across pool sizes, the adversarial completion-order
+#     interleaving harness, fault injection, and the facade/server
+#     surfaces — per-shard slot publication and the Batch::Wait fence are
+#     exactly the kind of contract TSan can falsify.
 # Any data race aborts the run: TSAN_OPTIONS makes warnings fatal.
 #
 # `--fast` instead builds a plain (unsanitized) tree and runs only the
@@ -51,8 +56,13 @@ if [[ "${MODE}" == "fast" ]]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
     --target util_test geometry_test raster_test simd_test index_test \
-             data_test obs_test obs_pipeline_test net_test store_test
+             data_test obs_test obs_pipeline_test net_test store_test \
+             shard_unit_test shard_test server_shard_test
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
+  # The full shard conformance gate (oracle, property, interleave, fault,
+  # store/server surfaces) — slow-labeled suites included on purpose: the
+  # merge contract is this repo's current frontier.
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -L shard "$@"
   SIMD_LEVELS="off sse2"
   if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
     SIMD_LEVELS="${SIMD_LEVELS} avx2"
@@ -73,12 +83,19 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target core_test obs_test obs_pipeline_test net_test server_test \
-           store_test
+           store_test shard_unit_test shard_test server_shard_test
 
 URBANE_SIMD=off \
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -R 'ParallelDeterminism|EngineConcurrency|QueryCache|SpatialAggregation|MetricsConcurrency|ObservabilityDeterminism|EventJournal|SlowQuery|TelemetryExporter|QueryServer|QueryControl|Socket|HttpRequestParser|BlockCache|StoreCorruption|StoreTruncation' \
   "$@"
+
+# The adversarial-interleaving merge suite and the rest of the shard layer
+# under TSan: hostile completion orders + instrumented synchronization is
+# the strongest check we have that merge-order independence is real.
+URBANE_SIMD=off \
+TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L shard "$@"
 
 echo "tsan check OK"
