@@ -21,6 +21,7 @@
 #include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "obs/slow_query_log.h"
 #include "urbane/session.h"
 #include "util/timer.h"
@@ -107,6 +108,87 @@ int RunSingleSession() {
                   pass_mean("filter_seconds"), pass_mean("splat_seconds"),
                   pass_mean("sweep_seconds"), pass_mean("refine_seconds"),
                   pass_mean("reduce_seconds")});
+  }
+  table.Finish();
+  return 0;
+}
+
+// `--profile-overhead` prices per-request attribution (DESIGN.md §12):
+// the same 60-event trace replays once on the unobserved fast path
+// (profile off — must equal the plain bench) and once with a QueryProfile
+// attached to every frame. bench_report reads the raw `total_s` column
+// and gates the on-vs-off delta at < 2%.
+int RunProfileOverhead() {
+  using namespace urbane;
+  bench::PrintHeader(
+      "Figure 8 (profile overhead): attribution on vs off",
+      "One 60-event exploration trace, replayed with query.profile unset "
+      "and then attached per frame; the totals price the profile plumbing "
+      "on the hot path.");
+  // Everything else stays off so the delta isolates the profile cost.
+  obs::SetMetricsEnabled(false);
+
+  data::TaxiGeneratorOptions options;
+  options.num_trips = bench::ScaledCount(1'000'000);
+  std::printf("generating %zu trips...\n\n", options.num_trips);
+  const data::PointTable taxis = data::GenerateTaxiTrips(options);
+  const data::RegionSet neighborhoods = data::GenerateNeighborhoods();
+
+  core::RasterJoinOptions raster_options;
+  raster_options.resolution = 1024;
+  core::SpatialAggregation engine(taxis, neighborhoods, raster_options);
+  const auto [t0, t1] = taxis.TimeRange();
+  app::InteractionSession session(engine, "fare_amount", t0, t1);
+  const auto trace = app::GenerateInteractionTrace(60, 2018);
+  const auto method = core::ExecutionMethod::kBoundedRaster;
+
+  // Warm-up replay: executor construction (textures, splat order) must not
+  // land in either measured pass.
+  if (auto warm = session.Replay(trace, method); !warm.ok()) {
+    std::fprintf(stderr, "warm-up replay failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::ResultTable table(
+      "fig8_profile_overhead",
+      {"profile", "frames", "total", "total_s", "p50", "overhead(vs off)"});
+  // Min-of-R per mode, with the modes interleaved (off, on, off, on, ...):
+  // a single back-to-back pair would fold clock-frequency drift across the
+  // run into the delta, which at small frame times dwarfs the real cost.
+  constexpr int kRepeats = 3;
+  app::SessionSummary best[2];
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    for (const int enabled : {0, 1}) {
+      obs::QueryProfile profile;
+      session.set_profile(enabled != 0 ? &profile : nullptr);
+      const auto frames = session.Replay(trace, method);
+      if (!frames.ok()) {
+        std::fprintf(stderr, "replay failed: %s\n",
+                     frames.status().ToString().c_str());
+        return 1;
+      }
+      const app::SessionSummary summary = app::SummarizeFrames(*frames);
+      if (repeat == 0 || summary.total_seconds < best[enabled].total_seconds) {
+        best[enabled] = summary;
+      }
+    }
+  }
+  session.set_profile(nullptr);
+  const double off_total = best[0].total_seconds;
+  for (const int enabled : {0, 1}) {
+    const app::SessionSummary& summary = best[enabled];
+    table.AddRow(
+        {enabled != 0 ? "on" : "off",
+         bench::ResultTable::Cell("%zu", summary.frames),
+         FormatDuration(summary.total_seconds),
+         bench::ResultTable::Cell("%.6f", summary.total_seconds),
+         FormatDuration(summary.p50_seconds),
+         bench::ResultTable::Cell(
+             "%+.2f%%",
+             off_total > 0.0
+                 ? 100.0 * (summary.total_seconds - off_total) / off_total
+                 : 0.0)});
   }
   table.Finish();
   return 0;
@@ -234,6 +316,7 @@ int RunConcurrentSessions(std::size_t num_sessions) {
 int main(int argc, char** argv) {
   std::size_t sessions = 1;
   bool telemetry = false;
+  bool profile_overhead = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
       const long parsed = std::strtol(argv[++i], nullptr, 10);
@@ -244,12 +327,17 @@ int main(int argc, char** argv) {
       sessions = static_cast<std::size_t>(parsed);
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       telemetry = true;
+    } else if (std::strcmp(argv[i], "--profile-overhead") == 0) {
+      profile_overhead = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--sessions N] [--telemetry]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--sessions N] [--telemetry] "
+                   "[--profile-overhead]\n",
                    argv[0]);
       return 1;
     }
   }
   if (telemetry) ArmTelemetry();
+  if (profile_overhead) return RunProfileOverhead();
   return sessions > 1 ? RunConcurrentSessions(sessions) : RunSingleSession();
 }

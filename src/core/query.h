@@ -14,6 +14,7 @@
 
 namespace urbane::obs {
 class QueryTrace;
+struct QueryProfile;
 }  // namespace urbane::obs
 
 namespace urbane::core {
@@ -78,6 +79,13 @@ struct AggregationQuery {
   /// the caller keeps it alive for the duration of Execute. Like `trace`,
   /// not part of the query's identity.
   const QueryControl* control = nullptr;
+
+  /// Optional per-request profile (obs/profile.h): the facade attributes
+  /// planner/cache/prune outcomes and executor pass costs to it, and the
+  /// sharded executor appends its per-shard breakdown. Same discipline as
+  /// `trace`: nullable, borrowed, mutated only by the coordinator thread
+  /// of this query, and never part of the query's identity.
+  obs::QueryProfile* profile = nullptr;
 
   /// Optional zone-map pruning output (ZoneMapIndex::Prune over this
   /// query's filter): rows outside these ranges are known not to match the

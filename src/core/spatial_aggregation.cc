@@ -6,8 +6,10 @@
 #include <string>
 #include <utility>
 
+#include "core/observe.h"
 #include "obs/event_journal.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -148,6 +150,10 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
     query.trace->Tag("method", ExecutionMethodToString(method));
     query.trace->Tag("cache", use_cache ? "miss" : "off");
   }
+  if (query.profile != nullptr) {
+    query.profile->method = ExecutionMethodToString(method);
+    query.profile->cache = use_cache ? "miss" : "off";
+  }
   if (use_cache) {
     // Fast path: a hit costs one shard mutex, no executor serialization.
     const std::uint64_t key = Fingerprint(query, method);
@@ -155,6 +161,7 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
       if (query.trace != nullptr) {
         query.trace->Tag("cache", "hit");
       }
+      if (query.profile != nullptr) query.profile->cache = "hit";
       if (cache_hit != nullptr) *cache_hit = true;
       return std::move(*hit);
     }
@@ -171,6 +178,7 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
       if (query.trace != nullptr) {
         query.trace->Tag("cache", "hit");
       }
+      if (query.profile != nullptr) query.profile->cache = "hit";
       if (cache_hit != nullptr) *cache_hit = true;
       return std::move(*hit);
     }
@@ -202,8 +210,26 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
       query.trace->Tag("store.blocks_pruned",
                        std::to_string(prune.blocks_pruned));
     }
+    if (query.profile != nullptr) {
+      query.profile->blocks_total = prune.blocks_total;
+      query.profile->blocks_pruned = prune.blocks_pruned;
+      query.profile->rows_pruned = prune.rows_pruned;
+    }
   }
+  // Thread-CPU attribution for the dispatch: exact while execution is
+  // serial (including each sharded pass, which is serial per shard) and
+  // coordinator-only under intra-executor parallelism (DESIGN.md §12).
+  const double cpu_begin =
+      query.profile != nullptr ? obs::ThreadCpuSeconds() : 0.0;
   URBANE_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
+  if (query.profile != nullptr) {
+    query.profile->cpu_seconds += obs::ThreadCpuSeconds() - cpu_begin;
+    // Copied under the method lock, so the stats are this query's own.
+    const ExecutorStats& stats = executor->stats();
+    query.profile->method = executor->name();
+    query.profile->threads_used = stats.threads_used;
+    FillProfilePassCosts(stats, &query.profile->totals);
+  }
   if (use_cache) {
     cache_.Insert(key, result);
   }
@@ -216,9 +242,10 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
   const bool journal = obs::JournalEnabled();
   const bool armed = recorder.armed();
   const bool metrics = obs::MetricsEnabled();
-  if (!journal && !armed && !metrics && query.trace == nullptr) {
-    // The obs-off == baseline guarantee: three relaxed loads, then the
-    // unchanged query path.
+  if (!journal && !armed && !metrics && query.trace == nullptr &&
+      query.profile == nullptr) {
+    // The obs-off == baseline guarantee: three relaxed loads and two
+    // pointer tests, then the unchanged query path.
     return ExecuteUnobserved(std::move(query), method, nullptr);
   }
 
@@ -242,12 +269,26 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
     armed_trace = std::make_unique<obs::QueryTrace>();
     query.trace = armed_trace.get();
   }
+  // Armed mode likewise attaches a profile, so a committed slow-query
+  // record embeds the full per-pass/per-shard breakdown. The armed profile
+  // inherits the thread's current trace context (the server request's id),
+  // linking the slowlog entry to the same trace as everything else.
+  std::unique_ptr<obs::QueryProfile> armed_profile;
+  if (armed && query.profile == nullptr) {
+    armed_profile = std::make_unique<obs::QueryProfile>();
+    obs::CurrentTraceContext(&armed_profile->context.trace_hi,
+                             &armed_profile->context.trace_lo);
+    query.profile = armed_profile.get();
+  }
 
   WallTimer timer;
   bool cache_hit = false;
   StatusOr<QueryResult> result =
       ExecuteUnobserved(query, method, &cache_hit);
   const double wall_seconds = timer.ElapsedSeconds();
+  if (query.profile != nullptr) {
+    query.profile->wall_seconds = wall_seconds;
+  }
 
   if (metrics) {
     // The recorder's p99-multiplier threshold derives from this histogram.
@@ -281,7 +322,8 @@ StatusOr<QueryResult> SpatialAggregation::Execute(AggregationQuery query,
       }
     }
     recorder.MaybeRecord(fingerprint, ExecutionMethodToString(method),
-                         query.ToString(), plan, wall_seconds, query.trace);
+                         query.ToString(), plan, wall_seconds, query.trace,
+                         query.profile);
   }
   return result;
 }
@@ -403,6 +445,10 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteAuto(
   if (query.trace != nullptr) {
     query.trace->Tag("planner.choice", ExecutionMethodToString(plan.method));
     query.trace->Tag("planner.explanation", plan.explanation);
+  }
+  if (query.profile != nullptr) {
+    query.profile->planner_choice = ExecutionMethodToString(plan.method);
+    query.profile->planner_explanation = plan.explanation;
   }
   if (obs::JournalEnabled()) {
     obs::Event chose;

@@ -117,6 +117,8 @@ EventJournal& EventJournal::Global() {
 
 namespace {
 thread_local std::uint64_t t_event_context = 0;
+thread_local std::uint64_t t_trace_hi = 0;
+thread_local std::uint64_t t_trace_lo = 0;
 }  // namespace
 
 std::uint64_t CurrentEventContext() { return t_event_context; }
@@ -127,5 +129,22 @@ ScopedEventContext::ScopedEventContext(std::uint64_t context)
 }
 
 ScopedEventContext::~ScopedEventContext() { t_event_context = previous_; }
+
+void CurrentTraceContext(std::uint64_t* trace_hi, std::uint64_t* trace_lo) {
+  *trace_hi = t_trace_hi;
+  *trace_lo = t_trace_lo;
+}
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_hi,
+                                       std::uint64_t trace_lo)
+    : previous_hi_(t_trace_hi), previous_lo_(t_trace_lo) {
+  t_trace_hi = trace_hi;
+  t_trace_lo = trace_lo;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_trace_hi = previous_hi_;
+  t_trace_lo = previous_lo_;
+}
 
 }  // namespace urbane::obs

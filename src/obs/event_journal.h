@@ -65,6 +65,13 @@ struct Event {
   // Stamped by EmitEvent from the thread-local ScopedEventContext, so deep
   // instrumentation sites (cache, planner) inherit it for free.
   std::uint64_t context = 0;
+  // W3C trace id of the request that caused this event (both halves zero
+  // when none). Stamped by EmitEvent from the thread-local
+  // ScopedTraceContext the same way `context` is, so one trace id links a
+  // request's response, journal events, slowlog record, and retained
+  // profile (DESIGN.md §12).
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
   // Monotonic (steady_clock) nanoseconds, stamped at publication.
   std::uint64_t timestamp_ns = 0;
   // Global publication order; contiguous across drains, so gaps caused by
@@ -89,6 +96,28 @@ class ScopedEventContext {
 
  private:
   std::uint64_t previous_;
+};
+
+// The calling thread's current trace id halves (both zero = none). Set via
+// ScopedTraceContext; read by EmitEvent and the facade's armed-profile
+// path. Raw halves rather than obs::TraceContext so this header stays free
+// of the profile layer.
+void CurrentTraceContext(std::uint64_t* trace_hi, std::uint64_t* trace_lo);
+
+// RAII: stamps every event the current thread emits within the scope with
+// a W3C trace id (e.g. one server request). Nestable; restores the
+// previous trace id on destruction.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(std::uint64_t trace_hi, std::uint64_t trace_lo);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t previous_hi_;
+  std::uint64_t previous_lo_;
 };
 
 class EventJournal {
@@ -149,9 +178,12 @@ class EventJournal {
 // one relaxed load.
 inline void EmitEvent(const Event& event) {
   if (!JournalEnabled()) return;
-  if (event.context == 0) {
+  if (event.context == 0 || (event.trace_hi | event.trace_lo) == 0) {
     Event tagged = event;
-    tagged.context = CurrentEventContext();
+    if (tagged.context == 0) tagged.context = CurrentEventContext();
+    if ((tagged.trace_hi | tagged.trace_lo) == 0) {
+      CurrentTraceContext(&tagged.trace_hi, &tagged.trace_lo);
+    }
     EventJournal::Global().Publish(tagged);
     return;
   }

@@ -7,6 +7,7 @@
 #include "net/http.h"
 #include "net/socket.h"
 #include "obs/process_metrics.h"
+#include "obs/event_journal.h"
 #include "obs/prometheus.h"
 #include "obs/slow_query_log.h"
 
@@ -39,6 +40,15 @@ bool TelemetryEndpoint(const std::string& path, std::string* content_type,
   const std::string route = path.substr(0, path.find('?'));
   if (route == "/metrics") {
     UpdateProcessGauges(MetricsRegistry::Global());
+    // Journal/slowlog health is sampled at scrape time rather than pushed
+    // on every event: dropped events are exactly the moments when pushing
+    // more telemetry is the wrong idea.
+    MetricsRegistry::Global()
+        .GetGauge("journal.dropped_total")
+        .Set(static_cast<double>(EventJournal::Global().dropped()));
+    MetricsRegistry::Global()
+        .GetGauge("slowlog.entries")
+        .Set(static_cast<double>(SlowQueryLog::Global().Records().size()));
     const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
     *content_type = "text/plain; version=0.0.4";
     *body = ToPrometheusText(snapshot);

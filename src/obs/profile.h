@@ -1,0 +1,212 @@
+#ifndef URBANE_OBS_PROFILE_H_
+#define URBANE_OBS_PROFILE_H_
+
+// Per-request query profiles ("EXPLAIN ANALYZE" for the serving path).
+//
+// A QueryProfile rides one request end to end: the server (or the CLI)
+// creates it, the facade attributes planner choice, cache outcome,
+// zone-map pruning, executor pass costs and coordinator thread-CPU time
+// to it, and the sharded executor appends a per-shard breakdown table in
+// shard-index order. The filled profile renders as the stable
+// `urbane.profile.v1` JSON document (HTTP `?profile=1`), as an aligned
+// text table (CLI `explain analyze`), and is retained in a bounded
+// in-process ProfileStore keyed by trace id (`GET /v1/profiles/<id>`).
+//
+// Trace-context propagation follows W3C trace context: the server parses
+// an inbound `traceparent` header (malformed headers are ignored — the
+// request is still served under a freshly generated context), echoes the
+// context in the response, and stamps the trace id into journal events
+// and slow-query records so one id links every artifact of a request.
+//
+// Cost model: the profile is a nullable pointer on AggregationQuery,
+// exactly like `trace` — a null profile (the default) costs one pointer
+// test per instrumentation site, preserving the obs-off == baseline
+// contract. All mutation happens on the coordinator thread; per-shard
+// measurements are taken on pool workers into per-slot storage and folded
+// in after the gather fence (see shard/sharded_executor.cc).
+//
+// Determinism contract (DESIGN.md §12): for a fixed (thread count, shard
+// count) every structural and counter field of the profile is bit-stable
+// across runs; `*_seconds` fields are wall/CPU measurements and are
+// excluded from the contract. CanonicalizeProfileJson zeroes exactly the
+// measured fields so golden tests can compare whole documents.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/json.h"
+
+namespace urbane::obs {
+
+/// W3C trace-context identity: 128-bit trace id, 64-bit parent (span) id,
+/// 8-bit flags. A default-constructed context (all-zero trace id) is
+/// invalid per the spec and means "none".
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent_id = 0;
+  std::uint8_t flags = 0x01;  // sampled
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  /// 32 lowercase hex chars (the `/v1/profiles/<id>` key).
+  std::string TraceIdHex() const;
+  /// "00-<32 hex trace id>-<16 hex parent id>-<2 hex flags>".
+  std::string ToTraceparent() const;
+};
+
+/// Parses a `traceparent` header value. Accepts exactly the W3C version-00
+/// shape: "vv-tttt(32)-pppp(16)-ff" with lowercase-or-uppercase hex,
+/// version != "ff", and a non-zero trace id and parent id. Returns false —
+/// leaving *out untouched — on anything malformed, so callers fall back to
+/// a generated context and still serve the request.
+bool ParseTraceparent(const std::string& header, TraceContext* out);
+
+/// Fresh context: a process-unique 128-bit trace id (seeded from the
+/// monotonic clock and a process-wide counter, splitmix-scrambled) with a
+/// new parent id and the sampled flag.
+TraceContext GenerateTraceContext();
+
+/// CLOCK_THREAD_CPUTIME_ID in seconds; 0.0 where unsupported. The delta
+/// across a scope is the calling thread's CPU attribution for it — exact
+/// for serial and per-shard execution (each shard pass runs serially on
+/// one pool thread), coordinator-only for intra-executor parallelism.
+double ThreadCpuSeconds();
+
+/// One execution's pass costs — the profile's mirror of
+/// core::ExecutorStats (obs cannot depend on core; core/observe.h copies
+/// the fields across). Counters are deterministic; seconds are measured.
+struct ProfilePassCosts {
+  std::uint64_t points_scanned = 0;
+  std::uint64_t points_bulk = 0;
+  std::uint64_t pip_tests = 0;
+  std::uint64_t pixels_touched = 0;
+  std::uint64_t boundary_pixels = 0;
+  std::uint64_t tiles_visited = 0;
+  std::uint64_t simd_fragments = 0;
+  double filter_seconds = 0.0;
+  double splat_seconds = 0.0;
+  double sweep_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double query_seconds = 0.0;
+
+  data::JsonValue ToJson() const;
+};
+
+/// One shard's slice of a scatter-gather execution, in shard-index order.
+struct ShardProfileEntry {
+  std::uint64_t index = 0;
+  std::uint64_t rows_begin = 0;
+  std::uint64_t rows_end = 0;
+  /// Candidate rows after intersecting the shard with zone-map pruning.
+  std::uint64_t candidate_rows = 0;
+  double wall_seconds = 0.0;  // measured on the shard's worker thread
+  double cpu_seconds = 0.0;   // CLOCK_THREAD_CPUTIME_ID delta, same thread
+  ProfilePassCosts costs;
+};
+
+/// The per-request profile. Single-writer: only the coordinator thread of
+/// a request mutates it (see file comment), so fields are plain.
+struct QueryProfile {
+  TraceContext context;
+
+  /// Request layer (filled by the query server; zero for CLI/library use).
+  double queue_wait_seconds = 0.0;
+
+  /// Facade layer.
+  std::string method;               // executor that ran ("scan", ...)
+  std::string planner_choice;       // set when the planner picked `method`
+  std::string planner_explanation;  // planner cost-model rationale
+  std::string cache = "off";        // "hit" | "miss" | "off"
+  double wall_seconds = 0.0;        // facade Execute wall time
+  double cpu_seconds = 0.0;         // coordinator thread-CPU inside Execute
+
+  /// Store layer (zone-map pruning; zero when no store is attached).
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_pruned = 0;
+  std::uint64_t rows_pruned = 0;
+  /// Block-cache / streaming-scan attribution (store-backed execution
+  /// outside the mmap zero-copy path; zero otherwise).
+  std::uint64_t store_blocks_scanned = 0;
+  std::uint64_t store_blocks_read = 0;
+  std::uint64_t store_cache_hits = 0;
+  std::uint64_t store_bytes_read = 0;
+
+  /// Executor totals (the merged stats of the pass that ran). For a
+  /// sharded execution the counters equal the sum over `shards`.
+  std::uint64_t threads_used = 0;
+  ProfilePassCosts totals;
+
+  /// Shard layer; empty unless the sharded path executed.
+  double scatter_seconds = 0.0;
+  double merge_seconds = 0.0;
+  std::vector<ShardProfileEntry> shards;
+
+  /// The stable wire document, schema "urbane.profile.v1". Key order is
+  /// fixed; integer counters render exactly (they stay far below 2^53).
+  data::JsonValue ToJson() const;
+
+  /// Aligned text rendering for `explain analyze` — same structure as the
+  /// JSON: header lines, a totals row, then one row per shard.
+  std::string ToTable() const;
+};
+
+/// Zeroes every measured (`*_seconds`) field of an urbane.profile.v1
+/// document in place, leaving the deterministic skeleton golden tests
+/// compare. Unknown keys are preserved untouched.
+void CanonicalizeProfileJson(data::JsonValue* doc);
+
+/// Bounded in-memory retention of rendered profiles keyed by trace id.
+/// Insert-order eviction (oldest first); lookups and the recent listing
+/// take one mutex — profile retention is off the query hot path (one
+/// insert per *profiled* request, which already paid for JSON rendering).
+class ProfileStore {
+ public:
+  explicit ProfileStore(std::size_t capacity = kDefaultCapacity);
+
+  ProfileStore(const ProfileStore&) = delete;
+  ProfileStore& operator=(const ProfileStore&) = delete;
+
+  /// The process-wide store behind /v1/profiles.
+  static ProfileStore& Global();
+
+  /// Renders and retains `profile`. Re-inserting a trace id replaces the
+  /// retained document (and refreshes its eviction position).
+  void Insert(const QueryProfile& profile);
+
+  /// The retained document for a trace id (32 lowercase hex chars), or
+  /// false when unknown/evicted.
+  bool Lookup(const std::string& trace_id, data::JsonValue* out) const;
+
+  /// Schema "urbane.profiles.v1": newest-first summaries of up to `limit`
+  /// retained profiles {trace_id, method, cache, wall_seconds, shards}.
+  data::JsonValue Recent(std::size_t limit = 32) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void Clear();
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+ private:
+  struct Entry {
+    data::JsonValue doc;
+    std::string method;
+    std::string cache;
+    double wall_seconds = 0.0;
+    std::uint64_t shards = 0;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<std::string> order_;  // insertion order, oldest first
+};
+
+}  // namespace urbane::obs
+
+#endif  // URBANE_OBS_PROFILE_H_

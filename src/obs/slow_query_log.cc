@@ -85,7 +85,8 @@ bool SlowQueryLog::MaybeRecord(std::uint64_t fingerprint,
                                const std::string& method,
                                const std::string& query,
                                const std::string& plan, double wall_seconds,
-                               const QueryTrace* trace) {
+                               const QueryTrace* trace,
+                               const QueryProfile* profile) {
   const double threshold = ThresholdSeconds();
   if (wall_seconds < threshold) return false;
 
@@ -98,6 +99,10 @@ bool SlowQueryLog::MaybeRecord(std::uint64_t fingerprint,
   record.threshold_seconds = threshold;
   record.timestamp_seconds = ProcessUptimeSeconds();
   if (trace != nullptr) record.trace = trace->ToJson();
+  if (profile != nullptr) {
+    record.trace_id = profile->context.TraceIdHex();
+    record.profile = profile->ToJson();
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   record.sequence = next_sequence_++;
@@ -140,12 +145,14 @@ data::JsonValue SlowQueryLog::ToJson() const {
     entry.emplace_back("method", data::JsonValue(record.method));
     entry.emplace_back("query", data::JsonValue(record.query));
     entry.emplace_back("plan", data::JsonValue(record.plan));
+    entry.emplace_back("trace_id", data::JsonValue(record.trace_id));
     entry.emplace_back("wall_seconds", data::JsonValue(record.wall_seconds));
     entry.emplace_back("threshold_seconds",
                        data::JsonValue(record.threshold_seconds));
     entry.emplace_back("timestamp_seconds",
                        data::JsonValue(record.timestamp_seconds));
     entry.emplace_back("trace", record.trace);
+    entry.emplace_back("profile", record.profile);
     record_array.emplace_back(std::move(entry));
   }
   root.emplace_back("records", data::JsonValue(std::move(record_array)));

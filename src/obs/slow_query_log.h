@@ -26,6 +26,7 @@
 
 #include "data/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace urbane::obs {
@@ -36,10 +37,12 @@ struct SlowQueryRecord {
   std::string method;               // executor name ("scan", "raster", ...)
   std::string query;                // AggregationQuery::ToString()
   std::string plan;                 // planner explanation, if any
+  std::string trace_id;             // W3C trace id (hex); "" when none
   double wall_seconds = 0.0;
   double threshold_seconds = 0.0;   // the threshold in force at capture
   double timestamp_seconds = 0.0;   // process uptime at capture
   data::JsonValue trace;            // urbane.trace.v1 span tree
+  data::JsonValue profile;          // urbane.profile.v1 document (or null)
 };
 
 struct SlowQueryLogOptions {
@@ -79,11 +82,14 @@ class SlowQueryLog {
   // registry whose histogram the options name; defaults to the global one.
   void RefreshThreshold(const MetricsRegistry* registry = nullptr);
 
-  // Commits a record iff wall_seconds >= ThresholdSeconds(). The trace may
-  // be null (the record is kept without spans). Returns true on capture.
+  // Commits a record iff wall_seconds >= ThresholdSeconds(). The trace and
+  // profile may be null (the record is kept without spans / breakdown); a
+  // non-null profile embeds the full urbane.profile.v1 document and its
+  // trace id in the record. Returns true on capture.
   bool MaybeRecord(std::uint64_t fingerprint, const std::string& method,
                    const std::string& query, const std::string& plan,
-                   double wall_seconds, const QueryTrace* trace);
+                   double wall_seconds, const QueryTrace* trace,
+                   const QueryProfile* profile = nullptr);
 
   // Newest-last copy of the retained records.
   std::vector<SlowQueryRecord> Records() const;

@@ -68,7 +68,8 @@ data::JsonValue FiniteOrNull(double value) {
 
 }  // namespace
 
-data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms) {
+data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms,
+                             const data::JsonValue* profile) {
   data::JsonValue::Array regions;
   regions.reserve(result.rows.size());
   for (const RegionRow& row : result.rows) {
@@ -92,6 +93,9 @@ data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms) {
   doc.emplace_back("exact", data::JsonValue(result.exact));
   doc.emplace_back("elapsed_ms", FiniteOrNull(elapsed_ms));
   doc.emplace_back("regions", data::JsonValue(std::move(regions)));
+  if (profile != nullptr) {
+    doc.emplace_back("profile", *profile);
+  }
   return data::JsonValue(std::move(doc));
 }
 

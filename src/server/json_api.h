@@ -48,8 +48,12 @@ StatusOr<ApiRequest> ParseApiRequest(const std::string& body);
 StatusOr<std::optional<core::ExecutionMethod>> ParseMethodName(
     const std::string& name);
 
-/// Renders a BackendResult as the urbane.result.v1 document.
-data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms);
+/// Renders a BackendResult as the urbane.result.v1 document. A non-null
+/// `profile` (the urbane.profile.v1 document, see obs/profile.h) is
+/// embedded as a trailing "profile" member — requested via ?profile=1 or
+/// the X-Urbane-Profile header.
+data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms,
+                             const data::JsonValue* profile = nullptr);
 
 /// Renders the catalog endpoints (GET /v1/datasets, /v1/regions).
 data::JsonValue RenderCatalog(const std::string& key,

@@ -19,6 +19,10 @@
 #include "core/query.h"
 #include "util/status.h"
 
+namespace urbane::obs {
+struct QueryProfile;
+}  // namespace urbane::obs
+
 namespace urbane::server {
 
 /// One region's aggregate in a query result, already joined with the
@@ -55,10 +59,13 @@ class QueryBackend {
 
   /// Parses and executes one statement. An unset `method` means "auto"
   /// (the planner decides). `control` (borrowed, may be null) carries the
-  /// request deadline; executors poll it between passes.
+  /// request deadline; executors poll it between passes. A non-null
+  /// `profile` (borrowed, see obs/profile.h) collects the per-request
+  /// resource breakdown — implementations attach it to the query so the
+  /// engine fills it in.
   virtual StatusOr<BackendResult> ExecuteSql(
       const std::string& sql, std::optional<core::ExecutionMethod> method,
-      const core::QueryControl* control) = 0;
+      const core::QueryControl* control, obs::QueryProfile* profile) = 0;
 
   virtual std::vector<CatalogEntry> ListDatasets() = 0;
   virtual std::vector<CatalogEntry> ListRegionLayers() = 0;

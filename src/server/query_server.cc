@@ -8,6 +8,7 @@
 #include "obs/event_journal.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "server/json_api.h"
 #include "util/timer.h"
 
@@ -17,8 +18,10 @@ namespace {
 
 constexpr int kPollSliceMs = 50;
 
-std::string JsonResponse(int http_status, const data::JsonValue& doc,
-                         int retry_after_seconds = 0) {
+std::string JsonResponse(
+    int http_status, const data::JsonValue& doc, int retry_after_seconds = 0,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {}) {
   net::HttpResponse response;
   response.status = http_status;
   response.reason = "";  // resolved from the status code
@@ -27,6 +30,9 @@ std::string JsonResponse(int http_status, const data::JsonValue& doc,
   if (retry_after_seconds > 0) {
     response.extra_headers.emplace_back(
         "Retry-After", std::to_string(retry_after_seconds));
+  }
+  for (const auto& header : extra_headers) {
+    response.extra_headers.push_back(header);
   }
   return net::FormatHttpResponse(response);
 }
@@ -126,7 +132,8 @@ void QueryServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(queue_mu_);
       if (queue_.size() <
           static_cast<std::size_t>(options_.max_queue_depth)) {
-        queue_.push_back(PendingConn{fd, conn_id});
+        queue_.push_back(
+            PendingConn{fd, conn_id, std::chrono::steady_clock::now()});
         accepted_.fetch_add(1, std::memory_order_relaxed);
       } else {
         overloaded = true;
@@ -189,6 +196,15 @@ void QueryServer::ServeConnection(WorkerState* state, PendingConn conn) {
   // Everything emitted below (journal events from the cache, planner,
   // facade) carries this connection id.
   obs::ScopedEventContext event_context(conn.conn_id);
+  // Admission -> pickup gap. Recorded for every connection (not just
+  // profiled ones) so the histogram sees load even when nobody profiles.
+  const double queue_wait_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    conn.admitted)
+          .count();
+  obs::MetricsRegistry::Global()
+      .GetHistogram("server.queue_wait_seconds")
+      .Observe(queue_wait_seconds);
   WallTimer timer;
 
   net::HttpLimits limits;
@@ -204,8 +220,8 @@ void QueryServer::ServeConnection(WorkerState* state, PendingConn conn) {
     }
     return;
   }
-  const std::string response = HandleRequest(
-      state, conn.conn_id, request->method, request->path, request->body);
+  const std::string response =
+      HandleRequest(state, conn.conn_id, *request, queue_wait_seconds);
   net::SendAll(conn.fd, response);
   net::CloseSocket(conn.fd);
   served_.fetch_add(1, std::memory_order_relaxed);
@@ -217,10 +233,11 @@ void QueryServer::ServeConnection(WorkerState* state, PendingConn conn) {
 
 std::string QueryServer::HandleRequest(WorkerState* state,
                                        std::uint64_t conn_id,
-                                       const std::string& method,
-                                       const std::string& path,
-                                       const std::string& body) {
+                                       const net::HttpRequest& request,
+                                       double queue_wait_seconds) {
   (void)conn_id;
+  const std::string& method = request.method;
+  const std::string& path = request.path;
   // Telemetry endpoints ride the same listener as traffic.
   {
     std::string content_type;
@@ -241,7 +258,25 @@ std::string QueryServer::HandleRequest(WorkerState* state,
       return JsonResponse(
           405, RenderError(Status::InvalidArgument("use POST /v1/query")));
     }
-    return HandleQuery(state, body);
+    return HandleQuery(state, request, queue_wait_seconds);
+  }
+  if (path == "/v1/profiles/recent" ||
+      path.rfind("/v1/profiles/", 0) == 0) {
+    if (method != "GET") {
+      return JsonResponse(
+          405, RenderError(Status::InvalidArgument("use GET")));
+    }
+    if (path == "/v1/profiles/recent") {
+      return JsonResponse(200, obs::ProfileStore::Global().Recent());
+    }
+    const std::string trace_id = path.substr(sizeof("/v1/profiles/") - 1);
+    data::JsonValue doc;
+    if (!obs::ProfileStore::Global().Lookup(trace_id, &doc)) {
+      return JsonResponse(
+          404, RenderError(Status::NotFound("no retained profile for trace "
+                                            "id: " + trace_id)));
+    }
+    return JsonResponse(200, doc);
   }
   if (path == "/v1/datasets" || path == "/v1/regions") {
     if (method != "GET") {
@@ -259,12 +294,43 @@ std::string QueryServer::HandleRequest(WorkerState* state,
 }
 
 std::string QueryServer::HandleQuery(WorkerState* state,
-                                     const std::string& body) {
-  StatusOr<ApiRequest> api = ParseApiRequest(body);
+                                     const net::HttpRequest& request,
+                                     double queue_wait_seconds) {
+  StatusOr<ApiRequest> api = ParseApiRequest(request.body);
   if (!api.ok()) {
     ServerCounter("server.queries.bad").Add(1);
     return JsonResponse(HttpStatusForError(api.status()),
                         RenderError(api.status()));
+  }
+
+  // Trace context: honor a well-formed W3C traceparent request header;
+  // otherwise (absent or malformed — the spec says ignore, don't reject)
+  // the request runs under a freshly generated trace. The scope stamps the
+  // trace id onto every journal event this request emits, and the response
+  // always echoes the context so the client can correlate.
+  obs::TraceContext trace_context;
+  bool inherited = false;
+  if (const std::string* header = request.FindHeader("traceparent")) {
+    inherited = obs::ParseTraceparent(*header, &trace_context);
+  }
+  if (!inherited) trace_context = obs::GenerateTraceContext();
+  obs::ScopedTraceContext trace_scope(trace_context.trace_hi,
+                                      trace_context.trace_lo);
+  const std::vector<std::pair<std::string, std::string>> trace_headers = {
+      {"traceparent", trace_context.ToTraceparent()}};
+
+  // Profiling is per-request opt-in: ?profile=1 or X-Urbane-Profile: 1.
+  const std::string* profile_header =
+      request.FindHeader("x-urbane-profile");
+  const bool want_profile =
+      request.QueryParam("profile") == "1" ||
+      (profile_header != nullptr && *profile_header == "1");
+  std::unique_ptr<obs::QueryProfile> profile;
+  if (want_profile) {
+    ServerCounter("server.queries.profiled").Add(1);
+    profile = std::make_unique<obs::QueryProfile>();
+    profile->context = trace_context;
+    profile->queue_wait_seconds = queue_wait_seconds;
   }
 
   // Arm this worker's (stable-address) control; Stop() may cancel it
@@ -278,8 +344,8 @@ std::string QueryServer::HandleQuery(WorkerState* state,
   }
   state->executing.store(true, std::memory_order_release);
   WallTimer timer;
-  StatusOr<BackendResult> result =
-      backend_->ExecuteSql(api->sql, api->method, &state->control);
+  StatusOr<BackendResult> result = backend_->ExecuteSql(
+      api->sql, api->method, &state->control, profile.get());
   const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
   state->executing.store(false, std::memory_order_release);
 
@@ -290,13 +356,22 @@ std::string QueryServer::HandleQuery(WorkerState* state,
       ServerCounter("server.queries.error").Add(1);
     }
     return JsonResponse(HttpStatusForError(result.status()),
-                        RenderError(result.status()));
+                        RenderError(result.status()), 0, trace_headers);
   }
   ServerCounter("server.queries.ok").Add(1);
   obs::MetricsRegistry::Global()
       .GetHistogram("server.query.wall_seconds")
       .Observe(elapsed_ms / 1e3);
-  return JsonResponse(200, RenderResult(*result, elapsed_ms));
+  data::JsonValue profile_json;
+  if (profile != nullptr) {
+    obs::ProfileStore::Global().Insert(*profile);
+    profile_json = profile->ToJson();
+  }
+  return JsonResponse(
+      200,
+      RenderResult(*result, elapsed_ms,
+                   profile != nullptr ? &profile_json : nullptr),
+      0, trace_headers);
 }
 
 void QueryServer::SendErrorAndClose(int fd, int http_status,

@@ -27,18 +27,27 @@
 // Stop() is bounded by one executor pass, never unbounded.
 //
 // Endpoints:
-//   POST /v1/query     — execute one statement (see server/json_api.h)
+//   POST /v1/query     — execute one statement (see server/json_api.h).
+//        Honors a W3C `traceparent` request header (one is generated when
+//        absent or malformed) and echoes it on the response; with
+//        `?profile=1` or `X-Urbane-Profile: 1` the response embeds the
+//        urbane.profile.v1 resource breakdown (obs/profile.h).
 //   GET  /v1/datasets  — registered point data sets
 //   GET  /v1/regions   — registered region layers
+//   GET  /v1/profiles/recent      — recently retained query profiles
+//   GET  /v1/profiles/<trace_id>  — one retained profile by trace id
 //   GET  /metrics, /slowlog, /healthz — shared telemetry endpoints, so one
 //        port serves traffic and scrape.
 //
 // Every request runs under an obs::ScopedEventContext carrying its
-// connection id: journal events emitted anywhere below (query start /
-// finish, cache evictions, planner decisions) are attributable to the
-// connection that caused them.
+// connection id, and every /v1/query additionally under an
+// obs::ScopedTraceContext carrying its trace id: journal events emitted
+// anywhere below (query start / finish, cache evictions, planner
+// decisions) are attributable to the connection — and trace — that caused
+// them.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,6 +60,10 @@
 #include "core/query.h"
 #include "server/query_backend.h"
 #include "util/status.h"
+
+namespace urbane::net {
+struct HttpRequest;
+}  // namespace urbane::net
 
 namespace urbane::server {
 
@@ -114,6 +127,9 @@ class QueryServer {
   struct PendingConn {
     int fd = -1;
     std::uint64_t conn_id = 0;
+    /// When the acceptor admitted the connection; the gap to worker pickup
+    /// is the queue wait (server.queue_wait_seconds, profile queue_wait).
+    std::chrono::steady_clock::time_point admitted;
   };
 
   /// Per-worker state with a stable address, so Stop() can cancel the
@@ -129,11 +145,14 @@ class QueryServer {
   void WorkerLoop(WorkerState* state);
   void ServeConnection(WorkerState* state, PendingConn conn);
   /// Routes one parsed request; returns the full response string.
+  /// `queue_wait_seconds` is the admission -> pickup gap for this
+  /// connection (attributed to the profile of a /v1/query request).
   std::string HandleRequest(WorkerState* state, std::uint64_t conn_id,
-                            const std::string& method,
-                            const std::string& path,
-                            const std::string& body);
-  std::string HandleQuery(WorkerState* state, const std::string& body);
+                            const net::HttpRequest& request,
+                            double queue_wait_seconds);
+  std::string HandleQuery(WorkerState* state,
+                          const net::HttpRequest& request,
+                          double queue_wait_seconds);
   void SendErrorAndClose(int fd, int http_status, const Status& error,
                          int retry_after_seconds = 0);
 

@@ -6,6 +6,7 @@
 #include "core/observe.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "shard/shard_merge.h"
 #include "util/timer.h"
@@ -109,7 +110,8 @@ StatusOr<core::QueryResult> ShardedExecutor::ExecuteShard(
   URBANE_RETURN_IF_ERROR(query.CheckControl());
 
   core::AggregationQuery shard_query = query;
-  shard_query.trace = nullptr;  // spans come from the coordinator
+  shard_query.trace = nullptr;    // spans come from the coordinator
+  shard_query.profile = nullptr;  // the coordinator owns the breakdown
   shard_query.candidate_ranges = &candidates;
   shard_query.aggregate.kind = ShardExecutionKind(query.aggregate.kind);
 
@@ -187,11 +189,24 @@ StatusOr<core::QueryResult> ShardedExecutor::Execute(
   // not the first-failing completion — decides the reported status.
   std::vector<core::QueryResult> partials(m);
   std::vector<Status> statuses(m, Status::OK());
+  // Per-shard wall/CPU samples for the profile breakdown. Each task writes
+  // only its own slot (same fence discipline as `partials`); empty unless
+  // the request carries a profile, so the unprofiled path never touches the
+  // thread-CPU clock.
+  const bool profiling = query.profile != nullptr;
+  std::vector<double> shard_wall(profiling ? m : 0, 0.0);
+  std::vector<double> shard_cpu(profiling ? m : 0, 0.0);
   WallTimer scatter_timer;
   const bool inline_scatter = options_.serial_scatter || m == 1;
   auto run_shard = [&](std::size_t s) {
+    WallTimer shard_timer;
+    const double cpu_begin = profiling ? obs::ThreadCpuSeconds() : 0.0;
     StatusOr<core::QueryResult> partial =
         ExecuteShard(query, s, candidates[s]);
+    if (profiling) {
+      shard_cpu[s] = obs::ThreadCpuSeconds() - cpu_begin;
+      shard_wall[s] = shard_timer.ElapsedSeconds();
+    }
     if (partial.ok()) {
       // The hook gates *successful* publishes only: a failed shard has no
       // partial to hold back, and the fault suite counts hook calls to
@@ -243,6 +258,28 @@ StatusOr<core::QueryResult> ShardedExecutor::Execute(
   }
   stats_.reduce_seconds = merge_timer.ElapsedSeconds();
   core::TracePass(query.trace, exec_span.id(), "merge", stats_.reduce_seconds);
+
+  // Profile breakdown, in shard-index order (never completion order) so the
+  // table is reproducible at a fixed shard count. Pass costs come from the
+  // per-shard inner executors, whose counters MergeCounters summed above —
+  // the per-shard rows therefore sum exactly to the executor totals.
+  if (profiling) {
+    query.profile->scatter_seconds = scatter_seconds;
+    query.profile->merge_seconds = stats_.reduce_seconds;
+    query.profile->shards.clear();
+    query.profile->shards.reserve(m);
+    for (std::size_t s = 0; s < m; ++s) {
+      obs::ShardProfileEntry entry;
+      entry.index = s;
+      entry.rows_begin = plan.shards[s].begin;
+      entry.rows_end = plan.shards[s].end;
+      entry.candidate_rows = candidates[s].total_rows();
+      entry.wall_seconds = shard_wall[s];
+      entry.cpu_seconds = shard_cpu[s];
+      core::FillProfilePassCosts(shards_[s]->stats(), &entry.costs);
+      query.profile->shards.push_back(entry);
+    }
+  }
 
   stats_.query_seconds = timer.ElapsedSeconds();
   if (metrics) {

@@ -81,6 +81,7 @@ StatusOr<BlockCache::PinnedBlock> BlockCache::Pin(std::size_t block_index) {
   entry.pin_count = 1;
   entry.last_use = ++tick_;
   ++stats_.blocks_read;
+  stats_.bytes_read += entry.block.MemoryBytes();
   Bump("store.blocks_read");
   EvictLocked();
   load_cv_.notify_all();

@@ -23,6 +23,7 @@ struct BlockCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t blocks_read = 0;  // actual disk reads (== misses that loaded)
+  std::uint64_t bytes_read = 0;   // decoded bytes of those disk reads
 };
 
 /// Bounded, thread-safe cache of decoded store blocks with pin/unpin

@@ -6,6 +6,7 @@
 #include "core/observe.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "store/block_cursor.h"
 #include "util/timer.h"
 
@@ -39,6 +40,11 @@ StatusOr<core::QueryResult> StoreScanJoin::Execute(
   stats_.threads_used = 1;
   store_stats_ = StoreScanStats();
   obs::TraceSpan exec_span(q.trace, "store_scan");
+  // Cache counters are global to the (possibly shared) BlockCache; the
+  // before/after delta attributes this query's reads and hits. Exact while
+  // no other query runs against the same cache concurrently.
+  const BlockCacheStats cache_before =
+      q.profile != nullptr ? cache_.stats() : BlockCacheStats();
   WallTimer timer;
 
   WallTimer filter_timer;
@@ -105,6 +111,16 @@ StatusOr<core::QueryResult> StoreScanJoin::Execute(
     result.counts.push_back(acc.count);
   }
   stats_.query_seconds = timer.ElapsedSeconds();
+  if (q.profile != nullptr) {
+    const BlockCacheStats cache_now = cache_.stats();
+    q.profile->blocks_total = store_stats_.blocks_total;
+    q.profile->blocks_pruned = store_stats_.blocks_pruned;
+    q.profile->rows_pruned = cursor.rows_pruned();
+    q.profile->store_blocks_scanned = store_stats_.blocks_scanned;
+    q.profile->store_blocks_read = cache_now.blocks_read - cache_before.blocks_read;
+    q.profile->store_cache_hits = cache_now.hits - cache_before.hits;
+    q.profile->store_bytes_read = cache_now.bytes_read - cache_before.bytes_read;
+  }
   core::ObserveExecutorStats("store_scan", stats_);
   return result;
 }

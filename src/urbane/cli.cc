@@ -13,6 +13,7 @@
 #include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "obs/slow_query_log.h"
 #include "urbane/map_view.h"
 #include "util/csv.h"
@@ -66,6 +67,7 @@ const char* CommandInterpreter::Help() {
          "  method scan|index|raster|accurate\n"
          "  cache <points> <regions> on [entries]|off|stats\n"
          "  sql SELECT AGG(attr|*) FROM <points>, <regions> [WHERE ...]\n"
+         "  explain analyze [json] SELECT ...\n"
          "  map <points> <regions> <out.ppm> [title...]\n"
          "  stats [on|off|reset|json]\n"
          "  trace on|off|dump [json]\n"
@@ -151,6 +153,17 @@ Status CommandInterpreter::Dispatch(const std::string& line,
     const std::string sql =
         command == "sql" ? trimmed.substr(tokens[0].size()) : trimmed;
     return CmdSql(std::string(TrimWhitespace(sql)), out);
+  }
+  if (command == "explain") {
+    if (tokens.size() < 3 || ToLowerAscii(tokens[1]) != "analyze") {
+      return Status::InvalidArgument("usage: explain analyze [json] <sql>");
+    }
+    // Strip "explain analyze" (as typed) from the raw line; the rest is
+    // the statement, whose spacing must survive untouched.
+    std::size_t pos =
+        trimmed.find_first_not_of(" \t", tokens[0].size());
+    pos = trimmed.find_first_of(" \t", pos);
+    return CmdExplain(std::string(TrimWhitespace(trimmed.substr(pos))), out);
   }
   if (command == "map") {
     return CmdMap(tokens, out);
@@ -439,6 +452,39 @@ Status CommandInterpreter::CmdSql(const std::string& sql, std::ostream& out) {
     }
     out << "\n";
   }
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdExplain(const std::string& args,
+                                      std::ostream& out) {
+  bool as_json = false;
+  std::string sql = args;
+  {
+    const std::vector<std::string> tokens = Tokenize(args);
+    if (!tokens.empty() && ToLowerAscii(tokens[0]) == "json") {
+      as_json = true;
+      sql = std::string(TrimWhitespace(args.substr(tokens[0].size())));
+    }
+  }
+  if (sql.empty()) {
+    return Status::InvalidArgument("usage: explain analyze [json] <sql>");
+  }
+  obs::QueryProfile profile;
+  profile.context = obs::GenerateTraceContext();
+  URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
+                          manager_.ExecuteSql(sql, method_, nullptr,
+                                              &profile));
+  // Retained like a server-side profile, so `server start` + GET
+  // /v1/profiles/<trace_id> can fetch what the shell just measured.
+  obs::ProfileStore::Global().Insert(profile);
+  if (as_json) {
+    out << profile.ToJson().Dump(2) << "\n";
+    return Status::OK();
+  }
+  std::uint64_t total = 0;
+  for (const auto c : result.counts) total += c;
+  out << profile.ToTable();
+  out << result.size() << " groups, " << total << " matching points\n";
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@ namespace urbane::app {
 ///   method <scan|index|raster|accurate>
 ///   cache <points> <regions> on [entries]|off|stats
 ///   sql SELECT ...                     run a query (paper dialect)
+///   explain analyze [json] SELECT ...  run + print the resource profile
 ///   map <points> <regions> <out.ppm> [title...]
 ///   stats [on|off|reset|json]          process-wide metrics registry
 ///   trace on|off|dump [json]           per-query span traces for sql
@@ -68,6 +69,7 @@ class CommandInterpreter {
   Status CmdMethod(const std::vector<std::string>& args, std::ostream& out);
   Status CmdCache(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSql(const std::string& sql, std::ostream& out);
+  Status CmdExplain(const std::string& args, std::ostream& out);
   Status CmdMap(const std::vector<std::string>& args, std::ostream& out);
   Status CmdStats(const std::vector<std::string>& args, std::ostream& out);
   Status CmdTrace(const std::vector<std::string>& args, std::ostream& out);

@@ -259,7 +259,7 @@ Status DatasetManager::SaveWorkspace(const std::string& directory) const {
 
 StatusOr<core::QueryResult> DatasetManager::ExecuteSql(
     const std::string& sql, core::ExecutionMethod method,
-    obs::QueryTrace* trace) {
+    obs::QueryTrace* trace, obs::QueryProfile* profile) {
   URBANE_ASSIGN_OR_RETURN(core::ParsedQuery parsed,
                           core::ParseQuerySql(sql));
   URBANE_ASSIGN_OR_RETURN(
@@ -269,6 +269,7 @@ StatusOr<core::QueryResult> DatasetManager::ExecuteSql(
   query.aggregate = std::move(parsed.aggregate);
   query.filter = std::move(parsed.filter);
   query.trace = trace;
+  query.profile = profile;
   return engine->Execute(std::move(query), method);
 }
 

@@ -87,10 +87,13 @@ class DatasetManager {
   ///   "SELECT AVG(fare_amount) FROM taxi, neighborhoods
   ///    WHERE t IN [1230768000, 1233446400) AND passenger_count IN [1, 2]"
   /// binding the FROM names to registered data sets / region layers.
-  /// A non-null `trace` collects the query's spans and tags (CLI `trace`).
+  /// A non-null `trace` collects the query's spans and tags (CLI `trace`);
+  /// a non-null `profile` collects the per-request resource breakdown
+  /// (CLI `explain analyze`, see obs/profile.h).
   StatusOr<core::QueryResult> ExecuteSql(const std::string& sql,
                                          core::ExecutionMethod method,
-                                         obs::QueryTrace* trace = nullptr);
+                                         obs::QueryTrace* trace = nullptr,
+                                         obs::QueryProfile* profile = nullptr);
 
  private:
   StatusOr<const data::PointTable*> PointDatasetLocked(

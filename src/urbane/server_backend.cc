@@ -8,7 +8,7 @@ namespace urbane::app {
 
 StatusOr<server::BackendResult> DatasetManagerBackend::ExecuteSql(
     const std::string& sql, std::optional<core::ExecutionMethod> method,
-    const core::QueryControl* control) {
+    const core::QueryControl* control, obs::QueryProfile* profile) {
   URBANE_ASSIGN_OR_RETURN(core::ParsedQuery parsed, core::ParseQuerySql(sql));
   URBANE_ASSIGN_OR_RETURN(
       core::SpatialAggregation * engine,
@@ -20,6 +20,7 @@ StatusOr<server::BackendResult> DatasetManagerBackend::ExecuteSql(
   query.aggregate = std::move(parsed.aggregate);
   query.filter = std::move(parsed.filter);
   query.control = control;
+  query.profile = profile;
 
   server::BackendResult out;
   out.dataset = parsed.points_dataset;

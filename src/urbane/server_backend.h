@@ -19,7 +19,8 @@ class DatasetManagerBackend : public server::QueryBackend {
 
   StatusOr<server::BackendResult> ExecuteSql(
       const std::string& sql, std::optional<core::ExecutionMethod> method,
-      const core::QueryControl* control) override;
+      const core::QueryControl* control,
+      obs::QueryProfile* profile) override;
 
   std::vector<server::CatalogEntry> ListDatasets() override;
   std::vector<server::CatalogEntry> ListRegionLayers() override;

@@ -174,6 +174,7 @@ StatusOr<std::vector<FrameRecord>> InteractionSession::Replay(
       const double hi = attr_min + (attr_max - attr_min) * filter_hi_q;
       query.filter.WithRange(attribute_, lo, hi);
     }
+    query.profile = profile_;
 
     const std::size_t hits_before = engine_.result_cache_hits();
     WallTimer timer;

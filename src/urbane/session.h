@@ -82,11 +82,19 @@ class InteractionSession {
       const std::vector<InteractionEvent>& trace,
       core::ExecutionMethod method);
 
+  /// When non-null, every replayed frame's query carries this profile
+  /// (overwritten per frame — only the last frame's numbers survive). The
+  /// fig8 profile-overhead ablation replays one trace with and without it
+  /// to price per-request attribution; null (the default) keeps replay on
+  /// the unobserved fast path.
+  void set_profile(obs::QueryProfile* profile) { profile_ = profile; }
+
  private:
   core::SpatialAggregation& engine_;
   std::string attribute_;
   std::int64_t t_min_;
   std::int64_t t_max_;
+  obs::QueryProfile* profile_ = nullptr;
 };
 
 }  // namespace urbane::app

@@ -81,9 +81,11 @@ class GatedBackend : public QueryBackend {
  public:
   StatusOr<BackendResult> ExecuteSql(
       const std::string& sql, std::optional<core::ExecutionMethod> method,
-      const core::QueryControl* control) override {
+      const core::QueryControl* control,
+      obs::QueryProfile* profile) override {
     (void)sql;
     (void)method;
+    (void)profile;
     active_.fetch_add(1, std::memory_order_acq_rel);
     Status verdict = Status::OK();
     {
@@ -150,7 +152,7 @@ class QueryServerRoundTripTest : public ::testing::Test {
   std::string DirectRegionsJson(const std::string& sql,
                                 core::ExecutionMethod method) {
     StatusOr<BackendResult> result =
-        backend_->ExecuteSql(sql, method, nullptr);
+        backend_->ExecuteSql(sql, method, nullptr, nullptr);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     if (!result.ok()) return "";
     return RenderResult(*result, 0.0).Find("regions")->Dump();

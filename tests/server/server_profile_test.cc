@@ -1,0 +1,252 @@
+// End-to-end trace-context propagation and per-request profiles over the
+// HTTP surface: an inbound W3C traceparent must be honored and echoed; a
+// malformed one must be IGNORED (fresh context, request still served —
+// the spec forbids rejecting on a bad header); `?profile=1` (or
+// X-Urbane-Profile: 1) must attach an urbane.profile.v1 document whose
+// trace id matches the response header, the retained copy at
+// GET /v1/profiles/<trace_id>, and — when the journal is on — the trace
+// stamp on every event the request emitted. One id links every artifact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/json.h"
+#include "net/socket.h"
+#include "obs/event_journal.h"
+#include "obs/obs.h"
+#include "obs/profile.h"
+#include "server/query_server.h"
+#include "testing/test_worlds.h"
+#include "urbane/dataset_manager.h"
+#include "urbane/server_backend.h"
+
+namespace urbane::server {
+namespace {
+
+constexpr char kInboundTraceparent[] =
+    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+constexpr char kInboundTraceId[] = "4bf92f3577b34da6a3ce929d0e0e4736";
+
+struct HttpReply {
+  int status = 0;
+  std::string headers;  // raw header block, lowercased names by the peer
+  std::string body;
+};
+
+HttpReply RoundTrip(std::uint16_t port, const std::string& raw) {
+  HttpReply reply;
+  StatusOr<int> fd = net::ConnectLoopback(port);
+  if (!fd.ok()) return reply;
+  net::SetSocketTimeouts(*fd, 10'000, 10'000);
+  std::string response;
+  if (net::SendAll(*fd, raw).ok() && net::RecvAll(*fd, &response).ok() &&
+      response.size() >= 12) {
+    reply.status = std::atoi(response.c_str() + 9);
+    const std::size_t split = response.find("\r\n\r\n");
+    if (split != std::string::npos) {
+      reply.headers = response.substr(0, split);
+      reply.body = response.substr(split + 4);
+    }
+  }
+  net::CloseSocket(*fd);
+  return reply;
+}
+
+HttpReply Post(std::uint16_t port, const std::string& target,
+               const std::string& json,
+               const std::vector<std::pair<std::string, std::string>>&
+                   extra_headers = {}) {
+  std::string raw = "POST " + target + " HTTP/1.1\r\nHost: x\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    raw += name + ": " + value + "\r\n";
+  }
+  raw += "Content-Length: " + std::to_string(json.size()) + "\r\n\r\n" + json;
+  return RoundTrip(port, raw);
+}
+
+HttpReply Get(std::uint16_t port, const std::string& target) {
+  return RoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+/// The echoed traceparent header value, or "" when the response lacks one.
+std::string EchoedTraceparent(const HttpReply& reply) {
+  const std::string needle = "\r\ntraceparent: ";
+  // Header names may come back in any case; the server emits lowercase.
+  const std::size_t at = reply.headers.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = reply.headers.find("\r\n", begin);
+  return reply.headers.substr(begin, end - begin);
+}
+
+class ServerProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!net::SocketsAvailable()) GTEST_SKIP() << "no sockets here";
+    ASSERT_TRUE(manager_
+                    .AddPointDataset("pts",
+                                     testing::MakeDyadicPoints(4000, 0x9AFE))
+                    .ok());
+    ASSERT_TRUE(manager_
+                    .AddRegionLayer("cells",
+                                    testing::MakeTessellationRegions(3, 5))
+                    .ok());
+    obs::ProfileStore::Global().Clear();
+  }
+
+  app::DatasetManager manager_;
+};
+
+constexpr char kQueryJson[] =
+    R"({"sql": "SELECT SUM(v) FROM pts, cells", "method": "scan"})";
+
+TEST_F(ServerProfileTest, InboundTraceparentIsHonoredEndToEnd) {
+  app::DatasetManagerBackend backend(&manager_);
+  QueryServer server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpReply reply =
+      Post(server.port(), "/v1/query?profile=1", kQueryJson,
+           {{"traceparent", kInboundTraceparent}});
+  ASSERT_EQ(reply.status, 200) << reply.body;
+
+  // The response echoes the inherited trace id (fresh parent span id is
+  // allowed; the trace id is the correlation key).
+  const std::string echoed = EchoedTraceparent(reply);
+  ASSERT_EQ(echoed.size(), 55u) << echoed;
+  EXPECT_EQ(echoed.substr(3, 32), kInboundTraceId);
+
+  // The body embeds the profile document under the same trace.
+  const auto parsed = data::ParseJson(reply.body);
+  ASSERT_TRUE(parsed.ok());
+  const data::JsonValue* profile = parsed->Find("profile");
+  ASSERT_NE(profile, nullptr) << reply.body;
+  EXPECT_EQ(profile->Find("schema")->AsString(), "urbane.profile.v1");
+  EXPECT_EQ(profile->Find("trace_id")->AsString(), kInboundTraceId);
+  EXPECT_EQ(profile->Find("method")->AsString(), "scan");
+  // Queue wait was measured at the server layer (>= 0 and present).
+  ASSERT_NE(profile->Find("request"), nullptr);
+  EXPECT_GE(profile->Find("request")->Find("queue_wait_seconds")->AsNumber(),
+            0.0);
+
+  // The retained copy is addressable by the same trace id...
+  const HttpReply stored =
+      Get(server.port(), std::string("/v1/profiles/") + kInboundTraceId);
+  ASSERT_EQ(stored.status, 200) << stored.body;
+  const auto stored_doc = data::ParseJson(stored.body);
+  ASSERT_TRUE(stored_doc.ok());
+  EXPECT_EQ(stored_doc->Find("trace_id")->AsString(), kInboundTraceId);
+
+  // ...and shows up in the recent listing.
+  const HttpReply recent = Get(server.port(), "/v1/profiles/recent");
+  ASSERT_EQ(recent.status, 200);
+  EXPECT_NE(recent.body.find(kInboundTraceId), std::string::npos)
+      << recent.body;
+  server.Stop();
+}
+
+TEST_F(ServerProfileTest, JournalEventsCarryTheRequestTraceId) {
+  obs::SetJournalEnabled(true);
+  if (!obs::JournalEnabled()) GTEST_SKIP() << "obs compiled out";
+  app::DatasetManagerBackend backend(&manager_);
+  QueryServer server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<obs::Event> drained;
+  obs::EventJournal::Global().Drain(&drained);  // discard pre-test noise
+  drained.clear();
+
+  const HttpReply reply =
+      Post(server.port(), "/v1/query", kQueryJson,
+           {{"traceparent", kInboundTraceparent}});
+  ASSERT_EQ(reply.status, 200) << reply.body;
+
+  obs::TraceContext inbound;
+  ASSERT_TRUE(obs::ParseTraceparent(kInboundTraceparent, &inbound));
+  obs::EventJournal::Global().Drain(&drained);
+  std::size_t stamped = 0;
+  for (const obs::Event& event : drained) {
+    if (event.trace_hi == inbound.trace_hi &&
+        event.trace_lo == inbound.trace_lo) {
+      ++stamped;
+    }
+  }
+  // At least query.start/query.finish ran under the request's context.
+  EXPECT_GE(stamped, 2u) << "of " << drained.size() << " drained events";
+  server.Stop();
+  obs::SetJournalEnabled(false);
+}
+
+TEST_F(ServerProfileTest, MalformedTraceparentIsIgnoredNotRejected) {
+  app::DatasetManagerBackend backend(&manager_);
+  QueryServer server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> corpus = {
+      "nonsense",
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902xx-01",
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+  };
+  for (const std::string& header : corpus) {
+    const HttpReply reply = Post(server.port(), "/v1/query?profile=1",
+                                 kQueryJson, {{"traceparent", header}});
+    // Served anyway, under a freshly generated (different) trace.
+    ASSERT_EQ(reply.status, 200) << header << ": " << reply.body;
+    const std::string echoed = EchoedTraceparent(reply);
+    ASSERT_EQ(echoed.size(), 55u) << header;
+    EXPECT_NE(echoed.substr(3, 32), kInboundTraceId) << header;
+    const auto parsed = data::ParseJson(reply.body);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->Find("profile")->Find("trace_id")->AsString(),
+              echoed.substr(3, 32))
+        << header;
+  }
+  server.Stop();
+}
+
+TEST_F(ServerProfileTest, ProfileIsOptInPerRequest) {
+  app::DatasetManagerBackend backend(&manager_);
+  QueryServer server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  // No opt-in: response still carries a traceparent but no profile.
+  const HttpReply plain = Post(server.port(), "/v1/query", kQueryJson);
+  ASSERT_EQ(plain.status, 200);
+  EXPECT_EQ(EchoedTraceparent(plain).size(), 55u);
+  const auto plain_doc = data::ParseJson(plain.body);
+  ASSERT_TRUE(plain_doc.ok());
+  EXPECT_EQ(plain_doc->Find("profile"), nullptr) << plain.body;
+
+  // The header spelling of the opt-in works too.
+  const HttpReply via_header = Post(server.port(), "/v1/query", kQueryJson,
+                                    {{"X-Urbane-Profile", "1"}});
+  ASSERT_EQ(via_header.status, 200);
+  const auto header_doc = data::ParseJson(via_header.body);
+  ASSERT_TRUE(header_doc.ok());
+  EXPECT_NE(header_doc->Find("profile"), nullptr) << via_header.body;
+  server.Stop();
+}
+
+TEST_F(ServerProfileTest, ProfileEndpointErrors) {
+  app::DatasetManagerBackend backend(&manager_);
+  QueryServer server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Unknown (never-retained) trace id -> 404 with the error envelope.
+  const HttpReply missing = Get(
+      server.port(), "/v1/profiles/ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("NotFound"), std::string::npos) << missing.body;
+
+  // The profiles surface is read-only.
+  const HttpReply posted = Post(server.port(), "/v1/profiles/recent", "{}");
+  EXPECT_EQ(posted.status, 405) << posted.body;
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace urbane::server

@@ -59,7 +59,7 @@ class FailedShardBackend : public QueryBackend {
 
   StatusOr<BackendResult> ExecuteSql(
       const std::string&, std::optional<core::ExecutionMethod>,
-      const core::QueryControl*) override {
+      const core::QueryControl*, obs::QueryProfile*) override {
     return failure_;
   }
   std::vector<CatalogEntry> ListDatasets() override { return {}; }
@@ -137,7 +137,7 @@ TEST_F(ServerShardRoundTripTest, ShardedResponsesMatchUnshardedByteForByte) {
           sql,
           std::string(method) == "scan" ? core::ExecutionMethod::kScan
                                         : core::ExecutionMethod::kAccurateRaster,
-          nullptr);
+          nullptr, nullptr);
       ASSERT_TRUE(direct.ok()) << direct.status().ToString();
       const std::string expected =
           RenderResult(*direct, 0.0).Find("regions")->Dump();
@@ -163,7 +163,7 @@ TEST_F(ServerShardRoundTripTest, ShardMetricsSurfaceAfterShardedQueries) {
   app::DatasetManagerBackend backend(&sharded_manager_);
   ASSERT_TRUE(backend
                   .ExecuteSql("SELECT SUM(v) FROM pts, cells",
-                              core::ExecutionMethod::kScan, nullptr)
+                              core::ExecutionMethod::kScan, nullptr, nullptr)
                   .ok());
   QueryServer server(&backend);
   ASSERT_TRUE(server.Start().ok());

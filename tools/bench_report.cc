@@ -202,6 +202,39 @@ StatusOr<std::vector<BaselineHistogram>> LoadBaseline(
   return out;
 }
 
+// fig8 --profile-overhead writes a fig8_profile_overhead table with raw
+// totals in the `total_s` column; the on-vs-off delta is the price of
+// per-request attribution and is gated here, independent of --threshold:
+// profiles must stay (near) free even where latency is allowed to drift.
+constexpr double kProfileOverheadGatePct = 2.0;
+
+/// Returns the profile-on overhead percentage from a fig8_profile_overhead
+/// entry, or false when the entry/columns are missing or unparsable.
+bool ProfileOverheadPct(const BenchEntry& entry, double* pct) {
+  const auto column = [&](const char* name) -> int {
+    for (std::size_t c = 0; c < entry.columns.size(); ++c) {
+      if (entry.columns[c] == name) return static_cast<int>(c);
+    }
+    return -1;
+  };
+  const int mode_col = column("profile");
+  const int total_col = column("total_s");
+  if (mode_col < 0 || total_col < 0) return false;
+  double off = 0.0;
+  double on = 0.0;
+  for (const auto& row : entry.rows) {
+    if (static_cast<int>(row.size()) <= std::max(mode_col, total_col)) {
+      continue;
+    }
+    const double total = std::strtod(row[total_col].c_str(), nullptr);
+    if (row[mode_col] == "off") off = total;
+    if (row[mode_col] == "on") on = total;
+  }
+  if (off <= 0.0 || on <= 0.0) return false;
+  *pct = 100.0 * (on - off) / off;
+  return true;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--dir <dir>] [--out <path>] [--baseline <path>] "
@@ -300,6 +333,26 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu benches)\n", out_path.c_str(), entries.size());
 
+  // Profile-overhead gate: applies whenever a fig8 --profile-overhead
+  // snapshot is part of the sweep.
+  int profile_gate_failures = 0;
+  for (const BenchEntry& entry : entries) {
+    if (entry.name != "fig8_profile_overhead") continue;
+    double pct = 0.0;
+    if (!ProfileOverheadPct(entry, &pct)) {
+      std::fprintf(stderr, "%s: fig8_profile_overhead table lacks usable "
+                           "profile/total_s columns\n",
+                   entry.source.c_str());
+      ++profile_gate_failures;
+      continue;
+    }
+    const bool failed = pct > kProfileOverheadGatePct;
+    if (failed) ++profile_gate_failures;
+    std::printf("profile overhead (fig8, on vs off): %+.2f%% "
+                "(gate < %.1f%%)%s\n",
+                pct, kProfileOverheadGatePct, failed ? "  FAILED" : "");
+  }
+
   // Baseline comparison.
   StatusOr<std::vector<BaselineHistogram>> baseline =
       LoadBaseline(baseline_path);
@@ -311,7 +364,7 @@ int main(int argc, char** argv) {
     }
     std::printf("no baseline at %s; skipping regression check\n",
                 baseline_path.c_str());
-    return 0;
+    return profile_gate_failures > 0 ? 1 : 0;
   }
 
   std::printf("\n%-28s %-34s %12s %12s %8s\n", "bench", "histogram",
@@ -340,7 +393,7 @@ int main(int argc, char** argv) {
   }
   if (compared == 0) {
     std::printf("(no overlapping histograms with the baseline)\n");
-    return 0;
+    return profile_gate_failures > 0 ? 1 : 0;
   }
   if (regressions > 0) {
     std::fprintf(stderr,
@@ -350,5 +403,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nno regressions beyond %.1f%% vs %s\n", threshold_pct,
               baseline_path.c_str());
-  return 0;
+  return profile_gate_failures > 0 ? 1 : 0;
 }

@@ -57,12 +57,17 @@ if [[ "${MODE}" == "fast" ]]; then
   cmake --build "${BUILD_DIR}" -j "${JOBS}" \
     --target util_test geometry_test raster_test simd_test index_test \
              data_test obs_test obs_pipeline_test net_test store_test \
-             shard_unit_test shard_test server_shard_test
+             shard_unit_test shard_test server_shard_test \
+             profile_test server_profile_test
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
   # The full shard conformance gate (oracle, property, interleave, fault,
   # store/server surfaces) — slow-labeled suites included on purpose: the
   # merge contract is this repo's current frontier.
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L shard "$@"
+  # The query-profile gate (DESIGN.md §12): traceparent corpus, profile
+  # goldens, and the HTTP propagation suite (slow-labeled, so -L fast
+  # above does not already cover all of it).
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -L profile "$@"
   SIMD_LEVELS="off sse2"
   if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
     SIMD_LEVELS="${SIMD_LEVELS} avx2"
@@ -83,7 +88,8 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target core_test obs_test obs_pipeline_test net_test server_test \
-           store_test shard_unit_test shard_test server_shard_test
+           store_test shard_unit_test shard_test server_shard_test \
+           profile_test server_profile_test
 
 URBANE_SIMD=off \
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
@@ -97,5 +103,13 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure \
 URBANE_SIMD=off \
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L shard "$@"
+
+# The profile plumbing under TSan: per-shard wall/CPU slots are written on
+# pool workers and folded on the coordinator after the gather fence, and
+# the ProfileStore takes concurrent inserts from server workers — both
+# claims the instrumented build should be allowed to falsify.
+URBANE_SIMD=off \
+TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L profile "$@"
 
 echo "tsan check OK"
