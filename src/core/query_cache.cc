@@ -149,7 +149,8 @@ std::optional<QueryResult> QueryCache::Lookup(std::uint64_t key,
   return it->second->result;
 }
 
-void QueryCache::Insert(std::uint64_t key, const QueryResult& result) {
+void QueryCache::Insert(std::uint64_t key, const QueryResult& result,
+                        std::optional<TimeInterval> valid_time) {
   if (!enabled()) {
     return;
   }
@@ -163,16 +164,40 @@ void QueryCache::Insert(std::uint64_t key, const QueryResult& result) {
     shard.bytes -= it->second->bytes;
     it->second->result = result;
     it->second->bytes = bytes;
+    it->second->valid_time = valid_time;
     shard.bytes += bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{key, result, bytes});
+    shard.lru.push_front(Entry{key, result, bytes, valid_time});
     shard.map.emplace(key, shard.lru.begin());
     shard.bytes += bytes;
     ++shard.inserts;
     BumpCacheCounter("cache.inserts");
   }
   TrimLocked(shard);
+}
+
+std::size_t QueryCache::InvalidateTimeOverlap(std::int64_t begin,
+                                              std::int64_t end) {
+  std::size_t dropped = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const bool affected =
+          !it->valid_time.has_value() ||
+          (it->valid_time->begin < end && it->valid_time->end > begin);
+      if (!affected) {
+        ++it;
+        continue;
+      }
+      shard.bytes -= it->bytes;
+      shard.map.erase(it->key);
+      it = shard.lru.erase(it);
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 void QueryCache::Clear() {

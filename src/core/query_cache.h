@@ -92,10 +92,32 @@ class QueryCache {
   std::optional<QueryResult> Lookup(std::uint64_t key,
                                     bool record_miss = true);
 
+  /// The half-open time interval [begin, end) a cached answer depends on.
+  /// An entry tagged with one is *closed over time*: rows outside the
+  /// interval can never change it, so appends elsewhere keep it valid.
+  struct TimeInterval {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+
   /// Inserts (or refreshes) an entry, then evicts LRU entries until the
   /// shard is within its entry and byte bounds. A result too large for its
   /// shard's byte bound is simply not retained.
-  void Insert(std::uint64_t key, const QueryResult& result);
+  ///
+  /// `valid_time` is the entry's dependency interval (the query's time
+  /// filter); nullopt means the answer depends on every row, so any append
+  /// invalidates it. See InvalidateTimeOverlap.
+  void Insert(std::uint64_t key, const QueryResult& result,
+              std::optional<TimeInterval> valid_time = std::nullopt);
+
+  /// Scoped invalidation for appendable engines: drops exactly the entries
+  /// whose dependency interval intersects the appended half-open interval
+  /// [begin, end), plus every untagged entry (no time filter = depends on
+  /// all rows). Entries over fully-closed time ranges below the appended
+  /// interval stay cached — this replaces the config-epoch bump that used
+  /// to flush provably-unaffected answers on every append.
+  /// Returns the number of entries dropped.
+  std::size_t InvalidateTimeOverlap(std::int64_t begin, std::int64_t end);
 
   /// Drops every entry (counters other than entries/bytes are kept).
   void Clear();
@@ -119,6 +141,7 @@ class QueryCache {
     std::uint64_t key = 0;
     QueryResult result;
     std::size_t bytes = 0;
+    std::optional<TimeInterval> valid_time;
   };
   struct Shard {
     mutable std::mutex mu;

@@ -36,12 +36,7 @@ int ResolutionForEpsilon(const geometry::BoundingBox& world,
   return std::max(1, static_cast<int>(std::ceil(r)));
 }
 
-namespace {
-
-geometry::BoundingBox ComputeCanvasWorld(const data::PointTable& points,
-                                         const data::RegionSet& regions) {
-  geometry::BoundingBox world = points.Bounds();
-  world.Extend(regions.Bounds());
+geometry::BoundingBox PadCanvasWorld(geometry::BoundingBox world) {
   if (world.IsEmpty()) {
     world = geometry::BoundingBox(0, 0, 1, 1);
   }
@@ -50,6 +45,15 @@ geometry::BoundingBox ComputeCanvasWorld(const data::PointTable& points,
   const double pad =
       1e-9 * std::max({1.0, std::fabs(world.max_x), std::fabs(world.max_y)});
   return world.Expanded(std::max(pad, 1e-7 * std::max(1.0, world.Width())));
+}
+
+namespace {
+
+geometry::BoundingBox ComputeCanvasWorld(const data::PointTable& points,
+                                         const data::RegionSet& regions) {
+  geometry::BoundingBox world = points.Bounds();
+  world.Extend(regions.Bounds());
+  return PadCanvasWorld(world);
 }
 
 }  // namespace

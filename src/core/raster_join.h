@@ -48,6 +48,15 @@ struct RasterJoinOptions {
 raster::Viewport MakeCanvas(const geometry::BoundingBox& world,
                             int resolution);
 
+/// The finishing step of default canvas-world derivation: empty worlds
+/// fall back to the unit box and the edges are padded so points sitting
+/// exactly on the max edge stay inside after float32 -> double round
+/// trips. Exposed so composed engines (ingest::LiveEngine) that pin an
+/// explicit world from a union of component bounds produce a canvas
+/// BIT-identical to the one a stop-the-world engine would derive from the
+/// concatenated rows.
+geometry::BoundingBox PadCanvasWorld(geometry::BoundingBox world);
+
 /// Smallest resolution whose pixel diagonal is <= `epsilon_world` (meters in
 /// the Mercator plane), i.e. the cheapest canvas honoring the error bound.
 int ResolutionForEpsilon(const geometry::BoundingBox& world,

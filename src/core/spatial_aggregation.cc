@@ -16,6 +16,23 @@
 
 namespace urbane::core {
 
+namespace {
+
+/// The dependency interval a cached answer carries: the filter's time range
+/// when present (the answer cannot depend on rows outside it), nullopt
+/// otherwise (any append invalidates it). See
+/// QueryCache::InvalidateTimeOverlap.
+std::optional<QueryCache::TimeInterval> CacheValidTime(
+    const FilterSpec& filter) {
+  if (!filter.time_range.has_value()) {
+    return std::nullopt;
+  }
+  return QueryCache::TimeInterval{filter.time_range->begin,
+                                  filter.time_range->end};
+}
+
+}  // namespace
+
 SpatialAggregation::SpatialAggregation(const data::PointTable& points,
                                        const data::RegionSet& regions,
                                        const RasterJoinOptions& raster_options,
@@ -231,7 +248,7 @@ StatusOr<QueryResult> SpatialAggregation::ExecuteUnobserved(
     FillProfilePassCosts(stats, &query.profile->totals);
   }
   if (use_cache) {
-    cache_.Insert(key, result);
+    cache_.Insert(key, result, CacheValidTime(query.filter));
   }
   return result;
 }
@@ -391,7 +408,8 @@ StatusOr<std::vector<QueryResult>> SpatialAggregation::ExecuteMany(
         if (batched.ok()) {
           for (std::size_t k = 0; k < missing.size(); ++k) {
             if (use_cache) {
-              cache_.Insert(keys[missing[k]], (*batched)[k]);
+              cache_.Insert(keys[missing[k]], (*batched)[k],
+                            CacheValidTime(queries[missing[k]].filter));
             }
             found[missing[k]] = std::move((*batched)[k]);
           }

@@ -105,6 +105,15 @@ class SpatialAggregation {
 
   void set_result_cache_capacity(std::size_t capacity);
   void set_result_cache_max_bytes(std::size_t max_bytes);
+
+  /// Scoped cache invalidation for appendable row sets (the ingest layer's
+  /// LiveEngine): drops exactly the cached answers whose time filter
+  /// intersects the appended half-open interval, plus every entry with no
+  /// time filter. No epoch bump — answers over fully-closed time ranges
+  /// outside the interval stay served from cache. Returns entries dropped.
+  std::size_t InvalidateTimeRange(std::int64_t begin, std::int64_t end) {
+    return cache_.InvalidateTimeOverlap(begin, end);
+  }
   QueryCacheStats result_cache_stats() const { return cache_.stats(); }
   std::size_t result_cache_hits() const { return cache_.stats().hits; }
   std::size_t result_cache_size() const { return cache_.stats().entries; }

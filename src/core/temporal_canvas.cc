@@ -25,9 +25,17 @@ StatusOr<std::unique_ptr<TemporalCanvasIndex>> TemporalCanvasIndex::Build(
 
   auto index = std::unique_ptr<TemporalCanvasIndex>(new TemporalCanvasIndex(
       points, regions, probe->canvas(), options.time_bins));
-  const auto [t0, t1] = points.TimeRange();
-  index->min_time_ = t0;
-  index->max_time_ = t1;
+  if (options.time_domain.has_value()) {
+    if (options.time_domain->second < options.time_domain->first) {
+      return Status::InvalidArgument("temporal canvas time_domain inverted");
+    }
+    index->min_time_ = options.time_domain->first;
+    index->max_time_ = options.time_domain->second;
+  } else {
+    const auto [t0, t1] = points.TimeRange();
+    index->min_time_ = t0;
+    index->max_time_ = t1;
+  }
   index->pixels_per_canvas_ =
       static_cast<std::size_t>(index->viewport_.width()) *
       index->viewport_.height();
@@ -62,6 +70,25 @@ StatusOr<std::unique_ptr<TemporalCanvasIndex>> TemporalCanvasIndex::Build(
   }
   index->build_seconds_ = timer.ElapsedSeconds();
   return index;
+}
+
+Status TemporalCanvasIndex::Append(const data::PointTable& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    int ix;
+    int iy;
+    if (!viewport_.PixelForPoint({batch.x(i), batch.y(i)}, ix, iy)) {
+      continue;
+    }
+    const int bin = BinForTime(batch.t(i));
+    const std::size_t pixel =
+        static_cast<std::size_t>(iy) * viewport_.width() + ix;
+    // Only the prefix canvases above this bin change: prefix_[p] counts all
+    // bins < p, so a point in `bin` is visible from p = bin + 1 upward.
+    for (int p = bin + 1; p <= time_bins_; ++p) {
+      ++prefix_[static_cast<std::size_t>(p) * pixels_per_canvas_ + pixel];
+    }
+  }
+  return Status::OK();
 }
 
 int TemporalCanvasIndex::BinForTime(std::int64_t t) const {

@@ -1,0 +1,157 @@
+#ifndef URBANE_INGEST_LIVE_ENGINE_H_
+#define URBANE_INGEST_LIVE_ENGINE_H_
+
+// Snapshot-composed query execution over a LiveTable.
+//
+// Every query runs against one LiveTable::Snapshot() — a consistent as-of
+// picture of base + runs + hot — so a query never sees half an append and
+// the watermark it reports is exactly the row count it executed over.
+// Each component gets its own core::SpatialAggregation engine (zone maps
+// attached for store-backed components, the configured shard fan-out for
+// all of them); the per-component partial results merge under the shard
+// contract (shard/shard_merge.h), which is exactly the merge a sharded
+// engine applies to row-range shards — a component is just a shard whose
+// boundary is a run boundary. All component engines pin one shared canvas
+// world (the union of every component's bounds and the region bounds), so
+// raster canvases align bit-for-bit with a stop-the-world engine over the
+// concatenated rows: the ingest-equivalence oracle in
+// tests/ingest/live_engine_test.cc checks bit-identity per executor,
+// aggregate, filter, thread count and shard fan-out.
+//
+// Result caching & watermark semantics: the engine keeps one QueryCache
+// whose keys deliberately exclude the watermark. Appends invalidate by
+// *time overlap* instead (LiveTable's append log supplies the appended
+// intervals), so an answer over a fully-closed time range keeps hitting
+// across appends that only touch newer times — the fix for the coarse
+// config-epoch invalidation. Flush/compact events also invalidate their
+// run's interval: the row set is unchanged but the Morton re-order changes
+// float summation order, so a cached SUM could differ bitwise from a
+// re-execution.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/query.h"
+#include "core/query_cache.h"
+#include "core/spatial_aggregation.h"
+#include "core/temporal_canvas.h"
+#include "data/region.h"
+#include "ingest/live_table.h"
+#include "util/status.h"
+
+namespace urbane::ingest {
+
+struct LiveEngineOptions {
+  core::RasterJoinOptions raster_options;  // world is pinned internally
+  core::IndexJoinOptions index_options;
+  core::ExecutionContext exec;
+  /// Shard fan-out applied to every component engine (1 = unsharded).
+  std::size_t num_shards = 1;
+  /// Result cache bound (0 disables, like the facade's default).
+  std::size_t cache_entries = 0;
+  std::size_t cache_max_bytes = 256u << 20;
+  /// Layout of the lazily-built time-brushing index (world/time_domain are
+  /// pinned internally so incremental Append stays rebuild-identical).
+  core::TemporalCanvasOptions canvas_options;
+};
+
+class LiveEngine {
+ public:
+  /// `table` and `regions` are borrowed and must outlive the engine.
+  LiveEngine(LiveTable* table, const data::RegionSet* regions,
+             const LiveEngineOptions& options = LiveEngineOptions());
+
+  ~LiveEngine();
+  LiveEngine(const LiveEngine&) = delete;
+  LiveEngine& operator=(const LiveEngine&) = delete;
+
+  /// Executes against the current snapshot. `watermark` (optional)
+  /// receives the snapshot's visible row count — the as-of position the
+  /// result is exact for. Safe to call concurrently with appends and
+  /// flushes; concurrent Execute calls serialize on the engine mutex.
+  StatusOr<core::QueryResult> Execute(core::AggregationQuery query,
+                                      core::ExecutionMethod method,
+                                      std::uint64_t* watermark = nullptr);
+
+  /// Plans over the combined workload profile (total rows, shared world,
+  /// row-weighted selectivity estimate), then executes the chosen method at
+  /// the engine's configured resolution. `plan` (optional) receives the
+  /// choice.
+  StatusOr<core::QueryResult> ExecuteAuto(
+      core::AggregationQuery query, const core::AccuracyRequirement& accuracy,
+      std::uint64_t* watermark = nullptr, core::QueryPlan* plan = nullptr);
+
+  /// COUNT per region over a bin-snapped time window, served by the
+  /// incrementally-maintained TemporalCanvasIndex (built lazily on first
+  /// use, appended to — never rebuilt — as rows arrive, unless the world
+  /// grows or the append log overflowed).
+  StatusOr<core::QueryResult> BrushTimeWindow(
+      std::int64_t t_begin, std::int64_t t_end,
+      std::int64_t* snapped_begin = nullptr,
+      std::int64_t* snapped_end = nullptr, std::uint64_t* watermark = nullptr);
+
+  /// Reconfigures the component fan-out; bumps the epoch (cached results
+  /// from a different fan-out could differ bitwise).
+  void set_num_shards(std::size_t num_shards);
+
+  void set_result_cache_capacity(std::size_t capacity);
+  core::QueryCacheStats result_cache_stats() const { return cache_.stats(); }
+
+  const LiveTable& table() const { return *table_; }
+  const data::RegionSet& regions() const { return *regions_; }
+  std::uint64_t config_epoch() const { return epoch_; }
+
+ private:
+  /// One entry of the component stack with its lazily-reused engine.
+  struct Component {
+    /// Identity for engine reuse across refreshes: the base table pointer,
+    /// the LiveRun pointer, or the hot tag below.
+    const void* identity = nullptr;
+    std::shared_ptr<const LiveRun> run;   // keeps a run component alive
+    std::shared_ptr<Memtable> hot_owner;  // keeps the hot columns alive
+    data::PointTable hot_table;           // stable view storage (hot only)
+    const data::PointTable* table = nullptr;
+    const core::ZoneMapIndex* zone_maps = nullptr;
+    std::unique_ptr<core::SpatialAggregation> engine;
+  };
+
+  /// Reconciles components with the snapshot, handles world growth
+  /// (rebuild everything + clear cache) and catches up the append log
+  /// (scoped cache invalidation + canvas appends). Requires mu_ held.
+  Status RefreshLocked(const LiveSnapshot& snapshot);
+  Status RebuildComponentEngineLocked(Component& component);
+  StatusOr<core::QueryResult> ExecuteComposedLocked(
+      const core::AggregationQuery& query, core::ExecutionMethod method);
+  core::QueryResult EmptyResult(core::AggregateKind kind,
+                                core::ExecutionMethod method) const;
+  Status EnsureCanvasLocked(const LiveSnapshot& snapshot);
+
+  LiveTable* const table_;
+  const data::RegionSet* const regions_;
+  LiveEngineOptions options_;
+
+  /// Serializes refresh + execution (component engines already serialize
+  /// per method internally; the coarse lock keeps refresh atomic).
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Component>> components_;
+  geometry::BoundingBox world_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t seen_seq_ = 0;  // append-log position already applied
+  std::uint64_t hot_generation_ = 0;
+  std::uint64_t hot_rows_ = 0;
+  core::QueryCache cache_;
+
+  std::unique_ptr<core::TemporalCanvasIndex> canvas_;
+  data::PointTable canvas_seed_;  // empty table the canvas is built over
+  std::uint64_t canvas_seq_ = 0;  // append-log position folded into canvas
+
+  /// Identity tag for the hot component (see Component::identity).
+  static const char kHotTag;
+};
+
+}  // namespace urbane::ingest
+
+#endif  // URBANE_INGEST_LIVE_ENGINE_H_

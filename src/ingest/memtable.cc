@@ -1,0 +1,75 @@
+#include "ingest/memtable.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace urbane::ingest {
+
+Memtable::Memtable(data::Schema schema, std::size_t capacity)
+    : schema_(std::move(schema)), capacity_(std::max<std::size_t>(1, capacity)) {
+  xs_.resize(capacity_);
+  ys_.resize(capacity_);
+  ts_.resize(capacity_);
+  attrs_.resize(schema_.attribute_count());
+  for (auto& column : attrs_) {
+    column.resize(capacity_);
+  }
+}
+
+Status Memtable::Append(const data::PointTable& batch) {
+  if (batch.schema().attribute_count() != schema_.attribute_count()) {
+    return Status::InvalidArgument(StringPrintf(
+        "batch has %zu attributes, memtable expects %zu",
+        batch.schema().attribute_count(), schema_.attribute_count()));
+  }
+  if (!Fits(batch.size())) {
+    return Status::ResourceExhausted(StringPrintf(
+        "memtable full: %zu rows held, %zu appended, capacity %zu",
+        size_, batch.size(), capacity_));
+  }
+  const std::size_t rows = batch.size();
+  std::copy_n(batch.xs(), rows, xs_.begin() + size_);
+  std::copy_n(batch.ys(), rows, ys_.begin() + size_);
+  std::copy_n(batch.ts(), rows, ts_.begin() + size_);
+  for (std::size_t c = 0; c < attrs_.size(); ++c) {
+    std::copy_n(batch.attribute_data(c), rows, attrs_[c].begin() + size_);
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    bounds_.Extend({batch.x(i), batch.y(i)});
+    const std::int64_t t = batch.t(i);
+    if (size_ + i == 0) {
+      min_t_ = max_t_ = t;
+    } else {
+      min_t_ = std::min(min_t_, t);
+      max_t_ = std::max(max_t_, t);
+    }
+  }
+  size_ += rows;
+  return Status::OK();
+}
+
+StatusOr<data::PointTable> Memtable::View(std::size_t rows) const {
+  if (rows > size_) {
+    return Status::InvalidArgument("memtable view beyond published rows");
+  }
+  std::vector<const float*> attribute_columns;
+  attribute_columns.reserve(attrs_.size());
+  for (const auto& column : attrs_) {
+    attribute_columns.push_back(column.data());
+  }
+  return data::PointTable::View(schema_, xs_.data(), ys_.data(), ts_.data(),
+                                std::move(attribute_columns), rows);
+}
+
+std::size_t Memtable::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this) + xs_.capacity() * sizeof(float) +
+                      ys_.capacity() * sizeof(float) +
+                      ts_.capacity() * sizeof(std::int64_t);
+  for (const auto& column : attrs_) {
+    bytes += column.capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace urbane::ingest

@@ -1,0 +1,75 @@
+#ifndef URBANE_INGEST_MEMTABLE_H_
+#define URBANE_INGEST_MEMTABLE_H_
+
+// The in-memory hot run of the ingest path: a bounded, append-only
+// columnar buffer of recent points.
+//
+// Columns are allocated to full capacity up front and never reallocate, so
+// a PointTable view over the first `size()` rows stays valid for the
+// memtable's lifetime. Synchronization is external (LiveTable's mutex):
+// the writer appends rows and advances `size()` under the lock, readers
+// obtain `size()` under the same lock and then scan the immutable prefix
+// lock-free — published rows are never mutated again, so a reader and the
+// writer can never touch the same element.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/point_table.h"
+#include "data/schema.h"
+#include "geometry/bounding_box.h"
+#include "util/status.h"
+
+namespace urbane::ingest {
+
+class Memtable {
+ public:
+  Memtable(data::Schema schema, std::size_t capacity);
+
+  Memtable(const Memtable&) = delete;
+  Memtable& operator=(const Memtable&) = delete;
+
+  const data::Schema& schema() const { return schema_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool Fits(std::size_t rows) const { return size_ + rows <= capacity_; }
+
+  /// Copies the batch's rows in arrival order. InvalidArgument on an arity
+  /// mismatch, ResourceExhausted when the batch does not fit.
+  Status Append(const data::PointTable& batch);
+
+  /// Borrowed view over the first `rows` rows (pass size() for all).
+  /// Column pointers never move, so the view stays valid while the
+  /// memtable is alive — including rows published after the view was taken
+  /// (the view's extent is fixed, the storage is shared).
+  StatusOr<data::PointTable> View(std::size_t rows) const;
+
+  /// Exact extents over the current rows, folded like PointTable::Bounds /
+  /// TimeRange over the same prefix (min/max are associative, so the
+  /// incremental fold is bit-identical to a scan).
+  geometry::BoundingBox bounds() const { return bounds_; }
+  std::pair<std::int64_t, std::int64_t> time_range() const {
+    return size_ == 0 ? std::pair<std::int64_t, std::int64_t>{0, 0}
+                      : std::pair<std::int64_t, std::int64_t>{min_t_, max_t_};
+  }
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  data::Schema schema_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::vector<float> xs_;
+  std::vector<float> ys_;
+  std::vector<std::int64_t> ts_;
+  std::vector<std::vector<float>> attrs_;
+  geometry::BoundingBox bounds_;
+  std::int64_t min_t_ = 0;
+  std::int64_t max_t_ = 0;
+};
+
+}  // namespace urbane::ingest
+
+#endif  // URBANE_INGEST_MEMTABLE_H_

@@ -1,0 +1,284 @@
+#include "ingest/wal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace urbane::ingest {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'U', 'W', 'A', 'L', '1', '\0', '\0', '\0'};
+constexpr std::uint32_t kWalVersion = 1;
+// A record claiming more rows than this is corruption, not data: the cap
+// keeps a bit-flipped row_count from driving a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxWalRecordRows = 1u << 24;
+
+std::size_t PayloadBytes(std::size_t rows, std::size_t attribute_count) {
+  return rows * (2 * sizeof(float) + sizeof(std::int64_t) +
+                 attribute_count * sizeof(float));
+}
+
+struct RecordHeader {
+  std::uint64_t sequence = 0;
+  std::uint32_t row_count = 0;
+  std::uint32_t crc = 0;
+};
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      attribute_count_(other.attribute_count_),
+      bytes_(other.bytes_) {
+  other.file_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    attribute_count_ = other.attribute_count_;
+    bytes_ = other.bytes_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+StatusOr<WalWriter> WalWriter::Create(const std::string& path,
+                                      std::size_t attribute_count) {
+  WalWriter writer;
+  writer.path_ = path;
+  writer.attribute_count_ = attribute_count;
+  writer.file_ = std::fopen(path.c_str(), "wb");
+  if (writer.file_ == nullptr) {
+    return Status::IoError("cannot create WAL segment: " + path + ": " +
+                           std::strerror(errno));
+  }
+  const std::uint32_t version = kWalVersion;
+  const std::uint32_t attrs = static_cast<std::uint32_t>(attribute_count);
+  if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), writer.file_) !=
+          sizeof(kWalMagic) ||
+      std::fwrite(&version, sizeof(version), 1, writer.file_) != 1 ||
+      std::fwrite(&attrs, sizeof(attrs), 1, writer.file_) != 1) {
+    return Status::IoError("cannot write WAL header: " + path);
+  }
+  writer.bytes_ = sizeof(kWalMagic) + 2 * sizeof(std::uint32_t);
+  return writer;
+}
+
+Status WalWriter::Append(const data::PointTable& batch,
+                         std::uint64_t sequence) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("append on a closed WalWriter");
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("empty WAL record");
+  }
+  if (batch.schema().attribute_count() != attribute_count_) {
+    return Status::InvalidArgument(StringPrintf(
+        "WAL batch has %zu attributes, segment expects %zu",
+        batch.schema().attribute_count(), attribute_count_));
+  }
+  const std::size_t rows = batch.size();
+  if (rows > kMaxWalRecordRows) {
+    return Status::InvalidArgument("WAL record too large");
+  }
+  // Assemble the columnar payload contiguously so one CRC covers it.
+  std::vector<unsigned char> payload(PayloadBytes(rows, attribute_count_));
+  unsigned char* out = payload.data();
+  std::memcpy(out, batch.xs(), rows * sizeof(float));
+  out += rows * sizeof(float);
+  std::memcpy(out, batch.ys(), rows * sizeof(float));
+  out += rows * sizeof(float);
+  std::memcpy(out, batch.ts(), rows * sizeof(std::int64_t));
+  out += rows * sizeof(std::int64_t);
+  for (std::size_t c = 0; c < attribute_count_; ++c) {
+    std::memcpy(out, batch.attribute_data(c), rows * sizeof(float));
+    out += rows * sizeof(float);
+  }
+
+  RecordHeader header;
+  header.sequence = sequence;
+  header.row_count = static_cast<std::uint32_t>(rows);
+  header.crc = Crc32(payload.data(), payload.size());
+  if (std::fwrite(&header.sequence, sizeof(header.sequence), 1, file_) != 1 ||
+      std::fwrite(&header.row_count, sizeof(header.row_count), 1, file_) !=
+          1 ||
+      std::fwrite(&header.crc, sizeof(header.crc), 1, file_) != 1 ||
+      (payload.empty()
+           ? false
+           : std::fwrite(payload.data(), 1, payload.size(), file_) !=
+                 payload.size())) {
+    return Status::IoError("WAL append failure: " + path_);
+  }
+  bytes_ += sizeof(header.sequence) + sizeof(header.row_count) +
+            sizeof(header.crc) + payload.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("sync on a closed WalWriter");
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failure: " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("close on a closed WalWriter");
+  }
+  const Status synced = Sync();
+  const int close_result = std::fclose(file_);
+  file_ = nullptr;
+  URBANE_RETURN_IF_ERROR(synced);
+  if (close_result != 0) {
+    return Status::IoError("WAL close failure: " + path_);
+  }
+  return Status::OK();
+}
+
+StatusOr<WalReplayResult> ReplayWal(const std::string& path,
+                                    const data::Schema& schema,
+                                    bool truncate_invalid_tail) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open WAL segment: " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Everything below must fclose on exit; collect the outcome first.
+  WalReplayResult result;
+  result.rows = data::PointTable(schema);
+  const std::size_t attribute_count = schema.attribute_count();
+
+  char magic[sizeof(kWalMagic)];
+  std::uint32_t version = 0;
+  std::uint32_t attrs = 0;
+  if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+      std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
+    std::fclose(file);
+    return Status::IoError("not a WAL segment (bad magic): " + path);
+  }
+  if (std::fread(&version, sizeof(version), 1, file) != 1 ||
+      version != kWalVersion) {
+    std::fclose(file);
+    return Status::IoError("unsupported WAL version: " + path);
+  }
+  if (std::fread(&attrs, sizeof(attrs), 1, file) != 1 ||
+      attrs != attribute_count) {
+    std::fclose(file);
+    return Status::IoError(StringPrintf(
+        "WAL attribute arity mismatch in %s: segment %u, schema %zu",
+        path.c_str(), attrs, attribute_count));
+  }
+  result.valid_bytes = sizeof(kWalMagic) + 2 * sizeof(std::uint32_t);
+
+  std::vector<unsigned char> payload;
+  std::vector<float> floats;
+  std::vector<std::int64_t> times;
+  std::vector<float> attr_row(attribute_count, 0.0f);
+  for (;;) {
+    RecordHeader header;
+    if (std::fread(&header.sequence, sizeof(header.sequence), 1, file) != 1 ||
+        std::fread(&header.row_count, sizeof(header.row_count), 1, file) !=
+            1 ||
+        std::fread(&header.crc, sizeof(header.crc), 1, file) != 1) {
+      break;  // clean EOF or torn record header
+    }
+    if (header.row_count == 0 || header.row_count > kMaxWalRecordRows) {
+      break;  // corrupt length field
+    }
+    if (header.sequence != result.last_sequence + 1) {
+      break;  // duplicated, reordered or skipped record
+    }
+    const std::size_t rows = header.row_count;
+    payload.resize(PayloadBytes(rows, attribute_count));
+    if (std::fread(payload.data(), 1, payload.size(), file) !=
+        payload.size()) {
+      break;  // torn payload
+    }
+    if (Crc32(payload.data(), payload.size()) != header.crc) {
+      break;  // bit flip
+    }
+    // Committed: decode the columnar payload back into rows.
+    const unsigned char* in = payload.data();
+    const float* xs = reinterpret_cast<const float*>(in);
+    const float* ys = xs + rows;
+    const std::int64_t* ts =
+        reinterpret_cast<const std::int64_t*>(ys + rows);
+    const float* attr_base = reinterpret_cast<const float*>(ts + rows);
+    result.rows.Reserve(result.rows.size() + rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t c = 0; c < attribute_count; ++c) {
+        attr_row[c] = attr_base[c * rows + i];
+      }
+      const Status appended =
+          result.rows.AppendRow(xs[i], ys[i], ts[i], attr_row);
+      if (!appended.ok()) {
+        std::fclose(file);
+        return appended;
+      }
+    }
+    ++result.records;
+    result.last_sequence = header.sequence;
+    result.valid_bytes += sizeof(header.sequence) + sizeof(header.row_count) +
+                          sizeof(header.crc) + payload.size();
+  }
+
+  // Anything past the committed prefix is a crash artifact.
+  const long end = [&] {
+    std::fseek(file, 0, SEEK_END);
+    return std::ftell(file);
+  }();
+  std::fclose(file);
+  if (end >= 0 && static_cast<std::uint64_t>(end) > result.valid_bytes) {
+    result.tail_dropped = true;
+    if (truncate_invalid_tail &&
+        ::truncate(path.c_str(),
+                   static_cast<off_t>(result.valid_bytes)) != 0) {
+      return Status::IoError("cannot truncate WAL tail: " + path + ": " +
+                             std::strerror(errno));
+    }
+  }
+  return result;
+}
+
+}  // namespace urbane::ingest

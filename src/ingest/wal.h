@@ -1,0 +1,99 @@
+#ifndef URBANE_INGEST_WAL_H_
+#define URBANE_INGEST_WAL_H_
+
+// Checksummed write-ahead log for the streaming-ingest hot run.
+//
+// One segment file per memtable generation. Layout (little-endian, the
+// store's native byte order):
+//
+//   header:  magic "UWAL1\0\0\0" (8) | u32 version (=1) | u32 attr_count
+//   record:  u64 sequence | u32 row_count | u32 crc32(payload) | payload
+//   payload: x f32*n | y f32*n | t i64*n | attr_0 f32*n | ... (columnar)
+//
+// Sequences start at 1 within each segment and increment by one per record,
+// so replay detects duplicated or reordered records without any external
+// state. A record is *committed* iff it is completely present, its CRC
+// matches, and its sequence is the expected next value; replay stops
+// cleanly at the first record that is not — truncated tails, bit flips and
+// duplicates all degrade to "the log ends here", never to a crash or to
+// garbage rows (the corruption corpus in tests/ingest/wal_test.cc sweeps
+// every field boundary, mirroring the store truncation sweep).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "data/point_table.h"
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace urbane::ingest {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte buffer.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Appender for one WAL segment. Not thread-safe; the LiveTable serializes
+/// appends under its own mutex.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates the segment (truncating any stale file) and writes the header.
+  static StatusOr<WalWriter> Create(const std::string& path,
+                                    std::size_t attribute_count);
+
+  /// Appends one record; `sequence` must be the previous record's + 1
+  /// (first record: 1). The record is in the OS page cache after this
+  /// returns — call Sync() for a durability point.
+  Status Append(const data::PointTable& batch, std::uint64_t sequence);
+
+  /// fflush + fsync: every appended record survives power loss.
+  Status Sync();
+
+  /// Sync + close. The writer is unusable afterwards.
+  Status Close();
+
+  bool open() const { return file_ != nullptr; }
+  std::uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::size_t attribute_count_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Outcome of replaying one segment.
+struct WalReplayResult {
+  /// Replayed rows in arrival order (owning table on `schema`).
+  data::PointTable rows;
+  std::uint64_t records = 0;
+  /// Sequence of the last committed record (0 when the segment is empty).
+  std::uint64_t last_sequence = 0;
+  /// File offset just past the last committed record.
+  std::uint64_t valid_bytes = 0;
+  /// True when bytes past `valid_bytes` were present (torn tail, bit flip,
+  /// duplicated record) and replay stopped there.
+  bool tail_dropped = false;
+};
+
+/// Replays the committed prefix of a segment, validating byte-by-byte like
+/// StoreReader::Open: header magic/version/arity, then records until the
+/// first incomplete, corrupt or out-of-sequence one. Never fails on a
+/// damaged tail — that is the normal crash shape — but does fail (IoError)
+/// when the header itself is unreadable. With `truncate_invalid_tail` the
+/// file is truncated to `valid_bytes` so a later reader sees a clean log.
+StatusOr<WalReplayResult> ReplayWal(const std::string& path,
+                                    const data::Schema& schema,
+                                    bool truncate_invalid_tail);
+
+}  // namespace urbane::ingest
+
+#endif  // URBANE_INGEST_WAL_H_

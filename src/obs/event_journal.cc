@@ -35,6 +35,10 @@ const char* EventKindName(EventKind kind) {
       return "session.frame";
     case EventKind::kError:
       return "error";
+    case EventKind::kIngestAppend:
+      return "ingest.append";
+    case EventKind::kIngestFlush:
+      return "ingest.flush";
   }
   return "unknown";
 }

@@ -34,6 +34,8 @@ enum class EventKind : std::uint8_t {
   kPlannerChoose = 3,
   kSessionFrame = 4,
   kError = 5,
+  kIngestAppend = 6,
+  kIngestFlush = 7,
 };
 
 // Stable wire name for an event kind ("query.start", "cache.evict", ...).
@@ -54,6 +56,8 @@ inline constexpr std::uint8_t kEventError = 1u << 1;
 //   kSessionFrame  detail=InteractionKind, value=frame seconds,
 //                  flags&kEventCacheHit
 //   kError         method, fingerprint, detail=StatusCode
+//   kIngestAppend  fingerprint=new watermark, value=rows appended
+//   kIngestFlush   fingerprint=run generation, value=rows flushed
 struct Event {
   EventKind kind = EventKind::kQueryStart;
   std::uint8_t method = 0;

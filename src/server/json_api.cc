@@ -57,6 +57,71 @@ StatusOr<ApiRequest> ParseApiRequest(const std::string& body) {
   return request;
 }
 
+StatusOr<IngestRequest> ParseIngestRequest(const std::string& body) {
+  URBANE_ASSIGN_OR_RETURN(data::JsonValue doc, data::ParseJson(body));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  IngestRequest request;
+
+  const data::JsonValue* dataset = doc.Find("dataset");
+  if (dataset == nullptr || !dataset->is_string() ||
+      dataset->AsString().empty()) {
+    return Status::InvalidArgument(
+        "request must carry a non-empty string field \"dataset\"");
+  }
+  request.dataset = dataset->AsString();
+
+  const data::JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array() || rows->AsArray().empty()) {
+    return Status::InvalidArgument(
+        "request must carry a non-empty array field \"rows\"");
+  }
+  const data::JsonValue::Array& array = rows->AsArray();
+
+  // Arity comes from the first row; every row must match it. Attribute
+  // names are positional — arity, not names, is what the live table checks.
+  std::size_t arity = 0;
+  if (array[0].is_array()) arity = array[0].AsArray().size();
+  if (arity < 3) {
+    return Status::InvalidArgument(
+        "each row must be an array [x, y, t, attr...] with >= 3 numbers");
+  }
+  std::vector<std::string> names;
+  names.reserve(arity - 3);
+  for (std::size_t i = 0; i + 3 < arity; ++i) {
+    names.push_back("a" + std::to_string(i));
+  }
+  URBANE_ASSIGN_OR_RETURN(data::Schema schema,
+                          data::Schema::Create(std::move(names)));
+  data::PointTable batch(std::move(schema));
+  batch.Reserve(array.size());
+  std::vector<float> attrs(arity - 3, 0.0f);
+  for (std::size_t r = 0; r < array.size(); ++r) {
+    if (!array[r].is_array() || array[r].AsArray().size() != arity) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " does not match the first row's "
+          "arity of " + std::to_string(arity));
+    }
+    const data::JsonValue::Array& row = array[r].AsArray();
+    for (const data::JsonValue& cell : row) {
+      if (!cell.is_number() || !std::isfinite(cell.AsNumber())) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(r) + " holds a non-numeric cell");
+      }
+    }
+    for (std::size_t i = 3; i < arity; ++i) {
+      attrs[i - 3] = static_cast<float>(row[i].AsNumber());
+    }
+    URBANE_RETURN_IF_ERROR(batch.AppendRow(
+        static_cast<float>(row[0].AsNumber()),
+        static_cast<float>(row[1].AsNumber()),
+        static_cast<std::int64_t>(row[2].AsNumber()), attrs));
+  }
+  request.batch = std::move(batch);
+  return request;
+}
+
 namespace {
 
 // JsonValue refuses to serialise non-finite numbers; the API contract is
@@ -92,10 +157,31 @@ data::JsonValue RenderResult(const BackendResult& result, double elapsed_ms,
   doc.emplace_back("method", data::JsonValue(result.method));
   doc.emplace_back("exact", data::JsonValue(result.exact));
   doc.emplace_back("elapsed_ms", FiniteOrNull(elapsed_ms));
+  if (result.watermark.has_value()) {
+    doc.emplace_back(
+        "watermark",
+        data::JsonValue(static_cast<double>(*result.watermark)));
+  }
   doc.emplace_back("regions", data::JsonValue(std::move(regions)));
   if (profile != nullptr) {
     doc.emplace_back("profile", *profile);
   }
+  return data::JsonValue(std::move(doc));
+}
+
+data::JsonValue RenderIngestResult(const std::string& dataset,
+                                   const IngestResponse& response,
+                                   double elapsed_ms) {
+  data::JsonValue::Object doc;
+  doc.emplace_back("schema", data::JsonValue("urbane.ingest.v1"));
+  doc.emplace_back("dataset", data::JsonValue(dataset));
+  doc.emplace_back(
+      "rows_appended",
+      data::JsonValue(static_cast<double>(response.rows_appended)));
+  doc.emplace_back(
+      "watermark",
+      data::JsonValue(static_cast<double>(response.watermark)));
+  doc.emplace_back("elapsed_ms", FiniteOrNull(elapsed_ms));
   return data::JsonValue(std::move(doc));
 }
 
@@ -137,6 +223,8 @@ int HttpStatusForError(const Status& status) {
       return 409;
     case StatusCode::kOutOfRange:
       return 416;
+    case StatusCode::kResourceExhausted:
+      return 429;
     case StatusCode::kDeadlineExceeded:
       return 504;
     case StatusCode::kNotImplemented:

@@ -13,9 +13,22 @@
 // Success response ("urbane.result.v1"):
 //   { "schema": "urbane.result.v1", "dataset": ..., "regions_layer": ...,
 //     "method": ..., "exact": true, "elapsed_ms": ...,
+//     "watermark": 1024,              — live data sets only: the as-of row
+//                                       count the result is exact for
 //     "regions": [ {"id": 1, "name": "...", "value": ..., "count": ...,
 //                   "error_bound": ...?}, ... ] }
 // Non-finite values (AVG over an empty group) render as JSON null.
+//
+// Ingest request (POST /v1/ingest):
+//   { "dataset": "taxi",              — required: a live data set
+//     "rows": [[x, y, t, attr...],    — required: >= 1 rows, each with the
+//              ...] }                   same arity (>= 3; attrs positional)
+//
+// Ingest response ("urbane.ingest.v1"):
+//   { "schema": "urbane.ingest.v1", "dataset": ..., "rows_appended": ...,
+//     "watermark": ..., "elapsed_ms": ... }
+// A saturated write path answers 429 with a Retry-After header; the batch
+// was not applied and can be retried verbatim.
 //
 // Error response (any 4xx/5xx):
 //   { "error": { "code": "InvalidArgument", "message": "..." } }
@@ -47,6 +60,17 @@ StatusOr<ApiRequest> ParseApiRequest(const std::string& body);
 /// "scan" | "index" | "raster" | "accurate" -> the enum; "auto" -> unset.
 StatusOr<std::optional<core::ExecutionMethod>> ParseMethodName(
     const std::string& name);
+
+/// Parses a POST /v1/ingest body into a batch. InvalidArgument on
+/// malformed JSON, a missing dataset, no rows, ragged rows, arity < 3, or
+/// non-numeric cells. The batch's schema names attributes positionally
+/// ("a0", "a1", ...) — live tables validate arity, not names.
+StatusOr<IngestRequest> ParseIngestRequest(const std::string& body);
+
+/// Renders an IngestResponse as the urbane.ingest.v1 document.
+data::JsonValue RenderIngestResult(const std::string& dataset,
+                                   const IngestResponse& response,
+                                   double elapsed_ms);
 
 /// Renders a BackendResult as the urbane.result.v1 document. A non-null
 /// `profile` (the urbane.profile.v1 document, see obs/profile.h) is

@@ -17,6 +17,7 @@
 
 #include "core/planner.h"
 #include "core/query.h"
+#include "data/point_table.h"
 #include "util/status.h"
 
 namespace urbane::obs {
@@ -45,12 +46,30 @@ struct BackendResult {
   std::string method;
   bool exact = true;
   std::vector<RegionRow> rows;
+  /// As-of position the result is exact for; set only when the data set is
+  /// a live (appendable) one. Rendered as "watermark" in urbane.result.v1.
+  std::optional<std::uint64_t> watermark;
 };
 
 /// A registered point data set or region layer, for the catalog endpoints.
 struct CatalogEntry {
   std::string name;
   std::uint64_t size = 0;  // points or regions
+};
+
+/// A parsed POST /v1/ingest body: one batch of rows bound for a live data
+/// set. The batch's schema carries positional attribute names; backends
+/// validate arity against the target's schema, not names.
+struct IngestRequest {
+  std::string dataset;
+  data::PointTable batch;
+};
+
+struct IngestResponse {
+  /// Total visible rows after the append — every later query at or above
+  /// this watermark sees the batch.
+  std::uint64_t watermark = 0;
+  std::uint64_t rows_appended = 0;
 };
 
 class QueryBackend {
@@ -66,6 +85,15 @@ class QueryBackend {
   virtual StatusOr<BackendResult> ExecuteSql(
       const std::string& sql, std::optional<core::ExecutionMethod> method,
       const core::QueryControl* control, obs::QueryProfile* profile) = 0;
+
+  /// Appends one batch to a live data set (POST /v1/ingest).
+  /// ResourceExhausted (-> HTTP 429 with Retry-After) when the write path
+  /// is saturated; the default refuses — only backends with an append path
+  /// override this, so read-only backends keep working unchanged.
+  virtual StatusOr<IngestResponse> Ingest(const IngestRequest& request) {
+    (void)request;
+    return Status::NotImplemented("this backend does not support ingest");
+  }
 
   virtual std::vector<CatalogEntry> ListDatasets() = 0;
   virtual std::vector<CatalogEntry> ListRegionLayers() = 0;

@@ -260,6 +260,13 @@ std::string QueryServer::HandleRequest(WorkerState* state,
     }
     return HandleQuery(state, request, queue_wait_seconds);
   }
+  if (path == "/v1/ingest") {
+    if (method != "POST") {
+      return JsonResponse(
+          405, RenderError(Status::InvalidArgument("use POST /v1/ingest")));
+    }
+    return HandleIngest(request);
+  }
   if (path == "/v1/profiles/recent" ||
       path.rfind("/v1/profiles/", 0) == 0) {
     if (method != "GET") {
@@ -372,6 +379,35 @@ std::string QueryServer::HandleQuery(WorkerState* state,
       RenderResult(*result, elapsed_ms,
                    profile != nullptr ? &profile_json : nullptr),
       0, trace_headers);
+}
+
+std::string QueryServer::HandleIngest(const net::HttpRequest& request) {
+  StatusOr<IngestRequest> api = ParseIngestRequest(request.body);
+  if (!api.ok()) {
+    ServerCounter("server.ingest.bad").Add(1);
+    return JsonResponse(HttpStatusForError(api.status()),
+                        RenderError(api.status()));
+  }
+  WallTimer timer;
+  StatusOr<IngestResponse> result = backend_->Ingest(*api);
+  if (!result.ok()) {
+    // Storage-layer backpressure rides the admission-control contract:
+    // 429 + Retry-After, nothing applied, retry the batch verbatim.
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      ServerCounter("server.ingest.rejected").Add(1);
+      return JsonResponse(429, RenderError(result.status()),
+                          options_.retry_after_seconds);
+    }
+    ServerCounter("server.ingest.error").Add(1);
+    return JsonResponse(HttpStatusForError(result.status()),
+                        RenderError(result.status()));
+  }
+  ServerCounter("server.ingest.ok").Add(1);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("server.ingest.wall_seconds")
+      .Observe(timer.ElapsedSeconds());
+  return JsonResponse(200, RenderIngestResult(api->dataset, *result,
+                                              timer.ElapsedSeconds() * 1e3));
 }
 
 void QueryServer::SendErrorAndClose(int fd, int http_status,

@@ -32,6 +32,11 @@
 //        absent or malformed) and echoes it on the response; with
 //        `?profile=1` or `X-Urbane-Profile: 1` the response embeds the
 //        urbane.profile.v1 resource breakdown (obs/profile.h).
+//   POST /v1/ingest    — append one batch to a live data set. A saturated
+//        write path (the table's sealed-run bound) answers 429 with
+//        Retry-After: the batch was not applied and retries verbatim —
+//        the same backpressure contract as admission shedding, but from
+//        the storage layer instead of the accept queue.
 //   GET  /v1/datasets  — registered point data sets
 //   GET  /v1/regions   — registered region layers
 //   GET  /v1/profiles/recent      — recently retained query profiles
@@ -153,6 +158,7 @@ class QueryServer {
   std::string HandleQuery(WorkerState* state,
                           const net::HttpRequest& request,
                           double queue_wait_seconds);
+  std::string HandleIngest(const net::HttpRequest& request);
   void SendErrorAndClose(int fd, int http_status, const Status& error,
                          int retry_after_seconds = 0);
 

@@ -10,6 +10,7 @@
 #include "data/geojson.h"
 #include "data/region_generator.h"
 #include "data/taxi_generator.h"
+#include "geometry/mercator.h"
 #include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -17,6 +18,7 @@
 #include "obs/slow_query_log.h"
 #include "urbane/map_view.h"
 #include "util/csv.h"
+#include "util/random.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -65,6 +67,9 @@ const char* CommandInterpreter::Help() {
          "  convert <points> <file.ust> [block-rows]\n"
          "  open <name> <file.ust>\n"
          "  method scan|index|raster|accurate\n"
+         "  live <dataset> <dir> [attr...] | live <dataset>\n"
+         "  ingest <dataset> <count> [seed]\n"
+         "  flush <dataset> | compact <dataset>\n"
          "  cache <points> <regions> on [entries]|off|stats\n"
          "  sql SELECT AGG(attr|*) FROM <points>, <regions> [WHERE ...]\n"
          "  explain analyze [json] SELECT ...\n"
@@ -144,6 +149,18 @@ Status CommandInterpreter::Dispatch(const std::string& line,
   }
   if (command == "method") {
     return CmdMethod(tokens, out);
+  }
+  if (command == "live") {
+    return CmdLive(tokens, out);
+  }
+  if (command == "ingest") {
+    return CmdIngest(tokens, out);
+  }
+  if (command == "flush") {
+    return CmdFlush(tokens, out);
+  }
+  if (command == "compact") {
+    return CmdCompact(tokens, out);
   }
   if (command == "cache") {
     return CmdCache(tokens, out);
@@ -372,6 +389,120 @@ Status CommandInterpreter::CmdMethod(const std::vector<std::string>& args,
   return Status::OK();
 }
 
+Status CommandInterpreter::CmdLive(const std::vector<std::string>& args,
+                                   std::ostream& out) {
+  if (args.size() < 2) {
+    return Status::InvalidArgument(
+        "usage: live <dataset> <dir> [attr...] | live <dataset>");
+  }
+  const std::string& name = args[1];
+  if (args.size() == 2) {
+    URBANE_ASSIGN_OR_RETURN(ingest::IngestStats stats,
+                            manager_.IngestStatsFor(name));
+    out << StringPrintf(
+        "live '%s': watermark=%llu (base=%llu hot=%llu) sealed-runs=%llu "
+        "store-runs=%llu\n"
+        "  appends=%llu rows=%llu rejected=%llu flushes=%llu "
+        "compactions=%llu wal-bytes=%llu replayed=%llu\n",
+        name.c_str(), static_cast<unsigned long long>(stats.watermark),
+        static_cast<unsigned long long>(stats.base_rows),
+        static_cast<unsigned long long>(stats.hot_rows),
+        static_cast<unsigned long long>(stats.sealed_runs),
+        static_cast<unsigned long long>(stats.store_runs),
+        static_cast<unsigned long long>(stats.appends),
+        static_cast<unsigned long long>(stats.rows_appended),
+        static_cast<unsigned long long>(stats.rejected),
+        static_cast<unsigned long long>(stats.flushes),
+        static_cast<unsigned long long>(stats.compactions),
+        static_cast<unsigned long long>(stats.wal_bytes),
+        static_cast<unsigned long long>(stats.replayed_rows));
+    return Status::OK();
+  }
+  std::vector<std::string> attrs(args.begin() + 3, args.end());
+  WallTimer timer;
+  URBANE_RETURN_IF_ERROR(
+      manager_.EnableIngest(name, args[2], std::move(attrs)));
+  URBANE_ASSIGN_OR_RETURN(ingest::IngestStats stats,
+                          manager_.IngestStatsFor(name));
+  out << "live '" << name << "' at " << args[2] << ": watermark="
+      << stats.watermark;
+  if (stats.replayed_rows > 0) {
+    out << " (recovered " << stats.replayed_rows << " rows from the WAL)";
+  }
+  out << " in " << FormatDuration(timer.ElapsedSeconds()) << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdIngest(const std::vector<std::string>& args,
+                                     std::ostream& out) {
+  if (args.size() != 3 && args.size() != 4) {
+    return Status::InvalidArgument("usage: ingest <dataset> <count> [seed]");
+  }
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t count, ParseCount(args[2]));
+  std::uint64_t seed = 42;
+  if (args.size() == 4) {
+    URBANE_ASSIGN_OR_RETURN(std::int64_t parsed, ParseInt64(args[3]));
+    seed = static_cast<std::uint64_t>(parsed);
+  }
+  URBANE_ASSIGN_OR_RETURN(data::Schema schema,
+                          manager_.LiveSchema(args[1]));
+  // Synthetic rows over the same NYC footprint and month as the taxi
+  // generator, so they land inside generated region layers.
+  const geometry::BoundingBox bounds = geometry::NycMercatorBounds();
+  const std::int64_t t0 = 1230768000;  // 2009-01-01 00:00:00 UTC
+  const std::int64_t t_span = 31LL * 24 * 3600;
+  Rng rng(seed);
+  data::PointTable batch(schema);
+  batch.Reserve(count);
+  std::vector<float> attrs(schema.attribute_count(), 0.0f);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (float& a : attrs) {
+      a = static_cast<float>(rng.NextDouble(0.0, 100.0));
+    }
+    URBANE_RETURN_IF_ERROR(batch.AppendRow(
+        static_cast<float>(rng.NextDouble(bounds.min_x, bounds.max_x)),
+        static_cast<float>(rng.NextDouble(bounds.min_y, bounds.max_y)),
+        t0 + rng.NextInt(0, t_span - 1), attrs));
+  }
+  WallTimer timer;
+  URBANE_ASSIGN_OR_RETURN(std::uint64_t watermark,
+                          manager_.IngestBatch(args[1], batch));
+  out << "appended " << count << " rows to '" << args[1]
+      << "': watermark=" << watermark << " in "
+      << FormatDuration(timer.ElapsedSeconds()) << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdFlush(const std::vector<std::string>& args,
+                                    std::ostream& out) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("usage: flush <dataset>");
+  }
+  WallTimer timer;
+  URBANE_RETURN_IF_ERROR(manager_.FlushIngest(args[1]));
+  URBANE_ASSIGN_OR_RETURN(ingest::IngestStats stats,
+                          manager_.IngestStatsFor(args[1]));
+  out << "flushed '" << args[1] << "': " << stats.store_runs
+      << " store runs, watermark=" << stats.watermark << " in "
+      << FormatDuration(timer.ElapsedSeconds()) << "\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::CmdCompact(const std::vector<std::string>& args,
+                                      std::ostream& out) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("usage: compact <dataset>");
+  }
+  WallTimer timer;
+  URBANE_RETURN_IF_ERROR(manager_.CompactIngest(args[1]));
+  URBANE_ASSIGN_OR_RETURN(ingest::IngestStats stats,
+                          manager_.IngestStatsFor(args[1]));
+  out << "compacted '" << args[1] << "' to " << stats.store_runs
+      << " store run(s) in " << FormatDuration(timer.ElapsedSeconds())
+      << "\n";
+  return Status::OK();
+}
+
 Status CommandInterpreter::CmdCache(const std::vector<std::string>& args,
                                     std::ostream& out) {
   if (args.size() < 4) {
@@ -420,9 +551,12 @@ Status CommandInterpreter::CmdSql(const std::string& sql, std::ostream& out) {
     trace = last_trace_.get();
   }
   WallTimer timer;
+  std::uint64_t watermark = 0;
   URBANE_ASSIGN_OR_RETURN(core::QueryResult result,
-                          manager_.ExecuteSql(sql, method_, trace));
+                          manager_.ExecuteSql(sql, method_, trace, nullptr,
+                                              &watermark));
   const double seconds = timer.ElapsedSeconds();
+  const bool live = manager_.IsLive(parsed.points_dataset);
 
   // Top regions by value.
   std::vector<std::size_t> order(result.size());
@@ -441,7 +575,11 @@ Status CommandInterpreter::CmdSql(const std::string& sql, std::ostream& out) {
   for (const auto c : result.counts) total += c;
   out << result.size() << " groups, " << total << " matching points, "
       << FormatDuration(seconds) << " ("
-      << core::ExecutionMethodToString(method_) << ")\n";
+      << core::ExecutionMethodToString(method_);
+  if (live) {
+    out << ", as of watermark " << watermark;
+  }
+  out << ")\n";
   const std::size_t top = std::min<std::size_t>(10, order.size());
   for (std::size_t k = 0; k < top; ++k) {
     const std::size_t r = order[k];
@@ -942,6 +1080,15 @@ void CommandInterpreter::CmdList(std::ostream& out) {
   for (const std::string& name : manager_.PointDatasetNames()) {
     const auto table = manager_.PointDataset(name);
     out << " " << name << "(" << (*table)->size() << ")";
+  }
+  const std::vector<std::string> live = manager_.LiveDatasetNames();
+  if (!live.empty()) {
+    out << "\nlive data sets:";
+    for (const std::string& name : live) {
+      const auto stats = manager_.IngestStatsFor(name);
+      out << " " << name << "("
+          << (stats.ok() ? stats->watermark : 0) << ")";
+    }
   }
   out << "\nregion layers:";
   for (const std::string& name : manager_.RegionLayerNames()) {

@@ -28,6 +28,12 @@ namespace urbane::app {
 ///   save points <name> <file.csv|file.upt>
 ///   save regions <name> <file.geojson|file.urg>
 ///   method <scan|index|raster|accurate>
+///   live <dataset> <dir> [attr...]     enable streaming ingest (layered on
+///                                      a registered data set, or fresh)
+///   live <dataset>                     ingest status (watermark, runs, WAL)
+///   ingest <dataset> <count> [seed]    append synthetic rows to a live set
+///   flush <dataset>                    seal + flush live runs to UST1 files
+///   compact <dataset>                  merge a live data set's store runs
 ///   cache <points> <regions> on [entries]|off|stats
 ///   sql SELECT ...                     run a query (paper dialect)
 ///   explain analyze [json] SELECT ...  run + print the resource profile
@@ -67,6 +73,10 @@ class CommandInterpreter {
   Status CmdConvert(const std::vector<std::string>& args, std::ostream& out);
   Status CmdOpen(const std::vector<std::string>& args, std::ostream& out);
   Status CmdMethod(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdLive(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdIngest(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdFlush(const std::vector<std::string>& args, std::ostream& out);
+  Status CmdCompact(const std::vector<std::string>& args, std::ostream& out);
   Status CmdCache(const std::vector<std::string>& args, std::ostream& out);
   Status CmdSql(const std::string& sql, std::ostream& out);
   Status CmdExplain(const std::string& args, std::ostream& out);

@@ -173,6 +173,9 @@ void DatasetManager::set_engine_shards(std::size_t num_shards) {
   for (auto& [key, engine] : engines_) {
     engine->set_num_shards(num_shards);
   }
+  for (auto& [key, engine] : live_engines_) {
+    engine->set_num_shards(num_shards);
+  }
 }
 
 std::size_t DatasetManager::engine_shards() const {
@@ -195,6 +198,149 @@ StatusOr<const index::TemporalIndex*> DatasetManager::Temporal(
   auto owned = std::make_unique<index::TemporalIndex>(std::move(index));
   const index::TemporalIndex* raw = owned.get();
   temporal_[dataset] = std::move(owned);
+  return raw;
+}
+
+Status DatasetManager::EnableIngest(const std::string& dataset,
+                                    const std::string& directory,
+                                    std::vector<std::string> attribute_names,
+                                    const ingest::IngestOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("data set name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.count(dataset) != 0) {
+    return Status::AlreadyExists("data set is already live: " + dataset);
+  }
+  const data::PointTable* base = nullptr;
+  const core::ZoneMapIndex* base_zone_maps = nullptr;
+  data::Schema schema;
+  if (const auto it = points_.find(dataset); it != points_.end()) {
+    base = it->second.get();
+    schema = base->schema();
+    if (!attribute_names.empty()) {
+      return Status::InvalidArgument(
+          "'" + dataset + "' is registered; its schema fixes the attribute "
+          "columns (do not pass attribute names)");
+    }
+    if (const auto store_it = stores_.find(dataset);
+        store_it != stores_.end()) {
+      base_zone_maps = &store_it->second->zone_maps();
+    }
+  } else {
+    URBANE_ASSIGN_OR_RETURN(schema,
+                            data::Schema::Create(std::move(attribute_names)));
+  }
+  URBANE_ASSIGN_OR_RETURN(
+      std::unique_ptr<ingest::LiveTable> table,
+      ingest::LiveTable::Open(directory, std::move(schema), base,
+                              base_zone_maps, options));
+  live_[dataset] = std::move(table);
+  return Status::OK();
+}
+
+bool DatasetManager::IsLive(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.count(dataset) != 0;
+}
+
+std::vector<std::string> DatasetManager::LiveDatasetNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(live_.size());
+  for (const auto& [name, table] : live_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+StatusOr<std::uint64_t> DatasetManager::IngestBatch(
+    const std::string& dataset, const data::PointTable& batch) {
+  ingest::LiveTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = live_.find(dataset);
+    if (it == live_.end()) {
+      return Status::NotFound("not a live data set: " + dataset +
+                              " (enable ingest first)");
+    }
+    table = it->second.get();
+  }
+  // Append outside the registry lock: the table serializes internally and
+  // a saturated write path must not stall unrelated lookups.
+  return table->Append(batch);
+}
+
+Status DatasetManager::FlushIngest(const std::string& dataset) {
+  ingest::LiveTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = live_.find(dataset);
+    if (it == live_.end()) {
+      return Status::NotFound("not a live data set: " + dataset);
+    }
+    table = it->second.get();
+  }
+  return table->Flush();
+}
+
+Status DatasetManager::CompactIngest(const std::string& dataset) {
+  ingest::LiveTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = live_.find(dataset);
+    if (it == live_.end()) {
+      return Status::NotFound("not a live data set: " + dataset);
+    }
+    table = it->second.get();
+  }
+  return table->Compact();
+}
+
+StatusOr<ingest::IngestStats> DatasetManager::IngestStatsFor(
+    const std::string& dataset) const {
+  const ingest::LiveTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = live_.find(dataset);
+    if (it == live_.end()) {
+      return Status::NotFound("not a live data set: " + dataset);
+    }
+    table = it->second.get();
+  }
+  return table->stats();
+}
+
+StatusOr<data::Schema> DatasetManager::LiveSchema(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_.find(dataset);
+  if (it == live_.end()) {
+    return Status::NotFound("not a live data set: " + dataset);
+  }
+  return it->second->schema();
+}
+
+StatusOr<ingest::LiveEngine*> DatasetManager::Live(
+    const std::string& dataset, const std::string& region_layer) {
+  const std::string key = dataset + "\x1f" + region_layer;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_engines_.find(key);
+  if (it != live_engines_.end()) {
+    return it->second.get();
+  }
+  const auto live_it = live_.find(dataset);
+  if (live_it == live_.end()) {
+    return Status::NotFound("not a live data set: " + dataset);
+  }
+  URBANE_ASSIGN_OR_RETURN(const data::RegionSet* regions,
+                          RegionLayerLocked(region_layer));
+  ingest::LiveEngineOptions options;
+  options.num_shards = engine_shards_;
+  auto engine = std::make_unique<ingest::LiveEngine>(live_it->second.get(),
+                                                     regions, options);
+  ingest::LiveEngine* raw = engine.get();
+  live_engines_[key] = std::move(engine);
   return raw;
 }
 
@@ -259,17 +405,24 @@ Status DatasetManager::SaveWorkspace(const std::string& directory) const {
 
 StatusOr<core::QueryResult> DatasetManager::ExecuteSql(
     const std::string& sql, core::ExecutionMethod method,
-    obs::QueryTrace* trace, obs::QueryProfile* profile) {
+    obs::QueryTrace* trace, obs::QueryProfile* profile,
+    std::uint64_t* watermark) {
   URBANE_ASSIGN_OR_RETURN(core::ParsedQuery parsed,
                           core::ParseQuerySql(sql));
-  URBANE_ASSIGN_OR_RETURN(
-      core::SpatialAggregation * engine,
-      Engine(parsed.points_dataset, parsed.regions_layer));
   core::AggregationQuery query;
   query.aggregate = std::move(parsed.aggregate);
   query.filter = std::move(parsed.filter);
   query.trace = trace;
   query.profile = profile;
+  if (IsLive(parsed.points_dataset)) {
+    URBANE_ASSIGN_OR_RETURN(
+        ingest::LiveEngine * engine,
+        Live(parsed.points_dataset, parsed.regions_layer));
+    return engine->Execute(std::move(query), method, watermark);
+  }
+  URBANE_ASSIGN_OR_RETURN(
+      core::SpatialAggregation * engine,
+      Engine(parsed.points_dataset, parsed.regions_layer));
   return engine->Execute(std::move(query), method);
 }
 

@@ -11,6 +11,8 @@
 #include "data/point_table.h"
 #include "data/region.h"
 #include "index/temporal_index.h"
+#include "ingest/live_engine.h"
+#include "ingest/live_table.h"
 #include "store/store_reader.h"
 #include "store/store_writer.h"
 #include "util/status.h"
@@ -75,6 +77,44 @@ class DatasetManager {
   /// Temporal index of a data set (built on first use).
   StatusOr<const index::TemporalIndex*> Temporal(const std::string& dataset);
 
+  /// Makes `dataset` appendable: opens (or crash-recovers) an
+  /// ingest::LiveTable rooted at `directory` and layers it over the
+  /// registered table of the same name when one exists (its store's zone
+  /// maps ride along). Unregistered names become fresh live data sets whose
+  /// schema is `attribute_names` (must be empty when a base exists — the
+  /// base's schema wins). Queries against the name route to the live
+  /// engine from here on.
+  Status EnableIngest(const std::string& dataset,
+                      const std::string& directory,
+                      std::vector<std::string> attribute_names = {},
+                      const ingest::IngestOptions& options =
+                          ingest::IngestOptions());
+
+  bool IsLive(const std::string& dataset) const;
+  std::vector<std::string> LiveDatasetNames() const;
+
+  /// Appends a batch to a live data set; returns the new watermark.
+  /// ResourceExhausted when the write path is saturated (HTTP 429).
+  StatusOr<std::uint64_t> IngestBatch(const std::string& dataset,
+                                      const data::PointTable& batch);
+
+  /// Seals + flushes every pending run of a live data set to UST1 files.
+  Status FlushIngest(const std::string& dataset);
+
+  /// Merges a live data set's store runs into one.
+  Status CompactIngest(const std::string& dataset);
+
+  StatusOr<ingest::IngestStats> IngestStatsFor(
+      const std::string& dataset) const;
+
+  /// Attribute schema appended batches must match (arity-wise).
+  StatusOr<data::Schema> LiveSchema(const std::string& dataset) const;
+
+  /// Live query engine for a (live data set, region layer) pair; built on
+  /// first use and cached, mirroring Engine().
+  StatusOr<ingest::LiveEngine*> Live(const std::string& dataset,
+                                     const std::string& region_layer);
+
   /// Loads every entry of a workspace manifest (data::Catalog JSON file);
   /// entry paths are resolved relative to the manifest's directory.
   Status LoadWorkspace(const std::string& manifest_path);
@@ -86,14 +126,17 @@ class DatasetManager {
   /// Parses and runs a statement in the paper's SQL dialect, e.g.
   ///   "SELECT AVG(fare_amount) FROM taxi, neighborhoods
   ///    WHERE t IN [1230768000, 1233446400) AND passenger_count IN [1, 2]"
-  /// binding the FROM names to registered data sets / region layers.
+  /// binding the FROM names to registered data sets / region layers; a
+  /// live data set routes to its snapshot-composed engine, and a non-null
+  /// `watermark` receives the as-of row count the answer is exact for.
   /// A non-null `trace` collects the query's spans and tags (CLI `trace`);
   /// a non-null `profile` collects the per-request resource breakdown
   /// (CLI `explain analyze`, see obs/profile.h).
   StatusOr<core::QueryResult> ExecuteSql(const std::string& sql,
                                          core::ExecutionMethod method,
                                          obs::QueryTrace* trace = nullptr,
-                                         obs::QueryProfile* profile = nullptr);
+                                         obs::QueryProfile* profile = nullptr,
+                                         std::uint64_t* watermark = nullptr);
 
  private:
   StatusOr<const data::PointTable*> PointDatasetLocked(
@@ -112,6 +155,11 @@ class DatasetManager {
   std::map<std::string, std::unique_ptr<data::RegionSet>> regions_;
   std::map<std::string, std::unique_ptr<core::SpatialAggregation>> engines_;
   std::map<std::string, std::unique_ptr<index::TemporalIndex>> temporal_;
+  /// Live (appendable) data sets and their lazily-built engines, keyed
+  /// like engines_ ("dataset\x1flayer"). LiveTable and LiveEngine are
+  /// internally thread-safe, so both are used outside mu_ once looked up.
+  std::map<std::string, std::unique_ptr<ingest::LiveTable>> live_;
+  std::map<std::string, std::unique_ptr<ingest::LiveEngine>> live_engines_;
 };
 
 }  // namespace urbane::app

@@ -22,6 +22,12 @@ class DatasetManagerBackend : public server::QueryBackend {
       const core::QueryControl* control,
       obs::QueryProfile* profile) override;
 
+  /// POST /v1/ingest: appends the batch to a live data set;
+  /// ResourceExhausted (HTTP 429) when the write path is saturated.
+  StatusOr<server::IngestResponse> Ingest(
+      const server::IngestRequest& request) override;
+
+  /// Live data sets appear alongside registered ones, sized by watermark.
   std::vector<server::CatalogEntry> ListDatasets() override;
   std::vector<server::CatalogEntry> ListRegionLayers() override;
 

@@ -20,14 +20,26 @@ std::string ParentDirectory(const std::string& path) {
   return path.substr(0, slash);
 }
 
-void BestEffortFsyncDirectory(const std::string& directory) {
-  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  (void)::fsync(fd);
-  ::close(fd);
-}
-
 }  // namespace
+
+Status FsyncDirectory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory for fsync: " + directory +
+                           ": " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fsync failure on directory: " + directory + ": " +
+                           error);
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("close failure on directory: " + directory + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
 
 StatusOr<std::uint64_t> FileSizeBytes(const std::string& path) {
   struct stat st;
@@ -127,8 +139,10 @@ Status AtomicFileWriter::Commit() {
                            ": " + std::strerror(errno));
   }
   temp_path_.clear();  // committed: nothing left to clean up
-  BestEffortFsyncDirectory(ParentDirectory(path_));
-  return Status::OK();
+  // The rename only becomes durable once the parent directory's entry table
+  // is on stable storage; a failure here means the commit is NOT
+  // crash-safe, so it is a hard error (see the class contract).
+  return FsyncDirectory(ParentDirectory(path_));
 }
 
 }  // namespace urbane

@@ -12,12 +12,29 @@ namespace urbane {
 /// Size of a regular file in bytes; IoError if it cannot be stat'ed.
 StatusOr<std::uint64_t> FileSizeBytes(const std::string& path);
 
+/// fsyncs a directory so directory-entry mutations inside it (rename,
+/// create, unlink) are on stable storage. IoError when the directory cannot
+/// be opened or the fsync fails — callers that need a durability guarantee
+/// (AtomicFileWriter::Commit, the ingest WAL) must treat that as a failed
+/// commit, not a warning.
+Status FsyncDirectory(const std::string& directory);
+
 /// Crash-safe whole-file writer: all bytes go to `<path>.tmp`; Commit()
-/// flushes, fsyncs, and atomically renames onto `path` (then best-effort
-/// fsyncs the parent directory). A writer destroyed without a successful
-/// Commit unlinks the temp file, so a failed or interrupted save can never
-/// leave a half-written file at the final path — readers either see the old
+/// flushes, fsyncs, atomically renames onto `path`, and then fsyncs the
+/// parent directory. A writer destroyed without a successful Commit unlinks
+/// the temp file, so a failed or interrupted save can never leave a
+/// half-written file at the final path — readers either see the old
 /// complete file or the new complete file.
+///
+/// Crash-safety contract of a successful Commit(): after it returns OK, the
+/// complete file is durably reachable at `path` even across power loss.
+/// The file data is fsynced before the rename, and the rename itself is
+/// made durable by fsyncing the parent directory — without that last step
+/// the kernel may persist the data pages but lose the directory entry, so a
+/// "committed" store/WAL/manifest file could silently vanish on power loss.
+/// A directory-fsync failure therefore fails the Commit (the renamed file
+/// is left in place — the rename already happened — but the caller must not
+/// act as if the write were durable).
 class AtomicFileWriter {
  public:
   AtomicFileWriter() = default;

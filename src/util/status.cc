@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kNotImplemented = 7,
   kIoError = 8,
   kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "IOError").
@@ -69,6 +70,11 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A bounded resource (memtable, queue, quota) is full; the caller should
+  /// back off and retry — the server layer maps this onto HTTP 429.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

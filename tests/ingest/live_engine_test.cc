@@ -1,0 +1,466 @@
+// Ingest-equivalence oracle (ISSUE 10 acceptance): at every stage of an
+// append/seal/flush/compact interleaving, a LiveEngine's snapshot-composed
+// answer must be BIT-identical — per executor, aggregate, filter, thread
+// count and shard fan-out — to a stop-the-world SpatialAggregation rebuilt
+// over the same rows concatenated in canonical order (base, runs in
+// generation order, hot). The dyadic world (v = k/256) makes every double
+// sum exact, so "equal" is a NaN-aware byte compare, not a tolerance.
+//
+// Also here: the as-of watermark contract, the scoped cache-invalidation
+// regression (a closed-time-range answer stays a cache hit across appends
+// that only touch newer times — satellite of the same PR), and the
+// incremental temporal-canvas maintenance vs. a from-scratch rebuild.
+#include "ingest/live_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/query.h"
+#include "core/spatial_aggregation.h"
+#include "data/point_table.h"
+#include "data/schema.h"
+#include "ingest/live_table.h"
+#include "store/store_reader.h"
+#include "store/store_writer.h"
+#include "testing/test_worlds.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace urbane::ingest {
+namespace {
+
+data::Schema VSchema() {
+  return data::Schema(std::vector<std::string>{"v"});
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/live_engine_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Dyadic batch with every timestamp inside [t_lo, t_hi] — the cache
+// regression needs batches confined to known time intervals.
+data::PointTable MakeBatchInTime(std::size_t count, std::uint64_t seed,
+                                 std::int64_t t_lo, std::int64_t t_hi) {
+  data::PointTable table(VSchema());
+  table.Reserve(count);
+  Rng rng(seed);
+  std::vector<float>& v = table.mutable_attribute_column(0);
+  for (std::size_t i = 0; i < count; ++i) {
+    table.AppendXyt(static_cast<float>(rng.NextDouble(0.0, 100.0)),
+                    static_cast<float>(rng.NextDouble(0.0, 100.0)),
+                    rng.NextInt(t_lo, t_hi));
+    v.push_back(static_cast<float>(rng.NextInt(-2560, 2560)) / 256.0f);
+  }
+  return table;
+}
+
+// Canonical stop-the-world concatenation: base, runs in generation order
+// (each in stored order), hot in arrival order — LiveSnapshot's documented
+// row order.
+data::PointTable ConcatSnapshot(const LiveSnapshot& snapshot) {
+  data::PointTable all(VSchema());
+  all.Reserve(snapshot.watermark);
+  const auto append = [&all](const data::PointTable& part) {
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      URBANE_CHECK_OK(all.AppendRow(part.x(i), part.y(i), part.t(i),
+                                    {part.attribute(i, 0)}));
+    }
+  };
+  if (snapshot.base != nullptr) append(*snapshot.base);
+  for (const auto& run : snapshot.runs) append(run->table);
+  append(snapshot.hot);
+  return all;
+}
+
+core::RasterJoinOptions SmallCanvas() {
+  core::RasterJoinOptions options;
+  options.resolution = 256;
+  return options;
+}
+
+std::vector<core::AggregateSpec> AllAggregates() {
+  return {core::AggregateSpec::Count(), core::AggregateSpec::Sum("v"),
+          core::AggregateSpec::Avg("v"), core::AggregateSpec::Min("v"),
+          core::AggregateSpec::Max("v")};
+}
+
+std::vector<core::FilterSpec> OracleFilters() {
+  core::FilterSpec trivial;
+  core::FilterSpec time_only;
+  time_only.WithTime(10000, 50000);
+  core::FilterSpec window;
+  window.WithWindow(geometry::BoundingBox(10.0, 10.0, 35.0, 35.0));
+  core::FilterSpec combined;
+  combined.WithWindow(geometry::BoundingBox(20.0, 20.0, 80.0, 80.0))
+      .WithTime(10000, 70000)
+      .WithRange("v", -5.0, 5.0);
+  return {trivial, time_only, window, combined};
+}
+
+constexpr core::ExecutionMethod kAllMethods[] = {
+    core::ExecutionMethod::kScan, core::ExecutionMethod::kIndexJoin,
+    core::ExecutionMethod::kBoundedRaster,
+    core::ExecutionMethod::kAccurateRaster};
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Literal bit compare, except any-NaN == any-NaN (AVG/MIN/MAX of an empty
+// region).
+void ExpectBitIdentical(const core::QueryResult& live,
+                        const core::QueryResult& rebuilt,
+                        const std::string& what) {
+  ASSERT_EQ(live.size(), rebuilt.size()) << what;
+  ASSERT_EQ(live.error_bounds.size(), rebuilt.error_bounds.size()) << what;
+  for (std::size_t r = 0; r < rebuilt.size(); ++r) {
+    const bool both_nan =
+        std::isnan(live.values[r]) && std::isnan(rebuilt.values[r]);
+    EXPECT_TRUE(both_nan ||
+                DoubleBits(live.values[r]) == DoubleBits(rebuilt.values[r]))
+        << what << " region " << r << ": live=" << live.values[r]
+        << " rebuilt=" << rebuilt.values[r];
+    EXPECT_EQ(live.counts[r], rebuilt.counts[r]) << what << " region " << r;
+    if (!rebuilt.error_bounds.empty()) {
+      EXPECT_EQ(DoubleBits(live.error_bounds[r]),
+                DoubleBits(rebuilt.error_bounds[r]))
+          << what << " bound " << r;
+    }
+  }
+}
+
+struct OracleConfig {
+  std::size_t threads = 1;
+  std::size_t shards = 1;
+  bool store_backed_base = false;
+  const char* name = "";
+};
+
+class LiveEngineOracleTest : public ::testing::TestWithParam<OracleConfig> {};
+
+// The full interleaving sweep. Stages walk a row through every lifecycle
+// transition; the oracle re-runs the whole executor x aggregate x filter
+// grid at each stage.
+TEST_P(LiveEngineOracleTest, MatchesStopTheWorldRebuildAtEveryStage) {
+  const OracleConfig config = GetParam();
+  const std::string dir = FreshDir(std::string("oracle_") + config.name);
+  const data::RegionSet regions = testing::MakeTessellationRegions(4, 0xBEEF);
+
+  // Base component: in-memory or a real UST1 store (zone maps attached).
+  const data::PointTable base_mem = testing::MakeDyadicPoints(1500, 0x5EED);
+  std::unique_ptr<store::StoreReader> reader;
+  data::PointTable base_view(VSchema());
+  const data::PointTable* base = &base_mem;
+  const core::ZoneMapIndex* base_zone_maps = nullptr;
+  if (config.store_backed_base) {
+    const std::string store_path = dir + std::string(".base.ust1");
+    std::filesystem::remove(store_path);
+    store::StoreWriterOptions store_options;
+    store_options.block_rows = 256;
+    StatusOr<store::StoreWriter> writer =
+        store::StoreWriter::Create(store_path, VSchema(), store_options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer->Append(base_mem).ok());
+    ASSERT_TRUE(writer->Finish().ok());
+    StatusOr<store::StoreReader> opened = store::StoreReader::Open(store_path);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    reader = std::make_unique<store::StoreReader>(std::move(*opened));
+    StatusOr<data::PointTable> mapped = reader->MappedTable();
+    ASSERT_TRUE(mapped.ok());
+    base_view = std::move(*mapped);
+    base = &base_view;
+    base_zone_maps = &reader->zone_maps();
+  }
+
+  IngestOptions ingest_options;
+  ingest_options.memtable_rows = 600;  // the second append forces a seal
+  ingest_options.run_block_rows = 256;
+  StatusOr<std::unique_ptr<LiveTable>> table =
+      LiveTable::Open(dir, VSchema(), base, base_zone_maps, ingest_options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+  core::ExecutionContext exec;
+  exec.num_threads = config.threads;
+  exec.min_parallel_points = 1;  // parallelize even these small components
+
+  LiveEngineOptions options;
+  options.raster_options = SmallCanvas();
+  options.exec = exec;
+  options.num_shards = config.shards;
+  LiveEngine live(table->get(), &regions, options);
+
+  const auto check_stage = [&](const std::string& stage) {
+    const LiveSnapshot snapshot = (*table)->Snapshot();
+    const data::PointTable rebuilt_rows = ConcatSnapshot(snapshot);
+    ASSERT_EQ(rebuilt_rows.size(), snapshot.watermark);
+    core::SpatialAggregation rebuilt(rebuilt_rows, regions, SmallCanvas(),
+                                     core::IndexJoinOptions(), exec);
+    for (core::ExecutionMethod method : kAllMethods) {
+      for (const core::AggregateSpec& aggregate : AllAggregates()) {
+        std::size_t filter_index = 0;
+        for (const core::FilterSpec& filter : OracleFilters()) {
+          const std::string what =
+              stage + "/" + core::ExecutionMethodToString(method) + "/agg" +
+              std::to_string(static_cast<int>(aggregate.kind)) + "/filter" +
+              std::to_string(filter_index++);
+          core::AggregationQuery query;
+          query.aggregate = aggregate;
+          query.filter = filter;
+          std::uint64_t watermark = 0;
+          StatusOr<core::QueryResult> live_result =
+              live.Execute(query, method, &watermark);
+          ASSERT_TRUE(live_result.ok()) << what << ": "
+                                        << live_result.status().ToString();
+          EXPECT_EQ(watermark, snapshot.watermark) << what;
+          core::AggregationQuery rebuilt_query;
+          rebuilt_query.aggregate = aggregate;
+          rebuilt_query.filter = filter;
+          StatusOr<core::QueryResult> rebuilt_result =
+              rebuilt.Execute(rebuilt_query, method);
+          ASSERT_TRUE(rebuilt_result.ok()) << what;
+          ExpectBitIdentical(*live_result, *rebuilt_result, what);
+        }
+      }
+    }
+  };
+
+  check_stage("base-only");
+  ASSERT_TRUE((*table)->Append(testing::MakeDyadicPoints(500, 0xA1)).ok());
+  check_stage("hot");
+  ASSERT_TRUE((*table)->Append(testing::MakeDyadicPoints(400, 0xA2)).ok());
+  check_stage("sealed+hot");
+  ASSERT_TRUE((*table)->Flush().ok());
+  check_stage("one-store-run");
+  ASSERT_TRUE((*table)->Append(testing::MakeDyadicPoints(450, 0xA3)).ok());
+  check_stage("store+hot");
+  ASSERT_TRUE((*table)->Flush().ok());
+  ASSERT_TRUE((*table)->Compact().ok());
+  check_stage("compacted");
+  ASSERT_TRUE((*table)->Append(testing::MakeDyadicPoints(300, 0xA4)).ok());
+  check_stage("compacted+hot");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LiveEngineOracleTest,
+    ::testing::Values(OracleConfig{1, 1, false, "serial"},
+                      OracleConfig{1, 4, true, "sharded_store"},
+                      OracleConfig{4, 4, true, "threaded_sharded_store"}),
+    [](const ::testing::TestParamInfo<OracleConfig>& info) {
+      return info.param.name;
+    });
+
+TEST(LiveEngineTest, EmptyLiveTableExecutes) {
+  const std::string dir = FreshDir("empty");
+  StatusOr<std::unique_ptr<LiveTable>> table =
+      LiveTable::Open(dir, VSchema(), nullptr, nullptr);
+  ASSERT_TRUE(table.ok());
+  const data::RegionSet regions = testing::MakeTessellationRegions(2, 1);
+  LiveEngine live(table->get(), &regions, LiveEngineOptions());
+  core::AggregationQuery query;
+  query.aggregate = core::AggregateSpec::Count();
+  std::uint64_t watermark = 99;
+  StatusOr<core::QueryResult> result =
+      live.Execute(query, core::ExecutionMethod::kScan, &watermark);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(watermark, 0u);
+  ASSERT_EQ(result->size(), regions.size());
+  for (std::size_t r = 0; r < result->size(); ++r) {
+    EXPECT_EQ(result->counts[r], 0u);
+  }
+}
+
+// Satellite regression: an answer over a fully-closed time range must stay
+// a cache HIT across appends that only touch newer times; an append that
+// overlaps the range must invalidate exactly that entry.
+TEST(LiveEngineTest, ClosedTimeRangeStaysCachedAcrossDisjointAppends) {
+  const std::string dir = FreshDir("cache_scope");
+  StatusOr<std::unique_ptr<LiveTable>> table =
+      LiveTable::Open(dir, VSchema(), nullptr, nullptr);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Append(MakeBatchInTime(400, 1, 0, 39999)).ok());
+
+  const data::RegionSet regions = testing::MakeTessellationRegions(3, 2);
+  LiveEngineOptions options;
+  options.raster_options = SmallCanvas();
+  options.cache_entries = 64;
+  LiveEngine live(table->get(), &regions, options);
+
+  const auto run_closed_range = [&]() -> core::QueryResult {
+    core::AggregationQuery query;
+    query.aggregate = core::AggregateSpec::Sum("v");
+    query.filter.WithTime(0, 40000);
+    StatusOr<core::QueryResult> result =
+        live.Execute(query, core::ExecutionMethod::kIndexJoin);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : core::QueryResult();
+  };
+
+  const core::QueryResult first = run_closed_range();
+  run_closed_range();
+  const core::QueryCacheStats warm = live.result_cache_stats();
+  EXPECT_GE(warm.hits, 1u) << "second identical query must hit";
+
+  // Appends strictly above the queried range: the entry must survive.
+  ASSERT_TRUE((*table)->Append(MakeBatchInTime(200, 2, 50000, 59999)).ok());
+  const core::QueryResult after_disjoint = run_closed_range();
+  const core::QueryCacheStats disjoint = live.result_cache_stats();
+  EXPECT_EQ(disjoint.hits, warm.hits + 1)
+      << "append above the closed range must not invalidate it";
+  ExpectBitIdentical(after_disjoint, first, "closed range across append");
+
+  // An overlapping append must invalidate it (the answer changed).
+  ASSERT_TRUE((*table)->Append(MakeBatchInTime(200, 3, 30000, 34999)).ok());
+  run_closed_range();
+  const core::QueryCacheStats overlapped = live.result_cache_stats();
+  EXPECT_EQ(overlapped.hits, disjoint.hits)
+      << "append inside the closed range must invalidate the entry";
+  EXPECT_GT(overlapped.misses, disjoint.misses);
+}
+
+// Flush re-orders rows (Morton); a cached float SUM over the flushed
+// interval may no longer be bit-reproducible, so flush must invalidate.
+// The post-flush answer must still be bit-identical to a rebuild.
+TEST(LiveEngineTest, FlushInvalidatesButStaysRebuildIdentical) {
+  const std::string dir = FreshDir("cache_flush");
+  StatusOr<std::unique_ptr<LiveTable>> table =
+      LiveTable::Open(dir, VSchema(), nullptr, nullptr);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Append(testing::MakeDyadicPoints(500, 4)).ok());
+
+  const data::RegionSet regions = testing::MakeTessellationRegions(3, 5);
+  LiveEngineOptions options;
+  options.raster_options = SmallCanvas();
+  options.cache_entries = 64;
+  LiveEngine live(table->get(), &regions, options);
+
+  core::AggregationQuery query;
+  query.aggregate = core::AggregateSpec::Sum("v");
+  query.filter.WithTime(0, 86400);
+  ASSERT_TRUE(live.Execute(query, core::ExecutionMethod::kScan).ok());
+
+  ASSERT_TRUE((*table)->Flush().ok());
+  core::AggregationQuery again;
+  again.aggregate = core::AggregateSpec::Sum("v");
+  again.filter.WithTime(0, 86400);
+  StatusOr<core::QueryResult> live_result =
+      live.Execute(again, core::ExecutionMethod::kScan);
+  ASSERT_TRUE(live_result.ok());
+
+  const LiveSnapshot snapshot = (*table)->Snapshot();
+  const data::PointTable rebuilt_rows = ConcatSnapshot(snapshot);
+  core::SpatialAggregation rebuilt(rebuilt_rows, regions, SmallCanvas());
+  core::AggregationQuery rebuilt_query;
+  rebuilt_query.aggregate = core::AggregateSpec::Sum("v");
+  rebuilt_query.filter.WithTime(0, 86400);
+  StatusOr<core::QueryResult> rebuilt_result =
+      rebuilt.Execute(rebuilt_query, core::ExecutionMethod::kScan);
+  ASSERT_TRUE(rebuilt_result.ok());
+  ExpectBitIdentical(*live_result, *rebuilt_result, "post-flush sum");
+}
+
+// The incrementally-appended temporal canvas must answer exactly like a
+// canvas built from scratch over the final data (same pinned layout).
+TEST(LiveEngineTest, IncrementalTemporalCanvasMatchesRebuild) {
+  const std::string dir = FreshDir("canvas");
+  StatusOr<std::unique_ptr<LiveTable>> table =
+      LiveTable::Open(dir, VSchema(), nullptr, nullptr);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Append(MakeBatchInTime(400, 6, 0, 29999)).ok());
+
+  const data::RegionSet regions = testing::MakeTessellationRegions(3, 7);
+  LiveEngineOptions options;
+  options.canvas_options.time_domain =
+      std::pair<std::int64_t, std::int64_t>{0, 86399};
+  options.canvas_options.world = geometry::BoundingBox(0.0, 0.0, 100.0, 100.0);
+  LiveEngine incremental(table->get(), &regions, options);
+
+  // Build the canvas early, then grow the table through it.
+  std::int64_t b0 = 0, b1 = 0;
+  ASSERT_TRUE(incremental.BrushTimeWindow(0, 86399, &b0, &b1).ok());
+  ASSERT_TRUE((*table)->Append(MakeBatchInTime(300, 8, 30000, 59999)).ok());
+  ASSERT_TRUE((*table)->Append(MakeBatchInTime(300, 9, 60000, 86399)).ok());
+
+  // A second engine first touches the canvas only now: a from-scratch
+  // build over the full table with the identical pinned layout.
+  LiveEngine fresh(table->get(), &regions, options);
+
+  const std::vector<std::pair<std::int64_t, std::int64_t>> windows = {
+      {0, 86399}, {15000, 45000}, {40000, 80000}};
+  for (const auto& [t0, t1] : windows) {
+    std::uint64_t inc_watermark = 0, fresh_watermark = 0;
+    std::int64_t s0 = 0, s1 = 0;
+    StatusOr<core::QueryResult> inc =
+        incremental.BrushTimeWindow(t0, t1, &s0, &s1, &inc_watermark);
+    StatusOr<core::QueryResult> scratch =
+        fresh.BrushTimeWindow(t0, t1, nullptr, nullptr, &fresh_watermark);
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
+    EXPECT_EQ(inc_watermark, fresh_watermark);
+    EXPECT_EQ(inc_watermark, 1000u);
+    EXPECT_LE(s0, t0);
+    ExpectBitIdentical(*inc, *scratch,
+                       "brush [" + std::to_string(t0) + "," +
+                           std::to_string(t1) + ")");
+  }
+}
+
+// Thread-safety smoke (the TSan gate runs this suite): queries race with
+// appends and a flush; every answer must come from a consistent snapshot,
+// so COUNT over the full tessellation must never exceed the watermark the
+// engine reports for that answer.
+TEST(LiveEngineTest, ConcurrentAppendsAndQueriesStaySane) {
+  const std::string dir = FreshDir("concurrent");
+  IngestOptions ingest_options;
+  ingest_options.memtable_rows = 2048;
+  StatusOr<std::unique_ptr<LiveTable>> table =
+      LiveTable::Open(dir, VSchema(), nullptr, nullptr, ingest_options);
+  ASSERT_TRUE(table.ok());
+  const data::RegionSet regions = testing::MakeTessellationRegions(2, 10);
+  LiveEngineOptions options;
+  options.raster_options = SmallCanvas();
+  LiveEngine live(table->get(), &regions, options);
+
+  std::thread writer([&] {
+    for (int b = 0; b < 20; ++b) {
+      StatusOr<std::uint64_t> watermark =
+          (*table)->Append(testing::MakeDyadicPoints(100, 100 + b));
+      ASSERT_TRUE(watermark.ok()) << watermark.status().ToString();
+      if (b == 10) {
+        ASSERT_TRUE((*table)->Flush().ok());
+      }
+    }
+  });
+
+  std::uint64_t last_watermark = 0;
+  for (int i = 0; i < 30; ++i) {
+    core::AggregationQuery query;
+    query.aggregate = core::AggregateSpec::Count();
+    std::uint64_t watermark = 0;
+    StatusOr<core::QueryResult> result =
+        live.Execute(query, core::ExecutionMethod::kScan, &watermark);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(watermark, last_watermark) << "watermark must be monotonic";
+    last_watermark = watermark;
+    std::uint64_t total = 0;
+    for (std::uint64_t count : result->counts) total += count;
+    EXPECT_LE(total, watermark);
+  }
+  writer.join();
+  EXPECT_EQ((*table)->watermark(), 2000u);
+}
+
+}  // namespace
+}  // namespace urbane::ingest

@@ -58,7 +58,8 @@ if [[ "${MODE}" == "fast" ]]; then
     --target util_test geometry_test raster_test simd_test index_test \
              data_test obs_test obs_pipeline_test net_test store_test \
              shard_unit_test shard_test server_shard_test \
-             profile_test server_profile_test
+             profile_test server_profile_test \
+             ingest_unit_test ingest_test server_ingest_test
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast "$@"
   # The full shard conformance gate (oracle, property, interleave, fault,
   # store/server surfaces) — slow-labeled suites included on purpose: the
@@ -68,6 +69,11 @@ if [[ "${MODE}" == "fast" ]]; then
   # goldens, and the HTTP propagation suite (slow-labeled, so -L fast
   # above does not already cover all of it).
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L profile "$@"
+  # The streaming-ingest gate (DESIGN.md §13): WAL corruption corpus,
+  # LiveTable recovery, the ingest-equivalence oracle (every lifecycle
+  # stage bit-identical to a stop-the-world rebuild), and the HTTP ingest
+  # surface (slow-labeled, so -L fast above does not already cover it).
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -L ingest "$@"
   SIMD_LEVELS="off sse2"
   if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
     SIMD_LEVELS="${SIMD_LEVELS} avx2"
@@ -89,7 +95,8 @@ cmake -B "${BUILD_DIR}" -S . \
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target core_test obs_test obs_pipeline_test net_test server_test \
            store_test shard_unit_test shard_test server_shard_test \
-           profile_test server_profile_test
+           profile_test server_profile_test \
+           ingest_unit_test ingest_test server_ingest_test
 
 URBANE_SIMD=off \
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
@@ -111,5 +118,13 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L shard "$@"
 URBANE_SIMD=off \
 TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L profile "$@"
+
+# The ingest write path under TSan: Append/Flush/Compact race Snapshot and
+# the LiveEngine's refresh + scoped cache invalidation; the WAL writer and
+# the component-swap publication are exactly the cross-thread contracts an
+# instrumented build should be allowed to falsify.
+URBANE_SIMD=off \
+TSAN_OPTIONS="halt_on_error=1 abort_on_error=1${TSAN_OPTIONS:+ ${TSAN_OPTIONS}}" \
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L ingest "$@"
 
 echo "tsan check OK"
